@@ -1,0 +1,78 @@
+//! Criterion: replication machinery — catch-up batching and the §5
+//! consistency-restoration merge (feeds E10's restoration-cost model).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use udr_model::attrs::{AttrId, Entry};
+use udr_model::config::IsolationLevel;
+use udr_model::ids::{SeId, SubscriberUid};
+use udr_model::time::{SimDuration, SimTime};
+use udr_replication::multimaster::merge_branches;
+use udr_replication::AsyncShipper;
+use udr_storage::{Engine, Lsn};
+
+fn engine_with_writes(se: u32, base: Option<&Engine>, writes: u64, t0: u64) -> Engine {
+    let mut e = match base {
+        Some(b) => {
+            let mut eng = Engine::from_snapshot(SeId(se), b.snapshot());
+            eng.set_se(SeId(se));
+            eng
+        }
+        None => Engine::new(SeId(se)),
+    };
+    for i in 0..writes {
+        let t = e.begin(IsolationLevel::ReadCommitted);
+        let mut entry = Entry::new();
+        entry.set(AttrId::AuthSqn, i);
+        e.put(t, SubscriberUid(i % 1024), entry).unwrap();
+        e.commit(t, SimTime(t0 + i)).unwrap();
+    }
+    e
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replication/merge_branches");
+    for writes in [1_000u64, 10_000] {
+        let base = engine_with_writes(0, None, 1024, 0);
+        let a = engine_with_writes(0, Some(&base), writes, 10_000);
+        let b = engine_with_writes(1, Some(&base), writes, 10_000);
+        group.throughput(Throughput::Elements(writes * 2));
+        group.bench_function(format!("divergent_writes={writes}x2"), |bch| {
+            bch.iter(|| {
+                let out = merge_branches(SimTime(5_000), &[black_box(&a), black_box(&b)]);
+                black_box(out.stats)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_catch_up(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replication/catch_up");
+    let master = engine_with_writes(0, None, 10_000, 0);
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("reship_10k", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut s = AsyncShipper::new();
+                s.register_slave(SeId(1), Lsn::ZERO);
+                s
+            },
+            |shipper| {
+                let deliveries = shipper.catch_up(
+                    SeId(1),
+                    black_box(&master),
+                    SimTime(20_000),
+                    Some(SimDuration::from_millis(10)),
+                );
+                black_box(deliveries.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge, bench_catch_up);
+criterion_main!(benches);

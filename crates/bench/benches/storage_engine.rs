@@ -1,0 +1,115 @@
+//! Criterion: the storage engine's hot paths (feeds experiment E6's
+//! measured column and E9's engine-side ceilings).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use udr_model::attrs::{AttrId, AttrMod, AttrValue, Entry};
+use udr_model::config::IsolationLevel;
+use udr_model::ids::{SeId, SubscriberUid};
+use udr_model::time::SimTime;
+use udr_storage::Engine;
+
+fn populated_engine(n: u64) -> Engine {
+    let mut engine = Engine::new(SeId(0));
+    for i in 0..n {
+        let t = engine.begin(IsolationLevel::ReadCommitted);
+        let mut e = Entry::new();
+        e.set(AttrId::Msisdn, format!("34600{i:06}"));
+        e.set(AttrId::AuthSqn, i);
+        e.set(AttrId::VlrAddress, "vlr-0");
+        e.set(AttrId::OdbMask, 0u64);
+        engine.put(t, SubscriberUid(i), e).unwrap();
+        engine.commit(t, SimTime(i)).unwrap();
+    }
+    engine
+}
+
+fn bench_reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/read_txn");
+    group.throughput(Throughput::Elements(1));
+    for n in [10_000u64, 100_000, 1_000_000] {
+        let engine = populated_engine(n);
+        let mut i = 0u64;
+        group.bench_function(format!("n={n}"), |b| {
+            b.iter(|| {
+                // Indexed single-subscriber read transaction (the §2.3
+                // requirement-4 operation).
+                let mut local = 0usize;
+                let eng = black_box(&engine);
+                let uid = SubscriberUid((i.wrapping_mul(2_654_435_761)) % n);
+                local += eng.read_committed(uid).map_or(0, |e| e.len());
+                i += 1;
+                black_box(local)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_write_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/write_txn");
+    group.throughput(Throughput::Elements(1));
+    let n = 100_000u64;
+    group.bench_function("modify_commit", |b| {
+        b.iter_batched_ref(
+            || populated_engine(n),
+            |engine| {
+                let t = engine.begin(IsolationLevel::ReadCommitted);
+                engine
+                    .modify(
+                        t,
+                        SubscriberUid(42),
+                        &[AttrMod::Set(AttrId::AuthSqn, AttrValue::U64(7))],
+                    )
+                    .unwrap();
+                black_box(engine.commit(t, SimTime(1)).unwrap());
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/snapshot");
+    for n in [10_000u64, 100_000] {
+        let engine = populated_engine(n);
+        group.bench_function(format!("n={n}"), |b| {
+            b.iter(|| black_box(engine.snapshot().approx_bytes()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_apply_replicated(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/apply_replicated");
+    group.throughput(Throughput::Elements(1));
+    // Pre-produce a master log, then replay onto fresh slaves.
+    let mut master = Engine::new(SeId(0));
+    let records: Vec<_> = (0..10_000u64)
+        .map(|i| {
+            let t = master.begin(IsolationLevel::ReadCommitted);
+            let mut e = Entry::new();
+            e.set(AttrId::AuthSqn, i);
+            master.put(t, SubscriberUid(i % 512), e).unwrap();
+            master.commit(t, SimTime(i)).unwrap().unwrap()
+        })
+        .collect();
+    group.bench_function("replay_10k_records", |b| {
+        b.iter_batched_ref(
+            || Engine::new(SeId(1)),
+            |slave| {
+                for rec in &records {
+                    slave.apply_replicated(rec).unwrap();
+                }
+                black_box(slave.last_lsn())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reads, bench_write_commit, bench_snapshot, bench_apply_replicated);
+criterion_main!(benches);

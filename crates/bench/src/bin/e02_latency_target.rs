@@ -1,0 +1,68 @@
+//! E2 — §2.3 requirement 4: "a target average response time of 10 ms
+//! (excluding network delays) for index-based single subscriber queries".
+//!
+//! Measures the latency distribution of indexed single-subscriber reads as
+//! seen at the PoA, split by where the serving copy sat (local site vs
+//! across the backbone), plus the effect of home-region pinning.
+
+use udr_bench::harness::{provisioned_system, standard_traffic, t};
+use udr_core::UdrConfig;
+use udr_metrics::{pct, Histogram, Table};
+use udr_model::config::PlacementPolicy;
+use udr_model::time::SimDuration;
+
+fn run(placement: PlacementPolicy, roaming: f64) -> (Histogram, f64) {
+    let mut cfg = UdrConfig::figure2();
+    cfg.frash.placement = placement;
+    cfg.ldap_servers_per_cluster = 4;
+    let mut s = provisioned_system(cfg, 200, 2);
+    let events = standard_traffic(&s, 0.05, roaming, t(10), t(130), 3);
+    for ev in &events {
+        let sub = &s.population[ev.subscriber];
+        s.udr.run_procedure(ev.kind, &sub.ids, ev.fe_site, ev.at);
+    }
+    (s.udr.metrics.fe_latency.clone(), s.udr.metrics.backbone_fraction())
+}
+
+fn main() {
+    println!(
+        "E2 — the 10 ms indexed-query target (§2.3 req 4)\n\
+         workload: 200 subscribers, mixed procedures, 120 s, WAN median 15 ms\n"
+    );
+    let mut table = Table::new([
+        "placement / roaming",
+        "mean",
+        "p50",
+        "p99",
+        "max",
+        "backbone ops",
+        "10ms target",
+    ])
+    .with_title("front-end operation latency at the PoA");
+
+    for (name, placement, roaming) in [
+        ("home-region, 0% roaming", PlacementPolicy::HomeRegion, 0.0),
+        ("home-region, 5% roaming", PlacementPolicy::HomeRegion, 0.05),
+        ("home-region, 30% roaming", PlacementPolicy::HomeRegion, 0.30),
+        ("random placement, 5% roaming", PlacementPolicy::Random, 0.05),
+    ] {
+        let (hist, backbone) = run(placement, roaming);
+        let met = hist.mean() < SimDuration::from_millis(10);
+        table.row([
+            name.to_owned(),
+            hist.mean().to_string(),
+            hist.p50().to_string(),
+            hist.p99().to_string(),
+            hist.max().to_string(),
+            pct(backbone, 1),
+            if met { "MET".into() } else { "MISSED".to_owned() },
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "Shape check (paper): with data pinned near its front-ends the average sits far\n\
+         below 10 ms (RAM engine + LAN); every backbone crossing costs one WAN round trip,\n\
+         so the average degrades with roaming and with unpinned placement — the reason\n\
+         §3.3.1 resolves locations locally and §3.5 pins subscribers to their home region."
+    );
+}

@@ -1,0 +1,125 @@
+//! E9 — §3.1 (decision 1 + footnote 6): the F–R link, measured on the
+//! storage engine.
+//!
+//! "It is possible to configure storage elements to dump transactions to
+//! disk before committing for 100% guaranteed durability, but that would
+//! slow down storage elements too much." This experiment measures the
+//! commit-path latency and the crash-loss window for every durability
+//! mode, on the same write workload.
+
+use udr_bench::harness::{provisioned_system, t};
+use udr_core::UdrConfig;
+use udr_metrics::Table;
+use udr_model::attrs::{AttrId, AttrMod, AttrValue};
+use udr_model::config::DurabilityMode;
+use udr_model::identity::Identity;
+use udr_model::ids::SiteId;
+use udr_model::time::SimDuration;
+use udr_sim::FaultSchedule;
+
+struct Row {
+    mode: String,
+    mean_commit: SimDuration,
+    p99_commit: SimDuration,
+    lost: u64,
+    throughput_ceiling: f64,
+}
+
+fn run(mode: DurabilityMode) -> Row {
+    let mut cfg = UdrConfig::figure2();
+    cfg.frash.durability = mode;
+    cfg.frash.replication_factor = 1; // isolate the engine's F–R trade
+    cfg.frash.auto_failover = false;
+    let mut s = provisioned_system(cfg, 60, 3);
+
+    // Only site-0 subscribers: local writes, so latency is engine-dominated.
+    let home0: Vec<_> =
+        s.population.iter().filter(|p| p.home_region == 0).cloned().collect();
+
+    // Crash the site-0 master at t=77 (mid-way between the 30 s snapshots),
+    // restore at t=85.
+    let master = s
+        .udr
+        .group(
+            s.udr
+                .lookup_authority(&Identity::Imsi(home0[0].ids.imsi.clone()))
+                .unwrap()
+                .partition,
+        )
+        .master();
+    s.udr
+        .schedule_faults(FaultSchedule::new().se_outage(t(77), SimDuration::from_secs(8), master));
+
+    let mut at = t(10);
+    let mut i = 0u64;
+    let mut committed_before_crash = 0u64;
+    while at < t(75) {
+        let sub = &home0[(i % home0.len() as u64) as usize];
+        let out = s.udr.modify_services(
+            &Identity::Imsi(sub.ids.imsi.clone()),
+            vec![AttrMod::Set(AttrId::AuthSqn, AttrValue::U64(i))],
+            SiteId(0),
+            at,
+        );
+        if out.is_ok() {
+            committed_before_crash += 1;
+        }
+        i += 1;
+        at += SimDuration::from_millis(25);
+    }
+    s.udr.advance_to(t(100));
+
+    // Lost = committed writes the restored element no longer has.
+    let lost = s.udr.metrics.lost_commits;
+    let _ = committed_before_crash;
+    let commit = s.udr.metrics.ps_latency.clone();
+    // Engine-side ceiling: 1 / commit-path cost.
+    let cost = s.udr.se(master).cost_model().commit_cost(mode);
+    Row {
+        mode: mode.to_string(),
+        mean_commit: commit.mean(),
+        p99_commit: commit.p99(),
+        lost,
+        throughput_ceiling: 1.0 / cost.as_secs_f64(),
+    }
+}
+
+fn main() {
+    println!(
+        "E9 — durability vs speed on one storage element (§3.1, fn6)\n\
+         40 writes/s to a local master for 65 s; element crashes at t=77\n\
+         (47 s after the t=30 snapshot) and restores from disk; RF=1 so\n\
+         recovery comes from disk alone\n"
+    );
+    let mut table = Table::new([
+        "durability mode",
+        "mean write latency",
+        "p99",
+        "commits lost at crash",
+        "engine commit ceiling (ops/s)",
+    ])
+    .with_title("the F–R slide, per durability mode");
+    for mode in [
+        DurabilityMode::None,
+        DurabilityMode::PeriodicSnapshot { interval: SimDuration::from_secs(30) },
+        DurabilityMode::PeriodicSnapshot { interval: SimDuration::from_secs(5) },
+        DurabilityMode::SyncCommit,
+    ] {
+        let row = run(mode);
+        table.row([
+            row.mode,
+            row.mean_commit.to_string(),
+            row.p99_commit.to_string(),
+            row.lost.to_string(),
+            format!("{:.0}", row.throughput_ceiling),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "Shape check (paper): RAM-only commits run at full speed but a crash erases\n\
+         everything since the last save — shrinking the snapshot interval shrinks the loss\n\
+         window at (small) snapshot cost; dump-before-commit loses nothing but multiplies\n\
+         commit latency by ~1000x (8 ms fsync vs 5 µs RAM publish) — exactly why §3.1 fn6\n\
+         rejects it as the default. The F–R trade-off point slides along these rows."
+    );
+}

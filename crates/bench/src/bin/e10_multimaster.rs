@@ -1,0 +1,115 @@
+//! E10 — §5's evolution: multi-master operation on partitions and the
+//! price of the consistency-restoration process.
+//!
+//! "The CAP theorem states that if we increase Availability on a partition
+//! incident we'll lose some Consistency… Once the partition incident is
+//! over, a consistency restoration process must run across the whole UDR
+//! NF." This experiment sweeps partition duration × write rate and
+//! measures provisioning availability gained vs conflicts incurred and
+//! restoration work.
+
+use udr_bench::harness::{provisioned_system, t};
+use udr_core::UdrConfig;
+use udr_metrics::{pct, Table};
+use udr_model::attrs::{AttrId, AttrMod, AttrValue};
+use udr_model::config::ReplicationMode;
+use udr_model::identity::Identity;
+use udr_model::ids::SiteId;
+use udr_model::time::SimDuration;
+use udr_sim::FaultSchedule;
+
+struct Row {
+    ps_availability: f64,
+    conflicts: u64,
+    merges: u64,
+    records_scanned: u64,
+    merge_time: SimDuration,
+}
+
+fn run(mode: ReplicationMode, partition_s: u64, write_gap_ms: u64) -> Row {
+    let mut cfg = UdrConfig::figure2();
+    cfg.frash.replication = mode;
+    cfg.seed = 77;
+    let mut s = provisioned_system(cfg, 90, 8);
+    s.udr.schedule_faults(FaultSchedule::new().partition(
+        t(100),
+        SimDuration::from_secs(partition_s),
+        [SiteId(2)],
+    ));
+
+    // During the partition, both sides write the same subscriber set: the
+    // PS instance at site 0 and a second PS instance at site 2 (the paper
+    // allows "one or two PS instances").
+    let mut at = t(100) + SimDuration::from_millis(37);
+    let end = t(100) + SimDuration::from_secs(partition_s);
+    let mut i = 0u64;
+    while at < end {
+        let sub = &s.population[(i % s.population.len() as u64) as usize];
+        let id = Identity::Imsi(sub.ids.imsi.clone());
+        s.udr.modify_services(
+            &id,
+            vec![AttrMod::Set(AttrId::OdbMask, AttrValue::U64(i))],
+            SiteId(0),
+            at,
+        );
+        s.udr.modify_services(
+            &id,
+            vec![AttrMod::Set(AttrId::CallForwarding, AttrValue::Str(format!("34{i:09}")))],
+            SiteId(2),
+            at + SimDuration::from_millis(write_gap_ms / 2),
+        );
+        i += 1;
+        at += SimDuration::from_millis(write_gap_ms);
+    }
+    s.udr.advance_to(end + SimDuration::from_secs(120));
+
+    Row {
+        ps_availability: s.udr.metrics.ps_ops.operational_availability(),
+        conflicts: s.udr.metrics.merge_conflicts,
+        merges: s.udr.metrics.merges,
+        records_scanned: s.udr.metrics.merge_records,
+        merge_time: s.udr.metrics.merge_time,
+    }
+}
+
+fn main() {
+    println!(
+        "E10 — multi-master on partition + restoration cost (§5)\n\
+         site 2 islanded; two PS instances (sites 0 and 2) write the same 90\n\
+         subscribers throughout the partition window\n"
+    );
+    let mut table = Table::new([
+        "mode",
+        "partition",
+        "write gap",
+        "PS availability",
+        "conflicts",
+        "restoration scans",
+        "restoration time",
+    ])
+    .with_title("availability bought, consistency paid");
+    for (mode, label) in [
+        (ReplicationMode::AsyncMasterSlave, "master/slave"),
+        (ReplicationMode::MultiMaster, "multi-master"),
+    ] {
+        for (partition_s, gap_ms) in [(30u64, 500u64), (120, 500), (120, 100), (600, 500)] {
+            let row = run(mode, partition_s, gap_ms);
+            table.row([
+                label.to_owned(),
+                format!("{partition_s} s"),
+                format!("{gap_ms} ms"),
+                pct(row.ps_availability, 1),
+                row.conflicts.to_string(),
+                row.records_scanned.to_string(),
+                format!("{} ({} merges)", row.merge_time, row.merges),
+            ]);
+        }
+    }
+    println!("{table}");
+    println!(
+        "Shape check (paper): master/slave holds consistency (0 conflicts) at ~⅓–⅔ PS\n\
+         availability; multi-master restores ~100% availability while conflicts grow with\n\
+         partition duration × write rate, and every heal triggers a full-scan restoration\n\
+         whose cost grows with the data touched — the CAP bill arriving after the outage."
+    );
+}

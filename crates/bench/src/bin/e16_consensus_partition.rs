@@ -1,0 +1,181 @@
+//! E16 — §6 future work: distributed agreement (Paxos) vs the paper's
+//! master/slave and §5's multi-master, through the same partition.
+//!
+//! "One promising alternative to the master-slave replication approach
+//! described above lies on efficient distributed agreement protocols like
+//! e.g. Paxos [15] or similar solutions [16]." The §5 evolution bought
+//! provisioning availability with multi-master at the price of divergence
+//! and a restoration merge; consensus buys *majority-side* availability at
+//! zero divergence. This experiment drives the same dual-PS write pattern
+//! as E10 through all three schemes and an identical site-2 island.
+//!
+//! Availability is scored the way the paper scores it (§4.1): a
+//! provisioning transaction counts only if it completes during the window
+//! — a write stuck until heal is a failed activation and a manual-repair
+//! cost. "Eventual" additionally reports what consensus salvages after
+//! heal without any human intervention (queued commands commit on their
+//! own; pre-UDC networks needed someone to "check what parts of the batch
+//! failed and apply those parts manually").
+
+use udr_bench::harness::{provisioned_system, t};
+use udr_consensus::runtime::{ClusterConfig, ConsensusCluster};
+use udr_core::UdrConfig;
+use udr_metrics::{pct, Table};
+use udr_model::attrs::{AttrId, AttrMod, AttrValue};
+use udr_model::config::ReplicationMode;
+use udr_model::identity::Identity;
+use udr_model::ids::{SiteId, SubscriberUid};
+use udr_model::time::{SimDuration, SimTime};
+use udr_sim::net::Topology;
+use udr_sim::FaultSchedule;
+
+struct Row {
+    island_avail: f64,
+    majority_avail: f64,
+    eventual: f64,
+    conflicts: u64,
+}
+
+/// Master/slave or multi-master through the real UDR (per-side counting,
+/// same write cadence E10 uses).
+fn run_udr(mode: ReplicationMode, partition_s: u64, gap_ms: u64) -> Row {
+    let mut cfg = UdrConfig::figure2();
+    cfg.frash.replication = mode;
+    cfg.seed = 77;
+    let mut s = provisioned_system(cfg, 90, 8);
+    s.udr.schedule_faults(FaultSchedule::new().partition(
+        t(100),
+        SimDuration::from_secs(partition_s),
+        [SiteId(2)],
+    ));
+
+    let mut at = t(100) + SimDuration::from_millis(37);
+    let end = t(100) + SimDuration::from_secs(partition_s);
+    let (mut isl_ok, mut isl_n, mut maj_ok, mut maj_n) = (0u64, 0u64, 0u64, 0u64);
+    let mut i = 0u64;
+    while at < end {
+        let sub = &s.population[(i % s.population.len() as u64) as usize];
+        let id = Identity::Imsi(sub.ids.imsi.clone());
+        let w = s.udr.modify_services(
+            &id,
+            vec![AttrMod::Set(AttrId::OdbMask, AttrValue::U64(i))],
+            SiteId(0),
+            at,
+        );
+        maj_n += 1;
+        maj_ok += w.is_ok() as u64;
+        let w = s.udr.modify_services(
+            &id,
+            vec![AttrMod::Set(AttrId::CallForwarding, AttrValue::Str(format!("34{i:09}")))],
+            SiteId(2),
+            at + SimDuration::from_millis(gap_ms / 2),
+        );
+        isl_n += 1;
+        isl_ok += w.is_ok() as u64;
+        i += 1;
+        at += SimDuration::from_millis(gap_ms);
+    }
+    s.udr.advance_to(end + SimDuration::from_secs(120));
+    let island_avail = isl_ok as f64 / isl_n.max(1) as f64;
+    let majority_avail = maj_ok as f64 / maj_n.max(1) as f64;
+    Row {
+        island_avail,
+        majority_avail,
+        // Failed master/slave and multi-master writes are lost client
+        // calls; nothing retries them, so eventual = during-window.
+        eventual: (isl_ok + maj_ok) as f64 / (isl_n + maj_n).max(1) as f64,
+        conflicts: s.udr.metrics.merge_conflicts,
+    }
+}
+
+/// Paxos over the same 3-site backbone and island.
+fn run_paxos(partition_s: u64, gap_ms: u64) -> Row {
+    let mut cluster =
+        ConsensusCluster::new(Topology::multinational(3), ClusterConfig::default(), 77);
+    // Let leadership settle before the outage.
+    let start = SimTime::ZERO + SimDuration::from_secs(100);
+    let window = SimDuration::from_secs(partition_s);
+    cluster.run_until(SimTime::ZERO + SimDuration::from_secs(5));
+    cluster.schedule_partition(start, window, [2u32]);
+
+    let mut at = start + SimDuration::from_millis(37);
+    let end = start.saturating_add(window);
+    let (mut island_ids, mut majority_ids) = (Vec::new(), Vec::new());
+    let mut i = 0u64;
+    while at < end {
+        majority_ids.push(cluster.submit_write_at(at, 0, SubscriberUid(i), None));
+        island_ids.push(cluster.submit_write_at(
+            at + SimDuration::from_millis(gap_ms / 2),
+            2,
+            SubscriberUid(1_000_000 + i),
+            None,
+        ));
+        i += 1;
+        at += SimDuration::from_millis(gap_ms);
+    }
+    // Long tail: heal, catch up, drain forwarded commands.
+    let report = cluster.run_until(end + SimDuration::from_secs(120));
+    assert!(report.violations.is_empty(), "consensus safety broke: {:?}", report.violations);
+
+    let during = |ids: &[udr_consensus::CmdId]| {
+        ids.iter()
+            .filter(|id| report.fates[id].chosen_at.is_some_and(|c| c <= end))
+            .count() as f64
+            / ids.len().max(1) as f64
+    };
+    let eventual = (island_ids.iter().chain(&majority_ids))
+        .filter(|id| report.fates[id].chosen_at.is_some())
+        .count() as f64
+        / (island_ids.len() + majority_ids.len()).max(1) as f64;
+    Row {
+        island_avail: during(&island_ids),
+        majority_avail: during(&majority_ids),
+        eventual,
+        conflicts: 0, // single decided log: divergence is impossible
+    }
+}
+
+fn main() {
+    println!(
+        "E16 — distributed agreement vs master/slave vs multi-master (§5, §6)\n\
+         3 sites, site 2 islanded; two PS instances (sites 0 and 2) write\n\
+         throughout the window; identical cadence for all three schemes\n"
+    );
+    let mut table = Table::new([
+        "mode",
+        "partition",
+        "island PS avail",
+        "majority PS avail",
+        "eventual",
+        "conflicts",
+    ])
+    .with_title("provisioning availability during the window, by replication scheme");
+    for (partition_s, gap_ms) in [(30u64, 500u64), (120, 500), (600, 500)] {
+        for mode in ["master/slave", "multi-master", "paxos"] {
+            let row = match mode {
+                "master/slave" => run_udr(ReplicationMode::AsyncMasterSlave, partition_s, gap_ms),
+                "multi-master" => run_udr(ReplicationMode::MultiMaster, partition_s, gap_ms),
+                _ => run_paxos(partition_s, gap_ms),
+            };
+            table.row([
+                mode.to_owned(),
+                format!("{partition_s} s"),
+                pct(row.island_avail, 1),
+                pct(row.majority_avail, 1),
+                pct(row.eventual, 1),
+                row.conflicts.to_string(),
+            ]);
+        }
+    }
+    println!("{table}");
+    println!(
+        "Shape check (§5/§6): master/slave is PC — each side only commits writes whose\n\
+         master it holds (~1/3 vs ~2/3), no conflicts. Multi-master is PA — both sides\n\
+         near 100%, but conflicts grow with the window and a restoration merge follows.\n\
+         Paxos sits where §6 points: the majority side stays ~100% available with zero\n\
+         conflicts; the island commits nothing during the window (its writes queue and\n\
+         commit on their own after heal — 100% eventual, no manual repair), which is the\n\
+         CAP-optimal trade for provisioning: no lost activations on the majority side and\n\
+         no §5 restoration process ever."
+    );
+}

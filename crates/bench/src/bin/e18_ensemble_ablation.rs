@@ -1,0 +1,133 @@
+//! E18 — ablation: how many geographically-disperse replicas? (§3.1, §6)
+//!
+//! §3.1 decision 2 requires "two or more geographically-disperse
+//! locations" but the paper leaves the count open (Figure 2 shows RF 3).
+//! Under master/slave the count only buys durability; under §6's
+//! agreement protocols it *is* the fault-tolerance and latency knob: a
+//! 2f+1 ensemble survives f site losses, and every extra member widens
+//! the majority a commit must reach across the backbone. This ablation
+//! sweeps the ensemble size and measures what each additional site buys
+//! and costs on identical geography.
+
+use udr_bench::harness::t;
+use udr_consensus::runtime::{ClusterConfig, ConsensusCluster};
+use udr_metrics::{pct, Histogram, Table};
+use udr_model::ids::SubscriberUid;
+use udr_model::time::SimDuration;
+use udr_sim::net::Topology;
+
+struct Row {
+    /// Steady-state commit latency at the leader PoA.
+    latency: Histogram,
+    /// Protocol messages per committed command.
+    msgs_per_commit: f64,
+    /// Availability with f = ⌊(n-1)/2⌋ sites crashed (should be 100 %).
+    avail_at_f: f64,
+    /// Availability with f+1 sites crashed (should be 0 %).
+    avail_past_f: f64,
+}
+
+fn run(n: usize) -> Row {
+    // Phase 1: steady-state latency + message cost.
+    let mut cluster = ConsensusCluster::new(Topology::multinational(n), ClusterConfig::default(), n as u64);
+    cluster.run_until(t(5));
+    let leader = cluster.current_leader().expect("stable leader");
+    let mut ids = Vec::new();
+    let mut at = t(10);
+    for i in 0..300u64 {
+        ids.push(cluster.submit_write_at(at, leader.0, SubscriberUid(i), None));
+        at += SimDuration::from_millis(50);
+    }
+    let before = cluster.report().messages.total;
+    let report = cluster.run_until(at + SimDuration::from_secs(20));
+    assert!(report.violations.is_empty());
+    let mut latency = Histogram::new();
+    for id in &ids {
+        if let Some(l) = report.fates[id].commit_latency() {
+            latency.record(l);
+        }
+    }
+    let msgs_per_commit = (report.messages.total - before) as f64 / ids.len().max(1) as f64;
+
+    // Phase 2: crash exactly f sites → still available; one more → frozen.
+    let f = (n - 1) / 2;
+    let avail = |crashes: usize, seed: u64| -> f64 {
+        let mut cluster =
+            ConsensusCluster::new(Topology::multinational(n), ClusterConfig::default(), seed);
+        cluster.run_until(t(5));
+        let leader = cluster.current_leader().expect("leader");
+        // Crash sites other than the leader first; the leader dies last if
+        // needed, which also exercises failover.
+        let mut victims: Vec<u32> =
+            (0..n as u32).filter(|i| *i != leader.0).take(crashes).collect();
+        if victims.len() < crashes {
+            victims.push(leader.0);
+        }
+        for (k, v) in victims.iter().enumerate() {
+            cluster.schedule_crash(t(6) + SimDuration::from_millis(100 * k as u64), *v);
+        }
+        let origin = (0..n as u32).find(|i| !victims.contains(i)).expect("a survivor");
+        let mut ids = Vec::new();
+        for i in 0..40u64 {
+            ids.push(cluster.submit_write_at(
+                t(10) + SimDuration::from_millis(250 * i),
+                origin,
+                SubscriberUid(i),
+                None,
+            ));
+        }
+        let report = cluster.run_until(t(60));
+        assert!(report.violations.is_empty());
+        ids.iter().filter(|id| report.fates[id].chosen_at.is_some()).count() as f64
+            / ids.len() as f64
+    };
+
+    Row {
+        latency,
+        msgs_per_commit,
+        avail_at_f: avail(f, 100 + n as u64),
+        avail_past_f: avail(f + 1, 200 + n as u64),
+    }
+}
+
+fn main() {
+    println!(
+        "E18 — replica-count ablation for agreement-based provisioning (§3.1, §6)\n\
+         full-mesh multinational backbone (15 ms WAN median), leader-local client;\n\
+         f = max crashed sites the ensemble must survive\n"
+    );
+    let mut table = Table::new([
+        "ensemble",
+        "tolerates f",
+        "commit mean/p95 ms",
+        "msgs/commit",
+        "avail @ f down",
+        "avail @ f+1 down",
+    ])
+    .with_title("what each extra geographically-disperse site buys and costs");
+    for n in [3usize, 5, 7] {
+        let row = run(n);
+        table.row([
+            format!("{n} sites"),
+            ((n - 1) / 2).to_string(),
+            format!(
+                "{:.1} / {:.1}",
+                row.latency.mean().as_millis_f64(),
+                row.latency.percentile(95.0).as_millis_f64()
+            ),
+            format!("{:.1}", row.msgs_per_commit),
+            pct(row.avail_at_f, 1),
+            pct(row.avail_past_f, 1),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "Shape check: fault tolerance steps only at odd sizes (2f+1), so each step from\n\
+         3→5→7 buys one more survivable site loss. Commit latency barely moves — the\n\
+         majority round trip is bounded by the median backbone RTT, not the ensemble\n\
+         size — but message cost grows linearly (≈3n per commit: accept, accepted,\n\
+         learn), which is backbone bandwidth the §2.2 cost argument has to absorb.\n\
+         Availability is a step function: 100% with f sites down, 0% with f+1 — the\n\
+         sharp CAP boundary that makes capacity planning for 99.999% (§2.3) tractable."
+    );
+}

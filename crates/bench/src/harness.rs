@@ -1,0 +1,133 @@
+//! Shared experiment scaffolding: provisioned systems, traffic driving,
+//! and the interleaved PS write stream most experiments use.
+
+use udr_core::{Udr, UdrConfig};
+use udr_model::attrs::{AttrId, AttrMod, AttrValue};
+use udr_model::identity::Identity;
+use udr_model::ids::SiteId;
+use udr_model::time::{SimDuration, SimTime};
+use udr_workload::{PopulationBuilder, Subscriber, TrafficEvent, TrafficModel};
+use udr_sim::SimRng;
+
+/// Virtual-time shorthand.
+pub fn t(secs: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_secs(secs)
+}
+
+/// A reusable experiment scenario: a built UDR plus its population.
+pub struct Scenario {
+    /// The system under test.
+    pub udr: Udr,
+    /// The provisioned population.
+    pub population: Vec<Subscriber>,
+}
+
+/// Build a UDR and provision `n` subscribers (home regions per the
+/// population builder), leaving virtual time just past the provisioning
+/// phase.
+pub fn provisioned_system(cfg: UdrConfig, n: u64, seed: u64) -> Scenario {
+    let mut udr = Udr::build(cfg).expect("valid experiment configuration");
+    let mut rng = SimRng::seed_from_u64(seed);
+    let population = PopulationBuilder::new(udr.config().sites).build(n, &mut rng);
+    let mut at = SimTime::ZERO + SimDuration::from_millis(1);
+    for sub in &population {
+        // Rare WAN message loss can time an attempt out; the PS retries
+        // (its normal §2.4 behaviour).
+        let mut done = false;
+        for _ in 0..4 {
+            let out = udr.provision_subscriber(&sub.ids, sub.home_region, SiteId(0), at);
+            at += SimDuration::from_millis(2);
+            match out.op.result {
+                Ok(_) => {
+                    done = true;
+                    break;
+                }
+                Err(e) if e.is_retryable() => continue,
+                Err(e) => panic!("provisioning failed hard: {e}"),
+            }
+        }
+        assert!(done, "provisioning kept timing out");
+    }
+    // Zero the counters so experiments measure only their own phase.
+    udr.metrics.ps_ops = Default::default();
+    udr.metrics.ps_latency = Default::default();
+    udr.metrics.fe_ops = Default::default();
+    udr.metrics.fe_latency = Default::default();
+    udr.metrics.backbone_ops = 0;
+    udr.metrics.local_ops = 0;
+    Scenario { udr, population }
+}
+
+/// Drive a pre-generated FE event stream, optionally interleaving a PS
+/// write every `ps_every` (None = no PS stream). Returns (fe events run,
+/// ps writes attempted).
+pub fn run_events(
+    scenario: &mut Scenario,
+    events: &[TrafficEvent],
+    ps_every: Option<SimDuration>,
+    ps_site: SiteId,
+) -> (u64, u64) {
+    let mut fe_count = 0u64;
+    let mut ps_count = 0u64;
+    let mut ps_idx = 0usize;
+    let mut next_ps = events.first().map(|e| e.at).unwrap_or(SimTime::ZERO);
+    for ev in events {
+        if let Some(gap) = ps_every {
+            while next_ps <= ev.at {
+                let sub = &scenario.population[ps_idx % scenario.population.len()];
+                scenario.udr.modify_services(
+                    &Identity::Imsi(sub.ids.imsi.clone()),
+                    vec![AttrMod::Set(AttrId::OdbMask, AttrValue::U64(ps_idx as u64))],
+                    ps_site,
+                    next_ps,
+                );
+                ps_idx += 1;
+                ps_count += 1;
+                next_ps += gap;
+            }
+        }
+        let sub = &scenario.population[ev.subscriber];
+        scenario.udr.run_procedure(ev.kind, &sub.ids, ev.fe_site, ev.at);
+        fe_count += 1;
+    }
+    (fe_count, ps_count)
+}
+
+/// Generate a standard traffic stream for a scenario.
+pub fn standard_traffic(
+    scenario: &Scenario,
+    per_sub_rate: f64,
+    roaming: f64,
+    start: SimTime,
+    end: SimTime,
+    seed: u64,
+) -> Vec<TrafficEvent> {
+    let mut model = TrafficModel::flat(per_sub_rate, scenario.udr.config().sites);
+    model.roaming_probability = roaming;
+    let mut rng = SimRng::seed_from_u64(seed);
+    model.generate(&scenario.population, start, end, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn provisioned_system_is_clean() {
+        let s = provisioned_system(UdrConfig::figure2(), 30, 1);
+        assert_eq!(s.udr.total_subscribers(), 30);
+        assert_eq!(s.udr.metrics.fe_ops.attempts(), 0);
+        assert_eq!(s.udr.metrics.ps_ops.attempts(), 0);
+    }
+
+    #[test]
+    fn run_events_drives_both_streams() {
+        let mut s = provisioned_system(UdrConfig::figure2(), 30, 2);
+        let events = standard_traffic(&s, 0.05, 0.0, t(10), t(40), 3);
+        let (fe, ps) = run_events(&mut s, &events, Some(SimDuration::from_secs(5)), SiteId(0));
+        assert_eq!(fe as usize, events.len());
+        assert!(ps > 0);
+        assert!(s.udr.metrics.fe_ops.ok > 0);
+        assert!(s.udr.metrics.ps_ops.ok > 0);
+    }
+}

@@ -1,0 +1,16 @@
+//! # udr-bench
+//!
+//! The benchmark harness regenerating every figure and numeric claim of
+//! the paper. Each experiment is a binary (`cargo run --release -p
+//! udr-bench --bin eNN_*`); the shared scaffolding lives here. Criterion
+//! microbenchmarks (storage engine, DLS lookup, LDAP codec, replication
+//! apply) live under `benches/`.
+//!
+//! See DESIGN.md §3 for the experiment ↔ paper mapping and EXPERIMENTS.md
+//! for recorded paper-vs-measured results.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+
+pub use harness::{provisioned_system, run_events, Scenario};

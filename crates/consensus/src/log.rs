@@ -1,0 +1,265 @@
+//! The chosen log: what consensus has decided, in slot order.
+//!
+//! Unlike the master/slave [`udr_replication`] log — whose content can
+//! diverge across branches during a partition and needs the §5 restoration
+//! merge — the chosen log is *the* agreement artifact: every replica's copy
+//! is a prefix-consistent view of one immutable sequence. [`ChosenLog::record`]
+//! checks that invariant on every learn and reports a violation instead of
+//! silently overwriting, so the test suite can assert agreement directly.
+
+use std::collections::{BTreeMap, HashSet};
+
+use crate::ballot::Slot;
+use crate::msg::{CmdId, Command};
+
+/// A replica's view of the decided sequence.
+#[derive(Debug, Clone, Default)]
+pub struct ChosenLog {
+    chosen: BTreeMap<Slot, Command>,
+    /// Contiguous watermark: every slot `<= applied` is chosen.
+    applied: Slot,
+    /// Ids of non-noop commands chosen (for leader-side deduplication).
+    ids: HashSet<CmdId>,
+}
+
+/// Two different commands were decided for the same slot — a Paxos safety
+/// violation. Never produced by a correct run; surfacing it (rather than
+/// panicking) lets property tests shrink failing fault schedules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgreementViolation {
+    /// The slot with conflicting decisions.
+    pub slot: Slot,
+    /// What this log already held.
+    pub existing: Command,
+    /// What the caller tried to record.
+    pub incoming: Command,
+}
+
+impl std::fmt::Display for AgreementViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "agreement violation at {}: {:?} vs {:?}",
+            self.slot, self.existing.id, self.incoming.id
+        )
+    }
+}
+
+impl ChosenLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        ChosenLog::default()
+    }
+
+    /// Record a decision. Returns `Ok(true)` if the slot was newly chosen,
+    /// `Ok(false)` if it was already chosen with the same command, and an
+    /// [`AgreementViolation`] if a *different* command was already chosen.
+    pub fn record(&mut self, slot: Slot, cmd: Command) -> Result<bool, AgreementViolation> {
+        debug_assert!(slot > Slot::ZERO, "slot 0 is the empty watermark");
+        if let Some(existing) = self.chosen.get(&slot) {
+            if *existing == cmd {
+                return Ok(false);
+            }
+            return Err(AgreementViolation { slot, existing: existing.clone(), incoming: cmd });
+        }
+        if !cmd.id.is_noop() {
+            self.ids.insert(cmd.id);
+        }
+        self.chosen.insert(slot, cmd);
+        self.advance();
+        Ok(true)
+    }
+
+    fn advance(&mut self) {
+        while self.chosen.contains_key(&self.applied.next()) {
+            self.applied = self.applied.next();
+        }
+    }
+
+    /// The contiguous chosen watermark (all slots up to and including it
+    /// are decided and applicable in order).
+    pub fn committed(&self) -> Slot {
+        self.applied
+    }
+
+    /// The highest slot with a decision, contiguous or not.
+    pub fn max_slot(&self) -> Slot {
+        self.chosen.keys().next_back().copied().unwrap_or(Slot::ZERO)
+    }
+
+    /// Number of decided slots.
+    pub fn len(&self) -> usize {
+        self.chosen.len()
+    }
+
+    /// Whether nothing is decided yet.
+    pub fn is_empty(&self) -> bool {
+        self.chosen.is_empty()
+    }
+
+    /// The decision at `slot`, if any.
+    pub fn get(&self, slot: Slot) -> Option<&Command> {
+        self.chosen.get(&slot)
+    }
+
+    /// Whether a non-noop command id was already chosen somewhere.
+    pub fn contains_id(&self, id: CmdId) -> bool {
+        self.ids.contains(&id)
+    }
+
+    /// Chosen entries strictly above `above`, in slot order (catch-up
+    /// transfers and promise piggybacks).
+    pub fn suffix(&self, above: Slot) -> Vec<(Slot, Command)> {
+        self.chosen.range(above.next()..).map(|(s, c)| (*s, c.clone())).collect()
+    }
+
+    /// Iterate every decided `(slot, command)` in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (Slot, &Command)> + '_ {
+        self.chosen.iter().map(|(s, c)| (*s, c))
+    }
+
+    /// Iterate the *applicable* prefix (slots `1..=committed()`) with
+    /// exactly-once semantics: no-ops are skipped, and a command id that
+    /// appears in more than one slot (possible when a command is
+    /// re-forwarded around a leader change after its original proposal
+    /// survived) is yielded only at its first slot. This is the iterator
+    /// the storage apply layer consumes.
+    pub fn iter_effective(&self) -> impl Iterator<Item = (Slot, &Command)> + '_ {
+        let mut seen: HashSet<CmdId> = HashSet::new();
+        self.chosen.range(..=self.applied).filter_map(move |(s, c)| {
+            if c.is_noop() {
+                return None;
+            }
+            if seen.insert(c.id) {
+                Some((*s, c))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Check prefix consistency against another log: every slot decided in
+    /// both must hold the same command.
+    pub fn agrees_with(&self, other: &ChosenLog) -> Result<(), AgreementViolation> {
+        // Iterate the smaller map for efficiency.
+        let (small, large) = if self.len() <= other.len() { (self, other) } else { (other, self) };
+        for (slot, cmd) in small.iter() {
+            if let Some(theirs) = large.get(slot) {
+                if theirs != cmd {
+                    return Err(AgreementViolation {
+                        slot,
+                        existing: cmd.clone(),
+                        incoming: theirs.clone(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udr_model::ids::SubscriberUid;
+
+    fn w(id: u64) -> Command {
+        Command::write(CmdId(id), SubscriberUid(id), None)
+    }
+
+    #[test]
+    fn watermark_advances_contiguously() {
+        let mut log = ChosenLog::new();
+        assert_eq!(log.committed(), Slot::ZERO);
+        log.record(Slot(2), w(2)).unwrap();
+        // Slot 1 missing: watermark stays at 0 though max_slot is 2.
+        assert_eq!(log.committed(), Slot::ZERO);
+        assert_eq!(log.max_slot(), Slot(2));
+        log.record(Slot(1), w(1)).unwrap();
+        assert_eq!(log.committed(), Slot(2));
+    }
+
+    #[test]
+    fn duplicate_same_command_is_idempotent() {
+        let mut log = ChosenLog::new();
+        assert!(log.record(Slot(1), w(1)).unwrap());
+        assert!(!log.record(Slot(1), w(1)).unwrap());
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn conflicting_decision_is_reported() {
+        let mut log = ChosenLog::new();
+        log.record(Slot(1), w(1)).unwrap();
+        let err = log.record(Slot(1), w(2)).unwrap_err();
+        assert_eq!(err.slot, Slot(1));
+        assert_eq!(err.existing.id, CmdId(1));
+        assert_eq!(err.incoming.id, CmdId(2));
+        // The original decision survives.
+        assert_eq!(log.get(Slot(1)).unwrap().id, CmdId(1));
+    }
+
+    #[test]
+    fn suffix_returns_entries_above_watermark() {
+        let mut log = ChosenLog::new();
+        for i in 1..=5 {
+            log.record(Slot(i), w(i)).unwrap();
+        }
+        let suffix = log.suffix(Slot(3));
+        assert_eq!(suffix.len(), 2);
+        assert_eq!(suffix[0].0, Slot(4));
+        assert_eq!(suffix[1].0, Slot(5));
+        assert!(log.suffix(Slot(5)).is_empty());
+    }
+
+    #[test]
+    fn effective_iteration_skips_noops_and_duplicates() {
+        let mut log = ChosenLog::new();
+        log.record(Slot(1), w(10)).unwrap();
+        log.record(Slot(2), Command::noop()).unwrap();
+        log.record(Slot(3), w(10)).unwrap(); // duplicate id in a later slot
+        log.record(Slot(4), w(20)).unwrap();
+        let effective: Vec<_> = log.iter_effective().map(|(s, c)| (s, c.id)).collect();
+        assert_eq!(effective, vec![(Slot(1), CmdId(10)), (Slot(4), CmdId(20))]);
+    }
+
+    #[test]
+    fn effective_iteration_stops_at_watermark() {
+        let mut log = ChosenLog::new();
+        log.record(Slot(1), w(1)).unwrap();
+        log.record(Slot(3), w(3)).unwrap(); // gap at 2
+        let effective: Vec<_> = log.iter_effective().map(|(s, _)| s).collect();
+        assert_eq!(effective, vec![Slot(1)], "slot 3 is not applicable yet");
+    }
+
+    #[test]
+    fn contains_id_tracks_non_noop_only() {
+        let mut log = ChosenLog::new();
+        log.record(Slot(1), Command::noop()).unwrap();
+        log.record(Slot(2), w(5)).unwrap();
+        assert!(!log.contains_id(CmdId::NOOP));
+        assert!(log.contains_id(CmdId(5)));
+        assert!(!log.contains_id(CmdId(6)));
+    }
+
+    #[test]
+    fn agreement_check_between_logs() {
+        let mut a = ChosenLog::new();
+        let mut b = ChosenLog::new();
+        a.record(Slot(1), w(1)).unwrap();
+        a.record(Slot(2), w(2)).unwrap();
+        b.record(Slot(1), w(1)).unwrap();
+        assert!(a.agrees_with(&b).is_ok());
+        assert!(b.agrees_with(&a).is_ok());
+        b.record(Slot(2), w(99)).unwrap();
+        assert!(a.agrees_with(&b).is_err());
+    }
+
+    #[test]
+    fn noops_count_toward_watermark() {
+        let mut log = ChosenLog::new();
+        log.record(Slot(1), Command::noop()).unwrap();
+        log.record(Slot(2), w(1)).unwrap();
+        assert_eq!(log.committed(), Slot(2));
+    }
+}

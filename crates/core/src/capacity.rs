@@ -1,0 +1,148 @@
+//! The §3.5 capacity arithmetic ("Huge"), reproduced as an explicit model
+//! so experiment E6 can print the paper's numbers next to measured ones.
+//!
+//! Paper figures on "state-of-the-art HW" (2014):
+//! * a 2-blade SE holds 2·10⁶ subscribers (≈ 200 GB partition, §2.3);
+//! * ≤ 16 SEs per blade cluster ⇒ 32·10⁶ subscribers per cluster;
+//! * ≤ 256 SEs per UDR NF ⇒ 512·10⁶ subscribers per NF;
+//! * one LDAP server does 10⁶ indexed ops/s; ≤ 32 servers per cluster;
+//! * 256 clusters ⇒ 9 216·10⁶ ops/s per NF (the paper's own arithmetic,
+//!   which implies 36·10⁶ ops/s per cluster as printed);
+//! * ≈ 18 ops/subscriber/s headroom; procedures cost 1–3 ops (IMS 5–6).
+
+/// The capacity parameters of §3.5.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapacityModel {
+    /// Subscribers one SE holds (paper: 2·10⁶ on 2 blades).
+    pub subscribers_per_se: u64,
+    /// Partition size in bytes (paper: ~200 GB, RAM-bound).
+    pub partition_bytes: u64,
+    /// Max SEs per blade cluster (paper: 16).
+    pub max_ses_per_cluster: u32,
+    /// Max SEs per UDR NF (paper: 256).
+    pub max_ses_per_nf: u32,
+    /// Indexed ops/s of one LDAP server (paper: 10⁶).
+    pub ops_per_ldap_server: u64,
+    /// Max LDAP servers per cluster (paper: 32).
+    pub max_ldap_per_cluster: u32,
+    /// Cluster ops/s *as printed in the paper* (36·10⁶; 32 × 10⁶ would be
+    /// 32·10⁶ — we reproduce the printed figure and note the discrepancy).
+    pub printed_cluster_ops: u64,
+    /// Max blade clusters per NF (paper: 256).
+    pub max_clusters_per_nf: u32,
+}
+
+impl Default for CapacityModel {
+    fn default() -> Self {
+        CapacityModel {
+            subscribers_per_se: 2_000_000,
+            partition_bytes: 200 * 1024 * 1024 * 1024,
+            max_ses_per_cluster: 16,
+            max_ses_per_nf: 256,
+            ops_per_ldap_server: 1_000_000,
+            max_ldap_per_cluster: 32,
+            printed_cluster_ops: 36_000_000,
+            max_clusters_per_nf: 256,
+        }
+    }
+}
+
+impl CapacityModel {
+    /// Subscribers per blade cluster (paper: 32·10⁶, "enough for a small
+    /// country").
+    pub fn subscribers_per_cluster(&self) -> u64 {
+        self.subscribers_per_se * u64::from(self.max_ses_per_cluster)
+    }
+
+    /// Subscribers per UDR NF (paper: 512·10⁶, "more than the population of
+    /// the USA and roughly half the population in mainland China").
+    pub fn subscribers_per_nf(&self) -> u64 {
+        self.subscribers_per_se * u64::from(self.max_ses_per_nf)
+    }
+
+    /// LDAP ops/s per cluster from first principles (32 servers × 1M).
+    pub fn derived_cluster_ops(&self) -> u64 {
+        self.ops_per_ldap_server * u64::from(self.max_ldap_per_cluster)
+    }
+
+    /// LDAP ops/s per NF using the paper's printed per-cluster figure
+    /// (paper: 9 216·10⁶ = 256 × 36·10⁶).
+    pub fn nf_ops(&self) -> u64 {
+        self.printed_cluster_ops * u64::from(self.max_clusters_per_nf)
+    }
+
+    /// Ops per subscriber per second the NF can absorb (paper: "around 18").
+    pub fn ops_per_subscriber(&self) -> f64 {
+        self.nf_ops() as f64 / self.subscribers_per_nf() as f64
+    }
+
+    /// Bytes of RAM per subscriber implied by the partition sizing.
+    pub fn bytes_per_subscriber(&self) -> u64 {
+        self.partition_bytes / self.subscribers_per_se
+    }
+
+    /// How many typical procedures per subscriber per second fit, given
+    /// `ops_per_procedure` (1–3 typical, 5–6 IMS).
+    pub fn procedures_per_subscriber(&self, ops_per_procedure: f64) -> f64 {
+        self.ops_per_subscriber() / ops_per_procedure
+    }
+
+    /// Scale a measured single-threaded engine+codec op cost (ops/s) to the
+    /// paper's server count, for the "measured" column of E6.
+    pub fn scaled_nf_ops(&self, measured_ops_per_server: f64) -> f64 {
+        measured_ops_per_server
+            * f64::from(self.max_ldap_per_cluster)
+            * f64::from(self.max_clusters_per_nf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_subscriber_arithmetic() {
+        let m = CapacityModel::default();
+        assert_eq!(m.subscribers_per_cluster(), 32_000_000);
+        assert_eq!(m.subscribers_per_nf(), 512_000_000);
+    }
+
+    #[test]
+    fn paper_ops_arithmetic() {
+        let m = CapacityModel::default();
+        // The paper prints 36M/cluster and 9,216M/NF; first principles give
+        // 32M/cluster. Both are represented.
+        assert_eq!(m.derived_cluster_ops(), 32_000_000);
+        assert_eq!(m.nf_ops(), 9_216_000_000);
+    }
+
+    #[test]
+    fn ops_per_subscriber_is_about_18() {
+        let m = CapacityModel::default();
+        let ops = m.ops_per_subscriber();
+        assert!((ops - 18.0).abs() < 0.01, "ops/sub/s = {ops}");
+    }
+
+    #[test]
+    fn bytes_per_subscriber_is_about_100kb() {
+        let m = CapacityModel::default();
+        let b = m.bytes_per_subscriber();
+        assert!((100_000..=110_000).contains(&b), "bytes/sub = {b}");
+    }
+
+    #[test]
+    fn procedure_headroom() {
+        let m = CapacityModel::default();
+        // With 3-op procedures, ≈ 6 procedures/sub/s; with 6-op IMS, ≈ 3.
+        assert!((m.procedures_per_subscriber(3.0) - 6.0).abs() < 0.01);
+        assert!((m.procedures_per_subscriber(6.0) - 3.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn scaling_measured_rates() {
+        let m = CapacityModel::default();
+        // A laptop core measuring 0.5M ops/s scales to 4,096M ops/s NF-wide.
+        let scaled = m.scaled_nf_ops(500_000.0);
+        assert!((scaled - 4.096e9).abs() < 1.0);
+    }
+}

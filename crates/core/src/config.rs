@@ -1,0 +1,157 @@
+//! Deployment configuration of a UDR NF: the topology knobs of §2.3/§3.4
+//! on top of the FRASH behaviour knobs from `udr-model`.
+
+use udr_model::config::FrashConfig;
+use udr_model::error::{UdrError, UdrResult};
+
+/// Full configuration of one simulated UDR deployment.
+#[derive(Debug, Clone)]
+pub struct UdrConfig {
+    /// Behavioural knobs (§3 design decisions).
+    pub frash: FrashConfig,
+    /// Geographic sites (regions); FE populations and home regions map 1:1
+    /// onto sites.
+    pub sites: u32,
+    /// Blade clusters per site (each with a PoA, LDAP servers and a
+    /// data-location stage instance).
+    pub clusters_per_site: u32,
+    /// Storage elements per cluster (§3.5 caps this at 16 per cluster).
+    pub ses_per_cluster: u32,
+    /// LDAP server processes per cluster (§3.5 caps this at 32).
+    pub ldap_servers_per_cluster: u32,
+    /// Subscriber-data partitions. Defaults to one per SE (each SE masters
+    /// exactly one partition, the Figure 2 layout).
+    pub partitions: u32,
+    /// De-rated LDAP server throughput for simulation (ops/s). The paper's
+    /// blades do 10⁶; simulations usually run smaller populations and keep
+    /// the ratio meaningful rather than the absolute.
+    pub ldap_ops_per_sec: f64,
+    /// Capacity of cached-locator stages (entries), when used.
+    pub dls_cache_capacity: usize,
+    /// RNG seed: same seed ⇒ identical run.
+    pub seed: u64,
+}
+
+impl Default for UdrConfig {
+    fn default() -> Self {
+        UdrConfig {
+            frash: FrashConfig::default(),
+            sites: 3,
+            clusters_per_site: 1,
+            ses_per_cluster: 1,
+            ldap_servers_per_cluster: 2,
+            partitions: 3,
+            ldap_ops_per_sec: 1_000_000.0,
+            dls_cache_capacity: 65_536,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl UdrConfig {
+    /// Total clusters.
+    pub fn total_clusters(&self) -> u32 {
+        self.sites * self.clusters_per_site
+    }
+
+    /// Total storage elements.
+    pub fn total_ses(&self) -> u32 {
+        self.total_clusters() * self.ses_per_cluster
+    }
+
+    /// Total LDAP servers.
+    pub fn total_ldap_servers(&self) -> u32 {
+        self.total_clusters() * self.ldap_servers_per_cluster
+    }
+
+    /// Validate the deployment shape.
+    pub fn validate(&self) -> UdrResult<()> {
+        self.frash.validate()?;
+        if self.sites == 0 {
+            return Err(UdrError::Config("at least one site required".into()));
+        }
+        if self.clusters_per_site == 0 || self.ses_per_cluster == 0 {
+            return Err(UdrError::Config("clusters and SEs per cluster must be ≥ 1".into()));
+        }
+        if self.ldap_servers_per_cluster == 0 {
+            return Err(UdrError::Config("each cluster needs an LDAP server".into()));
+        }
+        if self.partitions == 0 {
+            return Err(UdrError::Config("at least one partition required".into()));
+        }
+        if self.partitions > self.total_ses() {
+            return Err(UdrError::Config(format!(
+                "{} partitions cannot each have a master among {} SEs",
+                self.partitions,
+                self.total_ses()
+            )));
+        }
+        let rf = u32::from(self.frash.replication_factor);
+        if rf > self.total_ses() {
+            return Err(UdrError::Config(format!(
+                "replication factor {rf} exceeds {} SEs",
+                self.total_ses()
+            )));
+        }
+        if self.ldap_ops_per_sec <= 0.0 {
+            return Err(UdrError::Config("ldap_ops_per_sec must be positive".into()));
+        }
+        Ok(())
+    }
+
+    /// The paper's Figure 2 example: three sites, one cluster each, one SE
+    /// per cluster, three partitions, RF 3 — every SE masters one partition
+    /// and holds secondaries of the other two.
+    pub fn figure2() -> Self {
+        UdrConfig::default()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // knob-by-knob mutation reads clearer here
+mod tests {
+    use super::*;
+    use udr_model::config::ReplicationMode;
+
+    #[test]
+    fn default_is_valid_figure2() {
+        let c = UdrConfig::figure2();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.total_ses(), 3);
+        assert_eq!(c.total_clusters(), 3);
+        assert_eq!(c.total_ldap_servers(), 6);
+    }
+
+    #[test]
+    fn rejects_degenerate_shapes() {
+        let mut c = UdrConfig::default();
+        c.sites = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = UdrConfig::default();
+        c.partitions = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = UdrConfig::default();
+        c.partitions = 99;
+        assert!(c.validate().is_err());
+
+        let mut c = UdrConfig::default();
+        c.frash.replication_factor = 200;
+        assert!(c.validate().is_err());
+
+        let mut c = UdrConfig::default();
+        c.ldap_ops_per_sec = 0.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn quorum_must_match_rf() {
+        let mut c = UdrConfig::default();
+        c.frash.replication = ReplicationMode::Quorum { n: 3, w: 2, r: 2 };
+        c.frash.replication_factor = 3;
+        assert!(c.validate().is_ok());
+        c.frash.replication_factor = 2;
+        assert!(c.validate().is_err());
+    }
+}

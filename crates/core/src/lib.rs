@@ -1,0 +1,33 @@
+//! # udr-core
+//!
+//! The assembled UDR network function of the paper: blade clusters with
+//! PoAs, LDAP servers and data-location stages; geo-replicated Storage
+//! Elements; the FE and PS client paths with their §3.3 routing policies;
+//! fault handling (partitions, crashes, failover); multi-master
+//! restoration; and the §3.5 capacity model.
+//!
+//! Entry points:
+//! * [`Udr::build`] a deployment from [`UdrConfig`];
+//! * [`Udr::provision_subscriber`] / [`Udr::run_procedure`] — PS and FE
+//!   traffic;
+//! * [`Udr::schedule_faults`] + [`Udr::advance_to`] — fault injection and
+//!   virtual time;
+//! * [`Udr::metrics`] — everything measured.
+
+#![warn(missing_docs)]
+
+pub mod capacity;
+pub mod config;
+pub mod metrics_agg;
+pub mod ops;
+pub mod procedures;
+pub mod provisioning;
+pub mod udr;
+
+pub use capacity::CapacityModel;
+pub use config::UdrConfig;
+pub use metrics_agg::UdrMetrics;
+pub use ops::OpOutcome;
+pub use procedures::{procedure_ops, ProcedureOutcome};
+pub use provisioning::{BatchItem, BatchReport, ProvisionOutcome, RetryPolicy};
+pub use udr::{Cluster, Udr, UdrEvent};

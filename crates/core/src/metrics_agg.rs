@@ -1,0 +1,115 @@
+//! Aggregated run metrics for one UDR deployment.
+
+use udr_metrics::{Histogram, OpCounter, StalenessTracker};
+use udr_model::config::TxnClass;
+use udr_model::time::SimDuration;
+
+/// Everything an experiment reads back after driving a [`crate::Udr`].
+#[derive(Debug, Default)]
+pub struct UdrMetrics {
+    /// Front-end operation counters.
+    pub fe_ops: OpCounter,
+    /// Provisioning operation counters.
+    pub ps_ops: OpCounter,
+    /// Latency of successful front-end operations.
+    pub fe_latency: Histogram,
+    /// Latency of successful provisioning operations.
+    pub ps_latency: Histogram,
+    /// Staleness of reads (slave-read consistency, §3.3.2).
+    pub staleness: StalenessTracker,
+    /// Operations whose serving SE was reached across the backbone.
+    pub backbone_ops: u64,
+    /// Operations served within the client's site.
+    pub local_ops: u64,
+    /// Failovers performed (master promotions).
+    pub failovers: u64,
+    /// Committed transactions lost to failovers/restores (§4.2 durability
+    /// gap made visible).
+    pub lost_commits: u64,
+    /// Slave reseeds from master snapshots (log truncation / rejoin).
+    pub reseeds: u64,
+    /// Multi-master consistency-restoration runs (§5).
+    pub merges: u64,
+    /// Conflicting records resolved by LWW across all merges.
+    pub merge_conflicts: u64,
+    /// Records examined across all merges.
+    pub merge_records: u64,
+    /// Total simulated time spent in restoration runs.
+    pub merge_time: SimDuration,
+    /// Writes that committed locally but failed their replication
+    /// requirement (dual-in-sequence/quorum partial applications).
+    pub partial_commits: u64,
+    /// Location probes broadcast by cached stages on misses (§3.5: "those
+    /// data location queries may become a hurdle to scalability").
+    pub dls_probes: u64,
+}
+
+impl UdrMetrics {
+    /// The counter for a transaction class.
+    pub fn ops(&self, class: TxnClass) -> &OpCounter {
+        match class {
+            TxnClass::FrontEnd => &self.fe_ops,
+            TxnClass::Provisioning => &self.ps_ops,
+        }
+    }
+
+    /// Mutable counter for a transaction class.
+    pub fn ops_mut(&mut self, class: TxnClass) -> &mut OpCounter {
+        match class {
+            TxnClass::FrontEnd => &mut self.fe_ops,
+            TxnClass::Provisioning => &mut self.ps_ops,
+        }
+    }
+
+    /// The latency histogram for a transaction class.
+    pub fn latency(&self, class: TxnClass) -> &Histogram {
+        match class {
+            TxnClass::FrontEnd => &self.fe_latency,
+            TxnClass::Provisioning => &self.ps_latency,
+        }
+    }
+
+    /// Mutable latency histogram for a transaction class.
+    pub fn latency_mut(&mut self, class: TxnClass) -> &mut Histogram {
+        match class {
+            TxnClass::FrontEnd => &mut self.fe_latency,
+            TxnClass::Provisioning => &mut self.ps_latency,
+        }
+    }
+
+    /// Fraction of operations that crossed the backbone.
+    pub fn backbone_fraction(&self) -> f64 {
+        let total = self.backbone_ops + self.local_ops;
+        if total == 0 {
+            0.0
+        } else {
+            self.backbone_ops as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_routing() {
+        let mut m = UdrMetrics::default();
+        m.ops_mut(TxnClass::FrontEnd).success();
+        m.ops_mut(TxnClass::Provisioning).availability_failure();
+        assert_eq!(m.ops(TxnClass::FrontEnd).ok, 1);
+        assert_eq!(m.ops(TxnClass::Provisioning).unavailable, 1);
+        m.latency_mut(TxnClass::FrontEnd).record(SimDuration::from_millis(1));
+        assert_eq!(m.latency(TxnClass::FrontEnd).count(), 1);
+        assert_eq!(m.latency(TxnClass::Provisioning).count(), 0);
+    }
+
+    #[test]
+    fn backbone_fraction_math() {
+        let mut m = UdrMetrics::default();
+        assert_eq!(m.backbone_fraction(), 0.0);
+        m.backbone_ops = 1;
+        m.local_ops = 3;
+        assert!((m.backbone_fraction() - 0.25).abs() < 1e-9);
+    }
+}

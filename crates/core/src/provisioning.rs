@@ -1,0 +1,341 @@
+//! The Provisioning System client (§2.4, §3.3.3).
+//!
+//! The PS is co-located with one UDR PoA, reads only master copies, and
+//! issues the subscription lifecycle operations. A provisioning procedure
+//! spans the profile write (one SE transaction) *and* the identity-location
+//! bindings — exactly the cross-element grouping the architecture cannot
+//! make atomic (§3.2), so failures leave cleanup to PS logic, which this
+//! module implements and counts.
+
+use std::collections::BinaryHeap;
+
+use udr_ldap::{Dn, LdapOp};
+use udr_model::attrs::AttrMod;
+use udr_model::config::TxnClass;
+use udr_model::error::UdrError;
+use udr_model::identity::{Identity, IdentitySet};
+use udr_model::ids::{PartitionId, SiteId, SubscriberUid};
+use udr_model::profile::SubscriberProfile;
+use udr_model::time::{SimDuration, SimTime};
+use udr_metrics::TimeSeries;
+
+use crate::ops::OpOutcome;
+use crate::udr::Udr;
+
+/// Result of provisioning one subscription.
+#[derive(Debug, Clone)]
+pub struct ProvisionOutcome {
+    /// The uid allocated (meaningful only on success).
+    pub uid: SubscriberUid,
+    /// Partition the subscription was placed on.
+    pub partition: PartitionId,
+    /// The underlying operation outcome.
+    pub op: OpOutcome,
+}
+
+impl ProvisionOutcome {
+    /// Whether the subscription was created.
+    pub fn is_ok(&self) -> bool {
+        self.op.is_ok()
+    }
+}
+
+impl Udr {
+    /// Create a subscription: place it, bind every identity in the
+    /// location stages, and write the profile to the master copy.
+    ///
+    /// On write failure the PS rolls the bindings back — the §2.4 cleanup
+    /// logic pre-UDC networks needed on every node, here reduced to the
+    /// location stage because the profile write itself is atomic.
+    pub fn provision_subscriber(
+        &mut self,
+        ids: &IdentitySet,
+        home_region: u32,
+        ps_site: SiteId,
+        now: SimTime,
+    ) -> ProvisionOutcome {
+        self.advance_to(now);
+        let uid = SubscriberUid(self.alloc_uid());
+        let Some(partition) = self.placement.place(
+            self.cfg.frash.placement,
+            uid,
+            home_region,
+        ) else {
+            return ProvisionOutcome {
+                uid,
+                partition: PartitionId(0),
+                op: OpOutcome {
+                    result: Err(UdrError::Config("no partitions to place on".into())),
+                    latency: SimDuration::ZERO,
+                    served_by: None,
+                    crossed_backbone: false,
+                },
+            };
+        };
+        let location = udr_dls::Location { uid, partition };
+
+        // Bind identities first so the Add can resolve through the stage.
+        for identity in ids.iter() {
+            self.authority.insert(&identity, location);
+            for cluster in &mut self.clusters {
+                cluster.stage.provision(&identity, location);
+            }
+        }
+
+        let profile = SubscriberProfile::provision(ids, home_region, self.ki_for(uid));
+        let op = LdapOp::Add {
+            dn: Dn::for_identity(ids.imsi.clone().into()),
+            entry: profile.into_entry(),
+        };
+        let outcome = self.execute_op(&op, TxnClass::Provisioning, ps_site, now);
+
+        if outcome.is_ok() {
+            self.subs_per_partition[partition.index()] += 1;
+        } else {
+            // Roll back the bindings (PS cleanup logic).
+            for identity in ids.iter() {
+                self.authority.remove(&identity);
+                for cluster in &mut self.clusters {
+                    cluster.stage.deprovision(&identity);
+                }
+            }
+        }
+        ProvisionOutcome { uid, partition, op: outcome }
+    }
+
+    /// Derive a deterministic per-subscriber authentication key.
+    fn ki_for(&self, uid: SubscriberUid) -> [u8; 16] {
+        let mut ki = [0u8; 16];
+        let bytes = uid.raw().to_be_bytes();
+        ki[..8].copy_from_slice(&bytes);
+        ki[8..].copy_from_slice(&bytes);
+        ki
+    }
+
+    /// Modify service data of an existing subscription.
+    pub fn modify_services(
+        &mut self,
+        identity: &Identity,
+        mods: Vec<AttrMod>,
+        ps_site: SiteId,
+        now: SimTime,
+    ) -> OpOutcome {
+        let op = LdapOp::Modify { dn: Dn::for_identity(identity.clone()), mods };
+        self.execute_op(&op, TxnClass::Provisioning, ps_site, now)
+    }
+
+    /// Run a filtered search (the §1/§2.2 business-intelligence query
+    /// path): returns the subscriber's entry only when it satisfies the
+    /// RFC 4515 filter, projected to `attrs` when non-empty. Issued on the
+    /// front-end class: BI readers share the FE read path and policies.
+    pub fn search_filtered(
+        &mut self,
+        identity: &Identity,
+        filter: udr_ldap::Filter,
+        attrs: Vec<udr_model::attrs::AttrId>,
+        from_site: SiteId,
+        now: SimTime,
+    ) -> OpOutcome {
+        let op = LdapOp::SearchFilter { base: Dn::for_identity(identity.clone()), filter, attrs };
+        self.execute_op(&op, TxnClass::FrontEnd, from_site, now)
+    }
+
+    /// Delete a subscription and all its identity bindings.
+    pub fn delete_subscription(
+        &mut self,
+        ids: &IdentitySet,
+        ps_site: SiteId,
+        now: SimTime,
+    ) -> OpOutcome {
+        let identity: Identity = ids.imsi.clone().into();
+        let partition = self.authority.peek(&identity).map(|l| l.partition);
+        let op = LdapOp::Delete { dn: Dn::for_identity(identity) };
+        let outcome = self.execute_op(&op, TxnClass::Provisioning, ps_site, now);
+        if outcome.is_ok() {
+            for identity in ids.iter() {
+                self.authority.remove(&identity);
+                for cluster in &mut self.clusters {
+                    cluster.stage.deprovision(&identity);
+                }
+            }
+            if let Some(p) = partition {
+                let slot = &mut self.subs_per_partition[p.index()];
+                *slot = slot.saturating_sub(1);
+            }
+        }
+        outcome
+    }
+
+    /// Fetch the authoritative location of an identity (test/diagnostic
+    /// helper — production clients go through the stages).
+    pub fn lookup_authority(&self, identity: &Identity) -> Option<udr_dls::Location> {
+        self.authority.peek(identity)
+    }
+}
+
+// ---- batch provisioning (§3.3, §4.1) ----------------------------------------
+
+/// One batch work item.
+#[derive(Debug, Clone)]
+pub enum BatchItem {
+    /// Create a subscription.
+    Create {
+        /// The identities to provision.
+        ids: IdentitySet,
+        /// Home region for placement.
+        home_region: u32,
+    },
+    /// Modify an existing subscription.
+    Modify {
+        /// The identity addressing the subscription.
+        identity: Identity,
+        /// The modifications.
+        mods: Vec<AttrMod>,
+    },
+}
+
+/// Retry policy of the PS pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Attempts per item (1 = no retry).
+    pub max_attempts: u32,
+    /// Wait before a retry.
+    pub backoff: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 3, backoff: SimDuration::from_secs(5) }
+    }
+}
+
+/// Outcome of a batch run.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Items submitted.
+    pub submitted: usize,
+    /// Items that eventually succeeded.
+    pub succeeded: usize,
+    /// Items that failed after exhausting retries — each needs the §4.1
+    /// "send someone to check and apply manually" intervention.
+    pub failed: usize,
+    /// Total retry attempts performed.
+    pub retries: u64,
+    /// When the batch drained.
+    pub finished_at: SimTime,
+    /// Back-log depth over time (§3.3's PS back-log).
+    pub backlog: TimeSeries,
+}
+
+impl BatchReport {
+    /// Fraction of items requiring manual intervention.
+    pub fn manual_intervention_fraction(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            self.failed as f64 / self.submitted as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Pending {
+    due: SimTime,
+    seq: usize,
+    item: BatchItem,
+    attempt: u32,
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for Pending {}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap on (due, seq).
+        other.due.cmp(&self.due).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl Udr {
+    /// Run a provisioning batch through the PS pipeline at `rate` items/s
+    /// from `ps_site`, with retries per `policy`. Returns the §4.1-style
+    /// report (how much of the batch survived a mid-run glitch).
+    pub fn run_provisioning_batch(
+        &mut self,
+        items: Vec<BatchItem>,
+        rate: f64,
+        start: SimTime,
+        ps_site: SiteId,
+        policy: RetryPolicy,
+    ) -> BatchReport {
+        assert!(rate > 0.0, "batch rate must be positive");
+        let submitted = items.len();
+        let gap = SimDuration::from_secs_f64(1.0 / rate);
+        let mut heap: BinaryHeap<Pending> = BinaryHeap::new();
+        for (seq, item) in items.into_iter().enumerate() {
+            heap.push(Pending { due: start + gap * seq as u64, seq, item, attempt: 1 });
+        }
+        let mut succeeded = 0usize;
+        let mut failed = 0usize;
+        let mut retries = 0u64;
+        let mut backlog = TimeSeries::new();
+        let mut next_seq = submitted;
+        let mut finished_at = start;
+        let mut sample_gate = start;
+
+        while let Some(pending) = heap.pop() {
+            let now = pending.due;
+            if now >= sample_gate {
+                // Back-log = items already submitted (arrival time passed)
+                // but not yet resolved; future arrivals don't count.
+                let arrived = (now.duration_since(start).as_secs_f64() * rate)
+                    .floor()
+                    .min(submitted as f64) as usize;
+                let resolved = succeeded + failed;
+                backlog.push(now, arrived.saturating_sub(resolved) as f64);
+                sample_gate = now + SimDuration::from_secs(1);
+            }
+            let outcome_ok = match &pending.item {
+                BatchItem::Create { ids, home_region } => {
+                    let out = self.provision_subscriber(ids, *home_region, ps_site, now);
+                    match out.op.result {
+                        Ok(_) => Ok(()),
+                        Err(e) => Err(e),
+                    }
+                }
+                BatchItem::Modify { identity, mods } => {
+                    let out = self.modify_services(identity, mods.clone(), ps_site, now);
+                    match out.result {
+                        Ok(_) => Ok(()),
+                        Err(e) => Err(e),
+                    }
+                }
+            };
+            finished_at = self.now().max(now);
+            match outcome_ok {
+                Ok(()) => succeeded += 1,
+                Err(e) if e.is_retryable() && pending.attempt < policy.max_attempts => {
+                    retries += 1;
+                    heap.push(Pending {
+                        due: now + policy.backoff,
+                        seq: next_seq,
+                        item: pending.item,
+                        attempt: pending.attempt + 1,
+                    });
+                    next_seq += 1;
+                }
+                Err(_) => failed += 1,
+            }
+        }
+        backlog.push(finished_at, 0.0);
+        BatchReport { submitted, succeeded, failed, retries, finished_at, backlog }
+    }
+}

@@ -1,0 +1,839 @@
+//! The UDR network function: the assembled system of Figure 2.
+//!
+//! A [`Udr`] owns the simulated network, every blade cluster (PoA + LDAP
+//! servers + data-location stage), every Storage Element, the replication
+//! groups and shipping channels, and an event queue carrying replication
+//! deliveries, durability snapshots, fault injections and failovers.
+//!
+//! Drivers (examples, tests, experiments) interleave client calls with
+//! virtual time: every client entry point first drains internal events up
+//! to the call instant, so replication lag, partitions and crashes unfold
+//! deterministically relative to traffic.
+
+use std::collections::{BTreeMap, HashMap};
+
+use udr_dls::{DataLocationStage, IdentityLocationMap, PlacementContext};
+use udr_ldap::{LdapServer, PointOfAccess};
+use udr_model::config::{DurabilityMode, LocatorKind, Pacelc, ReplicationMode, TxnClass};
+use udr_model::error::UdrResult;
+use udr_model::ids::{ClusterId, LdapServerId, PartitionId, PoaId, ReplicaRole, SeId, SiteId};
+use udr_model::time::{SimDuration, SimTime};
+use udr_replication::multimaster::{merge_branches, restoration_duration};
+use udr_replication::{AsyncShipper, ReplicationGroup};
+use udr_sim::faults::{Fault, FaultSchedule};
+use udr_sim::net::{Cut, CutHandle, Network, Topology};
+use udr_sim::{EventQueue, SimRng};
+use udr_storage::{CommitRecord, Lsn, StorageElement};
+
+use crate::config::UdrConfig;
+use crate::metrics_agg::UdrMetrics;
+
+/// How often stalled replication channels retry catch-up.
+pub(crate) const CATCHUP_INTERVAL: SimDuration = SimDuration::from_millis(200);
+/// Per-record cost of the consistency-restoration scan (§5 merge).
+const MERGE_COST_PER_RECORD: SimDuration = SimDuration::from_micros(5);
+
+/// One blade cluster: PoA, LDAP servers and a data-location stage (§3.4.1).
+pub struct Cluster {
+    /// Cluster identity.
+    pub id: ClusterId,
+    /// Hosting site.
+    pub site: SiteId,
+    /// The L4 balancer.
+    pub poa: PointOfAccess,
+    /// LDAP servers (indices into [`Udr::servers`]).
+    pub servers: Vec<LdapServerId>,
+    /// The local data-location stage instance.
+    pub stage: DataLocationStage,
+}
+
+/// Internal events driving the deployment between client calls.
+#[derive(Debug, Clone)]
+pub enum UdrEvent {
+    /// A replicated commit record arrives at a slave.
+    ReplDeliver {
+        /// Partition replicated.
+        partition: PartitionId,
+        /// Destination slave.
+        slave: SeId,
+        /// The record.
+        record: CommitRecord,
+    },
+    /// Periodic durability snapshot on one SE.
+    SnapshotTick {
+        /// The SE to snapshot.
+        se: SeId,
+    },
+    /// Periodic catch-up pass over all stalled replication channels.
+    CatchupTick,
+    /// A network partition starts.
+    PartitionStart {
+        /// The cuts to apply.
+        cuts: Vec<Cut>,
+        /// How long until heal.
+        duration: SimDuration,
+    },
+    /// A network partition heals.
+    PartitionHeal {
+        /// Handles returned when the cuts were applied.
+        handles: Vec<CutHandle>,
+    },
+    /// A storage element crashes.
+    SeCrash {
+        /// The failing SE.
+        se: SeId,
+    },
+    /// A storage element restores from local disk.
+    SeRestore {
+        /// The recovering SE.
+        se: SeId,
+    },
+    /// Failover detection fires for a partition whose master crashed.
+    FailoverCheck {
+        /// The partition to check.
+        partition: PartitionId,
+    },
+}
+
+/// The assembled UDR network function.
+pub struct Udr {
+    pub(crate) cfg: UdrConfig,
+    /// The simulated IP network (public so experiments can inspect stats).
+    pub net: Network,
+    pub(crate) rng: SimRng,
+    pub(crate) events: EventQueue<UdrEvent>,
+    pub(crate) ses: Vec<StorageElement>,
+    pub(crate) clusters: Vec<Cluster>,
+    pub(crate) servers: Vec<LdapServer>,
+    pub(crate) groups: Vec<ReplicationGroup>,
+    pub(crate) shippers: Vec<AsyncShipper>,
+    pub(crate) placement: PlacementContext,
+    /// Ground-truth identity→location bindings (what the PS provisioned).
+    pub(crate) authority: IdentityLocationMap,
+    /// Clusters hosted at each site.
+    pub(crate) clusters_at_site: Vec<Vec<usize>>,
+    /// Round-robin cursor per site for PoA selection.
+    pub(crate) next_cluster_rr: Vec<usize>,
+    /// Live subscriber count per partition (availability weighting).
+    pub(crate) subs_per_partition: Vec<u64>,
+    /// Multi-master divergence start per partition (§5).
+    pub(crate) diverged: BTreeMap<PartitionId, SimTime>,
+    /// Currently active partition windows.
+    pub(crate) active_cuts: Vec<(CutHandle, SimTime)>,
+    /// Master LSN captured at crash time, for lost-commit accounting.
+    pub(crate) master_lsn_at_crash: HashMap<PartitionId, Lsn>,
+    pub(crate) next_uid: u64,
+    /// Run metrics.
+    pub metrics: UdrMetrics,
+}
+
+impl Udr {
+    /// Build a deployment from configuration.
+    pub fn build(cfg: UdrConfig) -> UdrResult<Self> {
+        cfg.validate()?;
+        let mut rng = SimRng::seed_from_u64(cfg.seed);
+        let net = Network::new(Topology::multinational(cfg.sites as usize));
+
+        // ---- storage elements, clusters, servers -------------------------
+        let mut ses = Vec::new();
+        let mut clusters = Vec::new();
+        let mut servers = Vec::new();
+        let mut clusters_at_site = vec![Vec::new(); cfg.sites as usize];
+        let total_ses = cfg.total_ses() as usize;
+        for site in 0..cfg.sites {
+            for c in 0..cfg.clusters_per_site {
+                let cluster_idx = clusters.len();
+                let cluster_id = ClusterId(cluster_idx as u32);
+                let mut poa = PointOfAccess::new(PoaId(cluster_idx as u32), SiteId(site));
+                let mut server_ids = Vec::new();
+                for _ in 0..cfg.ldap_servers_per_cluster {
+                    let id = LdapServerId(servers.len() as u32);
+                    servers.push(LdapServer::with_rate(
+                        id,
+                        SiteId(site),
+                        cluster_id,
+                        cfg.ldap_ops_per_sec,
+                    ));
+                    poa.register(id);
+                    server_ids.push(id);
+                }
+                for _ in 0..cfg.ses_per_cluster {
+                    let se_id = SeId(ses.len() as u32);
+                    ses.push(StorageElement::new(se_id, SiteId(site), cfg.frash.durability));
+                }
+                let stage = match cfg.frash.locator {
+                    LocatorKind::ProvisionedMaps => DataLocationStage::provisioned(),
+                    LocatorKind::CachedMaps => {
+                        DataLocationStage::cached(cfg.dls_cache_capacity, total_ses)
+                    }
+                    LocatorKind::ConsistentHashing => DataLocationStage::hashed(
+                        udr_dls::ConsistentHashRing::new(
+                            (0..cfg.partitions).map(PartitionId),
+                            64,
+                        ),
+                    ),
+                };
+                clusters.push(Cluster {
+                    id: cluster_id,
+                    site: SiteId(site),
+                    poa,
+                    servers: server_ids,
+                    stage,
+                });
+                clusters_at_site[site as usize].push(cluster_idx);
+                let _ = c;
+            }
+        }
+
+        // ---- partitions: masters round-robin, secondaries geo-spread ----
+        let rf = cfg.frash.replication_factor as usize;
+        let mut groups = Vec::with_capacity(cfg.partitions as usize);
+        let mut shippers = Vec::with_capacity(cfg.partitions as usize);
+        for p in 0..cfg.partitions {
+            let master_idx = (p as usize) % ses.len();
+            let mut members = vec![SeId(master_idx as u32)];
+            let mut used_sites = vec![ses[master_idx].site()];
+            // Prefer SEs at sites not yet covered (§3.1 decision 2:
+            // geographically-disperse copies).
+            let mut offset = 1usize;
+            while members.len() < rf && offset < ses.len() {
+                let idx = (master_idx + offset) % ses.len();
+                let site = ses[idx].site();
+                let id = SeId(idx as u32);
+                if !members.contains(&id) && !used_sites.contains(&site) {
+                    members.push(id);
+                    used_sites.push(site);
+                }
+                offset += 1;
+            }
+            // Fallback: fill with any distinct SEs.
+            let mut offset = 1usize;
+            while members.len() < rf && offset < ses.len() {
+                let id = SeId(((master_idx + offset) % ses.len()) as u32);
+                if !members.contains(&id) {
+                    members.push(id);
+                }
+                offset += 1;
+            }
+            let pid = PartitionId(p);
+            for (i, se) in members.iter().enumerate() {
+                let role = if i == 0 { ReplicaRole::Master } else { ReplicaRole::Slave };
+                ses[se.index()].add_replica(pid, role);
+            }
+            let mut shipper = AsyncShipper::new();
+            for se in members.iter().skip(1) {
+                shipper.register_slave(*se, Lsn::ZERO);
+            }
+            groups.push(ReplicationGroup::new(pid, members)?);
+            shippers.push(shipper);
+        }
+
+        // ---- placement context -------------------------------------------
+        let mut by_region: Vec<Vec<PartitionId>> = vec![Vec::new(); cfg.sites as usize];
+        for g in &groups {
+            let site = ses[g.master().index()].site();
+            by_region[site.index()].push(g.partition());
+        }
+        let placement = PlacementContext::new(by_region);
+
+        // ---- initial events -----------------------------------------------
+        let mut events = EventQueue::new();
+        events.schedule_at(SimTime::ZERO + CATCHUP_INTERVAL, UdrEvent::CatchupTick);
+        if let DurabilityMode::PeriodicSnapshot { interval } = cfg.frash.durability {
+            for se in &ses {
+                events.schedule_at(SimTime::ZERO + interval, UdrEvent::SnapshotTick { se: se.id() });
+            }
+        }
+
+        let sites = cfg.sites as usize;
+        Ok(Udr {
+            subs_per_partition: vec![0; cfg.partitions as usize],
+            cfg,
+            net,
+            rng: rng.fork(1),
+            events,
+            ses,
+            clusters,
+            servers,
+            groups,
+            shippers,
+            placement,
+            authority: IdentityLocationMap::new(),
+            clusters_at_site,
+            next_cluster_rr: vec![0; sites],
+            diverged: BTreeMap::new(),
+            active_cuts: Vec::new(),
+            master_lsn_at_crash: HashMap::new(),
+            next_uid: 1,
+            metrics: UdrMetrics::default(),
+        })
+    }
+
+    /// The deployment configuration.
+    pub fn config(&self) -> &UdrConfig {
+        &self.cfg
+    }
+
+    /// The PACELC class this deployment yields for a transaction class
+    /// (§3.6's claim, derived from the configuration).
+    pub fn pacelc_for(&self, class: TxnClass) -> Pacelc {
+        self.cfg.frash.pacelc_for(class)
+    }
+
+    /// Current virtual time of the internal event queue.
+    pub fn now(&self) -> SimTime {
+        self.events.now()
+    }
+
+    /// The replication group of a partition.
+    pub fn group(&self, partition: PartitionId) -> &ReplicationGroup {
+        &self.groups[partition.index()]
+    }
+
+    /// The storage element with the given id.
+    pub fn se(&self, se: SeId) -> &StorageElement {
+        &self.ses[se.index()]
+    }
+
+    /// Number of storage elements.
+    pub fn se_count(&self) -> usize {
+        self.ses.len()
+    }
+
+    /// Live subscribers per partition.
+    pub fn subscribers_in(&self, partition: PartitionId) -> u64 {
+        self.subs_per_partition[partition.index()]
+    }
+
+    /// Total provisioned subscribers.
+    pub fn total_subscribers(&self) -> u64 {
+        self.subs_per_partition.iter().sum()
+    }
+
+    // ---- event engine ------------------------------------------------------
+
+    /// Inject a fault schedule (partitions, glitches, SE outages).
+    pub fn schedule_faults(&mut self, schedule: FaultSchedule) {
+        let sites = self.cfg.sites as usize;
+        for (at, fault) in schedule.into_sorted() {
+            match fault {
+                Fault::Partition { island, duration } => self.events.schedule_at(
+                    at,
+                    UdrEvent::PartitionStart { cuts: vec![Cut { island }], duration },
+                ),
+                Fault::BackboneGlitch { duration } => self.events.schedule_at(
+                    at,
+                    UdrEvent::PartitionStart { cuts: Fault::glitch_cuts(sites), duration },
+                ),
+                Fault::SeCrash { se } => {
+                    self.events.schedule_at(at, UdrEvent::SeCrash { se })
+                }
+                Fault::SeRestore { se } => {
+                    self.events.schedule_at(at, UdrEvent::SeRestore { se })
+                }
+            }
+        }
+    }
+
+    /// Drain internal events up to `now`. Every client entry point calls
+    /// this first; experiments may also call it to let the system settle.
+    pub fn advance_to(&mut self, now: SimTime) {
+        while let Some((t, event)) = self.events.pop_until(now) {
+            self.handle_event(t, event);
+        }
+    }
+
+    fn handle_event(&mut self, t: SimTime, event: UdrEvent) {
+        match event {
+            UdrEvent::ReplDeliver { partition, slave, record } => {
+                self.deliver_replication(t, partition, slave, record);
+            }
+            UdrEvent::SnapshotTick { se } => {
+                let interval = match self.cfg.frash.durability {
+                    DurabilityMode::PeriodicSnapshot { interval } => interval,
+                    _ => return,
+                };
+                self.ses[se.index()].maybe_snapshot(t);
+                self.events.schedule_at(t + interval, UdrEvent::SnapshotTick { se });
+            }
+            UdrEvent::CatchupTick => {
+                self.run_catchup(t);
+                self.events.schedule_at(t + CATCHUP_INTERVAL, UdrEvent::CatchupTick);
+            }
+            UdrEvent::PartitionStart { cuts, duration } => {
+                let mut handles = Vec::with_capacity(cuts.len());
+                for cut in cuts {
+                    let h = self.net.start_partition(cut);
+                    handles.push(h);
+                    self.active_cuts.push((h, t));
+                }
+                self.events.schedule_at(t + duration, UdrEvent::PartitionHeal { handles });
+            }
+            UdrEvent::PartitionHeal { handles } => {
+                for h in handles {
+                    self.net.heal_partition(h);
+                    self.active_cuts.retain(|(handle, _)| *handle != h);
+                }
+                if !self.net.partitioned() {
+                    self.run_restorations(t);
+                }
+            }
+            UdrEvent::SeCrash { se } => self.crash_se(t, se),
+            UdrEvent::SeRestore { se } => self.restore_se(t, se),
+            UdrEvent::FailoverCheck { partition } => self.failover_check(t, partition),
+        }
+    }
+
+    fn deliver_replication(
+        &mut self,
+        t: SimTime,
+        partition: PartitionId,
+        slave: SeId,
+        record: CommitRecord,
+    ) {
+        // The message may arrive after a partition started or the slave
+        // crashed; then it is simply lost (catch-up re-ships later).
+        let master = self.groups[partition.index()].master();
+        let master_site = self.ses[master.index()].site();
+        let slave_site = self.ses[slave.index()].site();
+        if !self.ses[slave.index()].is_up() || !self.net.reachable(master_site, slave_site) {
+            return;
+        }
+        let lsn = record.lsn;
+        if self.ses[slave.index()].apply_replicated(partition, &record).is_ok() {
+            self.shippers[partition.index()].on_applied(slave, lsn);
+            let _ = t;
+        }
+    }
+
+    fn run_catchup(&mut self, t: SimTime) {
+        for p in 0..self.groups.len() {
+            let pid = PartitionId(p as u32);
+            let master = self.groups[p].master();
+            if !self.ses[master.index()].is_up() {
+                continue;
+            }
+            let master_site = self.ses[master.index()].site();
+            let slaves: Vec<SeId> = self.groups[p].slaves().collect();
+            for slave in slaves {
+                if !self.ses[slave.index()].is_up() {
+                    continue;
+                }
+                let slave_site = self.ses[slave.index()].site();
+                if !self.net.reachable(master_site, slave_site) {
+                    continue;
+                }
+                // Reseed when the master's log can no longer serve the gap.
+                let needs_reseed = {
+                    let master_engine = self.ses[master.index()]
+                        .engine(pid)
+                        .expect("master hosts partition");
+                    self.shippers[p].needs_reseed(slave, master_engine)
+                };
+                if needs_reseed {
+                    self.reseed_slave(pid, slave);
+                    continue;
+                }
+                let lag = {
+                    let master_engine =
+                        self.ses[master.index()].engine(pid).expect("master hosts partition");
+                    self.shippers[p].lag(slave, master_engine).unwrap_or(0)
+                };
+                if lag == 0 {
+                    continue;
+                }
+                let delay = self
+                    .net
+                    .send(master_site, slave_site, &mut self.rng)
+                    .delay();
+                let deliveries = {
+                    let master_engine =
+                        self.ses[master.index()].engine(pid).expect("master hosts partition");
+                    self.shippers[p].catch_up(slave, master_engine, t, delay)
+                };
+                for d in deliveries {
+                    self.events.schedule_at(
+                        d.arrives,
+                        UdrEvent::ReplDeliver { partition: pid, slave: d.slave, record: d.record },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Seed `slave` with a fresh snapshot of the master's current state.
+    pub(crate) fn reseed_slave(&mut self, partition: PartitionId, slave: SeId) {
+        let master = self.groups[partition.index()].master();
+        let snapshot = self.ses[master.index()]
+            .engine(partition)
+            .expect("master hosts partition")
+            .snapshot();
+        let lsn = snapshot.last_lsn;
+        self.ses[slave.index()].seed_replica(partition, ReplicaRole::Slave, snapshot);
+        self.shippers[partition.index()].reseeded(slave, lsn);
+        self.metrics.reseeds += 1;
+    }
+
+    fn crash_se(&mut self, t: SimTime, se: SeId) {
+        if !self.ses[se.index()].is_up() {
+            return;
+        }
+        // Capture mastered partitions and their LSNs before RAM vanishes.
+        let mastered: Vec<(PartitionId, Lsn)> = self
+            .groups
+            .iter()
+            .filter(|g| g.master() == se)
+            .map(|g| {
+                let lsn = self.ses[se.index()].last_lsn(g.partition()).unwrap_or(Lsn::ZERO);
+                (g.partition(), lsn)
+            })
+            .collect();
+        self.ses[se.index()].crash();
+        for (pid, lsn) in mastered {
+            self.master_lsn_at_crash.insert(pid, lsn);
+            if self.cfg.frash.auto_failover {
+                self.events.schedule_at(
+                    t + self.cfg.frash.failover_detection,
+                    UdrEvent::FailoverCheck { partition: pid },
+                );
+            }
+        }
+    }
+
+    fn failover_check(&mut self, _t: SimTime, partition: PartitionId) {
+        let p = partition.index();
+        let master = self.groups[p].master();
+        if self.ses[master.index()].is_up() {
+            return; // master came back before detection completed
+        }
+        let alive: Vec<(SeId, Lsn)> = self.groups[p]
+            .slaves()
+            .filter(|s| self.ses[s.index()].is_up())
+            .map(|s| (s, self.ses[s.index()].last_lsn(partition).unwrap_or(Lsn::ZERO)))
+            .collect();
+        let Some(candidate) = self.groups[p].promotion_candidate(&alive) else {
+            return; // total outage: nothing to promote
+        };
+        let candidate_lsn =
+            alive.iter().find(|(s, _)| *s == candidate).map(|(_, l)| *l).unwrap_or(Lsn::ZERO);
+        if let Some(crash_lsn) = self.master_lsn_at_crash.get(&partition) {
+            // §4.2: transactions committed at the master but not yet
+            // replicated are lost by the promotion.
+            self.metrics.lost_commits += crash_lsn.raw().saturating_sub(candidate_lsn.raw());
+        }
+        self.groups[p].promote(candidate).expect("candidate is a member");
+        let _ = self.ses[candidate.index()].set_role(partition, ReplicaRole::Master);
+        // Rebuild the shipping ledger around the new master.
+        let mut shipper = AsyncShipper::new();
+        for slave in self.groups[p].slaves() {
+            let lsn = if self.ses[slave.index()].is_up() {
+                self.ses[slave.index()]
+                    .last_lsn(partition)
+                    .unwrap_or(Lsn::ZERO)
+                    .min(candidate_lsn)
+            } else {
+                Lsn::ZERO
+            };
+            shipper.register_slave(slave, lsn);
+        }
+        self.shippers[p] = shipper;
+        self.metrics.failovers += 1;
+    }
+
+    fn restore_se(&mut self, _t: SimTime, se: SeId) {
+        let recovered = self.ses[se.index()].restore(self.events.now());
+        let recovered_map: HashMap<PartitionId, Lsn> = recovered.into_iter().collect();
+        // Rejoin every group this SE belongs to.
+        let member_of: Vec<PartitionId> = self
+            .groups
+            .iter()
+            .filter(|g| g.contains(se))
+            .map(|g| g.partition())
+            .collect();
+        for pid in member_of {
+            let p = pid.index();
+            let is_master = self.groups[p].master() == se;
+            let recovered_lsn = recovered_map.get(&pid).copied();
+            if is_master {
+                self.restore_master(pid, se, recovered_lsn);
+            } else {
+                self.restore_slave(pid, se, recovered_lsn);
+            }
+        }
+    }
+
+    /// A crashed master restores while still holding mastership (failover
+    /// disabled, not yet fired, or no candidate existed).
+    fn restore_master(&mut self, pid: PartitionId, se: SeId, recovered: Option<Lsn>) {
+        let p = pid.index();
+        let restored_lsn = recovered.unwrap_or(Lsn::ZERO);
+        if recovered.is_none() {
+            self.ses[se.index()].add_replica(pid, ReplicaRole::Slave);
+        }
+        // If a slave is ahead of the restored disk state, prefer rebuilding
+        // the master from the most caught-up slave: less data loss.
+        let best_slave: Option<(SeId, Lsn)> = self.groups[p]
+            .slaves()
+            .filter(|s| self.ses[s.index()].is_up())
+            .map(|s| (s, self.ses[s.index()].last_lsn(pid).unwrap_or(Lsn::ZERO)))
+            .max_by_key(|(_, l)| *l);
+        let crash_lsn = self.master_lsn_at_crash.remove(&pid).unwrap_or(restored_lsn);
+        let base_lsn = match best_slave {
+            Some((donor, donor_lsn)) if donor_lsn > restored_lsn => {
+                let snapshot = self.ses[donor.index()]
+                    .engine(pid)
+                    .expect("donor hosts partition")
+                    .snapshot();
+                self.ses[se.index()].seed_replica(pid, ReplicaRole::Master, snapshot);
+                self.metrics.reseeds += 1;
+                donor_lsn
+            }
+            _ => {
+                let _ = self.ses[se.index()].set_role(pid, ReplicaRole::Master);
+                restored_lsn
+            }
+        };
+        self.metrics.lost_commits += crash_lsn.raw().saturating_sub(base_lsn.raw());
+        // Slaves ahead of the rebuilt master hold orphaned commits: reseed
+        // them down to the master's lineage.
+        let slaves: Vec<SeId> = self.groups[p].slaves().collect();
+        let mut shipper = AsyncShipper::new();
+        for slave in slaves {
+            if self.ses[slave.index()].is_up() {
+                let slave_lsn = self.ses[slave.index()].last_lsn(pid).unwrap_or(Lsn::ZERO);
+                if slave_lsn > base_lsn {
+                    self.reseed_from(pid, se, slave);
+                }
+                let lsn = self.ses[slave.index()].last_lsn(pid).unwrap_or(Lsn::ZERO);
+                shipper.register_slave(slave, lsn.min(base_lsn));
+            } else {
+                shipper.register_slave(slave, Lsn::ZERO);
+            }
+        }
+        self.shippers[p] = shipper;
+    }
+
+    /// A crashed SE restores as a slave (its mastership moved or it always
+    /// was a slave).
+    fn restore_slave(&mut self, pid: PartitionId, se: SeId, recovered: Option<Lsn>) {
+        let p = pid.index();
+        let master = self.groups[p].master();
+        let master_lsn = if self.ses[master.index()].is_up() {
+            self.ses[master.index()].last_lsn(pid).unwrap_or(Lsn::ZERO)
+        } else {
+            Lsn::ZERO
+        };
+        match recovered {
+            Some(lsn) if lsn <= master_lsn => {
+                self.shippers[p].register_slave(se, lsn);
+            }
+            _ => {
+                // Nothing on disk, or disk state ahead of the current
+                // master's lineage (orphaned commits): reseed.
+                if self.ses[master.index()].is_up() {
+                    if recovered.is_none() {
+                        self.ses[se.index()].add_replica(pid, ReplicaRole::Slave);
+                    }
+                    self.reseed_from(pid, master, se);
+                } else {
+                    self.ses[se.index()].add_replica(pid, ReplicaRole::Slave);
+                    self.shippers[p].register_slave(se, Lsn::ZERO);
+                }
+            }
+        }
+    }
+
+    /// Seed `target`'s replica of `pid` from `source`'s current state.
+    fn reseed_from(&mut self, pid: PartitionId, source: SeId, target: SeId) {
+        let snapshot =
+            self.ses[source.index()].engine(pid).expect("source hosts partition").snapshot();
+        let lsn = snapshot.last_lsn;
+        self.ses[target.index()].seed_replica(pid, ReplicaRole::Slave, snapshot);
+        self.shippers[pid.index()].reseeded(target, lsn);
+        self.metrics.reseeds += 1;
+    }
+
+    // ---- multi-master restoration (§5) --------------------------------------
+
+    /// Earliest active partition start (divergence stamp for new branches).
+    pub(crate) fn earliest_active_cut(&self) -> Option<SimTime> {
+        self.active_cuts.iter().map(|(_, t)| *t).min()
+    }
+
+    fn run_restorations(&mut self, t: SimTime) {
+        if self.cfg.frash.replication != ReplicationMode::MultiMaster || self.diverged.is_empty() {
+            return;
+        }
+        let diverged: Vec<(PartitionId, SimTime)> =
+            self.diverged.iter().map(|(p, t)| (*p, *t)).collect();
+        self.diverged.clear();
+        for (pid, since) in diverged {
+            let p = pid.index();
+            let members: Vec<SeId> = self.groups[p]
+                .members()
+                .iter()
+                .copied()
+                .filter(|se| self.ses[se.index()].is_up())
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let outcome = {
+                let engines: Vec<&udr_storage::Engine> = members
+                    .iter()
+                    .map(|se| self.ses[se.index()].engine(pid).expect("member hosts partition"))
+                    .collect();
+                merge_branches(since, &engines)
+            };
+            let master = self.groups[p].master();
+            let mut shipper = AsyncShipper::new();
+            for se in &members {
+                let role =
+                    if *se == master { ReplicaRole::Master } else { ReplicaRole::Slave };
+                self.ses[se.index()].seed_replica(pid, role, outcome.snapshot.clone());
+                if *se != master {
+                    shipper.register_slave(*se, outcome.snapshot.last_lsn);
+                }
+            }
+            // Members still down re-register at zero; restore logic reseeds.
+            for se in self.groups[p].slaves() {
+                if !members.contains(&se) {
+                    shipper.register_slave(se, Lsn::ZERO);
+                }
+            }
+            self.shippers[p] = shipper;
+            self.metrics.merges += 1;
+            self.metrics.merge_conflicts += outcome.stats.conflicts as u64;
+            self.metrics.merge_records += outcome.stats.records_examined as u64;
+            self.metrics.merge_time +=
+                restoration_duration(outcome.stats.records_examined, MERGE_COST_PER_RECORD);
+            let _ = t;
+        }
+    }
+
+    // ---- structural availability probes -------------------------------------
+
+    /// Whether `partition` currently has a readable copy reachable from
+    /// `from_site` (any up replica on a reachable site).
+    pub fn partition_readable_from(&self, partition: PartitionId, from_site: SiteId) -> bool {
+        self.groups[partition.index()].members().iter().any(|se| {
+            self.ses[se.index()].is_up()
+                && self.net.reachable(from_site, self.ses[se.index()].site())
+        })
+    }
+
+    /// Whether `partition` currently accepts writes issued from
+    /// `from_site` (the master — or, under multi-master, any up replica —
+    /// reachable).
+    pub fn partition_writable_from(&self, partition: PartitionId, from_site: SiteId) -> bool {
+        if self.cfg.frash.replication.writes_survive_partition() {
+            return self.partition_readable_from(partition, from_site);
+        }
+        let master = self.groups[partition.index()].master();
+        self.ses[master.index()].is_up()
+            && self.net.reachable(from_site, self.ses[master.index()].site())
+    }
+
+    /// Fraction of subscribers whose data is readable from `from_site`,
+    /// weighted by per-partition population.
+    pub fn readable_subscriber_fraction(&self, from_site: SiteId) -> f64 {
+        let total: u64 = self.subs_per_partition.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let ok: u64 = self
+            .groups
+            .iter()
+            .filter(|g| self.partition_readable_from(g.partition(), from_site))
+            .map(|g| self.subs_per_partition[g.partition().index()])
+            .sum();
+        ok as f64 / total as f64
+    }
+
+    /// Allocate the next subscriber uid.
+    pub(crate) fn alloc_uid(&mut self) -> u64 {
+        let uid = self.next_uid;
+        self.next_uid += 1;
+        uid
+    }
+
+    /// Borrow cluster by index.
+    pub fn cluster(&self, idx: usize) -> &Cluster {
+        &self.clusters[idx]
+    }
+
+    /// Number of clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Pick the serving cluster for a client at `site` (round-robin over
+    /// the site's clusters).
+    pub(crate) fn pick_cluster(&mut self, site: SiteId) -> usize {
+        let list = &self.clusters_at_site[site.index()];
+        debug_assert!(!list.is_empty(), "site without clusters");
+        let rr = &mut self.next_cluster_rr[site.index()];
+        let idx = list[*rr % list.len()];
+        *rr = (*rr + 1) % list.len().max(1);
+        idx
+    }
+
+    // ---- scale-out (§3.4.2) --------------------------------------------------
+
+    /// Deploy an additional blade cluster at `site` (scale-out). The new
+    /// cluster's data-location stage must first sync its identity-location
+    /// maps from a peer; until the sync window elapses the new PoA answers
+    /// [`UdrError::LocationStageSyncing`](udr_model::error::UdrError) —
+    /// the §3.4.2 availability impact. With cached or hashed locators there
+    /// is no sync window.
+    ///
+    /// Returns the new cluster's index.
+    pub fn add_cluster(&mut self, site: SiteId, now: SimTime) -> usize {
+        self.advance_to(now);
+        let cluster_idx = self.clusters.len();
+        let cluster_id = ClusterId(cluster_idx as u32);
+        let mut poa = PointOfAccess::new(PoaId(cluster_idx as u32), site);
+        let mut server_ids = Vec::new();
+        for _ in 0..self.cfg.ldap_servers_per_cluster {
+            let id = LdapServerId(self.servers.len() as u32);
+            self.servers.push(LdapServer::with_rate(
+                id,
+                site,
+                cluster_id,
+                self.cfg.ldap_ops_per_sec,
+            ));
+            poa.register(id);
+            server_ids.push(id);
+        }
+        let stage = match self.cfg.frash.locator {
+            LocatorKind::ProvisionedMaps => {
+                // Copy the maps from a peer stage; the transfer blocks the
+                // new PoA for the sync window.
+                let entries = self.authority.len();
+                let cost = udr_dls::SyncCostModel::default();
+                let mut stage = DataLocationStage::provisioned_syncing(now, entries, &cost);
+                stage.import(self.authority.export());
+                stage
+            }
+            LocatorKind::CachedMaps => DataLocationStage::cached(
+                self.cfg.dls_cache_capacity,
+                self.ses.len(),
+            ),
+            LocatorKind::ConsistentHashing => DataLocationStage::hashed(
+                udr_dls::ConsistentHashRing::new(
+                    (0..self.cfg.partitions).map(PartitionId),
+                    64,
+                ),
+            ),
+        };
+        self.clusters.push(Cluster { id: cluster_id, site, poa, servers: server_ids, stage });
+        self.clusters_at_site[site.index()].push(cluster_idx);
+        cluster_idx
+    }
+
+    /// When the cluster's location stage finishes syncing (`None` when it
+    /// is already serving).
+    pub fn cluster_sync_done_at(&self, cluster_idx: usize) -> Option<SimTime> {
+        self.clusters[cluster_idx].stage.sync_done_at()
+    }
+}

@@ -1,0 +1,32 @@
+//! # udr-dls
+//!
+//! The Data Location Stage of the UDR: the component that maps subscriber
+//! identities (IMSI/MSISDN/IMPU/IMPI) to the partition/SE holding their
+//! data. §3.5 of the paper weighs three realisations, all implemented here:
+//!
+//! * [`maps`] — provisioned identity-location maps: multi-index B-trees,
+//!   O(log N), supporting selective placement (the paper's choice);
+//! * [`cache`] — maps built on the fly and cached: no scale-out sync
+//!   window, but every miss broadcasts a probe to many/all SEs;
+//! * [`ring`] — consistent hashing: O(1) lookups, no selective placement.
+//!
+//! [`sync`] models the §3.4.2 scale-out synchronisation window during which
+//! a new PoA cannot serve; [`placement`] implements random vs home-region
+//! subscription placement; [`stage`] wraps everything behind a single
+//! per-PoA API.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod maps;
+pub mod placement;
+pub mod ring;
+pub mod stage;
+pub mod sync;
+
+pub use cache::{CacheOutcome, CachedLocator};
+pub use maps::{IdentityLocationMap, Location};
+pub use placement::PlacementContext;
+pub use ring::ConsistentHashRing;
+pub use stage::{DataLocationStage, Resolution};
+pub use sync::{StageSync, SyncCostModel, SyncState};

@@ -1,0 +1,204 @@
+//! Provisioned identity-location maps (§3.5).
+//!
+//! "Data location uses identity-location maps since the UDR must support
+//! multiple indexes (one index per subscriber identity, i.e. MSISDN, IMSI,
+//! IMPU etc.) and must support also the selective placement of subscriber
+//! data." A state-full stage whose "processing cost typically grows as
+//! O(log N)" — realised here as one ordered map per identity kind.
+
+use std::collections::BTreeMap;
+
+use udr_model::identity::{Identity, IdentityKind};
+use udr_model::ids::{PartitionId, SubscriberUid};
+
+/// Where a subscription lives: its internal uid and the partition holding
+/// its data (the replication layer knows which SE masters the partition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Location {
+    /// Internal subscription id.
+    pub uid: SubscriberUid,
+    /// Partition holding the subscription's data.
+    pub partition: PartitionId,
+}
+
+/// One ordered index per identity kind: the provisioned maps of §3.5.
+#[derive(Debug, Clone, Default)]
+pub struct IdentityLocationMap {
+    imsi: BTreeMap<String, Location>,
+    msisdn: BTreeMap<String, Location>,
+    impu: BTreeMap<String, Location>,
+    impi: BTreeMap<String, Location>,
+    /// Lookups served (diagnostics).
+    pub lookups: u64,
+}
+
+impl IdentityLocationMap {
+    /// Empty maps.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn index(&self, kind: IdentityKind) -> &BTreeMap<String, Location> {
+        match kind {
+            IdentityKind::Imsi => &self.imsi,
+            IdentityKind::Msisdn => &self.msisdn,
+            IdentityKind::Impu => &self.impu,
+            IdentityKind::Impi => &self.impi,
+        }
+    }
+
+    fn index_mut(&mut self, kind: IdentityKind) -> &mut BTreeMap<String, Location> {
+        match kind {
+            IdentityKind::Imsi => &mut self.imsi,
+            IdentityKind::Msisdn => &mut self.msisdn,
+            IdentityKind::Impu => &mut self.impu,
+            IdentityKind::Impi => &mut self.impi,
+        }
+    }
+
+    /// Provision one identity → location binding.
+    pub fn insert(&mut self, identity: &Identity, location: Location) {
+        self.index_mut(identity.kind()).insert(identity.as_str().to_owned(), location);
+    }
+
+    /// Remove a binding (deprovisioning); returns the removed location.
+    pub fn remove(&mut self, identity: &Identity) -> Option<Location> {
+        self.index_mut(identity.kind()).remove(identity.as_str())
+    }
+
+    /// O(log N) lookup.
+    pub fn lookup(&mut self, identity: &Identity) -> Option<Location> {
+        self.lookups += 1;
+        self.index(identity.kind()).get(identity.as_str()).copied()
+    }
+
+    /// Lookup without mutating stats (for read-only callers).
+    pub fn peek(&self, identity: &Identity) -> Option<Location> {
+        self.index(identity.kind()).get(identity.as_str()).copied()
+    }
+
+    /// Total entries across all indexes.
+    pub fn len(&self) -> usize {
+        self.imsi.len() + self.msisdn.len() + self.impu.len() + self.impi.len()
+    }
+
+    /// Whether all indexes are empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Entries in one index.
+    pub fn len_of(&self, kind: IdentityKind) -> usize {
+        self.index(kind).len()
+    }
+
+    /// Approximate RAM footprint in bytes — §3.3.1: "storage of the
+    /// identity-location maps deprives storage elements from memory they
+    /// could use to store more data".
+    pub fn approx_bytes(&self) -> usize {
+        let entry_cost = |m: &BTreeMap<String, Location>| {
+            m.keys().map(|k| 48 + k.len() + std::mem::size_of::<Location>()).sum::<usize>()
+        };
+        entry_cost(&self.imsi)
+            + entry_cost(&self.msisdn)
+            + entry_cost(&self.impu)
+            + entry_cost(&self.impi)
+    }
+
+    /// Dump every binding (used by the scale-out sync protocol to seed a
+    /// peer stage instance).
+    pub fn export(&self) -> Vec<(IdentityKind, String, Location)> {
+        let mut out = Vec::with_capacity(self.len());
+        for kind in IdentityKind::ALL {
+            for (key, loc) in self.index(kind) {
+                out.push((kind, key.clone(), *loc));
+            }
+        }
+        out
+    }
+
+    /// Bulk-load bindings exported from a peer.
+    pub fn import(&mut self, entries: Vec<(IdentityKind, String, Location)>) {
+        for (kind, key, loc) in entries {
+            self.index_mut(kind).insert(key, loc);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udr_model::identity::{Impu, Imsi, Msisdn};
+
+    fn loc(uid: u64, p: u32) -> Location {
+        Location { uid: SubscriberUid(uid), partition: PartitionId(p) }
+    }
+
+    fn imsi(s: &str) -> Identity {
+        Imsi::new(s).unwrap().into()
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut m = IdentityLocationMap::new();
+        m.insert(&imsi("214010000000001"), loc(1, 0));
+        assert_eq!(m.lookup(&imsi("214010000000001")), Some(loc(1, 0)));
+        assert_eq!(m.lookup(&imsi("214010000000002")), None);
+        assert_eq!(m.remove(&imsi("214010000000001")), Some(loc(1, 0)));
+        assert_eq!(m.lookup(&imsi("214010000000001")), None);
+        assert_eq!(m.lookups, 3);
+    }
+
+    #[test]
+    fn indexes_are_independent() {
+        let mut m = IdentityLocationMap::new();
+        let msisdn: Identity = Msisdn::new("34600123456").unwrap().into();
+        let impu: Identity = Impu::new("sip:alice@ims.example.com").unwrap().into();
+        m.insert(&msisdn, loc(1, 0));
+        m.insert(&impu, loc(1, 0));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.len_of(IdentityKind::Msisdn), 1);
+        assert_eq!(m.len_of(IdentityKind::Impu), 1);
+        assert_eq!(m.len_of(IdentityKind::Imsi), 0);
+        // Same digits under a different kind don't collide.
+        let imsi_same_digits = imsi("346001234560001");
+        assert_eq!(m.peek(&imsi_same_digits), None);
+    }
+
+    #[test]
+    fn multiple_identities_same_subscriber() {
+        let mut m = IdentityLocationMap::new();
+        let l = loc(42, 3);
+        m.insert(&imsi("214010000000042"), l);
+        m.insert(&Msisdn::new("34600000042").unwrap().into(), l);
+        assert_eq!(m.lookup(&imsi("214010000000042")), Some(l));
+        assert_eq!(m.lookup(&Msisdn::new("34600000042").unwrap().into()), Some(l));
+    }
+
+    #[test]
+    fn export_import_round_trip() {
+        let mut m = IdentityLocationMap::new();
+        for i in 0..100u64 {
+            m.insert(&imsi(&format!("2140100000{i:05}")), loc(i, (i % 3) as u32));
+        }
+        let exported = m.export();
+        assert_eq!(exported.len(), 100);
+        let mut peer = IdentityLocationMap::new();
+        peer.import(exported);
+        assert_eq!(peer.len(), 100);
+        assert_eq!(
+            peer.peek(&imsi("214010000000007")),
+            m.peek(&imsi("214010000000007"))
+        );
+    }
+
+    #[test]
+    fn memory_grows_with_entries() {
+        let mut m = IdentityLocationMap::new();
+        let b0 = m.approx_bytes();
+        for i in 0..1000u64 {
+            m.insert(&imsi(&format!("2140100000{i:05}")), loc(i, 0));
+        }
+        assert!(m.approx_bytes() > b0 + 1000 * 15);
+    }
+}

@@ -1,0 +1,143 @@
+//! Subscription placement (§3.5 selective location).
+//!
+//! "…it is known that users stay within the home region of the subscription
+//! most of the time, so if the data of a subscriber can be pinned to a
+//! location close –in network terms- to the application front-ends in the
+//! home region of the subscription, chances of having to surf the IP
+//! back-bone to obtain that subscriber's data decrease enormously."
+
+use udr_model::config::PlacementPolicy;
+use udr_model::ids::{PartitionId, SubscriberUid};
+
+/// Knows which partitions have their master copy in which region (site).
+#[derive(Debug, Clone, Default)]
+pub struct PlacementContext {
+    /// `partitions_by_region[r]` = partitions whose master lives in region r.
+    partitions_by_region: Vec<Vec<PartitionId>>,
+    /// All partitions, for hash placement.
+    all: Vec<PartitionId>,
+}
+
+impl PlacementContext {
+    /// Build from a region → partitions mapping.
+    pub fn new(partitions_by_region: Vec<Vec<PartitionId>>) -> Self {
+        let mut all: Vec<PartitionId> =
+            partitions_by_region.iter().flatten().copied().collect();
+        all.sort();
+        all.dedup();
+        PlacementContext { partitions_by_region, all }
+    }
+
+    /// Number of regions.
+    pub fn regions(&self) -> usize {
+        self.partitions_by_region.len()
+    }
+
+    /// All partitions.
+    pub fn partitions(&self) -> &[PartitionId] {
+        &self.all
+    }
+
+    /// Partitions mastered in `region` (empty for unknown regions).
+    pub fn in_region(&self, region: u32) -> &[PartitionId] {
+        self.partitions_by_region
+            .get(region as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Choose the partition for a new subscription.
+    ///
+    /// * `Random`: uniform hash of the uid over all partitions — no
+    ///   locality, maximal spread (the H–R downside).
+    /// * `HomeRegion`: hash over the partitions mastered in the subscriber's
+    ///   home region; falls back to global hash when the region hosts no
+    ///   partition (regulatory placement may override this, which callers
+    ///   express by passing a different `home_region`).
+    pub fn place(
+        &self,
+        policy: PlacementPolicy,
+        uid: SubscriberUid,
+        home_region: u32,
+    ) -> Option<PartitionId> {
+        let pick = |set: &[PartitionId]| -> Option<PartitionId> {
+            if set.is_empty() {
+                None
+            } else {
+                // Deterministic splitmix over the uid.
+                let mut x = uid.raw().wrapping_add(0x9E37_79B9_7F4A_7C15);
+                x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                x ^= x >> 31;
+                Some(set[(x % set.len() as u64) as usize])
+            }
+        };
+        match policy {
+            PlacementPolicy::Random => pick(&self.all),
+            PlacementPolicy::HomeRegion => {
+                pick(self.in_region(home_region)).or_else(|| pick(&self.all))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> PlacementContext {
+        PlacementContext::new(vec![
+            vec![PartitionId(0), PartitionId(1)],
+            vec![PartitionId(2)],
+            vec![PartitionId(3), PartitionId(4), PartitionId(5)],
+        ])
+    }
+
+    #[test]
+    fn home_region_pins_to_regional_partitions() {
+        let c = ctx();
+        for uid in 0..1000u64 {
+            let p = c
+                .place(PlacementPolicy::HomeRegion, SubscriberUid(uid), 2)
+                .unwrap();
+            assert!(c.in_region(2).contains(&p), "uid {uid} placed at {p}");
+        }
+    }
+
+    #[test]
+    fn random_spreads_over_all_partitions() {
+        let c = ctx();
+        let mut counts = [0usize; 6];
+        for uid in 0..6000u64 {
+            let p = c.place(PlacementPolicy::Random, SubscriberUid(uid), 0).unwrap();
+            counts[p.index()] += 1;
+        }
+        for (p, n) in counts.iter().enumerate() {
+            assert!(*n > 600, "partition {p} underloaded: {n}");
+        }
+    }
+
+    #[test]
+    fn unknown_region_falls_back_to_global_hash() {
+        let c = ctx();
+        let p = c.place(PlacementPolicy::HomeRegion, SubscriberUid(1), 99).unwrap();
+        assert!(c.partitions().contains(&p));
+    }
+
+    #[test]
+    fn empty_context_places_nowhere() {
+        let c = PlacementContext::new(vec![]);
+        assert_eq!(c.place(PlacementPolicy::Random, SubscriberUid(1), 0), None);
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let c = ctx();
+        for uid in 0..50u64 {
+            assert_eq!(
+                c.place(PlacementPolicy::HomeRegion, SubscriberUid(uid), 1),
+                c.place(PlacementPolicy::HomeRegion, SubscriberUid(uid), 1)
+            );
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! The per-PoA data-location stage instance (§3.3.1 decision 1: "every
+//! point of access to the UDR is capable of resolving data location locally
+//! to the PoA").
+//!
+//! The stage wraps one of the three realisations the paper discusses —
+//! provisioned maps, cached maps, or a consistent-hash ring — behind a
+//! uniform `resolve` API so experiments can swap them with one knob.
+
+use udr_model::config::LocatorKind;
+use udr_model::identity::Identity;
+use udr_model::ids::SubscriberUid;
+use udr_model::time::SimTime;
+
+use crate::cache::{CacheOutcome, CachedLocator};
+use crate::maps::{IdentityLocationMap, Location};
+use crate::ring::ConsistentHashRing;
+use crate::sync::{StageSync, SyncCostModel};
+
+/// Outcome of a local resolution attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resolution {
+    /// Resolved locally.
+    Found(Location),
+    /// Locally unknown and authoritative: the identity does not exist.
+    Unknown,
+    /// Cached stage miss: the caller must broadcast a probe to
+    /// `ses_to_probe` SEs, then call [`DataLocationStage::fill_cache`].
+    NeedsProbe {
+        /// SEs to query.
+        ses_to_probe: usize,
+    },
+    /// Provisioned stage still syncing after scale-out (§3.4.2): the PoA
+    /// cannot resolve anything yet.
+    Syncing,
+}
+
+/// One stage instance.
+#[derive(Debug)]
+pub struct DataLocationStage {
+    kind: LocatorKind,
+    maps: IdentityLocationMap,
+    cache: Option<CachedLocator>,
+    ring: Option<ConsistentHashRing>,
+    sync: StageSync,
+}
+
+impl DataLocationStage {
+    /// A ready provisioned-maps stage (the paper's chosen realisation).
+    pub fn provisioned() -> Self {
+        DataLocationStage {
+            kind: LocatorKind::ProvisionedMaps,
+            maps: IdentityLocationMap::new(),
+            cache: None,
+            ring: None,
+            sync: StageSync::ready(),
+        }
+    }
+
+    /// A provisioned-maps stage created by scale-out: it must first copy
+    /// `entries` bindings from a peer before it can serve.
+    pub fn provisioned_syncing(now: SimTime, entries: usize, cost: &SyncCostModel) -> Self {
+        DataLocationStage {
+            kind: LocatorKind::ProvisionedMaps,
+            maps: IdentityLocationMap::new(),
+            cache: None,
+            ring: None,
+            sync: StageSync::syncing(now, entries, cost),
+        }
+    }
+
+    /// A cached-maps stage (§3.5 alternative): `capacity` bindings, misses
+    /// probe `total_ses` elements.
+    pub fn cached(capacity: usize, total_ses: usize) -> Self {
+        DataLocationStage {
+            kind: LocatorKind::CachedMaps,
+            maps: IdentityLocationMap::new(),
+            cache: Some(CachedLocator::new(capacity, total_ses)),
+            ring: None,
+            sync: StageSync::ready(),
+        }
+    }
+
+    /// A consistent-hashing stage (§3.5 alternative). Ring lookups yield a
+    /// partition; the uid is derived from the identity hash, so no
+    /// per-subscriber state exists at all.
+    pub fn hashed(ring: ConsistentHashRing) -> Self {
+        DataLocationStage {
+            kind: LocatorKind::ConsistentHashing,
+            maps: IdentityLocationMap::new(),
+            cache: None,
+            ring: Some(ring),
+            sync: StageSync::ready(),
+        }
+    }
+
+    /// Which realisation this stage uses.
+    pub fn kind(&self) -> LocatorKind {
+        self.kind
+    }
+
+    /// Resolve an identity at `now`.
+    ///
+    /// For the hashed stage the caller must map the identity to a uid
+    /// itself (identities are not invertible through a hash); `uid_hint`
+    /// supplies it when known (front-ends carry it in follow-up operations).
+    pub fn resolve(&mut self, identity: &Identity, now: SimTime, uid_hint: Option<SubscriberUid>) -> Resolution {
+        match self.kind {
+            LocatorKind::ProvisionedMaps => {
+                if !self.sync.is_ready(now) {
+                    return Resolution::Syncing;
+                }
+                match self.maps.lookup(identity) {
+                    Some(loc) => Resolution::Found(loc),
+                    None => Resolution::Unknown,
+                }
+            }
+            LocatorKind::CachedMaps => {
+                let cache = self.cache.as_mut().expect("cached stage has cache");
+                match cache.lookup(identity) {
+                    CacheOutcome::Hit(loc) => Resolution::Found(loc),
+                    CacheOutcome::Miss { ses_to_probe } => Resolution::NeedsProbe { ses_to_probe },
+                }
+            }
+            LocatorKind::ConsistentHashing => {
+                let ring = self.ring.as_ref().expect("hashed stage has ring");
+                match (ring.locate(identity), uid_hint) {
+                    (Some(partition), Some(uid)) => {
+                        Resolution::Found(Location { uid, partition })
+                    }
+                    // Without a uid hint the SE must resolve the identity
+                    // itself; we model that as a single-SE probe.
+                    (Some(_), None) => Resolution::NeedsProbe { ses_to_probe: 1 },
+                    (None, _) => Resolution::Unknown,
+                }
+            }
+        }
+    }
+
+    /// Provision a binding (PS write path). Meaningful for provisioned
+    /// maps; for cached stages it warms the cache; no-op for hashed stages.
+    pub fn provision(&mut self, identity: &Identity, location: Location) {
+        match self.kind {
+            LocatorKind::ProvisionedMaps => self.maps.insert(identity, location),
+            LocatorKind::CachedMaps => {
+                if let Some(c) = self.cache.as_mut() {
+                    c.fill(identity, location);
+                }
+            }
+            LocatorKind::ConsistentHashing => {}
+        }
+    }
+
+    /// Remove a binding (deprovisioning).
+    pub fn deprovision(&mut self, identity: &Identity) {
+        match self.kind {
+            LocatorKind::ProvisionedMaps => {
+                self.maps.remove(identity);
+            }
+            LocatorKind::CachedMaps => {
+                if let Some(c) = self.cache.as_mut() {
+                    c.invalidate(identity);
+                }
+            }
+            LocatorKind::ConsistentHashing => {}
+        }
+    }
+
+    /// Install a probe answer into a cached stage.
+    pub fn fill_cache(&mut self, identity: &Identity, location: Location) {
+        if let Some(c) = self.cache.as_mut() {
+            c.fill(identity, location);
+        }
+    }
+
+    /// Bulk-import of provisioned bindings (the scale-out copy payload).
+    pub fn import(&mut self, entries: Vec<(udr_model::identity::IdentityKind, String, Location)>) {
+        self.maps.import(entries);
+    }
+
+    /// Export provisioned bindings (to seed a new peer).
+    pub fn export(&self) -> Vec<(udr_model::identity::IdentityKind, String, Location)> {
+        self.maps.export()
+    }
+
+    /// Provisioned bindings held.
+    pub fn len(&self) -> usize {
+        self.maps.len()
+    }
+
+    /// Whether no bindings are held.
+    pub fn is_empty(&self) -> bool {
+        self.maps.is_empty()
+    }
+
+    /// Whether the stage can serve at `now`.
+    pub fn is_ready(&mut self, now: SimTime) -> bool {
+        self.sync.is_ready(now)
+    }
+
+    /// When the ongoing scale-out sync completes (`None` when serving).
+    pub fn sync_done_at(&self) -> Option<SimTime> {
+        self.sync.done_at()
+    }
+
+    /// Approximate RAM used by the provisioned maps (H-link accounting).
+    pub fn approx_bytes(&self) -> usize {
+        self.maps.approx_bytes()
+    }
+
+    /// Cache statistics, when this is a cached stage.
+    pub fn cache_stats(&self) -> Option<(u64, u64, f64)> {
+        self.cache.as_ref().map(|c| (c.hits, c.misses, c.hit_ratio()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udr_model::identity::Imsi;
+    use udr_model::ids::PartitionId;
+    use udr_model::time::SimDuration;
+
+    fn imsi(i: u64) -> Identity {
+        Imsi::new(format!("21401{i:010}")).unwrap().into()
+    }
+
+    fn loc(uid: u64, p: u32) -> Location {
+        Location { uid: SubscriberUid(uid), partition: PartitionId(p) }
+    }
+
+    #[test]
+    fn provisioned_stage_round_trip() {
+        let mut s = DataLocationStage::provisioned();
+        s.provision(&imsi(1), loc(1, 0));
+        assert_eq!(s.resolve(&imsi(1), SimTime::ZERO, None), Resolution::Found(loc(1, 0)));
+        assert_eq!(s.resolve(&imsi(2), SimTime::ZERO, None), Resolution::Unknown);
+        s.deprovision(&imsi(1));
+        assert_eq!(s.resolve(&imsi(1), SimTime::ZERO, None), Resolution::Unknown);
+    }
+
+    #[test]
+    fn syncing_stage_refuses_then_serves() {
+        let cost = SyncCostModel { base: SimDuration::from_secs(10), per_entry: SimDuration::ZERO };
+        let mut s = DataLocationStage::provisioned_syncing(SimTime::ZERO, 0, &cost);
+        assert_eq!(s.resolve(&imsi(1), SimTime::ZERO, None), Resolution::Syncing);
+        // After the window, it serves (still unknown until imported).
+        let later = SimTime::ZERO + SimDuration::from_secs(11);
+        assert_eq!(s.resolve(&imsi(1), later, None), Resolution::Unknown);
+    }
+
+    #[test]
+    fn import_export_seeds_peer() {
+        let mut a = DataLocationStage::provisioned();
+        for i in 0..10 {
+            a.provision(&imsi(i), loc(i, 0));
+        }
+        let mut b = DataLocationStage::provisioned();
+        b.import(a.export());
+        assert_eq!(b.len(), 10);
+        assert_eq!(b.resolve(&imsi(3), SimTime::ZERO, None), Resolution::Found(loc(3, 0)));
+    }
+
+    #[test]
+    fn cached_stage_probes_then_hits() {
+        let mut s = DataLocationStage::cached(128, 16);
+        assert_eq!(
+            s.resolve(&imsi(1), SimTime::ZERO, None),
+            Resolution::NeedsProbe { ses_to_probe: 16 }
+        );
+        s.fill_cache(&imsi(1), loc(1, 2));
+        assert_eq!(s.resolve(&imsi(1), SimTime::ZERO, None), Resolution::Found(loc(1, 2)));
+        let (hits, misses, _) = s.cache_stats().unwrap();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn hashed_stage_uses_ring_and_hint() {
+        let ring = ConsistentHashRing::new((0..4).map(PartitionId), 32);
+        let mut s = DataLocationStage::hashed(ring);
+        // With a uid hint, resolution is immediate.
+        match s.resolve(&imsi(5), SimTime::ZERO, Some(SubscriberUid(5))) {
+            Resolution::Found(l) => assert_eq!(l.uid, SubscriberUid(5)),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Without a hint, one SE probe is needed.
+        assert_eq!(
+            s.resolve(&imsi(5), SimTime::ZERO, None),
+            Resolution::NeedsProbe { ses_to_probe: 1 }
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests for the data-location stage: map/export fidelity, ring
+//! stability and placement invariants.
+
+use proptest::prelude::*;
+
+use udr_model::config::PlacementPolicy;
+use udr_model::identity::{Identity, Imsi, Msisdn};
+use udr_model::ids::{PartitionId, SubscriberUid};
+use udr_dls::{ConsistentHashRing, IdentityLocationMap, Location, PlacementContext};
+
+fn imsi(i: u64) -> Identity {
+    Imsi::new(format!("21401{i:010}")).unwrap().into()
+}
+
+fn msisdn(i: u64) -> Identity {
+    Msisdn::new(format!("34600{i:06}")).unwrap().into()
+}
+
+proptest! {
+    /// Export → import reproduces every binding exactly.
+    #[test]
+    fn export_import_is_lossless(bindings in prop::collection::btree_map(0u64..5000, (0u64..1000, 0u32..16), 0..200)) {
+        let mut original = IdentityLocationMap::new();
+        for (key, (uid, part)) in &bindings {
+            let loc = Location { uid: SubscriberUid(*uid), partition: PartitionId(*part) };
+            original.insert(&imsi(*key), loc);
+            original.insert(&msisdn(*key % 1_000_000), loc);
+        }
+        let mut copy = IdentityLocationMap::new();
+        copy.import(original.export());
+        prop_assert_eq!(copy.len(), original.len());
+        for key in bindings.keys() {
+            prop_assert_eq!(copy.peek(&imsi(*key)), original.peek(&imsi(*key)));
+        }
+    }
+
+    /// Ring lookups always land on a live partition, and removing one
+    /// partition never relocates keys that were not on it.
+    #[test]
+    fn ring_stability(
+        parts in prop::collection::btree_set(0u32..32, 2..10),
+        victim_idx in 0usize..8,
+        keys in prop::collection::vec(0u64..100_000, 1..100),
+    ) {
+        let parts: Vec<PartitionId> = parts.into_iter().map(PartitionId).collect();
+        let victim = parts[victim_idx % parts.len()];
+        let ring = ConsistentHashRing::new(parts.iter().copied(), 64);
+        let mut reduced = ring.clone();
+        reduced.remove_partition(victim);
+
+        for k in &keys {
+            let id = imsi(*k);
+            let before = ring.locate(&id).unwrap();
+            prop_assert!(parts.contains(&before));
+            let after = reduced.locate(&id).unwrap();
+            prop_assert_ne!(after, victim);
+            if before != victim {
+                prop_assert_eq!(before, after, "stable key moved");
+            }
+        }
+    }
+
+    /// Home-region placement always lands inside the region when the region
+    /// hosts partitions, and placement is a pure function of (uid, region).
+    #[test]
+    fn placement_respects_home_region(
+        uid in any::<u64>(),
+        region in 0u32..4,
+    ) {
+        let ctx = PlacementContext::new(vec![
+            vec![PartitionId(0), PartitionId(1)],
+            vec![PartitionId(2)],
+            vec![PartitionId(3), PartitionId(4)],
+            vec![PartitionId(5)],
+        ]);
+        let p1 = ctx.place(PlacementPolicy::HomeRegion, SubscriberUid(uid), region).unwrap();
+        let p2 = ctx.place(PlacementPolicy::HomeRegion, SubscriberUid(uid), region).unwrap();
+        prop_assert_eq!(p1, p2);
+        prop_assert!(ctx.in_region(region).contains(&p1));
+    }
+}

@@ -1,0 +1,175 @@
+//! The Point of Access: an L4 balancer in front of a cluster's LDAP
+//! servers (§3.4.1).
+//!
+//! "The PoA to the UDR might be provided by a L4-capable IP balancer
+//! running in a few blades of the cluster. The balancer spreads LDAP
+//! traffic over all the LDAP servers available in the local blade cluster…
+//! The IP balancer realizing the PoA automatically detects new LDAP server
+//! instances deployed to the blade cluster so growth in LDAP processing
+//! capacity is automatic."
+
+use udr_model::ids::{LdapServerId, PoaId, SiteId};
+
+/// Health as seen by the balancer's L4 checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendHealth {
+    /// Responding to health checks.
+    Healthy,
+    /// Failing health checks; skipped by the balancer.
+    Unhealthy,
+}
+
+#[derive(Debug, Clone)]
+struct Backend {
+    id: LdapServerId,
+    health: BackendHealth,
+}
+
+/// The L4 balancer fronting one blade cluster.
+#[derive(Debug)]
+pub struct PointOfAccess {
+    id: PoaId,
+    site: SiteId,
+    backends: Vec<Backend>,
+    next: usize,
+    /// Operations dispatched.
+    pub dispatched: u64,
+    /// Operations refused because no healthy backend existed.
+    pub refused: u64,
+}
+
+impl PointOfAccess {
+    /// A PoA with no backends yet.
+    pub fn new(id: PoaId, site: SiteId) -> Self {
+        PointOfAccess { id, site, backends: Vec::new(), next: 0, dispatched: 0, refused: 0 }
+    }
+
+    /// PoA identity.
+    pub fn id(&self) -> PoaId {
+        self.id
+    }
+
+    /// Hosting site.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// Auto-detection of a new LDAP server (idempotent).
+    pub fn register(&mut self, server: LdapServerId) {
+        if !self.backends.iter().any(|b| b.id == server) {
+            self.backends.push(Backend { id: server, health: BackendHealth::Healthy });
+        }
+    }
+
+    /// Remove a server (scale-in).
+    pub fn deregister(&mut self, server: LdapServerId) {
+        self.backends.retain(|b| b.id != server);
+    }
+
+    /// Health-check transition for a server.
+    pub fn set_health(&mut self, server: LdapServerId, health: BackendHealth) {
+        if let Some(b) = self.backends.iter_mut().find(|b| b.id == server) {
+            b.health = health;
+        }
+    }
+
+    /// Round-robin pick of the next healthy backend.
+    pub fn pick(&mut self) -> Option<LdapServerId> {
+        if self.backends.is_empty() {
+            self.refused += 1;
+            return None;
+        }
+        let n = self.backends.len();
+        for i in 0..n {
+            let idx = (self.next + i) % n;
+            if self.backends[idx].health == BackendHealth::Healthy {
+                self.next = (idx + 1) % n;
+                self.dispatched += 1;
+                return Some(self.backends[idx].id);
+            }
+        }
+        self.refused += 1;
+        None
+    }
+
+    /// Registered backends.
+    pub fn backend_count(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// Healthy backends.
+    pub fn healthy_count(&self) -> usize {
+        self.backends.iter().filter(|b| b.health == BackendHealth::Healthy).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn poa() -> PointOfAccess {
+        let mut p = PointOfAccess::new(PoaId(0), SiteId(0));
+        for i in 0..3 {
+            p.register(LdapServerId(i));
+        }
+        p
+    }
+
+    #[test]
+    fn round_robin_cycles_evenly() {
+        let mut p = poa();
+        let picks: Vec<_> = (0..6).map(|_| p.pick().unwrap().0).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+        assert_eq!(p.dispatched, 6);
+    }
+
+    #[test]
+    fn register_is_idempotent_and_auto_detected() {
+        let mut p = poa();
+        p.register(LdapServerId(1));
+        assert_eq!(p.backend_count(), 3);
+        // A newly deployed server starts receiving traffic automatically.
+        p.register(LdapServerId(3));
+        let picks: Vec<_> = (0..4).map(|_| p.pick().unwrap().0).collect();
+        assert!(picks.contains(&3));
+    }
+
+    #[test]
+    fn unhealthy_backends_are_skipped() {
+        let mut p = poa();
+        p.set_health(LdapServerId(1), BackendHealth::Unhealthy);
+        let picks: Vec<_> = (0..4).map(|_| p.pick().unwrap().0).collect();
+        assert!(!picks.contains(&1));
+        assert_eq!(p.healthy_count(), 2);
+        // Recovery puts it back in rotation.
+        p.set_health(LdapServerId(1), BackendHealth::Healthy);
+        let picks: Vec<_> = (0..3).map(|_| p.pick().unwrap().0).collect();
+        assert!(picks.contains(&1));
+    }
+
+    #[test]
+    fn no_healthy_backend_refuses() {
+        let mut p = poa();
+        for i in 0..3 {
+            p.set_health(LdapServerId(i), BackendHealth::Unhealthy);
+        }
+        assert_eq!(p.pick(), None);
+        assert_eq!(p.refused, 1);
+    }
+
+    #[test]
+    fn empty_poa_refuses() {
+        let mut p = PointOfAccess::new(PoaId(1), SiteId(0));
+        assert_eq!(p.pick(), None);
+    }
+
+    #[test]
+    fn deregister_removes() {
+        let mut p = poa();
+        p.deregister(LdapServerId(0));
+        assert_eq!(p.backend_count(), 2);
+        for _ in 0..4 {
+            assert_ne!(p.pick(), Some(LdapServerId(0)));
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Stateless LDAP server processes and their CPU model.
+//!
+//! §3.4.1: "the UDR NF runs a distributed, state-less LDAP server providing
+//! the northbound interface… LDAP server processes are processor-hungry".
+//! §3.5 sizes one server at 10⁶ indexed read/write queries per second on a
+//! state-of-the-art blade; we model that as a processing station whose
+//! service time is 1 µs/op, with admission control that surfaces overload
+//! as `Busy` (the PS back-log scenario of §3.3).
+
+use udr_model::ids::{ClusterId, LdapServerId, SiteId};
+use udr_model::time::{SimDuration, SimTime};
+use udr_sim::service::Station;
+
+use crate::proto::LdapOp;
+
+/// Throughput of one LDAP server process on the paper's reference blade.
+pub const PAPER_OPS_PER_SERVER_PER_SEC: f64 = 1_000_000.0;
+
+/// One stateless LDAP server process.
+#[derive(Debug)]
+pub struct LdapServer {
+    id: LdapServerId,
+    site: SiteId,
+    cluster: ClusterId,
+    station: Station,
+    /// Operations served, by class.
+    pub reads: u64,
+    /// Write operations served.
+    pub writes: u64,
+}
+
+impl LdapServer {
+    /// A server with the paper's nominal 1M ops/s capacity and a 5 ms
+    /// admission bound.
+    pub fn new(id: LdapServerId, site: SiteId, cluster: ClusterId) -> Self {
+        Self::with_rate(id, site, cluster, PAPER_OPS_PER_SERVER_PER_SEC)
+    }
+
+    /// A server with an explicit per-second rate (capacity experiments
+    /// de-rate it to laptop scale).
+    pub fn with_rate(id: LdapServerId, site: SiteId, cluster: ClusterId, ops_per_sec: f64) -> Self {
+        LdapServer {
+            id,
+            site,
+            cluster,
+            station: Station::with_rate(1, ops_per_sec, SimDuration::from_millis(5)),
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Server identity.
+    pub fn id(&self) -> LdapServerId {
+        self.id
+    }
+
+    /// Hosting site.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// Hosting cluster.
+    pub fn cluster(&self) -> ClusterId {
+        self.cluster
+    }
+
+    /// Service time for one operation. Writes cost ~1.5× a read (lock +
+    /// log work on the engine side is accounted separately; this is the
+    /// protocol/CPU share); filtered searches add one read-share per
+    /// filter assertion (parse + evaluate).
+    pub fn service_time(&self, op: &LdapOp) -> SimDuration {
+        let base = self.station.service_time();
+        match op {
+            LdapOp::SearchFilter { filter, .. } => {
+                base * (1 + filter.assertion_count() as u64)
+            }
+            _ if op.is_write() => base + base / 2,
+            _ => base,
+        }
+    }
+
+    /// Admit one operation at `now`; returns when protocol processing
+    /// completes, or `None` on overload (`Busy`).
+    pub fn admit(&mut self, op: &LdapOp, now: SimTime) -> Option<SimTime> {
+        let service = self.service_time(op);
+        match self.station.admit_with(now, service) {
+            Ok(done) => {
+                if op.is_write() {
+                    self.writes += 1;
+                } else {
+                    self.reads += 1;
+                }
+                Some(done)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// CPU utilisation over the elapsed horizon.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        self.station.utilization(horizon)
+    }
+
+    /// Operations rejected for overload.
+    pub fn rejected(&self) -> u64 {
+        self.station.rejected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udr_model::attrs::Entry;
+    use udr_model::identity::{Identity, Imsi};
+
+    use crate::dn::Dn;
+
+    fn dn() -> Dn {
+        Dn::for_identity(Identity::Imsi(Imsi::new("214011234567890").unwrap()))
+    }
+
+    fn search() -> LdapOp {
+        LdapOp::Search { base: dn(), attrs: vec![] }
+    }
+
+    fn add() -> LdapOp {
+        LdapOp::Add { dn: dn(), entry: Entry::new() }
+    }
+
+    #[test]
+    fn paper_rate_service_time_is_one_microsecond() {
+        let s = LdapServer::new(LdapServerId(0), SiteId(0), ClusterId(0));
+        assert_eq!(s.service_time(&search()), SimDuration::from_micros(1));
+        assert!(s.service_time(&add()) > s.service_time(&search()));
+    }
+
+    #[test]
+    fn filtered_search_costs_per_assertion() {
+        use crate::filter::Filter;
+        let s = LdapServer::new(LdapServerId(0), SiteId(0), ClusterId(0));
+        let filter: Filter = "(&(callBarring=TRUE)(odbMask>=4))".parse().unwrap();
+        let op = LdapOp::SearchFilter { base: dn(), filter, attrs: vec![] };
+        assert_eq!(s.service_time(&op), SimDuration::from_micros(3));
+    }
+
+    #[test]
+    fn admit_counts_classes() {
+        let mut s = LdapServer::new(LdapServerId(0), SiteId(0), ClusterId(0));
+        s.admit(&search(), SimTime::ZERO).unwrap();
+        s.admit(&add(), SimTime::ZERO).unwrap();
+        assert_eq!((s.reads, s.writes), (1, 1));
+    }
+
+    #[test]
+    fn sustained_overload_rejects() {
+        // A 1000 ops/s server (1 ms/op, 5 ms queue bound) takes ≤ 6
+        // simultaneous arrivals, then rejects.
+        let mut s = LdapServer::with_rate(LdapServerId(0), SiteId(0), ClusterId(0), 1000.0);
+        let mut accepted = 0;
+        for _ in 0..20 {
+            if s.admit(&search(), SimTime::ZERO).is_some() {
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, 6);
+        assert_eq!(s.rejected(), 14);
+    }
+
+    #[test]
+    fn throughput_matches_rate() {
+        // Feed a server arrivals exactly at its service rate: all admitted.
+        let mut s = LdapServer::with_rate(LdapServerId(0), SiteId(0), ClusterId(0), 1000.0);
+        let mut t = SimTime::ZERO;
+        for _ in 0..100 {
+            assert!(s.admit(&search(), t).is_some());
+            t += SimDuration::from_millis(1);
+        }
+        assert_eq!(s.rejected(), 0);
+        let u = s.utilization(t);
+        assert!(u > 0.95, "utilization {u}");
+    }
+}

@@ -1,0 +1,253 @@
+//! Log-bucketed latency histograms.
+//!
+//! HDR-style: one major bucket per power of two of nanoseconds, 16 linear
+//! sub-buckets each, covering 1 ns to ~18 s with ≤ 6.25 % relative error —
+//! plenty for checking the paper's 10 ms average-response-time target
+//! (§2.3 requirement 4).
+
+use udr_model::time::SimDuration;
+
+const SUB_BITS: u32 = 4;
+const SUB_COUNT: usize = 1 << SUB_BITS; // 16
+const MAJOR_COUNT: usize = 64 - SUB_BITS as usize;
+
+/// A latency histogram with logarithmic buckets.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; MAJOR_COUNT * SUB_COUNT],
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    fn index(ns: u64) -> usize {
+        if ns < SUB_COUNT as u64 {
+            return ns as usize;
+        }
+        let major = 63 - ns.leading_zeros();
+        let shift = major - SUB_BITS;
+        let sub = ((ns >> shift) & (SUB_COUNT as u64 - 1)) as usize;
+        let m = (major - SUB_BITS + 1) as usize;
+        (m * SUB_COUNT + sub).min(MAJOR_COUNT * SUB_COUNT - 1)
+    }
+
+    /// Representative (lower-bound) value of a bucket.
+    fn bucket_floor(idx: usize) -> u64 {
+        let m = idx / SUB_COUNT;
+        let sub = (idx % SUB_COUNT) as u64;
+        if m == 0 {
+            return sub;
+        }
+        let major = m as u32 + SUB_BITS - 1;
+        let shift = major - SUB_BITS;
+        (1u64 << major) | (sub << shift)
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, d: SimDuration) {
+        let ns = d.as_nanos();
+        self.buckets[Self::index(ns)] += 1;
+        self.count += 1;
+        self.sum_ns += u128::from(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> SimDuration {
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_nanos((self.sum_ns / u128::from(self.count)) as u64)
+    }
+
+    /// Exact minimum sample.
+    pub fn min(&self) -> SimDuration {
+        if self.count == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(self.min_ns)
+        }
+    }
+
+    /// Exact maximum sample.
+    pub fn max(&self) -> SimDuration {
+        SimDuration::from_nanos(self.max_ns)
+    }
+
+    /// Approximate percentile (0 < p ≤ 100) via bucket floors.
+    pub fn percentile(&self, p: f64) -> SimDuration {
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return SimDuration::from_nanos(Self::bucket_floor(idx).max(self.min_ns));
+            }
+        }
+        self.max()
+    }
+
+    /// Median shorthand.
+    pub fn p50(&self) -> SimDuration {
+        self.percentile(50.0)
+    }
+
+    /// 99th percentile shorthand.
+    pub fn p99(&self) -> SimDuration {
+        self.percentile(99.0)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// One-line summary for reports.
+    pub fn summary(&self) -> String {
+        if self.count == 0 {
+            return "n=0".to_owned();
+        }
+        format!(
+            "n={} mean={} p50={} p99={} max={}",
+            self.count,
+            self.mean(),
+            self.p50(),
+            self.p99(),
+            self.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        assert_eq!(h.percentile(50.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut h = Histogram::new();
+        h.record(ms(10));
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), ms(10));
+        assert_eq!(h.min(), ms(10));
+        assert_eq!(h.max(), ms(10));
+        // Percentile is bucket-floor approximate: within 6.25 %.
+        let p50 = h.p50().as_nanos() as f64;
+        assert!((p50 - 1e7).abs() / 1e7 < 0.0625, "p50={p50}");
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 4, 5, 6, 7, 8, 9, 10] {
+            h.record(ms(v));
+        }
+        assert_eq!(h.mean(), SimDuration::from_micros(5500));
+    }
+
+    #[test]
+    fn percentiles_are_ordered_and_close() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(SimDuration::from_micros(v));
+        }
+        let p50 = h.percentile(50.0);
+        let p90 = h.percentile(90.0);
+        let p99 = h.percentile(99.0);
+        assert!(p50 <= p90 && p90 <= p99);
+        let rel = |approx: SimDuration, exact_us: f64| {
+            (approx.as_micros_f64() - exact_us).abs() / exact_us
+        };
+        assert!(rel(p50, 500.0) < 0.07, "p50={p50}");
+        assert!(rel(p99, 990.0) < 0.07, "p99={p99}");
+    }
+
+    #[test]
+    fn tiny_values_use_linear_buckets() {
+        let mut h = Histogram::new();
+        for ns in 0..16u64 {
+            h.record(SimDuration::from_nanos(ns));
+        }
+        assert_eq!(h.count(), 16);
+        assert_eq!(h.max(), SimDuration::from_nanos(15));
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(ms(1));
+        b.record(ms(100));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), ms(1));
+        assert_eq!(a.max(), ms(100));
+    }
+
+    #[test]
+    fn huge_values_clamp_to_top_bucket() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::from_nanos(u64::MAX));
+        assert_eq!(h.count(), 1);
+        assert!(h.percentile(100.0) > SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn summary_mentions_key_stats() {
+        let mut h = Histogram::new();
+        h.record(ms(5));
+        let s = h.summary();
+        assert!(s.contains("n=1"));
+        assert!(s.contains("mean=5.000ms"));
+    }
+}

@@ -1,0 +1,25 @@
+//! # udr-metrics
+//!
+//! The measurement substrate every experiment uses to regenerate the
+//! paper's claims:
+//!
+//! * [`hist`] — log-bucketed latency histograms (the §2.3 10 ms target);
+//! * [`availability`] — subscriber-seconds availability ledgers with the
+//!   footnote-4 averaging semantics, plus per-class operation counters;
+//! * [`staleness`] — stale-read accounting for slave reads (§3.3.2);
+//! * [`series`] — gauge time series (PS back-log depth, §3.3);
+//! * [`report`] — fixed-width tables for paper-style output.
+
+#![warn(missing_docs)]
+
+pub mod availability;
+pub mod hist;
+pub mod report;
+pub mod series;
+pub mod staleness;
+
+pub use availability::{AvailabilityLedger, OpCounter};
+pub use hist::Histogram;
+pub use report::{pct, thousands, Table};
+pub use series::TimeSeries;
+pub use staleness::StalenessTracker;

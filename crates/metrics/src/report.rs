@@ -1,0 +1,153 @@
+//! Fixed-width report tables: every experiment binary prints its results
+//! as paper-style rows through this builder.
+
+use std::fmt;
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: Option<String>,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        Table {
+            title: None,
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Set a title printed above the table.
+    pub fn with_title(mut self, title: impl Into<String>) -> Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Append a row; short rows are padded, long rows are truncated to the
+    /// header width.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        row.truncate(self.headers.len());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.len());
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        if let Some(title) = &self.title {
+            writeln!(f, "== {title} ==")?;
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut first = true;
+            for (cell, w) in cells.iter().zip(&widths) {
+                if !first {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:<w$}")?;
+                first = false;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a ratio as a percentage with the given decimals.
+pub fn pct(v: f64, decimals: usize) -> String {
+    format!("{:.*}%", decimals, v * 100.0)
+}
+
+/// Format a large count with thousands separators (e.g. `9,216,000,000`).
+pub fn thousands(v: u128) -> String {
+    let s = v.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["mode", "latency", "ok"]).with_title("demo");
+        t.row(["async", "1.2ms", "99.9%"]);
+        t.row(["sync-commit", "8.0ms", "100%"]);
+        let s = t.to_string();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("mode         latency  ok"));
+        assert!(s.contains("async        1.2ms    99.9%"));
+        assert!(s.contains("sync-commit  8.0ms    100%"));
+    }
+
+    #[test]
+    fn pads_and_truncates_rows() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+        t.row(["x", "y", "z-dropped"]);
+        assert_eq!(t.len(), 2);
+        let s = t.to_string();
+        assert!(s.contains("only-one"));
+        assert!(!s.contains("z-dropped"));
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.99999, 3), "99.999%");
+        assert_eq!(pct(0.5, 0), "50%");
+    }
+
+    #[test]
+    fn thousands_formats() {
+        assert_eq!(thousands(0), "0");
+        assert_eq!(thousands(999), "999");
+        assert_eq!(thousands(1000), "1,000");
+        assert_eq!(thousands(9_216_000_000), "9,216,000,000");
+    }
+
+    #[test]
+    fn empty_table_renders_headers() {
+        let t = Table::new(["x"]);
+        assert!(t.is_empty());
+        assert!(t.to_string().contains('x'));
+    }
+}

@@ -1,0 +1,153 @@
+//! Time series of gauge values (e.g. the PS back-log depth of §3.3, which
+//! "might cause a back-log of operations to grow at the PS").
+
+use udr_model::time::SimTime;
+
+/// An append-only `(time, value)` series.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a sample; time must be non-decreasing (out-of-order samples
+    /// are clamped to the last time).
+    pub fn push(&mut self, at: SimTime, value: f64) {
+        let at = match self.points.last() {
+            Some((last, _)) if *last > at => *last,
+            _ => at,
+        };
+        self.points.push((at, value));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The samples.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Last value, if any.
+    pub fn last(&self) -> Option<f64> {
+        self.points.last().map(|(_, v)| *v)
+    }
+
+    /// Maximum value, if any.
+    pub fn max(&self) -> Option<f64> {
+        self.points.iter().map(|(_, v)| *v).fold(None, |acc, v| {
+            Some(match acc {
+                None => v,
+                Some(a) => a.max(v),
+            })
+        })
+    }
+
+    /// Time-weighted average over the covered span (simple left-step
+    /// integration). `None` for fewer than two points.
+    pub fn time_weighted_mean(&self) -> Option<f64> {
+        if self.points.len() < 2 {
+            return None;
+        }
+        let mut area = 0.0;
+        let mut span = 0.0;
+        for pair in self.points.windows(2) {
+            let (t0, v0) = pair[0];
+            let (t1, _) = pair[1];
+            let dt = t1.duration_since(t0).as_secs_f64();
+            area += v0 * dt;
+            span += dt;
+        }
+        if span == 0.0 {
+            None
+        } else {
+            Some(area / span)
+        }
+    }
+
+    /// Render a compact sparkline-style summary for reports: sampled values
+    /// at `n` evenly spaced indices.
+    pub fn sampled(&self, n: usize) -> Vec<f64> {
+        if self.points.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        (0..n)
+            .map(|i| {
+                let idx = i * (self.points.len() - 1) / n.max(1).max(1);
+                self.points[idx.min(self.points.len() - 1)].1
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udr_model::time::SimDuration;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn push_and_stats() {
+        let mut s = TimeSeries::new();
+        s.push(t(0), 0.0);
+        s.push(t(10), 5.0);
+        s.push(t(20), 1.0);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.last(), Some(1.0));
+        assert_eq!(s.max(), Some(5.0));
+    }
+
+    #[test]
+    fn time_weighted_mean_steps() {
+        let mut s = TimeSeries::new();
+        s.push(t(0), 0.0);
+        s.push(t(10), 10.0); // 0 for 10 s
+        s.push(t(20), 10.0); // 10 for 10 s
+        let m = s.time_weighted_mean().unwrap();
+        assert!((m - 5.0).abs() < 1e-9, "m={m}");
+    }
+
+    #[test]
+    fn out_of_order_clamps() {
+        let mut s = TimeSeries::new();
+        s.push(t(10), 1.0);
+        s.push(t(5), 2.0); // clamped to t(10)
+        assert_eq!(s.points()[1].0, t(10));
+    }
+
+    #[test]
+    fn empty_series_defaults() {
+        let s = TimeSeries::new();
+        assert!(s.is_empty());
+        assert_eq!(s.last(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.time_weighted_mean(), None);
+        assert!(s.sampled(5).is_empty());
+    }
+
+    #[test]
+    fn sampled_returns_n_points() {
+        let mut s = TimeSeries::new();
+        for i in 0..100 {
+            s.push(t(i), i as f64);
+        }
+        let v = s.sampled(10);
+        assert_eq!(v.len(), 10);
+        assert!(v[9] >= v[0]);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests for the measurement substrate: histogram accuracy bounds
+//! and availability-ledger arithmetic.
+
+use proptest::prelude::*;
+
+use udr_metrics::{AvailabilityLedger, Histogram, OpCounter};
+use udr_model::time::{SimDuration, SimTime};
+
+proptest! {
+    /// The histogram's mean is exact; percentiles respect the bucket error
+    /// bound (≤ 6.25 % relative) and ordering.
+    #[test]
+    fn histogram_accuracy(samples in prop::collection::vec(1u64..10_000_000_000, 1..500)) {
+        let mut h = Histogram::new();
+        for s in &samples {
+            h.record(SimDuration::from_nanos(*s));
+        }
+        let exact_mean = samples.iter().map(|s| *s as u128).sum::<u128>() / samples.len() as u128;
+        prop_assert_eq!(h.mean().as_nanos() as u128, exact_mean);
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.min().as_nanos(), *samples.iter().min().unwrap());
+        prop_assert_eq!(h.max().as_nanos(), *samples.iter().max().unwrap());
+
+        let mut sorted = samples.clone();
+        sorted.sort();
+        for p in [10.0, 50.0, 90.0, 99.0] {
+            let approx = h.percentile(p).as_nanos() as f64;
+            let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize - 1;
+            let exact = sorted[rank.min(sorted.len() - 1)] as f64;
+            // Bucket floors under-approximate by at most one sub-bucket.
+            prop_assert!(approx <= exact * 1.0001, "p{p}: {approx} > exact {exact}");
+            prop_assert!(
+                approx >= exact * (1.0 - 0.0625) - 16.0,
+                "p{p}: {approx} too far below {exact}"
+            );
+        }
+        // Monotone percentiles.
+        prop_assert!(h.percentile(10.0) <= h.percentile(50.0));
+        prop_assert!(h.percentile(50.0) <= h.percentile(99.0));
+    }
+
+    /// Merging histograms equals recording the concatenation.
+    #[test]
+    fn histogram_merge_is_concat(
+        a in prop::collection::vec(1u64..1_000_000, 0..200),
+        b in prop::collection::vec(1u64..1_000_000, 0..200),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut hc = Histogram::new();
+        for s in &a {
+            ha.record(SimDuration::from_nanos(*s));
+            hc.record(SimDuration::from_nanos(*s));
+        }
+        for s in &b {
+            hb.record(SimDuration::from_nanos(*s));
+            hc.record(SimDuration::from_nanos(*s));
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hc.count());
+        prop_assert_eq!(ha.mean(), hc.mean());
+        prop_assert_eq!(ha.percentile(50.0), hc.percentile(50.0));
+        prop_assert_eq!(ha.max(), hc.max());
+    }
+
+    /// Availability = 1 - (down subscriber-time / total subscriber-time),
+    /// for any set of outages (clamped at 0).
+    #[test]
+    fn ledger_arithmetic(
+        total_subs in 1u64..1_000_000,
+        outages in prop::collection::vec((1u64..1000, 1u64..3600), 0..30),
+        window_secs in 3600u64..86_400,
+    ) {
+        let mut ledger = AvailabilityLedger::new(total_subs, SimTime::ZERO);
+        let mut down: u128 = 0;
+        for (subs, secs) in &outages {
+            let subs = (*subs).min(total_subs);
+            ledger.record_outage(subs, SimDuration::from_secs(*secs));
+            down += u128::from(subs) * u128::from(*secs) * 1_000_000_000;
+        }
+        let now = SimTime::ZERO + SimDuration::from_secs(window_secs);
+        let total = u128::from(total_subs) * u128::from(window_secs) * 1_000_000_000;
+        let expected = 1.0 - down as f64 / total as f64;
+        let got = ledger.availability(now);
+        prop_assert!((got - expected).abs() < 1e-12, "got {got}, expected {expected}");
+    }
+
+    /// OpCounter ratios always live in [0, 1] and merge adds up.
+    #[test]
+    fn op_counter_invariants(ok in 0u64..1000, unavail in 0u64..1000, other in 0u64..1000) {
+        let mut c = OpCounter::default();
+        for _ in 0..ok { c.success(); }
+        for _ in 0..unavail { c.availability_failure(); }
+        for _ in 0..other { c.other_failure(); }
+        prop_assert_eq!(c.attempts(), ok + unavail + other);
+        prop_assert!((0.0..=1.0).contains(&c.success_ratio()));
+        prop_assert!((0.0..=1.0).contains(&c.operational_availability()));
+        let mut d = OpCounter::default();
+        d.merge(&c);
+        d.merge(&c);
+        prop_assert_eq!(d.attempts(), 2 * c.attempts());
+    }
+}

@@ -1,0 +1,423 @@
+//! FRASH tuning knobs: every design choice from §3 of the paper as a
+//! configuration value, so experiments can slide the trade-off points of
+//! Figures 5–6 and measure the consequences.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+/// Durability of a storage element (§3.1 and its footnote 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DurabilityMode {
+    /// Pure RAM: nothing survives an element crash. The fastest point of the
+    /// F–R link.
+    None,
+    /// §3.1 decision 1: "every storage element saves data in RAM to local
+    /// persistent storage on a periodic basis". On crash, transactions since
+    /// the last save are lost.
+    PeriodicSnapshot {
+        /// Interval between RAM→disk saves.
+        interval: SimDuration,
+    },
+    /// Footnote 6: "dump transactions to disk before committing for 100%
+    /// guaranteed durability, but that would slow down storage elements too
+    /// much". The slowest point of the F–R link.
+    SyncCommit,
+}
+
+impl DurabilityMode {
+    /// Default periodic mode with the interval used throughout the paper's
+    /// experiments (a conservative 30 s).
+    pub fn periodic_default() -> Self {
+        DurabilityMode::PeriodicSnapshot { interval: SimDuration::from_secs(30) }
+    }
+}
+
+impl fmt::Display for DurabilityMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurabilityMode::None => f.write_str("none"),
+            DurabilityMode::PeriodicSnapshot { interval } => {
+                write!(f, "snapshot/{interval}")
+            }
+            DurabilityMode::SyncCommit => f.write_str("sync-commit"),
+        }
+    }
+}
+
+/// How writes propagate between the copies of a partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReplicationMode {
+    /// §3.3.1 decision 2: asynchronous master→slave log shipping; commits do
+    /// not wait for slaves. A committed transaction "might not be durable if
+    /// a severe failure prevents replication to at least one slave".
+    AsyncMasterSlave,
+    /// §5: "apply provisioning transactions in sequence to two replicas,
+    /// committing the transaction only when both replicas report success".
+    DualInSequence,
+    /// §5's Cassandra comparison: an ensemble of `n` replicas; a write is
+    /// acknowledged once `w` copies accept it, a read consults `r`.
+    Quorum {
+        /// Replicas in the ensemble.
+        n: u8,
+        /// Write quorum.
+        w: u8,
+        /// Read quorum.
+        r: u8,
+    },
+    /// §5 evolution: every reachable copy accepts writes during partitions;
+    /// divergence is merged by a consistency-restoration process after heal.
+    MultiMaster,
+}
+
+impl ReplicationMode {
+    /// True when a partitioned minority side keeps accepting writes
+    /// (availability over consistency — PA in PACELC).
+    pub fn writes_survive_partition(self) -> bool {
+        matches!(self, ReplicationMode::MultiMaster)
+    }
+
+    /// How many replica acknowledgements a commit waits for (master
+    /// included). `None` means "no waiting at all beyond the master".
+    pub fn commit_acks(self) -> usize {
+        match self {
+            ReplicationMode::AsyncMasterSlave | ReplicationMode::MultiMaster => 1,
+            ReplicationMode::DualInSequence => 2,
+            ReplicationMode::Quorum { w, .. } => w as usize,
+        }
+    }
+}
+
+impl fmt::Display for ReplicationMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplicationMode::AsyncMasterSlave => f.write_str("async-master-slave"),
+            ReplicationMode::DualInSequence => f.write_str("dual-in-sequence"),
+            ReplicationMode::Quorum { n, w, r } => write!(f, "quorum(n={n},w={w},r={r})"),
+            ReplicationMode::MultiMaster => f.write_str("multi-master"),
+        }
+    }
+}
+
+/// SQL-92 isolation levels the engine supports (§3.2 decision 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum IsolationLevel {
+    /// Reads may observe uncommitted writes. The paper affords this level to
+    /// transactions spanning multiple SEs.
+    ReadUncommitted,
+    /// Reads observe only committed data; "prevents locking from delaying
+    /// reads on subscription data". The intra-SE level.
+    ReadCommitted,
+}
+
+impl fmt::Display for IsolationLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            IsolationLevel::ReadUncommitted => "READ_UNCOMMITTED",
+            IsolationLevel::ReadCommitted => "READ_COMMITTED",
+        })
+    }
+}
+
+/// Whether a client class may read slave copies (§3.3.2 vs §3.3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReadPolicy {
+    /// Application front-ends: read the nearest copy, stale data tolerated.
+    NearestCopy,
+    /// Provisioning system: "read operations on slave copies are disallowed".
+    MasterOnly,
+}
+
+impl fmt::Display for ReadPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ReadPolicy::NearestCopy => "nearest-copy",
+            ReadPolicy::MasterOnly => "master-only",
+        })
+    }
+}
+
+/// How subscriptions are placed onto partitions (§3.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// Uniform hash placement: any subscriber may land anywhere.
+    Random,
+    /// §3.5 selective location: pin a subscription's master near the
+    /// application front-ends of its home region.
+    HomeRegion,
+}
+
+impl fmt::Display for PlacementPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PlacementPolicy::Random => "random",
+            PlacementPolicy::HomeRegion => "home-region",
+        })
+    }
+}
+
+/// Realisation of the data-location stage (§3.5 and §3.4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LocatorKind {
+    /// Provisioned identity-location maps: O(log N) lookups; scale-out must
+    /// copy the whole map before the new PoA can serve.
+    ProvisionedMaps,
+    /// Maps built on the fly and cached: no sync window, but every cache
+    /// miss queries many/all SEs.
+    CachedMaps,
+    /// The §3.5 alternative: consistent hashing over locations (no selective
+    /// placement, one ring per identity kind).
+    ConsistentHashing,
+}
+
+impl fmt::Display for LocatorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LocatorKind::ProvisionedMaps => "provisioned-maps",
+            LocatorKind::CachedMaps => "cached-maps",
+            LocatorKind::ConsistentHashing => "consistent-hashing",
+        })
+    }
+}
+
+/// The two transaction classes the paper distinguishes throughout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TxnClass {
+    /// Traffic from application front-ends (HLR-FE/HSS-FE): read-mostly,
+    /// latency-critical, PA/EL.
+    FrontEnd,
+    /// Traffic from the provisioning system: write-heavy, atomicity-critical,
+    /// PC/EC.
+    Provisioning,
+}
+
+impl fmt::Display for TxnClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TxnClass::FrontEnd => "front-end",
+            TxnClass::Provisioning => "provisioning",
+        })
+    }
+}
+
+/// PACELC classification (§2.5, §3.6): on a Partition, Availability or
+/// Consistency; Else, Latency or Consistency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pacelc {
+    /// Behaviour under partition: `true` = favours availability (PA).
+    pub partition_availability: bool,
+    /// Behaviour otherwise: `true` = favours latency (EL).
+    pub else_latency: bool,
+}
+
+impl Pacelc {
+    /// PA/EL — e.g. front-end transactions in the described UDR (§3.6).
+    pub const PA_EL: Pacelc = Pacelc { partition_availability: true, else_latency: true };
+    /// PC/EC — e.g. provisioning transactions in the described UDR (§3.6).
+    pub const PC_EC: Pacelc = Pacelc { partition_availability: false, else_latency: false };
+    /// PC/EL — consistency on partition, latency otherwise.
+    pub const PC_EL: Pacelc = Pacelc { partition_availability: false, else_latency: true };
+    /// PA/EC — availability on partition, consistency otherwise.
+    pub const PA_EC: Pacelc = Pacelc { partition_availability: true, else_latency: false };
+}
+
+impl fmt::Display for Pacelc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "P{}/E{}",
+            if self.partition_availability { "A" } else { "C" },
+            if self.else_latency { "L" } else { "C" }
+        )
+    }
+}
+
+/// The full knob set for one UDR deployment. Defaults reproduce the paper's
+/// "first realization" (§3); experiments flip individual fields.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrashConfig {
+    /// Storage-element durability (F–R link).
+    pub durability: DurabilityMode,
+    /// Replica propagation (F–A link, R–A link).
+    pub replication: ReplicationMode,
+    /// Copies of every partition (primary + secondaries), ≥ 1.
+    pub replication_factor: u8,
+    /// Isolation inside one SE.
+    pub intra_se_isolation: IsolationLevel,
+    /// Read routing for front-end traffic.
+    pub fe_read_policy: ReadPolicy,
+    /// Read routing for provisioning traffic.
+    pub ps_read_policy: ReadPolicy,
+    /// Subscription placement (H–R link).
+    pub placement: PlacementPolicy,
+    /// Data-location stage realisation (F–S–H triangle).
+    pub locator: LocatorKind,
+    /// End-to-end client timeout before an operation counts as failed.
+    pub op_timeout: SimDuration,
+    /// How long a slave waits without master contact before a failover
+    /// promotion is considered (detection time).
+    pub failover_detection: SimDuration,
+    /// Whether automatic slave promotion on master failure is enabled.
+    pub auto_failover: bool,
+}
+
+impl Default for FrashConfig {
+    fn default() -> Self {
+        FrashConfig {
+            durability: DurabilityMode::periodic_default(),
+            replication: ReplicationMode::AsyncMasterSlave,
+            replication_factor: 3,
+            intra_se_isolation: IsolationLevel::ReadCommitted,
+            fe_read_policy: ReadPolicy::NearestCopy,
+            ps_read_policy: ReadPolicy::MasterOnly,
+            placement: PlacementPolicy::HomeRegion,
+            locator: LocatorKind::ProvisionedMaps,
+            op_timeout: SimDuration::from_millis(500),
+            failover_detection: SimDuration::from_secs(5),
+            auto_failover: true,
+        }
+    }
+}
+
+impl FrashConfig {
+    /// Validate internal consistency of the knob set.
+    pub fn validate(&self) -> Result<(), crate::error::UdrError> {
+        use crate::error::UdrError;
+        if self.replication_factor == 0 {
+            return Err(UdrError::Config("replication_factor must be >= 1".into()));
+        }
+        if let ReplicationMode::Quorum { n, w, r } = self.replication {
+            if n == 0 || w == 0 || r == 0 || w > n || r > n {
+                return Err(UdrError::Config(format!(
+                    "invalid quorum parameters n={n}, w={w}, r={r}"
+                )));
+            }
+            if n != self.replication_factor {
+                return Err(UdrError::Config(format!(
+                    "quorum ensemble n={n} must equal replication_factor={}",
+                    self.replication_factor
+                )));
+            }
+        }
+        if self.op_timeout.is_zero() {
+            return Err(UdrError::Config("op_timeout must be non-zero".into()));
+        }
+        Ok(())
+    }
+
+    /// The PACELC class this configuration yields for a transaction class,
+    /// following the paper's own argument in §3.6.
+    pub fn pacelc_for(&self, class: TxnClass) -> Pacelc {
+        let partition_availability = match class {
+            // FE traffic is mostly reads; with nearest-copy reads it keeps
+            // being served during partitions => PA. With master-only reads it
+            // fails alongside writes => PC.
+            TxnClass::FrontEnd => {
+                self.fe_read_policy == ReadPolicy::NearestCopy
+                    || self.replication.writes_survive_partition()
+            }
+            // PS traffic is write-heavy: only multi-master keeps it alive.
+            TxnClass::Provisioning => self.replication.writes_survive_partition(),
+        };
+        let else_latency = match class {
+            // Async replication + slave reads = latency over consistency.
+            TxnClass::FrontEnd => {
+                matches!(
+                    self.replication,
+                    ReplicationMode::AsyncMasterSlave | ReplicationMode::MultiMaster
+                ) && self.fe_read_policy == ReadPolicy::NearestCopy
+            }
+            // Master-only reads + atomic intent = consistency over latency,
+            // unless replication itself is fire-and-forget *and* reads are
+            // allowed to drift.
+            TxnClass::Provisioning => self.ps_read_policy == ReadPolicy::NearestCopy,
+        };
+        Pacelc { partition_availability, else_latency }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_the_papers_first_realization() {
+        let c = FrashConfig::default();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.replication, ReplicationMode::AsyncMasterSlave);
+        assert_eq!(c.fe_read_policy, ReadPolicy::NearestCopy);
+        assert_eq!(c.ps_read_policy, ReadPolicy::MasterOnly);
+        assert_eq!(c.intra_se_isolation, IsolationLevel::ReadCommitted);
+    }
+
+    #[test]
+    fn paper_pacelc_claims_hold_for_default_config() {
+        // §3.6: "PA/EL for transactions coming from application front-ends
+        // but PC/EC for transactions coming from PS instances".
+        let c = FrashConfig::default();
+        assert_eq!(c.pacelc_for(TxnClass::FrontEnd), Pacelc::PA_EL);
+        assert_eq!(c.pacelc_for(TxnClass::Provisioning), Pacelc::PC_EC);
+    }
+
+    #[test]
+    fn multimaster_turns_provisioning_pa() {
+        let c = FrashConfig { replication: ReplicationMode::MultiMaster, ..Default::default() };
+        assert!(c.pacelc_for(TxnClass::Provisioning).partition_availability);
+    }
+
+    #[test]
+    fn quorum_validation() {
+        let bad = FrashConfig {
+            replication: ReplicationMode::Quorum { n: 3, w: 4, r: 1 },
+            replication_factor: 3,
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+
+        let mismatch = FrashConfig {
+            replication: ReplicationMode::Quorum { n: 5, w: 3, r: 2 },
+            replication_factor: 3,
+            ..Default::default()
+        };
+        assert!(mismatch.validate().is_err());
+
+        let good = FrashConfig {
+            replication: ReplicationMode::Quorum { n: 3, w: 2, r: 2 },
+            replication_factor: 3,
+            ..Default::default()
+        };
+        assert!(good.validate().is_ok());
+    }
+
+    #[test]
+    fn zero_rf_rejected() {
+        let c = FrashConfig { replication_factor: 0, ..Default::default() };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn commit_acks_per_mode() {
+        assert_eq!(ReplicationMode::AsyncMasterSlave.commit_acks(), 1);
+        assert_eq!(ReplicationMode::DualInSequence.commit_acks(), 2);
+        assert_eq!(ReplicationMode::Quorum { n: 3, w: 2, r: 1 }.commit_acks(), 2);
+    }
+
+    #[test]
+    fn pacelc_display() {
+        assert_eq!(Pacelc::PA_EL.to_string(), "PA/EL");
+        assert_eq!(Pacelc::PC_EC.to_string(), "PC/EC");
+    }
+
+    #[test]
+    fn display_of_knobs() {
+        assert_eq!(DurabilityMode::SyncCommit.to_string(), "sync-commit");
+        assert_eq!(
+            ReplicationMode::Quorum { n: 3, w: 2, r: 2 }.to_string(),
+            "quorum(n=3,w=2,r=2)"
+        );
+        assert_eq!(IsolationLevel::ReadCommitted.to_string(), "READ_COMMITTED");
+        assert_eq!(LocatorKind::CachedMaps.to_string(), "cached-maps");
+    }
+}

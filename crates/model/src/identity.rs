@@ -1,0 +1,339 @@
+//! 3GPP subscriber identities.
+//!
+//! The UDR must maintain one index per subscriber identity (§3.5 of the
+//! paper): IMSI, MSISDN, IMPU, IMPI, …. Each identity type is a validated
+//! newtype; [`Identity`] is the tagged union used by the data-location stage
+//! and the LDAP index layer.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::UdrError;
+
+/// International Mobile Subscriber Identity: up to 15 decimal digits,
+/// MCC (3) + MNC (2–3) + MSIN.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Imsi(String);
+
+/// Mobile Subscriber ISDN number (E.164): 5–15 decimal digits.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Msisdn(String);
+
+/// IMS Public User Identity: a SIP or TEL URI.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Impu(String);
+
+/// IMS Private User Identity: NAI form, `user@realm`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Impi(String);
+
+fn all_digits(s: &str) -> bool {
+    !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit())
+}
+
+impl Imsi {
+    /// Validate and construct an IMSI (6–15 digits; 15 is the 3GPP max,
+    /// shorter values appear in test plants).
+    pub fn new(s: impl Into<String>) -> Result<Self, UdrError> {
+        let s = s.into();
+        if all_digits(&s) && (6..=15).contains(&s.len()) {
+            Ok(Imsi(s))
+        } else {
+            Err(UdrError::InvalidIdentity { kind: IdentityKind::Imsi, value: s })
+        }
+    }
+
+    /// The Mobile Country Code (first three digits).
+    pub fn mcc(&self) -> &str {
+        &self.0[..3]
+    }
+
+    /// The raw digit string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Msisdn {
+    /// Validate and construct an E.164 number (5–15 digits).
+    pub fn new(s: impl Into<String>) -> Result<Self, UdrError> {
+        let s = s.into();
+        if all_digits(&s) && (5..=15).contains(&s.len()) {
+            Ok(Msisdn(s))
+        } else {
+            Err(UdrError::InvalidIdentity { kind: IdentityKind::Msisdn, value: s })
+        }
+    }
+
+    /// The raw digit string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Impu {
+    /// Validate and construct an IMPU. Accepts `sip:` and `tel:` URIs.
+    pub fn new(s: impl Into<String>) -> Result<Self, UdrError> {
+        let s = s.into();
+        if (s.starts_with("sip:") || s.starts_with("tel:")) && s.len() > 4 {
+            Ok(Impu(s))
+        } else {
+            Err(UdrError::InvalidIdentity { kind: IdentityKind::Impu, value: s })
+        }
+    }
+
+    /// The full URI.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Impi {
+    /// Validate and construct an IMPI (`user@realm`).
+    pub fn new(s: impl Into<String>) -> Result<Self, UdrError> {
+        let s = s.into();
+        let valid = match s.split_once('@') {
+            Some((user, realm)) => !user.is_empty() && !realm.is_empty(),
+            None => false,
+        };
+        if valid {
+            Ok(Impi(s))
+        } else {
+            Err(UdrError::InvalidIdentity { kind: IdentityKind::Impi, value: s })
+        }
+    }
+
+    /// The full NAI.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+macro_rules! impl_display {
+    ($($t:ty),*) => {$(
+        impl fmt::Display for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(&self.0)
+            }
+        }
+    )*};
+}
+impl_display!(Imsi, Msisdn, Impu, Impi);
+
+/// Discriminant for the identity types the UDR indexes.
+///
+/// §3.5: "the UDR must support multiple indexes (one index per subscriber
+/// identity, i.e. MSISDN, IMSI, IMPU etc.)".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum IdentityKind {
+    /// International Mobile Subscriber Identity.
+    Imsi,
+    /// E.164 directory number.
+    Msisdn,
+    /// IMS public identity.
+    Impu,
+    /// IMS private identity.
+    Impi,
+}
+
+impl IdentityKind {
+    /// All identity kinds, in index order.
+    pub const ALL: [IdentityKind; 4] =
+        [IdentityKind::Imsi, IdentityKind::Msisdn, IdentityKind::Impu, IdentityKind::Impi];
+}
+
+impl fmt::Display for IdentityKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IdentityKind::Imsi => "IMSI",
+            IdentityKind::Msisdn => "MSISDN",
+            IdentityKind::Impu => "IMPU",
+            IdentityKind::Impi => "IMPI",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Any of the subscriber identities, as used for index lookups.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Identity {
+    /// An IMSI value.
+    Imsi(Imsi),
+    /// An MSISDN value.
+    Msisdn(Msisdn),
+    /// An IMPU value.
+    Impu(Impu),
+    /// An IMPI value.
+    Impi(Impi),
+}
+
+impl Identity {
+    /// Which index this identity belongs to.
+    pub fn kind(&self) -> IdentityKind {
+        match self {
+            Identity::Imsi(_) => IdentityKind::Imsi,
+            Identity::Msisdn(_) => IdentityKind::Msisdn,
+            Identity::Impu(_) => IdentityKind::Impu,
+            Identity::Impi(_) => IdentityKind::Impi,
+        }
+    }
+
+    /// The raw textual value (digit string or URI).
+    pub fn as_str(&self) -> &str {
+        match self {
+            Identity::Imsi(v) => v.as_str(),
+            Identity::Msisdn(v) => v.as_str(),
+            Identity::Impu(v) => v.as_str(),
+            Identity::Impi(v) => v.as_str(),
+        }
+    }
+}
+
+impl fmt::Display for Identity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.kind(), self.as_str())
+    }
+}
+
+impl From<Imsi> for Identity {
+    fn from(v: Imsi) -> Self {
+        Identity::Imsi(v)
+    }
+}
+impl From<Msisdn> for Identity {
+    fn from(v: Msisdn) -> Self {
+        Identity::Msisdn(v)
+    }
+}
+impl From<Impu> for Identity {
+    fn from(v: Impu) -> Self {
+        Identity::Impu(v)
+    }
+}
+impl From<Impi> for Identity {
+    fn from(v: Impi) -> Self {
+        Identity::Impi(v)
+    }
+}
+
+/// The full identity set of one subscription, as created by provisioning.
+///
+/// A subscription always carries an IMSI and an MSISDN; IMS identities are
+/// present when the subscriber is IMS-enabled (HSS data, §1 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IdentitySet {
+    /// The primary cellular identity.
+    pub imsi: Imsi,
+    /// The directory number.
+    pub msisdn: Msisdn,
+    /// IMS public identities (empty when not IMS-enabled).
+    pub impus: Vec<Impu>,
+    /// IMS private identity, when IMS-enabled.
+    pub impi: Option<Impi>,
+}
+
+impl IdentitySet {
+    /// Iterate over every identity in the set (the entries the location
+    /// stage must index).
+    pub fn iter(&self) -> impl Iterator<Item = Identity> + '_ {
+        std::iter::once(Identity::Imsi(self.imsi.clone()))
+            .chain(std::iter::once(Identity::Msisdn(self.msisdn.clone())))
+            .chain(self.impus.iter().cloned().map(Identity::Impu))
+            .chain(self.impi.iter().cloned().map(Identity::Impi))
+    }
+
+    /// Number of distinct identities in the set.
+    pub fn len(&self) -> usize {
+        2 + self.impus.len() + usize::from(self.impi.is_some())
+    }
+
+    /// Always false: a set has at least IMSI and MSISDN.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imsi_validation() {
+        assert!(Imsi::new("214011234567890").is_ok());
+        assert!(Imsi::new("21401").is_err()); // too short
+        assert!(Imsi::new("2140112345678901").is_err()); // too long
+        assert!(Imsi::new("21401abc4567890").is_err()); // non-digit
+        assert!(Imsi::new("").is_err());
+    }
+
+    #[test]
+    fn imsi_mcc() {
+        let imsi = Imsi::new("214011234567890").unwrap();
+        assert_eq!(imsi.mcc(), "214");
+    }
+
+    #[test]
+    fn msisdn_validation() {
+        assert!(Msisdn::new("34600123456").is_ok());
+        assert!(Msisdn::new("1234").is_err());
+        assert!(Msisdn::new("34-600123456").is_err());
+    }
+
+    #[test]
+    fn impu_validation() {
+        assert!(Impu::new("sip:alice@ims.example.com").is_ok());
+        assert!(Impu::new("tel:+34600123456").is_ok());
+        assert!(Impu::new("http://x").is_err());
+        assert!(Impu::new("sip:").is_err());
+    }
+
+    #[test]
+    fn impi_validation() {
+        assert!(Impi::new("alice@ims.example.com").is_ok());
+        assert!(Impi::new("alice").is_err());
+        assert!(Impi::new("@realm").is_err());
+        assert!(Impi::new("user@").is_err());
+    }
+
+    #[test]
+    fn identity_kind_roundtrip() {
+        let id: Identity = Imsi::new("214011234567890").unwrap().into();
+        assert_eq!(id.kind(), IdentityKind::Imsi);
+        assert_eq!(id.as_str(), "214011234567890");
+        assert_eq!(id.to_string(), "IMSI=214011234567890");
+    }
+
+    #[test]
+    fn identity_set_iterates_all() {
+        let set = IdentitySet {
+            imsi: Imsi::new("214011234567890").unwrap(),
+            msisdn: Msisdn::new("34600123456").unwrap(),
+            impus: vec![
+                Impu::new("sip:alice@ims.example.com").unwrap(),
+                Impu::new("tel:+34600123456").unwrap(),
+            ],
+            impi: Some(Impi::new("alice@ims.example.com").unwrap()),
+        };
+        assert_eq!(set.len(), 5);
+        assert!(!set.is_empty());
+        let kinds: Vec<_> = set.iter().map(|i| i.kind()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                IdentityKind::Imsi,
+                IdentityKind::Msisdn,
+                IdentityKind::Impu,
+                IdentityKind::Impu,
+                IdentityKind::Impi
+            ]
+        );
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a = Msisdn::new("34600000001").unwrap();
+        let b = Msisdn::new("34600000002").unwrap();
+        assert!(a < b);
+    }
+}

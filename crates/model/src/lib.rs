@@ -1,0 +1,36 @@
+//! # udr-model
+//!
+//! Shared vocabulary for the UDR reproduction of *CAP Limits in Telecom
+//! Subscriber Database Design* (Arauz, VLDB 2014): subscriber identities and
+//! profiles, topology identifiers, the FRASH configuration knobs of §3, the
+//! PACELC classification of §3.6, error types, and virtual time units.
+//!
+//! Everything here is deliberately dependency-light so that every other crate
+//! (storage engine, replication, location stage, LDAP layer, simulator) can
+//! speak the same types without cycles.
+
+#![warn(missing_docs)]
+
+pub mod attrs;
+pub mod config;
+pub mod error;
+pub mod identity;
+pub mod ids;
+pub mod procedures;
+pub mod profile;
+pub mod time;
+
+pub use attrs::{AttrId, AttrMod, AttrValue, Entry};
+pub use config::{
+    DurabilityMode, FrashConfig, IsolationLevel, LocatorKind, Pacelc, PlacementPolicy,
+    ReadPolicy, ReplicationMode, TxnClass,
+};
+pub use error::{UdrError, UdrResult};
+pub use identity::{Identity, IdentityKind, IdentitySet, Impi, Impu, Imsi, Msisdn};
+pub use ids::{
+    ClusterId, FrontEndId, LdapServerId, PartitionId, PoaId, ProvisioningSystemId, ReplicaId,
+    ReplicaRole, SeId, SiteId, SubPartitionId, SubscriberUid,
+};
+pub use procedures::{ProcedureKind, ProvisioningKind};
+pub use profile::{SubscriberProfile, SubscriberStatus};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,158 @@
+//! Replication groups: the set of copies of one partition, exactly one of
+//! which is master at any time (§3.2: "copies are not all equal").
+
+use udr_model::error::{UdrError, UdrResult};
+use udr_model::ids::{PartitionId, SeId};
+use udr_storage::Lsn;
+
+/// The replica set of one partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicationGroup {
+    partition: PartitionId,
+    /// All member SEs; the first added is the initial master.
+    members: Vec<SeId>,
+    master: SeId,
+    /// Bumped on every mastership change; stale-master fencing in tests.
+    epoch: u64,
+}
+
+impl ReplicationGroup {
+    /// Build a group; the first member is the initial master.
+    pub fn new(partition: PartitionId, members: Vec<SeId>) -> UdrResult<Self> {
+        if members.is_empty() {
+            return Err(UdrError::Config(format!("{partition}: empty replica set")));
+        }
+        let mut dedup = members.clone();
+        dedup.sort();
+        dedup.dedup();
+        if dedup.len() != members.len() {
+            return Err(UdrError::Config(format!("{partition}: duplicate members")));
+        }
+        let master = members[0];
+        Ok(ReplicationGroup { partition, members, master, epoch: 0 })
+    }
+
+    /// The partition replicated.
+    pub fn partition(&self) -> PartitionId {
+        self.partition
+    }
+
+    /// The current master.
+    pub fn master(&self) -> SeId {
+        self.master
+    }
+
+    /// Mastership epoch (bumped on every failover).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// All members, master first.
+    pub fn members(&self) -> &[SeId] {
+        &self.members
+    }
+
+    /// The slaves (everyone but the master).
+    pub fn slaves(&self) -> impl Iterator<Item = SeId> + '_ {
+        let master = self.master;
+        self.members.iter().copied().filter(move |se| *se != master)
+    }
+
+    /// Whether `se` belongs to this group.
+    pub fn contains(&self, se: SeId) -> bool {
+        self.members.contains(&se)
+    }
+
+    /// Replication factor.
+    pub fn replication_factor(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Promote `se` to master (failover). Errors if `se` is not a member.
+    pub fn promote(&mut self, se: SeId) -> UdrResult<()> {
+        if !self.contains(se) {
+            return Err(UdrError::Config(format!(
+                "{se} is not a member of {}'s replica set",
+                self.partition
+            )));
+        }
+        if se != self.master {
+            self.master = se;
+            self.epoch += 1;
+        }
+        Ok(())
+    }
+
+    /// Pick the best promotion candidate among `alive` slaves given their
+    /// applied LSNs: the most caught-up copy wins, ties break on lowest
+    /// SeId. Returns `None` when no alive slave exists (total outage).
+    pub fn promotion_candidate(&self, alive: &[(SeId, Lsn)]) -> Option<SeId> {
+        alive
+            .iter()
+            .filter(|(se, _)| self.contains(*se) && *se != self.master)
+            .max_by(|(a_se, a_lsn), (b_se, b_lsn)| {
+                a_lsn.cmp(b_lsn).then_with(|| b_se.cmp(a_se))
+            })
+            .map(|(se, _)| *se)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group() -> ReplicationGroup {
+        ReplicationGroup::new(PartitionId(0), vec![SeId(0), SeId(1), SeId(2)]).unwrap()
+    }
+
+    #[test]
+    fn first_member_is_master() {
+        let g = group();
+        assert_eq!(g.master(), SeId(0));
+        assert_eq!(g.replication_factor(), 3);
+        let slaves: Vec<_> = g.slaves().collect();
+        assert_eq!(slaves, vec![SeId(1), SeId(2)]);
+    }
+
+    #[test]
+    fn empty_or_duplicate_members_rejected() {
+        assert!(ReplicationGroup::new(PartitionId(0), vec![]).is_err());
+        assert!(ReplicationGroup::new(PartitionId(0), vec![SeId(1), SeId(1)]).is_err());
+    }
+
+    #[test]
+    fn promote_bumps_epoch() {
+        let mut g = group();
+        g.promote(SeId(2)).unwrap();
+        assert_eq!(g.master(), SeId(2));
+        assert_eq!(g.epoch(), 1);
+        // Promoting the current master is a no-op.
+        g.promote(SeId(2)).unwrap();
+        assert_eq!(g.epoch(), 1);
+        // Non-members are rejected.
+        assert!(g.promote(SeId(9)).is_err());
+    }
+
+    #[test]
+    fn promotion_candidate_prefers_most_caught_up() {
+        let g = group();
+        let candidate =
+            g.promotion_candidate(&[(SeId(1), Lsn(10)), (SeId(2), Lsn(15))]).unwrap();
+        assert_eq!(candidate, SeId(2));
+    }
+
+    #[test]
+    fn promotion_candidate_ties_break_low_id() {
+        let g = group();
+        let candidate =
+            g.promotion_candidate(&[(SeId(2), Lsn(10)), (SeId(1), Lsn(10))]).unwrap();
+        assert_eq!(candidate, SeId(1));
+    }
+
+    #[test]
+    fn promotion_candidate_ignores_master_and_strangers() {
+        let g = group();
+        // Master itself and non-members must not be chosen.
+        assert_eq!(g.promotion_candidate(&[(SeId(0), Lsn(99)), (SeId(7), Lsn(99))]), None);
+    }
+}

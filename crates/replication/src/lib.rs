@@ -1,0 +1,35 @@
+//! # udr-replication
+//!
+//! Replication for the UDR, covering every propagation scheme the paper
+//! discusses:
+//!
+//! * [`shipping`] — the first realization's asynchronous master→slave log
+//!   shipping (§3.3.1 decision 2), with FIFO channels, catch-up after
+//!   partitions and snapshot reseeds after log truncation;
+//! * [`group`] — replica sets, mastership epochs and failover candidate
+//!   selection (most-caught-up slave wins);
+//! * [`semisync`] — the §5 dual-in-sequence scheme (commit only when both
+//!   replicas report success; a failed second replica may stay updated);
+//! * [`quorum`] — the §5 Cassandra-style `(n, w, r)` ensemble comparison;
+//! * [`multimaster`] — §5 multi-master divergence and the
+//!   consistency-restoration merge (state-based LWW with conflict counts);
+//! * [`twophase`] — the cross-SE 2PC the paper rejects (§3.2), implemented
+//!   so the ablation experiment can measure the cost and blocking hazard.
+
+#![warn(missing_docs)]
+
+pub mod group;
+pub mod multimaster;
+pub mod quorum;
+pub mod semisync;
+pub mod shipping;
+pub mod twophase;
+
+pub use group::ReplicationGroup;
+pub use multimaster::{merge_branches, restoration_duration, MergeOutcome, MergeStats};
+pub use quorum::{
+    quorum_consistent, quorum_read, quorum_write, QuorumReadOutcome, QuorumWriteOutcome,
+};
+pub use semisync::{dual_in_sequence, DualOutcome, TxnShape};
+pub use shipping::{AsyncShipper, Delivery};
+pub use twophase::{two_phase_commit, TwoPcOutcome};

@@ -1,0 +1,276 @@
+//! Multi-master operation and the consistency-restoration process (§5).
+//!
+//! "Once the partition incident is over, a consistency restoration process
+//! must run across the whole UDR NF, trying to merge the different views
+//! into one single, consistent view."
+//!
+//! During a partition each side promotes a reachable copy and keeps taking
+//! writes; views diverge with every write. After heal we merge *states*
+//! (not logs): for every record, the version with the latest commit
+//! timestamp wins (last-writer-wins), ties broken by writer SE id. Records
+//! written on more than one side with different values are counted as
+//! conflicts — the consistency price of availability the CAP theorem
+//! demands.
+
+use std::collections::BTreeMap;
+
+use udr_model::ids::SubscriberUid;
+use udr_model::time::SimTime;
+use udr_storage::{Engine, EngineSnapshot, Lsn, RecordVersion};
+
+/// Statistics of one consistency-restoration run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Distinct records examined across all branches.
+    pub records_examined: usize,
+    /// Records whose post-divergence versions differ across branches
+    /// (true write conflicts resolved by LWW).
+    pub conflicts: usize,
+    /// Records written on exactly one side post-divergence (clean merges).
+    pub one_sided_updates: usize,
+}
+
+/// The outcome of merging divergent branches.
+#[derive(Debug, Clone)]
+pub struct MergeOutcome {
+    /// The merged, convergent state every replica should be reseeded from.
+    pub snapshot: EngineSnapshot,
+    /// Conflict statistics.
+    pub stats: MergeStats,
+}
+
+/// Per-record winner selection: latest commit instant wins; ties break on
+/// the higher writer SE id, then higher LSN (total order ⇒ deterministic,
+/// branch-order-independent merges).
+fn beats(a: &RecordVersion, b: &RecordVersion) -> bool {
+    (a.committed_at, a.written_by, a.lsn) > (b.committed_at, b.written_by, b.lsn)
+}
+
+/// Merge the committed states of divergent branch masters.
+///
+/// `diverged_at` is the instant the partition started: versions committed
+/// strictly after it count as branch writes for conflict accounting.
+pub fn merge_branches(diverged_at: SimTime, branches: &[&Engine]) -> MergeOutcome {
+    // Collect, per uid, every branch's version.
+    let mut by_uid: BTreeMap<SubscriberUid, Vec<&RecordVersion>> = BTreeMap::new();
+    for engine in branches {
+        for (uid, version) in engine.iter_committed() {
+            by_uid.entry(*uid).or_default().push(version);
+        }
+    }
+
+    let mut stats = MergeStats::default();
+    let mut records = Vec::with_capacity(by_uid.len());
+    let mut max_lsn = Lsn::ZERO;
+    for engine in branches {
+        max_lsn = max_lsn.max(engine.last_lsn());
+    }
+
+    for (uid, versions) in by_uid {
+        stats.records_examined += 1;
+
+        // Winner by LWW.
+        let winner = versions
+            .iter()
+            .copied()
+            .reduce(|best, v| if beats(v, best) { v } else { best })
+            .expect("at least one version per collected uid");
+
+        // Conflict accounting over post-divergence writes with distinct
+        // outcomes.
+        let mut post: Vec<&&RecordVersion> =
+            versions.iter().filter(|v| v.committed_at > diverged_at).collect();
+        post.dedup_by(|a, b| a.entry == b.entry && a.committed_at == b.committed_at);
+        let distinct_values = {
+            let mut entries: Vec<_> = post.iter().map(|v| &v.entry).collect();
+            entries.sort_by_key(|e| format!("{e:?}"));
+            entries.dedup();
+            entries.len()
+        };
+        if distinct_values > 1 {
+            stats.conflicts += 1;
+        } else if distinct_values == 1 && versions.len() > 1 {
+            // Written post-divergence on some side(s) but with one outcome.
+            stats.one_sided_updates += 1;
+        } else if distinct_values == 1 {
+            stats.one_sided_updates += 1;
+        }
+
+        records.push((uid, winner.clone()));
+    }
+
+    MergeOutcome { snapshot: EngineSnapshot { records, last_lsn: max_lsn }, stats }
+}
+
+/// How long the restoration process takes, as a function of the number of
+/// records examined and the per-record processing cost. §5 notes the merge
+/// "must run across the whole UDR NF" — it is a full scan.
+pub fn restoration_duration(
+    records_examined: usize,
+    per_record: udr_model::time::SimDuration,
+) -> udr_model::time::SimDuration {
+    per_record * records_examined as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udr_model::attrs::{AttrId, AttrValue, Entry};
+    use udr_model::config::IsolationLevel;
+    use udr_model::ids::SeId;
+    use udr_model::time::SimDuration;
+
+    fn entry(v: u64) -> Entry {
+        let mut e = Entry::new();
+        e.set(AttrId::OdbMask, v);
+        e
+    }
+
+    fn put(engine: &mut Engine, uid: u64, v: u64, at: SimTime) {
+        let t = engine.begin(IsolationLevel::ReadCommitted);
+        engine.put(t, SubscriberUid(uid), entry(v)).unwrap();
+        engine.commit(t, at).unwrap();
+    }
+
+    fn val(snapshot: &EngineSnapshot, uid: u64) -> Option<u64> {
+        snapshot
+            .records
+            .iter()
+            .find(|(u, _)| u.raw() == uid)
+            .and_then(|(_, v)| v.entry.as_ref())
+            .and_then(|e| e.get(AttrId::OdbMask))
+            .and_then(AttrValue::as_u64)
+    }
+
+    /// Two branches seeded with the same pre-partition state.
+    fn seeded_pair() -> (Engine, Engine) {
+        let mut a = Engine::new(SeId(0));
+        put(&mut a, 1, 100, SimTime(10));
+        put(&mut a, 2, 200, SimTime(11));
+        let snap = a.snapshot();
+        let mut b = Engine::from_snapshot(SeId(1), snap);
+        b.set_se(SeId(1));
+        (a, b)
+    }
+
+    #[test]
+    fn conflicting_writes_resolve_lww() {
+        let (mut a, mut b) = seeded_pair();
+        let diverged = SimTime(20);
+        put(&mut a, 1, 111, SimTime(30)); // side A writes uid 1
+        put(&mut b, 1, 999, SimTime(40)); // side B writes uid 1 later
+
+        let out = merge_branches(diverged, &[&a, &b]);
+        assert_eq!(out.stats.conflicts, 1);
+        assert_eq!(val(&out.snapshot, 1), Some(999)); // later write wins
+        assert_eq!(val(&out.snapshot, 2), Some(200)); // untouched survives
+    }
+
+    #[test]
+    fn merge_is_branch_order_independent() {
+        let (mut a, mut b) = seeded_pair();
+        let diverged = SimTime(20);
+        put(&mut a, 1, 111, SimTime(30));
+        put(&mut b, 1, 999, SimTime(30)); // same instant: SeId breaks tie
+        put(&mut b, 2, 222, SimTime(31));
+
+        let ab = merge_branches(diverged, &[&a, &b]);
+        let ba = merge_branches(diverged, &[&b, &a]);
+        assert_eq!(ab.snapshot.records, ba.snapshot.records);
+        assert_eq!(ab.stats, ba.stats);
+        // SeId(1) > SeId(0) wins the tie.
+        assert_eq!(val(&ab.snapshot, 1), Some(999));
+    }
+
+    #[test]
+    fn one_sided_updates_are_not_conflicts() {
+        let (mut a, b) = seeded_pair();
+        put(&mut a, 1, 111, SimTime(30));
+        let out = merge_branches(SimTime(20), &[&a, &b]);
+        assert_eq!(out.stats.conflicts, 0);
+        assert_eq!(val(&out.snapshot, 1), Some(111));
+    }
+
+    #[test]
+    fn both_sides_creating_different_records_merge_cleanly() {
+        let (mut a, mut b) = seeded_pair();
+        put(&mut a, 10, 1, SimTime(30));
+        put(&mut b, 20, 2, SimTime(31));
+        let out = merge_branches(SimTime(20), &[&a, &b]);
+        assert_eq!(out.stats.conflicts, 0);
+        assert_eq!(val(&out.snapshot, 10), Some(1));
+        assert_eq!(val(&out.snapshot, 20), Some(2));
+        assert_eq!(out.stats.records_examined, 4);
+    }
+
+    #[test]
+    fn deletes_participate_in_lww() {
+        let (mut a, mut b) = seeded_pair();
+        // Side A deletes uid 1, side B updates it later: update wins.
+        let t = a.begin(IsolationLevel::ReadCommitted);
+        a.delete(t, SubscriberUid(1)).unwrap();
+        a.commit(t, SimTime(30)).unwrap();
+        put(&mut b, 1, 7, SimTime(40));
+
+        let out = merge_branches(SimTime(20), &[&a, &b]);
+        assert_eq!(val(&out.snapshot, 1), Some(7));
+        assert_eq!(out.stats.conflicts, 1);
+
+        // And the reverse: delete later than update ⇒ record stays dead.
+        let (mut a2, mut b2) = seeded_pair();
+        put(&mut a2, 1, 7, SimTime(30));
+        let t = b2.begin(IsolationLevel::ReadCommitted);
+        b2.delete(t, SubscriberUid(1)).unwrap();
+        b2.commit(t, SimTime(40)).unwrap();
+        let out2 = merge_branches(SimTime(20), &[&a2, &b2]);
+        assert_eq!(val(&out2.snapshot, 1), None);
+    }
+
+    #[test]
+    fn reseeded_replicas_converge() {
+        let (mut a, mut b) = seeded_pair();
+        put(&mut a, 1, 111, SimTime(30));
+        put(&mut b, 1, 999, SimTime(40));
+        let out = merge_branches(SimTime(20), &[&a, &b]);
+
+        let ra = Engine::from_snapshot(SeId(0), out.snapshot.clone());
+        let rb = Engine::from_snapshot(SeId(1), out.snapshot.clone());
+        let state = |e: &Engine| {
+            let mut v: Vec<_> =
+                e.iter_committed().map(|(u, ver)| (*u, ver.entry.clone())).collect();
+            v.sort_by_key(|(u, _)| *u);
+            v
+        };
+        assert_eq!(state(&ra), state(&rb));
+        assert_eq!(ra.last_lsn(), rb.last_lsn());
+    }
+
+    #[test]
+    fn three_way_merge() {
+        let mut a = Engine::new(SeId(0));
+        put(&mut a, 1, 1, SimTime(5));
+        let snap = a.snapshot();
+        let mut b = Engine::from_snapshot(SeId(1), snap.clone());
+        b.set_se(SeId(1));
+        let mut c = Engine::from_snapshot(SeId(2), snap);
+        c.set_se(SeId(2));
+
+        put(&mut a, 1, 10, SimTime(30));
+        put(&mut b, 1, 20, SimTime(35));
+        put(&mut c, 1, 30, SimTime(40));
+
+        let out = merge_branches(SimTime(20), &[&a, &b, &c]);
+        assert_eq!(val(&out.snapshot, 1), Some(30));
+        assert_eq!(out.stats.conflicts, 1);
+    }
+
+    #[test]
+    fn restoration_duration_scales_linearly() {
+        let per = SimDuration::from_micros(10);
+        assert_eq!(restoration_duration(0, per), SimDuration::ZERO);
+        assert_eq!(
+            restoration_duration(1_000_000, per),
+            SimDuration::from_secs(10)
+        );
+    }
+}

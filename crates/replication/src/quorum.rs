@@ -1,0 +1,146 @@
+//! Quorum replication, the §5 Cassandra comparison.
+//!
+//! "In Cassandra, a client is able to specify the durability guarantees it
+//! wants on a per-transaction basis. Under the hood Cassandra uses a
+//! consensus protocol across an ensemble of replicas; the more replicas are
+//! involved in the transaction, the higher the durability guarantees." We
+//! model the coordination cost: a write goes to all `n` replicas in
+//! parallel and acknowledges after the `w`-th response; a read consults `r`
+//! replicas and returns the freshest.
+
+use udr_model::ids::SeId;
+use udr_model::time::SimDuration;
+use udr_storage::Lsn;
+
+/// Outcome of a quorum write round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuorumWriteOutcome {
+    /// Whether `w` acknowledgements arrived.
+    pub committed: bool,
+    /// Coordination latency: the `w`-th fastest round trip (zero if failed).
+    pub latency: SimDuration,
+    /// Replicas that applied the write (even on failure some may have).
+    pub applied: Vec<SeId>,
+}
+
+/// Evaluate a quorum write given per-replica round trips (`None` =
+/// unreachable). `responses` covers all `n` ensemble members, master
+/// included with its (near-zero) local RTT.
+pub fn quorum_write(responses: &[(SeId, Option<SimDuration>)], w: usize) -> QuorumWriteOutcome {
+    let mut acks: Vec<(SeId, SimDuration)> =
+        responses.iter().filter_map(|(se, rtt)| rtt.map(|d| (*se, d))).collect();
+    acks.sort_by_key(|(_, d)| *d);
+    let applied: Vec<SeId> = acks.iter().map(|(se, _)| *se).collect();
+    if acks.len() >= w && w > 0 {
+        QuorumWriteOutcome { committed: true, latency: acks[w - 1].1, applied }
+    } else {
+        QuorumWriteOutcome { committed: false, latency: SimDuration::ZERO, applied }
+    }
+}
+
+/// Outcome of a quorum read round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuorumReadOutcome {
+    /// Whether `r` replicas responded.
+    pub served: bool,
+    /// Latency: the `r`-th fastest round trip.
+    pub latency: SimDuration,
+    /// The freshest LSN among the consulted replicas (what the client sees).
+    pub freshest: Lsn,
+}
+
+/// Evaluate a quorum read given per-replica `(rtt, replica_lsn)` responses.
+pub fn quorum_read(
+    responses: &[(SeId, Option<(SimDuration, Lsn)>)],
+    r: usize,
+) -> QuorumReadOutcome {
+    let mut acks: Vec<(SimDuration, Lsn)> =
+        responses.iter().filter_map(|(_, resp)| *resp).collect();
+    acks.sort_by_key(|(d, _)| *d);
+    if acks.len() >= r && r > 0 {
+        let consulted = &acks[..r];
+        let freshest = consulted.iter().map(|(_, lsn)| *lsn).max().unwrap_or(Lsn::ZERO);
+        QuorumReadOutcome { served: true, latency: consulted[r - 1].0, freshest }
+    } else {
+        QuorumReadOutcome { served: false, latency: SimDuration::ZERO, freshest: Lsn::ZERO }
+    }
+}
+
+/// Whether a `(n, w, r)` configuration guarantees read-your-writes
+/// consistency (`w + r > n`, the classic overlap condition).
+pub const fn quorum_consistent(n: u8, w: u8, r: u8) -> bool {
+    w as u16 + r as u16 > n as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn write_waits_for_wth_ack() {
+        let responses = vec![
+            (SeId(0), Some(ms(1))),
+            (SeId(1), Some(ms(20))),
+            (SeId(2), Some(ms(50))),
+        ];
+        let w2 = quorum_write(&responses, 2);
+        assert!(w2.committed);
+        assert_eq!(w2.latency, ms(20));
+        let w3 = quorum_write(&responses, 3);
+        assert!(w3.committed);
+        assert_eq!(w3.latency, ms(50));
+    }
+
+    #[test]
+    fn write_fails_without_quorum() {
+        let responses = vec![(SeId(0), Some(ms(1))), (SeId(1), None), (SeId(2), None)];
+        let out = quorum_write(&responses, 2);
+        assert!(!out.committed);
+        // The reachable replica still applied: durability leak the paper
+        // warns about when transactions "fail" but leave replicas updated.
+        assert_eq!(out.applied, vec![SeId(0)]);
+    }
+
+    #[test]
+    fn read_returns_freshest_of_consulted() {
+        let responses = vec![
+            (SeId(0), Some((ms(1), Lsn(10)))),
+            (SeId(1), Some((ms(5), Lsn(12)))),
+            (SeId(2), Some((ms(30), Lsn(15)))),
+        ];
+        let r2 = quorum_read(&responses, 2);
+        assert!(r2.served);
+        assert_eq!(r2.latency, ms(5));
+        assert_eq!(r2.freshest, Lsn(12)); // Lsn(15) was not consulted
+
+        let r3 = quorum_read(&responses, 3);
+        assert_eq!(r3.freshest, Lsn(15));
+        assert_eq!(r3.latency, ms(30));
+    }
+
+    #[test]
+    fn read_fails_without_quorum() {
+        let responses = vec![(SeId(0), Some((ms(1), Lsn(1)))), (SeId(1), None), (SeId(2), None)];
+        assert!(!quorum_read(&responses, 2).served);
+    }
+
+    #[test]
+    fn overlap_condition() {
+        assert!(quorum_consistent(3, 2, 2));
+        assert!(!quorum_consistent(3, 2, 1));
+        assert!(quorum_consistent(3, 3, 1));
+        assert!(!quorum_consistent(3, 1, 1));
+    }
+
+    #[test]
+    fn degenerate_quorums() {
+        assert!(!quorum_write(&[], 1).committed);
+        assert!(!quorum_read(&[], 1).served);
+        let out = quorum_write(&[(SeId(0), Some(ms(1)))], 0);
+        assert!(!out.committed, "w=0 is rejected");
+    }
+}

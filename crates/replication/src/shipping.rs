@@ -1,0 +1,327 @@
+//! Asynchronous master→slave log shipping (§3.3.1 decision 2).
+//!
+//! The master streams commit records to each slave over a FIFO channel
+//! (delivery order equals send order, like TCP); the slave applies them in
+//! LSN order, preserving the master's serialization order (§3.2). Shipping
+//! is asynchronous: commits never wait. When a slave is unreachable the
+//! channel stalls and a catch-up pass re-ships the missing suffix from the
+//! master's log once the slave is reachable again.
+
+use std::collections::HashMap;
+
+use udr_model::ids::SeId;
+use udr_model::time::{SimDuration, SimTime};
+use udr_storage::{CommitRecord, Engine, Lsn};
+
+/// Per-slave FIFO shipping state.
+#[derive(Debug, Clone, Default)]
+struct Channel {
+    /// Highest LSN this slave has applied (confirmed).
+    applied: Lsn,
+    /// Highest LSN currently in flight to the slave.
+    inflight: Lsn,
+    /// Arrival instant of the last in-flight record (FIFO clamp).
+    last_arrival: SimTime,
+}
+
+/// The shipping ledger for one replication group.
+#[derive(Debug, Clone, Default)]
+pub struct AsyncShipper {
+    channels: HashMap<SeId, Channel>,
+    /// Records shipped (including re-ships).
+    pub shipped: u64,
+    /// Catch-up passes performed.
+    pub catchups: u64,
+}
+
+/// A planned delivery: apply `record` on `slave` at `arrives`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delivery {
+    /// Destination slave SE.
+    pub slave: SeId,
+    /// The record to apply.
+    pub record: CommitRecord,
+    /// Virtual arrival instant.
+    pub arrives: SimTime,
+}
+
+impl AsyncShipper {
+    /// A shipper with no slaves registered yet.
+    pub fn new() -> Self {
+        AsyncShipper::default()
+    }
+
+    /// Register a slave channel starting from `applied` (what the slave
+    /// already has, e.g. from a seed snapshot).
+    pub fn register_slave(&mut self, slave: SeId, applied: Lsn) {
+        self.channels.insert(
+            slave,
+            Channel { applied, inflight: applied, last_arrival: SimTime::ZERO },
+        );
+    }
+
+    /// Remove a slave channel (member left the group).
+    pub fn unregister_slave(&mut self, slave: SeId) {
+        self.channels.remove(&slave);
+    }
+
+    /// Registered slaves.
+    pub fn slaves(&self) -> impl Iterator<Item = SeId> + '_ {
+        self.channels.keys().copied()
+    }
+
+    /// The highest LSN `slave` has confirmed applied.
+    pub fn applied(&self, slave: SeId) -> Option<Lsn> {
+        self.channels.get(&slave).map(|c| c.applied)
+    }
+
+    /// Plan delivery of one just-committed record to one slave. `delay` is
+    /// the sampled one-way network delay; `None` (unreachable/lost) stalls
+    /// the channel — a later catch-up pass will re-ship.
+    pub fn ship(
+        &mut self,
+        slave: SeId,
+        record: &CommitRecord,
+        now: SimTime,
+        delay: Option<SimDuration>,
+    ) -> Option<Delivery> {
+        let ch = self.channels.get_mut(&slave)?;
+        // Only ship the exact next record; anything else waits for catch-up.
+        if record.lsn != ch.inflight.next() {
+            return None;
+        }
+        let delay = delay?;
+        let arrives = (now + delay).max(ch.last_arrival);
+        ch.inflight = record.lsn;
+        ch.last_arrival = arrives;
+        self.shipped += 1;
+        Some(Delivery { slave, record: record.clone(), arrives })
+    }
+
+    /// Confirm that `slave` applied everything through `lsn`.
+    pub fn on_applied(&mut self, slave: SeId, lsn: Lsn) {
+        if let Some(ch) = self.channels.get_mut(&slave) {
+            ch.applied = ch.applied.max(lsn);
+            ch.inflight = ch.inflight.max(lsn);
+        }
+    }
+
+    /// Plan a catch-up pass for `slave`: re-ship every record the master
+    /// still retains beyond the slave's applied LSN. `delay` is the sampled
+    /// delay for the (batched) transfer; records inside a batch arrive
+    /// back-to-back.
+    ///
+    /// Returns an empty vector when the slave is up to date or the channel
+    /// is unknown. Panics never: a truncated master log that can no longer
+    /// serve the suffix yields only the retained part — callers detect the
+    /// gap via [`AsyncShipper::needs_reseed`].
+    pub fn catch_up(
+        &mut self,
+        slave: SeId,
+        master: &Engine,
+        now: SimTime,
+        delay: Option<SimDuration>,
+    ) -> Vec<Delivery> {
+        let Some(ch) = self.channels.get_mut(&slave) else {
+            return Vec::new();
+        };
+        if ch.applied >= master.last_lsn() {
+            return Vec::new();
+        }
+        let Some(delay) = delay else {
+            return Vec::new();
+        };
+        let records = master.log().since(ch.applied);
+        if records.is_empty() || records[0].lsn != ch.applied.next() {
+            // The suffix was truncated; a full reseed is required instead.
+            return Vec::new();
+        }
+        self.catchups += 1;
+        let mut arrives = (now + delay).max(ch.last_arrival);
+        let mut deliveries = Vec::with_capacity(records.len());
+        for record in records {
+            deliveries.push(Delivery { slave, record: record.clone(), arrives });
+            ch.inflight = record.lsn;
+            ch.last_arrival = arrives;
+            // Records in the same batch arrive 1 µs apart (stream order).
+            arrives += SimDuration::from_micros(1);
+        }
+        self.shipped += deliveries.len() as u64;
+        deliveries
+    }
+
+    /// Whether the master can no longer serve the suffix the slave needs
+    /// (log truncated past the slave's applied LSN) so a snapshot reseed is
+    /// the only way to resync.
+    pub fn needs_reseed(&self, slave: SeId, master: &Engine) -> bool {
+        let Some(ch) = self.channels.get(&slave) else {
+            return false;
+        };
+        if ch.applied >= master.last_lsn() {
+            return false;
+        }
+        match master.log().first_retained() {
+            Some(first) => first > ch.applied.next(),
+            // Log empty but master LSN ahead: everything truncated.
+            None => true,
+        }
+    }
+
+    /// Reset a channel after reseeding the slave from a snapshot at `lsn`.
+    pub fn reseeded(&mut self, slave: SeId, lsn: Lsn) {
+        self.register_slave(slave, lsn);
+    }
+
+    /// Replication lag of `slave` behind the master, in LSNs.
+    pub fn lag(&self, slave: SeId, master: &Engine) -> Option<u64> {
+        let ch = self.channels.get(&slave)?;
+        Some(master.last_lsn().raw().saturating_sub(ch.applied.raw()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udr_model::attrs::{AttrId, Entry};
+    use udr_model::config::IsolationLevel;
+    use udr_model::ids::SubscriberUid;
+
+    fn commit_n(engine: &mut Engine, n: u64) -> Vec<CommitRecord> {
+        (0..n)
+            .map(|i| {
+                let t = engine.begin(IsolationLevel::ReadCommitted);
+                let mut e = Entry::new();
+                e.set(AttrId::OdbMask, i);
+                engine.put(t, SubscriberUid(i), e).unwrap();
+                engine.commit(t, SimTime(i)).unwrap().unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ship_in_order_with_fifo_clamp() {
+        let mut master = Engine::new(SeId(0));
+        let recs = commit_n(&mut master, 2);
+        let mut shipper = AsyncShipper::new();
+        shipper.register_slave(SeId(1), Lsn::ZERO);
+
+        // First record: 10 ms delay.
+        let d1 = shipper
+            .ship(SeId(1), &recs[0], SimTime(0), Some(SimDuration::from_millis(10)))
+            .unwrap();
+        // Second record sent 1 ms later but sampled a 2 ms delay: FIFO
+        // clamps its arrival to not precede the first.
+        let d2 = shipper
+            .ship(
+                SeId(1),
+                &recs[1],
+                SimTime(1_000_000),
+                Some(SimDuration::from_millis(2)),
+            )
+            .unwrap();
+        assert!(d2.arrives >= d1.arrives);
+    }
+
+    #[test]
+    fn ship_skips_out_of_sequence_records() {
+        let mut master = Engine::new(SeId(0));
+        let recs = commit_n(&mut master, 3);
+        let mut shipper = AsyncShipper::new();
+        shipper.register_slave(SeId(1), Lsn::ZERO);
+        // Shipping record 2 before record 1 is refused.
+        assert!(shipper
+            .ship(SeId(1), &recs[1], SimTime(0), Some(SimDuration::ZERO))
+            .is_none());
+        assert!(shipper
+            .ship(SeId(1), &recs[0], SimTime(0), Some(SimDuration::ZERO))
+            .is_some());
+    }
+
+    #[test]
+    fn stalled_channel_catches_up() {
+        let mut master = Engine::new(SeId(0));
+        let recs = commit_n(&mut master, 5);
+        let mut shipper = AsyncShipper::new();
+        shipper.register_slave(SeId(1), Lsn::ZERO);
+
+        // Partition: the first ship attempt fails (None delay), channel stalls.
+        assert!(shipper.ship(SeId(1), &recs[0], SimTime(0), None).is_none());
+        assert_eq!(shipper.lag(SeId(1), &master), Some(5));
+
+        // Heal: catch-up re-ships the full suffix in order.
+        let deliveries = shipper.catch_up(
+            SeId(1),
+            &master,
+            SimTime(100),
+            Some(SimDuration::from_millis(10)),
+        );
+        assert_eq!(deliveries.len(), 5);
+        for (i, d) in deliveries.iter().enumerate() {
+            assert_eq!(d.record.lsn, Lsn(i as u64 + 1));
+            if i > 0 {
+                assert!(d.arrives >= deliveries[i - 1].arrives);
+            }
+        }
+        // Apply + confirm.
+        let mut slave = Engine::new(SeId(1));
+        for d in &deliveries {
+            slave.apply_replicated(&d.record).unwrap();
+            shipper.on_applied(SeId(1), d.record.lsn);
+        }
+        assert_eq!(shipper.lag(SeId(1), &master), Some(0));
+        assert_eq!(shipper.catchups, 1);
+    }
+
+    #[test]
+    fn catch_up_noop_when_current() {
+        let mut master = Engine::new(SeId(0));
+        commit_n(&mut master, 2);
+        let mut shipper = AsyncShipper::new();
+        shipper.register_slave(SeId(1), Lsn(2));
+        assert!(shipper
+            .catch_up(SeId(1), &master, SimTime(0), Some(SimDuration::ZERO))
+            .is_empty());
+    }
+
+    #[test]
+    fn truncated_log_requires_reseed() {
+        let mut master = Engine::new(SeId(0));
+        commit_n(&mut master, 5);
+        master.truncate_log(Lsn(3));
+        let mut shipper = AsyncShipper::new();
+        shipper.register_slave(SeId(1), Lsn(1));
+
+        assert!(shipper.needs_reseed(SeId(1), &master));
+        assert!(shipper
+            .catch_up(SeId(1), &master, SimTime(0), Some(SimDuration::ZERO))
+            .is_empty());
+
+        // Reseed from snapshot, then no more reseed needed.
+        shipper.reseeded(SeId(1), master.last_lsn());
+        assert!(!shipper.needs_reseed(SeId(1), &master));
+        assert_eq!(shipper.lag(SeId(1), &master), Some(0));
+    }
+
+    #[test]
+    fn slave_within_retained_log_does_not_need_reseed() {
+        let mut master = Engine::new(SeId(0));
+        commit_n(&mut master, 5);
+        master.truncate_log(Lsn(2));
+        let mut shipper = AsyncShipper::new();
+        shipper.register_slave(SeId(1), Lsn(2));
+        assert!(!shipper.needs_reseed(SeId(1), &master));
+        let deliveries =
+            shipper.catch_up(SeId(1), &master, SimTime(0), Some(SimDuration::ZERO));
+        assert_eq!(deliveries.len(), 3);
+    }
+
+    #[test]
+    fn unregistered_slave_is_ignored() {
+        let mut master = Engine::new(SeId(0));
+        let recs = commit_n(&mut master, 1);
+        let mut shipper = AsyncShipper::new();
+        assert!(shipper.ship(SeId(9), &recs[0], SimTime(0), Some(SimDuration::ZERO)).is_none());
+        assert!(shipper.applied(SeId(9)).is_none());
+        assert!(!shipper.needs_reseed(SeId(9), &master));
+    }
+}

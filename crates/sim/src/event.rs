@@ -1,0 +1,208 @@
+//! The discrete-event core: a virtual clock plus a deterministic
+//! time-ordered event queue.
+//!
+//! The queue is generic over the event payload so each experiment defines its
+//! own event enum; ties at equal timestamps break by insertion order, which
+//! keeps runs bit-for-bit reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use udr_model::time::{SimDuration, SimTime};
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest time pops first,
+        // breaking ties by insertion sequence (FIFO).
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event scheduler.
+///
+/// ```
+/// use udr_sim::event::EventQueue;
+/// use udr_model::time::{SimDuration, SimTime};
+///
+/// let mut q: EventQueue<&'static str> = EventQueue::new();
+/// q.schedule_at(SimTime(20), "b");
+/// q.schedule_at(SimTime(10), "a");
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!((t, e), (SimTime(10), "a"));
+/// assert_eq!(q.now(), SimTime(10));
+/// ```
+#[derive(Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    now: SimTime,
+    seq: u64,
+    processed: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at t = 0.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), now: SimTime::ZERO, seq: 0, processed: 0 }
+    }
+
+    /// Current virtual time (the timestamp of the last popped event).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events waiting.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Schedule an event at an absolute instant. Instants in the past are
+    /// clamped to `now` (the event fires immediately, preserving order).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        let at = at.max(self.now);
+        self.heap.push(Scheduled { at, seq: self.seq, event });
+        self.seq += 1;
+    }
+
+    /// Schedule an event after a delay from the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Pop the earliest event and advance the clock to it.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.heap.pop()?;
+        debug_assert!(s.at >= self.now, "time went backwards");
+        self.now = s.at;
+        self.processed += 1;
+        Some((s.at, s.event))
+    }
+
+    /// Peek at the next event's timestamp without advancing the clock.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Pop the next event only if it fires at or before `horizon`.
+    pub fn pop_until(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        if self.peek_time()? <= horizon {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Drop every pending event (used at experiment teardown).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(30), 3);
+        q.schedule_at(SimTime(10), 1);
+        q.schedule_at(SimTime(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule_at(SimTime(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(10), ());
+        q.schedule_at(SimTime(10), ());
+        q.schedule_at(SimTime(25), ());
+        let mut last = SimTime::ZERO;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+        }
+        assert_eq!(q.now(), SimTime(25));
+        assert_eq!(q.processed(), 3);
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(100), "later");
+        q.pop();
+        // Scheduling "earlier" than now must not rewind the clock.
+        q.schedule_at(SimTime(50), "past");
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(e, "past");
+        assert_eq!(t, SimTime(100));
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(40), "a");
+        q.pop();
+        q.schedule_in(SimDuration(5), "b");
+        assert_eq!(q.pop().unwrap().0, SimTime(45));
+    }
+
+    #[test]
+    fn pop_until_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(10), "in");
+        q.schedule_at(SimTime(90), "out");
+        assert!(q.pop_until(SimTime(50)).is_some());
+        assert!(q.pop_until(SimTime(50)).is_none());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(10), ());
+        q.clear();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+}

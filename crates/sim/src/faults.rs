@@ -1,0 +1,185 @@
+//! Fault schedules: the unplanned events of §3.1 ("on unplanned events
+//! contents of volatile media may vanish") and the partition incidents of
+//! §4.1 ("a network glitch as short as 30 seconds").
+
+use std::collections::BTreeSet;
+
+use udr_model::ids::{SeId, SiteId};
+use udr_model::time::{SimDuration, SimTime};
+
+use crate::net::Cut;
+
+/// One fault to inject at a point in virtual time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// Start a network partition isolating `island` for `duration`.
+    Partition {
+        /// Sites on the isolated side.
+        island: BTreeSet<SiteId>,
+        /// How long the partition lasts before healing.
+        duration: SimDuration,
+    },
+    /// A backbone glitch: every site isolated from every other for
+    /// `duration` (intra-site traffic unaffected).
+    BackboneGlitch {
+        /// Glitch length (§4.1's example is 30 s).
+        duration: SimDuration,
+    },
+    /// Crash a storage element; its RAM contents vanish (§3.1).
+    SeCrash {
+        /// The element that fails.
+        se: SeId,
+    },
+    /// Restore a previously crashed storage element (recovery from disk
+    /// snapshot happens in the storage layer).
+    SeRestore {
+        /// The element that recovers.
+        se: SeId,
+    },
+}
+
+/// A time-ordered fault plan.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSchedule {
+    entries: Vec<(SimTime, Fault)>,
+}
+
+impl FaultSchedule {
+    /// Empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a partition isolating `island` starting at `at`.
+    pub fn partition<I: IntoIterator<Item = SiteId>>(
+        mut self,
+        at: SimTime,
+        duration: SimDuration,
+        island: I,
+    ) -> Self {
+        self.entries.push((
+            at,
+            Fault::Partition { island: island.into_iter().collect(), duration },
+        ));
+        self
+    }
+
+    /// Add a full backbone glitch at `at`.
+    pub fn glitch(mut self, at: SimTime, duration: SimDuration) -> Self {
+        self.entries.push((at, Fault::BackboneGlitch { duration }));
+        self
+    }
+
+    /// Crash `se` at `at` and restore it after `outage`.
+    pub fn se_outage(mut self, at: SimTime, outage: SimDuration, se: SeId) -> Self {
+        self.entries.push((at, Fault::SeCrash { se }));
+        self.entries.push((at + outage, Fault::SeRestore { se }));
+        self
+    }
+
+    /// Crash `se` at `at` permanently.
+    pub fn se_crash(mut self, at: SimTime, se: SeId) -> Self {
+        self.entries.push((at, Fault::SeCrash { se }));
+        self
+    }
+
+    /// Consume into time-sorted `(time, fault)` pairs, stable for equal
+    /// timestamps.
+    pub fn into_sorted(mut self) -> Vec<(SimTime, Fault)> {
+        self.entries.sort_by_key(|(t, _)| *t);
+        self.entries
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl Fault {
+    /// For partition-like faults, the cut to apply and its duration.
+    pub fn as_cut(&self, total_sites: usize) -> Option<(Cut, SimDuration)> {
+        match self {
+            Fault::Partition { island, duration } => {
+                Some((Cut { island: island.clone() }, *duration))
+            }
+            Fault::BackboneGlitch { duration: _ } => {
+                // Isolate every site: equivalent to cutting each site off.
+                // One cut per site except the last is enough, but a single
+                // cut cannot express a full shatter; callers expand it.
+                let _ = total_sites;
+                None
+            }
+            _ => None,
+        }
+    }
+
+    /// Expand a backbone glitch into per-site cuts (every site its own
+    /// island).
+    pub fn glitch_cuts(total_sites: usize) -> Vec<Cut> {
+        (0..total_sites.saturating_sub(1) as u32)
+            .map(|s| Cut::isolating([SiteId(s)]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_sorts_by_time() {
+        let sched = FaultSchedule::new()
+            .se_crash(SimTime(300), SeId(1))
+            .glitch(SimTime(100), SimDuration::from_secs(30))
+            .partition(SimTime(200), SimDuration::from_secs(60), [SiteId(0)]);
+        let sorted = sched.into_sorted();
+        let times: Vec<u64> = sorted.iter().map(|(t, _)| t.as_nanos()).collect();
+        assert_eq!(times, vec![100, 200, 300]);
+    }
+
+    #[test]
+    fn se_outage_emits_crash_and_restore() {
+        let sched =
+            FaultSchedule::new().se_outage(SimTime(50), SimDuration::from_nanos(25), SeId(3));
+        let sorted = sched.into_sorted();
+        assert_eq!(sorted.len(), 2);
+        assert_eq!(sorted[0], (SimTime(50), Fault::SeCrash { se: SeId(3) }));
+        assert_eq!(sorted[1], (SimTime(75), Fault::SeRestore { se: SeId(3) }));
+    }
+
+    #[test]
+    fn partition_fault_yields_cut() {
+        let f = Fault::Partition {
+            island: [SiteId(1), SiteId(2)].into_iter().collect(),
+            duration: SimDuration::from_secs(10),
+        };
+        let (cut, d) = f.as_cut(4).unwrap();
+        assert!(cut.separates(SiteId(1), SiteId(0)));
+        assert!(!cut.separates(SiteId(1), SiteId(2)));
+        assert_eq!(d, SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn glitch_cuts_shatter_everything() {
+        let cuts = Fault::glitch_cuts(3);
+        // Two cuts suffice to pairwise-separate three sites.
+        assert_eq!(cuts.len(), 2);
+        let separated = |a: SiteId, b: SiteId| cuts.iter().any(|c| c.separates(a, b));
+        assert!(separated(SiteId(0), SiteId(1)));
+        assert!(separated(SiteId(0), SiteId(2)));
+        assert!(separated(SiteId(1), SiteId(2)));
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let s = FaultSchedule::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+}

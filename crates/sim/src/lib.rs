@@ -1,0 +1,26 @@
+//! # udr-sim
+//!
+//! The deterministic discrete-event substrate replacing the paper's
+//! multi-national deployment: a virtual clock and event queue
+//! ([`event::EventQueue`]), the simulated IP network with LAN/backbone
+//! latency models, partitions and loss ([`net`]), fault schedules
+//! ([`faults`]), CPU processing stations ([`service`]) and seeded random
+//! sources ([`rng`]).
+//!
+//! CAP/PACELC behaviour depends only on message delay, ordering and
+//! reachability; simulating those deterministically lets every experiment in
+//! the benchmark harness regenerate the paper's shapes reproducibly.
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod faults;
+pub mod net;
+pub mod rng;
+pub mod service;
+
+pub use event::EventQueue;
+pub use faults::{Fault, FaultSchedule};
+pub use net::{Cut, CutHandle, LatencyModel, LinkOutcome, LinkProfile, NetStats, Network, Topology};
+pub use rng::SimRng;
+pub use service::{Overload, Station};

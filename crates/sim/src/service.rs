@@ -1,0 +1,206 @@
+//! Processing-station models for CPU-bound components.
+//!
+//! §3.4.1: "LDAP server processes are processor-hungry whereas SE processes
+//! are RAM-hungry". We model each LDAP server (and the SE commit path) as a
+//! FIFO multi-server station with a deterministic-plus-jitter service time
+//! and a bounded queue; overload shows up as rejections, matching the PS
+//! back-log discussion of §3.3.
+
+use udr_model::time::{SimDuration, SimTime};
+
+/// A `k`-server FIFO processing station with a bounded queue.
+#[derive(Debug, Clone)]
+pub struct Station {
+    /// Per-operation service time.
+    service_time: SimDuration,
+    /// Completion times of the `k` servers (monotone per server).
+    busy_until: Vec<SimTime>,
+    /// Maximum queueing delay tolerated before admission is refused.
+    max_queue_delay: SimDuration,
+    /// Operations admitted.
+    pub admitted: u64,
+    /// Operations rejected for overload.
+    pub rejected: u64,
+    /// Total busy time accumulated (for utilisation reporting).
+    busy_accum: SimDuration,
+}
+
+impl Station {
+    /// A station of `servers` parallel servers, each taking `service_time`
+    /// per operation, refusing work that would wait longer than
+    /// `max_queue_delay`.
+    pub fn new(servers: usize, service_time: SimDuration, max_queue_delay: SimDuration) -> Self {
+        assert!(servers > 0, "station needs at least one server");
+        Station {
+            service_time,
+            busy_until: vec![SimTime::ZERO; servers],
+            max_queue_delay,
+            admitted: 0,
+            rejected: 0,
+            busy_accum: SimDuration::ZERO,
+        }
+    }
+
+    /// Convenience: a station sized from a target throughput in ops/s.
+    pub fn with_rate(servers: usize, ops_per_sec: f64, max_queue_delay: SimDuration) -> Self {
+        assert!(ops_per_sec > 0.0);
+        let service = SimDuration::from_secs_f64(1.0 / ops_per_sec);
+        Station::new(servers, service, max_queue_delay)
+    }
+
+    /// Try to admit one operation arriving at `now`; on success returns the
+    /// completion instant.
+    pub fn admit(&mut self, now: SimTime) -> Result<SimTime, Overload> {
+        // The earliest-free server serves next (FIFO across servers).
+        let (idx, &free_at) = self
+            .busy_until
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| **t)
+            .expect("at least one server");
+        let start = free_at.max(now);
+        let wait = start.duration_since(now);
+        if wait > self.max_queue_delay {
+            self.rejected += 1;
+            return Err(Overload { would_wait: wait });
+        }
+        let done = start + self.service_time;
+        self.busy_until[idx] = done;
+        self.admitted += 1;
+        self.busy_accum += self.service_time;
+        Ok(done)
+    }
+
+    /// Admit with an explicit per-op service time (e.g. heavier searches).
+    pub fn admit_with(
+        &mut self,
+        now: SimTime,
+        service_time: SimDuration,
+    ) -> Result<SimTime, Overload> {
+        let (idx, &free_at) = self
+            .busy_until
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| **t)
+            .expect("at least one server");
+        let start = free_at.max(now);
+        let wait = start.duration_since(now);
+        if wait > self.max_queue_delay {
+            self.rejected += 1;
+            return Err(Overload { would_wait: wait });
+        }
+        let done = start + service_time;
+        self.busy_until[idx] = done;
+        self.admitted += 1;
+        self.busy_accum += service_time;
+        Ok(done)
+    }
+
+    /// Fraction of capacity consumed up to `horizon`.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon == SimTime::ZERO {
+            return 0.0;
+        }
+        let capacity = horizon.as_secs_f64() * self.busy_until.len() as f64;
+        (self.busy_accum.as_secs_f64() / capacity).min(1.0)
+    }
+
+    /// Number of parallel servers.
+    pub fn servers(&self) -> usize {
+        self.busy_until.len()
+    }
+
+    /// Per-operation service time.
+    pub fn service_time(&self) -> SimDuration {
+        self.service_time
+    }
+}
+
+/// Admission refusal: the queue is too long.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Overload {
+    /// How long the operation would have waited.
+    pub would_wait: SimDuration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn idle_station_serves_immediately() {
+        let mut s = Station::new(1, ms(2), ms(100));
+        let done = s.admit(SimTime::ZERO).unwrap();
+        assert_eq!(done, SimTime::ZERO + ms(2));
+    }
+
+    #[test]
+    fn fifo_backlog_accumulates() {
+        let mut s = Station::new(1, ms(10), ms(1000));
+        let d1 = s.admit(SimTime::ZERO).unwrap();
+        let d2 = s.admit(SimTime::ZERO).unwrap();
+        let d3 = s.admit(SimTime::ZERO).unwrap();
+        assert_eq!(d1, SimTime::ZERO + ms(10));
+        assert_eq!(d2, SimTime::ZERO + ms(20));
+        assert_eq!(d3, SimTime::ZERO + ms(30));
+    }
+
+    #[test]
+    fn parallel_servers_share_load() {
+        let mut s = Station::new(2, ms(10), ms(1000));
+        let d1 = s.admit(SimTime::ZERO).unwrap();
+        let d2 = s.admit(SimTime::ZERO).unwrap();
+        let d3 = s.admit(SimTime::ZERO).unwrap();
+        assert_eq!(d1, SimTime::ZERO + ms(10));
+        assert_eq!(d2, SimTime::ZERO + ms(10));
+        assert_eq!(d3, SimTime::ZERO + ms(20));
+    }
+
+    #[test]
+    fn overload_rejects_when_queue_too_deep() {
+        let mut s = Station::new(1, ms(10), ms(15));
+        s.admit(SimTime::ZERO).unwrap(); // busy till 10
+        s.admit(SimTime::ZERO).unwrap(); // waits 10 <= 15, busy till 20
+        let err = s.admit(SimTime::ZERO).unwrap_err(); // would wait 20 > 15
+        assert_eq!(err.would_wait, ms(20));
+        assert_eq!(s.admitted, 2);
+        assert_eq!(s.rejected, 1);
+    }
+
+    #[test]
+    fn later_arrivals_find_station_free() {
+        let mut s = Station::new(1, ms(10), ms(0));
+        s.admit(SimTime::ZERO).unwrap();
+        // Arriving exactly when the server frees: no wait.
+        let done = s.admit(SimTime::ZERO + ms(10)).unwrap();
+        assert_eq!(done, SimTime::ZERO + ms(20));
+    }
+
+    #[test]
+    fn with_rate_sizes_service_time() {
+        let s = Station::with_rate(1, 1_000_000.0, ms(1));
+        assert_eq!(s.service_time(), SimDuration::from_micros(1));
+    }
+
+    #[test]
+    fn utilization_tracks_busy_time() {
+        let mut s = Station::new(2, ms(10), ms(1000));
+        for _ in 0..10 {
+            s.admit(SimTime::ZERO).unwrap();
+        }
+        // 10 ops × 10 ms = 100 ms of work over 2 servers × 100 ms window.
+        let u = s.utilization(SimTime::ZERO + ms(100));
+        assert!((u - 0.5).abs() < 1e-9, "u={u}");
+    }
+
+    #[test]
+    fn admit_with_custom_service_time() {
+        let mut s = Station::new(1, ms(1), ms(100));
+        let done = s.admit_with(SimTime::ZERO, ms(42)).unwrap();
+        assert_eq!(done, SimTime::ZERO + ms(42));
+    }
+}

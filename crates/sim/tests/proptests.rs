@@ -1,0 +1,115 @@
+//! Property tests for the simulator: event ordering, network partition
+//! algebra and station conservation laws.
+
+use proptest::prelude::*;
+
+use udr_model::ids::SiteId;
+use udr_model::time::{SimDuration, SimTime};
+use udr_sim::event::EventQueue;
+use udr_sim::net::{Cut, Network, Topology};
+use udr_sim::service::Station;
+use udr_sim::SimRng;
+
+proptest! {
+    /// Pops come out sorted by time with FIFO tie-break, regardless of the
+    /// insertion order.
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(times in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.schedule_at(SimTime(*t), i);
+        }
+        let mut popped: Vec<(SimTime, usize)> = Vec::new();
+        while let Some(p) = q.pop() {
+            popped.push(p);
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for pair in popped.windows(2) {
+            prop_assert!(pair[0].0 <= pair[1].0, "time order violated");
+            if pair[0].0 == pair[1].0 {
+                // Same instant: insertion order (the payload index) holds.
+                prop_assert!(pair[0].1 < pair[1].1, "FIFO violated");
+            }
+        }
+    }
+
+    /// Reachability is symmetric and reflexive under any set of cuts, and
+    /// healing all cuts restores the full mesh.
+    #[test]
+    fn partition_algebra(
+        sites in 2u32..6,
+        islands in prop::collection::vec(prop::collection::btree_set(0u32..6, 1..4), 0..4),
+    ) {
+        let mut net = Network::new(Topology::multinational(sites as usize));
+        let mut handles = Vec::new();
+        for island in &islands {
+            let members: Vec<SiteId> =
+                island.iter().filter(|s| **s < sites).map(|s| SiteId(*s)).collect();
+            if members.is_empty() {
+                continue;
+            }
+            handles.push(net.start_partition(Cut::isolating(members)));
+        }
+        for a in 0..sites {
+            prop_assert!(net.reachable(SiteId(a), SiteId(a)), "reflexivity");
+            for b in 0..sites {
+                prop_assert_eq!(
+                    net.reachable(SiteId(a), SiteId(b)),
+                    net.reachable(SiteId(b), SiteId(a)),
+                    "symmetry"
+                );
+            }
+        }
+        for h in handles {
+            net.heal_partition(h);
+        }
+        for a in 0..sites {
+            for b in 0..sites {
+                prop_assert!(net.reachable(SiteId(a), SiteId(b)), "heal incomplete");
+            }
+        }
+    }
+
+    /// A station never serves more work than capacity allows: completions
+    /// are monotone per admission order and utilization stays ≤ 1.
+    #[test]
+    fn station_conservation(
+        arrivals in prop::collection::vec(0u64..10_000, 1..100),
+        servers in 1usize..4,
+    ) {
+        let mut sorted = arrivals.clone();
+        sorted.sort();
+        let mut station = Station::new(
+            servers,
+            SimDuration::from_micros(100),
+            SimDuration::from_millis(50),
+        );
+        let mut last_done = SimTime::ZERO;
+        let mut admitted = 0u64;
+        for a in &sorted {
+            let now = SimTime(*a * 1_000);
+            if let Ok(done) = station.admit(now) {
+                admitted += 1;
+                prop_assert!(done >= now + SimDuration::from_micros(100));
+                // FIFO within the station: completions never regress.
+                prop_assert!(done >= last_done || servers > 1);
+                last_done = last_done.max(done);
+            }
+        }
+        prop_assert_eq!(admitted, station.admitted);
+        let horizon = last_done + SimDuration::from_micros(1);
+        prop_assert!(station.utilization(horizon) <= 1.0 + 1e-9);
+    }
+
+    /// Sampled link delays are never below the model floor and never zero
+    /// for WAN links.
+    #[test]
+    fn latency_floor_holds(seed in any::<u64>()) {
+        let topo = Topology::multinational(3);
+        let mut rng = SimRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let d = topo.link(SiteId(0), SiteId(1)).latency.sample(&mut rng);
+            prop_assert!(d >= SimDuration::from_millis(9), "WAN sample {d} under floor");
+        }
+    }
+}

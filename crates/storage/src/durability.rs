@@ -1,0 +1,209 @@
+//! Durability machinery and the storage cost model.
+//!
+//! §3.1 decision 1: "every storage element saves data in RAM to local
+//! persistent storage on a periodic basis"; footnote 6 describes the
+//! sync-commit alternative and why it is normally off. The simulated disk
+//! here is what survives an SE crash.
+
+use std::collections::HashMap;
+
+use udr_model::config::DurabilityMode;
+use udr_model::ids::PartitionId;
+use udr_model::time::{SimDuration, SimTime};
+
+use crate::engine::EngineSnapshot;
+
+/// Latency costs of engine-side operations, added by the simulation when an
+/// operation executes. Defaults approximate the 2014-era hardware the paper
+/// assumes (RAM engine, SAS/SATA disks).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Indexed read of one record from RAM.
+    pub read: SimDuration,
+    /// Staging one write (lock + buffer).
+    pub write: SimDuration,
+    /// RAM-only commit (publish + log append).
+    pub commit_ram: SimDuration,
+    /// Synchronous disk flush on commit (footnote 6's expensive option).
+    pub commit_fsync: SimDuration,
+    /// Fixed part of a periodic snapshot.
+    pub snapshot_base: SimDuration,
+    /// Per-megabyte cost of a periodic snapshot.
+    pub snapshot_per_mb: SimDuration,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            read: SimDuration::from_micros(2),
+            write: SimDuration::from_micros(3),
+            commit_ram: SimDuration::from_micros(5),
+            commit_fsync: SimDuration::from_millis(8),
+            snapshot_base: SimDuration::from_millis(50),
+            snapshot_per_mb: SimDuration::from_millis(10),
+        }
+    }
+}
+
+impl CostModel {
+    /// The commit-path latency under a durability mode.
+    pub fn commit_cost(&self, mode: DurabilityMode) -> SimDuration {
+        match mode {
+            DurabilityMode::SyncCommit => self.commit_ram + self.commit_fsync,
+            _ => self.commit_ram,
+        }
+    }
+
+    /// Cost of writing a snapshot of `bytes` to disk.
+    pub fn snapshot_cost(&self, bytes: usize) -> SimDuration {
+        let mb = bytes as f64 / (1024.0 * 1024.0);
+        self.snapshot_base + self.snapshot_per_mb.mul_f64(mb)
+    }
+}
+
+/// The per-SE simulated disk: snapshots per partition replica. Contents
+/// survive crashes; RAM does not.
+#[derive(Debug, Clone, Default)]
+pub struct Disk {
+    snapshots: HashMap<PartitionId, EngineSnapshot>,
+    /// When the last snapshot cycle completed.
+    pub last_snapshot_at: Option<SimTime>,
+    /// Snapshot cycles performed.
+    pub snapshot_cycles: u64,
+}
+
+impl Disk {
+    /// Empty disk.
+    pub fn new() -> Self {
+        Disk::default()
+    }
+
+    /// Store a snapshot for one partition replica.
+    pub fn store(&mut self, partition: PartitionId, snapshot: EngineSnapshot) {
+        self.snapshots.insert(partition, snapshot);
+    }
+
+    /// Fetch the stored snapshot for a partition, if any.
+    pub fn load(&self, partition: PartitionId) -> Option<&EngineSnapshot> {
+        self.snapshots.get(&partition)
+    }
+
+    /// Remove a partition's snapshot (when a replica is dropped).
+    pub fn remove(&mut self, partition: PartitionId) {
+        self.snapshots.remove(&partition);
+    }
+
+    /// Partitions with stored snapshots.
+    pub fn partitions(&self) -> impl Iterator<Item = PartitionId> + '_ {
+        self.snapshots.keys().copied()
+    }
+
+    /// Total bytes on disk.
+    pub fn approx_bytes(&self) -> usize {
+        self.snapshots.values().map(EngineSnapshot::approx_bytes).sum()
+    }
+}
+
+/// Decides when periodic snapshots fire.
+#[derive(Debug, Clone)]
+pub struct SnapshotScheduler {
+    mode: DurabilityMode,
+    last: SimTime,
+}
+
+impl SnapshotScheduler {
+    /// A scheduler for the given mode, anchored at `start`.
+    pub fn new(mode: DurabilityMode, start: SimTime) -> Self {
+        SnapshotScheduler { mode, last: start }
+    }
+
+    /// The configured mode.
+    pub fn mode(&self) -> DurabilityMode {
+        self.mode
+    }
+
+    /// Whether a periodic snapshot is due at `now`; if so, advances the
+    /// schedule anchor.
+    pub fn due(&mut self, now: SimTime) -> bool {
+        match self.mode {
+            DurabilityMode::PeriodicSnapshot { interval }
+                if now.duration_since(self.last) >= interval => {
+                    self.last = now;
+                    true
+                }
+            _ => false,
+        }
+    }
+
+    /// The next instant a snapshot becomes due (`None` for non-periodic
+    /// modes).
+    pub fn next_due(&self) -> Option<SimTime> {
+        match self.mode {
+            DurabilityMode::PeriodicSnapshot { interval } => Some(self.last + interval),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_cost_by_mode() {
+        let c = CostModel::default();
+        assert_eq!(c.commit_cost(DurabilityMode::None), c.commit_ram);
+        assert_eq!(c.commit_cost(DurabilityMode::periodic_default()), c.commit_ram);
+        assert_eq!(
+            c.commit_cost(DurabilityMode::SyncCommit),
+            c.commit_ram + c.commit_fsync
+        );
+        // Footnote 6: sync commit is orders of magnitude slower.
+        assert!(
+            c.commit_cost(DurabilityMode::SyncCommit)
+                > c.commit_cost(DurabilityMode::None) * 100
+        );
+    }
+
+    #[test]
+    fn snapshot_cost_scales_with_size() {
+        let c = CostModel::default();
+        let small = c.snapshot_cost(1024 * 1024);
+        let large = c.snapshot_cost(100 * 1024 * 1024);
+        assert!(large > small);
+        assert_eq!(c.snapshot_cost(0), c.snapshot_base);
+    }
+
+    #[test]
+    fn disk_store_load_remove() {
+        let mut d = Disk::new();
+        assert!(d.load(PartitionId(0)).is_none());
+        d.store(PartitionId(0), EngineSnapshot::empty());
+        assert!(d.load(PartitionId(0)).is_some());
+        assert_eq!(d.partitions().count(), 1);
+        d.remove(PartitionId(0));
+        assert!(d.load(PartitionId(0)).is_none());
+    }
+
+    #[test]
+    fn periodic_scheduler_fires_on_interval() {
+        let mode = DurabilityMode::PeriodicSnapshot { interval: SimDuration::from_secs(30) };
+        let mut s = SnapshotScheduler::new(mode, SimTime::ZERO);
+        assert!(!s.due(SimTime::ZERO + SimDuration::from_secs(29)));
+        assert!(s.due(SimTime::ZERO + SimDuration::from_secs(30)));
+        // Anchor advanced: not due again immediately.
+        assert!(!s.due(SimTime::ZERO + SimDuration::from_secs(31)));
+        assert!(s.due(SimTime::ZERO + SimDuration::from_secs(60)));
+        assert_eq!(s.next_due(), Some(SimTime::ZERO + SimDuration::from_secs(90)));
+    }
+
+    #[test]
+    fn non_periodic_modes_never_fire() {
+        let mut none = SnapshotScheduler::new(DurabilityMode::None, SimTime::ZERO);
+        let mut sync = SnapshotScheduler::new(DurabilityMode::SyncCommit, SimTime::ZERO);
+        let late = SimTime::ZERO + SimDuration::from_hours(10);
+        assert!(!none.due(late));
+        assert!(!sync.due(late));
+        assert_eq!(none.next_due(), None);
+    }
+}

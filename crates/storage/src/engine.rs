@@ -1,0 +1,601 @@
+//! The transactional in-RAM engine for one partition replica.
+//!
+//! Implements the §3.2 decisions: transactions are ACID *within* one storage
+//! element only; the isolation level is READ_COMMITTED (reads never block,
+//! writers take row locks that fail fast on conflict), with READ_UNCOMMITTED
+//! available for the cross-SE transaction groups the paper demotes.
+//!
+//! The engine is clock-free: commit timestamps are supplied by the caller
+//! (virtual time in simulations, wall time in benchmarks), which keeps the
+//! same code path usable from both the DES and Criterion.
+
+use std::collections::hash_map::Entry as MapEntry;
+use std::collections::{BTreeMap, HashMap};
+
+use udr_model::attrs::{AttrMod, Entry};
+use udr_model::config::IsolationLevel;
+use udr_model::error::{UdrError, UdrResult};
+use udr_model::ids::{SeId, SubscriberUid};
+use udr_model::time::SimTime;
+
+use crate::log::CommitLog;
+use crate::version::{Change, CommitRecord, Lsn, RecordVersion};
+
+/// Identifier of an in-flight transaction on one engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TxnId(pub u64);
+
+#[derive(Debug)]
+struct ActiveTxn {
+    isolation: IsolationLevel,
+    /// Staged final values per record (`None` = delete), in uid order so
+    /// commit application is deterministic.
+    writes: BTreeMap<SubscriberUid, Option<Entry>>,
+}
+
+/// A snapshot of an engine's committed state (what periodic durability
+/// writes to disk).
+#[derive(Debug, Clone)]
+pub struct EngineSnapshot {
+    /// Committed records at snapshot time.
+    pub records: Vec<(SubscriberUid, RecordVersion)>,
+    /// LSN of the last commit included.
+    pub last_lsn: Lsn,
+}
+
+impl EngineSnapshot {
+    /// An empty snapshot (a brand-new replica).
+    pub fn empty() -> Self {
+        EngineSnapshot { records: Vec::new(), last_lsn: Lsn::ZERO }
+    }
+
+    /// Approximate serialised size in bytes (drives snapshot-cost models).
+    pub fn approx_bytes(&self) -> usize {
+        self.records
+            .iter()
+            .map(|(_, v)| 16 + v.entry.as_ref().map_or(0, Entry::approx_size))
+            .sum()
+    }
+}
+
+/// The transactional store for one partition replica.
+#[derive(Debug)]
+pub struct Engine {
+    /// Identity of the hosting SE (stamped into commit records).
+    se: SeId,
+    committed: HashMap<SubscriberUid, RecordVersion>,
+    /// Row write locks: uid → holding transaction.
+    locks: HashMap<SubscriberUid, TxnId>,
+    /// Uncommitted staged values, readable at READ_UNCOMMITTED.
+    dirty: HashMap<SubscriberUid, (TxnId, Option<Entry>)>,
+    active: HashMap<TxnId, ActiveTxn>,
+    log: CommitLog,
+    next_txn: u64,
+    /// Commits applied (local + replicated), for reporting.
+    pub commit_count: u64,
+    /// Transactions aborted by conflict, for reporting.
+    pub conflict_count: u64,
+}
+
+impl Engine {
+    /// A fresh, empty engine hosted on `se`.
+    pub fn new(se: SeId) -> Self {
+        Engine {
+            se,
+            committed: HashMap::new(),
+            locks: HashMap::new(),
+            dirty: HashMap::new(),
+            active: HashMap::new(),
+            log: CommitLog::new(),
+            next_txn: 1,
+            commit_count: 0,
+            conflict_count: 0,
+        }
+    }
+
+    /// Rebuild an engine from a durability snapshot. The commit log restarts
+    /// after the snapshot LSN; everything committed later is lost (the §4.2
+    /// durability gap).
+    pub fn from_snapshot(se: SeId, snapshot: EngineSnapshot) -> Self {
+        Engine {
+            se,
+            committed: snapshot.records.into_iter().collect(),
+            locks: HashMap::new(),
+            dirty: HashMap::new(),
+            active: HashMap::new(),
+            log: CommitLog::starting_after(snapshot.last_lsn),
+            next_txn: 1,
+            commit_count: 0,
+            conflict_count: 0,
+        }
+    }
+
+    /// The hosting storage element.
+    pub fn se(&self) -> SeId {
+        self.se
+    }
+
+    /// Change the SE stamp (used when a snapshot is seeded onto another SE).
+    pub fn set_se(&mut self, se: SeId) {
+        self.se = se;
+    }
+
+    /// Begin a transaction at the given isolation level.
+    pub fn begin(&mut self, isolation: IsolationLevel) -> TxnId {
+        let id = TxnId(self.next_txn);
+        self.next_txn += 1;
+        self.active.insert(id, ActiveTxn { isolation, writes: BTreeMap::new() });
+        id
+    }
+
+    fn txn(&self, id: TxnId) -> UdrResult<&ActiveTxn> {
+        self.active.get(&id).ok_or(UdrError::TxnInvalid)
+    }
+
+    /// Read a record inside a transaction.
+    ///
+    /// * Own staged writes are always visible (read-your-writes).
+    /// * READ_COMMITTED sees the latest committed version and never blocks
+    ///   on other writers (§3.2 decision 2).
+    /// * READ_UNCOMMITTED additionally sees other transactions' staged
+    ///   writes (dirty reads).
+    pub fn read(&self, id: TxnId, uid: SubscriberUid) -> UdrResult<Option<Entry>> {
+        let txn = self.txn(id)?;
+        if let Some(staged) = txn.writes.get(&uid) {
+            return Ok(staged.clone());
+        }
+        if txn.isolation == IsolationLevel::ReadUncommitted {
+            if let Some((owner, staged)) = self.dirty.get(&uid) {
+                if *owner != id {
+                    return Ok(staged.clone());
+                }
+            }
+        }
+        Ok(self.read_committed(uid))
+    }
+
+    /// Read the latest committed version outside any transaction (what a
+    /// slave replica serves to front-ends).
+    pub fn read_committed(&self, uid: SubscriberUid) -> Option<Entry> {
+        self.committed.get(&uid).and_then(|v| v.entry.clone())
+    }
+
+    /// The full committed version (with LSN and commit time), for staleness
+    /// measurement and merges.
+    pub fn committed_version(&self, uid: SubscriberUid) -> Option<&RecordVersion> {
+        self.committed.get(&uid)
+    }
+
+    fn lock(&mut self, id: TxnId, uid: SubscriberUid) -> UdrResult<()> {
+        match self.locks.entry(uid) {
+            MapEntry::Occupied(e) if *e.get() != id => {
+                self.conflict_count += 1;
+                Err(UdrError::WriteConflict(uid))
+            }
+            MapEntry::Occupied(_) => Ok(()),
+            MapEntry::Vacant(e) => {
+                e.insert(id);
+                Ok(())
+            }
+        }
+    }
+
+    fn stage(&mut self, id: TxnId, uid: SubscriberUid, value: Option<Entry>) -> UdrResult<()> {
+        self.lock(id, uid)?;
+        let txn = self.active.get_mut(&id).ok_or(UdrError::TxnInvalid)?;
+        txn.writes.insert(uid, value.clone());
+        self.dirty.insert(uid, (id, value));
+        Ok(())
+    }
+
+    /// The currently visible value for a write operation: own staged value
+    /// first, then committed.
+    fn visible_for_write(&self, id: TxnId, uid: SubscriberUid) -> UdrResult<Option<Entry>> {
+        let txn = self.txn(id)?;
+        if let Some(staged) = txn.writes.get(&uid) {
+            return Ok(staged.clone());
+        }
+        Ok(self.read_committed(uid))
+    }
+
+    /// Create a record; fails if it already exists.
+    pub fn insert(&mut self, id: TxnId, uid: SubscriberUid, entry: Entry) -> UdrResult<()> {
+        if self.visible_for_write(id, uid)?.is_some() {
+            return Err(UdrError::AlreadyExists(uid));
+        }
+        self.stage(id, uid, Some(entry))
+    }
+
+    /// Unconditional upsert.
+    pub fn put(&mut self, id: TxnId, uid: SubscriberUid, entry: Entry) -> UdrResult<()> {
+        self.stage(id, uid, Some(entry))
+    }
+
+    /// Apply attribute-level modifications to an existing record.
+    pub fn modify(&mut self, id: TxnId, uid: SubscriberUid, mods: &[AttrMod]) -> UdrResult<()> {
+        let mut entry = self.visible_for_write(id, uid)?.ok_or(UdrError::NotFound(uid))?;
+        entry.apply(mods);
+        self.stage(id, uid, Some(entry))
+    }
+
+    /// Delete an existing record.
+    pub fn delete(&mut self, id: TxnId, uid: SubscriberUid) -> UdrResult<()> {
+        if self.visible_for_write(id, uid)?.is_none() {
+            return Err(UdrError::NotFound(uid));
+        }
+        self.stage(id, uid, None)
+    }
+
+    /// Commit: atomically publish all staged writes with the next LSN.
+    /// Returns `None` for read-only transactions (no log record produced).
+    pub fn commit(&mut self, id: TxnId, now: SimTime) -> UdrResult<Option<CommitRecord>> {
+        let txn = self.active.remove(&id).ok_or(UdrError::TxnInvalid)?;
+        if txn.writes.is_empty() {
+            return Ok(None);
+        }
+        let lsn = self.log.last_lsn().next();
+        let mut changes = Vec::with_capacity(txn.writes.len());
+        for (uid, entry) in txn.writes {
+            self.locks.remove(&uid);
+            self.dirty.remove(&uid);
+            self.committed.insert(
+                uid,
+                RecordVersion {
+                    entry: entry.clone(),
+                    lsn,
+                    committed_at: now,
+                    written_by: self.se,
+                },
+            );
+            changes.push(Change { uid, entry });
+        }
+        let record = CommitRecord { lsn, committed_at: now, written_by: self.se, changes };
+        self.log.append(record.clone());
+        self.commit_count += 1;
+        Ok(Some(record))
+    }
+
+    /// Abort: discard staged writes and release locks.
+    pub fn abort(&mut self, id: TxnId) {
+        if let Some(txn) = self.active.remove(&id) {
+            for uid in txn.writes.keys() {
+                self.locks.remove(uid);
+                self.dirty.remove(uid);
+            }
+        }
+    }
+
+    /// Apply a replicated commit record (slave path). Records must arrive in
+    /// exact LSN order — the §3.2 serialization-order guarantee.
+    pub fn apply_replicated(&mut self, record: &CommitRecord) -> UdrResult<()> {
+        let expected = self.log.last_lsn().next();
+        if record.lsn != expected {
+            return Err(UdrError::TxnAborted { reason: "replication LSN gap" });
+        }
+        for change in &record.changes {
+            self.committed.insert(
+                change.uid,
+                RecordVersion {
+                    entry: change.entry.clone(),
+                    lsn: record.lsn,
+                    committed_at: record.committed_at,
+                    written_by: record.written_by,
+                },
+            );
+        }
+        self.log.append(record.clone());
+        self.commit_count += 1;
+        Ok(())
+    }
+
+    /// The replica's current LSN (last applied/committed).
+    pub fn last_lsn(&self) -> Lsn {
+        self.log.last_lsn()
+    }
+
+    /// The commit log (replication stream source).
+    pub fn log(&self) -> &CommitLog {
+        &self.log
+    }
+
+    /// Truncate the log through `upto` (after a snapshot covers it).
+    pub fn truncate_log(&mut self, upto: Lsn) {
+        self.log.truncate_through(upto);
+    }
+
+    /// Take a durability snapshot of the committed state.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        let mut records: Vec<_> =
+            self.committed.iter().map(|(k, v)| (*k, v.clone())).collect();
+        records.sort_by_key(|(k, _)| *k);
+        EngineSnapshot { records, last_lsn: self.log.last_lsn() }
+    }
+
+    /// Number of live (non-tombstone) records.
+    pub fn live_records(&self) -> usize {
+        self.committed.values().filter(|v| v.entry.is_some()).count()
+    }
+
+    /// Approximate RAM footprint of committed data, in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.committed
+            .values()
+            .map(|v| 64 + v.entry.as_ref().map_or(0, Entry::approx_size))
+            .sum()
+    }
+
+    /// Number of in-flight transactions (diagnostics).
+    pub fn active_txns(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Iterate committed `(uid, version)` pairs in arbitrary order.
+    pub fn iter_committed(&self) -> impl Iterator<Item = (&SubscriberUid, &RecordVersion)> {
+        self.committed.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udr_model::attrs::{AttrId, AttrValue};
+
+    fn entry(msisdn: &str) -> Entry {
+        let mut e = Entry::new();
+        e.set(AttrId::Msisdn, msisdn);
+        e
+    }
+
+    fn uid(n: u64) -> SubscriberUid {
+        SubscriberUid(n)
+    }
+
+    #[test]
+    fn insert_commit_read() {
+        let mut eng = Engine::new(SeId(0));
+        let t = eng.begin(IsolationLevel::ReadCommitted);
+        eng.insert(t, uid(1), entry("111")).unwrap();
+        let rec = eng.commit(t, SimTime(5)).unwrap().unwrap();
+        assert_eq!(rec.lsn, Lsn(1));
+        assert_eq!(rec.len(), 1);
+        let got = eng.read_committed(uid(1)).unwrap();
+        assert_eq!(got.get(AttrId::Msisdn).and_then(AttrValue::as_str), Some("111"));
+    }
+
+    #[test]
+    fn insert_duplicate_fails() {
+        let mut eng = Engine::new(SeId(0));
+        let t = eng.begin(IsolationLevel::ReadCommitted);
+        eng.insert(t, uid(1), entry("111")).unwrap();
+        eng.commit(t, SimTime(0)).unwrap();
+        let t2 = eng.begin(IsolationLevel::ReadCommitted);
+        assert_eq!(eng.insert(t2, uid(1), entry("222")), Err(UdrError::AlreadyExists(uid(1))));
+    }
+
+    #[test]
+    fn read_committed_does_not_see_other_txns_writes() {
+        let mut eng = Engine::new(SeId(0));
+        let t0 = eng.begin(IsolationLevel::ReadCommitted);
+        eng.insert(t0, uid(1), entry("old")).unwrap();
+        eng.commit(t0, SimTime(0)).unwrap();
+
+        let writer = eng.begin(IsolationLevel::ReadCommitted);
+        eng.put(writer, uid(1), entry("new")).unwrap();
+
+        // A concurrent READ_COMMITTED reader sees the old committed value and
+        // is not blocked by the writer's lock (§3.2 decision 2).
+        let reader = eng.begin(IsolationLevel::ReadCommitted);
+        let seen = eng.read(reader, uid(1)).unwrap().unwrap();
+        assert_eq!(seen.get(AttrId::Msisdn).and_then(AttrValue::as_str), Some("old"));
+
+        eng.commit(writer, SimTime(1)).unwrap();
+        let seen = eng.read(reader, uid(1)).unwrap().unwrap();
+        assert_eq!(seen.get(AttrId::Msisdn).and_then(AttrValue::as_str), Some("new"));
+    }
+
+    #[test]
+    fn read_uncommitted_sees_dirty_writes() {
+        let mut eng = Engine::new(SeId(0));
+        let writer = eng.begin(IsolationLevel::ReadCommitted);
+        eng.put(writer, uid(1), entry("dirty")).unwrap();
+
+        let reader = eng.begin(IsolationLevel::ReadUncommitted);
+        let seen = eng.read(reader, uid(1)).unwrap().unwrap();
+        assert_eq!(seen.get(AttrId::Msisdn).and_then(AttrValue::as_str), Some("dirty"));
+
+        // If the writer aborts, the dirty read turns out to have been wrong —
+        // exactly the hazard the paper accepts for cross-SE transactions.
+        eng.abort(writer);
+        assert!(eng.read(reader, uid(1)).unwrap().is_none());
+    }
+
+    #[test]
+    fn read_your_own_writes() {
+        let mut eng = Engine::new(SeId(0));
+        let t = eng.begin(IsolationLevel::ReadCommitted);
+        eng.insert(t, uid(1), entry("mine")).unwrap();
+        let seen = eng.read(t, uid(1)).unwrap().unwrap();
+        assert_eq!(seen.get(AttrId::Msisdn).and_then(AttrValue::as_str), Some("mine"));
+    }
+
+    #[test]
+    fn write_conflict_fails_fast() {
+        let mut eng = Engine::new(SeId(0));
+        let t0 = eng.begin(IsolationLevel::ReadCommitted);
+        eng.insert(t0, uid(1), entry("x")).unwrap();
+        eng.commit(t0, SimTime(0)).unwrap();
+
+        let a = eng.begin(IsolationLevel::ReadCommitted);
+        let b = eng.begin(IsolationLevel::ReadCommitted);
+        eng.put(a, uid(1), entry("a")).unwrap();
+        assert_eq!(eng.put(b, uid(1), entry("b")), Err(UdrError::WriteConflict(uid(1))));
+        assert_eq!(eng.conflict_count, 1);
+        // After the holder commits, the other can retry.
+        eng.commit(a, SimTime(1)).unwrap();
+        eng.put(b, uid(1), entry("b")).unwrap();
+        eng.commit(b, SimTime(2)).unwrap();
+        let seen = eng.read_committed(uid(1)).unwrap();
+        assert_eq!(seen.get(AttrId::Msisdn).and_then(AttrValue::as_str), Some("b"));
+    }
+
+    #[test]
+    fn modify_applies_mods_and_requires_existence() {
+        let mut eng = Engine::new(SeId(0));
+        let t = eng.begin(IsolationLevel::ReadCommitted);
+        assert_eq!(
+            eng.modify(t, uid(9), &[AttrMod::Set(AttrId::OdbMask, AttrValue::U64(1))]),
+            Err(UdrError::NotFound(uid(9)))
+        );
+        eng.insert(t, uid(9), entry("m")).unwrap();
+        eng.modify(t, uid(9), &[AttrMod::Set(AttrId::OdbMask, AttrValue::U64(7))]).unwrap();
+        eng.commit(t, SimTime(0)).unwrap();
+        let e = eng.read_committed(uid(9)).unwrap();
+        assert_eq!(e.get(AttrId::OdbMask).and_then(AttrValue::as_u64), Some(7));
+    }
+
+    #[test]
+    fn delete_leaves_tombstone() {
+        let mut eng = Engine::new(SeId(0));
+        let t = eng.begin(IsolationLevel::ReadCommitted);
+        eng.insert(t, uid(1), entry("x")).unwrap();
+        eng.commit(t, SimTime(0)).unwrap();
+        let t2 = eng.begin(IsolationLevel::ReadCommitted);
+        eng.delete(t2, uid(1)).unwrap();
+        eng.commit(t2, SimTime(1)).unwrap();
+        assert!(eng.read_committed(uid(1)).is_none());
+        assert_eq!(eng.live_records(), 0);
+        // The tombstone carries the delete's LSN.
+        assert_eq!(eng.committed_version(uid(1)).unwrap().lsn, Lsn(2));
+    }
+
+    #[test]
+    fn atomicity_all_or_nothing_on_abort() {
+        let mut eng = Engine::new(SeId(0));
+        let t = eng.begin(IsolationLevel::ReadCommitted);
+        eng.insert(t, uid(1), entry("a")).unwrap();
+        eng.insert(t, uid(2), entry("b")).unwrap();
+        eng.abort(t);
+        assert!(eng.read_committed(uid(1)).is_none());
+        assert!(eng.read_committed(uid(2)).is_none());
+        assert_eq!(eng.active_txns(), 0);
+        // Locks released.
+        let t2 = eng.begin(IsolationLevel::ReadCommitted);
+        eng.insert(t2, uid(1), entry("c")).unwrap();
+        eng.commit(t2, SimTime(0)).unwrap();
+    }
+
+    #[test]
+    fn multi_record_commit_shares_one_lsn() {
+        let mut eng = Engine::new(SeId(0));
+        let t = eng.begin(IsolationLevel::ReadCommitted);
+        eng.insert(t, uid(1), entry("a")).unwrap();
+        eng.insert(t, uid(2), entry("b")).unwrap();
+        let rec = eng.commit(t, SimTime(3)).unwrap().unwrap();
+        assert_eq!(rec.lsn, Lsn(1));
+        assert_eq!(rec.len(), 2);
+        assert_eq!(eng.committed_version(uid(1)).unwrap().lsn, Lsn(1));
+        assert_eq!(eng.committed_version(uid(2)).unwrap().lsn, Lsn(1));
+    }
+
+    #[test]
+    fn read_only_commit_produces_no_record() {
+        let mut eng = Engine::new(SeId(0));
+        let t = eng.begin(IsolationLevel::ReadCommitted);
+        let _ = eng.read(t, uid(1)).unwrap();
+        assert!(eng.commit(t, SimTime(0)).unwrap().is_none());
+        assert_eq!(eng.last_lsn(), Lsn::ZERO);
+    }
+
+    #[test]
+    fn operations_on_finished_txn_fail() {
+        let mut eng = Engine::new(SeId(0));
+        let t = eng.begin(IsolationLevel::ReadCommitted);
+        eng.commit(t, SimTime(0)).unwrap();
+        assert_eq!(eng.read(t, uid(1)), Err(UdrError::TxnInvalid));
+        assert_eq!(eng.put(t, uid(1), entry("x")), Err(UdrError::TxnInvalid));
+        assert_eq!(eng.commit(t, SimTime(0)), Err(UdrError::TxnInvalid));
+    }
+
+    #[test]
+    fn apply_replicated_in_order() {
+        let mut master = Engine::new(SeId(0));
+        let mut slave = Engine::new(SeId(1));
+        let mut recs = Vec::new();
+        for i in 0..3u64 {
+            let t = master.begin(IsolationLevel::ReadCommitted);
+            master.insert(t, uid(i), entry(&format!("{i}"))).unwrap();
+            recs.push(master.commit(t, SimTime(i)).unwrap().unwrap());
+        }
+        for r in &recs {
+            slave.apply_replicated(r).unwrap();
+        }
+        assert_eq!(slave.last_lsn(), Lsn(3));
+        for i in 0..3u64 {
+            assert_eq!(slave.read_committed(uid(i)), master.read_committed(uid(i)));
+        }
+        // The slave records the master as the writer.
+        assert_eq!(slave.committed_version(uid(0)).unwrap().written_by, SeId(0));
+    }
+
+    #[test]
+    fn apply_replicated_rejects_gaps() {
+        let mut master = Engine::new(SeId(0));
+        let mut slave = Engine::new(SeId(1));
+        let mut recs = Vec::new();
+        for i in 0..2u64 {
+            let t = master.begin(IsolationLevel::ReadCommitted);
+            master.insert(t, uid(i), entry("x")).unwrap();
+            recs.push(master.commit(t, SimTime(0)).unwrap().unwrap());
+        }
+        assert!(slave.apply_replicated(&recs[1]).is_err());
+        slave.apply_replicated(&recs[0]).unwrap();
+        slave.apply_replicated(&recs[1]).unwrap();
+    }
+
+    #[test]
+    fn snapshot_and_restore_lose_post_snapshot_commits() {
+        let mut eng = Engine::new(SeId(0));
+        let t = eng.begin(IsolationLevel::ReadCommitted);
+        eng.insert(t, uid(1), entry("durable")).unwrap();
+        eng.commit(t, SimTime(0)).unwrap();
+
+        let snap = eng.snapshot();
+
+        let t = eng.begin(IsolationLevel::ReadCommitted);
+        eng.insert(t, uid(2), entry("volatile")).unwrap();
+        eng.commit(t, SimTime(1)).unwrap();
+
+        // Crash: rebuild from the snapshot.
+        let restored = Engine::from_snapshot(SeId(0), snap);
+        assert!(restored.read_committed(uid(1)).is_some());
+        assert!(restored.read_committed(uid(2)).is_none());
+        assert_eq!(restored.last_lsn(), Lsn(1));
+    }
+
+    #[test]
+    fn restored_engine_continues_lsn_sequence() {
+        let mut eng = Engine::new(SeId(0));
+        for i in 0..5u64 {
+            let t = eng.begin(IsolationLevel::ReadCommitted);
+            eng.put(t, uid(i), entry("v")).unwrap();
+            eng.commit(t, SimTime(i)).unwrap();
+        }
+        let snap = eng.snapshot();
+        let mut restored = Engine::from_snapshot(SeId(0), snap);
+        let t = restored.begin(IsolationLevel::ReadCommitted);
+        restored.put(t, uid(9), entry("post")).unwrap();
+        let rec = restored.commit(t, SimTime(9)).unwrap().unwrap();
+        assert_eq!(rec.lsn, Lsn(6));
+    }
+
+    #[test]
+    fn accounting() {
+        let mut eng = Engine::new(SeId(0));
+        let t = eng.begin(IsolationLevel::ReadCommitted);
+        eng.insert(t, uid(1), entry("1234567890")).unwrap();
+        eng.commit(t, SimTime(0)).unwrap();
+        assert_eq!(eng.live_records(), 1);
+        assert!(eng.approx_bytes() > 0);
+        assert_eq!(eng.commit_count, 1);
+    }
+}

@@ -1,0 +1,172 @@
+//! Property tests for the storage engine invariants the paper's replication
+//! design depends on (§3.2's serialization-order guarantee and §3.1's
+//! snapshot durability semantics).
+
+use proptest::prelude::*;
+
+use udr_model::attrs::{AttrId, Entry};
+use udr_model::config::IsolationLevel;
+use udr_model::ids::{SeId, SubscriberUid};
+use udr_model::time::SimTime;
+use udr_storage::{CommitRecord, Engine};
+
+/// One scripted engine operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Put { uid: u64, val: u64 },
+    Modify { uid: u64, odb: u64 },
+    Delete { uid: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..24, any::<u64>()).prop_map(|(uid, val)| Op::Put { uid, val }),
+        (0u64..24, any::<u64>()).prop_map(|(uid, odb)| Op::Modify { uid, odb }),
+        (0u64..24).prop_map(|uid| Op::Delete { uid }),
+    ]
+}
+
+fn entry_with(val: u64) -> Entry {
+    let mut e = Entry::new();
+    e.set(AttrId::OdbMask, val);
+    e
+}
+
+/// Run each op as its own committed transaction; ops that legitimately fail
+/// (modify/delete of absent records) are skipped. Returns the commit records.
+fn run_script(engine: &mut Engine, ops: &[Op]) -> Vec<CommitRecord> {
+    let mut records = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        let txn = engine.begin(IsolationLevel::ReadCommitted);
+        let staged = match op {
+            Op::Put { uid, val } => engine.put(txn, SubscriberUid(*uid), entry_with(*val)),
+            Op::Modify { uid, odb } => engine.modify(
+                txn,
+                SubscriberUid(*uid),
+                &[udr_model::attrs::AttrMod::Set(
+                    AttrId::OdbMask,
+                    udr_model::attrs::AttrValue::U64(*odb),
+                )],
+            ),
+            Op::Delete { uid } => engine.delete(txn, SubscriberUid(*uid)),
+        };
+        match staged {
+            Ok(()) => {
+                if let Some(rec) = engine.commit(txn, SimTime(i as u64)).unwrap() {
+                    records.push(rec);
+                }
+            }
+            Err(_) => engine.abort(txn),
+        }
+    }
+    records
+}
+
+fn committed_state(engine: &Engine) -> Vec<(u64, Option<Entry>)> {
+    let mut v: Vec<_> = engine
+        .iter_committed()
+        .map(|(uid, ver)| (uid.raw(), ver.entry.clone()))
+        .collect();
+    v.sort_by_key(|(uid, _)| *uid);
+    v
+}
+
+proptest! {
+    /// Replaying a master's log on a fresh slave produces an identical
+    /// committed state — the §3.2 sync guarantee.
+    #[test]
+    fn slave_replay_converges(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let mut master = Engine::new(SeId(0));
+        let records = run_script(&mut master, &ops);
+
+        let mut slave = Engine::new(SeId(1));
+        for rec in &records {
+            slave.apply_replicated(rec).unwrap();
+        }
+        prop_assert_eq!(committed_state(&master), committed_state(&slave));
+        prop_assert_eq!(master.last_lsn(), slave.last_lsn());
+    }
+
+    /// Restoring from a snapshot reproduces exactly the state at snapshot
+    /// time; later commits are lost (bounded by the snapshot interval).
+    #[test]
+    fn snapshot_restore_equals_prefix(
+        before in prop::collection::vec(op_strategy(), 0..60),
+        after in prop::collection::vec(op_strategy(), 0..60),
+    ) {
+        let mut engine = Engine::new(SeId(0));
+        run_script(&mut engine, &before);
+        let snap = engine.snapshot();
+        let state_at_snap = committed_state(&engine);
+        run_script(&mut engine, &after);
+
+        let restored = Engine::from_snapshot(SeId(0), snap);
+        prop_assert_eq!(committed_state(&restored), state_at_snap);
+    }
+
+    /// A slave that lost the prefix cannot apply a later record: replication
+    /// never reorders or skips (no gaps, ever).
+    #[test]
+    fn replication_rejects_any_gap(ops in prop::collection::vec(op_strategy(), 2..60)) {
+        let mut master = Engine::new(SeId(0));
+        let records = run_script(&mut master, &ops);
+        prop_assume!(records.len() >= 2);
+
+        let mut slave = Engine::new(SeId(1));
+        // Skip the first record: every subsequent apply must fail.
+        for rec in &records[1..] {
+            prop_assert!(slave.apply_replicated(rec).is_err());
+        }
+        prop_assert_eq!(slave.last_lsn().raw(), 0);
+    }
+
+    /// Commit LSNs are dense (1..=n) no matter the op mix: the log carries
+    /// every committed transaction exactly once.
+    #[test]
+    fn lsns_are_dense(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let mut engine = Engine::new(SeId(0));
+        let records = run_script(&mut engine, &ops);
+        for (i, rec) in records.iter().enumerate() {
+            prop_assert_eq!(rec.lsn.raw(), i as u64 + 1);
+        }
+        prop_assert_eq!(engine.last_lsn().raw(), records.len() as u64);
+    }
+
+    /// Aborted transactions leave no trace: running a script interleaved
+    /// with aborted "chaff" transactions yields the same state as the script
+    /// alone.
+    #[test]
+    fn aborts_leave_no_trace(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let mut clean = Engine::new(SeId(0));
+        run_script(&mut clean, &ops);
+
+        let mut noisy = Engine::new(SeId(0));
+        for (i, op) in ops.iter().enumerate() {
+            // Chaff transaction touching unrelated uids, then aborted.
+            let chaff = noisy.begin(IsolationLevel::ReadCommitted);
+            let _ = noisy.put(chaff, SubscriberUid(1000 + i as u64), entry_with(0));
+            noisy.abort(chaff);
+
+            let txn = noisy.begin(IsolationLevel::ReadCommitted);
+            let staged = match op {
+                Op::Put { uid, val } => noisy.put(txn, SubscriberUid(*uid), entry_with(*val)),
+                Op::Modify { uid, odb } => noisy.modify(
+                    txn,
+                    SubscriberUid(*uid),
+                    &[udr_model::attrs::AttrMod::Set(
+                        AttrId::OdbMask,
+                        udr_model::attrs::AttrValue::U64(*odb),
+                    )],
+                ),
+                Op::Delete { uid } => noisy.delete(txn, SubscriberUid(*uid)),
+            };
+            match staged {
+                Ok(()) => {
+                    noisy.commit(txn, SimTime(i as u64)).unwrap();
+                }
+                Err(_) => noisy.abort(txn),
+            }
+        }
+        prop_assert_eq!(committed_state(&clean), committed_state(&noisy));
+    }
+}

@@ -1,0 +1,126 @@
+//! Fault-schedule generators: random SE outage processes (MTBF/MTTR) and
+//! the partition scenarios the paper's availability discussion needs.
+
+use udr_model::ids::{SeId, SiteId};
+use udr_model::time::{SimDuration, SimTime};
+use udr_sim::{FaultSchedule, SimRng};
+
+/// Random SE outages: exponential time-between-failures and repair times.
+#[derive(Debug, Clone, Copy)]
+pub struct OutageProcess {
+    /// Mean time between failures per SE.
+    pub mtbf: SimDuration,
+    /// Mean time to repair.
+    pub mttr: SimDuration,
+}
+
+impl OutageProcess {
+    /// Build a schedule of crash/restore pairs for `ses` elements over
+    /// `[0, horizon)`. Outages of one SE never overlap (a crashed element
+    /// must restore before failing again).
+    pub fn schedule(&self, ses: u32, horizon: SimTime, rng: &mut SimRng) -> FaultSchedule {
+        let mut schedule = FaultSchedule::new();
+        for se in 0..ses {
+            let mut t = SimTime::ZERO;
+            loop {
+                let gap = rng.exponential(self.mtbf.as_secs_f64());
+                t += SimDuration::from_secs_f64(gap);
+                if t >= horizon {
+                    break;
+                }
+                let repair = rng.exponential(self.mttr.as_secs_f64()).max(0.001);
+                let outage = SimDuration::from_secs_f64(repair);
+                schedule = schedule.se_outage(t, outage, SeId(se));
+                t += outage;
+            }
+        }
+        schedule
+    }
+
+    /// The analytic steady-state availability of one SE under this process
+    /// (MTBF / (MTBF + MTTR)) — the baseline the replicated system must
+    /// beat to reach five nines.
+    pub fn single_se_availability(&self) -> f64 {
+        let up = self.mtbf.as_secs_f64();
+        let down = self.mttr.as_secs_f64();
+        up / (up + down)
+    }
+}
+
+/// A repeating partition scenario: every `period`, isolate `island` for
+/// `duration`.
+pub fn periodic_partitions(
+    island: Vec<SiteId>,
+    first_at: SimTime,
+    period: SimDuration,
+    duration: SimDuration,
+    count: u32,
+) -> FaultSchedule {
+    let mut schedule = FaultSchedule::new();
+    for i in 0..count {
+        let at = first_at + period * u64::from(i);
+        schedule = schedule.partition(at, duration, island.clone());
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outage_schedule_pairs_crash_and_restore() {
+        let p = OutageProcess {
+            mtbf: SimDuration::from_secs(1000),
+            mttr: SimDuration::from_secs(60),
+        };
+        let mut rng = SimRng::seed_from_u64(1);
+        let horizon = SimTime::ZERO + SimDuration::from_hours(10);
+        let schedule = p.schedule(4, horizon, &mut rng);
+        // Events come in (crash, restore) pairs.
+        assert_eq!(schedule.len() % 2, 0);
+        assert!(!schedule.is_empty(), "10 h at 1000 s MTBF should produce outages");
+    }
+
+    #[test]
+    fn outages_do_not_overlap_per_se() {
+        let p = OutageProcess {
+            mtbf: SimDuration::from_secs(300),
+            mttr: SimDuration::from_secs(120),
+        };
+        let mut rng = SimRng::seed_from_u64(2);
+        let horizon = SimTime::ZERO + SimDuration::from_hours(5);
+        let sorted = p.schedule(1, horizon, &mut rng).into_sorted();
+        // For a single SE the events must alternate crash/restore.
+        for pair in sorted.chunks(2) {
+            assert!(matches!(pair[0].1, udr_sim::Fault::SeCrash { .. }));
+            if pair.len() == 2 {
+                assert!(matches!(pair[1].1, udr_sim::Fault::SeRestore { .. }));
+                assert!(pair[0].0 < pair[1].0);
+            }
+        }
+    }
+
+    #[test]
+    fn analytic_availability() {
+        let p = OutageProcess {
+            mtbf: SimDuration::from_secs(99_999),
+            mttr: SimDuration::from_secs(1),
+        };
+        assert!((p.single_se_availability() - 0.99999).abs() < 1e-9);
+    }
+
+    #[test]
+    fn periodic_partitions_layout() {
+        let s = periodic_partitions(
+            vec![SiteId(1)],
+            SimTime::ZERO + SimDuration::from_secs(10),
+            SimDuration::from_secs(100),
+            SimDuration::from_secs(30),
+            3,
+        );
+        let sorted = s.into_sorted();
+        assert_eq!(sorted.len(), 3);
+        assert_eq!(sorted[1].0, SimTime::ZERO + SimDuration::from_secs(110));
+    }
+}

@@ -1,0 +1,21 @@
+//! # udr-workload
+//!
+//! Workload generation for the experiments: deterministic subscriber
+//! populations ([`population`]), Poisson front-end traffic with procedure
+//! mixes, busy-hour modulation and roaming ([`traffic`]), and fault
+//! processes (random SE outages, periodic partitions — [`faultgen`]).
+//!
+//! The paper's claims are about *rates and mixes* — 1–3 LDAP ops per
+//! typical procedure, read-mostly FE traffic vs write-heavy provisioning —
+//! which these generators reproduce synthetically (no production traces
+//! exist; see DESIGN.md substitutions).
+
+#![warn(missing_docs)]
+
+pub mod faultgen;
+pub mod population;
+pub mod traffic;
+
+pub use faultgen::{periodic_partitions, OutageProcess};
+pub use population::{PopulationBuilder, Subscriber};
+pub use traffic::{LoadProfile, ProcedureMix, TrafficEvent, TrafficModel};

@@ -1,0 +1,150 @@
+//! Synthetic subscriber populations.
+//!
+//! Deterministic identity generation: subscriber `i` always gets the same
+//! IMSI/MSISDN/IMPU/IMPI, so runs are reproducible and identities are
+//! unique by construction. Home regions follow a configurable share per
+//! region (real networks are not uniform).
+
+use udr_model::identity::{IdentitySet, Impi, Impu, Imsi, Msisdn};
+
+use udr_sim::SimRng;
+
+/// One generated subscriber.
+#[derive(Debug, Clone)]
+pub struct Subscriber {
+    /// Stable index (also drives identity digits).
+    pub index: u64,
+    /// Identity set for provisioning.
+    pub ids: IdentitySet,
+    /// Home region (site index).
+    pub home_region: u32,
+}
+
+/// Generates deterministic subscriber populations.
+#[derive(Debug, Clone)]
+pub struct PopulationBuilder {
+    regions: u32,
+    /// Relative population share per region (defaults to uniform).
+    region_weights: Vec<f64>,
+    /// Fraction of subscribers that are IMS-enabled.
+    ims_fraction: f64,
+    /// MCC+MNC prefix for IMSIs.
+    plmn: String,
+}
+
+impl PopulationBuilder {
+    /// A builder for `regions` regions, uniform shares, 40 % IMS.
+    pub fn new(regions: u32) -> Self {
+        assert!(regions > 0);
+        PopulationBuilder {
+            regions,
+            region_weights: vec![1.0; regions as usize],
+            ims_fraction: 0.4,
+            plmn: "21401".to_owned(),
+        }
+    }
+
+    /// Set per-region population weights.
+    pub fn region_weights(mut self, weights: Vec<f64>) -> Self {
+        assert_eq!(weights.len(), self.regions as usize);
+        self.region_weights = weights;
+        self
+    }
+
+    /// Set the IMS-enabled fraction.
+    pub fn ims_fraction(mut self, f: f64) -> Self {
+        self.ims_fraction = f.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Generate subscriber `index` (pure function of builder + index +
+    /// seed-derived stream).
+    pub fn subscriber(&self, index: u64, rng: &mut SimRng) -> Subscriber {
+        let imsi = Imsi::new(format!("{}{index:010}", self.plmn)).expect("valid imsi");
+        let msisdn = Msisdn::new(format!("34{index:09}")).expect("valid msisdn");
+        let ims = rng.chance(self.ims_fraction);
+        let (impus, impi) = if ims {
+            (
+                vec![
+                    Impu::new(format!("sip:+34{index:09}@ims.example.com")).expect("valid impu"),
+                    Impu::new(format!("tel:+34{index:09}")).expect("valid impu"),
+                ],
+                Some(Impi::new(format!("u{index}@ims.example.com")).expect("valid impi")),
+            )
+        } else {
+            (Vec::new(), None)
+        };
+        let home_region = rng.weighted_choice(&self.region_weights) as u32;
+        Subscriber { index, ids: IdentitySet { imsi, msisdn, impus, impi }, home_region }
+    }
+
+    /// Generate the first `n` subscribers.
+    pub fn build(&self, n: u64, rng: &mut SimRng) -> Vec<Subscriber> {
+        (0..n).map(|i| self.subscriber(i, rng)).collect()
+    }
+
+    /// Number of regions.
+    pub fn regions(&self) -> u32 {
+        self.regions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identities_are_unique_and_valid() {
+        let b = PopulationBuilder::new(3);
+        let mut rng = SimRng::seed_from_u64(1);
+        let pop = b.build(500, &mut rng);
+        let mut imsis: Vec<_> = pop.iter().map(|s| s.ids.imsi.as_str().to_owned()).collect();
+        imsis.sort();
+        imsis.dedup();
+        assert_eq!(imsis.len(), 500);
+        let mut msisdns: Vec<_> = pop.iter().map(|s| s.ids.msisdn.as_str().to_owned()).collect();
+        msisdns.sort();
+        msisdns.dedup();
+        assert_eq!(msisdns.len(), 500);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let b = PopulationBuilder::new(3);
+        let mut r1 = SimRng::seed_from_u64(42);
+        let mut r2 = SimRng::seed_from_u64(42);
+        let p1 = b.build(100, &mut r1);
+        let p2 = b.build(100, &mut r2);
+        for (a, b) in p1.iter().zip(&p2) {
+            assert_eq!(a.ids, b.ids);
+            assert_eq!(a.home_region, b.home_region);
+        }
+    }
+
+    #[test]
+    fn ims_fraction_respected() {
+        let b = PopulationBuilder::new(2).ims_fraction(0.25);
+        let mut rng = SimRng::seed_from_u64(3);
+        let pop = b.build(4000, &mut rng);
+        let ims = pop.iter().filter(|s| s.ids.impi.is_some()).count();
+        let frac = ims as f64 / 4000.0;
+        assert!((frac - 0.25).abs() < 0.03, "ims fraction {frac}");
+        // IMS subscribers have both sip and tel IMPUs.
+        let with_ims = pop.iter().find(|s| s.ids.impi.is_some()).unwrap();
+        assert_eq!(with_ims.ids.impus.len(), 2);
+    }
+
+    #[test]
+    fn region_weights_shape_population() {
+        let b = PopulationBuilder::new(3).region_weights(vec![6.0, 3.0, 1.0]);
+        let mut rng = SimRng::seed_from_u64(5);
+        let pop = b.build(10_000, &mut rng);
+        let mut counts = [0usize; 3];
+        for s in &pop {
+            counts[s.home_region as usize] += 1;
+        }
+        assert!(counts[0] > counts[1] && counts[1] > counts[2], "{counts:?}");
+        let frac0 = counts[0] as f64 / 10_000.0;
+        assert!((frac0 - 0.6).abs() < 0.03, "region 0 share {frac0}");
+    }
+}

@@ -1,0 +1,281 @@
+//! Front-end traffic generation: Poisson procedure arrivals with a
+//! configurable procedure mix, busy-hour modulation and a roaming model
+//! (§3.5: "users stay within the home region of the subscription most of
+//! the time").
+
+use udr_model::ids::SiteId;
+use udr_model::procedures::ProcedureKind;
+use udr_model::time::{SimDuration, SimTime};
+use udr_sim::SimRng;
+
+use crate::population::Subscriber;
+
+/// Relative frequency of each procedure in the mix.
+#[derive(Debug, Clone)]
+pub struct ProcedureMix {
+    kinds: Vec<(ProcedureKind, f64)>,
+}
+
+impl ProcedureMix {
+    /// A mix from `(kind, weight)` pairs.
+    pub fn new(kinds: Vec<(ProcedureKind, f64)>) -> Self {
+        assert!(!kinds.is_empty());
+        ProcedureMix { kinds }
+    }
+
+    /// A realistic default mix: location management dominates, calls and
+    /// SMS frequent, IMS present, attach/detach rare.
+    pub fn typical() -> Self {
+        ProcedureMix::new(vec![
+            (ProcedureKind::LocationUpdate, 30.0),
+            (ProcedureKind::SmsDelivery, 20.0),
+            (ProcedureKind::CallSetupMo, 15.0),
+            (ProcedureKind::CallSetupMt, 12.0),
+            (ProcedureKind::ImsSession, 10.0),
+            (ProcedureKind::ImsRegistration, 5.0),
+            (ProcedureKind::Attach, 4.0),
+            (ProcedureKind::Detach, 4.0),
+        ])
+    }
+
+    /// A read-only mix (no writes at all).
+    pub fn read_only() -> Self {
+        ProcedureMix::new(vec![
+            (ProcedureKind::SmsDelivery, 40.0),
+            (ProcedureKind::CallSetupMo, 30.0),
+            (ProcedureKind::CallSetupMt, 30.0),
+        ])
+    }
+
+    /// Draw one procedure kind.
+    pub fn sample(&self, rng: &mut SimRng) -> ProcedureKind {
+        let weights: Vec<f64> = self.kinds.iter().map(|(_, w)| *w).collect();
+        self.kinds[rng.weighted_choice(&weights)].0
+    }
+
+    /// Expected LDAP operations per procedure under this mix.
+    pub fn mean_ops(&self) -> f64 {
+        let total: f64 = self.kinds.iter().map(|(_, w)| w).sum();
+        self.kinds
+            .iter()
+            .map(|(k, w)| f64::from(k.total_ops()) * w / total)
+            .sum()
+    }
+}
+
+/// Diurnal load modulation (§3.3: "low traffic hours").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadProfile {
+    /// Constant rate.
+    Flat,
+    /// Sinusoidal day: peak at `busy_hour`, trough at `busy_hour + 12 h`,
+    /// trough-to-peak ratio `depth` (0 = flat, 1 = silent trough).
+    Diurnal {
+        /// Hour of day (0–23) with peak load.
+        busy_hour: u32,
+        /// Modulation depth in `[0, 1]`.
+        depth: f64,
+    },
+}
+
+impl LoadProfile {
+    /// Rate multiplier at a given instant.
+    pub fn multiplier(&self, at: SimTime) -> f64 {
+        match self {
+            LoadProfile::Flat => 1.0,
+            LoadProfile::Diurnal { busy_hour, depth } => {
+                let hours = at.as_secs_f64() / 3600.0;
+                let phase = (hours - f64::from(*busy_hour)) / 24.0 * std::f64::consts::TAU;
+                1.0 - depth / 2.0 + depth / 2.0 * phase.cos()
+            }
+        }
+    }
+}
+
+/// One generated traffic event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficEvent {
+    /// When the procedure starts.
+    pub at: SimTime,
+    /// Index into the population.
+    pub subscriber: usize,
+    /// The procedure.
+    pub kind: ProcedureKind,
+    /// The FE site serving the subscriber (home or roamed).
+    pub fe_site: SiteId,
+}
+
+/// Configuration of a traffic stream.
+#[derive(Debug, Clone)]
+pub struct TrafficModel {
+    /// Mean procedures per subscriber per second at peak.
+    pub per_sub_rate: f64,
+    /// Procedure mix.
+    pub mix: ProcedureMix,
+    /// Diurnal profile.
+    pub profile: LoadProfile,
+    /// Probability a procedure originates outside the home region.
+    pub roaming_probability: f64,
+    /// Total sites (roaming targets).
+    pub sites: u32,
+}
+
+impl TrafficModel {
+    /// A typical-mix, flat-profile model.
+    pub fn flat(per_sub_rate: f64, sites: u32) -> Self {
+        TrafficModel {
+            per_sub_rate,
+            mix: ProcedureMix::typical(),
+            profile: LoadProfile::Flat,
+            roaming_probability: 0.05,
+            sites,
+        }
+    }
+
+    /// Generate the event stream over `[start, end)` for a population.
+    /// Events come out time-sorted.
+    pub fn generate(
+        &self,
+        population: &[Subscriber],
+        start: SimTime,
+        end: SimTime,
+        rng: &mut SimRng,
+    ) -> Vec<TrafficEvent> {
+        let n = population.len();
+        if n == 0 || self.per_sub_rate <= 0.0 {
+            return Vec::new();
+        }
+        // Aggregate Poisson process, thinned by the diurnal profile and
+        // attributed to uniformly-chosen subscribers.
+        let peak_rate = self.per_sub_rate * n as f64;
+        let mut events = Vec::new();
+        let mut now = start;
+        loop {
+            let step = rng.exponential(1.0 / peak_rate);
+            now += SimDuration::from_secs_f64(step);
+            if now >= end {
+                break;
+            }
+            // Thinning for the diurnal profile.
+            if !rng.chance(self.profile.multiplier(now)) {
+                continue;
+            }
+            let subscriber = rng.below(n as u64) as usize;
+            let kind = self.mix.sample(rng);
+            let home = population[subscriber].home_region;
+            let fe_site = if self.sites > 1 && rng.chance(self.roaming_probability) {
+                // Roam to a uniformly-chosen *other* site.
+                let mut s = rng.below(u64::from(self.sites) - 1) as u32;
+                if s >= home {
+                    s += 1;
+                }
+                SiteId(s)
+            } else {
+                SiteId(home)
+            };
+            events.push(TrafficEvent { at: now, subscriber, kind, fe_site });
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::PopulationBuilder;
+
+    fn population(n: u64) -> Vec<Subscriber> {
+        let mut rng = SimRng::seed_from_u64(1);
+        PopulationBuilder::new(3).build(n, &mut rng)
+    }
+
+    #[test]
+    fn event_count_matches_rate() {
+        let pop = population(100);
+        let model = TrafficModel::flat(0.1, 3); // 10 events/s aggregate
+        let mut rng = SimRng::seed_from_u64(2);
+        let events = model.generate(
+            &pop,
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_secs(100),
+            &mut rng,
+        );
+        // Expect ~1000 events ± 10 %.
+        assert!((900..=1100).contains(&events.len()), "{} events", events.len());
+        // Sorted by time.
+        assert!(events.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn roaming_probability_respected() {
+        let pop = population(100);
+        let mut model = TrafficModel::flat(0.1, 3);
+        model.roaming_probability = 0.2;
+        let mut rng = SimRng::seed_from_u64(3);
+        let events = model.generate(
+            &pop,
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_secs(200),
+            &mut rng,
+        );
+        let roamed = events
+            .iter()
+            .filter(|e| e.fe_site.0 != pop[e.subscriber].home_region)
+            .count();
+        let frac = roamed as f64 / events.len() as f64;
+        assert!((frac - 0.2).abs() < 0.03, "roamed fraction {frac}");
+    }
+
+    #[test]
+    fn zero_roaming_stays_home() {
+        let pop = population(50);
+        let mut model = TrafficModel::flat(0.1, 3);
+        model.roaming_probability = 0.0;
+        let mut rng = SimRng::seed_from_u64(4);
+        let events = model.generate(
+            &pop,
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_secs(50),
+            &mut rng,
+        );
+        assert!(events.iter().all(|e| e.fe_site.0 == pop[e.subscriber].home_region));
+    }
+
+    #[test]
+    fn diurnal_profile_modulates() {
+        let profile = LoadProfile::Diurnal { busy_hour: 12, depth: 0.8 };
+        let noon = SimTime::ZERO + SimDuration::from_hours(12);
+        let midnight = SimTime::ZERO + SimDuration::from_hours(0);
+        assert!(profile.multiplier(noon) > 0.99);
+        assert!(profile.multiplier(midnight) < 0.3);
+        assert_eq!(LoadProfile::Flat.multiplier(noon), 1.0);
+    }
+
+    #[test]
+    fn typical_mix_means_one_to_three_ops() {
+        // §3.5: typical procedures cost 1–3 ops; the blended mean with some
+        // IMS traffic sits in between.
+        let mean = ProcedureMix::typical().mean_ops();
+        assert!((1.5..=3.5).contains(&mean), "mean ops {mean}");
+    }
+
+    #[test]
+    fn read_only_mix_has_no_writes() {
+        let mix = ProcedureMix::read_only();
+        let mut rng = SimRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let kind = mix.sample(&mut rng);
+            let (_, writes) = kind.ldap_ops();
+            assert_eq!(writes, 0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn empty_population_generates_nothing() {
+        let model = TrafficModel::flat(0.1, 3);
+        let mut rng = SimRng::seed_from_u64(5);
+        assert!(model
+            .generate(&[], SimTime::ZERO, SimTime::ZERO + SimDuration::from_secs(10), &mut rng)
+            .is_empty());
+    }
+}

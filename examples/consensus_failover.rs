@@ -1,0 +1,101 @@
+//! Consensus failover drill: the §6 evolution under fire.
+//!
+//! A five-site provisioning ensemble replicated with multi-Paxos takes a
+//! steady stream of subscriber writes while the drill injects the two
+//! faults the paper worries about most: the leader's site burns down
+//! (§3.1's "unforeseen events") and the backbone partitions (§4.1). Watch
+//! the leadership timeline, the per-window commit rate, and the final
+//! agreement check — no restoration merge is ever needed.
+//!
+//! ```sh
+//! cargo run --release --example consensus_failover
+//! ```
+
+use udr::consensus::runtime::{ClusterConfig, ConsensusCluster};
+use udr::consensus::NodeId;
+use udr::metrics::Table;
+use udr::model::ids::SubscriberUid;
+use udr::model::{SimDuration, SimTime};
+use udr::sim::net::Topology;
+
+fn secs(s: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_secs(s)
+}
+
+fn main() {
+    let mut cluster =
+        ConsensusCluster::new(Topology::multinational(5), ClusterConfig::default(), 2014);
+
+    // Let a leader emerge, then find out who it is so the drill can target it.
+    cluster.run_until(secs(5));
+    let leader = cluster.current_leader().expect("a leader by t=5s");
+    println!("t=5s: {leader} leads a 5-site ensemble (WAN median 15 ms)\n");
+
+    // A provisioning stream: one write every 200 ms for two minutes,
+    // submitted round-robin through every site's PoA except the leader's
+    // (its site is about to have a very bad day).
+    let origins: Vec<u32> = (0..5u32).filter(|i| NodeId(*i) != leader).collect();
+    let mut ids = Vec::new();
+    for i in 0..600u64 {
+        let at = secs(5) + SimDuration::from_millis(200 * i);
+        let origin = origins[(i % origins.len() as u64) as usize];
+        ids.push((at, cluster.submit_write_at(at, origin, SubscriberUid(i), None)));
+    }
+
+    // The drill: leader site crashes at t=30s, restarts at t=60s;
+    // then sites {3,4} are cut off from t=80s to t=100s.
+    cluster.schedule_crash(secs(30), leader.0);
+    cluster.schedule_restart(secs(60), leader.0);
+    cluster.schedule_partition(secs(80), SimDuration::from_secs(20), [3u32, 4]);
+
+    let report = cluster.run_until(secs(180));
+
+    println!("leadership timeline:");
+    for (at, node) in &report.leader_changes {
+        let note = if *node == leader { " (original)" } else { "" };
+        println!("  t={:>6.1}s  {node} wins leadership{note}", at.as_secs_f64());
+    }
+
+    // Commit rate per 20 s window of submission time.
+    let mut table = Table::new(["window", "submitted", "committed in-window", "eventually"])
+        .with_title("commit behaviour through the drill");
+    for w in 0..6u64 {
+        let (lo, hi) = (secs(5 + 20 * w), secs(5 + 20 * (w + 1)));
+        let in_window: Vec<_> =
+            ids.iter().filter(|(at, _)| *at >= lo && *at < hi).map(|(_, id)| *id).collect();
+        let committed_fast = in_window
+            .iter()
+            .filter(|id| {
+                report.fates[id]
+                    .commit_latency()
+                    .is_some_and(|l| l < SimDuration::from_secs(2))
+            })
+            .count();
+        let eventual =
+            in_window.iter().filter(|id| report.fates[id].chosen_at.is_some()).count();
+        table.row([
+            format!("{}-{}s", 5 + 20 * w, 5 + 20 * (w + 1)),
+            in_window.len().to_string(),
+            committed_fast.to_string(),
+            eventual.to_string(),
+        ]);
+    }
+    println!("\n{table}");
+
+    println!(
+        "messages: {} total, {} over the backbone ({} elections)",
+        report.messages.total, report.messages.wan, report.elections
+    );
+    println!(
+        "final watermarks: {:?}",
+        report.final_committed.iter().map(|s| s.raw()).collect::<Vec<_>>()
+    );
+    assert!(report.violations.is_empty(), "agreement violated: {:?}", report.violations);
+    assert_eq!(report.committed(), ids.len(), "every write must eventually commit");
+    println!(
+        "\nagreement check: all {} writes committed, all logs prefix-consistent —\n\
+         availability was lost only for seconds around each fault, and consistency\n\
+         never (the §5 restoration process has nothing to do).",
+        ids.len()
+    );
+}

@@ -1,0 +1,70 @@
+//! Quickstart: build the paper's Figure 2 deployment (three sites, RF 3),
+//! provision a handful of subscribers, run network procedures against it,
+//! and print what the system measured.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use udr::core::{Udr, UdrConfig};
+use udr::metrics::Table;
+use udr::model::{ProcedureKind, SimDuration, SimTime, TxnClass};
+use udr::model::ids::SiteId;
+use udr::sim::SimRng;
+use udr::workload::PopulationBuilder;
+
+fn main() {
+    // The paper's first realization: async master/slave replication,
+    // READ_COMMITTED SEs, periodic snapshots, FE reads on nearest copies,
+    // PS reads on masters only, home-region placement.
+    let cfg = UdrConfig::figure2();
+    println!("deployment: {} sites, {} SEs, {} LDAP servers, RF {}",
+        cfg.sites, cfg.total_ses(), cfg.total_ldap_servers(), cfg.frash.replication_factor);
+    let mut udr = Udr::build(cfg).expect("valid configuration");
+
+    // Provision 60 subscribers, home regions spread over the three sites.
+    let mut rng = SimRng::seed_from_u64(7);
+    let population = PopulationBuilder::new(3).build(60, &mut rng);
+    let mut at = SimTime::ZERO + SimDuration::from_millis(1);
+    for sub in &population {
+        let out = udr.provision_subscriber(&sub.ids, sub.home_region, SiteId(0), at);
+        assert!(out.is_ok(), "provisioning failed: {:?}", out.op.result);
+        at += SimDuration::from_millis(2);
+    }
+    println!("provisioned {} subscribers", udr.total_subscribers());
+
+    // Run every 3GPP procedure once per subscriber from the home region.
+    let mut at = SimTime::ZERO + SimDuration::from_secs(10);
+    for (i, sub) in population.iter().enumerate() {
+        let kind = ProcedureKind::ALL[i % ProcedureKind::ALL.len()];
+        let out = udr.run_procedure(kind, &sub.ids, SiteId(sub.home_region), at);
+        assert!(out.success, "{kind} failed: {:?}", out.failure);
+        at += SimDuration::from_millis(25);
+    }
+
+    // Report.
+    let mut table = Table::new(["class", "ops ok", "ops failed", "mean latency", "p99"])
+        .with_title("quickstart results");
+    for class in [TxnClass::FrontEnd, TxnClass::Provisioning] {
+        let ops = udr.metrics.ops(class);
+        let lat = udr.metrics.latency(class);
+        table.row([
+            class.to_string(),
+            ops.ok.to_string(),
+            (ops.unavailable + ops.failed_other).to_string(),
+            lat.mean().to_string(),
+            lat.p99().to_string(),
+        ]);
+    }
+    println!("\n{table}");
+    println!(
+        "PACELC: front-end = {}, provisioning = {}  (paper §3.6: PA/EL vs PC/EC)",
+        udr.pacelc_for(TxnClass::FrontEnd),
+        udr.pacelc_for(TxnClass::Provisioning)
+    );
+    println!(
+        "10 ms target (§2.3 req 4): mean FE latency = {} → {}",
+        udr.metrics.fe_latency.mean(),
+        if udr.metrics.fe_latency.mean() < SimDuration::from_millis(10) { "MET" } else { "MISSED" }
+    );
+}
