@@ -6,7 +6,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use udr_consensus::runtime::{ClusterConfig, ConsensusCluster};
-use udr_consensus::{Ballot, ChosenLog, CmdId, Command, Message, NodeId, Replica, ReplicaConfig, Slot};
+use udr_consensus::{
+    Ballot, ChosenLog, CmdId, Command, Message, NodeId, Replica, ReplicaConfig, Slot,
+};
 use udr_model::ids::SubscriberUid;
 use udr_model::time::{SimDuration, SimTime};
 use udr_sim::net::Topology;
@@ -22,11 +24,8 @@ fn bench_cluster_commits(c: &mut Criterion) {
         group.throughput(Throughput::Elements(n));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             b.iter(|| {
-                let mut cluster = ConsensusCluster::new(
-                    Topology::multinational(3),
-                    ClusterConfig::default(),
-                    7,
-                );
+                let mut cluster =
+                    ConsensusCluster::new(Topology::multinational(3), ClusterConfig::default(), 7);
                 for i in 0..n {
                     cluster.submit_write_at(
                         secs(2) + SimDuration::from_millis(20 * i),
@@ -71,7 +70,8 @@ fn bench_log_record(c: &mut Criterion) {
         b.iter(|| {
             let mut log = ChosenLog::new();
             for i in 1..=10_000u64 {
-                log.record(Slot(i), Command::write(CmdId(i), SubscriberUid(i), None)).unwrap();
+                log.record(Slot(i), Command::write(CmdId(i), SubscriberUid(i), None))
+                    .unwrap();
             }
             assert_eq!(log.committed(), Slot(10_000));
             log
@@ -80,5 +80,10 @@ fn bench_log_record(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cluster_commits, bench_accept_processing, bench_log_record);
+criterion_group!(
+    benches,
+    bench_cluster_commits,
+    bench_accept_processing,
+    bench_log_record
+);
 criterion_main!(benches);

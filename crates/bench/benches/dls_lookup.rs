@@ -20,11 +20,13 @@ fn bench_map_lookup(c: &mut Criterion) {
         for i in 0..n {
             map.insert(
                 &imsi(i),
-                Location { uid: SubscriberUid(i), partition: PartitionId((i % 64) as u32) },
+                Location {
+                    uid: SubscriberUid(i),
+                    partition: PartitionId((i % 64) as u32),
+                },
             );
         }
-        let probes: Vec<Identity> =
-            (0..1024).map(|i| imsi((i * 2_654_435_761) % n)).collect();
+        let probes: Vec<Identity> = (0..1024).map(|i| imsi((i * 2_654_435_761) % n)).collect();
         let mut i = 0usize;
         group.bench_function(format!("n={n}"), |b| {
             b.iter(|| {
@@ -60,7 +62,13 @@ fn bench_cache_hit(c: &mut Criterion) {
     group.throughput(Throughput::Elements(1));
     let mut cache = CachedLocator::new(4096, 256);
     for i in 0..4096u64 {
-        cache.fill(&imsi(i), Location { uid: SubscriberUid(i), partition: PartitionId(0) });
+        cache.fill(
+            &imsi(i),
+            Location {
+                uid: SubscriberUid(i),
+                partition: PartitionId(0),
+            },
+        );
     }
     let probes: Vec<Identity> = (0..1024).map(imsi).collect();
     let mut i = 0usize;
@@ -74,5 +82,10 @@ fn bench_cache_hit(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_map_lookup, bench_ring_lookup, bench_cache_hit);
+criterion_group!(
+    benches,
+    bench_map_lookup,
+    bench_ring_lookup,
+    bench_cache_hit
+);
 criterion_main!(benches);

@@ -22,7 +22,10 @@ fn full_entry() -> Entry {
     e.set(AttrId::SubscriberStatus, "serviceGranted");
     e.set(AttrId::OdbMask, 0u64);
     e.set(AttrId::CallBarring, false);
-    e.set(AttrId::Teleservices, vec!["telephony".to_owned(), "sms-mt".to_owned()]);
+    e.set(
+        AttrId::Teleservices,
+        vec!["telephony".to_owned(), "sms-mt".to_owned()],
+    );
     e.set(AttrId::VlrAddress, "vlr-madrid-01");
     e
 }
@@ -33,7 +36,10 @@ fn bench_requests(c: &mut Criterion) {
 
     let search = LdapRequest {
         message_id: 7,
-        op: LdapOp::Search { base: dn(), attrs: vec![AttrId::VlrAddress, AttrId::AuthSqn] },
+        op: LdapOp::Search {
+            base: dn(),
+            attrs: vec![AttrId::VlrAddress, AttrId::AuthSqn],
+        },
     };
     group.bench_function("encode_search", |b| {
         b.iter(|| black_box(encode_request(black_box(&search))))
@@ -61,7 +67,9 @@ fn bench_requests(c: &mut Criterion) {
         message_id: 8,
         op: LdapOp::SearchFilter {
             base: dn(),
-            filter: "(&(callBarring=TRUE)(|(odbMask>=4)(msisdn=346*)))".parse().unwrap(),
+            filter: "(&(callBarring=TRUE)(|(odbMask>=4)(msisdn=346*)))"
+                .parse()
+                .unwrap(),
             attrs: vec![AttrId::Msisdn],
         },
     };
@@ -73,7 +81,13 @@ fn bench_requests(c: &mut Criterion) {
         b.iter(|| black_box(decode_request(black_box(&filtered_bytes)).unwrap()))
     });
 
-    let add = LdapRequest { message_id: 1, op: LdapOp::Add { dn: dn(), entry: full_entry() } };
+    let add = LdapRequest {
+        message_id: 1,
+        op: LdapOp::Add {
+            dn: dn(),
+            entry: full_entry(),
+        },
+    };
     group.bench_function("encode_add_full_profile", |b| {
         b.iter(|| black_box(encode_request(black_box(&add))))
     });

@@ -111,5 +111,11 @@ fn bench_apply_replicated(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_reads, bench_write_commit, bench_snapshot, bench_apply_replicated);
+criterion_group!(
+    benches,
+    bench_reads,
+    bench_write_commit,
+    bench_snapshot,
+    bench_apply_replicated
+);
 criterion_main!(benches);

@@ -22,27 +22,45 @@ struct Variant {
 fn variants() -> Vec<Variant> {
     let base = UdrConfig::figure2();
     let mut v = Vec::new();
-    v.push(Variant { name: "paper first realization", cfg: base.clone() });
+    v.push(Variant {
+        name: "paper first realization",
+        cfg: base.clone(),
+    });
 
     let mut c = base.clone();
     c.frash.fe_read_policy = ReadPolicy::MasterOnly;
-    v.push(Variant { name: "FE reads master-only", cfg: c });
+    v.push(Variant {
+        name: "FE reads master-only",
+        cfg: c,
+    });
 
     let mut c = base.clone();
     c.frash.durability = DurabilityMode::SyncCommit;
-    v.push(Variant { name: "sync-commit durability", cfg: c });
+    v.push(Variant {
+        name: "sync-commit durability",
+        cfg: c,
+    });
 
     let mut c = base.clone();
     c.frash.replication = ReplicationMode::DualInSequence;
-    v.push(Variant { name: "dual-in-sequence (§5)", cfg: c });
+    v.push(Variant {
+        name: "dual-in-sequence (§5)",
+        cfg: c,
+    });
 
     let mut c = base.clone();
     c.frash.replication = ReplicationMode::Quorum { n: 3, w: 2, r: 2 };
-    v.push(Variant { name: "quorum n3 w2 r2 (§5)", cfg: c });
+    v.push(Variant {
+        name: "quorum n3 w2 r2 (§5)",
+        cfg: c,
+    });
 
     let mut c = base;
     c.frash.replication = ReplicationMode::MultiMaster;
-    v.push(Variant { name: "multi-master (§5)", cfg: c });
+    v.push(Variant {
+        name: "multi-master (§5)",
+        cfg: c,
+    });
     v
 }
 
@@ -79,9 +97,13 @@ fn main() {
         run_events(&mut s, before, Some(SimDuration::from_secs(1)), SiteId(0));
         let healthy_fe = *s.udr.metrics.ops(TxnClass::FrontEnd);
         let healthy_ps = *s.udr.metrics.ops(TxnClass::Provisioning);
-        let in_partition: Vec<_> =
-            after.iter().filter(|e| e.at < t(160)).cloned().collect();
-        run_events(&mut s, &in_partition, Some(SimDuration::from_secs(1)), SiteId(0));
+        let in_partition: Vec<_> = after.iter().filter(|e| e.at < t(160)).cloned().collect();
+        run_events(
+            &mut s,
+            &in_partition,
+            Some(SimDuration::from_secs(1)),
+            SiteId(0),
+        );
         s.udr.advance_to(t(300));
 
         let part_fe = {
@@ -99,9 +121,10 @@ fn main() {
             c
         };
 
-        for (class, part) in
-            [(TxnClass::FrontEnd, part_fe), (TxnClass::Provisioning, part_ps)]
-        {
+        for (class, part) in [
+            (TxnClass::FrontEnd, part_fe),
+            (TxnClass::Provisioning, part_ps),
+        ] {
             table.row([
                 variant.name.to_owned(),
                 class.to_string(),

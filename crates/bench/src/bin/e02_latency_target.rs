@@ -21,7 +21,10 @@ fn run(placement: PlacementPolicy, roaming: f64) -> (Histogram, f64) {
         let sub = &s.population[ev.subscriber];
         s.udr.run_procedure(ev.kind, &sub.ids, ev.fe_site, ev.at);
     }
-    (s.udr.metrics.fe_latency.clone(), s.udr.metrics.backbone_fraction())
+    (
+        s.udr.metrics.fe_latency.clone(),
+        s.udr.metrics.backbone_fraction(),
+    )
 }
 
 fn main() {
@@ -43,8 +46,16 @@ fn main() {
     for (name, placement, roaming) in [
         ("home-region, 0% roaming", PlacementPolicy::HomeRegion, 0.0),
         ("home-region, 5% roaming", PlacementPolicy::HomeRegion, 0.05),
-        ("home-region, 30% roaming", PlacementPolicy::HomeRegion, 0.30),
-        ("random placement, 5% roaming", PlacementPolicy::Random, 0.05),
+        (
+            "home-region, 30% roaming",
+            PlacementPolicy::HomeRegion,
+            0.30,
+        ),
+        (
+            "random placement, 5% roaming",
+            PlacementPolicy::Random,
+            0.05,
+        ),
     ] {
         let (hist, backbone) = run(placement, roaming);
         let met = hist.mean() < SimDuration::from_millis(10);
@@ -55,7 +66,11 @@ fn main() {
             hist.p99().to_string(),
             hist.max().to_string(),
             pct(backbone, 1),
-            if met { "MET".into() } else { "MISSED".to_owned() },
+            if met {
+                "MET".into()
+            } else {
+                "MISSED".to_owned()
+            },
         ]);
     }
     println!("{table}");

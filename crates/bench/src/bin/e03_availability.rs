@@ -22,7 +22,8 @@ fn weekly_availability(rf: u8, process: OutageProcess, seed: u64) -> f64 {
     let mut s = provisioned_system(cfg, 90, seed);
     let horizon = t(7 * 24 * 3600);
     let mut rng = SimRng::seed_from_u64(seed ^ 0xABCD);
-    s.udr.schedule_faults(process.schedule(3, horizon, &mut rng));
+    s.udr
+        .schedule_faults(process.schedule(3, horizon, &mut rng));
 
     // Integrate structural readability (subscriber-weighted) in 30 s steps
     // using the availability ledger's semantics.
@@ -57,19 +58,33 @@ fn main() {
         pct(process.single_se_availability(), 4)
     );
 
-    let mut table = Table::new(["replication factor", "measured availability", "nines", "five nines?"])
-        .with_title("subscriber-weighted structural availability over one week");
+    let mut table = Table::new([
+        "replication factor",
+        "measured availability",
+        "nines",
+        "five nines?",
+    ])
+    .with_title("subscriber-weighted structural availability over one week");
     for rf in [1u8, 2, 3] {
         // Average over five seeds to smooth the outage process.
-        let runs: Vec<f64> =
-            (0..5).map(|i| weekly_availability(rf, process, 100 + i)).collect();
+        let runs: Vec<f64> = (0..5)
+            .map(|i| weekly_availability(rf, process, 100 + i))
+            .collect();
         let avail = runs.iter().sum::<f64>() / runs.len() as f64;
-        let nines = if avail >= 1.0 { 9.0 } else { -(1.0 - avail).log10() };
+        let nines = if avail >= 1.0 {
+            9.0
+        } else {
+            -(1.0 - avail).log10()
+        };
         table.row([
             format!("RF {rf}"),
             pct(avail, 5),
             format!("{nines:.1}"),
-            if avail >= 0.99999 { "yes".to_owned() } else { "no".to_owned() },
+            if avail >= 0.99999 {
+                "yes".to_owned()
+            } else {
+                "no".to_owned()
+            },
         ]);
     }
     println!("{table}");
@@ -78,7 +93,9 @@ fn main() {
     // with only one SE alive (§2.3's Figure 2 walk-through).
     let mut s = provisioned_system(UdrConfig::figure2(), 90, 9);
     s.udr.schedule_faults(
-        FaultSchedule::new().se_crash(t(10), SeId(0)).se_crash(t(10), SeId(1)),
+        FaultSchedule::new()
+            .se_crash(t(10), SeId(0))
+            .se_crash(t(10), SeId(1)),
     );
     s.udr.advance_to(t(11));
     let frac = s.udr.readable_subscriber_fraction(SiteId(2));

@@ -34,8 +34,18 @@ fn run(duration_s: u64) -> (WindowCounts, WindowCounts) {
     ));
     // Drive FE (read-mostly mix) + PS (writes) from both sides during the
     // window.
-    let mut island = WindowCounts { fe_ok: 0, fe_fail: 0, ps_ok: 0, ps_fail: 0 };
-    let mut majority = WindowCounts { fe_ok: 0, fe_fail: 0, ps_ok: 0, ps_fail: 0 };
+    let mut island = WindowCounts {
+        fe_ok: 0,
+        fe_fail: 0,
+        ps_ok: 0,
+        ps_fail: 0,
+    };
+    let mut majority = WindowCounts {
+        fe_ok: 0,
+        fe_fail: 0,
+        ps_ok: 0,
+        ps_fail: 0,
+    };
     let kinds = [
         ProcedureKind::SmsDelivery,
         ProcedureKind::CallSetupMo,
@@ -56,7 +66,12 @@ fn run(duration_s: u64) -> (WindowCounts, WindowCounts) {
             island.fe_fail += 1;
         }
         // FE on the majority side.
-        let out = s.udr.run_procedure(kind, &sub.ids, SiteId(0), at + SimDuration::from_millis(100));
+        let out = s.udr.run_procedure(
+            kind,
+            &sub.ids,
+            SiteId(0),
+            at + SimDuration::from_millis(100),
+        );
         if out.success {
             majority.fe_ok += 1;
         } else {
@@ -65,13 +80,20 @@ fn run(duration_s: u64) -> (WindowCounts, WindowCounts) {
         // PS writes from each side.
         let id = Identity::Imsi(sub.ids.imsi.clone());
         let mods = vec![AttrMod::Set(AttrId::OdbMask, AttrValue::U64(i as u64))];
-        let w = s.udr.modify_services(&id, mods.clone(), SiteId(2), at + SimDuration::from_millis(200));
+        let w = s.udr.modify_services(
+            &id,
+            mods.clone(),
+            SiteId(2),
+            at + SimDuration::from_millis(200),
+        );
         if w.is_ok() {
             island.ps_ok += 1;
         } else {
             island.ps_fail += 1;
         }
-        let w = s.udr.modify_services(&id, mods, SiteId(0), at + SimDuration::from_millis(300));
+        let w = s
+            .udr
+            .modify_services(&id, mods, SiteId(0), at + SimDuration::from_millis(300));
         if w.is_ok() {
             majority.ps_ok += 1;
         } else {
@@ -89,26 +111,33 @@ fn main() {
          Figure 2 deployment, site 2 islanded; population homed 1/3 per site;\n\
          FE mix = 3 reads + 1 read/write procedure; PS = pure writes\n"
     );
-    let mut table = Table::new([
-        "partition",
-        "side",
-        "FE success",
-        "PS success",
-    ])
-    .with_title("per-class success during the partition window");
+    let mut table = Table::new(["partition", "side", "FE success", "PS success"])
+        .with_title("per-class success during the partition window");
     for duration in [30u64, 120, 600] {
         let (island, majority) = run(duration);
         table.row([
             format!("{duration} s"),
             "island (site 2)".to_owned(),
-            pct(island.fe_ok as f64 / (island.fe_ok + island.fe_fail).max(1) as f64, 1),
-            pct(island.ps_ok as f64 / (island.ps_ok + island.ps_fail).max(1) as f64, 1),
+            pct(
+                island.fe_ok as f64 / (island.fe_ok + island.fe_fail).max(1) as f64,
+                1,
+            ),
+            pct(
+                island.ps_ok as f64 / (island.ps_ok + island.ps_fail).max(1) as f64,
+                1,
+            ),
         ]);
         table.row([
             String::new(),
             "majority (sites 0+1)".to_owned(),
-            pct(majority.fe_ok as f64 / (majority.fe_ok + majority.fe_fail).max(1) as f64, 1),
-            pct(majority.ps_ok as f64 / (majority.ps_ok + majority.ps_fail).max(1) as f64, 1),
+            pct(
+                majority.fe_ok as f64 / (majority.fe_ok + majority.fe_fail).max(1) as f64,
+                1,
+            ),
+            pct(
+                majority.ps_ok as f64 / (majority.ps_ok + majority.ps_fail).max(1) as f64,
+                1,
+            ),
         ]);
     }
     println!("{table}");

@@ -31,7 +31,10 @@ fn run(write_gap: SimDuration, wan_median_ms: u64) -> (f64, f64) {
     for a in 0..3u32 {
         for b in 0..3u32 {
             if a != b {
-                s.udr.net.topology_mut().set_link(SiteId(a), SiteId(b), wan.clone());
+                s.udr
+                    .net
+                    .topology_mut()
+                    .set_link(SiteId(a), SiteId(b), wan.clone());
             }
         }
     }
@@ -61,7 +64,9 @@ fn run(write_gap: SimDuration, wan_median_ms: u64) -> (f64, f64) {
         // Read from site 1 at a deterministic offset pattern inside the gap
         // (1/4, 2/4, 3/4 of the gap across rounds).
         let offset = write_gap.mul_f64(0.25 * ((i % 3 + 1) as f64));
-        let r = s.udr.run_procedure(ProcedureKind::CallSetupMo, &sub.ids, SiteId(1), at + offset);
+        let r = s
+            .udr
+            .run_procedure(ProcedureKind::CallSetupMo, &sub.ids, SiteId(1), at + offset);
         assert!(r.success);
         at += write_gap;
         i += 1;

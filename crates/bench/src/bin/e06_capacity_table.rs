@@ -51,7 +51,10 @@ fn measure_ops_per_sec() -> (f64, f64) {
     let dn = Dn::for_identity(Identity::Imsi(Imsi::new("214011234567890").unwrap()));
     let req = LdapRequest {
         message_id: 1,
-        op: LdapOp::Search { base: dn, attrs: vec![AttrId::VlrAddress, AttrId::AuthSqn] },
+        op: LdapOp::Search {
+            base: dn,
+            attrs: vec![AttrId::VlrAddress, AttrId::AuthSqn],
+        },
     };
     let rounds = 400_000u64;
     let start = Instant::now();
@@ -68,8 +71,8 @@ fn main() {
     println!("E6 — the §3.5 capacity table (paper arithmetic vs this machine)\n");
     let model = CapacityModel::default();
 
-    let mut table = Table::new(["quantity", "paper", "model (this repo)"])
-        .with_title("capacity arithmetic");
+    let mut table =
+        Table::new(["quantity", "paper", "model (this repo)"]).with_title("capacity arithmetic");
     table.row([
         "subscribers per SE".into(),
         "2,000,000".to_owned(),
@@ -93,7 +96,10 @@ fn main() {
     table.row([
         "LDAP ops/s per cluster (32 servers)".into(),
         "36,000,000 (printed)".to_owned(),
-        format!("{} (derived 32x1M)", thousands(u128::from(model.derived_cluster_ops()))),
+        format!(
+            "{} (derived 32x1M)",
+            thousands(u128::from(model.derived_cluster_ops()))
+        ),
     ]);
     table.row([
         "LDAP ops/s per UDR NF (256 clusters)".into(),

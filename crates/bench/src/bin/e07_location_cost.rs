@@ -22,7 +22,10 @@ fn measure_map(n: u64) -> f64 {
     for i in 0..n {
         map.insert(
             &imsi(i),
-            Location { uid: SubscriberUid(i), partition: PartitionId((i % 256) as u32) },
+            Location {
+                uid: SubscriberUid(i),
+                partition: PartitionId((i % 256) as u32),
+            },
         );
     }
     let lookups = 200_000u64;
@@ -58,9 +61,7 @@ fn measure_ring(n_partitions: u32) -> f64 {
 }
 
 fn main() {
-    println!(
-        "E7 — data-location lookup cost vs N (§3.5, the dotted H–F link of Fig. 5)\n"
-    );
+    println!("E7 — data-location lookup cost vs N (§3.5, the dotted H–F link of Fig. 5)\n");
     let mut table = Table::new([
         "subscribers (N)",
         "identity-map lookup",

@@ -43,7 +43,9 @@ fn run(locator: LocatorKind, n: u64) -> Row {
     let mut at = start + SimDuration::from_millis(5);
     for i in 0..500u64 {
         let sub = &s.population[(i % n) as usize];
-        let out = s.udr.run_procedure(ProcedureKind::SmsDelivery, &sub.ids, SiteId(1), at);
+        let out = s
+            .udr
+            .run_procedure(ProcedureKind::SmsDelivery, &sub.ids, SiteId(1), at);
         if matches!(out.failure, Some(UdrError::LocationStageSyncing)) {
             blocked += 1;
         }
@@ -71,9 +73,11 @@ fn main() {
         "SE probes triggered",
     ])
     .with_title("what adding a cluster costs, by locator realisation");
-    for locator in
-        [LocatorKind::ProvisionedMaps, LocatorKind::CachedMaps, LocatorKind::ConsistentHashing]
-    {
+    for locator in [
+        LocatorKind::ProvisionedMaps,
+        LocatorKind::CachedMaps,
+        LocatorKind::ConsistentHashing,
+    ] {
         for n in [2_000u64, 16_000, 64_000] {
             let row = run(locator, n);
             table.row([

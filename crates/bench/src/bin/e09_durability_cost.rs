@@ -33,8 +33,12 @@ fn run(mode: DurabilityMode) -> Row {
     let mut s = provisioned_system(cfg, 60, 3);
 
     // Only site-0 subscribers: local writes, so latency is engine-dominated.
-    let home0: Vec<_> =
-        s.population.iter().filter(|p| p.home_region == 0).cloned().collect();
+    let home0: Vec<_> = s
+        .population
+        .iter()
+        .filter(|p| p.home_region == 0)
+        .cloned()
+        .collect();
 
     // Crash the site-0 master at t=77 (mid-way between the 30 s snapshots),
     // restore at t=85.
@@ -101,8 +105,12 @@ fn main() {
     .with_title("the F–R slide, per durability mode");
     for mode in [
         DurabilityMode::None,
-        DurabilityMode::PeriodicSnapshot { interval: SimDuration::from_secs(30) },
-        DurabilityMode::PeriodicSnapshot { interval: SimDuration::from_secs(5) },
+        DurabilityMode::PeriodicSnapshot {
+            interval: SimDuration::from_secs(30),
+        },
+        DurabilityMode::PeriodicSnapshot {
+            interval: SimDuration::from_secs(5),
+        },
         DurabilityMode::SyncCommit,
     ] {
         let row = run(mode);

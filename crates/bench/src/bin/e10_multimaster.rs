@@ -54,7 +54,10 @@ fn run(mode: ReplicationMode, partition_s: u64, write_gap_ms: u64) -> Row {
         );
         s.udr.modify_services(
             &id,
-            vec![AttrMod::Set(AttrId::CallForwarding, AttrValue::Str(format!("34{i:09}")))],
+            vec![AttrMod::Set(
+                AttrId::CallForwarding,
+                AttrValue::Str(format!("34{i:09}")),
+            )],
             SiteId(2),
             at + SimDuration::from_millis(write_gap_ms / 2),
         );

@@ -35,8 +35,12 @@ fn run(mode: ReplicationMode) -> Row {
     cfg.frash.failover_detection = SimDuration::from_secs(2);
     cfg.seed = 23;
     let mut s = provisioned_system(cfg, 60, 23);
-    let home0: Vec<_> =
-        s.population.iter().filter(|p| p.home_region == 0).cloned().collect();
+    let home0: Vec<_> = s
+        .population
+        .iter()
+        .filter(|p| p.home_region == 0)
+        .cloned()
+        .collect();
     let master = s
         .udr
         .group(

@@ -33,12 +33,13 @@ fn run(mode: ReplicationMode, glitch_s: u64, attempts: u32) -> Row {
     let population = PopulationBuilder::new(3).build(1800, &mut rng);
     let items: Vec<BatchItem> = population
         .iter()
-        .map(|s| BatchItem::Create { ids: s.ids.clone(), home_region: s.home_region })
+        .map(|s| BatchItem::Create {
+            ids: s.ids.clone(),
+            home_region: s.home_region,
+        })
         .collect();
     if glitch_s > 0 {
-        udr.schedule_faults(
-            FaultSchedule::new().glitch(t(60), SimDuration::from_secs(glitch_s)),
-        );
+        udr.schedule_faults(FaultSchedule::new().glitch(t(60), SimDuration::from_secs(glitch_s)));
     }
     // 10 items/s ⇒ nominally a 180 s batch.
     let report = udr.run_provisioning_batch(
@@ -46,7 +47,10 @@ fn run(mode: ReplicationMode, glitch_s: u64, attempts: u32) -> Row {
         10.0,
         t(0),
         SiteId(0),
-        RetryPolicy { max_attempts: attempts, backoff: SimDuration::from_secs(15) },
+        RetryPolicy {
+            max_attempts: attempts,
+            backoff: SimDuration::from_secs(15),
+        },
     );
     Row {
         failed: report.failed,
@@ -82,8 +86,16 @@ fn main() {
                 let row = run(mode, glitch_s, attempts);
                 table.row([
                     label.to_owned(),
-                    if glitch_s == 0 { "none".to_owned() } else { format!("{glitch_s} s") },
-                    if attempts == 1 { "none".to_owned() } else { format!("{attempts} attempts") },
+                    if glitch_s == 0 {
+                        "none".to_owned()
+                    } else {
+                        format!("{glitch_s} s")
+                    },
+                    if attempts == 1 {
+                        "none".to_owned()
+                    } else {
+                        format!("{attempts} attempts")
+                    },
                     row.failed.to_string(),
                     pct(row.manual, 1),
                     row.retries.to_string(),

@@ -30,8 +30,9 @@ struct Cell {
 fn run(participant_sites: &[u32], cut_between_phases: Option<u32>, seed: u64) -> Cell {
     let mut net = Network::new(Topology::multinational(3));
     let mut rng = SimRng::seed_from_u64(seed);
-    let participants: Vec<SeId> =
-        (0..participant_sites.len()).map(|i| SeId(i as u32)).collect();
+    let participants: Vec<SeId> = (0..participant_sites.len())
+        .map(|i| SeId(i as u32))
+        .collect();
     let engine_cost = CostModel::default();
 
     let mut total = SimDuration::ZERO;

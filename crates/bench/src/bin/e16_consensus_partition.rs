@@ -66,7 +66,10 @@ fn run_udr(mode: ReplicationMode, partition_s: u64, gap_ms: u64) -> Row {
         maj_ok += w.is_ok() as u64;
         let w = s.udr.modify_services(
             &id,
-            vec![AttrMod::Set(AttrId::CallForwarding, AttrValue::Str(format!("34{i:09}")))],
+            vec![AttrMod::Set(
+                AttrId::CallForwarding,
+                AttrValue::Str(format!("34{i:09}")),
+            )],
             SiteId(2),
             at + SimDuration::from_millis(gap_ms / 2),
         );
@@ -115,7 +118,11 @@ fn run_paxos(partition_s: u64, gap_ms: u64) -> Row {
     }
     // Long tail: heal, catch up, drain forwarded commands.
     let report = cluster.run_until(end + SimDuration::from_secs(120));
-    assert!(report.violations.is_empty(), "consensus safety broke: {:?}", report.violations);
+    assert!(
+        report.violations.is_empty(),
+        "consensus safety broke: {:?}",
+        report.violations
+    );
 
     let during = |ids: &[udr_consensus::CmdId]| {
         ids.iter()

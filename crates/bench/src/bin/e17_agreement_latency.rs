@@ -48,7 +48,9 @@ fn analytic(wan_ms: u64) -> (Histogram, Histogram, Histogram, Histogram) {
     let mut h_q3 = Histogram::new();
     for _ in 0..TRIALS {
         // Local commit work is the LAN round trip to the SE.
-        let local = net.round_trip(site(0), site(0), &mut rng).unwrap_or(SimDuration::ZERO);
+        let local = net
+            .round_trip(site(0), site(0), &mut rng)
+            .unwrap_or(SimDuration::ZERO);
         h_async.record(local);
 
         let r1 = net.round_trip(site(0), site(1), &mut rng);
@@ -62,8 +64,7 @@ fn analytic(wan_ms: u64) -> (Histogram, Histogram, Histogram, Histogram) {
         h_dual.record(local + dual_in_sequence(true, Some((SeId(1), second))).extra_latency);
 
         // Quorum n=3: master's own apply is ~local, peers in parallel.
-        let responses =
-            vec![(SeId(0), Some(local)), (SeId(1), r1), (SeId(2), r2)];
+        let responses = vec![(SeId(0), Some(local)), (SeId(1), r1), (SeId(2), r2)];
         let w2 = quorum_write(&responses, 2);
         if w2.committed {
             h_q2.record(w2.latency);
@@ -114,7 +115,11 @@ fn cell(h: &Histogram) -> String {
     if h.is_empty() {
         return "-".to_owned();
     }
-    format!("{:.1} / {:.1}", h.mean().as_millis_f64(), h.percentile(95.0).as_millis_f64())
+    format!(
+        "{:.1} / {:.1}",
+        h.mean().as_millis_f64(),
+        h.percentile(95.0).as_millis_f64()
+    )
 }
 
 fn main() {

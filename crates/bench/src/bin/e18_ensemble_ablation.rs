@@ -29,7 +29,11 @@ struct Row {
 
 fn run(n: usize) -> Row {
     // Phase 1: steady-state latency + message cost.
-    let mut cluster = ConsensusCluster::new(Topology::multinational(n), ClusterConfig::default(), n as u64);
+    let mut cluster = ConsensusCluster::new(
+        Topology::multinational(n),
+        ClusterConfig::default(),
+        n as u64,
+    );
     cluster.run_until(t(5));
     let leader = cluster.current_leader().expect("stable leader");
     let mut ids = Vec::new();
@@ -58,15 +62,19 @@ fn run(n: usize) -> Row {
         let leader = cluster.current_leader().expect("leader");
         // Crash sites other than the leader first; the leader dies last if
         // needed, which also exercises failover.
-        let mut victims: Vec<u32> =
-            (0..n as u32).filter(|i| *i != leader.0).take(crashes).collect();
+        let mut victims: Vec<u32> = (0..n as u32)
+            .filter(|i| *i != leader.0)
+            .take(crashes)
+            .collect();
         if victims.len() < crashes {
             victims.push(leader.0);
         }
         for (k, v) in victims.iter().enumerate() {
             cluster.schedule_crash(t(6) + SimDuration::from_millis(100 * k as u64), *v);
         }
-        let origin = (0..n as u32).find(|i| !victims.contains(i)).expect("a survivor");
+        let origin = (0..n as u32)
+            .find(|i| !victims.contains(i))
+            .expect("a survivor");
         let mut ids = Vec::new();
         for i in 0..40u64 {
             ids.push(cluster.submit_write_at(
@@ -78,7 +86,9 @@ fn run(n: usize) -> Row {
         }
         let report = cluster.run_until(t(60));
         assert!(report.violations.is_empty());
-        ids.iter().filter(|id| report.fates[id].chosen_at.is_some()).count() as f64
+        ids.iter()
+            .filter(|id| report.fates[id].chosen_at.is_some())
+            .count() as f64
             / ids.len() as f64
     };
 

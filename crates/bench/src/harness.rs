@@ -6,8 +6,8 @@ use udr_model::attrs::{AttrId, AttrMod, AttrValue};
 use udr_model::identity::Identity;
 use udr_model::ids::SiteId;
 use udr_model::time::{SimDuration, SimTime};
-use udr_workload::{PopulationBuilder, Subscriber, TrafficEvent, TrafficModel};
 use udr_sim::SimRng;
+use udr_workload::{PopulationBuilder, Subscriber, TrafficEvent, TrafficModel};
 
 /// Virtual-time shorthand.
 pub fn t(secs: u64) -> SimTime {
@@ -87,7 +87,9 @@ pub fn run_events(
             }
         }
         let sub = &scenario.population[ev.subscriber];
-        scenario.udr.run_procedure(ev.kind, &sub.ids, ev.fe_site, ev.at);
+        scenario
+            .udr
+            .run_procedure(ev.kind, &sub.ids, ev.fe_site, ev.at);
         fe_count += 1;
     }
     (fe_count, ps_count)

@@ -39,7 +39,10 @@ pub struct Ballot {
 
 impl Ballot {
     /// The ballot below every real ballot; acceptors start promised to it.
-    pub const ZERO: Ballot = Ballot { round: 0, node: NodeId(0) };
+    pub const ZERO: Ballot = Ballot {
+        round: 0,
+        node: NodeId(0),
+    };
 
     /// A ballot in `round` owned by `node`.
     pub const fn new(round: u64, node: NodeId) -> Self {
@@ -48,7 +51,10 @@ impl Ballot {
 
     /// The smallest ballot owned by `node` that beats `self`.
     pub fn succeed(self, node: NodeId) -> Ballot {
-        Ballot { round: self.round + 1, node }
+        Ballot {
+            round: self.round + 1,
+            node,
+        }
     }
 
     /// Whether this is a real ballot (some node campaigned for it).

@@ -60,7 +60,11 @@ impl ChosenLog {
             if *existing == cmd {
                 return Ok(false);
             }
-            return Err(AgreementViolation { slot, existing: existing.clone(), incoming: cmd });
+            return Err(AgreementViolation {
+                slot,
+                existing: existing.clone(),
+                incoming: cmd,
+            });
         }
         if !cmd.id.is_noop() {
             self.ids.insert(cmd.id);
@@ -84,7 +88,11 @@ impl ChosenLog {
 
     /// The highest slot with a decision, contiguous or not.
     pub fn max_slot(&self) -> Slot {
-        self.chosen.keys().next_back().copied().unwrap_or(Slot::ZERO)
+        self.chosen
+            .keys()
+            .next_back()
+            .copied()
+            .unwrap_or(Slot::ZERO)
     }
 
     /// Number of decided slots.
@@ -110,7 +118,10 @@ impl ChosenLog {
     /// Chosen entries strictly above `above`, in slot order (catch-up
     /// transfers and promise piggybacks).
     pub fn suffix(&self, above: Slot) -> Vec<(Slot, Command)> {
-        self.chosen.range(above.next()..).map(|(s, c)| (*s, c.clone())).collect()
+        self.chosen
+            .range(above.next()..)
+            .map(|(s, c)| (*s, c.clone()))
+            .collect()
     }
 
     /// Iterate every decided `(slot, command)` in slot order.
@@ -126,23 +137,29 @@ impl ChosenLog {
     /// the storage apply layer consumes.
     pub fn iter_effective(&self) -> impl Iterator<Item = (Slot, &Command)> + '_ {
         let mut seen: HashSet<CmdId> = HashSet::new();
-        self.chosen.range(..=self.applied).filter_map(move |(s, c)| {
-            if c.is_noop() {
-                return None;
-            }
-            if seen.insert(c.id) {
-                Some((*s, c))
-            } else {
-                None
-            }
-        })
+        self.chosen
+            .range(..=self.applied)
+            .filter_map(move |(s, c)| {
+                if c.is_noop() {
+                    return None;
+                }
+                if seen.insert(c.id) {
+                    Some((*s, c))
+                } else {
+                    None
+                }
+            })
     }
 
     /// Check prefix consistency against another log: every slot decided in
     /// both must hold the same command.
     pub fn agrees_with(&self, other: &ChosenLog) -> Result<(), AgreementViolation> {
         // Iterate the smaller map for efficiency.
-        let (small, large) = if self.len() <= other.len() { (self, other) } else { (other, self) };
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
         for (slot, cmd) in small.iter() {
             if let Some(theirs) = large.get(slot) {
                 if theirs != cmd {

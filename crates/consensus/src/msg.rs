@@ -60,12 +60,18 @@ pub struct Command {
 impl Command {
     /// A gap-filling no-op.
     pub fn noop() -> Self {
-        Command { id: CmdId::NOOP, payload: Payload::Noop }
+        Command {
+            id: CmdId::NOOP,
+            payload: Payload::Noop,
+        }
     }
 
     /// A subscriber write command.
     pub fn write(id: CmdId, uid: SubscriberUid, entry: Option<Entry>) -> Self {
-        Command { id, payload: Payload::Write { uid, entry } }
+        Command {
+            id,
+            payload: Payload::Write { uid, entry },
+        }
     }
 
     /// Whether this is a no-op.
@@ -213,22 +219,44 @@ mod tests {
     #[test]
     fn message_kinds_are_distinct() {
         let msgs = [
-            Message::Prepare { ballot: Ballot::ZERO, committed: Slot::ZERO },
-            Message::Promise { ballot: Ballot::ZERO, accepted: vec![], chosen: vec![] },
-            Message::PrepareNack { promised: Ballot::ZERO },
+            Message::Prepare {
+                ballot: Ballot::ZERO,
+                committed: Slot::ZERO,
+            },
+            Message::Promise {
+                ballot: Ballot::ZERO,
+                accepted: vec![],
+                chosen: vec![],
+            },
+            Message::PrepareNack {
+                promised: Ballot::ZERO,
+            },
             Message::Accept {
                 ballot: Ballot::ZERO,
                 slot: Slot(1),
                 cmd: Command::noop(),
                 committed: Slot::ZERO,
             },
-            Message::Accepted { ballot: Ballot::ZERO, slot: Slot(1) },
-            Message::AcceptNack { promised: Ballot::ZERO },
-            Message::Learn { slot: Slot(1), cmd: Command::noop() },
-            Message::Heartbeat { ballot: Ballot::ZERO, committed: Slot::ZERO },
+            Message::Accepted {
+                ballot: Ballot::ZERO,
+                slot: Slot(1),
+            },
+            Message::AcceptNack {
+                promised: Ballot::ZERO,
+            },
+            Message::Learn {
+                slot: Slot(1),
+                cmd: Command::noop(),
+            },
+            Message::Heartbeat {
+                ballot: Ballot::ZERO,
+                committed: Slot::ZERO,
+            },
             Message::CatchUpRequest { above: Slot::ZERO },
             Message::CatchUpReply { chosen: vec![] },
-            Message::Forward { cmd: Command::noop() },
+            Message::Forward {
+                cmd: Command::noop(),
+            },
         ];
         let mut kinds: Vec<_> = msgs.iter().map(|m| m.kind()).collect();
         kinds.sort_unstable();

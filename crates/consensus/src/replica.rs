@@ -311,13 +311,18 @@ impl Replica {
             Message::Prepare { ballot, committed } => {
                 self.on_prepare(now, from, ballot, committed, &mut out)
             }
-            Message::Promise { ballot, accepted, chosen } => {
-                self.on_promise(now, from, ballot, accepted, chosen, &mut out)
-            }
+            Message::Promise {
+                ballot,
+                accepted,
+                chosen,
+            } => self.on_promise(now, from, ballot, accepted, chosen, &mut out),
             Message::PrepareNack { promised } => self.on_nack(now, promised),
-            Message::Accept { ballot, slot, cmd, committed } => {
-                self.on_accept(now, from, ballot, slot, cmd, committed, &mut out)
-            }
+            Message::Accept {
+                ballot,
+                slot,
+                cmd,
+                committed,
+            } => self.on_accept(now, from, ballot, slot, cmd, committed, &mut out),
             Message::Accepted { ballot, slot } => self.on_accepted(from, ballot, slot, &mut out),
             Message::AcceptNack { promised } => self.on_nack(now, promised),
             Message::Learn { slot, cmd } => {
@@ -370,9 +375,21 @@ impl Replica {
                 .map(|(s, (b, c))| (*s, *b, c.clone()))
                 .collect();
             let chosen = self.log.suffix(committed);
-            out.push(Outbound::To(from, Message::Promise { ballot, accepted, chosen }));
+            out.push(Outbound::To(
+                from,
+                Message::Promise {
+                    ballot,
+                    accepted,
+                    chosen,
+                },
+            ));
         } else {
-            out.push(Outbound::To(from, Message::PrepareNack { promised: self.promised }));
+            out.push(Outbound::To(
+                from,
+                Message::PrepareNack {
+                    promised: self.promised,
+                },
+            ));
         }
     }
 
@@ -400,7 +417,12 @@ impl Replica {
             out.push(Outbound::To(from, Message::Accepted { ballot, slot }));
             self.maybe_request_catchup(now, from, committed, out);
         } else {
-            out.push(Outbound::To(from, Message::AcceptNack { promised: self.promised }));
+            out.push(Outbound::To(
+                from,
+                Message::AcceptNack {
+                    promised: self.promised,
+                },
+            ));
         }
     }
 
@@ -438,7 +460,9 @@ impl Replica {
             self.last_catchup_request = Some(now);
             out.push(Outbound::To(
                 leader,
-                Message::CatchUpRequest { above: self.log.committed() },
+                Message::CatchUpRequest {
+                    above: self.log.committed(),
+                },
             ));
         }
     }
@@ -529,7 +553,10 @@ impl Replica {
         let mut slot = committed.next();
         while slot <= horizon {
             if self.log.get(slot).is_none() {
-                let cmd = merged.get(&slot).map(|(_, c)| c.clone()).unwrap_or_else(Command::noop);
+                let cmd = merged
+                    .get(&slot)
+                    .map(|(_, c)| c.clone())
+                    .unwrap_or_else(Command::noop);
                 self.propose(now, slot, cmd, out);
             }
             slot = slot.next();
@@ -618,12 +645,17 @@ impl Replica {
         if !cmd.id.is_noop() && !self.pending_ids.insert(cmd.id) {
             return false;
         }
-        self.pending.push_back(PendingCmd { cmd, last_sent: None });
+        self.pending.push_back(PendingCmd {
+            cmd,
+            last_sent: None,
+        });
         true
     }
 
     fn forward_pending(&mut self, now: SimTime, out: &mut Vec<Outbound>) {
-        let Some(leader) = self.leader_hint else { return };
+        let Some(leader) = self.leader_hint else {
+            return;
+        };
         if leader == self.id {
             return;
         }
@@ -633,7 +665,10 @@ impl Replica {
                 .is_none_or(|last| now.duration_since(last) >= self.cfg.retry_interval);
             if due {
                 p.last_sent = Some(now);
-                out.push(Outbound::To(leader, Message::Forward { cmd: p.cmd.clone() }));
+                out.push(Outbound::To(
+                    leader,
+                    Message::Forward { cmd: p.cmd.clone() },
+                ));
             }
         }
     }
@@ -667,11 +702,16 @@ impl Replica {
     }
 
     fn maybe_choose(&mut self, slot: Slot, out: &mut Vec<Outbound>) {
-        let reached = self.acks.get(&slot).is_some_and(|s| s.len() >= self.majority());
+        let reached = self
+            .acks
+            .get(&slot)
+            .is_some_and(|s| s.len() >= self.majority());
         if !reached {
             return;
         }
-        let Some((cmd, _)) = self.inflight.remove(&slot) else { return };
+        let Some((cmd, _)) = self.inflight.remove(&slot) else {
+            return;
+        };
         self.acks.remove(&slot);
         self.inflight_ids.remove(&cmd.id);
         self.learn(slot, cmd.clone());
@@ -723,8 +763,9 @@ mod tests {
     /// Walk a 3-node ensemble to a stable leader by hand-delivering
     /// messages; returns (replicas, leader index).
     fn elect_leader() -> (Vec<Replica>, usize) {
-        let mut nodes: Vec<Replica> =
-            (0..3).map(|i| Replica::new(NodeId(i), 3, cfg(), 42)).collect();
+        let mut nodes: Vec<Replica> = (0..3)
+            .map(|i| Replica::new(NodeId(i), 3, cfg(), 42))
+            .collect();
         // Force node 0 to campaign.
         let due = nodes[0].election_due;
         let mut out = nodes[0].tick(due);
@@ -782,20 +823,34 @@ mod tests {
         let out = nodes[leader].handle(now, NodeId(1), accepted);
         // With 2/3 acks the command is chosen and learned broadcast.
         assert_eq!(nodes[leader].log().committed(), Slot(1));
-        assert!(out
-            .iter()
-            .any(|o| matches!(o, Outbound::Broadcast(Message::Learn { slot, .. }) if *slot == Slot(1))));
+        assert!(out.iter().any(
+            |o| matches!(o, Outbound::Broadcast(Message::Learn { slot, .. }) if *slot == Slot(1))
+        ));
     }
 
     #[test]
     fn acceptor_rejects_stale_ballots() {
         let mut r = Replica::new(NodeId(1), 3, cfg(), 9);
         let high = Ballot::new(5, NodeId(2));
-        let out = r.handle(t(0), NodeId(2), Message::Prepare { ballot: high, committed: Slot::ZERO });
+        let out = r.handle(
+            t(0),
+            NodeId(2),
+            Message::Prepare {
+                ballot: high,
+                committed: Slot::ZERO,
+            },
+        );
         assert!(matches!(&out[0], Outbound::To(_, Message::Promise { .. })));
         // A lower campaign is refused with the promised ballot.
         let low = Ballot::new(3, NodeId(0));
-        let out = r.handle(t(1), NodeId(0), Message::Prepare { ballot: low, committed: Slot::ZERO });
+        let out = r.handle(
+            t(1),
+            NodeId(0),
+            Message::Prepare {
+                ballot: low,
+                committed: Slot::ZERO,
+            },
+        );
         match &out[0] {
             Outbound::To(to, Message::PrepareNack { promised }) => {
                 assert_eq!(*to, NodeId(0));
@@ -807,9 +862,17 @@ mod tests {
         let out = r.handle(
             t(2),
             NodeId(0),
-            Message::Accept { ballot: low, slot: Slot(1), cmd: w(1), committed: Slot::ZERO },
+            Message::Accept {
+                ballot: low,
+                slot: Slot(1),
+                cmd: w(1),
+                committed: Slot::ZERO,
+            },
         );
-        assert!(matches!(&out[0], Outbound::To(_, Message::AcceptNack { .. })));
+        assert!(matches!(
+            &out[0],
+            Outbound::To(_, Message::AcceptNack { .. })
+        ));
     }
 
     #[test]
@@ -874,14 +937,24 @@ mod tests {
         f.handle(
             t(0),
             NodeId(0),
-            Message::Heartbeat { ballot: Ballot::new(1, NodeId(0)), committed: Slot::ZERO },
+            Message::Heartbeat {
+                ballot: Ballot::new(1, NodeId(0)),
+                committed: Slot::ZERO,
+            },
         );
         let out = f.submit(t(1), w(5));
         assert!(matches!(&out[0],
             Outbound::To(to, Message::Forward { cmd }) if *to == NodeId(0) && cmd.id == CmdId(5)));
         // Still queued for re-forwarding until observed chosen.
         assert_eq!(f.pending_len(), 1);
-        f.handle(t(2), NodeId(0), Message::Learn { slot: Slot(1), cmd: w(5) });
+        f.handle(
+            t(2),
+            NodeId(0),
+            Message::Learn {
+                slot: Slot(1),
+                cmd: w(5),
+            },
+        );
         assert_eq!(f.pending_len(), 0);
     }
 
@@ -894,7 +967,10 @@ mod tests {
         let out = f.handle(
             t(1),
             NodeId(0),
-            Message::Heartbeat { ballot: Ballot::new(1, NodeId(0)), committed: Slot::ZERO },
+            Message::Heartbeat {
+                ballot: Ballot::new(1, NodeId(0)),
+                committed: Slot::ZERO,
+            },
         );
         assert!(out
             .iter()
@@ -910,7 +986,14 @@ mod tests {
         assert!(out.is_empty(), "duplicate while inflight must be dropped");
         // And once chosen it is still deduplicated.
         let ballot = nodes[leader].current_ballot();
-        nodes[leader].handle(now, NodeId(1), Message::Accepted { ballot, slot: Slot(1) });
+        nodes[leader].handle(
+            now,
+            NodeId(1),
+            Message::Accepted {
+                ballot,
+                slot: Slot(1),
+            },
+        );
         assert_eq!(nodes[leader].log().committed(), Slot(1));
         let out = nodes[leader].submit(now, w(7));
         assert!(out.is_empty());
@@ -922,7 +1005,14 @@ mod tests {
         let now = t(3000);
         nodes[leader].submit(now, w(1));
         let higher = nodes[leader].current_ballot().succeed(NodeId(2));
-        nodes[leader].handle(now, NodeId(2), Message::Prepare { ballot: higher, committed: Slot::ZERO });
+        nodes[leader].handle(
+            now,
+            NodeId(2),
+            Message::Prepare {
+                ballot: higher,
+                committed: Slot::ZERO,
+            },
+        );
         assert_eq!(nodes[leader].role(), Role::Follower);
         // The in-flight client command went back to pending, not lost.
         assert_eq!(nodes[leader].pending_len(), 1);
@@ -934,7 +1024,10 @@ mod tests {
         let out = f.handle(
             t(0),
             NodeId(0),
-            Message::Heartbeat { ballot: Ballot::new(1, NodeId(0)), committed: Slot(4) },
+            Message::Heartbeat {
+                ballot: Ballot::new(1, NodeId(0)),
+                committed: Slot(4),
+            },
         );
         let req = out.iter().find_map(|o| match o {
             Outbound::To(to, Message::CatchUpRequest { above }) => Some((*to, *above)),
@@ -949,7 +1042,9 @@ mod tests {
         f.handle(
             t(0),
             NodeId(0),
-            Message::CatchUpReply { chosen: vec![(Slot(1), w(1)), (Slot(2), w(2))] },
+            Message::CatchUpReply {
+                chosen: vec![(Slot(1), w(1)), (Slot(2), w(2))],
+            },
         );
         assert_eq!(f.log().committed(), Slot(2));
         let chosen = f.drain_newly_chosen();
@@ -962,8 +1057,19 @@ mod tests {
         let now = t(2000);
         nodes[leader].submit(now, w(1));
         let ballot = nodes[leader].current_ballot();
-        nodes[leader].handle(now, NodeId(1), Message::Accepted { ballot, slot: Slot(1) });
-        let out = nodes[leader].handle(now, NodeId(2), Message::CatchUpRequest { above: Slot::ZERO });
+        nodes[leader].handle(
+            now,
+            NodeId(1),
+            Message::Accepted {
+                ballot,
+                slot: Slot(1),
+            },
+        );
+        let out = nodes[leader].handle(
+            now,
+            NodeId(2),
+            Message::CatchUpRequest { above: Slot::ZERO },
+        );
         match &out[0] {
             Outbound::To(to, Message::CatchUpReply { chosen }) => {
                 assert_eq!(*to, NodeId(2));
@@ -983,7 +1089,10 @@ mod tests {
             f.handle(
                 now,
                 NodeId(0),
-                Message::Heartbeat { ballot: Ballot::new(1, NodeId(0)), committed: Slot::ZERO },
+                Message::Heartbeat {
+                    ballot: Ballot::new(1, NodeId(0)),
+                    committed: Slot::ZERO,
+                },
             );
             now += SimDuration::from_millis(100);
             let out = f.tick(now);
@@ -1028,12 +1137,33 @@ mod tests {
     #[test]
     fn learn_is_idempotent_and_detects_conflicts() {
         let mut f = Replica::new(NodeId(1), 3, cfg(), 4);
-        f.handle(t(0), NodeId(0), Message::Learn { slot: Slot(1), cmd: w(1) });
-        f.handle(t(1), NodeId(0), Message::Learn { slot: Slot(1), cmd: w(1) });
+        f.handle(
+            t(0),
+            NodeId(0),
+            Message::Learn {
+                slot: Slot(1),
+                cmd: w(1),
+            },
+        );
+        f.handle(
+            t(1),
+            NodeId(0),
+            Message::Learn {
+                slot: Slot(1),
+                cmd: w(1),
+            },
+        );
         assert!(f.take_violations().is_empty());
         // A conflicting decision (impossible in a correct protocol run) is
         // surfaced, not silently applied.
-        f.handle(t(2), NodeId(0), Message::Learn { slot: Slot(1), cmd: w(2) });
+        f.handle(
+            t(2),
+            NodeId(0),
+            Message::Learn {
+                slot: Slot(1),
+                cmd: w(2),
+            },
+        );
         let v = f.take_violations();
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].slot, Slot(1));

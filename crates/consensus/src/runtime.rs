@@ -68,7 +68,8 @@ impl CommandFate {
 
     /// Client-perceived latency (origin learns − submission).
     pub fn client_latency(&self) -> Option<SimDuration> {
-        self.learned_at_origin.map(|t| t.duration_since(self.submitted_at))
+        self.learned_at_origin
+            .map(|t| t.duration_since(self.submitted_at))
     }
 }
 
@@ -113,7 +114,10 @@ pub struct RunReport {
 impl RunReport {
     /// Commands committed (chosen anywhere) by the end of the run.
     pub fn committed(&self) -> usize {
-        self.fates.values().filter(|f| f.chosen_at.is_some()).count()
+        self.fates
+            .values()
+            .filter(|f| f.chosen_at.is_some())
+            .count()
     }
 
     /// Commands still unchosen at the end of the run.
@@ -123,7 +127,10 @@ impl RunReport {
 
     /// Commit latencies of every committed command, in submission order.
     pub fn commit_latencies(&self) -> Vec<SimDuration> {
-        self.fates.values().filter_map(CommandFate::commit_latency).collect()
+        self.fates
+            .values()
+            .filter_map(CommandFate::commit_latency)
+            .collect()
     }
 
     /// Fraction of submitted commands committed.
@@ -234,7 +241,13 @@ impl ConsensusCluster {
         let id = CmdId(self.next_cmd);
         self.next_cmd += 1;
         let origin = NodeId(origin);
-        self.queue.schedule_at(at, Ev::Submit { origin, cmd: Command::write(id, uid, entry) });
+        self.queue.schedule_at(
+            at,
+            Ev::Submit {
+                origin,
+                cmd: Command::write(id, uid, entry),
+            },
+        );
         id
     }
 
@@ -250,7 +263,8 @@ impl ConsensusCluster {
         self.cuts.push(cut);
         self.active_cuts.push(None);
         self.queue.schedule_at(at, Ev::StartCut { idx });
-        self.queue.schedule_at(at.saturating_add(duration), Ev::Heal { idx });
+        self.queue
+            .schedule_at(at.saturating_add(duration), Ev::Heal { idx });
     }
 
     /// Crash node `node` at `at` (stops processing; state survives).
@@ -260,7 +274,8 @@ impl ConsensusCluster {
 
     /// Restart a crashed node at `at`.
     pub fn schedule_restart(&mut self, at: SimTime, node: u32) {
-        self.queue.schedule_at(at, Ev::Restart { node: NodeId(node) });
+        self.queue
+            .schedule_at(at, Ev::Restart { node: NodeId(node) });
     }
 
     fn start_ticks(&mut self) {
@@ -271,7 +286,12 @@ impl ConsensusCluster {
         for i in 0..self.replicas.len() {
             // Small per-node stagger so timer events interleave.
             let first = self.cfg.tick_interval + SimDuration::from_micros(137 * i as u64);
-            self.queue.schedule_at(SimTime::ZERO + first, Ev::Tick { node: NodeId(i as u32) });
+            self.queue.schedule_at(
+                SimTime::ZERO + first,
+                Ev::Tick {
+                    node: NodeId(i as u32),
+                },
+            );
         }
     }
 
@@ -294,8 +314,13 @@ impl ConsensusCluster {
         let (sf, st) = (self.sites[from.index()], self.sites[to.index()]);
         self.messages.count(msg.kind(), sf != st);
         if let Some(delay) = self.net.send(sf, st, &mut self.rng).delay() {
-            self.queue
-                .schedule_at(now + delay, Ev::Deliver { to, env: Envelope { from, msg } });
+            self.queue.schedule_at(
+                now + delay,
+                Ev::Deliver {
+                    to,
+                    env: Envelope { from, msg },
+                },
+            );
         }
         // Lost / unreachable: dropped; retransmission timers recover.
     }
@@ -423,7 +448,11 @@ mod tests {
     }
 
     fn quiet_cluster(sites: usize, seed: u64) -> ConsensusCluster {
-        ConsensusCluster::new(Topology::multinational(sites), ClusterConfig::default(), seed)
+        ConsensusCluster::new(
+            Topology::multinational(sites),
+            ClusterConfig::default(),
+            seed,
+        )
     }
 
     #[test]
@@ -438,10 +467,20 @@ mod tests {
             );
         }
         let report = cluster.run_until(secs(10));
-        assert_eq!(report.committed(), 20, "uncommitted: {}", report.uncommitted());
+        assert_eq!(
+            report.committed(),
+            20,
+            "uncommitted: {}",
+            report.uncommitted()
+        );
         assert!(report.violations.is_empty(), "{:?}", report.violations);
         // One stable leader: a single election in a quiet network.
-        assert_eq!(report.leader_changes.len(), 1, "{:?}", report.leader_changes);
+        assert_eq!(
+            report.leader_changes.len(),
+            1,
+            "{:?}",
+            report.leader_changes
+        );
     }
 
     #[test]
@@ -459,12 +498,15 @@ mod tests {
         let report = cluster.run_until(secs(20));
         assert_eq!(report.committed(), 50);
         let latencies = report.commit_latencies();
-        let mean_ms = latencies.iter().map(|d| d.as_millis_f64()).sum::<f64>()
-            / latencies.len() as f64;
+        let mean_ms =
+            latencies.iter().map(|d| d.as_millis_f64()).sum::<f64>() / latencies.len() as f64;
         // One-way WAN median is 15 ms: a majority commit needs roughly one
         // round trip (30 ms) when the origin is the leader, up to ~3 legs
         // when forwarded. Anything above ~100 ms would mean retry storms.
-        assert!((10.0..100.0).contains(&mean_ms), "mean commit latency {mean_ms} ms");
+        assert!(
+            (10.0..100.0).contains(&mean_ms),
+            "mean commit latency {mean_ms} ms"
+        );
         assert!(report.violations.is_empty());
     }
 

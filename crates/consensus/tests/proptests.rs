@@ -37,7 +37,11 @@ struct FaultPlan {
 }
 
 fn fault_plan(nodes: u32) -> impl Strategy<Value = FaultPlan> {
-    let partition = (2_000u64..20_000, 1_000u64..10_000, proptest::collection::vec(0..nodes, 1..=(nodes as usize / 2)));
+    let partition = (
+        2_000u64..20_000,
+        1_000u64..10_000,
+        proptest::collection::vec(0..nodes, 1..=(nodes as usize / 2)),
+    );
     let crash = (2_000u64..20_000, 1_000u64..10_000, 0..nodes);
     (
         proptest::collection::vec(partition, 0..3),
@@ -45,7 +49,10 @@ fn fault_plan(nodes: u32) -> impl Strategy<Value = FaultPlan> {
     )
         .prop_map(|(partitions, crashes)| FaultPlan {
             partitions,
-            crashes: crashes.into_iter().map(|(at, dur, n)| (at, at + dur, n)).collect(),
+            crashes: crashes
+                .into_iter()
+                .map(|(at, dur, n)| (at, at + dur, n))
+                .collect(),
         })
 }
 
@@ -144,7 +151,11 @@ fn committed_commands_are_durable_and_exactly_once() {
         cluster.schedule_crash(secs(6), 4);
         cluster.schedule_restart(secs(14), 4);
         let report = cluster.run_until(secs(120));
-        assert!(report.violations.is_empty(), "seed {seed}: {:?}", report.violations);
+        assert!(
+            report.violations.is_empty(),
+            "seed {seed}: {:?}",
+            report.violations
+        );
 
         for (id, fate) in &report.fates {
             let Some(slot) = fate.slot else { continue };
@@ -184,7 +195,10 @@ fn committed_commands_are_durable_and_exactly_once() {
         let max_log = cluster.node(max_node).log();
         for (id, fate) in &report.fates {
             if fate.chosen_at.is_some() {
-                assert!(max_log.contains_id(*id), "seed {seed}: committed {id} missing");
+                assert!(
+                    max_log.contains_id(*id),
+                    "seed {seed}: committed {id} missing"
+                );
             }
         }
         let _ = CmdId(0); // silence unused-import lint paths on some configs

@@ -48,7 +48,11 @@ fn no_majority_freezes_writes_without_losing_them() {
 
     // One heal restores a 4-node majority: everything drains.
     let report = cluster.run_until(secs(75));
-    assert_eq!(report.committed(), ids.len(), "queued writes must drain after heal");
+    assert_eq!(
+        report.committed(),
+        ids.len(),
+        "queued writes must drain after heal"
+    );
     assert!(report.violations.is_empty());
 }
 
@@ -127,7 +131,9 @@ fn seven_nodes_tolerate_exactly_three_failures() {
     for (k, v) in victims.iter().enumerate() {
         cluster.schedule_crash(secs(5) + ms(200 * k as u64), *v);
     }
-    let origin = (0..7u32).find(|i| *i != leader.0 && !victims.contains(i)).unwrap();
+    let origin = (0..7u32)
+        .find(|i| *i != leader.0 && !victims.contains(i))
+        .unwrap();
     for i in 0..10u64 {
         cluster.submit_write_at(secs(8) + ms(300 * i), origin, SubscriberUid(i), None);
     }
@@ -136,7 +142,9 @@ fn seven_nodes_tolerate_exactly_three_failures() {
     assert!(report.violations.is_empty());
 
     // Fourth crash (4 of 7 down, 3 live): freeze.
-    let fourth = (0..7u32).find(|i| *i != leader.0 && !victims.contains(i) && *i != origin).unwrap();
+    let fourth = (0..7u32)
+        .find(|i| *i != leader.0 && !victims.contains(i) && *i != origin)
+        .unwrap();
     cluster.schedule_crash(secs(21), fourth);
     for i in 10..15u64 {
         cluster.submit_write_at(secs(25) + ms(300 * i), origin, SubscriberUid(i), None);

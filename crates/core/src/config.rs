@@ -71,7 +71,9 @@ impl UdrConfig {
             return Err(UdrError::Config("at least one site required".into()));
         }
         if self.clusters_per_site == 0 || self.ses_per_cluster == 0 {
-            return Err(UdrError::Config("clusters and SEs per cluster must be ≥ 1".into()));
+            return Err(UdrError::Config(
+                "clusters and SEs per cluster must be ≥ 1".into(),
+            ));
         }
         if self.ldap_servers_per_cluster == 0 {
             return Err(UdrError::Config("each cluster needs an LDAP server".into()));

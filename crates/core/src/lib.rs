@@ -6,6 +6,13 @@
 //! fault handling (partitions, crashes, failover); multi-master
 //! restoration; and the §3.5 capacity model.
 //!
+//! Every client operation runs through the explicit four-stage
+//! [`pipeline`] (`AccessStage → LocationStage → ReplicationStage →
+//! StorageStage`), with data location behind the
+//! [`Locator`](udr_dls::Locator) trait and storage behind the
+//! [`StorageBackend`](udr_storage::StorageBackend) trait. [`Udr`] itself
+//! is the deployment container and event pump.
+//!
 //! Entry points:
 //! * [`Udr::build`] a deployment from [`UdrConfig`];
 //! * [`Udr::provision_subscriber`] / [`Udr::run_procedure`] — PS and FE
@@ -20,6 +27,7 @@ pub mod capacity;
 pub mod config;
 pub mod metrics_agg;
 pub mod ops;
+pub mod pipeline;
 pub mod procedures;
 pub mod provisioning;
 pub mod udr;
@@ -28,6 +36,9 @@ pub use capacity::CapacityModel;
 pub use config::UdrConfig;
 pub use metrics_agg::UdrMetrics;
 pub use ops::OpOutcome;
+pub use pipeline::{
+    AccessStage, LatencyBreakdown, LocationStage, PipelineCtx, ReplicationStage, StorageStage,
+};
 pub use procedures::{procedure_ops, ProcedureOutcome};
 pub use provisioning::{BatchItem, BatchReport, ProvisionOutcome, RetryPolicy};
 pub use udr::{Cluster, Udr, UdrEvent};

@@ -99,7 +99,8 @@ mod tests {
         m.ops_mut(TxnClass::Provisioning).availability_failure();
         assert_eq!(m.ops(TxnClass::FrontEnd).ok, 1);
         assert_eq!(m.ops(TxnClass::Provisioning).unavailable, 1);
-        m.latency_mut(TxnClass::FrontEnd).record(SimDuration::from_millis(1));
+        m.latency_mut(TxnClass::FrontEnd)
+            .record(SimDuration::from_millis(1));
         assert_eq!(m.latency(TxnClass::FrontEnd).count(), 1);
         assert_eq!(m.latency(TxnClass::Provisioning).count(), 0);
     }

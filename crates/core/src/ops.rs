@@ -1,19 +1,22 @@
-//! The end-to-end operation path: FE/PS client → PoA → LDAP server →
-//! data-location stage → Storage Element → back, with every §3.3 routing
-//! decision and every latency contribution modelled.
+//! Client entry points for single LDAP operations.
+//!
+//! The actual end-to-end path — PoA access, data-location resolution,
+//! replica routing, storage transaction, post-commit replication — lives
+//! in [`pipeline`](crate::pipeline) as an explicit four-stage chain. This
+//! module only builds a [`PipelineCtx`], runs the chain, enforces the
+//! operation timeout and records metrics.
 
-use udr_dls::Resolution;
-use udr_ldap::LdapOp;
 use udr_model::attrs::Entry;
-use udr_model::config::{ReadPolicy, ReplicationMode, TxnClass};
+use udr_model::config::TxnClass;
 use udr_model::error::{UdrError, UdrResult};
-use udr_model::identity::Identity;
-use udr_model::ids::{PartitionId, ReplicaRole, SeId, SiteId, SubscriberUid};
-use udr_model::time::{SimDuration, SimTime};
-use udr_replication::quorum::quorum_write;
-use udr_storage::CommitRecord;
+use udr_model::ids::{SeId, SiteId};
+use udr_model::time::SimDuration;
+use udr_model::time::SimTime;
 
-use crate::udr::{Udr, UdrEvent};
+use udr_ldap::LdapOp;
+
+use crate::pipeline::{self, LatencyBreakdown, PipelineCtx};
+use crate::udr::Udr;
 
 /// Result of one end-to-end operation.
 #[derive(Debug, Clone)]
@@ -28,11 +31,20 @@ pub struct OpOutcome {
     pub served_by: Option<SeId>,
     /// Whether reaching the SE crossed the inter-site backbone.
     pub crossed_backbone: bool,
+    /// Per-stage attribution of `latency` (see [`LatencyBreakdown`] for
+    /// the timeout-clamp caveat).
+    pub breakdown: LatencyBreakdown,
 }
 
 impl OpOutcome {
-    fn fail(err: UdrError, latency: SimDuration) -> Self {
-        OpOutcome { result: Err(err), latency, served_by: None, crossed_backbone: false }
+    pub(crate) fn fail(err: UdrError, latency: SimDuration) -> Self {
+        OpOutcome {
+            result: Err(err),
+            latency,
+            served_by: None,
+            crossed_backbone: false,
+            breakdown: LatencyBreakdown::default(),
+        }
     }
 
     /// Whether the operation succeeded.
@@ -42,12 +54,13 @@ impl OpOutcome {
 }
 
 impl Udr {
-    fn sample_rtt(&mut self, a: SiteId, b: SiteId) -> Option<SimDuration> {
-        self.net.round_trip(a, b, &mut self.rng)
-    }
-
     /// Execute one LDAP operation issued by a client of `class` attached at
     /// `client_site`, arriving at the local PoA at `now`.
+    ///
+    /// The operation traverses the
+    /// [`AccessStage → LocationStage → ReplicationStage → StorageStage`](crate::pipeline)
+    /// chain; this wrapper drains internal events up to `now` first, then
+    /// applies the §2.3 operation timeout and records run metrics.
     pub fn execute_op(
         &mut self,
         op: &LdapOp,
@@ -58,9 +71,12 @@ impl Udr {
         self.advance_to(now);
         let timeout = self.cfg.frash.op_timeout;
 
-        let mut outcome = self.try_execute(op, class, client_site, now);
+        let mut ctx = PipelineCtx::new(op, class, client_site, now);
+        let mut outcome = pipeline::run(self, &mut ctx);
         if outcome.is_ok() && outcome.latency > timeout {
+            let breakdown = outcome.breakdown;
             outcome = OpOutcome::fail(UdrError::Timeout, timeout);
+            outcome.breakdown = breakdown;
         }
         // Metrics.
         match &outcome.result {
@@ -81,498 +97,5 @@ impl Udr {
             Err(_) => self.metrics.ops_mut(class).other_failure(),
         }
         outcome
-    }
-
-    fn try_execute(
-        &mut self,
-        op: &LdapOp,
-        class: TxnClass,
-        client_site: SiteId,
-        now: SimTime,
-    ) -> OpOutcome {
-        let timeout = self.cfg.frash.op_timeout;
-        let mut latency = SimDuration::ZERO;
-
-        // Client ↔ PoA: the FE is always close to a PoA (§3.3.2), so this
-        // is a LAN round trip.
-        let Some(poa_rtt) = self.sample_rtt(client_site, client_site) else {
-            return OpOutcome::fail(UdrError::Timeout, timeout);
-        };
-        latency += poa_rtt;
-
-        // PoA balances over the cluster's LDAP servers.
-        let cluster_idx = self.pick_cluster(client_site);
-        let Some(server_id) = self.clusters[cluster_idx].poa.pick() else {
-            return OpOutcome::fail(UdrError::Overload, latency);
-        };
-        let server_site = self.clusters[cluster_idx].site;
-
-        // Protocol processing (queueing + service) at the server.
-        let Some(done) = self.servers[server_id.index()].admit(op, now) else {
-            return OpOutcome::fail(UdrError::Overload, latency);
-        };
-        latency += done.duration_since(now);
-
-        // Local data-location resolution (§3.3.1 decision 1).
-        let identity = op.dn().identity().clone();
-        let location = match self.clusters[cluster_idx].stage.resolve(&identity, now, None) {
-            Resolution::Found(loc) => loc,
-            Resolution::Unknown => {
-                return OpOutcome::fail(UdrError::UnknownIdentity(identity.to_string()), latency)
-            }
-            Resolution::Syncing => {
-                return OpOutcome::fail(UdrError::LocationStageSyncing, latency)
-            }
-            Resolution::NeedsProbe { ses_to_probe } => {
-                match self.probe_location(cluster_idx, &identity, ses_to_probe, server_site) {
-                    Ok((loc, probe_latency)) => {
-                        latency += probe_latency;
-                        loc
-                    }
-                    Err((e, probe_latency)) => {
-                        return OpOutcome::fail(e, latency + probe_latency)
-                    }
-                }
-            }
-        };
-
-        // Quorum mode handles reads through the ensemble, not one copy.
-        if let ReplicationMode::Quorum { r, .. } = self.cfg.frash.replication {
-            if !op.is_write() {
-                return self.quorum_read(op, location.partition, location.uid, server_site, latency, r);
-            }
-        }
-
-        // Route to a storage element per the class read policy / mastership.
-        let read_policy = match class {
-            TxnClass::FrontEnd => self.cfg.frash.fe_read_policy,
-            TxnClass::Provisioning => self.cfg.frash.ps_read_policy,
-        };
-        let target = if op.is_write() {
-            self.write_target(location.partition, server_site, now)
-        } else {
-            self.read_target(location.partition, server_site, read_policy)
-        };
-        let Some(se_id) = target else {
-            let master = self.groups[location.partition.index()].master();
-            return OpOutcome::fail(
-                UdrError::Unreachable { se: master, reason: "partition" },
-                latency + timeout,
-            );
-        };
-        let se_site = self.ses[se_id.index()].site();
-        let crossed = se_site != server_site;
-        let Some(se_rtt) = self.sample_rtt(server_site, se_site) else {
-            return OpOutcome::fail(UdrError::Timeout, timeout);
-        };
-        latency += se_rtt;
-
-        // Execute against the engine.
-        let (result, engine_cost, record) =
-            self.run_on_se(op, se_id, location.partition, location.uid, now + latency);
-        latency += engine_cost;
-        let mut result = match result {
-            Ok(v) => v,
-            Err(e) => return OpOutcome::fail(e, latency),
-        };
-
-        // Replication effects for committed writes.
-        if let Some(record) = record {
-            match self.replicate_after_commit(location.partition, se_id, &record, now + latency) {
-                Ok(extra) => latency += extra,
-                Err(e) => {
-                    self.metrics.partial_commits += 1;
-                    return OpOutcome::fail(e, latency);
-                }
-            }
-        }
-
-        // Staleness accounting for reads.
-        if !op.is_write() {
-            self.record_read_staleness(location.partition, location.uid, se_id);
-            // Attribute projection.
-            if let LdapOp::Search { attrs, .. } | LdapOp::SearchFilter { attrs, .. } = op {
-                if !attrs.is_empty() {
-                    if let Some(entry) = result.take() {
-                        let projected: Entry = entry
-                            .iter()
-                            .filter(|(id, _)| attrs.contains(id))
-                            .map(|(id, v)| (*id, v.clone()))
-                            .collect();
-                        result = Some(projected);
-                    }
-                }
-            }
-        }
-
-        OpOutcome { result: Ok(result), latency, served_by: Some(se_id), crossed_backbone: crossed }
-    }
-
-    /// Cached-stage miss: broadcast a location probe to the SEs (§3.5's
-    /// scalability hurdle). The answer comes from the owning partition's
-    /// master; absence is known only after the slowest reachable SE answers.
-    fn probe_location(
-        &mut self,
-        cluster_idx: usize,
-        identity: &Identity,
-        ses_to_probe: usize,
-        from_site: SiteId,
-    ) -> Result<(udr_dls::Location, SimDuration), (UdrError, SimDuration)> {
-        self.metrics.dls_probes += ses_to_probe as u64;
-        match self.authority.peek(identity) {
-            Some(loc) => {
-                // The probe fans out in parallel; the client proceeds as
-                // soon as the owning partition's master answers positively.
-                let owner = self.groups[loc.partition.index()].master();
-                if !self.ses[owner.index()].is_up() {
-                    return Err((UdrError::SeUnavailable(owner), SimDuration::ZERO));
-                }
-                let owner_site = self.ses[owner.index()].site();
-                let owner_rtt = self.sample_rtt(from_site, owner_site).ok_or((
-                    UdrError::Unreachable { se: owner, reason: "partition" },
-                    self.cfg.frash.op_timeout,
-                ))?;
-                self.clusters[cluster_idx].stage.fill_cache(identity, loc);
-                Ok((loc, owner_rtt))
-            }
-            None => {
-                // Absence is known only once the slowest reachable probed SE
-                // has answered "not here".
-                let sites: Vec<SiteId> =
-                    self.ses.iter().take(ses_to_probe).map(|se| se.site()).collect();
-                let mut worst = SimDuration::ZERO;
-                for site in sites {
-                    if let Some(rtt) = self.sample_rtt(from_site, site) {
-                        worst = worst.max(rtt);
-                    }
-                }
-                Err((UdrError::UnknownIdentity(identity.to_string()), worst))
-            }
-        }
-    }
-
-    /// Pick the SE serving a read under a policy.
-    fn read_target(
-        &self,
-        partition: PartitionId,
-        from_site: SiteId,
-        policy: ReadPolicy,
-    ) -> Option<SeId> {
-        let group = &self.groups[partition.index()];
-        let master = group.master();
-        let usable = |se: SeId| {
-            self.ses[se.index()].is_up()
-                && self.net.reachable(from_site, self.ses[se.index()].site())
-        };
-        match policy {
-            ReadPolicy::MasterOnly => usable(master).then_some(master),
-            ReadPolicy::NearestCopy => {
-                // Same-site copy first (§3.3.2: "all IP packet exchanges
-                // take place over a fast local network"), then the master,
-                // then any reachable copy.
-                let same_site = group
-                    .members()
-                    .iter()
-                    .copied()
-                    .filter(|se| self.ses[se.index()].site() == from_site && usable(*se))
-                    .min();
-                same_site
-                    .or_else(|| usable(master).then_some(master))
-                    .or_else(|| group.members().iter().copied().filter(|se| usable(*se)).min())
-            }
-        }
-    }
-
-    /// Pick the SE taking a write; under multi-master an acting master is
-    /// elected on the client's side of a partition (§5).
-    fn write_target(
-        &mut self,
-        partition: PartitionId,
-        from_site: SiteId,
-        now: SimTime,
-    ) -> Option<SeId> {
-        let group = &self.groups[partition.index()];
-        let master = group.master();
-        let master_ok = self.ses[master.index()].is_up()
-            && self.net.reachable(from_site, self.ses[master.index()].site());
-        if master_ok {
-            return Some(master);
-        }
-        if self.cfg.frash.replication != ReplicationMode::MultiMaster {
-            return None;
-        }
-        // Acting master: same-site preferred, then lowest SeId — a
-        // deterministic choice, so every client on this side of the cut
-        // elects the same copy.
-        let candidate = group
-            .members()
-            .iter()
-            .copied()
-            .filter(|se| {
-                self.ses[se.index()].is_up()
-                    && self.net.reachable(from_site, self.ses[se.index()].site())
-            })
-            .min_by_key(|se| {
-                (self.ses[se.index()].site() != from_site, *se)
-            })?;
-        if self.ses[candidate.index()].role(partition) != Some(ReplicaRole::Master) {
-            let _ = self.ses[candidate.index()].set_role(partition, ReplicaRole::Master);
-        }
-        let diverged_at = self.earliest_active_cut().unwrap_or(now);
-        self.diverged.entry(partition).or_insert(diverged_at);
-        Some(candidate)
-    }
-
-    /// Run the op inside a single-SE transaction (§3.2 decision 1: SEs are
-    /// transactional; nothing spans elements here).
-    #[allow(clippy::type_complexity)]
-    fn run_on_se(
-        &mut self,
-        op: &LdapOp,
-        se_id: SeId,
-        partition: PartitionId,
-        uid: SubscriberUid,
-        commit_at: SimTime,
-    ) -> (UdrResult<Option<Entry>>, SimDuration, Option<CommitRecord>) {
-        let isolation = self.cfg.frash.intra_se_isolation;
-        let se = &mut self.ses[se_id.index()];
-        let costs = se.cost_model().clone();
-        let mut cost = SimDuration::ZERO;
-
-        let txn = match se.begin(partition, isolation) {
-            Ok(t) => t,
-            Err(e) => return (Err(e), cost, None),
-        };
-        let staged: UdrResult<Option<Entry>> = match op {
-            LdapOp::Search { .. } => {
-                cost += costs.read;
-                match se.read(partition, txn, uid) {
-                    Ok(Some(entry)) => Ok(Some(entry)),
-                    Ok(None) => Err(UdrError::NotFound(uid)),
-                    Err(e) => Err(e),
-                }
-            }
-            // Filtered search (§1/§2.2 BI clients): the located entry is
-            // returned only when it satisfies the filter; a non-match is an
-            // empty result set, not an error.
-            LdapOp::SearchFilter { filter, .. } => {
-                cost += costs.read + costs.read * filter.assertion_count() as u64;
-                match se.read(partition, txn, uid) {
-                    Ok(Some(entry)) => {
-                        Ok(if filter.matches(&entry) { Some(entry) } else { None })
-                    }
-                    Ok(None) => Err(UdrError::NotFound(uid)),
-                    Err(e) => Err(e),
-                }
-            }
-            // Binds authenticate against the directory front-end; the
-            // engine only verifies the entry exists (credential checking is
-            // out of the paper's scope).
-            LdapOp::Bind { .. } => {
-                cost += costs.read;
-                match se.read(partition, txn, uid) {
-                    Ok(Some(_)) => Ok(None),
-                    Ok(None) => Err(UdrError::NotFound(uid)),
-                    Err(e) => Err(e),
-                }
-            }
-            // Compare: `Some(asserted attr)` = compareTrue, `None` =
-            // compareFalse (RFC 2251 §4.10 mapped onto the payload).
-            LdapOp::Compare { attr, value, .. } => {
-                cost += costs.read;
-                match se.read(partition, txn, uid) {
-                    Ok(Some(entry)) => Ok(entry
-                        .get(*attr)
-                        .filter(|v| *v == value)
-                        .map(|v| [(*attr, v.clone())].into_iter().collect())),
-                    Ok(None) => Err(UdrError::NotFound(uid)),
-                    Err(e) => Err(e),
-                }
-            }
-            LdapOp::Add { entry, .. } => {
-                cost += costs.write;
-                se.insert(partition, txn, uid, entry.clone()).map(|_| None)
-            }
-            LdapOp::Modify { mods, .. } => {
-                cost += costs.read + costs.write;
-                se.modify(partition, txn, uid, mods).map(|_| None)
-            }
-            LdapOp::Delete { .. } => {
-                cost += costs.write;
-                se.delete(partition, txn, uid).map(|_| None)
-            }
-        };
-        match staged {
-            Ok(value) => match se.commit(partition, txn, commit_at) {
-                Ok((record, commit_cost)) => {
-                    cost += commit_cost;
-                    (Ok(value), cost, record)
-                }
-                Err(e) => (Err(e), cost, None),
-            },
-            Err(e) => {
-                se.abort(partition, txn);
-                (Err(e), cost, None)
-            }
-        }
-    }
-
-    /// Propagate a committed record per the replication mode; returns the
-    /// extra commit latency the client observes.
-    fn replicate_after_commit(
-        &mut self,
-        partition: PartitionId,
-        master: SeId,
-        record: &CommitRecord,
-        now: SimTime,
-    ) -> UdrResult<SimDuration> {
-        let p = partition.index();
-        let master_site = self.ses[master.index()].site();
-        let slaves: Vec<SeId> = self.groups[p]
-            .members()
-            .iter()
-            .copied()
-            .filter(|se| *se != master)
-            .collect();
-
-        // Asynchronous shipping happens in every mode (it is the stream the
-        // slaves replay); the mode decides what the commit *waits* for.
-        let mut slave_rtts: Vec<(SeId, Option<SimDuration>)> = Vec::with_capacity(slaves.len());
-        for slave in &slaves {
-            let slave_site = self.ses[slave.index()].site();
-            let up = self.ses[slave.index()].is_up();
-            let delay = if up { self.net.send(master_site, slave_site, &mut self.rng).delay() } else { None };
-            if let Some(d) = self.shippers[p].ship(*slave, record, now, delay) {
-                self.events.schedule_at(
-                    d.arrives,
-                    UdrEvent::ReplDeliver { partition, slave: d.slave, record: d.record },
-                );
-            }
-            // The ack round trip is twice the one-way delay.
-            slave_rtts.push((*slave, delay.map(|d| d * 2)));
-        }
-
-        match self.cfg.frash.replication {
-            ReplicationMode::AsyncMasterSlave | ReplicationMode::MultiMaster => {
-                Ok(SimDuration::ZERO)
-            }
-            ReplicationMode::DualInSequence => {
-                // §5: apply in sequence to two replicas, commit when both
-                // succeed. The wait is the designated second copy's ack.
-                match slave_rtts.iter().find(|(_, rtt)| rtt.is_some()) {
-                    Some((_, Some(rtt))) => Ok(*rtt),
-                    _ => Err(UdrError::ReplicationFailed { acked: 1, required: 2 }),
-                }
-            }
-            ReplicationMode::Quorum { w, .. } => {
-                // Master counts as the first ack at its local commit cost.
-                let mut responses = vec![(master, Some(SimDuration::ZERO))];
-                responses.extend(slave_rtts);
-                let out = quorum_write(&responses, w as usize);
-                if out.committed {
-                    Ok(out.latency)
-                } else {
-                    Err(UdrError::ReplicationFailed {
-                        acked: out.applied.len(),
-                        required: w as usize,
-                    })
-                }
-            }
-        }
-    }
-
-    /// Quorum read: consult `r` replicas, serve the freshest (§5 Cassandra
-    /// comparison).
-    fn quorum_read(
-        &mut self,
-        op: &LdapOp,
-        partition: PartitionId,
-        uid: SubscriberUid,
-        from_site: SiteId,
-        mut latency: SimDuration,
-        r: u8,
-    ) -> OpOutcome {
-        let members: Vec<SeId> = self.groups[partition.index()].members().to_vec();
-        let mut responders: Vec<(SeId, SimDuration)> = Vec::new();
-        for se in members {
-            if !self.ses[se.index()].is_up() {
-                continue;
-            }
-            let site = self.ses[se.index()].site();
-            if let Some(rtt) = self.sample_rtt(from_site, site) {
-                responders.push((se, rtt));
-            }
-        }
-        responders.sort_by_key(|(_, rtt)| *rtt);
-        if responders.len() < r as usize {
-            return OpOutcome::fail(
-                UdrError::ReplicationFailed { acked: responders.len(), required: r as usize },
-                latency + self.cfg.frash.op_timeout,
-            );
-        }
-        let consulted = &responders[..r as usize];
-        latency += consulted.last().map(|(_, rtt)| *rtt).unwrap_or(SimDuration::ZERO);
-        // Freshest copy among the consulted wins.
-        let (serving, _) = consulted
-            .iter()
-            .max_by_key(|(se, _)| {
-                self.ses[se.index()].last_lsn(partition).unwrap_or(udr_storage::Lsn::ZERO)
-            })
-            .copied()
-            .expect("r >= 1 consulted");
-        let cost = self.ses[serving.index()].cost_model().read;
-        latency += cost;
-        let entry = match self.ses[serving.index()].read_committed(partition, uid) {
-            Ok(Some(e)) => e,
-            Ok(None) => return OpOutcome::fail(UdrError::NotFound(uid), latency),
-            Err(e) => return OpOutcome::fail(e, latency),
-        };
-        self.record_read_staleness(partition, uid, serving);
-        let crossed = self.ses[serving.index()].site() != from_site;
-        let result = if let LdapOp::Search { attrs, .. } | LdapOp::SearchFilter { attrs, .. } = op {
-            if attrs.is_empty() {
-                Some(entry)
-            } else {
-                Some(entry.iter().filter(|(id, _)| attrs.contains(id)).map(|(id, v)| (*id, v.clone())).collect())
-            }
-        } else {
-            Some(entry)
-        };
-        OpOutcome { result: Ok(result), latency, served_by: Some(serving), crossed_backbone: crossed }
-    }
-
-    /// Record whether a read served by `se` returned stale data relative to
-    /// the partition master.
-    fn record_read_staleness(&mut self, partition: PartitionId, uid: SubscriberUid, se: SeId) {
-        let master = self.groups[partition.index()].master();
-        if se == master {
-            self.metrics.staleness.record_master_read();
-            return;
-        }
-        if !self.ses[master.index()].is_up() {
-            // No ground truth to compare against; count as a fresh slave
-            // read (conservative).
-            self.metrics.staleness.record_slave_read(0, SimDuration::ZERO);
-            return;
-        }
-        let master_ver = self.ses[master.index()]
-            .engine(partition)
-            .ok()
-            .and_then(|e| e.committed_version(uid).cloned());
-        let slave_ver = self.ses[se.index()]
-            .engine(partition)
-            .ok()
-            .and_then(|e| e.committed_version(uid).cloned());
-        match (master_ver, slave_ver) {
-            (Some(m), Some(s)) if m.lsn > s.lsn => {
-                let lag = m.lsn.raw() - s.lsn.raw();
-                let age = m.committed_at.duration_since(s.committed_at);
-                self.metrics.staleness.record_slave_read(lag, age);
-            }
-            (Some(m), None) => {
-                self.metrics.staleness.record_slave_read(m.lsn.raw().max(1), SimDuration::ZERO);
-            }
-            _ => self.metrics.staleness.record_slave_read(0, SimDuration::ZERO),
-        }
     }
 }

@@ -1,0 +1,781 @@
+//! The end-to-end operation pipeline: the paper's stack of separable
+//! decisions (§3.2–§3.4) made explicit.
+//!
+//! Every client operation traverses four stages, each owning one of the
+//! paper's design decisions:
+//!
+//! ```text
+//! AccessStage ──▶ LocationStage ──▶ ReplicationStage ──▶ StorageStage
+//!  (PoA + LDAP     (DLS resolution    (copy routing,       (single-SE
+//!   server, §3.4)    via Locator,       quorum/multi-        transaction
+//!                     §3.3.1/§3.5)      master, §3.3/§5)     via Storage-
+//!                                                            Backend, §3.2)
+//!                                      ◀── finish: post-commit
+//!                                          replication + staleness
+//! ```
+//!
+//! The location stage runs behind the [`Locator`] trait (provisioned maps,
+//! cached maps, and the consistent-hash ring all implement it) and the
+//! storage stage behind the [`StorageBackend`] trait (implemented by the
+//! in-RAM [`udr_storage::StorageElement`]). A [`PipelineCtx`] carries the
+//! operation plus the accumulated [`LatencyBreakdown`], so experiments
+//! can attribute end-to-end latency to the stage that caused it.
+//!
+//! [`Udr`] itself no longer routes anything per-operation: it is the
+//! deployment container and event pump, and `ops.rs` is a thin entry
+//! point that builds a context and runs this chain.
+
+use udr_dls::{Location, Locator, Resolution};
+use udr_ldap::LdapOp;
+use udr_model::attrs::Entry;
+use udr_model::config::{ReadPolicy, ReplicationMode, TxnClass};
+use udr_model::error::{UdrError, UdrResult};
+use udr_model::identity::Identity;
+use udr_model::ids::{PartitionId, ReplicaRole, SeId, SiteId, SubscriberUid};
+use udr_model::time::{SimDuration, SimTime};
+use udr_replication::quorum::quorum_write;
+use udr_storage::{CommitRecord, StorageBackend};
+
+use crate::ops::OpOutcome;
+use crate::udr::{Udr, UdrEvent};
+
+/// Per-stage latency attribution for one operation.
+///
+/// Components always sum to [`OpOutcome::latency`] except when the
+/// operation was failed by the timeout clamp in
+/// [`Udr::execute_op`](crate::Udr::execute_op), where the breakdown keeps
+/// the attempt's decomposition while the reported latency is the timeout.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyBreakdown {
+    /// Client ↔ PoA round trip plus LDAP server queueing and processing.
+    pub access: SimDuration,
+    /// Data-location resolution, including any SE probe broadcasts.
+    pub location: SimDuration,
+    /// Replica routing and replication waits: commit acknowledgements in
+    /// the synchronous modes, ensemble consults on quorum reads.
+    pub replication: SimDuration,
+    /// Storage-element round trip plus engine execution and commit cost.
+    pub storage: SimDuration,
+}
+
+impl LatencyBreakdown {
+    /// Sum of all components.
+    pub fn total(&self) -> SimDuration {
+        self.access + self.location + self.replication + self.storage
+    }
+}
+
+/// Mutable state threaded through the stages for one operation.
+pub struct PipelineCtx<'a> {
+    /// The operation being executed.
+    pub op: &'a LdapOp,
+    /// Issuing transaction class (FE or PS).
+    pub class: TxnClass,
+    /// Site the client is attached to.
+    pub client_site: SiteId,
+    /// Arrival instant at the PoA.
+    pub now: SimTime,
+    /// Accumulated latency attribution.
+    pub breakdown: LatencyBreakdown,
+    /// Serving cluster (set by the access stage).
+    cluster_idx: usize,
+    /// Site of the serving LDAP server (set by the access stage).
+    server_site: SiteId,
+    /// Resolved data location (set by the location stage).
+    location: Option<Location>,
+    /// The SE chosen to serve the data portion (set by replication
+    /// routing).
+    target: Option<SeId>,
+    /// Whether the replication stage consulted a read quorum (the storage
+    /// stage then serves a committed read instead of a transaction).
+    quorum_served: bool,
+    /// Commit record of a committed write, for post-commit replication.
+    record: Option<CommitRecord>,
+    /// Whether reaching the SE crossed the inter-site backbone.
+    crossed_backbone: bool,
+}
+
+impl<'a> PipelineCtx<'a> {
+    /// A fresh context for one operation.
+    pub fn new(op: &'a LdapOp, class: TxnClass, client_site: SiteId, now: SimTime) -> Self {
+        PipelineCtx {
+            op,
+            class,
+            client_site,
+            now,
+            breakdown: LatencyBreakdown::default(),
+            cluster_idx: 0,
+            server_site: client_site,
+            location: None,
+            target: None,
+            quorum_served: false,
+            record: None,
+            crossed_backbone: false,
+        }
+    }
+
+    /// Fail with the latency accumulated so far.
+    fn fail(&self, err: UdrError) -> OpOutcome {
+        OpOutcome {
+            result: Err(err),
+            latency: self.breakdown.total(),
+            served_by: None,
+            crossed_backbone: false,
+            breakdown: self.breakdown,
+        }
+    }
+
+    /// The location resolved by the location stage.
+    fn loc(&self) -> Location {
+        self.location.expect("location stage ran")
+    }
+}
+
+/// Run the full chain against a deployment.
+///
+/// [`Udr::execute_op`](crate::Udr::execute_op) is the normal entry point
+/// (it drains events, applies the operation timeout and records metrics);
+/// drive this directly when you need the raw stage outcome — e.g. to run
+/// stages against a partially-built context in tests or future
+/// partition-parallel executors.
+pub fn run(udr: &mut Udr, ctx: &mut PipelineCtx) -> OpOutcome {
+    if let Err(out) = AccessStage::run(udr, ctx) {
+        return out;
+    }
+    if let Err(out) = LocationStage::run(udr, ctx) {
+        return out;
+    }
+    if let Err(out) = ReplicationStage::route(udr, ctx) {
+        return out;
+    }
+    let value = match StorageStage::run(udr, ctx) {
+        Ok(value) => value,
+        Err(out) => return out,
+    };
+    ReplicationStage::finish(udr, ctx, value)
+}
+
+fn sample_rtt(udr: &mut Udr, a: SiteId, b: SiteId) -> Option<SimDuration> {
+    udr.net.round_trip(a, b, &mut udr.rng)
+}
+
+/// Stage 1 — §3.4.1 access: the client reaches a PoA over the local
+/// network, the PoA balances over the cluster's LDAP servers, and the
+/// chosen server pays protocol queueing + processing.
+pub struct AccessStage;
+
+impl AccessStage {
+    /// Run the stage: PoA round trip, balancer pick, server admission.
+    pub fn run(udr: &mut Udr, ctx: &mut PipelineCtx) -> Result<(), OpOutcome> {
+        // Client ↔ PoA: the FE is always close to a PoA (§3.3.2), so this
+        // is a LAN round trip.
+        let Some(poa_rtt) = sample_rtt(udr, ctx.client_site, ctx.client_site) else {
+            ctx.breakdown = LatencyBreakdown {
+                access: udr.cfg.frash.op_timeout,
+                ..LatencyBreakdown::default()
+            };
+            return Err(ctx.fail(UdrError::Timeout));
+        };
+        ctx.breakdown.access += poa_rtt;
+
+        // PoA balances over the cluster's LDAP servers.
+        ctx.cluster_idx = udr.pick_cluster(ctx.client_site);
+        let Some(server_id) = udr.clusters[ctx.cluster_idx].poa.pick() else {
+            return Err(ctx.fail(UdrError::Overload));
+        };
+        ctx.server_site = udr.clusters[ctx.cluster_idx].site;
+
+        // Protocol processing (queueing + service) at the server.
+        let Some(done) = udr.servers[server_id.index()].admit(ctx.op, ctx.now) else {
+            return Err(ctx.fail(UdrError::Overload));
+        };
+        ctx.breakdown.access += done.duration_since(ctx.now);
+        Ok(())
+    }
+}
+
+/// Stage 2 — §3.3.1 decision 1: resolve the identity to a data location
+/// through the cluster's [`Locator`]. Cached and hashed locators may
+/// require an SE probe broadcast (§3.5's scalability hurdle).
+pub struct LocationStage;
+
+impl LocationStage {
+    /// Run the stage: resolve the operation's identity via the cluster's
+    /// [`Locator`], probing SEs on a miss.
+    pub fn run(udr: &mut Udr, ctx: &mut PipelineCtx) -> Result<(), OpOutcome> {
+        let identity = ctx.op.dn().identity().clone();
+        let locator: &mut dyn Locator = &mut udr.clusters[ctx.cluster_idx].stage;
+        match locator.resolve(&identity, ctx.now, None) {
+            Resolution::Found(loc) => {
+                ctx.location = Some(loc);
+                Ok(())
+            }
+            Resolution::Unknown => Err(ctx.fail(UdrError::UnknownIdentity(identity.to_string()))),
+            Resolution::Syncing => Err(ctx.fail(UdrError::LocationStageSyncing)),
+            Resolution::NeedsProbe { ses_to_probe } => {
+                Self::probe(udr, ctx, &identity, ses_to_probe)
+            }
+        }
+    }
+
+    /// Locator miss: broadcast a location probe to the SEs. The answer
+    /// comes from the owning partition's master; absence is known only
+    /// after the slowest reachable SE answers.
+    fn probe(
+        udr: &mut Udr,
+        ctx: &mut PipelineCtx,
+        identity: &Identity,
+        ses_to_probe: usize,
+    ) -> Result<(), OpOutcome> {
+        udr.metrics.dls_probes += ses_to_probe as u64;
+        match udr.authority.peek(identity) {
+            Some(loc) => {
+                // The probe fans out in parallel; the client proceeds as
+                // soon as the owning partition's master answers positively.
+                let owner = udr.groups[loc.partition.index()].master();
+                if !udr.ses[owner.index()].is_up() {
+                    return Err(ctx.fail(UdrError::SeUnavailable(owner)));
+                }
+                let owner_site = udr.ses[owner.index()].site();
+                let Some(owner_rtt) = sample_rtt(udr, ctx.server_site, owner_site) else {
+                    ctx.breakdown.location += udr.cfg.frash.op_timeout;
+                    return Err(ctx.fail(UdrError::Unreachable {
+                        se: owner,
+                        reason: "partition",
+                    }));
+                };
+                ctx.breakdown.location += owner_rtt;
+                let locator: &mut dyn Locator = &mut udr.clusters[ctx.cluster_idx].stage;
+                locator.fill(identity, loc);
+                ctx.location = Some(loc);
+                Ok(())
+            }
+            None => {
+                // Absence is known only once the slowest reachable probed
+                // SE has answered "not here".
+                let sites: Vec<SiteId> = udr
+                    .ses
+                    .iter()
+                    .take(ses_to_probe)
+                    .map(|se| se.site())
+                    .collect();
+                let mut worst = SimDuration::ZERO;
+                for site in sites {
+                    if let Some(rtt) = sample_rtt(udr, ctx.server_site, site) {
+                        worst = worst.max(rtt);
+                    }
+                }
+                ctx.breakdown.location += worst;
+                Err(ctx.fail(UdrError::UnknownIdentity(identity.to_string())))
+            }
+        }
+    }
+}
+
+/// Stage 3 — replica routing and replication effects: picks the SE that
+/// serves the operation under the configured replication mode and read
+/// policy (§3.3), consults read quorums (§5), and — after the storage
+/// stage commits — propagates the record and waits for whatever the mode
+/// requires.
+pub struct ReplicationStage;
+
+impl ReplicationStage {
+    /// Routing half of the stage: pick the serving SE (or consult a read
+    /// quorum) under the configured replication mode and read policy.
+    pub fn route(udr: &mut Udr, ctx: &mut PipelineCtx) -> Result<(), OpOutcome> {
+        let location = ctx.loc();
+
+        // Quorum mode handles reads through the ensemble, not one copy.
+        if let ReplicationMode::Quorum { r, .. } = udr.cfg.frash.replication {
+            if !ctx.op.is_write() {
+                return Self::quorum_consult(udr, ctx, location.partition, r);
+            }
+        }
+
+        let read_policy = match ctx.class {
+            TxnClass::FrontEnd => udr.cfg.frash.fe_read_policy,
+            TxnClass::Provisioning => udr.cfg.frash.ps_read_policy,
+        };
+        let target = if ctx.op.is_write() {
+            Self::write_target(udr, location.partition, ctx.server_site, ctx.now)
+        } else {
+            Self::read_target(udr, location.partition, ctx.server_site, read_policy)
+        };
+        match target {
+            Some(se) => {
+                ctx.target = Some(se);
+                Ok(())
+            }
+            None => {
+                let master = udr.groups[location.partition.index()].master();
+                ctx.breakdown.replication += udr.cfg.frash.op_timeout;
+                Err(ctx.fail(UdrError::Unreachable {
+                    se: master,
+                    reason: "partition",
+                }))
+            }
+        }
+    }
+
+    /// Pick the SE serving a read under a policy.
+    fn read_target(
+        udr: &Udr,
+        partition: PartitionId,
+        from_site: SiteId,
+        policy: ReadPolicy,
+    ) -> Option<SeId> {
+        let group = &udr.groups[partition.index()];
+        let master = group.master();
+        let usable = |se: SeId| {
+            udr.ses[se.index()].is_up() && udr.net.reachable(from_site, udr.ses[se.index()].site())
+        };
+        match policy {
+            ReadPolicy::MasterOnly => usable(master).then_some(master),
+            ReadPolicy::NearestCopy => {
+                // Same-site copy first (§3.3.2: "all IP packet exchanges
+                // take place over a fast local network"), then the master,
+                // then any reachable copy.
+                let same_site = group
+                    .members()
+                    .iter()
+                    .copied()
+                    .filter(|se| udr.ses[se.index()].site() == from_site && usable(*se))
+                    .min();
+                same_site
+                    .or_else(|| usable(master).then_some(master))
+                    .or_else(|| {
+                        group
+                            .members()
+                            .iter()
+                            .copied()
+                            .filter(|se| usable(*se))
+                            .min()
+                    })
+            }
+        }
+    }
+
+    /// Pick the SE taking a write; under multi-master an acting master is
+    /// elected on the client's side of a partition (§5).
+    fn write_target(
+        udr: &mut Udr,
+        partition: PartitionId,
+        from_site: SiteId,
+        now: SimTime,
+    ) -> Option<SeId> {
+        let group = &udr.groups[partition.index()];
+        let master = group.master();
+        let master_ok = udr.ses[master.index()].is_up()
+            && udr.net.reachable(from_site, udr.ses[master.index()].site());
+        if master_ok {
+            return Some(master);
+        }
+        if udr.cfg.frash.replication != ReplicationMode::MultiMaster {
+            return None;
+        }
+        // Acting master: same-site preferred, then lowest SeId — a
+        // deterministic choice, so every client on this side of the cut
+        // elects the same copy.
+        let candidate = group
+            .members()
+            .iter()
+            .copied()
+            .filter(|se| {
+                udr.ses[se.index()].is_up()
+                    && udr.net.reachable(from_site, udr.ses[se.index()].site())
+            })
+            .min_by_key(|se| (udr.ses[se.index()].site() != from_site, *se))?;
+        if udr.ses[candidate.index()].role(partition) != Some(ReplicaRole::Master) {
+            let _ = udr.ses[candidate.index()].set_role(partition, ReplicaRole::Master);
+        }
+        let diverged_at = udr.earliest_active_cut().unwrap_or(now);
+        udr.diverged.entry(partition).or_insert(diverged_at);
+        Some(candidate)
+    }
+
+    /// Quorum read consult (§5 Cassandra comparison): wait for the `r`
+    /// nearest reachable replicas, then serve from the freshest of them.
+    fn quorum_consult(
+        udr: &mut Udr,
+        ctx: &mut PipelineCtx,
+        partition: PartitionId,
+        r: u8,
+    ) -> Result<(), OpOutcome> {
+        let members: Vec<SeId> = udr.groups[partition.index()].members().to_vec();
+        let mut responders: Vec<(SeId, SimDuration)> = Vec::new();
+        for se in members {
+            if !udr.ses[se.index()].is_up() {
+                continue;
+            }
+            let site = udr.ses[se.index()].site();
+            if let Some(rtt) = sample_rtt(udr, ctx.server_site, site) {
+                responders.push((se, rtt));
+            }
+        }
+        responders.sort_by_key(|(_, rtt)| *rtt);
+        if responders.len() < r as usize {
+            ctx.breakdown.replication += udr.cfg.frash.op_timeout;
+            return Err(ctx.fail(UdrError::ReplicationFailed {
+                acked: responders.len(),
+                required: r as usize,
+            }));
+        }
+        let consulted = &responders[..r as usize];
+        ctx.breakdown.replication += consulted
+            .last()
+            .map(|(_, rtt)| *rtt)
+            .unwrap_or(SimDuration::ZERO);
+        // Freshest copy among the consulted wins.
+        let (serving, _) = consulted
+            .iter()
+            .max_by_key(|(se, _)| {
+                udr.ses[se.index()]
+                    .last_lsn(partition)
+                    .unwrap_or(udr_storage::Lsn::ZERO)
+            })
+            .copied()
+            .expect("r >= 1 consulted");
+        ctx.target = Some(serving);
+        ctx.quorum_served = true;
+        Ok(())
+    }
+
+    /// Post-commit half of the stage: propagate the committed record per
+    /// the replication mode, account read staleness, and assemble the
+    /// final outcome.
+    pub fn finish(udr: &mut Udr, ctx: &mut PipelineCtx, mut value: Option<Entry>) -> OpOutcome {
+        let se_id = ctx.target.expect("storage stage ran");
+        let location = ctx.loc();
+
+        if let Some(record) = ctx.record.take() {
+            let commit_done = ctx.now + ctx.breakdown.total();
+            match Self::replicate_after_commit(udr, location.partition, se_id, &record, commit_done)
+            {
+                Ok(extra) => ctx.breakdown.replication += extra,
+                Err(e) => {
+                    udr.metrics.partial_commits += 1;
+                    return ctx.fail(e);
+                }
+            }
+        }
+
+        if !ctx.op.is_write() {
+            Self::record_read_staleness(udr, location.partition, location.uid, se_id);
+            // Attribute projection. (Filter matching and Bind/Compare
+            // shaping already happened in the storage stage, on both the
+            // transactional and the quorum-served path.)
+            if let LdapOp::Search { attrs, .. } | LdapOp::SearchFilter { attrs, .. } = ctx.op {
+                if !attrs.is_empty() {
+                    if let Some(entry) = value.take() {
+                        let projected: Entry = entry
+                            .iter()
+                            .filter(|(id, _)| attrs.contains(id))
+                            .map(|(id, v)| (*id, v.clone()))
+                            .collect();
+                        value = Some(projected);
+                    }
+                }
+            }
+        }
+
+        OpOutcome {
+            result: Ok(value),
+            latency: ctx.breakdown.total(),
+            served_by: Some(se_id),
+            crossed_backbone: ctx.crossed_backbone,
+            breakdown: ctx.breakdown,
+        }
+    }
+
+    /// Propagate a committed record per the replication mode; returns the
+    /// extra commit latency the client observes.
+    fn replicate_after_commit(
+        udr: &mut Udr,
+        partition: PartitionId,
+        master: SeId,
+        record: &CommitRecord,
+        now: SimTime,
+    ) -> UdrResult<SimDuration> {
+        let p = partition.index();
+        let master_site = udr.ses[master.index()].site();
+        let slaves: Vec<SeId> = udr.groups[p]
+            .members()
+            .iter()
+            .copied()
+            .filter(|se| *se != master)
+            .collect();
+
+        // Asynchronous shipping happens in every mode (it is the stream
+        // the slaves replay); the mode decides what the commit *waits* for.
+        let mut slave_rtts: Vec<(SeId, Option<SimDuration>)> = Vec::with_capacity(slaves.len());
+        for slave in &slaves {
+            let slave_site = udr.ses[slave.index()].site();
+            let up = udr.ses[slave.index()].is_up();
+            let delay = if up {
+                udr.net.send(master_site, slave_site, &mut udr.rng).delay()
+            } else {
+                None
+            };
+            if let Some(d) = udr.shippers[p].ship(*slave, record, now, delay) {
+                udr.events.schedule_at(
+                    d.arrives,
+                    UdrEvent::ReplDeliver {
+                        partition,
+                        slave: d.slave,
+                        record: d.record,
+                    },
+                );
+            }
+            // The ack round trip is twice the one-way delay.
+            slave_rtts.push((*slave, delay.map(|d| d * 2)));
+        }
+
+        match udr.cfg.frash.replication {
+            ReplicationMode::AsyncMasterSlave | ReplicationMode::MultiMaster => {
+                Ok(SimDuration::ZERO)
+            }
+            ReplicationMode::DualInSequence => {
+                // §5: apply in sequence to two replicas, commit when both
+                // succeed. The wait is the designated second copy's ack.
+                match slave_rtts.iter().find(|(_, rtt)| rtt.is_some()) {
+                    Some((_, Some(rtt))) => Ok(*rtt),
+                    _ => Err(UdrError::ReplicationFailed {
+                        acked: 1,
+                        required: 2,
+                    }),
+                }
+            }
+            ReplicationMode::Quorum { w, .. } => {
+                // Master counts as the first ack at its local commit cost.
+                let mut responses = vec![(master, Some(SimDuration::ZERO))];
+                responses.extend(slave_rtts);
+                let out = quorum_write(&responses, w as usize);
+                if out.committed {
+                    Ok(out.latency)
+                } else {
+                    Err(UdrError::ReplicationFailed {
+                        acked: out.applied.len(),
+                        required: w as usize,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Record whether a read served by `se` returned stale data relative
+    /// to the partition master.
+    fn record_read_staleness(udr: &mut Udr, partition: PartitionId, uid: SubscriberUid, se: SeId) {
+        let master = udr.groups[partition.index()].master();
+        if se == master {
+            udr.metrics.staleness.record_master_read();
+            return;
+        }
+        if !udr.ses[master.index()].is_up() {
+            // No ground truth to compare against; count as a fresh slave
+            // read (conservative).
+            udr.metrics
+                .staleness
+                .record_slave_read(0, SimDuration::ZERO);
+            return;
+        }
+        let master_ver = udr.ses[master.index()]
+            .engine(partition)
+            .ok()
+            .and_then(|e| e.committed_version(uid).cloned());
+        let slave_ver = udr.ses[se.index()]
+            .engine(partition)
+            .ok()
+            .and_then(|e| e.committed_version(uid).cloned());
+        match (master_ver, slave_ver) {
+            (Some(m), Some(s)) if m.lsn > s.lsn => {
+                let lag = m.lsn.raw() - s.lsn.raw();
+                let age = m.committed_at.duration_since(s.committed_at);
+                udr.metrics.staleness.record_slave_read(lag, age);
+            }
+            (Some(m), None) => {
+                udr.metrics
+                    .staleness
+                    .record_slave_read(m.lsn.raw().max(1), SimDuration::ZERO);
+            }
+            _ => udr
+                .metrics
+                .staleness
+                .record_slave_read(0, SimDuration::ZERO),
+        }
+    }
+}
+
+/// Stage 4 — §3.2 decision 1: execute the operation inside a single-SE
+/// transaction through the [`StorageBackend`] trait (SEs are
+/// transactional; nothing spans elements).
+pub struct StorageStage;
+
+impl StorageStage {
+    /// Run the stage: reach the routed SE and execute the operation in a
+    /// single-element transaction through [`StorageBackend`].
+    pub fn run(udr: &mut Udr, ctx: &mut PipelineCtx) -> Result<Option<Entry>, OpOutcome> {
+        let se_id = ctx.target.expect("replication stage routed");
+        let location = ctx.loc();
+
+        if ctx.quorum_served {
+            // The consult already paid the ensemble wait; serve a
+            // committed read off the freshest consulted copy, with the
+            // same per-operation semantics as the transactional path.
+            let backend: &dyn StorageBackend = &udr.ses[se_id.index()];
+            let costs = backend.cost_model();
+            ctx.breakdown.storage += match ctx.op {
+                LdapOp::SearchFilter { filter, .. } => {
+                    costs.read + costs.read * filter.assertion_count() as u64
+                }
+                _ => costs.read,
+            };
+            ctx.crossed_backbone = backend.site() != ctx.server_site;
+            return match backend.read_committed(location.partition, location.uid) {
+                Ok(Some(entry)) => Ok(Self::shape_read(ctx.op, entry)),
+                Ok(None) => Err(ctx.fail(UdrError::NotFound(location.uid))),
+                Err(e) => Err(ctx.fail(e)),
+            };
+        }
+
+        let se_site = udr.ses[se_id.index()].site();
+        ctx.crossed_backbone = se_site != ctx.server_site;
+        let Some(se_rtt) = sample_rtt(udr, ctx.server_site, se_site) else {
+            ctx.breakdown = LatencyBreakdown {
+                storage: udr.cfg.frash.op_timeout,
+                ..LatencyBreakdown::default()
+            };
+            ctx.crossed_backbone = false;
+            return Err(ctx.fail(UdrError::Timeout));
+        };
+        ctx.breakdown.storage += se_rtt;
+
+        let isolation = udr.cfg.frash.intra_se_isolation;
+        let commit_at = ctx.now + ctx.breakdown.total();
+        let backend: &mut dyn StorageBackend = &mut udr.ses[se_id.index()];
+        let (result, engine_cost, record) = Self::run_txn(
+            backend,
+            ctx.op,
+            location.partition,
+            location.uid,
+            isolation,
+            commit_at,
+        );
+        ctx.breakdown.storage += engine_cost;
+        ctx.record = record;
+        match result {
+            Ok(value) => Ok(value),
+            Err(e) => Err(ctx.fail(e)),
+        }
+    }
+
+    /// Shape a committed entry per read-operation semantics — the quorum
+    /// path's counterpart of the per-op dispatch in [`Self::run_txn`]:
+    /// filters decide between the entry and an empty result, binds return
+    /// no payload, compares return the asserted attribute or nothing.
+    fn shape_read(op: &LdapOp, entry: Entry) -> Option<Entry> {
+        match op {
+            LdapOp::SearchFilter { filter, .. } => filter.matches(&entry).then_some(entry),
+            LdapOp::Bind { .. } => None,
+            LdapOp::Compare { attr, value, .. } => entry
+                .get(*attr)
+                .filter(|v| *v == value)
+                .map(|v| [(*attr, v.clone())].into_iter().collect()),
+            _ => Some(entry),
+        }
+    }
+
+    /// One single-backend transaction covering the operation.
+    #[allow(clippy::type_complexity)]
+    fn run_txn(
+        backend: &mut dyn StorageBackend,
+        op: &LdapOp,
+        partition: PartitionId,
+        uid: SubscriberUid,
+        isolation: udr_model::config::IsolationLevel,
+        commit_at: SimTime,
+    ) -> (UdrResult<Option<Entry>>, SimDuration, Option<CommitRecord>) {
+        let costs = backend.cost_model().clone();
+        let mut cost = SimDuration::ZERO;
+
+        let txn = match backend.begin(partition, isolation) {
+            Ok(t) => t,
+            Err(e) => return (Err(e), cost, None),
+        };
+        let staged: UdrResult<Option<Entry>> = match op {
+            LdapOp::Search { .. } => {
+                cost += costs.read;
+                match backend.read(partition, txn, uid) {
+                    Ok(Some(entry)) => Ok(Some(entry)),
+                    Ok(None) => Err(UdrError::NotFound(uid)),
+                    Err(e) => Err(e),
+                }
+            }
+            // Filtered search (§1/§2.2 BI clients): the located entry is
+            // returned only when it satisfies the filter; a non-match is an
+            // empty result set, not an error.
+            LdapOp::SearchFilter { filter, .. } => {
+                cost += costs.read + costs.read * filter.assertion_count() as u64;
+                match backend.read(partition, txn, uid) {
+                    Ok(Some(entry)) => Ok(if filter.matches(&entry) {
+                        Some(entry)
+                    } else {
+                        None
+                    }),
+                    Ok(None) => Err(UdrError::NotFound(uid)),
+                    Err(e) => Err(e),
+                }
+            }
+            // Binds authenticate against the directory front-end; the
+            // engine only verifies the entry exists (credential checking is
+            // out of the paper's scope).
+            LdapOp::Bind { .. } => {
+                cost += costs.read;
+                match backend.read(partition, txn, uid) {
+                    Ok(Some(_)) => Ok(None),
+                    Ok(None) => Err(UdrError::NotFound(uid)),
+                    Err(e) => Err(e),
+                }
+            }
+            // Compare: `Some(asserted attr)` = compareTrue, `None` =
+            // compareFalse (RFC 2251 §4.10 mapped onto the payload).
+            LdapOp::Compare { attr, value, .. } => {
+                cost += costs.read;
+                match backend.read(partition, txn, uid) {
+                    Ok(Some(entry)) => Ok(entry
+                        .get(*attr)
+                        .filter(|v| *v == value)
+                        .map(|v| [(*attr, v.clone())].into_iter().collect())),
+                    Ok(None) => Err(UdrError::NotFound(uid)),
+                    Err(e) => Err(e),
+                }
+            }
+            LdapOp::Add { entry, .. } => {
+                cost += costs.write;
+                backend
+                    .insert(partition, txn, uid, entry.clone())
+                    .map(|_| None)
+            }
+            LdapOp::Modify { mods, .. } => {
+                cost += costs.read + costs.write;
+                backend.modify(partition, txn, uid, mods).map(|_| None)
+            }
+            LdapOp::Delete { .. } => {
+                cost += costs.write;
+                backend.delete(partition, txn, uid).map(|_| None)
+            }
+        };
+        match staged {
+            Ok(value) => match backend.commit(partition, txn, commit_at) {
+                Ok((record, commit_cost)) => {
+                    cost += commit_cost;
+                    (Ok(value), cost, record)
+                }
+                Err(e) => (Err(e), cost, None),
+            },
+            Err(e) => {
+                backend.abort(partition, txn);
+                (Err(e), cost, None)
+            }
+        }
+    }
+}

@@ -34,36 +34,48 @@ pub struct ProcedureOutcome {
 }
 
 fn search(identity: Identity, attrs: Vec<AttrId>) -> LdapOp {
-    LdapOp::Search { base: Dn::for_identity(identity), attrs }
+    LdapOp::Search {
+        base: Dn::for_identity(identity),
+        attrs,
+    }
 }
 
 fn modify(identity: Identity, mods: Vec<AttrMod>) -> LdapOp {
-    LdapOp::Modify { dn: Dn::for_identity(identity), mods }
+    LdapOp::Modify {
+        dn: Dn::for_identity(identity),
+        mods,
+    }
 }
 
 /// Build the LDAP operation sequence of a procedure for a subscriber.
 ///
 /// The `(reads, writes)` counts match [`ProcedureKind::ldap_ops`] exactly;
 /// a unit test enforces it.
-pub fn procedure_ops(
-    kind: ProcedureKind,
-    ids: &IdentitySet,
-    fe_site: SiteId,
-) -> Vec<LdapOp> {
+pub fn procedure_ops(kind: ProcedureKind, ids: &IdentitySet, fe_site: SiteId) -> Vec<LdapOp> {
     let imsi: Identity = ids.imsi.clone().into();
     let msisdn: Identity = ids.msisdn.clone().into();
-    let ims_id: Identity =
-        ids.impus.first().map(|i| i.clone().into()).unwrap_or_else(|| imsi.clone());
+    let ims_id: Identity = ids
+        .impus
+        .first()
+        .map(|i| i.clone().into())
+        .unwrap_or_else(|| imsi.clone());
     let vlr = format!("vlr-{fe_site}");
     let mme = format!("mme-{fe_site}");
     let scscf = format!("scscf-{fe_site}");
 
     match kind {
         ProcedureKind::Attach => vec![
-            search(imsi.clone(), vec![AttrId::AuthKi, AttrId::AuthAmf, AttrId::AuthSqn]),
             search(
                 imsi.clone(),
-                vec![AttrId::SubscriberStatus, AttrId::OdbMask, AttrId::Teleservices],
+                vec![AttrId::AuthKi, AttrId::AuthAmf, AttrId::AuthSqn],
+            ),
+            search(
+                imsi.clone(),
+                vec![
+                    AttrId::SubscriberStatus,
+                    AttrId::OdbMask,
+                    AttrId::Teleservices,
+                ],
             ),
             modify(
                 imsi,
@@ -75,7 +87,10 @@ pub fn procedure_ops(
         ],
         ProcedureKind::LocationUpdate => vec![
             search(imsi.clone(), vec![AttrId::SubscriberStatus]),
-            modify(imsi, vec![AttrMod::Set(AttrId::VlrAddress, AttrValue::Str(vlr))]),
+            modify(
+                imsi,
+                vec![AttrMod::Set(AttrId::VlrAddress, AttrValue::Str(vlr))],
+            ),
         ],
         ProcedureKind::CallSetupMt => vec![
             search(msisdn, vec![AttrId::VlrAddress, AttrId::Imsi]),
@@ -92,9 +107,15 @@ pub fn procedure_ops(
             search(ims_id.clone(), vec![AttrId::ScscfName]),
             modify(
                 ims_id.clone(),
-                vec![AttrMod::Set(AttrId::ImsRegState, AttrValue::Str("registered".into()))],
+                vec![AttrMod::Set(
+                    AttrId::ImsRegState,
+                    AttrValue::Str("registered".into()),
+                )],
             ),
-            modify(ims_id, vec![AttrMod::Set(AttrId::ScscfName, AttrValue::Str(scscf))]),
+            modify(
+                ims_id,
+                vec![AttrMod::Set(AttrId::ScscfName, AttrValue::Str(scscf))],
+            ),
         ],
         ProcedureKind::ImsSession => vec![
             search(ims_id.clone(), vec![AttrId::ImsRegState]),
@@ -139,7 +160,14 @@ impl Udr {
                 }
             }
         }
-        ProcedureOutcome { kind, success: true, latency, ops_ok, ops_failed: 0, failure: None }
+        ProcedureOutcome {
+            kind,
+            success: true,
+            latency,
+            ops_ok,
+            ops_failed: 0,
+            failure: None,
+        }
     }
 }
 
@@ -191,6 +219,8 @@ mod tests {
         plain.impus.clear();
         plain.impi = None;
         let ops = procedure_ops(ProcedureKind::ImsSession, &plain, SiteId(0));
-        assert!(ops.iter().all(|o| !o.dn().identity().as_str().starts_with("sip:")));
+        assert!(ops
+            .iter()
+            .all(|o| !o.dn().identity().as_str().starts_with("sip:")));
     }
 }

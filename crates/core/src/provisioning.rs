@@ -10,6 +10,7 @@
 use std::collections::BinaryHeap;
 
 use udr_ldap::{Dn, LdapOp};
+use udr_metrics::TimeSeries;
 use udr_model::attrs::AttrMod;
 use udr_model::config::TxnClass;
 use udr_model::error::UdrError;
@@ -17,7 +18,6 @@ use udr_model::identity::{Identity, IdentitySet};
 use udr_model::ids::{PartitionId, SiteId, SubscriberUid};
 use udr_model::profile::SubscriberProfile;
 use udr_model::time::{SimDuration, SimTime};
-use udr_metrics::TimeSeries;
 
 use crate::ops::OpOutcome;
 use crate::udr::Udr;
@@ -56,11 +56,10 @@ impl Udr {
     ) -> ProvisionOutcome {
         self.advance_to(now);
         let uid = SubscriberUid(self.alloc_uid());
-        let Some(partition) = self.placement.place(
-            self.cfg.frash.placement,
-            uid,
-            home_region,
-        ) else {
+        let Some(partition) = self
+            .placement
+            .place(self.cfg.frash.placement, uid, home_region)
+        else {
             return ProvisionOutcome {
                 uid,
                 partition: PartitionId(0),
@@ -69,6 +68,7 @@ impl Udr {
                     latency: SimDuration::ZERO,
                     served_by: None,
                     crossed_backbone: false,
+                    breakdown: crate::pipeline::LatencyBreakdown::default(),
                 },
             };
         };
@@ -100,7 +100,11 @@ impl Udr {
                 }
             }
         }
-        ProvisionOutcome { uid, partition, op: outcome }
+        ProvisionOutcome {
+            uid,
+            partition,
+            op: outcome,
+        }
     }
 
     /// Derive a deterministic per-subscriber authentication key.
@@ -120,7 +124,10 @@ impl Udr {
         ps_site: SiteId,
         now: SimTime,
     ) -> OpOutcome {
-        let op = LdapOp::Modify { dn: Dn::for_identity(identity.clone()), mods };
+        let op = LdapOp::Modify {
+            dn: Dn::for_identity(identity.clone()),
+            mods,
+        };
         self.execute_op(&op, TxnClass::Provisioning, ps_site, now)
     }
 
@@ -136,7 +143,11 @@ impl Udr {
         from_site: SiteId,
         now: SimTime,
     ) -> OpOutcome {
-        let op = LdapOp::SearchFilter { base: Dn::for_identity(identity.clone()), filter, attrs };
+        let op = LdapOp::SearchFilter {
+            base: Dn::for_identity(identity.clone()),
+            filter,
+            attrs,
+        };
         self.execute_op(&op, TxnClass::FrontEnd, from_site, now)
     }
 
@@ -149,7 +160,9 @@ impl Udr {
     ) -> OpOutcome {
         let identity: Identity = ids.imsi.clone().into();
         let partition = self.authority.peek(&identity).map(|l| l.partition);
-        let op = LdapOp::Delete { dn: Dn::for_identity(identity) };
+        let op = LdapOp::Delete {
+            dn: Dn::for_identity(identity),
+        };
         let outcome = self.execute_op(&op, TxnClass::Provisioning, ps_site, now);
         if outcome.is_ok() {
             for identity in ids.iter() {
@@ -205,7 +218,10 @@ pub struct RetryPolicy {
 
 impl Default for RetryPolicy {
     fn default() -> Self {
-        RetryPolicy { max_attempts: 3, backoff: SimDuration::from_secs(5) }
+        RetryPolicy {
+            max_attempts: 3,
+            backoff: SimDuration::from_secs(5),
+        }
     }
 }
 
@@ -260,7 +276,10 @@ impl PartialOrd for Pending {
 impl Ord for Pending {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Min-heap on (due, seq).
-        other.due.cmp(&self.due).then_with(|| other.seq.cmp(&self.seq))
+        other
+            .due
+            .cmp(&self.due)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -281,7 +300,12 @@ impl Udr {
         let gap = SimDuration::from_secs_f64(1.0 / rate);
         let mut heap: BinaryHeap<Pending> = BinaryHeap::new();
         for (seq, item) in items.into_iter().enumerate() {
-            heap.push(Pending { due: start + gap * seq as u64, seq, item, attempt: 1 });
+            heap.push(Pending {
+                due: start + gap * seq as u64,
+                seq,
+                item,
+                attempt: 1,
+            });
         }
         let mut succeeded = 0usize;
         let mut failed = 0usize;
@@ -336,6 +360,13 @@ impl Udr {
             }
         }
         backlog.push(finished_at, 0.0);
-        BatchReport { submitted, succeeded, failed, retries, finished_at, backlog }
+        BatchReport {
+            submitted,
+            succeeded,
+            failed,
+            retries,
+            finished_at,
+            backlog,
+        }
     }
 }

@@ -159,7 +159,11 @@ impl Udr {
                 }
                 for _ in 0..cfg.ses_per_cluster {
                     let se_id = SeId(ses.len() as u32);
-                    ses.push(StorageElement::new(se_id, SiteId(site), cfg.frash.durability));
+                    ses.push(StorageElement::new(
+                        se_id,
+                        SiteId(site),
+                        cfg.frash.durability,
+                    ));
                 }
                 let stage = match cfg.frash.locator {
                     LocatorKind::ProvisionedMaps => DataLocationStage::provisioned(),
@@ -167,10 +171,7 @@ impl Udr {
                         DataLocationStage::cached(cfg.dls_cache_capacity, total_ses)
                     }
                     LocatorKind::ConsistentHashing => DataLocationStage::hashed(
-                        udr_dls::ConsistentHashRing::new(
-                            (0..cfg.partitions).map(PartitionId),
-                            64,
-                        ),
+                        udr_dls::ConsistentHashRing::new((0..cfg.partitions).map(PartitionId), 64),
                     ),
                 };
                 clusters.push(Cluster {
@@ -217,7 +218,11 @@ impl Udr {
             }
             let pid = PartitionId(p);
             for (i, se) in members.iter().enumerate() {
-                let role = if i == 0 { ReplicaRole::Master } else { ReplicaRole::Slave };
+                let role = if i == 0 {
+                    ReplicaRole::Master
+                } else {
+                    ReplicaRole::Slave
+                };
                 ses[se.index()].add_replica(pid, role);
             }
             let mut shipper = AsyncShipper::new();
@@ -241,7 +246,10 @@ impl Udr {
         events.schedule_at(SimTime::ZERO + CATCHUP_INTERVAL, UdrEvent::CatchupTick);
         if let DurabilityMode::PeriodicSnapshot { interval } = cfg.frash.durability {
             for se in &ses {
-                events.schedule_at(SimTime::ZERO + interval, UdrEvent::SnapshotTick { se: se.id() });
+                events.schedule_at(
+                    SimTime::ZERO + interval,
+                    UdrEvent::SnapshotTick { se: se.id() },
+                );
             }
         }
 
@@ -319,18 +327,20 @@ impl Udr {
             match fault {
                 Fault::Partition { island, duration } => self.events.schedule_at(
                     at,
-                    UdrEvent::PartitionStart { cuts: vec![Cut { island }], duration },
+                    UdrEvent::PartitionStart {
+                        cuts: vec![Cut { island }],
+                        duration,
+                    },
                 ),
                 Fault::BackboneGlitch { duration } => self.events.schedule_at(
                     at,
-                    UdrEvent::PartitionStart { cuts: Fault::glitch_cuts(sites), duration },
+                    UdrEvent::PartitionStart {
+                        cuts: Fault::glitch_cuts(sites),
+                        duration,
+                    },
                 ),
-                Fault::SeCrash { se } => {
-                    self.events.schedule_at(at, UdrEvent::SeCrash { se })
-                }
-                Fault::SeRestore { se } => {
-                    self.events.schedule_at(at, UdrEvent::SeRestore { se })
-                }
+                Fault::SeCrash { se } => self.events.schedule_at(at, UdrEvent::SeCrash { se }),
+                Fault::SeRestore { se } => self.events.schedule_at(at, UdrEvent::SeRestore { se }),
             }
         }
     }
@@ -345,7 +355,11 @@ impl Udr {
 
     fn handle_event(&mut self, t: SimTime, event: UdrEvent) {
         match event {
-            UdrEvent::ReplDeliver { partition, slave, record } => {
+            UdrEvent::ReplDeliver {
+                partition,
+                slave,
+                record,
+            } => {
                 self.deliver_replication(t, partition, slave, record);
             }
             UdrEvent::SnapshotTick { se } => {
@@ -354,11 +368,13 @@ impl Udr {
                     _ => return,
                 };
                 self.ses[se.index()].maybe_snapshot(t);
-                self.events.schedule_at(t + interval, UdrEvent::SnapshotTick { se });
+                self.events
+                    .schedule_at(t + interval, UdrEvent::SnapshotTick { se });
             }
             UdrEvent::CatchupTick => {
                 self.run_catchup(t);
-                self.events.schedule_at(t + CATCHUP_INTERVAL, UdrEvent::CatchupTick);
+                self.events
+                    .schedule_at(t + CATCHUP_INTERVAL, UdrEvent::CatchupTick);
             }
             UdrEvent::PartitionStart { cuts, duration } => {
                 let mut handles = Vec::with_capacity(cuts.len());
@@ -367,7 +383,8 @@ impl Udr {
                     handles.push(h);
                     self.active_cuts.push((h, t));
                 }
-                self.events.schedule_at(t + duration, UdrEvent::PartitionHeal { handles });
+                self.events
+                    .schedule_at(t + duration, UdrEvent::PartitionHeal { handles });
             }
             UdrEvent::PartitionHeal { handles } => {
                 for h in handles {
@@ -400,7 +417,10 @@ impl Udr {
             return;
         }
         let lsn = record.lsn;
-        if self.ses[slave.index()].apply_replicated(partition, &record).is_ok() {
+        if self.ses[slave.index()]
+            .apply_replicated(partition, &record)
+            .is_ok()
+        {
             self.shippers[partition.index()].on_applied(slave, lsn);
             let _ = t;
         }
@@ -435,8 +455,9 @@ impl Udr {
                     continue;
                 }
                 let lag = {
-                    let master_engine =
-                        self.ses[master.index()].engine(pid).expect("master hosts partition");
+                    let master_engine = self.ses[master.index()]
+                        .engine(pid)
+                        .expect("master hosts partition");
                     self.shippers[p].lag(slave, master_engine).unwrap_or(0)
                 };
                 if lag == 0 {
@@ -447,14 +468,19 @@ impl Udr {
                     .send(master_site, slave_site, &mut self.rng)
                     .delay();
                 let deliveries = {
-                    let master_engine =
-                        self.ses[master.index()].engine(pid).expect("master hosts partition");
+                    let master_engine = self.ses[master.index()]
+                        .engine(pid)
+                        .expect("master hosts partition");
                     self.shippers[p].catch_up(slave, master_engine, t, delay)
                 };
                 for d in deliveries {
                     self.events.schedule_at(
                         d.arrives,
-                        UdrEvent::ReplDeliver { partition: pid, slave: d.slave, record: d.record },
+                        UdrEvent::ReplDeliver {
+                            partition: pid,
+                            slave: d.slave,
+                            record: d.record,
+                        },
                     );
                 }
             }
@@ -484,7 +510,9 @@ impl Udr {
             .iter()
             .filter(|g| g.master() == se)
             .map(|g| {
-                let lsn = self.ses[se.index()].last_lsn(g.partition()).unwrap_or(Lsn::ZERO);
+                let lsn = self.ses[se.index()]
+                    .last_lsn(g.partition())
+                    .unwrap_or(Lsn::ZERO);
                 (g.partition(), lsn)
             })
             .collect();
@@ -509,19 +537,29 @@ impl Udr {
         let alive: Vec<(SeId, Lsn)> = self.groups[p]
             .slaves()
             .filter(|s| self.ses[s.index()].is_up())
-            .map(|s| (s, self.ses[s.index()].last_lsn(partition).unwrap_or(Lsn::ZERO)))
+            .map(|s| {
+                (
+                    s,
+                    self.ses[s.index()].last_lsn(partition).unwrap_or(Lsn::ZERO),
+                )
+            })
             .collect();
         let Some(candidate) = self.groups[p].promotion_candidate(&alive) else {
             return; // total outage: nothing to promote
         };
-        let candidate_lsn =
-            alive.iter().find(|(s, _)| *s == candidate).map(|(_, l)| *l).unwrap_or(Lsn::ZERO);
+        let candidate_lsn = alive
+            .iter()
+            .find(|(s, _)| *s == candidate)
+            .map(|(_, l)| *l)
+            .unwrap_or(Lsn::ZERO);
         if let Some(crash_lsn) = self.master_lsn_at_crash.get(&partition) {
             // §4.2: transactions committed at the master but not yet
             // replicated are lost by the promotion.
             self.metrics.lost_commits += crash_lsn.raw().saturating_sub(candidate_lsn.raw());
         }
-        self.groups[p].promote(candidate).expect("candidate is a member");
+        self.groups[p]
+            .promote(candidate)
+            .expect("candidate is a member");
         let _ = self.ses[candidate.index()].set_role(partition, ReplicaRole::Master);
         // Rebuild the shipping ledger around the new master.
         let mut shipper = AsyncShipper::new();
@@ -577,7 +615,10 @@ impl Udr {
             .filter(|s| self.ses[s.index()].is_up())
             .map(|s| (s, self.ses[s.index()].last_lsn(pid).unwrap_or(Lsn::ZERO)))
             .max_by_key(|(_, l)| *l);
-        let crash_lsn = self.master_lsn_at_crash.remove(&pid).unwrap_or(restored_lsn);
+        let crash_lsn = self
+            .master_lsn_at_crash
+            .remove(&pid)
+            .unwrap_or(restored_lsn);
         let base_lsn = match best_slave {
             Some((donor, donor_lsn)) if donor_lsn > restored_lsn => {
                 let snapshot = self.ses[donor.index()]
@@ -645,8 +686,10 @@ impl Udr {
 
     /// Seed `target`'s replica of `pid` from `source`'s current state.
     fn reseed_from(&mut self, pid: PartitionId, source: SeId, target: SeId) {
-        let snapshot =
-            self.ses[source.index()].engine(pid).expect("source hosts partition").snapshot();
+        let snapshot = self.ses[source.index()]
+            .engine(pid)
+            .expect("source hosts partition")
+            .snapshot();
         let lsn = snapshot.last_lsn;
         self.ses[target.index()].seed_replica(pid, ReplicaRole::Slave, snapshot);
         self.shippers[pid.index()].reseeded(target, lsn);
@@ -681,15 +724,22 @@ impl Udr {
             let outcome = {
                 let engines: Vec<&udr_storage::Engine> = members
                     .iter()
-                    .map(|se| self.ses[se.index()].engine(pid).expect("member hosts partition"))
+                    .map(|se| {
+                        self.ses[se.index()]
+                            .engine(pid)
+                            .expect("member hosts partition")
+                    })
                     .collect();
                 merge_branches(since, &engines)
             };
             let master = self.groups[p].master();
             let mut shipper = AsyncShipper::new();
             for se in &members {
-                let role =
-                    if *se == master { ReplicaRole::Master } else { ReplicaRole::Slave };
+                let role = if *se == master {
+                    ReplicaRole::Master
+                } else {
+                    ReplicaRole::Slave
+                };
                 self.ses[se.index()].seed_replica(pid, role, outcome.snapshot.clone());
                 if *se != master {
                     shipper.register_slave(*se, outcome.snapshot.last_lsn);
@@ -731,7 +781,9 @@ impl Udr {
         }
         let master = self.groups[partition.index()].master();
         self.ses[master.index()].is_up()
-            && self.net.reachable(from_site, self.ses[master.index()].site())
+            && self
+                .net
+                .reachable(from_site, self.ses[master.index()].site())
     }
 
     /// Fraction of subscribers whose data is readable from `from_site`,
@@ -815,18 +867,20 @@ impl Udr {
                 stage.import(self.authority.export());
                 stage
             }
-            LocatorKind::CachedMaps => DataLocationStage::cached(
-                self.cfg.dls_cache_capacity,
-                self.ses.len(),
-            ),
+            LocatorKind::CachedMaps => {
+                DataLocationStage::cached(self.cfg.dls_cache_capacity, self.ses.len())
+            }
             LocatorKind::ConsistentHashing => DataLocationStage::hashed(
-                udr_dls::ConsistentHashRing::new(
-                    (0..self.cfg.partitions).map(PartitionId),
-                    64,
-                ),
+                udr_dls::ConsistentHashRing::new((0..self.cfg.partitions).map(PartitionId), 64),
             ),
         };
-        self.clusters.push(Cluster { id: cluster_id, site, poa, servers: server_ids, stage });
+        self.clusters.push(Cluster {
+            id: cluster_id,
+            site,
+            poa,
+            servers: server_ids,
+            stage,
+        });
         self.clusters_at_site[site.index()].push(cluster_idx);
         cluster_idx
     }

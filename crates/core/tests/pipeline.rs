@@ -1,0 +1,231 @@
+//! End-to-end pipeline integration: a read and a write must traverse all
+//! four stages (`AccessStage → LocationStage → ReplicationStage →
+//! StorageStage`) and report a latency decomposition consistent with the
+//! end-to-end latency the monolithic pre-refactor path reported — i.e.
+//! the per-stage components must account for every nanosecond of
+//! `OpOutcome::latency`, deterministically across identically-seeded
+//! deployments.
+
+use udr_core::{LatencyBreakdown, Udr, UdrConfig};
+use udr_ldap::{Dn, LdapOp};
+use udr_model::attrs::{AttrId, AttrMod, AttrValue};
+use udr_model::config::{LocatorKind, ReplicationMode, TxnClass};
+use udr_model::identity::{Identity, IdentitySet, Imsi, Msisdn};
+use udr_model::ids::SiteId;
+use udr_model::time::{SimDuration, SimTime};
+
+fn ids(n: u64) -> IdentitySet {
+    IdentitySet {
+        imsi: Imsi::new(format!("21401{n:010}")).unwrap(),
+        msisdn: Msisdn::new(format!("346{n:08}")).unwrap(),
+        impus: vec![],
+        impi: None,
+    }
+}
+
+fn t(secs: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_secs(secs)
+}
+
+fn provisioned_udr(cfg: UdrConfig) -> Udr {
+    let mut udr = Udr::build(cfg).unwrap();
+    for i in 0..4u64 {
+        let out = udr.provision_subscriber(&ids(i), (i % 3) as u32, SiteId(0), t(1));
+        assert!(out.is_ok(), "provisioning failed: {:?}", out.op.result);
+    }
+    udr
+}
+
+fn search(n: u64) -> LdapOp {
+    LdapOp::Search {
+        base: Dn::for_identity(Identity::from(ids(n).imsi)),
+        attrs: vec![],
+    }
+}
+
+fn modify(n: u64) -> LdapOp {
+    LdapOp::Modify {
+        dn: Dn::for_identity(Identity::from(ids(n).imsi)),
+        mods: vec![AttrMod::Set(
+            AttrId::VlrAddress,
+            AttrValue::Str("vlr-test".into()),
+        )],
+    }
+}
+
+/// The decomposition invariant of the success path: every component the
+/// stages charged is visible, and the sum reproduces the end-to-end
+/// latency exactly — the same total the pre-refactor monolithic path
+/// produced for this configuration.
+fn assert_decomposed(label: &str, breakdown: &LatencyBreakdown, latency: SimDuration) {
+    assert_eq!(
+        breakdown.total(),
+        latency,
+        "{label}: breakdown {breakdown:?} does not sum to latency {latency}"
+    );
+    assert!(
+        breakdown.access > SimDuration::ZERO,
+        "{label}: access stage charged nothing (PoA RTT + LDAP processing missing)"
+    );
+    assert!(
+        breakdown.storage > SimDuration::ZERO,
+        "{label}: storage stage charged nothing (SE RTT + engine cost missing)"
+    );
+}
+
+#[test]
+fn read_and_write_traverse_all_four_stages() {
+    let mut udr = provisioned_udr(UdrConfig::figure2());
+
+    let read = udr.execute_op(&search(0), TxnClass::FrontEnd, SiteId(0), t(10));
+    assert!(read.is_ok(), "read failed: {:?}", read.result);
+    assert!(
+        read.served_by.is_some(),
+        "read never reached a storage element"
+    );
+    assert!(
+        read.result.as_ref().unwrap().is_some(),
+        "read returned no entry"
+    );
+    assert_decomposed("read", &read.breakdown, read.latency);
+    // Provisioned maps resolve locally: the location stage ran but is free.
+    assert_eq!(read.breakdown.location, SimDuration::ZERO);
+    // Async master/slave replication: the commit waits for nothing, and a
+    // read replicates nothing.
+    assert_eq!(read.breakdown.replication, SimDuration::ZERO);
+
+    let write = udr.execute_op(&modify(0), TxnClass::Provisioning, SiteId(0), t(11));
+    assert!(write.is_ok(), "write failed: {:?}", write.result);
+    assert!(
+        write.served_by.is_some(),
+        "write never reached a storage element"
+    );
+    assert_decomposed("write", &write.breakdown, write.latency);
+}
+
+/// A cached locator misses on first resolution: the location stage must
+/// charge the probe broadcast to its own component.
+#[test]
+fn cached_locator_charges_the_location_stage() {
+    let mut cfg = UdrConfig::figure2();
+    cfg.frash.locator = LocatorKind::CachedMaps;
+    // A one-entry cache: provisioning subscribers 0..4 evicts the early
+    // bindings, so resolving subscriber 2 misses → probe → fill.
+    cfg.dls_cache_capacity = 1;
+    let mut udr = provisioned_udr(cfg);
+    let read = udr.execute_op(&search(2), TxnClass::FrontEnd, SiteId(1), t(10));
+    assert!(read.is_ok(), "read failed: {:?}", read.result);
+    assert_decomposed("cached read", &read.breakdown, read.latency);
+    assert!(
+        read.breakdown.location > SimDuration::ZERO,
+        "cache miss should charge the location stage, got {:?}",
+        read.breakdown
+    );
+    // The filled cache serves the next resolution locally.
+    let again = udr.execute_op(&search(2), TxnClass::FrontEnd, SiteId(1), t(11));
+    assert!(again.is_ok());
+    assert_eq!(again.breakdown.location, SimDuration::ZERO);
+}
+
+/// Synchronous replication modes must charge the replication stage: the
+/// quorum write waits for acks, the quorum read waits for the consult.
+#[test]
+fn quorum_mode_charges_the_replication_stage() {
+    let mut cfg = UdrConfig::figure2();
+    cfg.frash.replication = ReplicationMode::Quorum { n: 3, w: 2, r: 2 };
+    let mut udr = provisioned_udr(cfg);
+
+    let write = udr.execute_op(&modify(1), TxnClass::Provisioning, SiteId(0), t(10));
+    assert!(write.is_ok(), "quorum write failed: {:?}", write.result);
+    assert_decomposed("quorum write", &write.breakdown, write.latency);
+    assert!(
+        write.breakdown.replication > SimDuration::ZERO,
+        "w=2 commit must wait for a slave ack, got {:?}",
+        write.breakdown
+    );
+
+    let read = udr.execute_op(&search(1), TxnClass::FrontEnd, SiteId(0), t(11));
+    assert!(read.is_ok(), "quorum read failed: {:?}", read.result);
+    assert_decomposed("quorum read", &read.breakdown, read.latency);
+    assert!(
+        read.breakdown.replication > SimDuration::ZERO,
+        "r=2 read must wait for the consult, got {:?}",
+        read.breakdown
+    );
+}
+
+/// Quorum-served reads must keep per-operation semantics: a failed
+/// Compare assertion is compareFalse (`None`), not the full entry.
+#[test]
+fn quorum_reads_preserve_operation_semantics() {
+    let mut cfg = UdrConfig::figure2();
+    cfg.frash.replication = ReplicationMode::Quorum { n: 3, w: 2, r: 2 };
+    let mut udr = provisioned_udr(cfg);
+
+    let compare = LdapOp::Compare {
+        dn: Dn::for_identity(Identity::from(ids(0).imsi)),
+        attr: AttrId::VlrAddress,
+        value: AttrValue::Str("definitely-not-the-vlr".into()),
+    };
+    let out = udr.execute_op(&compare, TxnClass::FrontEnd, SiteId(0), t(10));
+    assert!(out.is_ok(), "compare failed: {:?}", out.result);
+    assert_eq!(
+        out.result.unwrap(),
+        None,
+        "mismatched Compare under quorum must be compareFalse, not the raw entry"
+    );
+
+    let bind = LdapOp::Bind {
+        dn: Dn::for_identity(Identity::from(ids(0).imsi)),
+        password: b"secret".to_vec(),
+    };
+    let out = udr.execute_op(&bind, TxnClass::FrontEnd, SiteId(0), t(11));
+    assert!(out.is_ok(), "bind failed: {:?}", out.result);
+    assert_eq!(
+        out.result.unwrap(),
+        None,
+        "Bind must not leak the subscriber entry"
+    );
+}
+
+/// Identically-seeded deployments must produce identical outcomes and
+/// identical decompositions through every pipeline entry point — the
+/// refactor preserves the monolithic path's determinism.
+#[test]
+fn decomposition_is_deterministic_across_identical_deployments() {
+    let run = || {
+        let mut udr = provisioned_udr(UdrConfig::figure2());
+        let mut trace = Vec::new();
+        for (i, site) in [(0u64, 0u32), (1, 1), (2, 2), (3, 0)] {
+            let read = udr.execute_op(&search(i), TxnClass::FrontEnd, SiteId(site), t(10 + i));
+            let write = udr.execute_op(&modify(i), TxnClass::Provisioning, SiteId(0), t(20 + i));
+            trace.push((read.latency, read.breakdown, write.latency, write.breakdown));
+        }
+        trace
+    };
+    assert_eq!(run(), run());
+}
+
+/// Procedures (multi-op sequences) run entirely through the pipeline; the
+/// per-op decompositions must add up to the procedure latency.
+#[test]
+fn procedure_latency_is_the_sum_of_stage_decompositions() {
+    let mut udr = provisioned_udr(UdrConfig::figure2());
+    let set = ids(0);
+    let ops = udr_core::procedure_ops(
+        udr_model::procedures::ProcedureKind::Attach,
+        &set,
+        SiteId(0),
+    );
+    let mut by_stage = SimDuration::ZERO;
+    let mut total = SimDuration::ZERO;
+    let mut at = t(30);
+    for op in &ops {
+        let out = udr.execute_op(op, TxnClass::FrontEnd, SiteId(0), at);
+        assert!(out.is_ok(), "attach op failed: {:?}", out.result);
+        by_stage += out.breakdown.total();
+        total += out.latency;
+        at += out.latency;
+    }
+    assert_eq!(by_stage, total);
+}

@@ -28,17 +28,32 @@ fn t(secs: u64) -> SimTime {
 /// One random fault.
 #[derive(Debug, Clone)]
 enum RandomFault {
-    Partition { island_site: u32, at_s: u64, dur_s: u64 },
-    SeOutage { se: u32, at_s: u64, dur_s: u64 },
+    Partition {
+        island_site: u32,
+        at_s: u64,
+        dur_s: u64,
+    },
+    SeOutage {
+        se: u32,
+        at_s: u64,
+        dur_s: u64,
+    },
 }
 
 fn fault_strategy() -> impl Strategy<Value = RandomFault> {
     prop_oneof![
         (0u32..3, 20u64..100, 5u64..40).prop_map(|(island_site, at_s, dur_s)| {
-            RandomFault::Partition { island_site, at_s, dur_s }
+            RandomFault::Partition {
+                island_site,
+                at_s,
+                dur_s,
+            }
         }),
-        (0u32..3, 20u64..100, 5u64..40)
-            .prop_map(|(se, at_s, dur_s)| RandomFault::SeOutage { se, at_s, dur_s }),
+        (0u32..3, 20u64..100, 5u64..40).prop_map(|(se, at_s, dur_s)| RandomFault::SeOutage {
+            se,
+            at_s,
+            dur_s
+        }),
     ]
 }
 
@@ -46,8 +61,16 @@ fn schedule_of(faults: &[RandomFault]) -> FaultSchedule {
     let mut s = FaultSchedule::new();
     for f in faults {
         match f {
-            RandomFault::Partition { island_site, at_s, dur_s } => {
-                s = s.partition(t(*at_s), SimDuration::from_secs(*dur_s), [SiteId(*island_site)]);
+            RandomFault::Partition {
+                island_site,
+                at_s,
+                dur_s,
+            } => {
+                s = s.partition(
+                    t(*at_s),
+                    SimDuration::from_secs(*dur_s),
+                    [SiteId(*island_site)],
+                );
             }
             RandomFault::SeOutage { se, at_s, dur_s } => {
                 s = s.se_outage(t(*at_s), SimDuration::from_secs(*dur_s), SeId(*se));

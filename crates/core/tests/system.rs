@@ -32,7 +32,12 @@ fn provision_n(udr: &mut Udr, n: u64, sites: u32) -> Vec<IdentitySet> {
     for i in 0..n {
         let set = ids(i);
         let region = (i % u64::from(sites)) as u32;
-        let out = udr.provision_subscriber(&set, region, SiteId(0), t(1) + SimDuration::from_millis(i * 5));
+        let out = udr.provision_subscriber(
+            &set,
+            region,
+            SiteId(0),
+            t(1) + SimDuration::from_millis(i * 5),
+        );
         assert!(out.is_ok(), "provisioning {i} failed: {:?}", out.op.result);
         subs.push(set);
     }
@@ -144,7 +149,11 @@ fn partition_fails_provisioning_but_not_fe_reads() {
         SiteId(0),
         t(200),
     );
-    assert!(modify.is_ok(), "post-heal write failed: {:?}", modify.result);
+    assert!(
+        modify.is_ok(),
+        "post-heal write failed: {:?}",
+        modify.result
+    );
 }
 
 #[test]
@@ -177,7 +186,10 @@ fn slave_reads_can_be_stale_then_converge() {
     let stale_mid = udr.metrics.staleness.stale_reads;
     let r2 = udr.run_procedure(ProcedureKind::CallSetupMo, victim, SiteId(1), t(61));
     assert!(r2.success);
-    assert_eq!(udr.metrics.staleness.stale_reads, stale_mid, "read after lag should be fresh");
+    assert_eq!(
+        udr.metrics.staleness.stale_reads, stale_mid,
+        "read after lag should be fresh"
+    );
 }
 
 #[test]
@@ -188,7 +200,9 @@ fn master_crash_fails_writes_until_failover_promotes() {
     let subs = provision_n(&mut udr, 9, 3);
     let victim = &subs[0]; // homed at site 0: master is SE 0
     let imsi = Identity::Imsi(victim.imsi.clone());
-    let master = udr.group(udr.lookup_authority(&imsi).unwrap().partition).master();
+    let master = udr
+        .group(udr.lookup_authority(&imsi).unwrap().partition)
+        .master();
 
     udr.schedule_faults(FaultSchedule::new().se_crash(t(100), master));
 
@@ -255,19 +269,30 @@ fn multimaster_keeps_provisioning_alive_and_merges_after_heal() {
         SiteId(0),
         t(110),
     );
-    assert!(w_majority.is_ok(), "majority-side write failed: {:?}", w_majority.result);
+    assert!(
+        w_majority.is_ok(),
+        "majority-side write failed: {:?}",
+        w_majority.result
+    );
     let w_island = udr.modify_services(
         &imsi,
         vec![AttrMod::Set(AttrId::OdbMask, AttrValue::U64(22))],
         SiteId(2),
         t(111),
     );
-    assert!(w_island.is_ok(), "island-side write failed: {:?}", w_island.result);
+    assert!(
+        w_island.is_ok(),
+        "island-side write failed: {:?}",
+        w_island.result
+    );
 
     // After heal, the restoration process merges and counts the conflict.
     udr.advance_to(t(200));
     assert!(udr.metrics.merges >= 1, "no restoration ran");
-    assert!(udr.metrics.merge_conflicts >= 1, "conflicting writes not detected");
+    assert!(
+        udr.metrics.merge_conflicts >= 1,
+        "conflicting writes not detected"
+    );
 
     // All replicas converge: reads from any site agree.
     let partition = udr.lookup_authority(&imsi).unwrap().partition;
@@ -283,7 +308,10 @@ fn multimaster_keeps_provisioning_alive_and_merges_after_heal() {
                 .and_then(|e| e.get(AttrId::OdbMask).and_then(AttrValue::as_u64))
         })
         .collect();
-    assert!(values.windows(2).all(|w| w[0] == w[1]), "replicas diverge: {values:?}");
+    assert!(
+        values.windows(2).all(|w| w[0] == w[1]),
+        "replicas diverge: {values:?}"
+    );
     // LWW: the later write (island side, t=111) won.
     assert_eq!(values[0], Some(22));
 }
@@ -291,7 +319,9 @@ fn multimaster_keeps_provisioning_alive_and_merges_after_heal() {
 #[test]
 fn periodic_snapshot_bounds_crash_loss_and_reseed_restores_fleet() {
     let mut cfg = UdrConfig::figure2();
-    cfg.frash.durability = DurabilityMode::PeriodicSnapshot { interval: SimDuration::from_secs(30) };
+    cfg.frash.durability = DurabilityMode::PeriodicSnapshot {
+        interval: SimDuration::from_secs(30),
+    };
     cfg.frash.auto_failover = false; // keep mastership fixed for the check
     let mut udr = Udr::build(cfg).unwrap();
     let subs = provision_n(&mut udr, 9, 3);
@@ -313,8 +343,15 @@ fn periodic_snapshot_bounds_crash_loss_and_reseed_restores_fleet() {
 
     // The restored master rebuilt itself from the most caught-up slave
     // (which had the t=40 write replicated), so nothing was lost.
-    let entry = udr.se(master).read_committed(loc.partition, loc.uid).unwrap().unwrap();
-    assert_eq!(entry.get(AttrId::OdbMask).and_then(AttrValue::as_u64), Some(7));
+    let entry = udr
+        .se(master)
+        .read_committed(loc.partition, loc.uid)
+        .unwrap()
+        .unwrap();
+    assert_eq!(
+        entry.get(AttrId::OdbMask).and_then(AttrValue::as_u64),
+        Some(7)
+    );
     assert!(udr.metrics.reseeds >= 1);
 }
 
@@ -341,8 +378,15 @@ fn sync_commit_masters_lose_nothing_even_without_slaves() {
     udr.schedule_faults(FaultSchedule::new().se_outage(t(41), SimDuration::from_secs(4), master));
     udr.advance_to(t(50));
 
-    let entry = udr.se(master).read_committed(loc.partition, loc.uid).unwrap().unwrap();
-    assert_eq!(entry.get(AttrId::OdbMask).and_then(AttrValue::as_u64), Some(9));
+    let entry = udr
+        .se(master)
+        .read_committed(loc.partition, loc.uid)
+        .unwrap()
+        .unwrap();
+    assert_eq!(
+        entry.get(AttrId::OdbMask).and_then(AttrValue::as_u64),
+        Some(9)
+    );
     assert_eq!(udr.metrics.lost_commits, 0);
 }
 
@@ -383,7 +427,11 @@ fn dual_in_sequence_waits_for_second_replica_and_fails_on_partition() {
         SiteId(0),
         t(105),
     );
-    assert!(matches!(w2.result, Err(UdrError::ReplicationFailed { .. })), "{:?}", w2.result);
+    assert!(
+        matches!(w2.result, Err(UdrError::ReplicationFailed { .. })),
+        "{:?}",
+        w2.result
+    );
     assert!(udr.metrics.partial_commits >= 1);
 }
 
@@ -404,12 +452,20 @@ fn quorum_write_latency_and_partition_behaviour() {
         t(50),
     );
     assert!(w.is_ok());
-    assert!(w.latency > SimDuration::from_millis(15), "quorum w=2 latency {}", w.latency);
+    assert!(
+        w.latency > SimDuration::from_millis(15),
+        "quorum w=2 latency {}",
+        w.latency
+    );
 
     // Reads go through the ensemble too.
     let r = udr.run_procedure(ProcedureKind::CallSetupMo, victim, SiteId(0), t(51));
     assert!(r.success);
-    assert!(r.latency > SimDuration::from_millis(15), "quorum r=2 latency {}", r.latency);
+    assert!(
+        r.latency > SimDuration::from_millis(15),
+        "quorum r=2 latency {}",
+        r.latency
+    );
 
     // Island of one site: the master side retains quorum (2 of 3 sites),
     // so writes from the majority side still succeed.
@@ -424,7 +480,11 @@ fn quorum_write_latency_and_partition_behaviour() {
         SiteId(0),
         t(105),
     );
-    assert!(w2.is_ok(), "majority-side quorum write failed: {:?}", w2.result);
+    assert!(
+        w2.is_ok(),
+        "majority-side quorum write failed: {:?}",
+        w2.result
+    );
 
     // Master alone on an island: quorum lost, write fails.
     udr.schedule_faults(FaultSchedule::new().partition(
@@ -438,7 +498,11 @@ fn quorum_write_latency_and_partition_behaviour() {
         SiteId(0),
         t(205),
     );
-    assert!(matches!(w3.result, Err(UdrError::ReplicationFailed { .. })), "{:?}", w3.result);
+    assert!(
+        matches!(w3.result, Err(UdrError::ReplicationFailed { .. })),
+        "{:?}",
+        w3.result
+    );
 }
 
 #[test]
@@ -490,7 +554,10 @@ fn cached_locator_probes_on_miss_then_hits() {
         assert!(out.success, "{:?}", out.failure);
         at += SimDuration::from_millis(10);
     }
-    assert!(udr.metrics.dls_probes > probes_before, "cold cache never probed");
+    assert!(
+        udr.metrics.dls_probes > probes_before,
+        "cold cache never probed"
+    );
 }
 
 #[test]
@@ -504,7 +571,10 @@ fn batch_survives_glitch_with_retries_but_not_without() {
     };
     let items = |n: u64| -> Vec<BatchItem> {
         (0..n)
-            .map(|i| BatchItem::Create { ids: ids(1000 + i), home_region: (i % 3) as u32 })
+            .map(|i| BatchItem::Create {
+                ids: ids(1000 + i),
+                home_region: (i % 3) as u32,
+            })
             .collect()
     };
 
@@ -516,7 +586,10 @@ fn batch_survives_glitch_with_retries_but_not_without() {
         10.0,
         t(0),
         SiteId(0),
-        RetryPolicy { max_attempts: 1, backoff: SimDuration::from_secs(1) },
+        RetryPolicy {
+            max_attempts: 1,
+            backoff: SimDuration::from_secs(1),
+        },
     );
     assert!(
         no_retry.failed > 100,
@@ -531,11 +604,17 @@ fn batch_survives_glitch_with_retries_but_not_without() {
         10.0,
         t(0),
         SiteId(0),
-        RetryPolicy { max_attempts: 10, backoff: SimDuration::from_secs(10) },
+        RetryPolicy {
+            max_attempts: 10,
+            backoff: SimDuration::from_secs(10),
+        },
     );
     assert!(with_retry.failed < no_retry.failed);
     assert!(with_retry.retries > 0);
-    assert!(with_retry.backlog.max().unwrap_or(0.0) > 1.0, "backlog never grew");
+    assert!(
+        with_retry.backlog.max().unwrap_or(0.0) > 1.0,
+        "backlog never grew"
+    );
 }
 
 #[test]
@@ -563,8 +642,14 @@ fn home_region_placement_avoids_backbone() {
     };
     let pinned = run(PlacementPolicy::HomeRegion);
     let random = run(PlacementPolicy::Random);
-    assert_eq!(pinned, 0.0, "home-region pinning should keep home traffic local");
-    assert!(random > 0.3, "random placement should cross the backbone, got {random}");
+    assert_eq!(
+        pinned, 0.0,
+        "home-region pinning should keep home traffic local"
+    );
+    assert!(
+        random > 0.3,
+        "random placement should cross the backbone, got {random}"
+    );
 }
 
 #[test]
@@ -577,7 +662,9 @@ fn readable_fraction_probe_tracks_partitions() {
     // Crash two of three SEs: every partition still has one copy (RF=3),
     // so data stays readable — the §2.3 "one PoA and one SE" claim.
     udr.schedule_faults(
-        FaultSchedule::new().se_crash(t(100), SeId(0)).se_crash(t(100), SeId(1)),
+        FaultSchedule::new()
+            .se_crash(t(100), SeId(0))
+            .se_crash(t(100), SeId(1)),
     );
     udr.advance_to(t(101));
     assert_eq!(udr.readable_subscriber_fraction(SiteId(2)), 1.0);
@@ -613,7 +700,11 @@ fn bind_and_compare_route_like_reads() {
         value: AttrValue::Bool(true),
     };
     let out = udr.execute_op(&cmp_false, TxnClass::FrontEnd, SiteId(0), t(51));
-    assert!(matches!(&out.result, Ok(None)), "compareFalse expected: {:?}", out.result);
+    assert!(
+        matches!(&out.result, Ok(None)),
+        "compareFalse expected: {:?}",
+        out.result
+    );
 
     // Set barring, then the same compare matches.
     let w = udr.modify_services(
@@ -624,5 +715,9 @@ fn bind_and_compare_route_like_reads() {
     );
     assert!(w.is_ok());
     let out = udr.execute_op(&cmp_false, TxnClass::FrontEnd, SiteId(0), t(53));
-    assert!(matches!(&out.result, Ok(Some(_))), "compareTrue expected: {:?}", out.result);
+    assert!(
+        matches!(&out.result, Ok(Some(_))),
+        "compareTrue expected: {:?}",
+        out.result
+    );
 }

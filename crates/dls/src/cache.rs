@@ -70,7 +70,9 @@ impl CachedLocator {
             return CacheOutcome::Hit(*loc);
         }
         self.misses += 1;
-        CacheOutcome::Miss { ses_to_probe: self.total_ses }
+        CacheOutcome::Miss {
+            ses_to_probe: self.total_ses,
+        }
     }
 
     /// Install a binding discovered by a probe (or invalidate-and-refresh).
@@ -158,7 +160,10 @@ mod tests {
     }
 
     fn loc(uid: u64) -> Location {
-        Location { uid: SubscriberUid(uid), partition: PartitionId(0) }
+        Location {
+            uid: SubscriberUid(uid),
+            partition: PartitionId(0),
+        }
     }
 
     #[test]

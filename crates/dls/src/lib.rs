@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod locator;
 pub mod maps;
 pub mod placement;
 pub mod ring;
@@ -25,6 +26,7 @@ pub mod stage;
 pub mod sync;
 
 pub use cache::{CacheOutcome, CachedLocator};
+pub use locator::Locator;
 pub use maps::{IdentityLocationMap, Location};
 pub use placement::PlacementContext;
 pub use ring::ConsistentHashRing;

@@ -1,0 +1,214 @@
+//! The [`Locator`] seam: the paper's "data location" decision as a trait.
+//!
+//! §3.5 weighs three realisations of the location stage — provisioned
+//! maps, cached maps, and consistent hashing — and §3.3.1 requires every
+//! PoA to resolve locally. The operation pipeline in `udr-core` routes
+//! every request through a `&mut dyn Locator`, so a deployment (or a
+//! future experiment) can swap realisations without touching the pipeline.
+//!
+//! Implementations:
+//! * [`IdentityLocationMap`] — the provisioned multi-index maps;
+//! * [`CachedLocator`] — on-the-fly maps with probe-on-miss;
+//! * [`ConsistentHashRing`] — stateless hashing (no per-subscriber state);
+//! * [`DataLocationStage`] — the per-PoA wrapper, adding the §3.4.2
+//!   scale-out sync window on top of whichever realisation it hosts.
+
+use udr_model::identity::Identity;
+use udr_model::ids::SubscriberUid;
+use udr_model::time::SimTime;
+
+use crate::cache::{CacheOutcome, CachedLocator};
+use crate::maps::{IdentityLocationMap, Location};
+use crate::ring::ConsistentHashRing;
+use crate::stage::{DataLocationStage, Resolution};
+
+/// A data-location realisation: resolves identities and absorbs binding
+/// lifecycle events (provision / deprovision / probe answers).
+pub trait Locator {
+    /// Resolve `identity` at `now`.
+    ///
+    /// `uid_hint` carries the subscriber uid when the caller already knows
+    /// it (hash-based locators cannot invert identity → uid themselves).
+    fn resolve(
+        &mut self,
+        identity: &Identity,
+        now: SimTime,
+        uid_hint: Option<SubscriberUid>,
+    ) -> Resolution;
+
+    /// Install a binding on the provisioning path.
+    fn provision(&mut self, identity: &Identity, location: Location);
+
+    /// Remove a binding on the deprovisioning path.
+    fn deprovision(&mut self, identity: &Identity);
+
+    /// Install the answer of a location probe (cached realisations).
+    fn fill(&mut self, identity: &Identity, location: Location);
+}
+
+impl Locator for IdentityLocationMap {
+    fn resolve(
+        &mut self,
+        identity: &Identity,
+        _now: SimTime,
+        _uid_hint: Option<SubscriberUid>,
+    ) -> Resolution {
+        match self.lookup(identity) {
+            Some(loc) => Resolution::Found(loc),
+            // Provisioned maps are authoritative: absence means the
+            // identity does not exist anywhere.
+            None => Resolution::Unknown,
+        }
+    }
+
+    fn provision(&mut self, identity: &Identity, location: Location) {
+        self.insert(identity, location);
+    }
+
+    fn deprovision(&mut self, identity: &Identity) {
+        self.remove(identity);
+    }
+
+    fn fill(&mut self, identity: &Identity, location: Location) {
+        self.insert(identity, location);
+    }
+}
+
+impl Locator for CachedLocator {
+    fn resolve(
+        &mut self,
+        identity: &Identity,
+        _now: SimTime,
+        _uid_hint: Option<SubscriberUid>,
+    ) -> Resolution {
+        match self.lookup(identity) {
+            CacheOutcome::Hit(loc) => Resolution::Found(loc),
+            CacheOutcome::Miss { ses_to_probe } => Resolution::NeedsProbe { ses_to_probe },
+        }
+    }
+
+    fn provision(&mut self, identity: &Identity, location: Location) {
+        self.fill(identity, location);
+    }
+
+    fn deprovision(&mut self, identity: &Identity) {
+        self.invalidate(identity);
+    }
+
+    fn fill(&mut self, identity: &Identity, location: Location) {
+        CachedLocator::fill(self, identity, location);
+    }
+}
+
+impl Locator for ConsistentHashRing {
+    fn resolve(
+        &mut self,
+        identity: &Identity,
+        _now: SimTime,
+        uid_hint: Option<SubscriberUid>,
+    ) -> Resolution {
+        match (self.locate(identity), uid_hint) {
+            (Some(partition), Some(uid)) => Resolution::Found(Location { uid, partition }),
+            // Without a uid hint the owning SE must resolve the identity
+            // itself; modelled as a single-SE probe.
+            (Some(_), None) => Resolution::NeedsProbe { ses_to_probe: 1 },
+            (None, _) => Resolution::Unknown,
+        }
+    }
+
+    fn provision(&mut self, _identity: &Identity, _location: Location) {}
+
+    fn deprovision(&mut self, _identity: &Identity) {}
+
+    fn fill(&mut self, _identity: &Identity, _location: Location) {}
+}
+
+impl Locator for DataLocationStage {
+    fn resolve(
+        &mut self,
+        identity: &Identity,
+        now: SimTime,
+        uid_hint: Option<SubscriberUid>,
+    ) -> Resolution {
+        DataLocationStage::resolve(self, identity, now, uid_hint)
+    }
+
+    fn provision(&mut self, identity: &Identity, location: Location) {
+        DataLocationStage::provision(self, identity, location);
+    }
+
+    fn deprovision(&mut self, identity: &Identity) {
+        DataLocationStage::deprovision(self, identity);
+    }
+
+    fn fill(&mut self, identity: &Identity, location: Location) {
+        self.fill_cache(identity, location);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udr_model::identity::Imsi;
+    use udr_model::ids::PartitionId;
+
+    fn imsi(i: u64) -> Identity {
+        Imsi::new(format!("21401{i:010}")).unwrap().into()
+    }
+
+    fn loc(uid: u64, p: u32) -> Location {
+        Location {
+            uid: SubscriberUid(uid),
+            partition: PartitionId(p),
+        }
+    }
+
+    /// Exercise every implementation through the trait object the
+    /// pipeline uses.
+    #[test]
+    fn all_realisations_serve_through_the_trait() {
+        let mut maps = IdentityLocationMap::new();
+        let mut cache = CachedLocator::new(16, 8);
+        let mut ring = ConsistentHashRing::new((0..4).map(PartitionId), 32);
+        let mut stage = DataLocationStage::provisioned();
+        let locators: [&mut dyn Locator; 4] = [&mut maps, &mut cache, &mut ring, &mut stage];
+        for locator in locators {
+            locator.provision(&imsi(7), loc(7, 1));
+            locator.fill(&imsi(7), loc(7, 1));
+            match locator.resolve(&imsi(7), SimTime::ZERO, Some(SubscriberUid(7))) {
+                Resolution::Found(l) => assert_eq!(l.uid, SubscriberUid(7)),
+                other => panic!("expected Found, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn provisioned_maps_are_authoritative_for_absence() {
+        let mut maps = IdentityLocationMap::new();
+        let locator: &mut dyn Locator = &mut maps;
+        assert_eq!(
+            locator.resolve(&imsi(1), SimTime::ZERO, None),
+            Resolution::Unknown
+        );
+    }
+
+    #[test]
+    fn cached_locator_misses_then_hits_through_trait() {
+        let mut cache = CachedLocator::new(16, 5);
+        let locator: &mut dyn Locator = &mut cache;
+        assert_eq!(
+            locator.resolve(&imsi(2), SimTime::ZERO, None),
+            Resolution::NeedsProbe { ses_to_probe: 5 }
+        );
+        locator.fill(&imsi(2), loc(2, 3));
+        assert_eq!(
+            locator.resolve(&imsi(2), SimTime::ZERO, None),
+            Resolution::Found(loc(2, 3))
+        );
+        locator.deprovision(&imsi(2));
+        assert_eq!(
+            locator.resolve(&imsi(2), SimTime::ZERO, None),
+            Resolution::NeedsProbe { ses_to_probe: 5 }
+        );
+    }
+}

@@ -58,7 +58,8 @@ impl IdentityLocationMap {
 
     /// Provision one identity → location binding.
     pub fn insert(&mut self, identity: &Identity, location: Location) {
-        self.index_mut(identity.kind()).insert(identity.as_str().to_owned(), location);
+        self.index_mut(identity.kind())
+            .insert(identity.as_str().to_owned(), location);
     }
 
     /// Remove a binding (deprovisioning); returns the removed location.
@@ -97,7 +98,9 @@ impl IdentityLocationMap {
     /// could use to store more data".
     pub fn approx_bytes(&self) -> usize {
         let entry_cost = |m: &BTreeMap<String, Location>| {
-            m.keys().map(|k| 48 + k.len() + std::mem::size_of::<Location>()).sum::<usize>()
+            m.keys()
+                .map(|k| 48 + k.len() + std::mem::size_of::<Location>())
+                .sum::<usize>()
         };
         entry_cost(&self.imsi)
             + entry_cost(&self.msisdn)
@@ -131,7 +134,10 @@ mod tests {
     use udr_model::identity::{Impu, Imsi, Msisdn};
 
     fn loc(uid: u64, p: u32) -> Location {
-        Location { uid: SubscriberUid(uid), partition: PartitionId(p) }
+        Location {
+            uid: SubscriberUid(uid),
+            partition: PartitionId(p),
+        }
     }
 
     fn imsi(s: &str) -> Identity {
@@ -172,7 +178,10 @@ mod tests {
         m.insert(&imsi("214010000000042"), l);
         m.insert(&Msisdn::new("34600000042").unwrap().into(), l);
         assert_eq!(m.lookup(&imsi("214010000000042")), Some(l));
-        assert_eq!(m.lookup(&Msisdn::new("34600000042").unwrap().into()), Some(l));
+        assert_eq!(
+            m.lookup(&Msisdn::new("34600000042").unwrap().into()),
+            Some(l)
+        );
     }
 
     #[test]

@@ -21,11 +21,13 @@ pub struct PlacementContext {
 impl PlacementContext {
     /// Build from a region → partitions mapping.
     pub fn new(partitions_by_region: Vec<Vec<PartitionId>>) -> Self {
-        let mut all: Vec<PartitionId> =
-            partitions_by_region.iter().flatten().copied().collect();
+        let mut all: Vec<PartitionId> = partitions_by_region.iter().flatten().copied().collect();
         all.sort();
         all.dedup();
-        PlacementContext { partitions_by_region, all }
+        PlacementContext {
+            partitions_by_region,
+            all,
+        }
     }
 
     /// Number of regions.
@@ -109,7 +111,9 @@ mod tests {
         let c = ctx();
         let mut counts = [0usize; 6];
         for uid in 0..6000u64 {
-            let p = c.place(PlacementPolicy::Random, SubscriberUid(uid), 0).unwrap();
+            let p = c
+                .place(PlacementPolicy::Random, SubscriberUid(uid), 0)
+                .unwrap();
             counts[p.index()] += 1;
         }
         for (p, n) in counts.iter().enumerate() {
@@ -120,7 +124,9 @@ mod tests {
     #[test]
     fn unknown_region_falls_back_to_global_hash() {
         let c = ctx();
-        let p = c.place(PlacementPolicy::HomeRegion, SubscriberUid(1), 99).unwrap();
+        let p = c
+            .place(PlacementPolicy::HomeRegion, SubscriberUid(1), 99)
+            .unwrap();
         assert!(c.partitions().contains(&p));
     }
 

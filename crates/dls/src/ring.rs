@@ -41,7 +41,11 @@ impl ConsistentHashRing {
     /// Build a ring over `partitions` with `vnodes` virtual nodes each.
     pub fn new(partitions: impl IntoIterator<Item = PartitionId>, vnodes: usize) -> Self {
         assert!(vnodes > 0, "need at least one virtual node per partition");
-        let mut ring = ConsistentHashRing { ring: BTreeMap::new(), vnodes, partitions: vec![] };
+        let mut ring = ConsistentHashRing {
+            ring: BTreeMap::new(),
+            vnodes,
+            partitions: vec![],
+        };
         for p in partitions {
             ring.add_partition(p);
         }

@@ -103,7 +103,12 @@ impl DataLocationStage {
     /// For the hashed stage the caller must map the identity to a uid
     /// itself (identities are not invertible through a hash); `uid_hint`
     /// supplies it when known (front-ends carry it in follow-up operations).
-    pub fn resolve(&mut self, identity: &Identity, now: SimTime, uid_hint: Option<SubscriberUid>) -> Resolution {
+    pub fn resolve(
+        &mut self,
+        identity: &Identity,
+        now: SimTime,
+        uid_hint: Option<SubscriberUid>,
+    ) -> Resolution {
         match self.kind {
             LocatorKind::ProvisionedMaps => {
                 if !self.sync.is_ready(now) {
@@ -124,9 +129,7 @@ impl DataLocationStage {
             LocatorKind::ConsistentHashing => {
                 let ring = self.ring.as_ref().expect("hashed stage has ring");
                 match (ring.locate(identity), uid_hint) {
-                    (Some(partition), Some(uid)) => {
-                        Resolution::Found(Location { uid, partition })
-                    }
+                    (Some(partition), Some(uid)) => Resolution::Found(Location { uid, partition }),
                     // Without a uid hint the SE must resolve the identity
                     // itself; we model that as a single-SE probe.
                     (Some(_), None) => Resolution::NeedsProbe { ses_to_probe: 1 },
@@ -209,7 +212,9 @@ impl DataLocationStage {
 
     /// Cache statistics, when this is a cached stage.
     pub fn cache_stats(&self) -> Option<(u64, u64, f64)> {
-        self.cache.as_ref().map(|c| (c.hits, c.misses, c.hit_ratio()))
+        self.cache
+            .as_ref()
+            .map(|c| (c.hits, c.misses, c.hit_ratio()))
     }
 }
 
@@ -225,24 +230,42 @@ mod tests {
     }
 
     fn loc(uid: u64, p: u32) -> Location {
-        Location { uid: SubscriberUid(uid), partition: PartitionId(p) }
+        Location {
+            uid: SubscriberUid(uid),
+            partition: PartitionId(p),
+        }
     }
 
     #[test]
     fn provisioned_stage_round_trip() {
         let mut s = DataLocationStage::provisioned();
         s.provision(&imsi(1), loc(1, 0));
-        assert_eq!(s.resolve(&imsi(1), SimTime::ZERO, None), Resolution::Found(loc(1, 0)));
-        assert_eq!(s.resolve(&imsi(2), SimTime::ZERO, None), Resolution::Unknown);
+        assert_eq!(
+            s.resolve(&imsi(1), SimTime::ZERO, None),
+            Resolution::Found(loc(1, 0))
+        );
+        assert_eq!(
+            s.resolve(&imsi(2), SimTime::ZERO, None),
+            Resolution::Unknown
+        );
         s.deprovision(&imsi(1));
-        assert_eq!(s.resolve(&imsi(1), SimTime::ZERO, None), Resolution::Unknown);
+        assert_eq!(
+            s.resolve(&imsi(1), SimTime::ZERO, None),
+            Resolution::Unknown
+        );
     }
 
     #[test]
     fn syncing_stage_refuses_then_serves() {
-        let cost = SyncCostModel { base: SimDuration::from_secs(10), per_entry: SimDuration::ZERO };
+        let cost = SyncCostModel {
+            base: SimDuration::from_secs(10),
+            per_entry: SimDuration::ZERO,
+        };
         let mut s = DataLocationStage::provisioned_syncing(SimTime::ZERO, 0, &cost);
-        assert_eq!(s.resolve(&imsi(1), SimTime::ZERO, None), Resolution::Syncing);
+        assert_eq!(
+            s.resolve(&imsi(1), SimTime::ZERO, None),
+            Resolution::Syncing
+        );
         // After the window, it serves (still unknown until imported).
         let later = SimTime::ZERO + SimDuration::from_secs(11);
         assert_eq!(s.resolve(&imsi(1), later, None), Resolution::Unknown);
@@ -257,7 +280,10 @@ mod tests {
         let mut b = DataLocationStage::provisioned();
         b.import(a.export());
         assert_eq!(b.len(), 10);
-        assert_eq!(b.resolve(&imsi(3), SimTime::ZERO, None), Resolution::Found(loc(3, 0)));
+        assert_eq!(
+            b.resolve(&imsi(3), SimTime::ZERO, None),
+            Resolution::Found(loc(3, 0))
+        );
     }
 
     #[test]
@@ -268,7 +294,10 @@ mod tests {
             Resolution::NeedsProbe { ses_to_probe: 16 }
         );
         s.fill_cache(&imsi(1), loc(1, 2));
-        assert_eq!(s.resolve(&imsi(1), SimTime::ZERO, None), Resolution::Found(loc(1, 2)));
+        assert_eq!(
+            s.resolve(&imsi(1), SimTime::ZERO, None),
+            Resolution::Found(loc(1, 2))
+        );
         let (hits, misses, _) = s.cache_stats().unwrap();
         assert_eq!((hits, misses), (1, 1));
     }

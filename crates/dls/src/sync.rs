@@ -35,7 +35,10 @@ impl Default for SyncCostModel {
         // ~40 B/entry over a backbone plus local B-tree insert: ≈3 µs/entry
         // keeps a 10M-entry sync in the tens of seconds, matching the
         // "takes some time" the paper worries about.
-        SyncCostModel { base: SimDuration::from_millis(100), per_entry: SimDuration::from_micros(3) }
+        SyncCostModel {
+            base: SimDuration::from_millis(100),
+            per_entry: SimDuration::from_micros(3),
+        }
     }
 }
 
@@ -58,13 +61,18 @@ impl StageSync {
     /// A stage that is ready immediately (the first cluster of a
     /// deployment, provisioned from scratch).
     pub fn ready() -> Self {
-        StageSync { state: SyncState::Ready, rounds: 0 }
+        StageSync {
+            state: SyncState::Ready,
+            rounds: 0,
+        }
     }
 
     /// A stage that starts syncing `entries` bindings at `now`.
     pub fn syncing(now: SimTime, entries: usize, cost: &SyncCostModel) -> Self {
         StageSync {
-            state: SyncState::Syncing { done_at: now + cost.transfer_time(entries) },
+            state: SyncState::Syncing {
+                done_at: now + cost.transfer_time(entries),
+            },
             rounds: 0,
         }
     }
@@ -132,7 +140,10 @@ mod tests {
 
     #[test]
     fn done_at_exposed_while_syncing() {
-        let cost = SyncCostModel { base: SimDuration::from_secs(1), per_entry: SimDuration::ZERO };
+        let cost = SyncCostModel {
+            base: SimDuration::from_secs(1),
+            per_entry: SimDuration::ZERO,
+        };
         let s = StageSync::syncing(SimTime::ZERO, 123, &cost);
         assert_eq!(s.done_at(), Some(SimTime::ZERO + SimDuration::from_secs(1)));
     }

@@ -3,10 +3,10 @@
 
 use proptest::prelude::*;
 
+use udr_dls::{ConsistentHashRing, IdentityLocationMap, Location, PlacementContext};
 use udr_model::config::PlacementPolicy;
 use udr_model::identity::{Identity, Imsi, Msisdn};
 use udr_model::ids::{PartitionId, SubscriberUid};
-use udr_dls::{ConsistentHashRing, IdentityLocationMap, Location, PlacementContext};
 
 fn imsi(i: u64) -> Identity {
     Imsi::new(format!("21401{i:010}")).unwrap().into()

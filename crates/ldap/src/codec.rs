@@ -151,7 +151,12 @@ fn encode_filter(buf: &mut BytesMut, filter: &Filter) {
             put_u64(&mut inner, TAG_INT, *n);
             put_tlv(buf, FLT_LE, &inner);
         }
-        Filter::Substring { attr, initial, any, fin } => {
+        Filter::Substring {
+            attr,
+            initial,
+            any,
+            fin,
+        } => {
             let mut inner = BytesMut::new();
             put_u64(&mut inner, TAG_INT, u64::from(attr.tag()));
             let mut parts = BytesMut::new();
@@ -197,7 +202,11 @@ pub fn encode_request(req: &LdapRequest) -> Bytes {
             put_tlv(&mut body, TAG_SEQ, &list);
             put_tlv(&mut payload, APP_SEARCH, &body);
         }
-        LdapOp::SearchFilter { base, filter, attrs } => {
+        LdapOp::SearchFilter {
+            base,
+            filter,
+            attrs,
+        } => {
             // Same application tag as Search (both are RFC 2251
             // searchRequests); the element after the DN disambiguates —
             // a filter CHOICE tag here, an attribute SEQUENCE there.
@@ -291,7 +300,10 @@ impl<'a> Reader<'a> {
     }
 
     fn byte(&mut self) -> UdrResult<u8> {
-        let b = *self.data.get(self.pos).ok_or_else(|| Self::err("truncated"))?;
+        let b = *self
+            .data
+            .get(self.pos)
+            .ok_or_else(|| Self::err("truncated"))?;
         self.pos += 1;
         Ok(b)
     }
@@ -332,7 +344,9 @@ impl<'a> Reader<'a> {
     fn expect_tlv(&mut self, expected: u8) -> UdrResult<Reader<'a>> {
         let (tag, body) = self.tlv()?;
         if tag != expected {
-            return Err(Self::err(&format!("expected tag {expected:#x}, got {tag:#x}")));
+            return Err(Self::err(&format!(
+                "expected tag {expected:#x}, got {tag:#x}"
+            )));
         }
         Ok(body)
     }
@@ -409,7 +423,10 @@ fn decode_attr_id(v: u64) -> UdrResult<AttrId> {
 }
 
 fn is_filter_tag(tag: u8) -> bool {
-    matches!(tag, FLT_AND | FLT_OR | FLT_NOT | FLT_EQ | FLT_SUBSTR | FLT_GE | FLT_LE | FLT_PRESENT)
+    matches!(
+        tag,
+        FLT_AND | FLT_OR | FLT_NOT | FLT_EQ | FLT_SUBSTR | FLT_GE | FLT_LE | FLT_PRESENT
+    )
 }
 
 fn decode_filter(reader: &mut Reader<'_>, depth: u32) -> UdrResult<Filter> {
@@ -460,7 +477,12 @@ fn decode_filter(reader: &mut Reader<'_>, depth: u32) -> UdrResult<Filter> {
                     _ => return Err(Reader::err("malformed substring components")),
                 }
             }
-            Filter::Substring { attr, initial, any, fin }
+            Filter::Substring {
+                attr,
+                initial,
+                any,
+                fin,
+            }
         }
         other => return Err(Reader::err(&format!("unknown filter tag {other:#x}"))),
     })
@@ -496,7 +518,11 @@ pub fn decode_request(bytes: &[u8]) -> UdrResult<LdapRequest> {
                 attrs.push(decode_attr_id(list.expect_u64(TAG_INT)?)?);
             }
             match filter {
-                Some(filter) => LdapOp::SearchFilter { base: dn, filter, attrs },
+                Some(filter) => LdapOp::SearchFilter {
+                    base: dn,
+                    filter,
+                    attrs,
+                },
                 None => LdapOp::Search { base: dn, attrs },
             }
         }
@@ -539,8 +565,16 @@ pub fn decode_response(bytes: &[u8]) -> UdrResult<LdapResponse> {
     let code_raw = body.expect_u64(TAG_ENUM)?;
     let code = ResultCode::from_u8(code_raw as u8)
         .ok_or_else(|| Reader::err(&format!("unknown result code {code_raw}")))?;
-    let entry = if body.at_end() { None } else { Some(decode_entry(&mut body)?) };
-    Ok(LdapResponse { message_id, code, entry })
+    let entry = if body.at_end() {
+        None
+    } else {
+        Some(decode_entry(&mut body)?)
+    };
+    Ok(LdapResponse {
+        message_id,
+        code,
+        entry,
+    })
 }
 
 #[cfg(test)]
@@ -558,7 +592,10 @@ mod tests {
         e.set(AttrId::AuthSqn, 123456789u64);
         e.set(AttrId::CallBarring, true);
         e.set(AttrId::AuthKi, vec![0u8, 1, 2, 255]);
-        e.set(AttrId::Teleservices, vec!["telephony".to_owned(), "sms-mt".to_owned()]);
+        e.set(
+            AttrId::Teleservices,
+            vec!["telephony".to_owned(), "sms-mt".to_owned()],
+        );
         e
     }
 
@@ -566,7 +603,10 @@ mod tests {
     fn search_round_trip() {
         let req = LdapRequest {
             message_id: 7,
-            op: LdapOp::Search { base: dn(), attrs: vec![AttrId::AuthKi, AttrId::AuthSqn] },
+            op: LdapOp::Search {
+                base: dn(),
+                attrs: vec![AttrId::AuthKi, AttrId::AuthSqn],
+            },
         };
         let bytes = encode_request(&req);
         assert_eq!(decode_request(&bytes).unwrap(), req);
@@ -575,8 +615,9 @@ mod tests {
     #[test]
     fn filtered_search_round_trip() {
         use crate::filter::Filter;
-        let filter: Filter =
-            "(&(callBarring=TRUE)(|(odbMask>=4)(msisdn=346*))(!(vlrAddress=*)))".parse().unwrap();
+        let filter: Filter = "(&(callBarring=TRUE)(|(odbMask>=4)(msisdn=346*))(!(vlrAddress=*)))"
+            .parse()
+            .unwrap();
         let req = LdapRequest {
             message_id: 9,
             op: LdapOp::SearchFilter {
@@ -596,7 +637,10 @@ mod tests {
         // apart by the element after the DN.
         let indexed = LdapRequest {
             message_id: 1,
-            op: LdapOp::Search { base: dn(), attrs: vec![] },
+            op: LdapOp::Search {
+                base: dn(),
+                attrs: vec![],
+            },
         };
         let filtered = LdapRequest {
             message_id: 2,
@@ -608,7 +652,10 @@ mod tests {
         };
         assert_eq!(encode_request(&indexed)[2 + 3], 0x63, "APPLICATION 3");
         assert_eq!(decode_request(&encode_request(&indexed)).unwrap(), indexed);
-        assert_eq!(decode_request(&encode_request(&filtered)).unwrap(), filtered);
+        assert_eq!(
+            decode_request(&encode_request(&filtered)).unwrap(),
+            filtered
+        );
     }
 
     #[test]
@@ -622,7 +669,11 @@ mod tests {
         }
         let req = LdapRequest {
             message_id: 3,
-            op: LdapOp::SearchFilter { base: dn(), filter: f, attrs: vec![] },
+            op: LdapOp::SearchFilter {
+                base: dn(),
+                filter: f,
+                attrs: vec![],
+            },
         };
         let bytes = encode_request(&req);
         assert!(decode_request(&bytes).is_err());
@@ -630,7 +681,13 @@ mod tests {
 
     #[test]
     fn add_round_trip() {
-        let req = LdapRequest { message_id: 1, op: LdapOp::Add { dn: dn(), entry: rich_entry() } };
+        let req = LdapRequest {
+            message_id: 1,
+            op: LdapOp::Add {
+                dn: dn(),
+                entry: rich_entry(),
+            },
+        };
         let bytes = encode_request(&req);
         assert_eq!(decode_request(&bytes).unwrap(), req);
     }
@@ -656,7 +713,10 @@ mod tests {
     fn bind_round_trip() {
         let req = LdapRequest {
             message_id: 5,
-            op: LdapOp::Bind { dn: dn(), password: b"hss-fe-secret".to_vec() },
+            op: LdapOp::Bind {
+                dn: dn(),
+                password: b"hss-fe-secret".to_vec(),
+            },
         };
         let bytes = encode_request(&req);
         assert_eq!(decode_request(&bytes).unwrap(), req);
@@ -678,7 +738,10 @@ mod tests {
 
     #[test]
     fn delete_round_trip() {
-        let req = LdapRequest { message_id: 2, op: LdapOp::Delete { dn: dn() } };
+        let req = LdapRequest {
+            message_id: 2,
+            op: LdapOp::Delete { dn: dn() },
+        };
         let bytes = encode_request(&req);
         assert_eq!(decode_request(&bytes).unwrap(), req);
     }
@@ -700,7 +763,10 @@ mod tests {
     fn long_lengths_use_long_form() {
         let mut e = Entry::new();
         e.set(AttrId::AuthKi, vec![0xABu8; 300]); // > 255 bytes forces 0x82 form
-        let req = LdapRequest { message_id: 1, op: LdapOp::Add { dn: dn(), entry: e } };
+        let req = LdapRequest {
+            message_id: 1,
+            op: LdapOp::Add { dn: dn(), entry: e },
+        };
         let bytes = encode_request(&req);
         assert!(bytes.len() > 300);
         assert_eq!(decode_request(&bytes).unwrap(), req);
@@ -711,17 +777,26 @@ mod tests {
         let mut e = Entry::new();
         e.set(AttrId::AuthSqn, 0u64);
         e.set(AttrId::OdbMask, u64::MAX);
-        let req = LdapRequest { message_id: 0, op: LdapOp::Add { dn: dn(), entry: e } };
+        let req = LdapRequest {
+            message_id: 0,
+            op: LdapOp::Add { dn: dn(), entry: e },
+        };
         let bytes = encode_request(&req);
         assert_eq!(decode_request(&bytes).unwrap(), req);
     }
 
     #[test]
     fn truncated_input_rejected() {
-        let req = LdapRequest { message_id: 7, op: LdapOp::Delete { dn: dn() } };
+        let req = LdapRequest {
+            message_id: 7,
+            op: LdapOp::Delete { dn: dn() },
+        };
         let bytes = encode_request(&req);
         for cut in [0, 1, 2, bytes.len() / 2, bytes.len() - 1] {
-            assert!(decode_request(&bytes[..cut]).is_err(), "cut at {cut} accepted");
+            assert!(
+                decode_request(&bytes[..cut]).is_err(),
+                "cut at {cut} accepted"
+            );
         }
     }
 
@@ -737,7 +812,10 @@ mod tests {
         // capacity model assumes small control-plane messages.
         let req = LdapRequest {
             message_id: 1,
-            op: LdapOp::Search { base: dn(), attrs: vec![AttrId::VlrAddress] },
+            op: LdapOp::Search {
+                base: dn(),
+                attrs: vec![AttrId::VlrAddress],
+            },
         };
         assert!(encode_request(&req).len() < 100);
     }

@@ -138,7 +138,12 @@ impl Filter {
             Filter::LessOrEqual(attr, n) => {
                 entry.get(*attr).and_then(numeric).is_some_and(|v| v <= *n)
             }
-            Filter::Substring { attr, initial, any, fin } => entry
+            Filter::Substring {
+                attr,
+                initial,
+                any,
+                fin,
+            } => entry
                 .get(*attr)
                 .is_some_and(|v| substring_matches(v, initial, any, fin)),
         }
@@ -261,7 +266,12 @@ impl fmt::Display for Filter {
             }
             Filter::GreaterOrEqual(attr, n) => write!(f, "({}>={n})", attr_name(*attr)),
             Filter::LessOrEqual(attr, n) => write!(f, "({}<={n})", attr_name(*attr)),
-            Filter::Substring { attr, initial, any, fin } => {
+            Filter::Substring {
+                attr,
+                initial,
+                any,
+                fin,
+            } => {
                 write!(f, "({}=", attr_name(*attr))?;
                 let mut buf = String::new();
                 if let Some(init) = initial {
@@ -292,7 +302,11 @@ pub struct FilterParseError {
 
 impl fmt::Display for FilterParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "filter parse error at byte {}: {}", self.at, self.message)
+        write!(
+            f,
+            "filter parse error at byte {}: {}",
+            self.at, self.message
+        )
     }
 }
 
@@ -305,7 +319,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err<T>(&self, message: impl Into<String>) -> Result<T, FilterParseError> {
-        Err(FilterParseError { at: self.pos, message: message.into() })
+        Err(FilterParseError {
+            at: self.pos,
+            message: message.into(),
+        })
     }
 
     fn peek(&self) -> Option<u8> {
@@ -433,7 +450,10 @@ impl<'a> Parser<'a> {
         fragments.push(current);
 
         if stars == 0 {
-            return Ok(Filter::Equality(attr, fragments.pop().expect("one fragment")));
+            return Ok(Filter::Equality(
+                attr,
+                fragments.pop().expect("one fragment"),
+            ));
         }
         // `(attr=*)` is a presence test.
         if stars == 1 && fragments.iter().all(String::is_empty) {
@@ -452,9 +472,17 @@ impl<'a> Parser<'a> {
             Some(f) => Some(f.clone()),
             None => None,
         };
-        let any: Vec<String> =
-            fragments.into_iter().skip(1).filter(|f| !f.is_empty()).collect();
-        Ok(Filter::Substring { attr, initial, any, fin })
+        let any: Vec<String> = fragments
+            .into_iter()
+            .skip(1)
+            .filter(|f| !f.is_empty())
+            .collect();
+        Ok(Filter::Substring {
+            attr,
+            initial,
+            any,
+            fin,
+        })
     }
 
     fn hex_digit(&mut self) -> Result<u8, FilterParseError> {
@@ -472,7 +500,10 @@ impl FromStr for Filter {
     type Err = FilterParseError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let mut p = Parser { src: s.as_bytes(), pos: 0 };
+        let mut p = Parser {
+            src: s.as_bytes(),
+            pos: 0,
+        };
         let f = p.filter()?;
         if p.pos != s.len() {
             return p.err("trailing input after filter");
@@ -494,7 +525,10 @@ mod tests {
         e.set(AttrId::HomeRegion, 2u64);
         e.set(
             AttrId::ImpuList,
-            vec!["sip:alice@ims.example".to_owned(), "tel:+34600123456".to_owned()],
+            vec![
+                "sip:alice@ims.example".to_owned(),
+                "tel:+34600123456".to_owned(),
+            ],
         );
         e
     }
@@ -637,7 +671,9 @@ mod tests {
 
     #[test]
     fn assertion_count_counts_leaves() {
-        let f: Filter = "(&(|(homeRegion=0)(homeRegion=1))(!(callBarring=TRUE)))".parse().unwrap();
+        let f: Filter = "(&(|(homeRegion=0)(homeRegion=1))(!(callBarring=TRUE)))"
+            .parse()
+            .unwrap();
         assert_eq!(f.assertion_count(), 3);
         assert_eq!(Filter::always().assertion_count(), 0);
     }

@@ -41,7 +41,14 @@ pub struct PointOfAccess {
 impl PointOfAccess {
     /// A PoA with no backends yet.
     pub fn new(id: PoaId, site: SiteId) -> Self {
-        PointOfAccess { id, site, backends: Vec::new(), next: 0, dispatched: 0, refused: 0 }
+        PointOfAccess {
+            id,
+            site,
+            backends: Vec::new(),
+            next: 0,
+            dispatched: 0,
+            refused: 0,
+        }
     }
 
     /// PoA identity.
@@ -57,7 +64,10 @@ impl PointOfAccess {
     /// Auto-detection of a new LDAP server (idempotent).
     pub fn register(&mut self, server: LdapServerId) {
         if !self.backends.iter().any(|b| b.id == server) {
-            self.backends.push(Backend { id: server, health: BackendHealth::Healthy });
+            self.backends.push(Backend {
+                id: server,
+                health: BackendHealth::Healthy,
+            });
         }
     }
 
@@ -99,7 +109,10 @@ impl PointOfAccess {
 
     /// Healthy backends.
     pub fn healthy_count(&self) -> usize {
-        self.backends.iter().filter(|b| b.health == BackendHealth::Healthy).count()
+        self.backends
+            .iter()
+            .filter(|b| b.health == BackendHealth::Healthy)
+            .count()
     }
 }
 

@@ -115,7 +115,10 @@ pub enum LdapOp {
 impl LdapOp {
     /// Whether the operation writes subscriber data.
     pub fn is_write(&self) -> bool {
-        matches!(self, LdapOp::Add { .. } | LdapOp::Modify { .. } | LdapOp::Delete { .. })
+        matches!(
+            self,
+            LdapOp::Add { .. } | LdapOp::Modify { .. } | LdapOp::Delete { .. }
+        )
     }
 
     /// The DN the operation addresses.
@@ -155,17 +158,29 @@ pub struct LdapResponse {
 impl LdapResponse {
     /// A success response without payload.
     pub fn success(message_id: u32) -> Self {
-        LdapResponse { message_id, code: ResultCode::Success, entry: None }
+        LdapResponse {
+            message_id,
+            code: ResultCode::Success,
+            entry: None,
+        }
     }
 
     /// A success response carrying an entry.
     pub fn with_entry(message_id: u32, entry: Entry) -> Self {
-        LdapResponse { message_id, code: ResultCode::Success, entry: Some(entry) }
+        LdapResponse {
+            message_id,
+            code: ResultCode::Success,
+            entry: Some(entry),
+        }
     }
 
     /// An error response.
     pub fn error(message_id: u32, code: ResultCode) -> Self {
-        LdapResponse { message_id, code, entry: None }
+        LdapResponse {
+            message_id,
+            code,
+            entry: None,
+        }
     }
 
     /// Whether the response reports success.
@@ -185,22 +200,38 @@ mod tests {
 
     #[test]
     fn write_classification() {
-        assert!(!LdapOp::Search { base: dn(), attrs: vec![] }.is_write());
+        assert!(!LdapOp::Search {
+            base: dn(),
+            attrs: vec![]
+        }
+        .is_write());
         assert!(!LdapOp::SearchFilter {
             base: dn(),
             filter: Filter::Present(AttrId::CallBarring),
             attrs: vec![]
         }
         .is_write());
-        assert!(!LdapOp::Bind { dn: dn(), password: vec![1, 2] }.is_write());
+        assert!(!LdapOp::Bind {
+            dn: dn(),
+            password: vec![1, 2]
+        }
+        .is_write());
         assert!(!LdapOp::Compare {
             dn: dn(),
             attr: AttrId::CallBarring,
             value: AttrValue::Bool(true)
         }
         .is_write());
-        assert!(LdapOp::Add { dn: dn(), entry: Entry::new() }.is_write());
-        assert!(LdapOp::Modify { dn: dn(), mods: vec![] }.is_write());
+        assert!(LdapOp::Add {
+            dn: dn(),
+            entry: Entry::new()
+        }
+        .is_write());
+        assert!(LdapOp::Modify {
+            dn: dn(),
+            mods: vec![]
+        }
+        .is_write());
         assert!(LdapOp::Delete { dn: dn() }.is_write());
     }
 

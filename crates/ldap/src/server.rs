@@ -71,9 +71,7 @@ impl LdapServer {
     pub fn service_time(&self, op: &LdapOp) -> SimDuration {
         let base = self.station.service_time();
         match op {
-            LdapOp::SearchFilter { filter, .. } => {
-                base * (1 + filter.assertion_count() as u64)
-            }
+            LdapOp::SearchFilter { filter, .. } => base * (1 + filter.assertion_count() as u64),
             _ if op.is_write() => base + base / 2,
             _ => base,
         }
@@ -120,11 +118,17 @@ mod tests {
     }
 
     fn search() -> LdapOp {
-        LdapOp::Search { base: dn(), attrs: vec![] }
+        LdapOp::Search {
+            base: dn(),
+            attrs: vec![],
+        }
     }
 
     fn add() -> LdapOp {
-        LdapOp::Add { dn: dn(), entry: Entry::new() }
+        LdapOp::Add {
+            dn: dn(),
+            entry: Entry::new(),
+        }
     }
 
     #[test]
@@ -139,7 +143,11 @@ mod tests {
         use crate::filter::Filter;
         let s = LdapServer::new(LdapServerId(0), SiteId(0), ClusterId(0));
         let filter: Filter = "(&(callBarring=TRUE)(odbMask>=4))".parse().unwrap();
-        let op = LdapOp::SearchFilter { base: dn(), filter, attrs: vec![] };
+        let op = LdapOp::SearchFilter {
+            base: dn(),
+            filter,
+            attrs: vec![],
+        };
         assert_eq!(s.service_time(&op), SimDuration::from_micros(3));
     }
 

@@ -12,7 +12,9 @@ fn identity_strategy() -> impl Strategy<Value = Identity> {
     prop_oneof![
         (0u64..=99_999_999).prop_map(|n| Imsi::new(format!("21401{n:08}")).unwrap().into()),
         (0u64..=999_999).prop_map(|n| Msisdn::new(format!("34600{n:06}")).unwrap().into()),
-        "[a-z]{1,12}".prop_map(|s| Impu::new(format!("sip:{s}@ims.example.com")).unwrap().into()),
+        "[a-z]{1,12}".prop_map(|s| Impu::new(format!("sip:{s}@ims.example.com"))
+            .unwrap()
+            .into()),
         "[a-z]{1,12}".prop_map(|s| Impi::new(format!("{s}@ims.example.com")).unwrap().into()),
     ]
 }
@@ -39,19 +41,36 @@ fn entry_strategy() -> impl Strategy<Value = Entry> {
 
 fn op_strategy() -> impl Strategy<Value = LdapOp> {
     prop_oneof![
-        (identity_strategy(), prop::collection::vec(any::<u8>(), 0..32))
-            .prop_map(|(id, password)| LdapOp::Bind { dn: Dn::for_identity(id), password }),
-        (identity_strategy(), attr_id_strategy(), attr_value_strategy())
+        (
+            identity_strategy(),
+            prop::collection::vec(any::<u8>(), 0..32)
+        )
+            .prop_map(|(id, password)| LdapOp::Bind {
+                dn: Dn::for_identity(id),
+                password
+            }),
+        (
+            identity_strategy(),
+            attr_id_strategy(),
+            attr_value_strategy()
+        )
             .prop_map(|(id, attr, value)| LdapOp::Compare {
                 dn: Dn::for_identity(id),
                 attr,
                 value
             }),
-        (identity_strategy(), prop::collection::vec(attr_id_strategy(), 0..6)).prop_map(
-            |(id, attrs)| LdapOp::Search { base: Dn::for_identity(id), attrs }
-        ),
-        (identity_strategy(), entry_strategy())
-            .prop_map(|(id, entry)| LdapOp::Add { dn: Dn::for_identity(id), entry }),
+        (
+            identity_strategy(),
+            prop::collection::vec(attr_id_strategy(), 0..6)
+        )
+            .prop_map(|(id, attrs)| LdapOp::Search {
+                base: Dn::for_identity(id),
+                attrs
+            }),
+        (identity_strategy(), entry_strategy()).prop_map(|(id, entry)| LdapOp::Add {
+            dn: Dn::for_identity(id),
+            entry
+        }),
         (
             identity_strategy(),
             prop::collection::vec(
@@ -63,8 +82,13 @@ fn op_strategy() -> impl Strategy<Value = LdapOp> {
                 0..8
             )
         )
-            .prop_map(|(id, mods)| LdapOp::Modify { dn: Dn::for_identity(id), mods }),
-        identity_strategy().prop_map(|id| LdapOp::Delete { dn: Dn::for_identity(id) }),
+            .prop_map(|(id, mods)| LdapOp::Modify {
+                dn: Dn::for_identity(id),
+                mods
+            }),
+        identity_strategy().prop_map(|id| LdapOp::Delete {
+            dn: Dn::for_identity(id)
+        }),
         (
             identity_strategy(),
             filter_strategy(),
@@ -143,7 +167,12 @@ fn filter_strategy() -> impl Strategy<Value = Filter> {
                     if initial.is_none() && any.is_empty() && fin.is_none() {
                         None
                     } else {
-                        Some(Filter::Substring { attr, initial, any, fin })
+                        Some(Filter::Substring {
+                            attr,
+                            initial,
+                            any,
+                            fin,
+                        })
                     }
                 }
             ),

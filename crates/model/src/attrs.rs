@@ -295,7 +295,9 @@ impl Entry {
 
 impl FromIterator<(AttrId, AttrValue)> for Entry {
     fn from_iter<I: IntoIterator<Item = (AttrId, AttrValue)>>(iter: I) -> Self {
-        Entry { attrs: iter.into_iter().collect() }
+        Entry {
+            attrs: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -328,7 +330,10 @@ mod tests {
         for a in AttrId::ALL {
             assert_eq!(AttrId::from_tag(a.tag()), Some(a), "{a:?}");
         }
-        assert_eq!(AttrId::from_tag(AttrId::HomeRegion.tag()), Some(AttrId::HomeRegion));
+        assert_eq!(
+            AttrId::from_tag(AttrId::HomeRegion.tag()),
+            Some(AttrId::HomeRegion)
+        );
         assert_eq!(AttrId::from_tag(9999), None);
     }
 
@@ -337,7 +342,10 @@ mod tests {
         let mut e = Entry::new();
         assert!(e.is_empty());
         assert_eq!(e.set(AttrId::Msisdn, "34600123456"), None);
-        assert_eq!(e.get(AttrId::Msisdn).and_then(AttrValue::as_str), Some("34600123456"));
+        assert_eq!(
+            e.get(AttrId::Msisdn).and_then(AttrValue::as_str),
+            Some("34600123456")
+        );
         let prev = e.set(AttrId::Msisdn, "34600999999");
         assert_eq!(prev.as_ref().and_then(|v| v.as_str()), Some("34600123456"));
         assert_eq!(e.len(), 1);
@@ -363,7 +371,10 @@ mod tests {
         let mut small = Entry::new();
         small.set(AttrId::Imsi, "214010000000001");
         let mut big = small.clone();
-        big.set(AttrId::ApnProfiles, vec!["internet".to_owned(), "ims".to_owned()]);
+        big.set(
+            AttrId::ApnProfiles,
+            vec!["internet".to_owned(), "ims".to_owned()],
+        );
         assert!(big.approx_size() > small.approx_size());
     }
 

@@ -31,7 +31,9 @@ impl DurabilityMode {
     /// Default periodic mode with the interval used throughout the paper's
     /// experiments (a conservative 30 s).
     pub fn periodic_default() -> Self {
-        DurabilityMode::PeriodicSnapshot { interval: SimDuration::from_secs(30) }
+        DurabilityMode::PeriodicSnapshot {
+            interval: SimDuration::from_secs(30),
+        }
     }
 }
 
@@ -214,13 +216,25 @@ pub struct Pacelc {
 
 impl Pacelc {
     /// PA/EL — e.g. front-end transactions in the described UDR (§3.6).
-    pub const PA_EL: Pacelc = Pacelc { partition_availability: true, else_latency: true };
+    pub const PA_EL: Pacelc = Pacelc {
+        partition_availability: true,
+        else_latency: true,
+    };
     /// PC/EC — e.g. provisioning transactions in the described UDR (§3.6).
-    pub const PC_EC: Pacelc = Pacelc { partition_availability: false, else_latency: false };
+    pub const PC_EC: Pacelc = Pacelc {
+        partition_availability: false,
+        else_latency: false,
+    };
     /// PC/EL — consistency on partition, latency otherwise.
-    pub const PC_EL: Pacelc = Pacelc { partition_availability: false, else_latency: true };
+    pub const PC_EL: Pacelc = Pacelc {
+        partition_availability: false,
+        else_latency: true,
+    };
     /// PA/EC — availability on partition, consistency otherwise.
-    pub const PA_EC: Pacelc = Pacelc { partition_availability: true, else_latency: false };
+    pub const PA_EC: Pacelc = Pacelc {
+        partition_availability: true,
+        else_latency: false,
+    };
 }
 
 impl fmt::Display for Pacelc {
@@ -228,7 +242,11 @@ impl fmt::Display for Pacelc {
         write!(
             f,
             "P{}/E{}",
-            if self.partition_availability { "A" } else { "C" },
+            if self.partition_availability {
+                "A"
+            } else {
+                "C"
+            },
             if self.else_latency { "L" } else { "C" }
         )
     }
@@ -334,7 +352,10 @@ impl FrashConfig {
             // allowed to drift.
             TxnClass::Provisioning => self.ps_read_policy == ReadPolicy::NearestCopy,
         };
-        Pacelc { partition_availability, else_latency }
+        Pacelc {
+            partition_availability,
+            else_latency,
+        }
     }
 }
 
@@ -363,7 +384,10 @@ mod tests {
 
     #[test]
     fn multimaster_turns_provisioning_pa() {
-        let c = FrashConfig { replication: ReplicationMode::MultiMaster, ..Default::default() };
+        let c = FrashConfig {
+            replication: ReplicationMode::MultiMaster,
+            ..Default::default()
+        };
         assert!(c.pacelc_for(TxnClass::Provisioning).partition_availability);
     }
 
@@ -393,7 +417,10 @@ mod tests {
 
     #[test]
     fn zero_rf_rejected() {
-        let c = FrashConfig { replication_factor: 0, ..Default::default() };
+        let c = FrashConfig {
+            replication_factor: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 
@@ -401,7 +428,10 @@ mod tests {
     fn commit_acks_per_mode() {
         assert_eq!(ReplicationMode::AsyncMasterSlave.commit_acks(), 1);
         assert_eq!(ReplicationMode::DualInSequence.commit_acks(), 2);
-        assert_eq!(ReplicationMode::Quorum { n: 3, w: 2, r: 1 }.commit_acks(), 2);
+        assert_eq!(
+            ReplicationMode::Quorum { n: 3, w: 2, r: 1 }.commit_acks(),
+            2
+        );
     }
 
     #[test]

@@ -86,14 +86,20 @@ impl fmt::Display for UdrError {
             UdrError::AlreadyExists(uid) => write!(f, "record for {uid} already exists"),
             UdrError::Unreachable { se, reason } => write!(f, "{se} unreachable ({reason})"),
             UdrError::NotMaster { partition, se } => {
-                write!(f, "{se} holds only a slave copy of {partition}; writes need the master")
+                write!(
+                    f,
+                    "{se} holds only a slave copy of {partition}; writes need the master"
+                )
             }
             UdrError::WriteConflict(uid) => write!(f, "write-lock conflict on {uid}"),
             UdrError::TxnAborted { reason } => write!(f, "transaction aborted: {reason}"),
             UdrError::TxnInvalid => write!(f, "transaction handle no longer valid"),
             UdrError::SeUnavailable(se) => write!(f, "{se} unavailable"),
             UdrError::LocationStageSyncing => {
-                write!(f, "data-location stage synchronising; PoA cannot resolve yet")
+                write!(
+                    f,
+                    "data-location stage synchronising; PoA cannot resolve yet"
+                )
             }
             UdrError::ReplicationFailed { acked, required } => {
                 write!(f, "replication acked by {acked}/{required} required copies")
@@ -138,7 +144,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = UdrError::NotMaster { partition: PartitionId(2), se: SeId(5) };
+        let e = UdrError::NotMaster {
+            partition: PartitionId(2),
+            se: SeId(5),
+        };
         assert!(e.to_string().contains("p2"));
         assert!(e.to_string().contains("se5"));
     }
@@ -146,8 +155,11 @@ mod tests {
     #[test]
     fn availability_classification() {
         assert!(UdrError::Timeout.is_availability_failure());
-        assert!(UdrError::Unreachable { se: SeId(0), reason: "partition" }
-            .is_availability_failure());
+        assert!(UdrError::Unreachable {
+            se: SeId(0),
+            reason: "partition"
+        }
+        .is_availability_failure());
         assert!(!UdrError::NotFound(SubscriberUid(1)).is_availability_failure());
         assert!(!UdrError::WriteConflict(SubscriberUid(1)).is_availability_failure());
     }

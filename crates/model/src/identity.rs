@@ -40,7 +40,10 @@ impl Imsi {
         if all_digits(&s) && (6..=15).contains(&s.len()) {
             Ok(Imsi(s))
         } else {
-            Err(UdrError::InvalidIdentity { kind: IdentityKind::Imsi, value: s })
+            Err(UdrError::InvalidIdentity {
+                kind: IdentityKind::Imsi,
+                value: s,
+            })
         }
     }
 
@@ -62,7 +65,10 @@ impl Msisdn {
         if all_digits(&s) && (5..=15).contains(&s.len()) {
             Ok(Msisdn(s))
         } else {
-            Err(UdrError::InvalidIdentity { kind: IdentityKind::Msisdn, value: s })
+            Err(UdrError::InvalidIdentity {
+                kind: IdentityKind::Msisdn,
+                value: s,
+            })
         }
     }
 
@@ -79,7 +85,10 @@ impl Impu {
         if (s.starts_with("sip:") || s.starts_with("tel:")) && s.len() > 4 {
             Ok(Impu(s))
         } else {
-            Err(UdrError::InvalidIdentity { kind: IdentityKind::Impu, value: s })
+            Err(UdrError::InvalidIdentity {
+                kind: IdentityKind::Impu,
+                value: s,
+            })
         }
     }
 
@@ -100,7 +109,10 @@ impl Impi {
         if valid {
             Ok(Impi(s))
         } else {
-            Err(UdrError::InvalidIdentity { kind: IdentityKind::Impi, value: s })
+            Err(UdrError::InvalidIdentity {
+                kind: IdentityKind::Impi,
+                value: s,
+            })
         }
     }
 
@@ -139,8 +151,12 @@ pub enum IdentityKind {
 
 impl IdentityKind {
     /// All identity kinds, in index order.
-    pub const ALL: [IdentityKind; 4] =
-        [IdentityKind::Imsi, IdentityKind::Msisdn, IdentityKind::Impu, IdentityKind::Impi];
+    pub const ALL: [IdentityKind; 4] = [
+        IdentityKind::Imsi,
+        IdentityKind::Msisdn,
+        IdentityKind::Impu,
+        IdentityKind::Impi,
+    ];
 }
 
 impl fmt::Display for IdentityKind {

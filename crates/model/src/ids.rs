@@ -150,7 +150,10 @@ mod tests {
         assert_eq!(SeId(7).to_string(), "se7");
         assert_eq!(PartitionId(0).to_string(), "p0");
         assert_eq!(SubscriberUid(42).to_string(), "sub42");
-        let r = ReplicaId { partition: PartitionId(1), se: SeId(3) };
+        let r = ReplicaId {
+            partition: PartitionId(1),
+            se: SeId(3),
+        };
         assert_eq!(r.to_string(), "p1@se3");
     }
 

@@ -22,8 +22,8 @@ pub mod time;
 
 pub use attrs::{AttrId, AttrMod, AttrValue, Entry};
 pub use config::{
-    DurabilityMode, FrashConfig, IsolationLevel, LocatorKind, Pacelc, PlacementPolicy,
-    ReadPolicy, ReplicationMode, TxnClass,
+    DurabilityMode, FrashConfig, IsolationLevel, LocatorKind, Pacelc, PlacementPolicy, ReadPolicy,
+    ReplicationMode, TxnClass,
 };
 pub use error::{UdrError, UdrResult};
 pub use identity::{Identity, IdentityKind, IdentitySet, Impi, Impu, Imsi, Msisdn};

@@ -67,7 +67,10 @@ impl ProcedureKind {
 
     /// Whether this is one of the heavier IMS procedures (footnote 8).
     pub const fn is_ims(self) -> bool {
-        matches!(self, ProcedureKind::ImsRegistration | ProcedureKind::ImsSession)
+        matches!(
+            self,
+            ProcedureKind::ImsRegistration | ProcedureKind::ImsSession
+        )
     }
 }
 
@@ -159,6 +162,9 @@ mod tests {
     #[test]
     fn display_names() {
         assert_eq!(ProcedureKind::Attach.to_string(), "attach");
-        assert_eq!(ProvisioningKind::CreateSubscription.to_string(), "create-subscription");
+        assert_eq!(
+            ProvisioningKind::CreateSubscription.to_string(),
+            "create-subscription"
+        );
     }
 }

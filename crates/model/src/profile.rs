@@ -52,7 +52,10 @@ impl SubscriberProfile {
         if !ids.impus.is_empty() {
             entry.set(
                 AttrId::ImpuList,
-                ids.impus.iter().map(|i| i.as_str().to_owned()).collect::<Vec<_>>(),
+                ids.impus
+                    .iter()
+                    .map(|i| i.as_str().to_owned())
+                    .collect::<Vec<_>>(),
             );
         }
         if let Some(impi) = &ids.impi {
@@ -61,12 +64,19 @@ impl SubscriberProfile {
         entry.set(AttrId::AuthKi, ki.to_vec());
         entry.set(AttrId::AuthAmf, 0x8000u64);
         entry.set(AttrId::AuthSqn, 0u64);
-        entry.set(AttrId::SubscriberStatus, SubscriberStatus::ServiceGranted.as_str());
+        entry.set(
+            AttrId::SubscriberStatus,
+            SubscriberStatus::ServiceGranted.as_str(),
+        );
         entry.set(AttrId::OdbMask, 0u64);
         entry.set(AttrId::CallBarring, false);
         entry.set(
             AttrId::Teleservices,
-            vec!["telephony".to_owned(), "sms-mt".to_owned(), "sms-mo".to_owned()],
+            vec![
+                "telephony".to_owned(),
+                "sms-mt".to_owned(),
+                "sms-mo".to_owned(),
+            ],
         );
         entry.set(AttrId::ApnProfiles, vec!["internet".to_owned()]);
         entry.set(AttrId::ChargingProfile, "default".to_owned());
@@ -106,7 +116,10 @@ impl SubscriberProfile {
     /// Whether pay-call barring is active (§3.2's example supplementary
     /// service).
     pub fn call_barring(&self) -> bool {
-        self.entry.get(AttrId::CallBarring).and_then(AttrValue::as_bool).unwrap_or(false)
+        self.entry
+            .get(AttrId::CallBarring)
+            .and_then(AttrValue::as_bool)
+            .unwrap_or(false)
     }
 
     /// Toggle pay-call barring.
@@ -116,12 +129,17 @@ impl SubscriberProfile {
 
     /// The home region used for selective placement (§3.5).
     pub fn home_region(&self) -> Option<u32> {
-        self.entry.get(AttrId::HomeRegion).and_then(AttrValue::as_u64).map(|v| v as u32)
+        self.entry
+            .get(AttrId::HomeRegion)
+            .and_then(AttrValue::as_u64)
+            .map(|v| v as u32)
     }
 
     /// The serving VLR address, if CS-attached.
     pub fn vlr_address(&self) -> Option<&str> {
-        self.entry.get(AttrId::VlrAddress).and_then(AttrValue::as_str)
+        self.entry
+            .get(AttrId::VlrAddress)
+            .and_then(AttrValue::as_str)
     }
 
     /// Record a CS location update (what an Attach/LU procedure writes).
@@ -131,7 +149,9 @@ impl SubscriberProfile {
 
     /// The serving MME address, if EPS-attached.
     pub fn mme_address(&self) -> Option<&str> {
-        self.entry.get(AttrId::MmeAddress).and_then(AttrValue::as_str)
+        self.entry
+            .get(AttrId::MmeAddress)
+            .and_then(AttrValue::as_str)
     }
 
     /// Record an EPS location update.
@@ -141,7 +161,10 @@ impl SubscriberProfile {
 
     /// Current AKA sequence number.
     pub fn auth_sqn(&self) -> u64 {
-        self.entry.get(AttrId::AuthSqn).and_then(AttrValue::as_u64).unwrap_or(0)
+        self.entry
+            .get(AttrId::AuthSqn)
+            .and_then(AttrValue::as_u64)
+            .unwrap_or(0)
     }
 
     /// Advance the AKA sequence number (authentication procedures write it).
@@ -153,7 +176,10 @@ impl SubscriberProfile {
 
     /// Provisioning generation counter.
     pub fn provisioning_gen(&self) -> u64 {
-        self.entry.get(AttrId::ProvisioningGen).and_then(AttrValue::as_u64).unwrap_or(0)
+        self.entry
+            .get(AttrId::ProvisioningGen)
+            .and_then(AttrValue::as_u64)
+            .unwrap_or(0)
     }
 
     /// Bump the provisioning generation (every PS write does this).

@@ -286,8 +286,14 @@ mod tests {
 
     #[test]
     fn float_constructors_round() {
-        assert_eq!(SimDuration::from_secs_f64(0.5), SimDuration::from_millis(500));
-        assert_eq!(SimDuration::from_millis_f64(1.5), SimDuration::from_micros(1500));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.5),
+            SimDuration::from_millis(500)
+        );
+        assert_eq!(
+            SimDuration::from_millis_f64(1.5),
+            SimDuration::from_micros(1500)
+        );
         assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
     }
 

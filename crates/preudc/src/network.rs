@@ -95,7 +95,9 @@ pub struct PreUdcNetwork {
 impl PreUdcNetwork {
     /// Build a network of `sites` sites, the PS co-located at `ps_site`.
     pub fn new(sites: u32, ps_site: SiteId, seed: u64) -> Self {
-        let hlrs = (0..sites).map(|s| HlrNode::new(HlrId(s), SiteId(s))).collect();
+        let hlrs = (0..sites)
+            .map(|s| HlrNode::new(HlrId(s), SiteId(s)))
+            .collect();
         let slfs = (0..sites).map(|s| SlfNode::new(SiteId(s))).collect();
         PreUdcNetwork {
             net: Network::new(Topology::multinational(sites as usize)),
@@ -130,7 +132,9 @@ impl PreUdcNetwork {
     }
 
     fn reach(&mut self, from: SiteId, to: SiteId) -> UdrResult<SimDuration> {
-        self.net.round_trip(from, to, &mut self.rng).ok_or(UdrError::Timeout)
+        self.net
+            .round_trip(from, to, &mut self.rng)
+            .ok_or(UdrError::Timeout)
     }
 
     /// Provision a subscription (Figure 3): one write to the home HLR plus
@@ -170,7 +174,9 @@ impl PreUdcNetwork {
                 Ok(rtt) => {
                     worst = worst.max(rtt);
                     let slf = &mut self.slfs[s];
-                    identities.iter().all(|id| slf.bind(id, uid, hlr_id).is_ok())
+                    identities
+                        .iter()
+                        .all(|id| slf.bind(id, uid, hlr_id).is_ok())
                 }
                 Err(_) => false,
             };
@@ -193,7 +199,12 @@ impl PreUdcNetwork {
                 identities,
                 missing_sites: missing.clone(),
             });
-            (ProvisionResult::Incomplete { missing_sites: missing }, latency)
+            (
+                ProvisionResult::Incomplete {
+                    missing_sites: missing,
+                },
+                latency,
+            )
         }
     }
 
@@ -223,7 +234,10 @@ impl PreUdcNetwork {
                 completed += 1;
                 self.stats.repaired += 1;
             } else {
-                still_pending.push(PendingRepair { missing_sites: remaining, ..repair });
+                still_pending.push(PendingRepair {
+                    missing_sites: remaining,
+                    ..repair
+                });
             }
         }
         self.pending = still_pending;
@@ -248,7 +262,10 @@ impl PreUdcNetwork {
             Ok(Some(route)) => route,
             Ok(None) => {
                 self.stats.routing_misses += 1;
-                return (Err(UdrError::UnknownIdentity(identity.to_string())), latency);
+                return (
+                    Err(UdrError::UnknownIdentity(identity.to_string())),
+                    latency,
+                );
             }
             Err(e) => return (Err(e), latency),
         };
@@ -285,7 +302,10 @@ impl PreUdcNetwork {
         let (uid, hlr_id) = match route {
             Ok(Some(r)) => r,
             Ok(None) => {
-                return (Err(UdrError::UnknownIdentity(identity.to_string())), latency)
+                return (
+                    Err(UdrError::UnknownIdentity(identity.to_string())),
+                    latency,
+                )
             }
             Err(e) => return (Err(e), latency),
         };
@@ -308,7 +328,12 @@ impl PreUdcNetwork {
         for slf in &self.slfs {
             let mut keys = BTreeSet::new();
             for (key, (uid, hlr)) in slf.routes() {
-                if self.hlrs[hlr.0 as usize].read(*uid).ok().flatten().is_none() {
+                if self.hlrs[hlr.0 as usize]
+                    .read(*uid)
+                    .ok()
+                    .flatten()
+                    .is_none()
+                {
                     dangling += 1;
                 }
                 keys.insert(key.as_str());
@@ -374,7 +399,9 @@ mod tests {
         let (result, _) = net.provision(&set, 0, SimTime(0));
         assert_eq!(
             result,
-            ProvisionResult::Incomplete { missing_sites: vec![SiteId(2)] }
+            ProvisionResult::Incomplete {
+                missing_sites: vec![SiteId(2)]
+            }
         );
         assert!(result.left_inconsistent());
         assert_eq!(net.pending_repairs(), 1);
@@ -408,7 +435,9 @@ mod tests {
         let (result, _) = net.provision(&ids(1), 0, SimTime(0));
         assert_eq!(
             result,
-            ProvisionResult::Incomplete { missing_sites: vec![SiteId(1)] }
+            ProvisionResult::Incomplete {
+                missing_sites: vec![SiteId(1)]
+            }
         );
         net.slf_mut(SiteId(1)).set_up(true);
         assert_eq!(net.run_repairs(SimTime(1)), 1);

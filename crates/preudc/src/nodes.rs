@@ -39,7 +39,13 @@ pub struct HlrNode {
 impl HlrNode {
     /// A fresh node at `site`.
     pub fn new(id: HlrId, site: SiteId) -> Self {
-        HlrNode { id, site, profiles: BTreeMap::new(), up: true, writes: 0 }
+        HlrNode {
+            id,
+            site,
+            profiles: BTreeMap::new(),
+            up: true,
+            writes: 0,
+        }
     }
 
     /// Node identity.
@@ -131,7 +137,11 @@ pub struct SlfNode {
 impl SlfNode {
     /// A fresh SLF at `site`.
     pub fn new(site: SiteId) -> Self {
-        SlfNode { site, routes: BTreeMap::new(), up: true }
+        SlfNode {
+            site,
+            routes: BTreeMap::new(),
+            up: true,
+        }
     }
 
     /// Hosting site.
@@ -209,7 +219,8 @@ mod tests {
         let uid = SubscriberUid(1);
         hlr.create(uid, entry()).unwrap();
         assert_eq!(hlr.create(uid, entry()), Err(UdrError::AlreadyExists(uid)));
-        hlr.modify(uid, &[AttrMod::Set(AttrId::OdbMask, AttrValue::U64(1))]).unwrap();
+        hlr.modify(uid, &[AttrMod::Set(AttrId::OdbMask, AttrValue::U64(1))])
+            .unwrap();
         let e = hlr.read(uid).unwrap().unwrap();
         assert_eq!(e.get(AttrId::OdbMask).and_then(AttrValue::as_u64), Some(1));
         hlr.delete(uid).unwrap();
@@ -232,7 +243,10 @@ mod tests {
         let mut slf = SlfNode::new(SiteId(1));
         let id: Identity = Imsi::new("214011234567890").unwrap().into();
         slf.bind(&id, SubscriberUid(7), HlrId(3)).unwrap();
-        assert_eq!(slf.resolve(&id).unwrap(), Some((SubscriberUid(7), HlrId(3))));
+        assert_eq!(
+            slf.resolve(&id).unwrap(),
+            Some((SubscriberUid(7), HlrId(3)))
+        );
         slf.unbind(&id).unwrap();
         assert_eq!(slf.resolve(&id).unwrap(), None);
     }

@@ -29,7 +29,12 @@ impl ReplicationGroup {
             return Err(UdrError::Config(format!("{partition}: duplicate members")));
         }
         let master = members[0];
-        Ok(ReplicationGroup { partition, members, master, epoch: 0 })
+        Ok(ReplicationGroup {
+            partition,
+            members,
+            master,
+            epoch: 0,
+        })
     }
 
     /// The partition replicated.
@@ -90,9 +95,7 @@ impl ReplicationGroup {
         alive
             .iter()
             .filter(|(se, _)| self.contains(*se) && *se != self.master)
-            .max_by(|(a_se, a_lsn), (b_se, b_lsn)| {
-                a_lsn.cmp(b_lsn).then_with(|| b_se.cmp(a_se))
-            })
+            .max_by(|(a_se, a_lsn), (b_se, b_lsn)| a_lsn.cmp(b_lsn).then_with(|| b_se.cmp(a_se)))
             .map(|(se, _)| *se)
     }
 }
@@ -136,16 +139,18 @@ mod tests {
     #[test]
     fn promotion_candidate_prefers_most_caught_up() {
         let g = group();
-        let candidate =
-            g.promotion_candidate(&[(SeId(1), Lsn(10)), (SeId(2), Lsn(15))]).unwrap();
+        let candidate = g
+            .promotion_candidate(&[(SeId(1), Lsn(10)), (SeId(2), Lsn(15))])
+            .unwrap();
         assert_eq!(candidate, SeId(2));
     }
 
     #[test]
     fn promotion_candidate_ties_break_low_id() {
         let g = group();
-        let candidate =
-            g.promotion_candidate(&[(SeId(2), Lsn(10)), (SeId(1), Lsn(10))]).unwrap();
+        let candidate = g
+            .promotion_candidate(&[(SeId(2), Lsn(10)), (SeId(1), Lsn(10))])
+            .unwrap();
         assert_eq!(candidate, SeId(1));
     }
 
@@ -153,6 +158,9 @@ mod tests {
     fn promotion_candidate_ignores_master_and_strangers() {
         let g = group();
         // Master itself and non-members must not be chosen.
-        assert_eq!(g.promotion_candidate(&[(SeId(0), Lsn(99)), (SeId(7), Lsn(99))]), None);
+        assert_eq!(
+            g.promotion_candidate(&[(SeId(0), Lsn(99)), (SeId(7), Lsn(99))]),
+            None
+        );
     }
 }

@@ -78,8 +78,10 @@ pub fn merge_branches(diverged_at: SimTime, branches: &[&Engine]) -> MergeOutcom
 
         // Conflict accounting over post-divergence writes with distinct
         // outcomes.
-        let mut post: Vec<&&RecordVersion> =
-            versions.iter().filter(|v| v.committed_at > diverged_at).collect();
+        let mut post: Vec<&&RecordVersion> = versions
+            .iter()
+            .filter(|v| v.committed_at > diverged_at)
+            .collect();
         post.dedup_by(|a, b| a.entry == b.entry && a.committed_at == b.committed_at);
         let distinct_values = {
             let mut entries: Vec<_> = post.iter().map(|v| &v.entry).collect();
@@ -99,7 +101,13 @@ pub fn merge_branches(diverged_at: SimTime, branches: &[&Engine]) -> MergeOutcom
         records.push((uid, winner.clone()));
     }
 
-    MergeOutcome { snapshot: EngineSnapshot { records, last_lsn: max_lsn }, stats }
+    MergeOutcome {
+        snapshot: EngineSnapshot {
+            records,
+            last_lsn: max_lsn,
+        },
+        stats,
+    }
 }
 
 /// How long the restoration process takes, as a function of the number of
@@ -236,8 +244,10 @@ mod tests {
         let ra = Engine::from_snapshot(SeId(0), out.snapshot.clone());
         let rb = Engine::from_snapshot(SeId(1), out.snapshot.clone());
         let state = |e: &Engine| {
-            let mut v: Vec<_> =
-                e.iter_committed().map(|(u, ver)| (*u, ver.entry.clone())).collect();
+            let mut v: Vec<_> = e
+                .iter_committed()
+                .map(|(u, ver)| (*u, ver.entry.clone()))
+                .collect();
             v.sort_by_key(|(u, _)| *u);
             v
         };

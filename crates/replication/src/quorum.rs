@@ -27,14 +27,24 @@ pub struct QuorumWriteOutcome {
 /// unreachable). `responses` covers all `n` ensemble members, master
 /// included with its (near-zero) local RTT.
 pub fn quorum_write(responses: &[(SeId, Option<SimDuration>)], w: usize) -> QuorumWriteOutcome {
-    let mut acks: Vec<(SeId, SimDuration)> =
-        responses.iter().filter_map(|(se, rtt)| rtt.map(|d| (*se, d))).collect();
+    let mut acks: Vec<(SeId, SimDuration)> = responses
+        .iter()
+        .filter_map(|(se, rtt)| rtt.map(|d| (*se, d)))
+        .collect();
     acks.sort_by_key(|(_, d)| *d);
     let applied: Vec<SeId> = acks.iter().map(|(se, _)| *se).collect();
     if acks.len() >= w && w > 0 {
-        QuorumWriteOutcome { committed: true, latency: acks[w - 1].1, applied }
+        QuorumWriteOutcome {
+            committed: true,
+            latency: acks[w - 1].1,
+            applied,
+        }
     } else {
-        QuorumWriteOutcome { committed: false, latency: SimDuration::ZERO, applied }
+        QuorumWriteOutcome {
+            committed: false,
+            latency: SimDuration::ZERO,
+            applied,
+        }
     }
 }
 
@@ -59,10 +69,22 @@ pub fn quorum_read(
     acks.sort_by_key(|(d, _)| *d);
     if acks.len() >= r && r > 0 {
         let consulted = &acks[..r];
-        let freshest = consulted.iter().map(|(_, lsn)| *lsn).max().unwrap_or(Lsn::ZERO);
-        QuorumReadOutcome { served: true, latency: consulted[r - 1].0, freshest }
+        let freshest = consulted
+            .iter()
+            .map(|(_, lsn)| *lsn)
+            .max()
+            .unwrap_or(Lsn::ZERO);
+        QuorumReadOutcome {
+            served: true,
+            latency: consulted[r - 1].0,
+            freshest,
+        }
     } else {
-        QuorumReadOutcome { served: false, latency: SimDuration::ZERO, freshest: Lsn::ZERO }
+        QuorumReadOutcome {
+            served: false,
+            latency: SimDuration::ZERO,
+            freshest: Lsn::ZERO,
+        }
     }
 }
 
@@ -124,7 +146,11 @@ mod tests {
 
     #[test]
     fn read_fails_without_quorum() {
-        let responses = vec![(SeId(0), Some((ms(1), Lsn(1)))), (SeId(1), None), (SeId(2), None)];
+        let responses = vec![
+            (SeId(0), Some((ms(1), Lsn(1)))),
+            (SeId(1), None),
+            (SeId(2), None),
+        ];
         assert!(!quorum_read(&responses, 2).served);
     }
 

@@ -56,7 +56,11 @@ impl AsyncShipper {
     pub fn register_slave(&mut self, slave: SeId, applied: Lsn) {
         self.channels.insert(
             slave,
-            Channel { applied, inflight: applied, last_arrival: SimTime::ZERO },
+            Channel {
+                applied,
+                inflight: applied,
+                last_arrival: SimTime::ZERO,
+            },
         );
     }
 
@@ -95,7 +99,11 @@ impl AsyncShipper {
         ch.inflight = record.lsn;
         ch.last_arrival = arrives;
         self.shipped += 1;
-        Some(Delivery { slave, record: record.clone(), arrives })
+        Some(Delivery {
+            slave,
+            record: record.clone(),
+            arrives,
+        })
     }
 
     /// Confirm that `slave` applied everything through `lsn`.
@@ -140,7 +148,11 @@ impl AsyncShipper {
         let mut arrives = (now + delay).max(ch.last_arrival);
         let mut deliveries = Vec::with_capacity(records.len());
         for record in records {
-            deliveries.push(Delivery { slave, record: record.clone(), arrives });
+            deliveries.push(Delivery {
+                slave,
+                record: record.clone(),
+                arrives,
+            });
             ch.inflight = record.lsn;
             ch.last_arrival = arrives;
             // Records in the same batch arrive 1 µs apart (stream order).
@@ -207,7 +219,12 @@ mod tests {
 
         // First record: 10 ms delay.
         let d1 = shipper
-            .ship(SeId(1), &recs[0], SimTime(0), Some(SimDuration::from_millis(10)))
+            .ship(
+                SeId(1),
+                &recs[0],
+                SimTime(0),
+                Some(SimDuration::from_millis(10)),
+            )
             .unwrap();
         // Second record sent 1 ms later but sampled a 2 ms delay: FIFO
         // clamps its arrival to not precede the first.
@@ -310,8 +327,7 @@ mod tests {
         let mut shipper = AsyncShipper::new();
         shipper.register_slave(SeId(1), Lsn(2));
         assert!(!shipper.needs_reseed(SeId(1), &master));
-        let deliveries =
-            shipper.catch_up(SeId(1), &master, SimTime(0), Some(SimDuration::ZERO));
+        let deliveries = shipper.catch_up(SeId(1), &master, SimTime(0), Some(SimDuration::ZERO));
         assert_eq!(deliveries.len(), 3);
     }
 
@@ -320,7 +336,9 @@ mod tests {
         let mut master = Engine::new(SeId(0));
         let recs = commit_n(&mut master, 1);
         let mut shipper = AsyncShipper::new();
-        assert!(shipper.ship(SeId(9), &recs[0], SimTime(0), Some(SimDuration::ZERO)).is_none());
+        assert!(shipper
+            .ship(SeId(9), &recs[0], SimTime(0), Some(SimDuration::ZERO))
+            .is_none());
         assert!(shipper.applied(SeId(9)).is_none());
         assert!(!shipper.needs_reseed(SeId(9), &master));
     }

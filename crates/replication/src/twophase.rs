@@ -105,11 +105,16 @@ pub fn two_phase_commit(
         }
     }
     if blocked.is_empty() {
-        TwoPcOutcome::Committed { latency: prepare_latency + commit_latency }
+        TwoPcOutcome::Committed {
+            latency: prepare_latency + commit_latency,
+        }
     } else {
         // Prepared participants that cannot hear the decision hold their
         // write locks until reconnection: the classic 2PC blocking hazard.
-        TwoPcOutcome::InDoubt { latency: prepare_latency + timeout, blocked }
+        TwoPcOutcome::InDoubt {
+            latency: prepare_latency + timeout,
+            blocked,
+        }
     }
 }
 
@@ -144,8 +149,7 @@ mod tests {
 
     #[test]
     fn single_participant_is_cheap() {
-        let out =
-            two_phase_commit(&[SeId(0)], &[Some(ms(1))], &[Some(ms(1))], &[true], TIMEOUT);
+        let out = two_phase_commit(&[SeId(0)], &[Some(ms(1))], &[Some(ms(1))], &[true], TIMEOUT);
         assert_eq!(out, TwoPcOutcome::Committed { latency: ms(2) });
     }
 
@@ -176,7 +180,13 @@ mod tests {
             &[true, true],
             TIMEOUT,
         );
-        assert_eq!(out, TwoPcOutcome::Aborted { latency: TIMEOUT, culprit: SeId(1) });
+        assert_eq!(
+            out,
+            TwoPcOutcome::Aborted {
+                latency: TIMEOUT,
+                culprit: SeId(1)
+            }
+        );
     }
 
     #[test]

@@ -22,8 +22,11 @@ struct BranchWrite {
 
 fn writes_strategy() -> impl Strategy<Value = Vec<BranchWrite>> {
     prop::collection::vec(
-        (0u64..12, any::<u64>(), 1u64..1000)
-            .prop_map(|(uid, val, at)| BranchWrite { uid, val, at }),
+        (0u64..12, any::<u64>(), 1u64..1000).prop_map(|(uid, val, at)| BranchWrite {
+            uid,
+            val,
+            at,
+        }),
         0..30,
     )
 }
@@ -39,13 +42,20 @@ fn apply_writes(engine: &mut Engine, diverged: SimTime, writes: &[BranchWrite]) 
     sorted.sort_by_key(|w| w.at);
     for w in &sorted {
         let t = engine.begin(IsolationLevel::ReadCommitted);
-        engine.put(t, SubscriberUid(w.uid), entry_with(w.val)).unwrap();
-        engine.commit(t, SimTime(diverged.as_nanos() + w.at)).unwrap();
+        engine
+            .put(t, SubscriberUid(w.uid), entry_with(w.val))
+            .unwrap();
+        engine
+            .commit(t, SimTime(diverged.as_nanos() + w.at))
+            .unwrap();
     }
 }
 
 fn snapshot_state(s: &udr_storage::EngineSnapshot) -> Vec<(u64, Option<Entry>)> {
-    s.records.iter().map(|(u, v)| (u.raw(), v.entry.clone())).collect()
+    s.records
+        .iter()
+        .map(|(u, v)| (u.raw(), v.entry.clone()))
+        .collect()
 }
 
 proptest! {

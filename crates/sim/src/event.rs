@@ -33,7 +33,10 @@ impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so earliest time pops first,
         // breaking ties by insertion sequence (FIFO).
-        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -61,7 +64,12 @@ pub struct EventQueue<E> {
 impl<E> EventQueue<E> {
     /// An empty queue at t = 0.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), now: SimTime::ZERO, seq: 0, processed: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            processed: 0,
+        }
     }
 
     /// Current virtual time (the timestamp of the last popped event).
@@ -89,7 +97,11 @@ impl<E> EventQueue<E> {
     /// clamped to `now` (the event fires immediately, preserving order).
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
         let at = at.max(self.now);
-        self.heap.push(Scheduled { at, seq: self.seq, event });
+        self.heap.push(Scheduled {
+            at,
+            seq: self.seq,
+            event,
+        });
         self.seq += 1;
     }
 

@@ -59,7 +59,10 @@ impl FaultSchedule {
     ) -> Self {
         self.entries.push((
             at,
-            Fault::Partition { island: island.into_iter().collect(), duration },
+            Fault::Partition {
+                island: island.into_iter().collect(),
+                duration,
+            },
         ));
         self
     }
@@ -105,9 +108,12 @@ impl Fault {
     /// For partition-like faults, the cut to apply and its duration.
     pub fn as_cut(&self, total_sites: usize) -> Option<(Cut, SimDuration)> {
         match self {
-            Fault::Partition { island, duration } => {
-                Some((Cut { island: island.clone() }, *duration))
-            }
+            Fault::Partition { island, duration } => Some((
+                Cut {
+                    island: island.clone(),
+                },
+                *duration,
+            )),
             Fault::BackboneGlitch { duration: _ } => {
                 // Isolate every site: equivalent to cutting each site off.
                 // One cut per site except the last is enough, but a single

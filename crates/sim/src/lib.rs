@@ -21,6 +21,8 @@ pub mod service;
 
 pub use event::EventQueue;
 pub use faults::{Fault, FaultSchedule};
-pub use net::{Cut, CutHandle, LatencyModel, LinkOutcome, LinkProfile, NetStats, Network, Topology};
+pub use net::{
+    Cut, CutHandle, LatencyModel, LinkOutcome, LinkProfile, NetStats, Network, Topology,
+};
 pub use rng::SimRng;
 pub use service::{Overload, Station};

@@ -52,14 +52,22 @@ impl LatencyModel {
 
     /// Long-haul backbone with a given median one-way delay.
     pub fn wan(median: SimDuration) -> Self {
-        LatencyModel::LogNormal { median, sigma: 0.25, floor: median.mul_f64(0.6) }
+        LatencyModel::LogNormal {
+            median,
+            sigma: 0.25,
+            floor: median.mul_f64(0.6),
+        }
     }
 
     /// Draw a one-way delay.
     pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
         match self {
             LatencyModel::Fixed(d) => *d,
-            LatencyModel::LogNormal { median, sigma, floor } => {
+            LatencyModel::LogNormal {
+                median,
+                sigma,
+                floor,
+            } => {
                 let v = rng.log_normal(median.as_nanos() as f64, *sigma);
                 SimDuration::from_nanos(v as u64).max(*floor)
             }
@@ -153,7 +161,9 @@ pub struct Cut {
 impl Cut {
     /// Build a cut isolating the given sites.
     pub fn isolating<I: IntoIterator<Item = SiteId>>(sites: I) -> Self {
-        Cut { island: sites.into_iter().collect() }
+        Cut {
+            island: sites.into_iter().collect(),
+        }
     }
 
     /// Whether this cut separates `a` from `b`.
@@ -215,7 +225,12 @@ pub struct CutHandle(u64);
 impl Network {
     /// Wrap a topology with no active partitions.
     pub fn new(topo: Topology) -> Self {
-        Network { topo, cuts: Vec::new(), next_cut_id: 0, stats: NetStats::default() }
+        Network {
+            topo,
+            cuts: Vec::new(),
+            next_cut_id: 0,
+            stats: NetStats::default(),
+        }
     }
 
     /// The underlying topology.
@@ -348,9 +363,18 @@ mod tests {
         let mut n = net3();
         let mut rng = SimRng::seed_from_u64(5);
         let h = n.start_partition(Cut::isolating([SiteId(2)]));
-        assert_eq!(n.send(SiteId(0), SiteId(2), &mut rng), LinkOutcome::Unreachable);
-        assert!(matches!(n.send(SiteId(0), SiteId(1), &mut rng), LinkOutcome::Delivered(_)));
-        assert!(matches!(n.send(SiteId(0), SiteId(0), &mut rng), LinkOutcome::Delivered(_)));
+        assert_eq!(
+            n.send(SiteId(0), SiteId(2), &mut rng),
+            LinkOutcome::Unreachable
+        );
+        assert!(matches!(
+            n.send(SiteId(0), SiteId(1), &mut rng),
+            LinkOutcome::Delivered(_)
+        ));
+        assert!(matches!(
+            n.send(SiteId(0), SiteId(0), &mut rng),
+            LinkOutcome::Delivered(_)
+        ));
         n.heal_partition(h);
         assert_eq!(n.stats.attempts, 3);
         assert_eq!(n.stats.blocked, 1);

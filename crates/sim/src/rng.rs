@@ -17,7 +17,9 @@ pub struct SimRng {
 impl SimRng {
     /// Create from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
-        SimRng { inner: StdRng::seed_from_u64(seed) }
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Derive an independent child stream (used so that e.g. traffic and

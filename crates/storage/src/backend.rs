@@ -1,0 +1,216 @@
+//! The [`StorageBackend`] seam: the storage-element transaction surface
+//! the operation pipeline in `udr-core` programs against.
+//!
+//! §3.2 decision 1 makes the SE the transaction boundary — ACID inside
+//! one element, nothing across elements. This trait captures exactly that
+//! boundary: per-partition transactions, committed reads for the slave
+//! path, and the commit record + simulated commit cost the replication
+//! layer consumes. [`StorageElement`] (the in-RAM engine with durability
+//! and crash lifecycle) is the production implementation; alternative
+//! backends (disk-backed, remote) only need this surface to slot into
+//! the pipeline.
+
+use udr_model::attrs::{AttrMod, Entry};
+use udr_model::config::IsolationLevel;
+use udr_model::error::UdrResult;
+use udr_model::ids::{PartitionId, SeId, SiteId, SubscriberUid};
+use udr_model::time::{SimDuration, SimTime};
+
+use crate::durability::CostModel;
+use crate::engine::TxnId;
+use crate::se::StorageElement;
+use crate::version::{CommitRecord, Lsn};
+
+/// The transactional surface of one storage element.
+pub trait StorageBackend {
+    /// Backend identity.
+    fn id(&self) -> SeId;
+
+    /// Hosting site (the pipeline needs it for routing and RTT sampling).
+    fn site(&self) -> SiteId;
+
+    /// Whether the backend currently serves traffic.
+    fn is_up(&self) -> bool;
+
+    /// The engine cost model in force.
+    fn cost_model(&self) -> &CostModel;
+
+    /// Begin a transaction on this backend's copy of `partition`.
+    fn begin(&mut self, partition: PartitionId, isolation: IsolationLevel) -> UdrResult<TxnId>;
+
+    /// Transactional read.
+    fn read(
+        &self,
+        partition: PartitionId,
+        txn: TxnId,
+        uid: SubscriberUid,
+    ) -> UdrResult<Option<Entry>>;
+
+    /// Non-transactional read of the latest committed version (the slave
+    /// read path of §3.3.2 and the quorum consult path of §5).
+    fn read_committed(
+        &self,
+        partition: PartitionId,
+        uid: SubscriberUid,
+    ) -> UdrResult<Option<Entry>>;
+
+    /// Stage an insert (master only).
+    fn insert(
+        &mut self,
+        partition: PartitionId,
+        txn: TxnId,
+        uid: SubscriberUid,
+        entry: Entry,
+    ) -> UdrResult<()>;
+
+    /// Stage attribute modifications (master only).
+    fn modify(
+        &mut self,
+        partition: PartitionId,
+        txn: TxnId,
+        uid: SubscriberUid,
+        mods: &[AttrMod],
+    ) -> UdrResult<()>;
+
+    /// Stage a delete (master only).
+    fn delete(&mut self, partition: PartitionId, txn: TxnId, uid: SubscriberUid) -> UdrResult<()>;
+
+    /// Commit; returns the record for replication plus the simulated
+    /// commit latency under the backend's durability mode.
+    fn commit(
+        &mut self,
+        partition: PartitionId,
+        txn: TxnId,
+        now: SimTime,
+    ) -> UdrResult<(Option<CommitRecord>, SimDuration)>;
+
+    /// Abort a transaction.
+    fn abort(&mut self, partition: PartitionId, txn: TxnId);
+
+    /// Last committed LSN of this backend's copy of `partition`.
+    fn last_lsn(&self, partition: PartitionId) -> UdrResult<Lsn>;
+}
+
+impl StorageBackend for StorageElement {
+    fn id(&self) -> SeId {
+        StorageElement::id(self)
+    }
+
+    fn site(&self) -> SiteId {
+        StorageElement::site(self)
+    }
+
+    fn is_up(&self) -> bool {
+        StorageElement::is_up(self)
+    }
+
+    fn cost_model(&self) -> &CostModel {
+        StorageElement::cost_model(self)
+    }
+
+    fn begin(&mut self, partition: PartitionId, isolation: IsolationLevel) -> UdrResult<TxnId> {
+        StorageElement::begin(self, partition, isolation)
+    }
+
+    fn read(
+        &self,
+        partition: PartitionId,
+        txn: TxnId,
+        uid: SubscriberUid,
+    ) -> UdrResult<Option<Entry>> {
+        StorageElement::read(self, partition, txn, uid)
+    }
+
+    fn read_committed(
+        &self,
+        partition: PartitionId,
+        uid: SubscriberUid,
+    ) -> UdrResult<Option<Entry>> {
+        StorageElement::read_committed(self, partition, uid)
+    }
+
+    fn insert(
+        &mut self,
+        partition: PartitionId,
+        txn: TxnId,
+        uid: SubscriberUid,
+        entry: Entry,
+    ) -> UdrResult<()> {
+        StorageElement::insert(self, partition, txn, uid, entry)
+    }
+
+    fn modify(
+        &mut self,
+        partition: PartitionId,
+        txn: TxnId,
+        uid: SubscriberUid,
+        mods: &[AttrMod],
+    ) -> UdrResult<()> {
+        StorageElement::modify(self, partition, txn, uid, mods)
+    }
+
+    fn delete(&mut self, partition: PartitionId, txn: TxnId, uid: SubscriberUid) -> UdrResult<()> {
+        StorageElement::delete(self, partition, txn, uid)
+    }
+
+    fn commit(
+        &mut self,
+        partition: PartitionId,
+        txn: TxnId,
+        now: SimTime,
+    ) -> UdrResult<(Option<CommitRecord>, SimDuration)> {
+        StorageElement::commit(self, partition, txn, now)
+    }
+
+    fn abort(&mut self, partition: PartitionId, txn: TxnId) {
+        StorageElement::abort(self, partition, txn);
+    }
+
+    fn last_lsn(&self, partition: PartitionId) -> UdrResult<Lsn> {
+        StorageElement::last_lsn(self, partition)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udr_model::attrs::AttrId;
+    use udr_model::config::DurabilityMode;
+    use udr_model::ids::ReplicaRole;
+
+    /// A full write→read cycle driven purely through `dyn StorageBackend`,
+    /// the way the pipeline's storage stage uses it.
+    #[test]
+    fn storage_element_serves_through_the_trait() {
+        let mut se = StorageElement::new(SeId(0), SiteId(0), DurabilityMode::None);
+        se.add_replica(PartitionId(0), ReplicaRole::Master);
+        let backend: &mut dyn StorageBackend = &mut se;
+        assert!(backend.is_up());
+
+        let txn = backend
+            .begin(PartitionId(0), IsolationLevel::ReadCommitted)
+            .unwrap();
+        let mut entry = Entry::new();
+        entry.set(AttrId::Msisdn, "34600000001");
+        backend
+            .insert(PartitionId(0), txn, SubscriberUid(1), entry)
+            .unwrap();
+        let (record, cost) = backend.commit(PartitionId(0), txn, SimTime(0)).unwrap();
+        assert!(record.is_some());
+        assert_eq!(cost, backend.cost_model().commit_cost(DurabilityMode::None));
+
+        let txn = backend
+            .begin(PartitionId(0), IsolationLevel::ReadCommitted)
+            .unwrap();
+        assert!(backend
+            .read(PartitionId(0), txn, SubscriberUid(1))
+            .unwrap()
+            .is_some());
+        backend.abort(PartitionId(0), txn);
+        assert!(backend
+            .read_committed(PartitionId(0), SubscriberUid(1))
+            .unwrap()
+            .is_some());
+        assert_eq!(backend.last_lsn(PartitionId(0)).unwrap(), Lsn(1));
+    }
+}

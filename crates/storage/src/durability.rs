@@ -100,7 +100,10 @@ impl Disk {
 
     /// Total bytes on disk.
     pub fn approx_bytes(&self) -> usize {
-        self.snapshots.values().map(EngineSnapshot::approx_bytes).sum()
+        self.snapshots
+            .values()
+            .map(EngineSnapshot::approx_bytes)
+            .sum()
     }
 }
 
@@ -127,10 +130,11 @@ impl SnapshotScheduler {
     pub fn due(&mut self, now: SimTime) -> bool {
         match self.mode {
             DurabilityMode::PeriodicSnapshot { interval }
-                if now.duration_since(self.last) >= interval => {
-                    self.last = now;
-                    true
-                }
+                if now.duration_since(self.last) >= interval =>
+            {
+                self.last = now;
+                true
+            }
             _ => false,
         }
     }
@@ -153,15 +157,17 @@ mod tests {
     fn commit_cost_by_mode() {
         let c = CostModel::default();
         assert_eq!(c.commit_cost(DurabilityMode::None), c.commit_ram);
-        assert_eq!(c.commit_cost(DurabilityMode::periodic_default()), c.commit_ram);
+        assert_eq!(
+            c.commit_cost(DurabilityMode::periodic_default()),
+            c.commit_ram
+        );
         assert_eq!(
             c.commit_cost(DurabilityMode::SyncCommit),
             c.commit_ram + c.commit_fsync
         );
         // Footnote 6: sync commit is orders of magnitude slower.
         assert!(
-            c.commit_cost(DurabilityMode::SyncCommit)
-                > c.commit_cost(DurabilityMode::None) * 100
+            c.commit_cost(DurabilityMode::SyncCommit) > c.commit_cost(DurabilityMode::None) * 100
         );
     }
 
@@ -187,14 +193,19 @@ mod tests {
 
     #[test]
     fn periodic_scheduler_fires_on_interval() {
-        let mode = DurabilityMode::PeriodicSnapshot { interval: SimDuration::from_secs(30) };
+        let mode = DurabilityMode::PeriodicSnapshot {
+            interval: SimDuration::from_secs(30),
+        };
         let mut s = SnapshotScheduler::new(mode, SimTime::ZERO);
         assert!(!s.due(SimTime::ZERO + SimDuration::from_secs(29)));
         assert!(s.due(SimTime::ZERO + SimDuration::from_secs(30)));
         // Anchor advanced: not due again immediately.
         assert!(!s.due(SimTime::ZERO + SimDuration::from_secs(31)));
         assert!(s.due(SimTime::ZERO + SimDuration::from_secs(60)));
-        assert_eq!(s.next_due(), Some(SimTime::ZERO + SimDuration::from_secs(90)));
+        assert_eq!(
+            s.next_due(),
+            Some(SimTime::ZERO + SimDuration::from_secs(90))
+        );
     }
 
     #[test]

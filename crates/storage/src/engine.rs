@@ -46,7 +46,10 @@ pub struct EngineSnapshot {
 impl EngineSnapshot {
     /// An empty snapshot (a brand-new replica).
     pub fn empty() -> Self {
-        EngineSnapshot { records: Vec::new(), last_lsn: Lsn::ZERO }
+        EngineSnapshot {
+            records: Vec::new(),
+            last_lsn: Lsn::ZERO,
+        }
     }
 
     /// Approximate serialised size in bytes (drives snapshot-cost models).
@@ -124,7 +127,13 @@ impl Engine {
     pub fn begin(&mut self, isolation: IsolationLevel) -> TxnId {
         let id = TxnId(self.next_txn);
         self.next_txn += 1;
-        self.active.insert(id, ActiveTxn { isolation, writes: BTreeMap::new() });
+        self.active.insert(
+            id,
+            ActiveTxn {
+                isolation,
+                writes: BTreeMap::new(),
+            },
+        );
         id
     }
 
@@ -213,7 +222,9 @@ impl Engine {
 
     /// Apply attribute-level modifications to an existing record.
     pub fn modify(&mut self, id: TxnId, uid: SubscriberUid, mods: &[AttrMod]) -> UdrResult<()> {
-        let mut entry = self.visible_for_write(id, uid)?.ok_or(UdrError::NotFound(uid))?;
+        let mut entry = self
+            .visible_for_write(id, uid)?
+            .ok_or(UdrError::NotFound(uid))?;
         entry.apply(mods);
         self.stage(id, uid, Some(entry))
     }
@@ -249,7 +260,12 @@ impl Engine {
             );
             changes.push(Change { uid, entry });
         }
-        let record = CommitRecord { lsn, committed_at: now, written_by: self.se, changes };
+        let record = CommitRecord {
+            lsn,
+            committed_at: now,
+            written_by: self.se,
+            changes,
+        };
         self.log.append(record.clone());
         self.commit_count += 1;
         Ok(Some(record))
@@ -270,7 +286,9 @@ impl Engine {
     pub fn apply_replicated(&mut self, record: &CommitRecord) -> UdrResult<()> {
         let expected = self.log.last_lsn().next();
         if record.lsn != expected {
-            return Err(UdrError::TxnAborted { reason: "replication LSN gap" });
+            return Err(UdrError::TxnAborted {
+                reason: "replication LSN gap",
+            });
         }
         for change in &record.changes {
             self.committed.insert(
@@ -305,15 +323,24 @@ impl Engine {
 
     /// Take a durability snapshot of the committed state.
     pub fn snapshot(&self) -> EngineSnapshot {
-        let mut records: Vec<_> =
-            self.committed.iter().map(|(k, v)| (*k, v.clone())).collect();
+        let mut records: Vec<_> = self
+            .committed
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
         records.sort_by_key(|(k, _)| *k);
-        EngineSnapshot { records, last_lsn: self.log.last_lsn() }
+        EngineSnapshot {
+            records,
+            last_lsn: self.log.last_lsn(),
+        }
     }
 
     /// Number of live (non-tombstone) records.
     pub fn live_records(&self) -> usize {
-        self.committed.values().filter(|v| v.entry.is_some()).count()
+        self.committed
+            .values()
+            .filter(|v| v.entry.is_some())
+            .count()
     }
 
     /// Approximate RAM footprint of committed data, in bytes.
@@ -359,7 +386,10 @@ mod tests {
         assert_eq!(rec.lsn, Lsn(1));
         assert_eq!(rec.len(), 1);
         let got = eng.read_committed(uid(1)).unwrap();
-        assert_eq!(got.get(AttrId::Msisdn).and_then(AttrValue::as_str), Some("111"));
+        assert_eq!(
+            got.get(AttrId::Msisdn).and_then(AttrValue::as_str),
+            Some("111")
+        );
     }
 
     #[test]
@@ -369,7 +399,10 @@ mod tests {
         eng.insert(t, uid(1), entry("111")).unwrap();
         eng.commit(t, SimTime(0)).unwrap();
         let t2 = eng.begin(IsolationLevel::ReadCommitted);
-        assert_eq!(eng.insert(t2, uid(1), entry("222")), Err(UdrError::AlreadyExists(uid(1))));
+        assert_eq!(
+            eng.insert(t2, uid(1), entry("222")),
+            Err(UdrError::AlreadyExists(uid(1)))
+        );
     }
 
     #[test]
@@ -386,11 +419,17 @@ mod tests {
         // is not blocked by the writer's lock (§3.2 decision 2).
         let reader = eng.begin(IsolationLevel::ReadCommitted);
         let seen = eng.read(reader, uid(1)).unwrap().unwrap();
-        assert_eq!(seen.get(AttrId::Msisdn).and_then(AttrValue::as_str), Some("old"));
+        assert_eq!(
+            seen.get(AttrId::Msisdn).and_then(AttrValue::as_str),
+            Some("old")
+        );
 
         eng.commit(writer, SimTime(1)).unwrap();
         let seen = eng.read(reader, uid(1)).unwrap().unwrap();
-        assert_eq!(seen.get(AttrId::Msisdn).and_then(AttrValue::as_str), Some("new"));
+        assert_eq!(
+            seen.get(AttrId::Msisdn).and_then(AttrValue::as_str),
+            Some("new")
+        );
     }
 
     #[test]
@@ -401,7 +440,10 @@ mod tests {
 
         let reader = eng.begin(IsolationLevel::ReadUncommitted);
         let seen = eng.read(reader, uid(1)).unwrap().unwrap();
-        assert_eq!(seen.get(AttrId::Msisdn).and_then(AttrValue::as_str), Some("dirty"));
+        assert_eq!(
+            seen.get(AttrId::Msisdn).and_then(AttrValue::as_str),
+            Some("dirty")
+        );
 
         // If the writer aborts, the dirty read turns out to have been wrong —
         // exactly the hazard the paper accepts for cross-SE transactions.
@@ -415,7 +457,10 @@ mod tests {
         let t = eng.begin(IsolationLevel::ReadCommitted);
         eng.insert(t, uid(1), entry("mine")).unwrap();
         let seen = eng.read(t, uid(1)).unwrap().unwrap();
-        assert_eq!(seen.get(AttrId::Msisdn).and_then(AttrValue::as_str), Some("mine"));
+        assert_eq!(
+            seen.get(AttrId::Msisdn).and_then(AttrValue::as_str),
+            Some("mine")
+        );
     }
 
     #[test]
@@ -428,14 +473,20 @@ mod tests {
         let a = eng.begin(IsolationLevel::ReadCommitted);
         let b = eng.begin(IsolationLevel::ReadCommitted);
         eng.put(a, uid(1), entry("a")).unwrap();
-        assert_eq!(eng.put(b, uid(1), entry("b")), Err(UdrError::WriteConflict(uid(1))));
+        assert_eq!(
+            eng.put(b, uid(1), entry("b")),
+            Err(UdrError::WriteConflict(uid(1)))
+        );
         assert_eq!(eng.conflict_count, 1);
         // After the holder commits, the other can retry.
         eng.commit(a, SimTime(1)).unwrap();
         eng.put(b, uid(1), entry("b")).unwrap();
         eng.commit(b, SimTime(2)).unwrap();
         let seen = eng.read_committed(uid(1)).unwrap();
-        assert_eq!(seen.get(AttrId::Msisdn).and_then(AttrValue::as_str), Some("b"));
+        assert_eq!(
+            seen.get(AttrId::Msisdn).and_then(AttrValue::as_str),
+            Some("b")
+        );
     }
 
     #[test]
@@ -443,11 +494,20 @@ mod tests {
         let mut eng = Engine::new(SeId(0));
         let t = eng.begin(IsolationLevel::ReadCommitted);
         assert_eq!(
-            eng.modify(t, uid(9), &[AttrMod::Set(AttrId::OdbMask, AttrValue::U64(1))]),
+            eng.modify(
+                t,
+                uid(9),
+                &[AttrMod::Set(AttrId::OdbMask, AttrValue::U64(1))]
+            ),
             Err(UdrError::NotFound(uid(9)))
         );
         eng.insert(t, uid(9), entry("m")).unwrap();
-        eng.modify(t, uid(9), &[AttrMod::Set(AttrId::OdbMask, AttrValue::U64(7))]).unwrap();
+        eng.modify(
+            t,
+            uid(9),
+            &[AttrMod::Set(AttrId::OdbMask, AttrValue::U64(7))],
+        )
+        .unwrap();
         eng.commit(t, SimTime(0)).unwrap();
         let e = eng.read_committed(uid(9)).unwrap();
         assert_eq!(e.get(AttrId::OdbMask).and_then(AttrValue::as_u64), Some(7));

@@ -19,6 +19,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod durability;
 pub mod engine;
 pub mod log;
@@ -26,6 +27,7 @@ pub mod se;
 pub mod shared;
 pub mod version;
 
+pub use backend::StorageBackend;
 pub use durability::{CostModel, Disk, SnapshotScheduler};
 pub use engine::{Engine, EngineSnapshot, TxnId};
 pub use log::CommitLog;

@@ -22,13 +22,21 @@ pub struct CommitLog {
 impl CommitLog {
     /// An empty log starting at LSN 1.
     pub fn new() -> Self {
-        CommitLog { records: Vec::new(), base: Lsn(1), last: Lsn::ZERO }
+        CommitLog {
+            records: Vec::new(),
+            base: Lsn(1),
+            last: Lsn::ZERO,
+        }
     }
 
     /// An empty log that continues after `last` (used when restoring a
     /// replica from a snapshot taken at `last`).
     pub fn starting_after(last: Lsn) -> Self {
-        CommitLog { records: Vec::new(), base: last.next(), last }
+        CommitLog {
+            records: Vec::new(),
+            base: last.next(),
+            last,
+        }
     }
 
     /// LSN of the most recent record (ZERO when nothing ever committed).
@@ -120,7 +128,10 @@ mod tests {
             lsn: Lsn(lsn),
             committed_at: SimTime(lsn * 10),
             written_by: SeId(0),
-            changes: vec![Change { uid: SubscriberUid(lsn), entry: None }],
+            changes: vec![Change {
+                uid: SubscriberUid(lsn),
+                entry: None,
+            }],
         }
     }
 

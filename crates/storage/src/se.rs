@@ -106,7 +106,13 @@ impl StorageElement {
 
     /// Host a new (empty) replica of `partition` with the given role.
     pub fn add_replica(&mut self, partition: PartitionId, role: ReplicaRole) {
-        self.replicas.insert(partition, Replica { engine: Engine::new(self.id), role });
+        self.replicas.insert(
+            partition,
+            Replica {
+                engine: Engine::new(self.id),
+                role,
+            },
+        );
     }
 
     /// Host a replica seeded from a snapshot (slave catch-up / rejoin).
@@ -136,7 +142,10 @@ impl StorageElement {
         self.replicas
             .get_mut(&partition)
             .map(|r| r.role = role)
-            .ok_or(UdrError::Config(format!("{} hosts no replica of {partition}", self.id)))
+            .ok_or(UdrError::Config(format!(
+                "{} hosts no replica of {partition}",
+                self.id
+            )))
     }
 
     fn check_up(&self) -> UdrResult<()> {
@@ -150,14 +159,19 @@ impl StorageElement {
     fn replica(&self, partition: PartitionId) -> UdrResult<&Replica> {
         self.replicas
             .get(&partition)
-            .ok_or(UdrError::Config(format!("{} hosts no replica of {partition}", self.id)))
+            .ok_or(UdrError::Config(format!(
+                "{} hosts no replica of {partition}",
+                self.id
+            )))
     }
 
     fn replica_mut(&mut self, partition: PartitionId) -> UdrResult<&mut Replica> {
         let id = self.id;
         self.replicas
             .get_mut(&partition)
-            .ok_or(UdrError::Config(format!("{id} hosts no replica of {partition}")))
+            .ok_or(UdrError::Config(format!(
+                "{id} hosts no replica of {partition}"
+            )))
     }
 
     fn writable_engine(&mut self, partition: PartitionId) -> UdrResult<&mut Engine> {
@@ -364,7 +378,11 @@ impl StorageElement {
         let mut recovered = Vec::new();
         let partitions: Vec<PartitionId> = self.disk.partitions().collect();
         for pid in partitions {
-            let snap = self.disk.load(pid).cloned().expect("listed partition has snapshot");
+            let snap = self
+                .disk
+                .load(pid)
+                .cloned()
+                .expect("listed partition has snapshot");
             let lsn = snap.last_lsn;
             self.seed_replica(pid, ReplicaRole::Slave, snap);
             recovered.push((pid, lsn));
@@ -375,12 +393,18 @@ impl StorageElement {
 
     /// Total live records across replicas.
     pub fn live_records(&self) -> usize {
-        self.replicas.values().map(|r| r.engine.live_records()).sum()
+        self.replicas
+            .values()
+            .map(|r| r.engine.live_records())
+            .sum()
     }
 
     /// Approximate RAM use across replicas, in bytes.
     pub fn approx_bytes(&self) -> usize {
-        self.replicas.values().map(|r| r.engine.approx_bytes()).sum()
+        self.replicas
+            .values()
+            .map(|r| r.engine.approx_bytes())
+            .sum()
     }
 
     /// The simulated disk (diagnostics).
@@ -407,8 +431,11 @@ mod tests {
     }
 
     fn write_one(se: &mut StorageElement, uid: u64, v: &str, now: SimTime) -> CommitRecord {
-        let t = se.begin(PartitionId(0), IsolationLevel::ReadCommitted).unwrap();
-        se.put(PartitionId(0), t, SubscriberUid(uid), entry(v)).unwrap();
+        let t = se
+            .begin(PartitionId(0), IsolationLevel::ReadCommitted)
+            .unwrap();
+        se.put(PartitionId(0), t, SubscriberUid(uid), entry(v))
+            .unwrap();
         se.commit(PartitionId(0), t, now).unwrap().0.unwrap()
     }
 
@@ -416,11 +443,24 @@ mod tests {
     fn write_requires_master_role() {
         let mut se = StorageElement::new(SeId(1), SiteId(0), DurabilityMode::None);
         se.add_replica(PartitionId(0), ReplicaRole::Slave);
-        let t = se.begin(PartitionId(0), IsolationLevel::ReadCommitted).unwrap();
-        let err = se.put(PartitionId(0), t, SubscriberUid(1), entry("x")).unwrap_err();
-        assert_eq!(err, UdrError::NotMaster { partition: PartitionId(0), se: SeId(1) });
+        let t = se
+            .begin(PartitionId(0), IsolationLevel::ReadCommitted)
+            .unwrap();
+        let err = se
+            .put(PartitionId(0), t, SubscriberUid(1), entry("x"))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            UdrError::NotMaster {
+                partition: PartitionId(0),
+                se: SeId(1)
+            }
+        );
         // Reads on a slave are fine (§3.3.2).
-        assert!(se.read(PartitionId(0), t, SubscriberUid(1)).unwrap().is_none());
+        assert!(se
+            .read(PartitionId(0), t, SubscriberUid(1))
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -435,16 +475,25 @@ mod tests {
     #[test]
     fn commit_cost_reflects_durability() {
         let mut ram = se_with_master(DurabilityMode::None);
-        let t = ram.begin(PartitionId(0), IsolationLevel::ReadCommitted).unwrap();
-        ram.put(PartitionId(0), t, SubscriberUid(1), entry("x")).unwrap();
+        let t = ram
+            .begin(PartitionId(0), IsolationLevel::ReadCommitted)
+            .unwrap();
+        ram.put(PartitionId(0), t, SubscriberUid(1), entry("x"))
+            .unwrap();
         let (_, ram_cost) = ram.commit(PartitionId(0), t, SimTime(0)).unwrap();
 
         let mut sync = se_with_master(DurabilityMode::SyncCommit);
-        let t = sync.begin(PartitionId(0), IsolationLevel::ReadCommitted).unwrap();
-        sync.put(PartitionId(0), t, SubscriberUid(1), entry("x")).unwrap();
+        let t = sync
+            .begin(PartitionId(0), IsolationLevel::ReadCommitted)
+            .unwrap();
+        sync.put(PartitionId(0), t, SubscriberUid(1), entry("x"))
+            .unwrap();
         let (_, sync_cost) = sync.commit(PartitionId(0), t, SimTime(0)).unwrap();
 
-        assert!(sync_cost > ram_cost * 100, "sync={sync_cost} ram={ram_cost}");
+        assert!(
+            sync_cost > ram_cost * 100,
+            "sync={sync_cost} ram={ram_cost}"
+        );
     }
 
     #[test]
@@ -464,20 +513,33 @@ mod tests {
 
     #[test]
     fn periodic_snapshot_bounds_loss() {
-        let mode = DurabilityMode::PeriodicSnapshot { interval: SimDuration::from_secs(30) };
+        let mode = DurabilityMode::PeriodicSnapshot {
+            interval: SimDuration::from_secs(30),
+        };
         let mut se = se_with_master(mode);
         write_one(&mut se, 1, "before", SimTime(0));
         // Snapshot cycle fires at t=30s.
         let cost = se.maybe_snapshot(SimTime::ZERO + SimDuration::from_secs(30));
         assert!(cost.is_some());
-        write_one(&mut se, 2, "after", SimTime::ZERO + SimDuration::from_secs(31));
+        write_one(
+            &mut se,
+            2,
+            "after",
+            SimTime::ZERO + SimDuration::from_secs(31),
+        );
 
         se.crash();
         let recovered = se.restore(SimTime::ZERO + SimDuration::from_secs(40));
         assert_eq!(recovered, vec![(PartitionId(0), Lsn(1))]);
         // The pre-snapshot record survived; the post-snapshot one is lost.
-        assert!(se.read_committed(PartitionId(0), SubscriberUid(1)).unwrap().is_some());
-        assert!(se.read_committed(PartitionId(0), SubscriberUid(2)).unwrap().is_none());
+        assert!(se
+            .read_committed(PartitionId(0), SubscriberUid(1))
+            .unwrap()
+            .is_some());
+        assert!(se
+            .read_committed(PartitionId(0), SubscriberUid(2))
+            .unwrap()
+            .is_none());
         // Restored copies come back as slaves.
         assert_eq!(se.role(PartitionId(0)), Some(ReplicaRole::Slave));
     }
@@ -490,8 +552,14 @@ mod tests {
         se.crash();
         let recovered = se.restore(SimTime(5));
         assert_eq!(recovered, vec![(PartitionId(0), Lsn(2))]);
-        assert!(se.read_committed(PartitionId(0), SubscriberUid(1)).unwrap().is_some());
-        assert!(se.read_committed(PartitionId(0), SubscriberUid(2)).unwrap().is_some());
+        assert!(se
+            .read_committed(PartitionId(0), SubscriberUid(1))
+            .unwrap()
+            .is_some());
+        assert!(se
+            .read_committed(PartitionId(0), SubscriberUid(2))
+            .unwrap()
+            .is_some());
     }
 
     #[test]
@@ -514,8 +582,12 @@ mod tests {
         let rec = write_one(&mut master, 7, "x", SimTime(0));
         slave.apply_replicated(PartitionId(0), &rec).unwrap();
         assert_eq!(
-            slave.read_committed(PartitionId(0), SubscriberUid(7)).unwrap(),
-            master.read_committed(PartitionId(0), SubscriberUid(7)).unwrap()
+            slave
+                .read_committed(PartitionId(0), SubscriberUid(7))
+                .unwrap(),
+            master
+                .read_committed(PartitionId(0), SubscriberUid(7))
+                .unwrap()
         );
         assert_eq!(slave.last_lsn(PartitionId(0)).unwrap(), Lsn(1));
     }
@@ -527,7 +599,10 @@ mod tests {
         let snap = master.engine(PartitionId(0)).unwrap().snapshot();
         let mut newcomer = StorageElement::new(SeId(2), SiteId(1), DurabilityMode::None);
         newcomer.seed_replica(PartitionId(0), ReplicaRole::Slave, snap);
-        assert!(newcomer.read_committed(PartitionId(0), SubscriberUid(1)).unwrap().is_some());
+        assert!(newcomer
+            .read_committed(PartitionId(0), SubscriberUid(1))
+            .unwrap()
+            .is_some());
         assert_eq!(newcomer.last_lsn(PartitionId(0)).unwrap(), Lsn(1));
     }
 
@@ -545,7 +620,12 @@ mod tests {
         let mut se = se_with_master(DurabilityMode::None);
         let c0 = se.force_snapshot(SimTime(0));
         for i in 0..500 {
-            write_one(&mut se, i, "0123456789012345678901234567890123456789", SimTime(0));
+            write_one(
+                &mut se,
+                i,
+                "0123456789012345678901234567890123456789",
+                SimTime(0),
+            );
         }
         let c1 = se.force_snapshot(SimTime(1));
         assert!(c1 > c0);

@@ -26,12 +26,16 @@ pub struct SharedEngine {
 impl SharedEngine {
     /// Wrap a fresh engine for `se`.
     pub fn new(se: SeId) -> Self {
-        SharedEngine { inner: Arc::new(Mutex::new(Engine::new(se))) }
+        SharedEngine {
+            inner: Arc::new(Mutex::new(Engine::new(se))),
+        }
     }
 
     /// Wrap an existing engine.
     pub fn from_engine(engine: Engine) -> Self {
-        SharedEngine { inner: Arc::new(Mutex::new(engine)) }
+        SharedEngine {
+            inner: Arc::new(Mutex::new(engine)),
+        }
     }
 
     /// Execute one single-record read transaction.
@@ -83,7 +87,9 @@ mod tests {
     #[test]
     fn put_then_read() {
         let shared = SharedEngine::new(SeId(0));
-        shared.put_one(SubscriberUid(1), entry("111"), SimTime(0)).unwrap();
+        shared
+            .put_one(SubscriberUid(1), entry("111"), SimTime(0))
+            .unwrap();
         assert!(shared.read_one(SubscriberUid(1)).unwrap().is_some());
         assert_eq!(shared.live_records(), 1);
     }
@@ -96,7 +102,8 @@ mod tests {
                 let s = shared.clone();
                 thread::spawn(move || {
                     for i in 0..250u64 {
-                        s.put_one(SubscriberUid(t * 1000 + i), entry("x"), SimTime(i)).unwrap();
+                        s.put_one(SubscriberUid(t * 1000 + i), entry("x"), SimTime(i))
+                            .unwrap();
                     }
                 })
             })

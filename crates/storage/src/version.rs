@@ -109,8 +109,14 @@ mod tests {
             committed_at: SimTime(10),
             written_by: SeId(0),
             changes: vec![
-                Change { uid: SubscriberUid(1), entry: Some(Entry::new()) },
-                Change { uid: SubscriberUid(2), entry: None },
+                Change {
+                    uid: SubscriberUid(1),
+                    entry: Some(Entry::new()),
+                },
+                Change {
+                    uid: SubscriberUid(2),
+                    entry: None,
+                },
             ],
         };
         assert_eq!(rec.len(), 2);

@@ -79,7 +79,10 @@ mod tests {
         let schedule = p.schedule(4, horizon, &mut rng);
         // Events come in (crash, restore) pairs.
         assert_eq!(schedule.len() % 2, 0);
-        assert!(!schedule.is_empty(), "10 h at 1000 s MTBF should produce outages");
+        assert!(
+            !schedule.is_empty(),
+            "10 h at 1000 s MTBF should produce outages"
+        );
     }
 
     #[test]

@@ -75,7 +75,16 @@ impl PopulationBuilder {
             (Vec::new(), None)
         };
         let home_region = rng.weighted_choice(&self.region_weights) as u32;
-        Subscriber { index, ids: IdentitySet { imsi, msisdn, impus, impi }, home_region }
+        Subscriber {
+            index,
+            ids: IdentitySet {
+                imsi,
+                msisdn,
+                impus,
+                impi,
+            },
+            home_region,
+        }
     }
 
     /// Generate the first `n` subscribers.
@@ -102,7 +111,10 @@ mod tests {
         imsis.sort();
         imsis.dedup();
         assert_eq!(imsis.len(), 500);
-        let mut msisdns: Vec<_> = pop.iter().map(|s| s.ids.msisdn.as_str().to_owned()).collect();
+        let mut msisdns: Vec<_> = pop
+            .iter()
+            .map(|s| s.ids.msisdn.as_str().to_owned())
+            .collect();
         msisdns.sort();
         msisdns.dedup();
         assert_eq!(msisdns.len(), 500);

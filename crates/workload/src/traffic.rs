@@ -173,7 +173,12 @@ impl TrafficModel {
             } else {
                 SiteId(home)
             };
-            events.push(TrafficEvent { at: now, subscriber, kind, fe_site });
+            events.push(TrafficEvent {
+                at: now,
+                subscriber,
+                kind,
+                fe_site,
+            });
         }
         events
     }
@@ -201,7 +206,11 @@ mod tests {
             &mut rng,
         );
         // Expect ~1000 events ± 10 %.
-        assert!((900..=1100).contains(&events.len()), "{} events", events.len());
+        assert!(
+            (900..=1100).contains(&events.len()),
+            "{} events",
+            events.len()
+        );
         // Sorted by time.
         assert!(events.windows(2).all(|w| w[0].at <= w[1].at));
     }
@@ -238,12 +247,17 @@ mod tests {
             SimTime::ZERO + SimDuration::from_secs(50),
             &mut rng,
         );
-        assert!(events.iter().all(|e| e.fe_site.0 == pop[e.subscriber].home_region));
+        assert!(events
+            .iter()
+            .all(|e| e.fe_site.0 == pop[e.subscriber].home_region));
     }
 
     #[test]
     fn diurnal_profile_modulates() {
-        let profile = LoadProfile::Diurnal { busy_hour: 12, depth: 0.8 };
+        let profile = LoadProfile::Diurnal {
+            busy_hour: 12,
+            depth: 0.8,
+        };
         let noon = SimTime::ZERO + SimDuration::from_hours(12);
         let midnight = SimTime::ZERO + SimDuration::from_hours(0);
         assert!(profile.multiplier(noon) > 0.99);
@@ -275,7 +289,12 @@ mod tests {
         let model = TrafficModel::flat(0.1, 3);
         let mut rng = SimRng::seed_from_u64(5);
         assert!(model
-            .generate(&[], SimTime::ZERO, SimTime::ZERO + SimDuration::from_secs(10), &mut rng)
+            .generate(
+                &[],
+                SimTime::ZERO,
+                SimTime::ZERO + SimDuration::from_secs(10),
+                &mut rng
+            )
             .is_empty());
     }
 }

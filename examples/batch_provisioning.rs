@@ -31,7 +31,10 @@ fn run(mode: ReplicationMode, retries: u32) -> (String, udr::core::BatchReport, 
     let population = PopulationBuilder::new(3).build(1200, &mut rng);
     let items: Vec<BatchItem> = population
         .iter()
-        .map(|s| BatchItem::Create { ids: s.ids.clone(), home_region: s.home_region })
+        .map(|s| BatchItem::Create {
+            ids: s.ids.clone(),
+            home_region: s.home_region,
+        })
         .collect();
 
     // 10 items/s ⇒ a 120 s batch; the glitch hits at t=40 for 30 s.
@@ -41,11 +44,19 @@ fn run(mode: ReplicationMode, retries: u32) -> (String, udr::core::BatchReport, 
         10.0,
         t(0),
         SiteId(0),
-        RetryPolicy { max_attempts: retries, backoff: SimDuration::from_secs(10) },
+        RetryPolicy {
+            max_attempts: retries,
+            backoff: SimDuration::from_secs(10),
+        },
     );
     udr.advance_to(t(1200));
     let label = format!("{mode} / {} attempt(s)", retries);
-    (label, report, udr.metrics.merges, udr.metrics.merge_conflicts)
+    (
+        label,
+        report,
+        udr.metrics.merges,
+        udr.metrics.merge_conflicts,
+    )
 }
 
 fn main() {

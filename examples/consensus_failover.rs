@@ -39,7 +39,10 @@ fn main() {
     for i in 0..600u64 {
         let at = secs(5) + SimDuration::from_millis(200 * i);
         let origin = origins[(i % origins.len() as u64) as usize];
-        ids.push((at, cluster.submit_write_at(at, origin, SubscriberUid(i), None)));
+        ids.push((
+            at,
+            cluster.submit_write_at(at, origin, SubscriberUid(i), None),
+        ));
     }
 
     // The drill: leader site crashes at t=30s, restarts at t=60s;
@@ -53,7 +56,10 @@ fn main() {
     println!("leadership timeline:");
     for (at, node) in &report.leader_changes {
         let note = if *node == leader { " (original)" } else { "" };
-        println!("  t={:>6.1}s  {node} wins leadership{note}", at.as_secs_f64());
+        println!(
+            "  t={:>6.1}s  {node} wins leadership{note}",
+            at.as_secs_f64()
+        );
     }
 
     // Commit rate per 20 s window of submission time.
@@ -61,8 +67,11 @@ fn main() {
         .with_title("commit behaviour through the drill");
     for w in 0..6u64 {
         let (lo, hi) = (secs(5 + 20 * w), secs(5 + 20 * (w + 1)));
-        let in_window: Vec<_> =
-            ids.iter().filter(|(at, _)| *at >= lo && *at < hi).map(|(_, id)| *id).collect();
+        let in_window: Vec<_> = ids
+            .iter()
+            .filter(|(at, _)| *at >= lo && *at < hi)
+            .map(|(_, id)| *id)
+            .collect();
         let committed_fast = in_window
             .iter()
             .filter(|id| {
@@ -71,8 +80,10 @@ fn main() {
                     .is_some_and(|l| l < SimDuration::from_secs(2))
             })
             .count();
-        let eventual =
-            in_window.iter().filter(|id| report.fates[id].chosen_at.is_some()).count();
+        let eventual = in_window
+            .iter()
+            .filter(|id| report.fates[id].chosen_at.is_some())
+            .count();
         table.row([
             format!("{}-{}s", 5 + 20 * w, 5 + 20 * (w + 1)),
             in_window.len().to_string(),
@@ -88,10 +99,22 @@ fn main() {
     );
     println!(
         "final watermarks: {:?}",
-        report.final_committed.iter().map(|s| s.raw()).collect::<Vec<_>>()
+        report
+            .final_committed
+            .iter()
+            .map(|s| s.raw())
+            .collect::<Vec<_>>()
     );
-    assert!(report.violations.is_empty(), "agreement violated: {:?}", report.violations);
-    assert_eq!(report.committed(), ids.len(), "every write must eventually commit");
+    assert!(
+        report.violations.is_empty(),
+        "agreement violated: {:?}",
+        report.violations
+    );
+    assert_eq!(
+        report.committed(),
+        ids.len(),
+        "every write must eventually commit"
+    );
     println!(
         "\nagreement check: all {} writes committed, all logs prefix-consistent —\n\
          availability was lost only for seconds around each fault, and consistency\n\

@@ -113,11 +113,21 @@ fn main() {
         "durability tuning: 20 writes/s to site-0 masters for 120 s;\n\
          site 0 isolated t=55..65, master crash t=60, restore t=90\n"
     );
-    let snapshot = DurabilityMode::PeriodicSnapshot { interval: SimDuration::from_secs(30) };
+    let snapshot = DurabilityMode::PeriodicSnapshot {
+        interval: SimDuration::from_secs(30),
+    };
     let runs = [
-        run(DurabilityMode::None, ReplicationMode::AsyncMasterSlave, true),
+        run(
+            DurabilityMode::None,
+            ReplicationMode::AsyncMasterSlave,
+            true,
+        ),
         run(snapshot, ReplicationMode::AsyncMasterSlave, true),
-        run(DurabilityMode::SyncCommit, ReplicationMode::AsyncMasterSlave, false),
+        run(
+            DurabilityMode::SyncCommit,
+            ReplicationMode::AsyncMasterSlave,
+            false,
+        ),
         run(snapshot, ReplicationMode::DualInSequence, true),
         run(snapshot, ReplicationMode::Quorum { n: 3, w: 2, r: 2 }, true),
         run(snapshot, ReplicationMode::Quorum { n: 3, w: 3, r: 1 }, true),

@@ -72,7 +72,10 @@ fn main() {
             let target = prov_iter.next().unwrap();
             let out = udr.modify_services(
                 &Identity::Imsi(target.ids.imsi.clone()),
-                vec![AttrMod::Set(AttrId::OdbMask, AttrValue::U64(next_prov.as_nanos()))],
+                vec![AttrMod::Set(
+                    AttrId::OdbMask,
+                    AttrValue::U64(next_prov.as_nanos()),
+                )],
                 SiteId(0),
                 next_prov,
             );
@@ -94,11 +97,7 @@ fn main() {
     let ps = udr.metrics.ops(TxnClass::Provisioning);
     let mut table = Table::new(["metric", "front-end", "provisioning"])
         .with_title("600 s multinational run with a 120 s partition of site 2");
-    table.row([
-        "operations ok".into(),
-        fe.ok.to_string(),
-        ps.ok.to_string(),
-    ]);
+    table.row(["operations ok".into(), fe.ok.to_string(), ps.ok.to_string()]);
     table.row([
         "availability failures".into(),
         fe.unavailable.to_string(),
@@ -123,8 +122,9 @@ fn main() {
 
     let mut phases = Table::new(["phase", "prov ok", "prov failed"])
         .with_title("provisioning (writes) by phase — the §4.1 failure mode");
-    for (name, (ok, fail)) in
-        ["before partition", "during partition", "after heal"].iter().zip(window)
+    for (name, (ok, fail)) in ["before partition", "during partition", "after heal"]
+        .iter()
+        .zip(window)
     {
         phases.row([(*name).into(), ok.to_string(), fail.to_string()]);
     }

@@ -28,7 +28,10 @@ fn main() {
     let population = PopulationBuilder::new(3).build(3, &mut rng);
     let alice = &population[0]; // home region from the generator
 
-    println!("subscriber: IMSI {}, home region {}\n", alice.ids.imsi, alice.home_region);
+    println!(
+        "subscriber: IMSI {}, home region {}\n",
+        alice.ids.imsi, alice.home_region
+    );
     println!("--- pre-UDC network (Figure 3): HLR silo + one SLF per site ---");
     {
         let mut net = PreUdcNetwork::new(3, SiteId(0), 7);
@@ -51,7 +54,10 @@ fn main() {
         let repaired = net.run_repairs(t(60));
         println!("after heal + repair pass: {repaired} subscription(s) completed");
         let (lookup, _) = net.fe_lookup(&id, SiteId(2), t(61));
-        println!("phone registers at site 2 now: {}", if lookup.is_ok() { "OK" } else { "still dead" });
+        println!(
+            "phone registers at site 2 now: {}",
+            if lookup.is_ok() { "OK" } else { "still dead" }
+        );
     }
 
     println!("\n--- UDC network (Figure 4): one UDR write, one transaction ---");
@@ -68,7 +74,11 @@ fn main() {
         let out = udr.provision_subscriber(&alice.ids, alice.home_region, SiteId(0), t(1));
         println!(
             "activation result: {} (took {})",
-            if out.is_ok() { "OK".to_owned() } else { format!("{:?}", out.op.result) },
+            if out.is_ok() {
+                "OK".to_owned()
+            } else {
+                format!("{:?}", out.op.result)
+            },
             out.op.latency
         );
         if !out.is_ok() {

@@ -8,8 +8,8 @@
 
 use udr::core::{Udr, UdrConfig};
 use udr::metrics::Table;
-use udr::model::{ProcedureKind, SimDuration, SimTime, TxnClass};
 use udr::model::ids::SiteId;
+use udr::model::{ProcedureKind, SimDuration, SimTime, TxnClass};
 use udr::sim::SimRng;
 use udr::workload::PopulationBuilder;
 
@@ -18,8 +18,13 @@ fn main() {
     // READ_COMMITTED SEs, periodic snapshots, FE reads on nearest copies,
     // PS reads on masters only, home-region placement.
     let cfg = UdrConfig::figure2();
-    println!("deployment: {} sites, {} SEs, {} LDAP servers, RF {}",
-        cfg.sites, cfg.total_ses(), cfg.total_ldap_servers(), cfg.frash.replication_factor);
+    println!(
+        "deployment: {} sites, {} SEs, {} LDAP servers, RF {}",
+        cfg.sites,
+        cfg.total_ses(),
+        cfg.total_ldap_servers(),
+        cfg.frash.replication_factor
+    );
     let mut udr = Udr::build(cfg).expect("valid configuration");
 
     // Provision 60 subscribers, home regions spread over the three sites.
@@ -65,6 +70,10 @@ fn main() {
     println!(
         "10 ms target (§2.3 req 4): mean FE latency = {} → {}",
         udr.metrics.fe_latency.mean(),
-        if udr.metrics.fe_latency.mean() < SimDuration::from_millis(10) { "MET" } else { "MISSED" }
+        if udr.metrics.fe_latency.mean() < SimDuration::from_millis(10) {
+            "MET"
+        } else {
+            "MISSED"
+        }
     );
 }

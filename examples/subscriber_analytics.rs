@@ -35,7 +35,9 @@ fn main() {
 
     // Provision 900 subscribers across three home regions, ~35 % IMS.
     let mut rng = SimRng::seed_from_u64(22);
-    let population = PopulationBuilder::new(3).ims_fraction(0.35).build(900, &mut rng);
+    let population = PopulationBuilder::new(3)
+        .ims_fraction(0.35)
+        .build(900, &mut rng);
     let mut at = SimTime::ZERO + SimDuration::from_millis(1);
     for sub in &population {
         // Rare WAN message loss can time an attempt out; the PS retries,
@@ -64,7 +66,10 @@ fn main() {
         if rng.chance(0.12) {
             mods.push(AttrMod::Set(AttrId::CallBarring, AttrValue::Bool(true)));
         }
-        mods.push(AttrMod::Set(AttrId::OdbMask, AttrValue::U64((i % 8) as u64)));
+        mods.push(AttrMod::Set(
+            AttrId::OdbMask,
+            AttrValue::U64((i % 8) as u64),
+        ));
         if rng.chance(0.70) {
             mods.push(AttrMod::Set(
                 AttrId::VlrAddress,
@@ -91,7 +96,10 @@ fn main() {
     // The operator's questions, as standard RFC 4515 filters.
     let questions: [(&str, &str); 4] = [
         ("lines with pay-call barring", "(callBarring=TRUE)"),
-        ("region-2 heavy ODB (mask >= 4)", "(&(homeRegion=2)(odbMask>=4))"),
+        (
+            "region-2 heavy ODB (mask >= 4)",
+            "(&(homeRegion=2)(odbMask>=4))",
+        ),
         ("IMS subscribers (any sip: IMPU)", "(impuList=sip:*)"),
         ("never-registered SIMs", "(!(vlrAddress=*))"),
     ];
@@ -111,7 +119,9 @@ fn main() {
                 }
                 let engine = se.engine(partition).expect("replica exists");
                 for (_, version) in engine.iter_committed() {
-                    let Some(entry) = &version.entry else { continue };
+                    let Some(entry) = &version.entry else {
+                        continue;
+                    };
                     scanned += 1;
                     if filter.matches(entry) {
                         matches += 1;

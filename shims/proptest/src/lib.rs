@@ -1,0 +1,178 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment cannot reach crates.io, so this crate implements
+//! the slice of the proptest API the repository's property tests use:
+//! the [`Strategy`](strategy::Strategy) trait with `prop_map` /
+//! `prop_filter_map` / `prop_flat_map` / `prop_recursive`, integer-range
+//! and char-class string strategies, tuple composition, collections
+//! (`vec`, `btree_map`, `btree_set`), `option::of`, `sample::select`,
+//! `Just`, `prop_oneof!`, and the `proptest!` test macro with
+//! `ProptestConfig`.
+//!
+//! Differences from upstream, deliberate:
+//! * cases are generated from a seed derived from the test name, so runs
+//!   are deterministic per test;
+//! * failures panic with the offending values' `Debug` form but are **not
+//!   shrunk** — rerun with the printed values to debug;
+//! * `prop_assume!` rejects the case; an all-rejected test simply runs
+//!   fewer cases rather than erroring.
+
+pub mod collection;
+pub mod option;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// `proptest::arbitrary`-style entry points.
+pub mod arbitrary {
+    pub use crate::strategy::{any, Arbitrary};
+}
+
+/// The prelude glob every property test imports.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// The `prop::` module alias (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::sample;
+    }
+}
+
+/// Assert inside a `proptest!` body; panics (no shrinking) on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            panic!($($fmt)*);
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            a,
+            b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            panic!($($fmt)*);
+        }
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            a
+        );
+    }};
+}
+
+/// Reject the current case (it does not count towards the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::Rejected);
+        }
+    };
+}
+
+/// Choose uniformly between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Define property tests.
+///
+/// Supports the block form with an optional leading
+/// `#![proptest_config(...)]` attribute:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(12))]
+///     #[test]
+///     fn my_property(x in 0u64..10, v in prop::collection::vec(any::<u8>(), 0..4)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($config:expr);
+     $($(#[$meta:meta])*
+       fn $name:ident($($pat:pat_param in $strategy:expr),* $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let cases = config.effective_cases();
+                if let Some(seed) = $crate::test_runner::env_seed() {
+                    eprintln!(
+                        "proptest {}: PROPTEST_RNG_SEED={seed}, {cases} cases",
+                        stringify!($name)
+                    );
+                }
+                let mut rng =
+                    $crate::test_runner::TestRng::from_name(stringify!($name));
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                let max_attempts = cases.saturating_add(config.max_global_rejects);
+                while accepted < cases && attempts < max_attempts {
+                    attempts += 1;
+                    $(
+                        let $pat =
+                            $crate::strategy::Strategy::sample(&($strategy), &mut rng);
+                    )*
+                    let outcome: ::std::result::Result<(), $crate::test_runner::Rejected> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if outcome.is_ok() {
+                        accepted += 1;
+                    }
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,25 @@
+//! Sampling from explicit value lists.
+
+use std::fmt::Debug;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Uniform choice from a non-empty list of values.
+pub fn select<T: Clone + Debug>(items: Vec<T>) -> Select<T> {
+    assert!(!items.is_empty(), "select needs at least one item");
+    Select { items }
+}
+
+/// See [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    items: Vec<T>,
+}
+
+impl<T: Clone + Debug> Strategy for Select<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.items[rng.below(self.items.len() as u64) as usize].clone()
+    }
+}

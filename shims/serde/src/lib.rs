@@ -1,0 +1,9 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names the model crate imports
+//! and re-exports the no-op derives from the sibling `serde_derive` shim.
+//! Nothing in the repository serializes yet; when a registry becomes
+//! available, replace the path dependencies with the real crates — the
+//! source code needs no changes.
+
+pub use serde_derive::{Deserialize, Serialize};

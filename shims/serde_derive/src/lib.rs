@@ -1,0 +1,22 @@
+//! No-op `Serialize`/`Deserialize` derives.
+//!
+//! The build environment has no access to crates.io, so this proc-macro
+//! crate stands in for the real `serde_derive`. The repository only uses
+//! the derives as markers on model types (nothing serializes yet); the
+//! derives therefore expand to nothing. Swap the `[patch]`-free path
+//! dependency in the workspace root for the real crates when a registry
+//! is available.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -76,7 +76,10 @@ fn filtered_search_projects_requested_attributes() {
         SiteId(sub.home_region),
         t(20),
     );
-    let entry = out.result.expect("served").expect("every entry has an imsi");
+    let entry = out
+        .result
+        .expect("served")
+        .expect("every entry has an imsi");
     assert!(entry.contains(AttrId::Imsi));
     assert!(entry.contains(AttrId::Msisdn));
     // Everything not projected is absent (the BI client asked for two).
@@ -95,7 +98,11 @@ fn bi_queries_count_as_front_end_reads() {
     assert!(out.is_ok());
     assert_eq!(udr.metrics.fe_ops.ok, 1, "BI shares the FE read path");
     // Same 10 ms envelope as any indexed read from the home region.
-    assert!(out.latency < SimDuration::from_millis(10), "latency {}", out.latency);
+    assert!(
+        out.latency < SimDuration::from_millis(10),
+        "latency {}",
+        out.latency
+    );
 }
 
 #[test]
@@ -103,13 +110,18 @@ fn complex_filters_survive_the_wire() {
     // The full client path encodes the request; prove the op that reaches
     // the server equals the op the BI client built.
     use udr::ldap::{decode_request, encode_request, LdapOp, LdapRequest};
-    let filter: Filter =
-        "(&(|(homeRegion=0)(homeRegion=1))(odbMask<=3)(impuList=sip:*@ims*))".parse().unwrap();
+    let filter: Filter = "(&(|(homeRegion=0)(homeRegion=1))(odbMask<=3)(impuList=sip:*@ims*))"
+        .parse()
+        .unwrap();
     let (_, population) = provisioned();
     let dn = udr::ldap::Dn::for_identity(Identity::Imsi(population[0].ids.imsi.clone()));
     let req = LdapRequest {
         message_id: 77,
-        op: LdapOp::SearchFilter { base: dn, filter, attrs: vec![AttrId::Msisdn] },
+        op: LdapOp::SearchFilter {
+            base: dn,
+            filter,
+            attrs: vec![AttrId::Msisdn],
+        },
     };
     let decoded = decode_request(&encode_request(&req)).unwrap();
     assert_eq!(decoded, req);

@@ -119,7 +119,9 @@ fn chosen_log_applies_identically_on_every_replica() {
     for node in 0..cluster.len() {
         let mut engine = Engine::new(udr::model::ids::SeId(node as u32));
         for (slot, cmd) in cluster.node(node).log().iter_effective() {
-            let Payload::Write { uid, entry } = &cmd.payload else { continue };
+            let Payload::Write { uid, entry } = &cmd.payload else {
+                continue;
+            };
             let txn = engine.begin(udr::model::IsolationLevel::ReadCommitted);
             match entry {
                 Some(e) => engine.put(txn, *uid, e.clone()).unwrap(),

@@ -100,7 +100,9 @@ fn multimaster_traffic_through_partition_converges_everywhere() {
     let population = PopulationBuilder::new(3).build(60, &mut rng);
     let mut at = t(0) + SimDuration::from_millis(1);
     for sub in &population {
-        assert!(udr.provision_subscriber(&sub.ids, sub.home_region, SiteId(0), at).is_ok());
+        assert!(udr
+            .provision_subscriber(&sub.ids, sub.home_region, SiteId(0), at)
+            .is_ok());
         at += SimDuration::from_millis(2);
     }
     udr.schedule_faults(FaultSchedule::new().partition(
@@ -115,14 +117,20 @@ fn multimaster_traffic_through_partition_converges_everywhere() {
         let id = Identity::Imsi(sub.ids.imsi.clone());
         let w0 = udr.modify_services(
             &id,
-            vec![AttrMod::Set(AttrId::OdbMask, AttrValue::U64(1000 + i as u64))],
+            vec![AttrMod::Set(
+                AttrId::OdbMask,
+                AttrValue::U64(1000 + i as u64),
+            )],
             SiteId(0),
             at,
         );
         assert!(w0.is_ok(), "majority write failed: {:?}", w0.result);
         let w2 = udr.modify_services(
             &id,
-            vec![AttrMod::Set(AttrId::OdbMask, AttrValue::U64(2000 + i as u64))],
+            vec![AttrMod::Set(
+                AttrId::OdbMask,
+                AttrValue::U64(2000 + i as u64),
+            )],
             SiteId(2),
             at + SimDuration::from_millis(500),
         );
@@ -132,7 +140,11 @@ fn multimaster_traffic_through_partition_converges_everywhere() {
 
     udr.advance_to(t(300));
     assert!(udr.metrics.merges > 0);
-    assert!(udr.metrics.merge_conflicts >= 30, "conflicts: {}", udr.metrics.merge_conflicts);
+    assert!(
+        udr.metrics.merge_conflicts >= 30,
+        "conflicts: {}",
+        udr.metrics.merge_conflicts
+    );
 
     // Convergence: every replica of every touched partition agrees.
     for sub in population.iter().take(30) {
@@ -149,7 +161,10 @@ fn multimaster_traffic_through_partition_converges_everywhere() {
                     .and_then(|e| e.get(AttrId::OdbMask).and_then(AttrValue::as_u64))
             })
             .collect();
-        assert!(values.windows(2).all(|w| w[0] == w[1]), "divergent: {values:?}");
+        assert!(
+            values.windows(2).all(|w| w[0] == w[1]),
+            "divergent: {values:?}"
+        );
         // LWW: the island write (later timestamp) won.
         assert!(values[0].unwrap() >= 2000, "unexpected winner {values:?}");
     }
@@ -179,7 +194,10 @@ fn procedure_mix_is_read_mostly_and_partitions_split_by_class() {
             let sub = &population[prov_idx % population.len()];
             udr.modify_services(
                 &Identity::Imsi(sub.ids.imsi.clone()),
-                vec![AttrMod::Set(AttrId::CallForwarding, AttrValue::Str("34600".into()))],
+                vec![AttrMod::Set(
+                    AttrId::CallForwarding,
+                    AttrValue::Str("34600".into()),
+                )],
                 SiteId(0),
                 prov_at,
             );
@@ -193,7 +211,11 @@ fn procedure_mix_is_read_mostly_and_partitions_split_by_class() {
     let ps = udr.metrics.ops(TxnClass::Provisioning);
     // FE ops mostly succeed; PS writes fail at roughly the share of
     // subscribers homed in the island (~1/3).
-    assert!(fe.operational_availability() > 0.90, "fe {}", fe.operational_availability());
+    assert!(
+        fe.operational_availability() > 0.90,
+        "fe {}",
+        fe.operational_availability()
+    );
     assert!(
         ps.operational_availability() < 0.85,
         "ps availability {} suspiciously high during partition",
