@@ -9,6 +9,7 @@
 //! the SE in the system" — a probe storm that hurts scalability instead.
 
 use udr_bench::harness::{provisioned_system, t};
+use udr_bench::json::BenchReport;
 use udr_core::UdrConfig;
 use udr_metrics::Table;
 use udr_model::config::LocatorKind;
@@ -16,6 +17,10 @@ use udr_model::error::UdrError;
 use udr_model::ids::SiteId;
 use udr_model::procedures::ProcedureKind;
 use udr_model::time::SimDuration;
+
+const SEED: u64 = 13;
+const READS: u64 = 500;
+const POPULATION_STEPS: [u64; 3] = [2_000, 16_000, 64_000];
 
 struct Row {
     subscribers: u64,
@@ -27,7 +32,7 @@ struct Row {
 fn run(locator: LocatorKind, n: u64) -> Row {
     let mut cfg = UdrConfig::figure2();
     cfg.frash.locator = locator;
-    cfg.seed = 13;
+    cfg.seed = SEED;
     let mut s = provisioned_system(cfg, n, 21);
     let start = s.udr.now().max(t(10)) + SimDuration::from_secs(10);
     let idx = s.udr.add_cluster(SiteId(1), start);
@@ -41,7 +46,7 @@ fn run(locator: LocatorKind, n: u64) -> Row {
     let mut blocked = 0u64;
     let probes_before = s.udr.metrics.dls_probes;
     let mut at = start + SimDuration::from_millis(5);
-    for i in 0..500u64 {
+    for i in 0..READS {
         let sub = &s.population[(i % n) as usize];
         let out = s
             .udr
@@ -73,12 +78,21 @@ fn main() {
         "SE probes triggered",
     ])
     .with_title("what adding a cluster costs, by locator realisation");
+    let mut report = BenchReport::new("e08", SEED);
+    report.config("reads_through_new_site", READS).config(
+        "population_steps",
+        POPULATION_STEPS
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(","),
+    );
     for locator in [
         LocatorKind::ProvisionedMaps,
         LocatorKind::CachedMaps,
         LocatorKind::ConsistentHashing,
     ] {
-        for n in [2_000u64, 16_000, 64_000] {
+        for n in POPULATION_STEPS {
             let row = run(locator, n);
             table.row([
                 locator.to_string(),
@@ -87,9 +101,23 @@ fn main() {
                 row.blocked_ops.to_string(),
                 row.probes.to_string(),
             ]);
+            report.row(vec![
+                ("locator", locator.to_string().into()),
+                ("subscribers", row.subscribers.into()),
+                (
+                    "sync_window_us",
+                    row.window.map(|w| w.as_micros_f64()).into(),
+                ),
+                ("blocked_ops", row.blocked_ops.into()),
+                ("se_probes", row.probes.into()),
+            ]);
         }
     }
     println!("{table}");
+    match report.write() {
+        Ok(path) => println!("machine-readable rows: {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_e08.json: {e}"),
+    }
     println!(
         "Shape check (paper): the provisioned-map window grows linearly with N (entries\n\
          copied), and every operation landing on the new PoA inside the window is refused —\n\

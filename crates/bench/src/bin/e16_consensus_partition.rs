@@ -3,7 +3,7 @@
 //!
 //! "One promising alternative to the master-slave replication approach
 //! described above lies on efficient distributed agreement protocols like
-//! e.g. Paxos [15] or similar solutions [16]." The §5 evolution bought
+//! e.g. Paxos \[15\] or similar solutions \[16\]." The §5 evolution bought
 //! provisioning availability with multi-master at the price of divergence
 //! and a restoration merge; consensus buys *majority-side* availability at
 //! zero divergence. This experiment drives the same dual-PS write pattern

@@ -12,5 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod json;
 
 pub use harness::{provisioned_system, run_events, Scenario};
+pub use json::{BenchReport, JsonValue};

@@ -30,6 +30,7 @@ pub mod ops;
 pub mod pipeline;
 pub mod procedures;
 pub mod provisioning;
+pub mod rebalance;
 pub mod udr;
 
 pub use capacity::CapacityModel;
@@ -41,4 +42,5 @@ pub use pipeline::{
 };
 pub use procedures::{procedure_ops, ProcedureOutcome};
 pub use provisioning::{BatchItem, BatchReport, ProvisionOutcome, RetryPolicy};
+pub use rebalance::{MigrationPlan, MoveReason, Rebalancer};
 pub use udr::{Cluster, Udr, UdrEvent};

@@ -42,6 +42,22 @@ pub struct UdrMetrics {
     /// Location probes broadcast by cached stages on misses (§3.5: "those
     /// data location queries may become a hurdle to scalability").
     pub dls_probes: u64,
+    /// Lookups resolved under a stale shard-map epoch that bounced off a
+    /// retired owner and were retried (at most once each).
+    pub stale_route_retries: u64,
+    /// Live partition migrations begun.
+    pub migrations_started: u64,
+    /// Migrations that cut over (epoch bumped, zero loss).
+    pub migrations_completed: u64,
+    /// Migrations abandoned (fault mid-move; epoch unchanged).
+    pub migrations_aborted: u64,
+    /// Total simulated time partitions spent write-frozen for hand-off —
+    /// the availability window of data movement.
+    pub migration_freeze_time: SimDuration,
+    /// Writes refused because their partition was frozen for hand-off.
+    pub migration_blocked_ops: u64,
+    /// Records shipped over migration channels (log-tail catch-up).
+    pub migration_records_shipped: u64,
 }
 
 impl UdrMetrics {

@@ -2,7 +2,7 @@
 //!
 //! The actual end-to-end path — PoA access, data-location resolution,
 //! replica routing, storage transaction, post-commit replication — lives
-//! in [`pipeline`](crate::pipeline) as an explicit four-stage chain. This
+//! in [`pipeline`] as an explicit four-stage chain. This
 //! module only builds a [`PipelineCtx`], runs the chain, enforces the
 //! operation timeout and records metrics.
 
@@ -92,6 +92,9 @@ impl Udr {
                 }
             }
             Err(e) if e.is_availability_failure() => {
+                if matches!(e, UdrError::PartitionFrozen(_)) {
+                    self.metrics.migration_blocked_ops += 1;
+                }
                 self.metrics.ops_mut(class).availability_failure();
             }
             Err(_) => self.metrics.ops_mut(class).other_failure(),

@@ -197,24 +197,68 @@ impl AccessStage {
 /// Stage 2 — §3.3.1 decision 1: resolve the identity to a data location
 /// through the cluster's [`Locator`]. Cached and hashed locators may
 /// require an SE probe broadcast (§3.5's scalability hurdle).
+///
+/// The stage also version-checks the locator's routing view against the
+/// deployment's epoch-versioned shard map: a lookup resolved under a
+/// stale epoch whose partition moved since (live migration cutover or
+/// failover) first bounces off the retired owner — one wasted round trip,
+/// charged to [`LatencyBreakdown::location`] — then refreshes the view
+/// and retries **once**. Partitions that did not move refresh for free.
 pub struct LocationStage;
 
 impl LocationStage {
     /// Run the stage: resolve the operation's identity via the cluster's
-    /// [`Locator`], probing SEs on a miss.
+    /// [`Locator`], probing SEs on a miss and retrying a stale-epoch
+    /// route at most once.
     pub fn run(udr: &mut Udr, ctx: &mut PipelineCtx) -> Result<(), OpOutcome> {
         let identity = ctx.op.dn().identity().clone();
-        let locator: &mut dyn Locator = &mut udr.clusters[ctx.cluster_idx].stage;
-        match locator.resolve(&identity, ctx.now, None) {
-            Resolution::Found(loc) => {
-                ctx.location = Some(loc);
-                Ok(())
-            }
-            Resolution::Unknown => Err(ctx.fail(UdrError::UnknownIdentity(identity.to_string()))),
-            Resolution::Syncing => Err(ctx.fail(UdrError::LocationStageSyncing)),
-            Resolution::NeedsProbe { ses_to_probe } => {
-                Self::probe(udr, ctx, &identity, ses_to_probe)
-            }
+        let current = udr.shard_map.epoch();
+        let mut retried = false;
+        loop {
+            let (observed, resolution) = {
+                let locator: &mut dyn Locator = &mut udr.clusters[ctx.cluster_idx].stage;
+                (
+                    locator.map_epoch(),
+                    locator.resolve(&identity, ctx.now, None),
+                )
+            };
+            return match resolution {
+                Resolution::Found(loc) => {
+                    if !retried
+                        && observed < current
+                        && udr.shard_map.routing_changed_since(loc.partition, observed)
+                    {
+                        // Stale route: the op reached the retired owner,
+                        // which answered "moved, epoch=N". Pay the bounce,
+                        // refresh the view, resolve again.
+                        if let Some(old) = udr.shard_map.retired_master(loc.partition) {
+                            let old_site = udr.ses[old.index()].site();
+                            if let Some(rtt) = sample_rtt(udr, ctx.server_site, old_site) {
+                                ctx.breakdown.location += rtt;
+                            }
+                        }
+                        udr.metrics.stale_route_retries += 1;
+                        let locator: &mut dyn Locator = &mut udr.clusters[ctx.cluster_idx].stage;
+                        locator.install_map_epoch(current);
+                        retried = true;
+                        continue;
+                    }
+                    if observed < current {
+                        // Unmoved partition: piggyback the refresh for free.
+                        let locator: &mut dyn Locator = &mut udr.clusters[ctx.cluster_idx].stage;
+                        locator.install_map_epoch(current);
+                    }
+                    ctx.location = Some(loc);
+                    Ok(())
+                }
+                Resolution::Unknown => {
+                    Err(ctx.fail(UdrError::UnknownIdentity(identity.to_string())))
+                }
+                Resolution::Syncing => Err(ctx.fail(UdrError::LocationStageSyncing)),
+                Resolution::NeedsProbe { ses_to_probe } => {
+                    Self::probe(udr, ctx, &identity, ses_to_probe)
+                }
+            };
         }
     }
 
@@ -284,6 +328,11 @@ impl ReplicationStage {
     /// quorum) under the configured replication mode and read policy.
     pub fn route(udr: &mut Udr, ctx: &mut PipelineCtx) -> Result<(), OpOutcome> {
         let location = ctx.loc();
+        // Per-partition load accounting (hotspot detection for the
+        // rebalancer).
+        if let Some(slot) = udr.ops_per_partition.get_mut(location.partition.index()) {
+            *slot += 1;
+        }
 
         // Quorum mode handles reads through the ensemble, not one copy.
         if let ReplicationMode::Quorum { r, .. } = udr.cfg.frash.replication {

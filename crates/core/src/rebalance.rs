@@ -1,0 +1,241 @@
+//! Online repartitioning: planning live partition moves over the
+//! epoch-versioned shard map.
+//!
+//! §3.4.2 measures what *adding a blade cluster* costs in availability;
+//! this module is the analogous machinery for *moving data*. A
+//! [`Rebalancer`] turns a topology intent — scale out onto a fresh SE,
+//! drain a retiring/failed SE, relocate a hotspot — into
+//! [`MigrationPlan`]s, each a single-partition move executed online by
+//! the [`Udr`] event pump: snapshot reseed of the target,
+//! asynchronous log catch-up while traffic flows, a brief write-freeze
+//! for the final hand-off, and an atomic cutover that bumps the shard-map
+//! epoch. Traffic routed under the old epoch bounces once off the retired
+//! owner and refreshes (see [`LocationStage`](crate::pipeline::LocationStage)).
+
+use udr_model::ids::{PartitionId, SeId};
+
+use crate::udr::Udr;
+
+/// Why a partition is being moved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MoveReason {
+    /// Rebalancing onto a freshly added SE.
+    ScaleOut,
+    /// Emptying a retiring (or failing) SE so it can be decommissioned.
+    Drain,
+    /// Relocating the hottest partition away from a contended SE.
+    HotspotSplit,
+}
+
+impl std::fmt::Display for MoveReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            MoveReason::ScaleOut => "scale-out",
+            MoveReason::Drain => "drain",
+            MoveReason::HotspotSplit => "hotspot-split",
+        })
+    }
+}
+
+/// One planned partition move: relocate the copy of `partition` hosted on
+/// `from` to `to`, preserving the rest of the replica set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationPlan {
+    /// The partition whose copy moves.
+    pub partition: PartitionId,
+    /// The SE giving the copy up.
+    pub from: SeId,
+    /// The SE receiving the copy.
+    pub to: SeId,
+    /// The intent behind the move.
+    pub reason: MoveReason,
+}
+
+/// Plans partition moves against a deployment's current shard map. The
+/// planner is pure: it never mutates the deployment — execution happens
+/// by handing each plan to [`Udr::start_migration`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Rebalancer;
+
+impl Rebalancer {
+    /// Plan the moves that rebalance replica slots onto `new_se` (a
+    /// freshly added, empty SE): copies migrate from the most loaded SEs
+    /// until the newcomer carries its fair share. Slave copies are
+    /// preferred (their moves need no write-freeze); master copies move
+    /// only when a donor has nothing else to give.
+    pub fn plan_scale_out(udr: &Udr, new_se: SeId) -> Vec<MigrationPlan> {
+        let n = udr.se_count();
+        let mut counts = udr.shard_map().replicas_per_se(n);
+        let total: usize = counts.iter().sum();
+        let fair_share = total.div_ceil(n);
+        let mut plans = Vec::new();
+        let mut taken: Vec<PartitionId> = udr.shard_map().partitions_on(new_se);
+
+        while counts[new_se.index()] < fair_share {
+            // Most loaded live donor with a movable copy.
+            let Some((donor, partition)) = Self::pick_donation(udr, &counts, new_se, &taken) else {
+                break;
+            };
+            plans.push(MigrationPlan {
+                partition,
+                from: donor,
+                to: new_se,
+                reason: MoveReason::ScaleOut,
+            });
+            counts[donor.index()] -= 1;
+            counts[new_se.index()] += 1;
+            taken.push(partition);
+        }
+        plans
+    }
+
+    /// The best `(donor, partition)` donation given current slot counts:
+    /// donors ordered by load, partitions on a donor ordered slaves-first.
+    fn pick_donation(
+        udr: &Udr,
+        counts: &[usize],
+        to: SeId,
+        taken: &[PartitionId],
+    ) -> Option<(SeId, PartitionId)> {
+        let mut donors: Vec<SeId> = (0..udr.se_count() as u32).map(SeId).collect();
+        donors.retain(|se| *se != to && udr.se(*se).is_up() && counts[se.index()] > 0);
+        // Heaviest first; ties break on lowest id for determinism.
+        donors.sort_by_key(|se| (std::cmp::Reverse(counts[se.index()]), *se));
+        for donor in donors {
+            let mut candidates = udr.shard_map().partitions_on(donor);
+            candidates.retain(|p| !taken.contains(p));
+            // Slave copies first: no freeze window.
+            candidates.sort_by_key(|p| (udr.shard_map().master_of(*p) == Some(donor), *p));
+            if let Some(p) = candidates.first() {
+                return Some((donor, *p));
+            }
+        }
+        None
+    }
+
+    /// Plan the drain of `se`: every copy it hosts moves to the least
+    /// loaded live SE that is not already in the partition's replica set.
+    /// When the plans complete, `se` hosts nothing and can be retired.
+    pub fn plan_drain(udr: &Udr, se: SeId) -> Vec<MigrationPlan> {
+        let n = udr.se_count();
+        let mut counts = udr.shard_map().replicas_per_se(n);
+        let mut plans = Vec::new();
+        for partition in udr.shard_map().partitions_on(se) {
+            let members = udr
+                .shard_map()
+                .members_of(partition)
+                .unwrap_or(&[])
+                .to_vec();
+            let target = (0..n as u32)
+                .map(SeId)
+                .filter(|t| *t != se && udr.se(*t).is_up() && !members.contains(t))
+                .min_by_key(|t| (counts[t.index()], *t));
+            if let Some(to) = target {
+                plans.push(MigrationPlan {
+                    partition,
+                    from: se,
+                    to,
+                    reason: MoveReason::Drain,
+                });
+                counts[to.index()] += 1;
+                counts[se.index()] -= 1;
+            }
+        }
+        plans
+    }
+
+    /// Plan a hotspot relocation: take the partition with the highest
+    /// observed operation load and move its *master* copy to the least
+    /// loaded live SE outside its replica set, dedicating fresher capacity
+    /// to the hot key range. Returns `None` when no load has been observed
+    /// or no eligible target exists. A completed hotspot cutover resets
+    /// the moved partition's load counter, so periodic re-planning chases
+    /// current heat rather than relocating the same partition forever.
+    pub fn plan_hotspot_split(udr: &Udr) -> Option<MigrationPlan> {
+        let hot = udr
+            .shard_map()
+            .partitions()
+            .max_by_key(|p| (udr.partition_ops(*p), std::cmp::Reverse(*p)))?;
+        if udr.partition_ops(hot) == 0 {
+            return None;
+        }
+        let from = udr.shard_map().master_of(hot)?;
+        let members = udr.shard_map().members_of(hot)?.to_vec();
+        let n = udr.se_count();
+        let counts = udr.shard_map().replicas_per_se(n);
+        let to = (0..n as u32)
+            .map(SeId)
+            .filter(|t| udr.se(*t).is_up() && !members.contains(t))
+            .min_by_key(|t| (counts[t.index()], *t))?;
+        Some(MigrationPlan {
+            partition: hot,
+            from,
+            to,
+            reason: MoveReason::HotspotSplit,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::UdrConfig;
+    use udr_model::ids::SiteId;
+    use udr_model::time::SimTime;
+
+    fn system() -> Udr {
+        // 3 sites × 1 cluster × 2 SEs = 6 SEs, 6 partitions, RF 2.
+        let mut cfg = UdrConfig::figure2();
+        cfg.ses_per_cluster = 2;
+        cfg.partitions = 6;
+        cfg.frash.replication_factor = 2;
+        Udr::build(cfg).unwrap()
+    }
+
+    #[test]
+    fn scale_out_plans_fill_the_newcomer() {
+        let mut udr = system();
+        let new_se = udr.add_se(SiteId(0), SimTime::ZERO);
+        let plans = Rebalancer::plan_scale_out(&udr, new_se);
+        // 12 slots over 7 SEs → fair share 2.
+        assert_eq!(plans.len(), 2);
+        let mut seen = Vec::new();
+        for p in &plans {
+            assert_eq!(p.to, new_se);
+            assert_ne!(p.from, new_se);
+            assert_eq!(p.reason, MoveReason::ScaleOut);
+            assert!(!seen.contains(&p.partition), "duplicate partition move");
+            seen.push(p.partition);
+        }
+    }
+
+    #[test]
+    fn drain_plans_empty_the_donor() {
+        let udr = system();
+        let victim = SeId(3);
+        let hosted = udr.shard_map().partitions_on(victim);
+        let plans = Rebalancer::plan_drain(&udr, victim);
+        assert_eq!(plans.len(), hosted.len());
+        for p in &plans {
+            assert_eq!(p.from, victim);
+            assert_ne!(p.to, victim);
+            // Target is not already a member of the replica set.
+            assert!(!udr
+                .shard_map()
+                .members_of(p.partition)
+                .unwrap()
+                .contains(&p.to));
+        }
+    }
+
+    #[test]
+    fn hotspot_split_targets_the_loaded_partition() {
+        let mut udr = system();
+        assert!(Rebalancer::plan_hotspot_split(&udr).is_none());
+        udr.note_partition_ops_for_test(PartitionId(2), 1000);
+        let plan = Rebalancer::plan_hotspot_split(&udr).unwrap();
+        assert_eq!(plan.partition, PartitionId(2));
+        assert_eq!(plan.reason, MoveReason::HotspotSplit);
+        assert_eq!(Some(plan.from), udr.shard_map().master_of(PartitionId(2)));
+    }
+}

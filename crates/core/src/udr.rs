@@ -12,14 +12,14 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use udr_dls::{DataLocationStage, IdentityLocationMap, PlacementContext};
+use udr_dls::{DataLocationStage, IdentityLocationMap, PlacementContext, ShardMap};
 use udr_ldap::{LdapServer, PointOfAccess};
 use udr_model::config::{DurabilityMode, LocatorKind, Pacelc, ReplicationMode, TxnClass};
 use udr_model::error::UdrResult;
 use udr_model::ids::{ClusterId, LdapServerId, PartitionId, PoaId, ReplicaRole, SeId, SiteId};
 use udr_model::time::{SimDuration, SimTime};
 use udr_replication::multimaster::{merge_branches, restoration_duration};
-use udr_replication::{AsyncShipper, ReplicationGroup};
+use udr_replication::{AsyncShipper, MigrationChannel, MigrationState, ReplicationGroup};
 use udr_sim::faults::{Fault, FaultSchedule};
 use udr_sim::net::{Cut, CutHandle, Network, Topology};
 use udr_sim::{EventQueue, SimRng};
@@ -27,11 +27,22 @@ use udr_storage::{CommitRecord, Lsn, StorageElement};
 
 use crate::config::UdrConfig;
 use crate::metrics_agg::UdrMetrics;
+use crate::rebalance::MigrationPlan;
 
 /// How often stalled replication channels retry catch-up.
 pub(crate) const CATCHUP_INTERVAL: SimDuration = SimDuration::from_millis(200);
 /// Per-record cost of the consistency-restoration scan (§5 merge).
 const MERGE_COST_PER_RECORD: SimDuration = SimDuration::from_micros(5);
+/// Catch-up lag (records) at which a master move freezes writes for the
+/// final hand-off window.
+const MIGRATION_FREEZE_LAG: u64 = 64;
+/// Lag at which a slave-copy move may cut over: the remainder flows over
+/// the group's ordinary replica channel after the swap, no freeze needed.
+const MIGRATION_SLAVE_CUTOVER_LAG: u64 = 32;
+/// Fixed setup cost of a migration snapshot transfer.
+const MIGRATION_SEED_BASE: SimDuration = SimDuration::from_millis(50);
+/// Snapshot transfer throughput (bytes per microsecond ≙ 100 MB/s).
+const MIGRATION_SEED_BYTES_PER_US: u64 = 100;
 
 /// One blade cluster: PoA, LDAP servers and a data-location stage (§3.4.1).
 pub struct Cluster {
@@ -41,7 +52,7 @@ pub struct Cluster {
     pub site: SiteId,
     /// The L4 balancer.
     pub poa: PointOfAccess,
-    /// LDAP servers (indices into [`Udr::servers`]).
+    /// LDAP servers (indices into the deployment's server table).
     pub servers: Vec<LdapServerId>,
     /// The local data-location stage instance.
     pub stage: DataLocationStage,
@@ -93,6 +104,41 @@ pub enum UdrEvent {
         /// The partition to check.
         partition: PartitionId,
     },
+    /// A live partition migration begins: snapshot-seed the target and
+    /// open its migration channel.
+    MigrationStart {
+        /// Index into the deployment's migration ledger.
+        id: u64,
+    },
+    /// A migration's atomic cutover: swap group membership, release the
+    /// retired copy, bump the shard-map epoch.
+    MigrationCutover {
+        /// Index into the deployment's migration ledger.
+        id: u64,
+    },
+    /// A migration is abandoned (fault on an endpoint or the path): the
+    /// target's partial copy is dropped and the epoch does not advance.
+    MigrationAbort {
+        /// Index into the deployment's migration ledger.
+        id: u64,
+    },
+    /// A record shipped over a migration channel arrives at the target.
+    MigrationDeliver {
+        /// Index into the deployment's migration ledger.
+        id: u64,
+        /// The record.
+        record: CommitRecord,
+    },
+}
+
+/// One tracked live migration (see [`MigrationPlan`] for the intent and
+/// [`MigrationState`] for the lifecycle).
+pub(crate) struct MigrationTask {
+    pub(crate) plan: MigrationPlan,
+    pub(crate) state: MigrationState,
+    /// The shipping ledger; `None` until [`UdrEvent::MigrationStart`]
+    /// fires (and again after a terminal state).
+    pub(crate) channel: Option<MigrationChannel>,
 }
 
 /// The assembled UDR network function.
@@ -107,6 +153,15 @@ pub struct Udr {
     pub(crate) servers: Vec<LdapServer>,
     pub(crate) groups: Vec<ReplicationGroup>,
     pub(crate) shippers: Vec<AsyncShipper>,
+    /// The authoritative epoch-versioned partition → SE assignment table.
+    /// `groups` is the runtime view of the same assignments; every
+    /// reassignment flows through [`ShardMap::reassign`] so route caches
+    /// can version-check their views.
+    pub(crate) shard_map: ShardMap,
+    /// Live migrations, by id (completed/aborted entries stay for audit).
+    pub(crate) migrations: Vec<MigrationTask>,
+    /// Operations routed per partition (hotspot detection).
+    pub(crate) ops_per_partition: Vec<u64>,
     pub(crate) placement: PlacementContext,
     /// Ground-truth identity→location bindings (what the PS provisioned).
     pub(crate) authority: IdentityLocationMap,
@@ -253,9 +308,12 @@ impl Udr {
             }
         }
 
+        let shard_map = ShardMap::new(groups.iter().map(|g| (g.partition(), g.members().to_vec())));
+
         let sites = cfg.sites as usize;
         Ok(Udr {
             subs_per_partition: vec![0; cfg.partitions as usize],
+            ops_per_partition: vec![0; cfg.partitions as usize],
             cfg,
             net,
             rng: rng.fork(1),
@@ -265,6 +323,8 @@ impl Udr {
             servers,
             groups,
             shippers,
+            shard_map,
+            migrations: Vec::new(),
             placement,
             authority: IdentityLocationMap::new(),
             clusters_at_site,
@@ -311,6 +371,25 @@ impl Udr {
     /// Live subscribers per partition.
     pub fn subscribers_in(&self, partition: PartitionId) -> u64 {
         self.subs_per_partition[partition.index()]
+    }
+
+    /// The authoritative epoch-versioned shard map.
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.shard_map
+    }
+
+    /// Operations routed to a partition so far (hotspot detection).
+    pub fn partition_ops(&self, partition: PartitionId) -> u64 {
+        self.ops_per_partition
+            .get(partition.index())
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Seed partition load counters directly (planner tests).
+    #[cfg(test)]
+    pub(crate) fn note_partition_ops_for_test(&mut self, partition: PartitionId, n: u64) {
+        self.ops_per_partition[partition.index()] += n;
     }
 
     /// Total provisioned subscribers.
@@ -398,6 +477,10 @@ impl Udr {
             UdrEvent::SeCrash { se } => self.crash_se(t, se),
             UdrEvent::SeRestore { se } => self.restore_se(t, se),
             UdrEvent::FailoverCheck { partition } => self.failover_check(t, partition),
+            UdrEvent::MigrationStart { id } => self.migration_start(t, id),
+            UdrEvent::MigrationCutover { id } => self.migration_cutover(t, id),
+            UdrEvent::MigrationAbort { id } => self.migration_abort(t, id),
+            UdrEvent::MigrationDeliver { id, record } => self.migration_deliver(t, id, record),
         }
     }
 
@@ -485,6 +568,7 @@ impl Udr {
                 }
             }
         }
+        self.run_migration_catchup(t);
     }
 
     /// Seed `slave` with a fresh snapshot of the master's current state.
@@ -561,6 +645,9 @@ impl Udr {
             .promote(candidate)
             .expect("candidate is a member");
         let _ = self.ses[candidate.index()].set_role(partition, ReplicaRole::Master);
+        // Mastership moved: bump the shard-map epoch so route caches learn
+        // (lazily) that the old owner is retired.
+        self.sync_shard_map(partition);
         // Rebuild the shipping ledger around the new master.
         let mut shipper = AsyncShipper::new();
         for slave in self.groups[p].slaves() {
@@ -857,7 +944,7 @@ impl Udr {
             poa.register(id);
             server_ids.push(id);
         }
-        let stage = match self.cfg.frash.locator {
+        let mut stage = match self.cfg.frash.locator {
             LocatorKind::ProvisionedMaps => {
                 // Copy the maps from a peer stage; the transfer blocks the
                 // new PoA for the sync window.
@@ -874,6 +961,8 @@ impl Udr {
                 udr_dls::ConsistentHashRing::new((0..self.cfg.partitions).map(PartitionId), 64),
             ),
         };
+        // The sync copies a current view: the stage joins at today's epoch.
+        stage.install_map_epoch(self.shard_map.epoch());
         self.clusters.push(Cluster {
             id: cluster_id,
             site,
@@ -889,5 +978,388 @@ impl Udr {
     /// is already serving).
     pub fn cluster_sync_done_at(&self, cluster_idx: usize) -> Option<SimTime> {
         self.clusters[cluster_idx].stage.sync_done_at()
+    }
+
+    // ---- elastic scale-out: live partition migration -------------------------
+
+    /// Deploy an additional (empty) Storage Element at `site`. The
+    /// newcomer hosts nothing until a [`Rebalancer`](crate::Rebalancer)
+    /// plan moves partitions onto it.
+    ///
+    /// # Panics
+    ///
+    /// Panics immediately when `site` is outside the deployment's
+    /// topology (sites are fixed at build time; an out-of-range site
+    /// would otherwise only surface as an index panic deep inside the
+    /// event pump).
+    pub fn add_se(&mut self, site: SiteId, now: SimTime) -> SeId {
+        assert!(
+            site.index() < self.cfg.sites as usize,
+            "{site} is outside the {}-site topology",
+            self.cfg.sites
+        );
+        self.advance_to(now);
+        let id = SeId(self.ses.len() as u32);
+        self.ses
+            .push(StorageElement::new(id, site, self.cfg.frash.durability));
+        if let DurabilityMode::PeriodicSnapshot { interval } = self.cfg.frash.durability {
+            self.events.schedule_at(
+                self.events.now().max(now) + interval,
+                UdrEvent::SnapshotTick { se: id },
+            );
+        }
+        id
+    }
+
+    /// Begin executing a [`MigrationPlan`] at `at`: the move runs online
+    /// through the event pump (snapshot reseed → log catch-up → freeze →
+    /// atomic cutover that bumps the shard-map epoch), interleaved
+    /// deterministically with traffic and faults. Returns the migration
+    /// id for [`Udr::migration_state`] queries. Invalid or fault-hit plans
+    /// abort cleanly without advancing the epoch.
+    pub fn start_migration(&mut self, plan: MigrationPlan, at: SimTime) -> u64 {
+        let id = self.migrations.len() as u64;
+        self.migrations.push(MigrationTask {
+            plan,
+            state: MigrationState::Seeding { ready_at: at },
+            channel: None,
+        });
+        // Every accepted request counts as started, including ones that
+        // abort at validation: started == completed + aborted always.
+        self.metrics.migrations_started += 1;
+        self.events.schedule_at(at, UdrEvent::MigrationStart { id });
+        id
+    }
+
+    /// The lifecycle state of a migration started earlier.
+    pub fn migration_state(&self, id: u64) -> Option<MigrationState> {
+        self.migrations.get(id as usize).map(|m| m.state)
+    }
+
+    /// Migrations not yet in a terminal state.
+    pub fn active_migrations(&self) -> usize {
+        self.migrations
+            .iter()
+            .filter(|m| m.state.is_active())
+            .count()
+    }
+
+    /// `MigrationStart`: snapshot the partition master, seed the target's
+    /// copy and open the migration channel at the snapshot LSN.
+    fn migration_start(&mut self, t: SimTime, id: u64) {
+        let plan = self.migrations[id as usize].plan;
+        let p = plan.partition.index();
+        let valid = plan.from != plan.to
+            && p < self.groups.len()
+            && plan.to.index() < self.ses.len()
+            && self.groups[p].contains(plan.from)
+            && !self.groups[p].contains(plan.to)
+            && self.ses[plan.from.index()].is_up()
+            && self.ses[plan.to.index()].is_up();
+        if !valid || !self.ses[self.groups[p].master().index()].is_up() {
+            self.migration_abort(t, id);
+            return;
+        }
+        let master = self.groups[p].master();
+        let snapshot = self.ses[master.index()]
+            .engine(plan.partition)
+            .expect("master hosts partition")
+            .snapshot();
+        let lsn = snapshot.last_lsn;
+        let bytes = snapshot.approx_bytes() as u64;
+        self.ses[plan.to.index()].seed_replica(plan.partition, ReplicaRole::Slave, snapshot);
+        let transfer =
+            MIGRATION_SEED_BASE + SimDuration::from_micros(bytes / MIGRATION_SEED_BYTES_PER_US);
+        let task = &mut self.migrations[id as usize];
+        task.channel = Some(MigrationChannel::new(plan.to, lsn));
+        task.state = MigrationState::Seeding {
+            ready_at: t + transfer,
+        };
+    }
+
+    /// Drive every active migration one catch-up step (runs on each
+    /// `CatchupTick`, after the replica channels).
+    fn run_migration_catchup(&mut self, t: SimTime) {
+        for id in 0..self.migrations.len() {
+            let (plan, state, started) = {
+                let m = &self.migrations[id];
+                (m.plan, m.state, m.channel.is_some())
+            };
+            if !state.is_active() || !started {
+                continue;
+            }
+            let p = plan.partition.index();
+            let master = self.groups[p].master();
+            // Fault policy: a crashed endpoint or a cut on the shipping
+            // path abandons the move — restarting later is cheaper than
+            // reasoning about a half-seeded copy across a partition.
+            let endpoints_up = self.ses[plan.from.index()].is_up()
+                && self.ses[plan.to.index()].is_up()
+                && self.ses[master.index()].is_up();
+            let master_site = self.ses[master.index()].site();
+            let to_site = self.ses[plan.to.index()].site();
+            if !endpoints_up || !self.net.reachable(master_site, to_site) {
+                self.migration_abort(t, id as u64);
+                continue;
+            }
+            match state {
+                MigrationState::Seeding { ready_at } if t < ready_at => continue,
+                MigrationState::Seeding { .. } => {
+                    self.migrations[id].state = MigrationState::CatchingUp;
+                }
+                _ => {}
+            }
+            // A truncated master log (or a failover onto a new lineage)
+            // invalidates the seed: reseed from the current master.
+            let needs_reseed = {
+                let engine = self.ses[master.index()]
+                    .engine(plan.partition)
+                    .expect("master hosts partition");
+                self.migrations[id]
+                    .channel
+                    .as_ref()
+                    .expect("started migration has channel")
+                    .needs_reseed(engine)
+            };
+            if needs_reseed {
+                let snapshot = self.ses[master.index()]
+                    .engine(plan.partition)
+                    .expect("master hosts partition")
+                    .snapshot();
+                let lsn = snapshot.last_lsn;
+                self.ses[plan.to.index()].seed_replica(
+                    plan.partition,
+                    ReplicaRole::Slave,
+                    snapshot,
+                );
+                self.migrations[id]
+                    .channel
+                    .as_mut()
+                    .expect("started migration has channel")
+                    .reseeded(lsn);
+                self.metrics.reseeds += 1;
+                continue;
+            }
+            let lag = {
+                let engine = self.ses[master.index()]
+                    .engine(plan.partition)
+                    .expect("master hosts partition");
+                self.migrations[id]
+                    .channel
+                    .as_ref()
+                    .expect("started migration has channel")
+                    .lag(engine)
+            };
+            if plan.from == master {
+                // Master move: converge, freeze the log, cut over at
+                // exact equality.
+                if lag <= MIGRATION_FREEZE_LAG
+                    && !matches!(self.migrations[id].state, MigrationState::Frozen { .. })
+                {
+                    let _ = self.ses[master.index()].freeze_partition(plan.partition);
+                    self.migrations[id].state = MigrationState::Frozen { since: t };
+                }
+                if matches!(self.migrations[id].state, MigrationState::Frozen { .. }) && lag == 0 {
+                    // The cutover itself is a coordination round between
+                    // the endpoints: the freeze window is never zero.
+                    let coord = self
+                        .net
+                        .round_trip(master_site, to_site, &mut self.rng)
+                        .unwrap_or(SimDuration::from_millis(1));
+                    self.events
+                        .schedule_at(t + coord, UdrEvent::MigrationCutover { id: id as u64 });
+                    continue;
+                }
+            } else if lag <= MIGRATION_SLAVE_CUTOVER_LAG {
+                // Slave move: the ordinary replica channel closes the
+                // remainder after the swap; no freeze needed.
+                self.events
+                    .schedule_at(t, UdrEvent::MigrationCutover { id: id as u64 });
+                continue;
+            }
+            if lag == 0 {
+                continue;
+            }
+            let delay = self.net.send(master_site, to_site, &mut self.rng).delay();
+            let deliveries = {
+                let ses = &self.ses;
+                let engine = ses[master.index()]
+                    .engine(plan.partition)
+                    .expect("master hosts partition");
+                self.migrations[id]
+                    .channel
+                    .as_mut()
+                    .expect("started migration has channel")
+                    .catch_up(engine, t, delay)
+            };
+            self.metrics.migration_records_shipped += deliveries.len() as u64;
+            for d in deliveries {
+                self.events.schedule_at(
+                    d.arrives,
+                    UdrEvent::MigrationDeliver {
+                        id: id as u64,
+                        record: d.record,
+                    },
+                );
+            }
+        }
+    }
+
+    /// `MigrationDeliver`: apply one migrated record on the target copy.
+    fn migration_deliver(&mut self, _t: SimTime, id: u64, record: CommitRecord) {
+        let Some(m) = self.migrations.get(id as usize) else {
+            return;
+        };
+        if !m.state.is_active() || m.channel.is_none() {
+            return;
+        }
+        let plan = m.plan;
+        let master = self.groups[plan.partition.index()].master();
+        let master_site = self.ses[master.index()].site();
+        let to_site = self.ses[plan.to.index()].site();
+        if !self.ses[plan.to.index()].is_up() || !self.net.reachable(master_site, to_site) {
+            return;
+        }
+        let lsn = record.lsn;
+        if self.ses[plan.to.index()]
+            .apply_replicated(plan.partition, &record)
+            .is_ok()
+        {
+            if let Some(ch) = self.migrations[id as usize].channel.as_mut() {
+                ch.on_applied(lsn);
+            }
+        }
+    }
+
+    /// `MigrationCutover`: atomically swap the copy into the replica set,
+    /// release the retired copy and bump the shard-map epoch.
+    fn migration_cutover(&mut self, t: SimTime, id: u64) {
+        let (plan, state) = {
+            let m = &self.migrations[id as usize];
+            (m.plan, m.state)
+        };
+        if !state.is_active() {
+            return;
+        }
+        let p = plan.partition.index();
+        let master = self.groups[p].master();
+        let was_master_move = plan.from == master;
+        let master_site = self.ses[master.index()].site();
+        let to_site = self.ses[plan.to.index()].site();
+        let to_ok = self.ses[plan.to.index()].is_up() && self.net.reachable(master_site, to_site);
+        let target_lsn = self.ses[plan.to.index()]
+            .last_lsn(plan.partition)
+            .unwrap_or(Lsn::ZERO);
+        let master_lsn = self.ses[master.index()]
+            .last_lsn(plan.partition)
+            .unwrap_or(Lsn::ZERO);
+        // A master hand-off must be exact: every committed record is on
+        // the target before the old master retires (zero loss).
+        if !to_ok || (was_master_move && target_lsn != master_lsn) {
+            self.migration_abort(t, id);
+            return;
+        }
+        self.groups[p]
+            .replace_member(plan.from, plan.to)
+            .expect("cutover swap validated");
+        let new_role = if was_master_move {
+            ReplicaRole::Master
+        } else {
+            ReplicaRole::Slave
+        };
+        let _ = self.ses[plan.to.index()].set_role(plan.partition, new_role);
+        if was_master_move {
+            // Rebuild the shipping ledger around the new master (same
+            // lineage, so the slaves' applied LSNs carry over).
+            let mut shipper = AsyncShipper::new();
+            for slave in self.groups[p].slaves() {
+                let lsn = if self.ses[slave.index()].is_up() {
+                    self.ses[slave.index()]
+                        .last_lsn(plan.partition)
+                        .unwrap_or(Lsn::ZERO)
+                        .min(master_lsn)
+                } else {
+                    Lsn::ZERO
+                };
+                shipper.register_slave(slave, lsn);
+            }
+            self.shippers[p] = shipper;
+        } else {
+            self.shippers[p].unregister_slave(plan.from);
+            self.shippers[p].register_slave(plan.to, target_lsn.min(master_lsn));
+        }
+        // Hand-off complete: the retired copy releases its RAM and disk.
+        let _ = self.ses[plan.from.index()].release_partition(plan.partition);
+        self.sync_shard_map(plan.partition);
+        self.rebuild_placement();
+        if plan.reason == crate::rebalance::MoveReason::HotspotSplit {
+            // The relocation served this load; reset the counter so the
+            // planner chases *current* heat, not history (otherwise the
+            // same partition stays the maximum forever and periodic
+            // re-planning thrashes its master back and forth).
+            self.ops_per_partition[p] = 0;
+        }
+        if let MigrationState::Frozen { since } = state {
+            self.metrics.migration_freeze_time += t.duration_since(since);
+        }
+        let task = &mut self.migrations[id as usize];
+        task.state = MigrationState::Done;
+        task.channel = None;
+        self.metrics.migrations_completed += 1;
+    }
+
+    /// `MigrationAbort`: abandon the move without touching the epoch; the
+    /// old owner keeps serving unchanged.
+    fn migration_abort(&mut self, t: SimTime, id: u64) {
+        let Some(m) = self.migrations.get(id as usize) else {
+            return;
+        };
+        let (plan, state) = (m.plan, m.state);
+        if !state.is_active() {
+            return;
+        }
+        if let MigrationState::Frozen { since } = state {
+            self.ses[plan.from.index()].unfreeze_partition(plan.partition);
+            self.metrics.migration_freeze_time += t.duration_since(since);
+        }
+        // Drop the target's partial copy — it never joined the group.
+        // (The plan may be arbitrarily malformed — e.g. an out-of-range
+        // partition — and must still abort cleanly, not panic.)
+        let joined = self
+            .groups
+            .get(plan.partition.index())
+            .is_some_and(|g| g.contains(plan.to));
+        if plan.to.index() < self.ses.len() && !joined {
+            let _ = self.ses[plan.to.index()].release_partition(plan.partition);
+        }
+        let task = &mut self.migrations[id as usize];
+        task.state = MigrationState::Aborted;
+        task.channel = None;
+        self.metrics.migrations_aborted += 1;
+    }
+
+    /// Re-publish `partition`'s current replica set into the shard map
+    /// (epoch bump). The one call every membership/mastership change must
+    /// make — `ReplicationGroup::members()` keeps insertion order, which
+    /// stops being master-first after a promotion, so the master is
+    /// re-ordered to the front here ([`ShardMap::reassign`]'s contract).
+    fn sync_shard_map(&mut self, partition: PartitionId) {
+        let g = &self.groups[partition.index()];
+        let master = g.master();
+        let mut members = Vec::with_capacity(g.members().len());
+        members.push(master);
+        members.extend(g.members().iter().copied().filter(|se| *se != master));
+        self.shard_map.reassign(partition, members);
+    }
+
+    /// Recompute the placement context from current partition masters
+    /// (masters move sites on cutover/failover).
+    fn rebuild_placement(&mut self) {
+        let mut by_region: Vec<Vec<PartitionId>> = vec![Vec::new(); self.cfg.sites as usize];
+        for g in &self.groups {
+            let site = self.ses[g.master().index()].site();
+            by_region[site.index()].push(g.partition());
+        }
+        self.placement = PlacementContext::new(by_region);
     }
 }

@@ -1,0 +1,457 @@
+//! Live partition migration: the epoch-versioned shard map under data
+//! movement. Scale-out, drain, fault-during-migration and stale-route
+//! retries — each asserting the acceptance properties: zero lost or
+//! duplicated committed records, epochs that only advance at cutover, and
+//! stale-epoch lookups retried at most once.
+
+use udr_core::{MigrationPlan, MoveReason, Rebalancer, Udr, UdrConfig};
+use udr_model::attrs::{AttrId, AttrMod, AttrValue};
+use udr_model::identity::{Identity, IdentitySet, Imsi, Msisdn};
+use udr_model::ids::{SeId, SiteId};
+use udr_model::procedures::ProcedureKind;
+use udr_model::time::{SimDuration, SimTime};
+use udr_replication::MigrationState;
+use udr_sim::FaultSchedule;
+
+fn ids(n: u64) -> IdentitySet {
+    IdentitySet {
+        imsi: Imsi::new(format!("21401{n:010}")).unwrap(),
+        msisdn: Msisdn::new(format!("346{n:08}")).unwrap(),
+        impus: vec![],
+        impi: None,
+    }
+}
+
+fn t(secs: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_secs(secs)
+}
+
+/// A 3-site system with two SEs per cluster: enough partitions and spare
+/// capacity for moves to be non-trivial.
+fn system() -> Udr {
+    let mut cfg = UdrConfig::figure2();
+    cfg.ses_per_cluster = 2;
+    cfg.partitions = 6;
+    cfg.frash.replication_factor = 2;
+    Udr::build(cfg).unwrap()
+}
+
+fn provision_n(udr: &mut Udr, n: u64) -> Vec<IdentitySet> {
+    let mut subs = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        let set = ids(i);
+        let out = udr.provision_subscriber(
+            &set,
+            (i % 3) as u32,
+            SiteId(0),
+            t(1) + SimDuration::from_millis(i * 5),
+        );
+        assert!(out.is_ok(), "provisioning {i} failed: {:?}", out.op.result);
+        subs.push(set);
+    }
+    subs
+}
+
+/// Write a known value per subscriber, returning the oracle map the
+/// post-migration full scan is checked against.
+fn write_oracle(udr: &mut Udr, subs: &[IdentitySet], base: SimTime) -> Vec<(Identity, u64)> {
+    let mut oracle = Vec::new();
+    for (i, set) in subs.iter().enumerate() {
+        let identity: Identity = set.imsi.clone().into();
+        let value = 0xBEEF_0000 + i as u64;
+        let out = udr.modify_services(
+            &identity,
+            vec![AttrMod::Set(AttrId::OdbMask, AttrValue::U64(value))],
+            SiteId(0),
+            base + SimDuration::from_millis(i as u64 * 3),
+        );
+        assert!(out.is_ok(), "oracle write {i} failed: {:?}", out.result);
+        oracle.push((identity, value));
+    }
+    oracle
+}
+
+/// Full scan against the shadow oracle: every committed record readable
+/// exactly once, from the partition's current master, with the expected
+/// value — zero loss, zero duplication.
+fn verify_against_oracle(udr: &Udr, oracle: &[(Identity, u64)]) {
+    for (identity, expected) in oracle {
+        let loc = udr
+            .lookup_authority(identity)
+            .unwrap_or_else(|| panic!("{identity} lost its binding"));
+        // Exactly one SE may master this partition, and its copy must
+        // hold the oracle value.
+        let master = udr
+            .shard_map()
+            .master_of(loc.partition)
+            .expect("partition mapped");
+        let entry = udr
+            .se(master)
+            .read_committed(loc.partition, loc.uid)
+            .expect("master serves reads")
+            .unwrap_or_else(|| panic!("{identity}: record lost in migration"));
+        assert_eq!(
+            entry.get(AttrId::OdbMask),
+            Some(&AttrValue::U64(*expected)),
+            "{identity}: stale/duplicated value after migration"
+        );
+        // No retired copy still claims the partition: the record exists
+        // only on current group members.
+        for se_idx in 0..udr.se_count() {
+            let se = udr.se(SeId(se_idx as u32));
+            let hosts = se.partitions().any(|p| p == loc.partition);
+            let is_member = udr
+                .shard_map()
+                .members_of(loc.partition)
+                .unwrap()
+                .contains(&se.id());
+            assert!(
+                !hosts || is_member,
+                "{}: retired copy of {} still hosted (duplication)",
+                se.id(),
+                loc.partition
+            );
+        }
+    }
+}
+
+/// Let the event pump run until every migration reaches a terminal state.
+fn settle_migrations(udr: &mut Udr, mut at: SimTime) -> SimTime {
+    for _ in 0..200 {
+        if udr.active_migrations() == 0 {
+            break;
+        }
+        at += SimDuration::from_millis(100);
+        udr.advance_to(at);
+    }
+    assert_eq!(udr.active_migrations(), 0, "migrations never settled");
+    at
+}
+
+#[test]
+fn scale_out_migrates_partitions_with_zero_loss() {
+    let mut udr = system();
+    let subs = provision_n(&mut udr, 48);
+    let oracle = write_oracle(&mut udr, &subs, t(5));
+    let epoch_before = udr.shard_map().epoch();
+
+    // N → N+1: a fresh SE joins site 0 and the rebalancer fills it.
+    let new_se = udr.add_se(SiteId(0), t(10));
+    let plans = Rebalancer::plan_scale_out(&udr, new_se);
+    assert!(!plans.is_empty(), "scale-out planned nothing");
+    for (i, plan) in plans.iter().enumerate() {
+        udr.start_migration(*plan, t(11) + SimDuration::from_millis(i as u64));
+    }
+    let settled = settle_migrations(&mut udr, t(11));
+
+    assert_eq!(
+        udr.metrics.migrations_completed,
+        plans.len() as u64,
+        "not every planned move cut over"
+    );
+    assert!(udr.shard_map().epoch() > epoch_before);
+    // The newcomer now carries its fair share.
+    assert_eq!(
+        udr.shard_map().partitions_on(new_se).len(),
+        plans.len(),
+        "newcomer hosts fewer copies than planned"
+    );
+    verify_against_oracle(&udr, &oracle);
+
+    // Traffic still flows end to end after the reshuffle.
+    let mut at = settled + SimDuration::from_secs(1);
+    for set in subs.iter().take(12) {
+        let out = udr.run_procedure(ProcedureKind::SmsDelivery, set, SiteId(1), at);
+        assert!(out.success, "post-migration read failed: {:?}", out.failure);
+        at += SimDuration::from_millis(20);
+    }
+}
+
+#[test]
+fn drain_empties_an_se_with_zero_loss() {
+    let mut udr = system();
+    let subs = provision_n(&mut udr, 36);
+    let oracle = write_oracle(&mut udr, &subs, t(5));
+
+    // N → N−1: move everything off se3, then it could be decommissioned.
+    let victim = SeId(3);
+    let hosted_before = udr.shard_map().partitions_on(victim).len();
+    assert!(hosted_before > 0, "victim hosts nothing to drain");
+    let plans = Rebalancer::plan_drain(&udr, victim);
+    assert_eq!(plans.len(), hosted_before);
+    for (i, plan) in plans.iter().enumerate() {
+        udr.start_migration(*plan, t(10) + SimDuration::from_millis(i as u64 * 50));
+    }
+    settle_migrations(&mut udr, t(10));
+
+    assert_eq!(udr.metrics.migrations_completed, plans.len() as u64);
+    // The victim is empty: shard map, groups and the SE itself agree.
+    assert!(udr.shard_map().partitions_on(victim).is_empty());
+    assert_eq!(udr.se(victim).partitions().count(), 0);
+    verify_against_oracle(&udr, &oracle);
+}
+
+#[test]
+fn partition_cut_between_reseed_and_cutover_aborts_cleanly() {
+    let mut udr = system();
+    let subs = provision_n(&mut udr, 24);
+    let oracle = write_oracle(&mut udr, &subs, t(5));
+    udr.advance_to(t(9));
+    let epoch_before = udr.shard_map().epoch();
+
+    // Move a *master* copy from its site-0 SE to a newcomer at site 1:
+    // the shipping path crosses the backbone, so a cut severs it.
+    let partition = udr
+        .shard_map()
+        .partitions()
+        .find(|p| {
+            let m = udr.shard_map().master_of(*p).unwrap();
+            udr.se(m).site() == SiteId(0)
+        })
+        .expect("some partition mastered at site 0");
+    let from = udr.shard_map().master_of(partition).unwrap();
+    let to = udr.add_se(SiteId(1), t(9));
+    let plan = MigrationPlan {
+        partition,
+        from,
+        to,
+        reason: MoveReason::ScaleOut,
+    };
+    let id = udr.start_migration(plan, t(10));
+
+    // The cut lands right after the snapshot reseed (MigrationStart at
+    // t=10) but before the first catch-up tick can drive the cutover.
+    udr.schedule_faults(FaultSchedule::new().partition(
+        t(10) + SimDuration::from_millis(20),
+        SimDuration::from_secs(30),
+        [SiteId(1)],
+    ));
+    udr.advance_to(t(15));
+
+    // The migration aborted cleanly: no epoch advance, target dropped its
+    // partial copy, the old owner still masters and serves.
+    assert_eq!(udr.migration_state(id), Some(MigrationState::Aborted));
+    assert_eq!(udr.metrics.migrations_aborted, 1);
+    assert_eq!(udr.metrics.migrations_completed, 0);
+    assert_eq!(udr.shard_map().epoch(), epoch_before);
+    assert_eq!(udr.shard_map().master_of(partition), Some(from));
+    assert_eq!(udr.se(to).partitions().count(), 0);
+    // Reads of the partition keep serving from the old owner (site-0
+    // clients are unaffected by the site-1 island).
+    let moved_sub = subs
+        .iter()
+        .find(|s| {
+            udr.lookup_authority(&s.imsi.clone().into())
+                .map(|l| l.partition)
+                == Some(partition)
+        })
+        .expect("some subscriber lives on the partition");
+    let out = udr.run_procedure(ProcedureKind::SmsDelivery, moved_sub, SiteId(0), t(16));
+    assert!(out.success, "read after abort failed: {:?}", out.failure);
+    // After the cut heals, data is still intact everywhere.
+    udr.advance_to(t(50));
+    verify_against_oracle(&udr, &oracle);
+}
+
+#[test]
+fn stale_epoch_lookup_is_retried_at_most_once() {
+    let mut udr = system();
+    let subs = provision_n(&mut udr, 24);
+    write_oracle(&mut udr, &subs, t(5));
+    udr.advance_to(t(9));
+
+    // Complete a master move so the epoch bumps.
+    let partition = udr
+        .shard_map()
+        .partitions()
+        .find(|p| {
+            let m = udr.shard_map().master_of(*p).unwrap();
+            udr.se(m).site() == SiteId(0)
+        })
+        .unwrap();
+    let from = udr.shard_map().master_of(partition).unwrap();
+    let to = udr.add_se(SiteId(0), t(9));
+    let plan = MigrationPlan {
+        partition,
+        from,
+        to,
+        reason: MoveReason::HotspotSplit,
+    };
+    let id = udr.start_migration(plan, t(10));
+    settle_migrations(&mut udr, t(10));
+    assert_eq!(udr.migration_state(id), Some(MigrationState::Done));
+    assert_eq!(udr.shard_map().master_of(partition), Some(to));
+    assert_eq!(udr.shard_map().retired_master(partition), Some(from));
+
+    // First lookup through a (stale) cluster bounces off the retired
+    // owner once: the retry surfaces in the location breakdown.
+    let moved_sub = subs
+        .iter()
+        .find(|s| {
+            udr.lookup_authority(&s.imsi.clone().into())
+                .map(|l| l.partition)
+                == Some(partition)
+        })
+        .expect("subscriber on moved partition");
+    assert_eq!(udr.metrics.stale_route_retries, 0);
+    let out = udr.run_procedure(ProcedureKind::SmsDelivery, moved_sub, SiteId(1), t(20));
+    assert!(out.success, "stale-route read failed: {:?}", out.failure);
+    assert_eq!(udr.metrics.stale_route_retries, 1);
+    assert!(
+        out.latency > SimDuration::ZERO,
+        "bounce should cost latency"
+    );
+
+    // The same cluster is refreshed now: no second retry.
+    let out = udr.run_procedure(ProcedureKind::SmsDelivery, moved_sub, SiteId(1), t(21));
+    assert!(out.success);
+    assert_eq!(udr.metrics.stale_route_retries, 1, "retried more than once");
+}
+
+/// A completed hotspot cutover resets the moved partition's load
+/// counter so re-planning doesn't relocate the same partition forever.
+#[test]
+fn hotspot_cutover_resets_load_counter() {
+    let mut udr = system();
+    let subs = provision_n(&mut udr, 24);
+    write_oracle(&mut udr, &subs, t(5));
+    udr.advance_to(t(9));
+
+    let hot = udr.shard_map().partitions().next().unwrap();
+    let from = udr.shard_map().master_of(hot).unwrap();
+    let to = udr.add_se(udr.se(from).site(), t(9));
+    let before = udr.partition_ops(hot);
+    assert!(before > 0, "oracle writes should have loaded the partition");
+    let id = udr.start_migration(
+        MigrationPlan {
+            partition: hot,
+            from,
+            to,
+            reason: MoveReason::HotspotSplit,
+        },
+        t(10),
+    );
+    settle_migrations(&mut udr, t(10));
+    assert_eq!(udr.migration_state(id), Some(MigrationState::Done));
+    assert_eq!(udr.partition_ops(hot), 0, "hot counter not reset");
+}
+
+/// Sites are fixed at build time: adding an SE outside the topology is
+/// rejected at the API boundary, not as an index panic mid-event-pump.
+#[test]
+#[should_panic(expected = "outside the 3-site topology")]
+fn add_se_rejects_unknown_site() {
+    let mut udr = system();
+    udr.add_se(SiteId(3), t(1));
+}
+
+/// Failover promotes a slave whose position in the member vector is not
+/// first; the shard map must still record the *promoted* SE as master
+/// (regression: `reassign` used to receive insertion-ordered members and
+/// kept deriving the crashed SE as owner).
+#[test]
+fn failover_updates_shard_map_master() {
+    let mut udr = system();
+    let subs = provision_n(&mut udr, 24);
+    write_oracle(&mut udr, &subs, t(5));
+    udr.advance_to(t(9));
+
+    let partition = udr.shard_map().partitions().next().unwrap();
+    let old_master = udr.shard_map().master_of(partition).unwrap();
+    let epoch_before = udr.shard_map().epoch();
+    udr.schedule_faults(FaultSchedule::new().se_crash(t(10), old_master));
+    udr.advance_to(t(20)); // past failover detection
+
+    let new_master = udr.group(partition).master();
+    assert_ne!(new_master, old_master, "failover never promoted");
+    assert_eq!(
+        udr.shard_map().master_of(partition),
+        Some(new_master),
+        "shard map still names the crashed SE as owner"
+    );
+    assert_eq!(udr.shard_map().retired_master(partition), Some(old_master));
+    assert!(udr.shard_map().epoch() > epoch_before);
+    // A stale route cache now detects the change.
+    assert!(udr
+        .shard_map()
+        .routing_changed_since(partition, epoch_before));
+}
+
+/// A malformed plan (out-of-range partition, target == source, target
+/// already a member) aborts cleanly instead of panicking, and the
+/// started/completed/aborted ledger stays consistent.
+#[test]
+fn invalid_plans_abort_cleanly() {
+    let mut udr = system();
+    provision_n(&mut udr, 6);
+    udr.advance_to(t(9));
+    let member = udr
+        .shard_map()
+        .members_of(udr_model::ids::PartitionId(0))
+        .unwrap()[1];
+
+    let bogus = [
+        // Partition that does not exist.
+        MigrationPlan {
+            partition: udr_model::ids::PartitionId(99),
+            from: SeId(0),
+            to: SeId(1),
+            reason: MoveReason::Drain,
+        },
+        // Target == source.
+        MigrationPlan {
+            partition: udr_model::ids::PartitionId(0),
+            from: SeId(0),
+            to: SeId(0),
+            reason: MoveReason::ScaleOut,
+        },
+        // Target already a member of the replica set.
+        MigrationPlan {
+            partition: udr_model::ids::PartitionId(0),
+            from: SeId(0),
+            to: member,
+            reason: MoveReason::ScaleOut,
+        },
+    ];
+    let mut ids = Vec::new();
+    for (i, plan) in bogus.iter().enumerate() {
+        ids.push(udr.start_migration(*plan, t(10) + SimDuration::from_millis(i as u64)));
+    }
+    udr.advance_to(t(12));
+    for id in ids {
+        assert_eq!(udr.migration_state(id), Some(MigrationState::Aborted));
+    }
+    assert_eq!(udr.metrics.migrations_started, 3);
+    assert_eq!(udr.metrics.migrations_aborted, 3);
+    assert_eq!(udr.metrics.migrations_completed, 0);
+    assert_eq!(udr.shard_map().epoch(), udr_dls::Epoch::INITIAL);
+}
+
+#[test]
+fn master_move_freeze_window_is_accounted() {
+    let mut udr = system();
+    let subs = provision_n(&mut udr, 24);
+    write_oracle(&mut udr, &subs, t(5));
+    udr.advance_to(t(9));
+
+    let partition = udr.shard_map().partitions().next().unwrap();
+    let from = udr.shard_map().master_of(partition).unwrap();
+    let to = udr.add_se(udr.se(from).site(), t(9));
+    let id = udr.start_migration(
+        MigrationPlan {
+            partition,
+            from,
+            to,
+            reason: MoveReason::ScaleOut,
+        },
+        t(10),
+    );
+    settle_migrations(&mut udr, t(10));
+    assert_eq!(udr.migration_state(id), Some(MigrationState::Done));
+    // A master hand-off always passes through the freeze window.
+    assert!(
+        udr.metrics.migration_freeze_time > SimDuration::ZERO,
+        "master move should account a freeze window"
+    );
+    assert!(udr.metrics.migration_records_shipped > 0 || udr.metrics.migrations_completed == 1);
+}

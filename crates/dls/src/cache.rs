@@ -11,6 +11,7 @@ use std::collections::HashMap;
 use udr_model::identity::Identity;
 
 use crate::maps::Location;
+use crate::shardmap::Epoch;
 
 /// A bounded cache of identity → location bindings with FIFO-clock
 /// eviction. Misses are reported so callers can account for the SE
@@ -28,6 +29,8 @@ pub struct CachedLocator {
     pub misses: u64,
     /// Entries evicted.
     pub evictions: u64,
+    /// Shard-map epoch this instance last observed (route-cache version).
+    pub map_epoch: Epoch,
     /// How many SEs a miss probe fans out to.
     total_ses: usize,
 }
@@ -58,6 +61,7 @@ impl CachedLocator {
             hits: 0,
             misses: 0,
             evictions: 0,
+            map_epoch: Epoch::INITIAL,
             total_ses,
         }
     }

@@ -12,8 +12,9 @@
 //!
 //! [`sync`] models the §3.4.2 scale-out synchronisation window during which
 //! a new PoA cannot serve; [`placement`] implements random vs home-region
-//! subscription placement; [`stage`] wraps everything behind a single
-//! per-PoA API.
+//! subscription placement; [`shardmap`] is the epoch-versioned partition →
+//! SE assignment table that lets placements move while traffic flows;
+//! [`stage`] wraps everything behind a single per-PoA API.
 
 #![warn(missing_docs)]
 
@@ -22,6 +23,7 @@ pub mod locator;
 pub mod maps;
 pub mod placement;
 pub mod ring;
+pub mod shardmap;
 pub mod stage;
 pub mod sync;
 
@@ -30,5 +32,6 @@ pub use locator::Locator;
 pub use maps::{IdentityLocationMap, Location};
 pub use placement::PlacementContext;
 pub use ring::ConsistentHashRing;
+pub use shardmap::{Epoch, ShardMap};
 pub use stage::{DataLocationStage, Resolution};
 pub use sync::{StageSync, SyncCostModel, SyncState};

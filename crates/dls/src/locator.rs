@@ -20,10 +20,17 @@ use udr_model::time::SimTime;
 use crate::cache::{CacheOutcome, CachedLocator};
 use crate::maps::{IdentityLocationMap, Location};
 use crate::ring::ConsistentHashRing;
+use crate::shardmap::Epoch;
 use crate::stage::{DataLocationStage, Resolution};
 
 /// A data-location realisation: resolves identities and absorbs binding
 /// lifecycle events (provision / deprovision / probe answers).
+///
+/// Every realisation also carries the shard-map [`Epoch`] it last
+/// observed: partition → SE routing is versioned, and a locator whose
+/// epoch trails the authoritative map may hand out routes to retired
+/// owners. The pipeline detects that (`routing_changed_since`) and
+/// retries the lookup once after [`Locator::install_map_epoch`].
 pub trait Locator {
     /// Resolve `identity` at `now`.
     ///
@@ -44,6 +51,13 @@ pub trait Locator {
 
     /// Install the answer of a location probe (cached realisations).
     fn fill(&mut self, identity: &Identity, location: Location);
+
+    /// The shard-map epoch this locator's routing view was captured at.
+    fn map_epoch(&self) -> Epoch;
+
+    /// Refresh the routing view to `epoch` (monotonic: installing an
+    /// older epoch is a no-op).
+    fn install_map_epoch(&mut self, epoch: Epoch);
 }
 
 impl Locator for IdentityLocationMap {
@@ -72,6 +86,14 @@ impl Locator for IdentityLocationMap {
     fn fill(&mut self, identity: &Identity, location: Location) {
         self.insert(identity, location);
     }
+
+    fn map_epoch(&self) -> Epoch {
+        self.map_epoch
+    }
+
+    fn install_map_epoch(&mut self, epoch: Epoch) {
+        self.map_epoch = self.map_epoch.max(epoch);
+    }
 }
 
 impl Locator for CachedLocator {
@@ -98,6 +120,14 @@ impl Locator for CachedLocator {
     fn fill(&mut self, identity: &Identity, location: Location) {
         CachedLocator::fill(self, identity, location);
     }
+
+    fn map_epoch(&self) -> Epoch {
+        self.map_epoch
+    }
+
+    fn install_map_epoch(&mut self, epoch: Epoch) {
+        self.map_epoch = self.map_epoch.max(epoch);
+    }
 }
 
 impl Locator for ConsistentHashRing {
@@ -121,6 +151,14 @@ impl Locator for ConsistentHashRing {
     fn deprovision(&mut self, _identity: &Identity) {}
 
     fn fill(&mut self, _identity: &Identity, _location: Location) {}
+
+    fn map_epoch(&self) -> Epoch {
+        self.map_epoch
+    }
+
+    fn install_map_epoch(&mut self, epoch: Epoch) {
+        self.map_epoch = self.map_epoch.max(epoch);
+    }
 }
 
 impl Locator for DataLocationStage {
@@ -143,6 +181,14 @@ impl Locator for DataLocationStage {
 
     fn fill(&mut self, identity: &Identity, location: Location) {
         self.fill_cache(identity, location);
+    }
+
+    fn map_epoch(&self) -> Epoch {
+        DataLocationStage::map_epoch(self)
+    }
+
+    fn install_map_epoch(&mut self, epoch: Epoch) {
+        DataLocationStage::install_map_epoch(self, epoch);
     }
 }
 
@@ -179,6 +225,24 @@ mod tests {
                 Resolution::Found(l) => assert_eq!(l.uid, SubscriberUid(7)),
                 other => panic!("expected Found, got {other:?}"),
             }
+        }
+    }
+
+    /// Every realisation carries the shard-map epoch monotonically.
+    #[test]
+    fn all_realisations_carry_epochs() {
+        let mut maps = IdentityLocationMap::new();
+        let mut cache = CachedLocator::new(16, 8);
+        let mut ring = ConsistentHashRing::new((0..4).map(PartitionId), 32);
+        let mut stage = DataLocationStage::provisioned();
+        let locators: [&mut dyn Locator; 4] = [&mut maps, &mut cache, &mut ring, &mut stage];
+        for locator in locators {
+            assert_eq!(locator.map_epoch(), Epoch::INITIAL);
+            locator.install_map_epoch(Epoch(3));
+            assert_eq!(locator.map_epoch(), Epoch(3));
+            // Installing an older epoch never rolls the view back.
+            locator.install_map_epoch(Epoch(1));
+            assert_eq!(locator.map_epoch(), Epoch(3));
         }
     }
 

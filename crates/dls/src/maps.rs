@@ -11,6 +11,8 @@ use std::collections::BTreeMap;
 use udr_model::identity::{Identity, IdentityKind};
 use udr_model::ids::{PartitionId, SubscriberUid};
 
+use crate::shardmap::Epoch;
+
 /// Where a subscription lives: its internal uid and the partition holding
 /// its data (the replication layer knows which SE masters the partition).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,6 +32,8 @@ pub struct IdentityLocationMap {
     impi: BTreeMap<String, Location>,
     /// Lookups served (diagnostics).
     pub lookups: u64,
+    /// Shard-map epoch this instance last observed (route-cache version).
+    pub map_epoch: Epoch,
 }
 
 impl IdentityLocationMap {

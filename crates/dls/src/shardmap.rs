@@ -1,0 +1,266 @@
+//! The epoch-versioned shard map: the authoritative partition → SE
+//! assignment table, versioned so distributed route caches can detect
+//! staleness.
+//!
+//! §3.4.2 measures the availability cost of re-synchronising
+//! identity-location state after scale-out. The shard map is the other
+//! half of that story: when a partition *moves* (scale-out rebalance,
+//! drain of a retiring SE, hotspot relocation) every PoA's routing view
+//! becomes stale at once. Rather than blocking traffic while every stage
+//! instance re-syncs, the map carries an [`Epoch`]: routes resolved under
+//! an older epoch are still served, and a stale route costs at most one
+//! bounce off the retired owner before the caller refreshes its view —
+//! the lazy-invalidation scheme dynamic location databases use for
+//! mobility-driven repartitioning.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use udr_model::ids::{PartitionId, SeId};
+
+/// A monotonically increasing version of the shard map. Every partition
+/// reassignment bumps it; route caches compare their observed epoch
+/// against the authoritative one to detect staleness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Epoch(pub u64);
+
+impl Epoch {
+    /// The epoch every deployment starts at.
+    pub const INITIAL: Epoch = Epoch(0);
+
+    /// The raw counter.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The next epoch.
+    #[inline]
+    pub const fn next(self) -> Epoch {
+        Epoch(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Per-partition assignment: the replica set, master first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Assignment {
+    /// Member SEs, master first.
+    members: Vec<SeId>,
+    /// Epoch at which the *master* of this partition last changed.
+    master_changed_at: Epoch,
+    /// The previous master, kept so stale routes know whom they bounced
+    /// off (and simulations can charge the bounce to the right site).
+    retired_master: Option<SeId>,
+}
+
+/// The epoch-versioned partition → SE assignment table.
+#[derive(Debug, Clone, Default)]
+pub struct ShardMap {
+    epoch: Epoch,
+    assignments: BTreeMap<PartitionId, Assignment>,
+}
+
+impl ShardMap {
+    /// Build the initial map from `(partition, members)` pairs (members
+    /// master-first). Starts at [`Epoch::INITIAL`].
+    pub fn new(assignments: impl IntoIterator<Item = (PartitionId, Vec<SeId>)>) -> Self {
+        let assignments = assignments
+            .into_iter()
+            .map(|(p, members)| {
+                (
+                    p,
+                    Assignment {
+                        members,
+                        master_changed_at: Epoch::INITIAL,
+                        retired_master: None,
+                    },
+                )
+            })
+            .collect();
+        ShardMap {
+            epoch: Epoch::INITIAL,
+            assignments,
+        }
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Number of partitions mapped.
+    pub fn len(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+
+    /// The partitions mapped.
+    pub fn partitions(&self) -> impl Iterator<Item = PartitionId> + '_ {
+        self.assignments.keys().copied()
+    }
+
+    /// The master of a partition.
+    pub fn master_of(&self, partition: PartitionId) -> Option<SeId> {
+        self.assignments
+            .get(&partition)
+            .and_then(|a| a.members.first().copied())
+    }
+
+    /// The full replica set of a partition, master first.
+    pub fn members_of(&self, partition: PartitionId) -> Option<&[SeId]> {
+        self.assignments
+            .get(&partition)
+            .map(|a| a.members.as_slice())
+    }
+
+    /// The master a partition had *before* its last reassignment (where a
+    /// stale route bounces), when the master ever changed.
+    pub fn retired_master(&self, partition: PartitionId) -> Option<SeId> {
+        self.assignments
+            .get(&partition)
+            .and_then(|a| a.retired_master)
+    }
+
+    /// Whether routing for `partition` changed after `observed`: a view
+    /// captured at `observed` would send this partition's traffic to a
+    /// retired master.
+    pub fn routing_changed_since(&self, partition: PartitionId, observed: Epoch) -> bool {
+        self.assignments
+            .get(&partition)
+            .is_some_and(|a| a.master_changed_at > observed)
+    }
+
+    /// Reassign a partition to a new replica set (master first), bumping
+    /// the epoch. Records the retired master when mastership moved, so
+    /// stale-route bounces stay attributable.
+    ///
+    /// Returns the new epoch.
+    pub fn reassign(&mut self, partition: PartitionId, members: Vec<SeId>) -> Epoch {
+        assert!(!members.is_empty(), "cannot assign an empty replica set");
+        self.epoch = self.epoch.next();
+        let new_master = members[0];
+        match self.assignments.get_mut(&partition) {
+            Some(a) => {
+                let old_master = a.members.first().copied();
+                if old_master != Some(new_master) {
+                    a.master_changed_at = self.epoch;
+                    a.retired_master = old_master;
+                }
+                a.members = members;
+            }
+            None => {
+                self.assignments.insert(
+                    partition,
+                    Assignment {
+                        members,
+                        master_changed_at: self.epoch,
+                        retired_master: None,
+                    },
+                );
+            }
+        }
+        self.epoch
+    }
+
+    /// Partitions that currently have `se` in their replica set.
+    pub fn partitions_on(&self, se: SeId) -> Vec<PartitionId> {
+        self.assignments
+            .iter()
+            .filter(|(_, a)| a.members.contains(&se))
+            .map(|(p, _)| *p)
+            .collect()
+    }
+
+    /// Replica-set slots hosted per SE over `n_ses` elements (load view
+    /// for rebalancing planners). Index = `SeId::index()`.
+    pub fn replicas_per_se(&self, n_ses: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; n_ses];
+        for a in self.assignments.values() {
+            for se in &a.members {
+                if se.index() < n_ses {
+                    counts[se.index()] += 1;
+                }
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> ShardMap {
+        ShardMap::new([
+            (PartitionId(0), vec![SeId(0), SeId(1)]),
+            (PartitionId(1), vec![SeId(1), SeId(2)]),
+            (PartitionId(2), vec![SeId(2), SeId(0)]),
+        ])
+    }
+
+    #[test]
+    fn initial_map_is_epoch_zero() {
+        let m = map();
+        assert_eq!(m.epoch(), Epoch::INITIAL);
+        assert_eq!(m.master_of(PartitionId(1)), Some(SeId(1)));
+        assert_eq!(
+            m.members_of(PartitionId(2)).unwrap(),
+            &[SeId(2), SeId(0)][..]
+        );
+        assert!(!m.routing_changed_since(PartitionId(0), Epoch::INITIAL));
+    }
+
+    #[test]
+    fn reassign_bumps_epoch_and_tracks_retired_master() {
+        let mut m = map();
+        let e1 = m.reassign(PartitionId(0), vec![SeId(3), SeId(1)]);
+        assert_eq!(e1, Epoch(1));
+        assert_eq!(m.master_of(PartitionId(0)), Some(SeId(3)));
+        assert_eq!(m.retired_master(PartitionId(0)), Some(SeId(0)));
+        // A view captured before the move is stale for p0 but not p1.
+        assert!(m.routing_changed_since(PartitionId(0), Epoch::INITIAL));
+        assert!(!m.routing_changed_since(PartitionId(1), Epoch::INITIAL));
+        // A refreshed view is not stale.
+        assert!(!m.routing_changed_since(PartitionId(0), e1));
+    }
+
+    #[test]
+    fn slave_swap_bumps_epoch_but_not_routing() {
+        let mut m = map();
+        let e1 = m.reassign(PartitionId(1), vec![SeId(1), SeId(3)]);
+        assert_eq!(e1, Epoch(1));
+        // Master unchanged: old views still route correctly.
+        assert!(!m.routing_changed_since(PartitionId(1), Epoch::INITIAL));
+        assert_eq!(m.retired_master(PartitionId(1)), None);
+    }
+
+    #[test]
+    fn load_views_follow_reassignment() {
+        let mut m = map();
+        assert_eq!(m.replicas_per_se(4), vec![2, 2, 2, 0]);
+        assert_eq!(
+            m.partitions_on(SeId(0)),
+            vec![PartitionId(0), PartitionId(2)]
+        );
+        m.reassign(PartitionId(2), vec![SeId(3), SeId(0)]);
+        assert_eq!(m.replicas_per_se(4), vec![2, 2, 1, 1]);
+        assert_eq!(m.partitions_on(SeId(3)), vec![PartitionId(2)]);
+    }
+
+    #[test]
+    fn epochs_are_ordered_and_display() {
+        assert!(Epoch(1) < Epoch(2));
+        assert_eq!(Epoch(3).next(), Epoch(4));
+        assert_eq!(Epoch(7).to_string(), "e7");
+    }
+}

@@ -14,6 +14,7 @@ use udr_model::time::SimTime;
 use crate::cache::{CacheOutcome, CachedLocator};
 use crate::maps::{IdentityLocationMap, Location};
 use crate::ring::ConsistentHashRing;
+use crate::shardmap::Epoch;
 use crate::sync::{StageSync, SyncCostModel};
 
 /// Outcome of a local resolution attempt.
@@ -42,6 +43,8 @@ pub struct DataLocationStage {
     cache: Option<CachedLocator>,
     ring: Option<ConsistentHashRing>,
     sync: StageSync,
+    /// Shard-map epoch this stage instance last observed.
+    map_epoch: Epoch,
 }
 
 impl DataLocationStage {
@@ -53,6 +56,7 @@ impl DataLocationStage {
             cache: None,
             ring: None,
             sync: StageSync::ready(),
+            map_epoch: Epoch::INITIAL,
         }
     }
 
@@ -65,6 +69,7 @@ impl DataLocationStage {
             cache: None,
             ring: None,
             sync: StageSync::syncing(now, entries, cost),
+            map_epoch: Epoch::INITIAL,
         }
     }
 
@@ -77,6 +82,7 @@ impl DataLocationStage {
             cache: Some(CachedLocator::new(capacity, total_ses)),
             ring: None,
             sync: StageSync::ready(),
+            map_epoch: Epoch::INITIAL,
         }
     }
 
@@ -90,12 +96,24 @@ impl DataLocationStage {
             cache: None,
             ring: Some(ring),
             sync: StageSync::ready(),
+            map_epoch: Epoch::INITIAL,
         }
     }
 
     /// Which realisation this stage uses.
     pub fn kind(&self) -> LocatorKind {
         self.kind
+    }
+
+    /// The shard-map epoch this stage last observed.
+    pub fn map_epoch(&self) -> Epoch {
+        self.map_epoch
+    }
+
+    /// Install a fresher shard-map epoch (route-view refresh). Epochs
+    /// never go backwards.
+    pub fn install_map_epoch(&mut self, epoch: Epoch) {
+        self.map_epoch = self.map_epoch.max(epoch);
     }
 
     /// Resolve an identity at `now`.

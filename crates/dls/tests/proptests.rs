@@ -60,6 +60,64 @@ proptest! {
         }
     }
 
+    /// Consistent-hashing movement bound: adding a partition relocates only
+    /// the keys the newcomer claims (≈ K/n of them, never a gross
+    /// violation of the bound), every relocated key lands *on* the
+    /// newcomer, and unmoved keys keep their partition. The property that
+    /// makes ring-routed scale-out cheap (§3.5).
+    #[test]
+    fn ring_add_partition_movement_bound(
+        n_parts in 3u32..12,
+        key_base in 0u64..50_000,
+    ) {
+        let before = ConsistentHashRing::new((0..n_parts).map(PartitionId), 64);
+        let mut after = before.clone();
+        let newcomer = PartitionId(n_parts);
+        after.add_partition(newcomer);
+
+        let keys: Vec<Identity> = (0..2000u64).map(|i| imsi(key_base + i)).collect();
+        let mut moved = 0usize;
+        for id in &keys {
+            let b = before.locate(id).unwrap();
+            let a = after.locate(id).unwrap();
+            if b != a {
+                moved += 1;
+                // Relocated keys go to the new partition, nowhere else.
+                prop_assert_eq!(a, newcomer, "key moved between old partitions");
+            }
+        }
+        // Expected movement ≈ K/(n+1); allow generous slack for hash
+        // variance but reject gross violations of the bound.
+        let expected = keys.len() / (n_parts as usize + 1);
+        prop_assert!(moved <= expected * 3 + 40, "moved {} of {} (expected ~{})", moved, keys.len(), expected);
+        prop_assert!(moved > 0, "newcomer claimed no keys");
+    }
+
+    /// After `remove_partition`, `locate` never returns the removed
+    /// partition (for any key), and the survivors absorb exactly the
+    /// removed partition's keys.
+    #[test]
+    fn ring_remove_partition_never_resolves_removed(
+        n_parts in 2u32..10,
+        victim_raw in 0u32..10,
+        key_base in 0u64..50_000,
+    ) {
+        let victim = PartitionId(victim_raw % n_parts);
+        let before = ConsistentHashRing::new((0..n_parts).map(PartitionId), 64);
+        let mut after = before.clone();
+        after.remove_partition(victim);
+
+        for i in 0..1500u64 {
+            let id = imsi(key_base + i);
+            let b = before.locate(&id).unwrap();
+            let a = after.locate(&id).unwrap();
+            prop_assert_ne!(a, victim);
+            if b != victim {
+                prop_assert_eq!(a, b, "survivor key moved on removal");
+            }
+        }
+    }
+
     /// Home-region placement always lands inside the region when the region
     /// hosts partitions, and placement is a pure function of (uid, region).
     #[test]

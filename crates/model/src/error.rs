@@ -57,6 +57,9 @@ pub enum UdrError {
     /// The PoA's data-location stage is still synchronising after scale-out
     /// (§3.4.2) and cannot resolve identities yet.
     LocationStageSyncing,
+    /// The partition is frozen for the final hand-off window of a live
+    /// migration; writes are refused (retryable) until cutover.
+    PartitionFrozen(PartitionId),
     /// A replication-level commit failed to reach the required copies
     /// (semi-sync / quorum modes).
     ReplicationFailed {
@@ -101,6 +104,9 @@ impl fmt::Display for UdrError {
                     "data-location stage synchronising; PoA cannot resolve yet"
                 )
             }
+            UdrError::PartitionFrozen(p) => {
+                write!(f, "{p} frozen for migration hand-off; retry after cutover")
+            }
             UdrError::ReplicationFailed { acked, required } => {
                 write!(f, "replication acked by {acked}/{required} required copies")
             }
@@ -127,6 +133,7 @@ impl UdrError {
                 | UdrError::SeUnavailable(_)
                 | UdrError::Timeout
                 | UdrError::LocationStageSyncing
+                | UdrError::PartitionFrozen(_)
                 | UdrError::ReplicationFailed { .. }
                 | UdrError::Overload
         )

@@ -88,6 +88,36 @@ impl ReplicationGroup {
         Ok(())
     }
 
+    /// Swap `old` out of the replica set for `new` (live migration
+    /// cutover). When `old` was the master, `new` inherits mastership and
+    /// the epoch bumps — exactly like a failover, because to every route
+    /// cache it *is* one. Errors when `old` is not a member or `new`
+    /// already is.
+    pub fn replace_member(&mut self, old: SeId, new: SeId) -> UdrResult<()> {
+        if !self.contains(old) {
+            return Err(UdrError::Config(format!(
+                "{old} is not a member of {}'s replica set",
+                self.partition
+            )));
+        }
+        if self.contains(new) {
+            return Err(UdrError::Config(format!(
+                "{new} is already a member of {}'s replica set",
+                self.partition
+            )));
+        }
+        for se in &mut self.members {
+            if *se == old {
+                *se = new;
+            }
+        }
+        if self.master == old {
+            self.master = new;
+            self.epoch += 1;
+        }
+        Ok(())
+    }
+
     /// Pick the best promotion candidate among `alive` slaves given their
     /// applied LSNs: the most caught-up copy wins, ties break on lowest
     /// SeId. Returns `None` when no alive slave exists (total outage).
@@ -134,6 +164,23 @@ mod tests {
         assert_eq!(g.epoch(), 1);
         // Non-members are rejected.
         assert!(g.promote(SeId(9)).is_err());
+    }
+
+    #[test]
+    fn replace_member_hands_over_mastership() {
+        let mut g = group();
+        // Replacing a slave: membership changes, mastership does not.
+        g.replace_member(SeId(1), SeId(5)).unwrap();
+        assert_eq!(g.master(), SeId(0));
+        assert_eq!(g.epoch(), 0);
+        assert!(g.contains(SeId(5)) && !g.contains(SeId(1)));
+        // Replacing the master: the newcomer inherits it, epoch bumps.
+        g.replace_member(SeId(0), SeId(6)).unwrap();
+        assert_eq!(g.master(), SeId(6));
+        assert_eq!(g.epoch(), 1);
+        // Invalid swaps are rejected.
+        assert!(g.replace_member(SeId(0), SeId(9)).is_err()); // old gone
+        assert!(g.replace_member(SeId(2), SeId(5)).is_err()); // new present
     }
 
     #[test]

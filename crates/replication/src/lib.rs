@@ -8,6 +8,9 @@
 //!   partitions and snapshot reseeds after log truncation;
 //! * [`group`] — replica sets, mastership epochs and failover candidate
 //!   selection (most-caught-up slave wins);
+//! * [`migration`] — migration channels for live partition moves: the
+//!   snapshot-seed + log-tail catch-up ledger of a copy that is joining,
+//!   kept apart from the group's replica channels until cutover;
 //! * [`semisync`] — the §5 dual-in-sequence scheme (commit only when both
 //!   replicas report success; a failed second replica may stay updated);
 //! * [`quorum`] — the §5 Cassandra-style `(n, w, r)` ensemble comparison;
@@ -19,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod group;
+pub mod migration;
 pub mod multimaster;
 pub mod quorum;
 pub mod semisync;
@@ -26,6 +30,7 @@ pub mod shipping;
 pub mod twophase;
 
 pub use group::ReplicationGroup;
+pub use migration::{MigrationChannel, MigrationState};
 pub use multimaster::{merge_branches, restoration_duration, MergeOutcome, MergeStats};
 pub use quorum::{
     quorum_consistent, quorum_read, quorum_write, QuorumReadOutcome, QuorumWriteOutcome,

@@ -7,7 +7,7 @@
 //! channel stalls and a catch-up pass re-ships the missing suffix from the
 //! master's log once the slave is reachable again.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use udr_model::ids::SeId;
 use udr_model::time::{SimDuration, SimTime};
@@ -28,6 +28,11 @@ struct Channel {
 #[derive(Debug, Clone, Default)]
 pub struct AsyncShipper {
     channels: HashMap<SeId, Channel>,
+    /// Slaves explicitly drained from the group. A drained slave's channel
+    /// is gone for good: stray [`AsyncShipper::reseeded`] confirmations or
+    /// in-flight delivery acks must not resurrect it, or the periodic
+    /// catch-up pass would retry its pending suffix forever.
+    drained: BTreeSet<SeId>,
     /// Records shipped (including re-ships).
     pub shipped: u64,
     /// Catch-up passes performed.
@@ -52,8 +57,10 @@ impl AsyncShipper {
     }
 
     /// Register a slave channel starting from `applied` (what the slave
-    /// already has, e.g. from a seed snapshot).
+    /// already has, e.g. from a seed snapshot). Explicit registration is
+    /// the only way back in for a previously drained slave.
     pub fn register_slave(&mut self, slave: SeId, applied: Lsn) {
+        self.drained.remove(&slave);
         self.channels.insert(
             slave,
             Channel {
@@ -64,9 +71,18 @@ impl AsyncShipper {
         );
     }
 
-    /// Remove a slave channel (member left the group).
-    pub fn unregister_slave(&mut self, slave: SeId) {
-        self.channels.remove(&slave);
+    /// Drain a slave (member left the group, e.g. migrated away or
+    /// decommissioned): its channel and any pending re-ship bookkeeping
+    /// are dropped, and the slave is tombstoned so late
+    /// [`AsyncShipper::reseeded`] confirmations cannot re-create the
+    /// channel behind the group's back. Returns how many records were
+    /// still pending (un-acked) on the dropped channel.
+    pub fn unregister_slave(&mut self, slave: SeId) -> u64 {
+        self.drained.insert(slave);
+        match self.channels.remove(&slave) {
+            Some(ch) => ch.inflight.raw().saturating_sub(ch.applied.raw()),
+            None => 0,
+        }
     }
 
     /// Registered slaves.
@@ -180,7 +196,12 @@ impl AsyncShipper {
     }
 
     /// Reset a channel after reseeding the slave from a snapshot at `lsn`.
+    /// A confirmation for a slave that was drained in the meantime is
+    /// dropped — only [`AsyncShipper::register_slave`] readmits it.
     pub fn reseeded(&mut self, slave: SeId, lsn: Lsn) {
+        if self.drained.contains(&slave) {
+            return;
+        }
         self.register_slave(slave, lsn);
     }
 
@@ -329,6 +350,60 @@ mod tests {
         assert!(!shipper.needs_reseed(SeId(1), &master));
         let deliveries = shipper.catch_up(SeId(1), &master, SimTime(0), Some(SimDuration::ZERO));
         assert_eq!(deliveries.len(), 3);
+    }
+
+    /// Regression: draining a slave mid-stall must drop its pending
+    /// deliveries for good. Before the tombstone, a late `reseeded`
+    /// confirmation re-created the channel and every subsequent
+    /// catch-up pass re-shipped the suffix to a slave that had already
+    /// left the group — retried forever by `CatchupTick`.
+    #[test]
+    fn drained_slave_stays_drained() {
+        let mut master = Engine::new(SeId(0));
+        let recs = commit_n(&mut master, 4);
+        let mut shipper = AsyncShipper::new();
+        shipper.register_slave(SeId(1), Lsn::ZERO);
+
+        // Stall the channel (partition: ship fails), then drain the slave.
+        assert!(shipper.ship(SeId(1), &recs[0], SimTime(0), None).is_none());
+        let pending = shipper.unregister_slave(SeId(1));
+        assert_eq!(pending, 0); // nothing in flight, 4 unshipped
+        assert_eq!(shipper.slaves().count(), 0);
+
+        // A stray reseed confirmation from before the drain arrives late:
+        // it must NOT resurrect the channel.
+        shipper.reseeded(SeId(1), Lsn(2));
+        assert!(shipper.applied(SeId(1)).is_none());
+        assert!(!shipper.needs_reseed(SeId(1), &master));
+
+        // Catch-up passes ship nothing to the drained slave, forever.
+        for t in 0..3 {
+            assert!(shipper
+                .catch_up(SeId(1), &master, SimTime(t), Some(SimDuration::ZERO))
+                .is_empty());
+        }
+        assert_eq!(shipper.catchups, 0);
+
+        // Explicit re-registration (the slave re-joins the group) is the
+        // only way back in.
+        shipper.register_slave(SeId(1), Lsn(1));
+        let deliveries = shipper.catch_up(SeId(1), &master, SimTime(9), Some(SimDuration::ZERO));
+        assert_eq!(deliveries.len(), 3);
+    }
+
+    #[test]
+    fn unregister_reports_inflight_pending() {
+        let mut master = Engine::new(SeId(0));
+        let recs = commit_n(&mut master, 2);
+        let mut shipper = AsyncShipper::new();
+        shipper.register_slave(SeId(1), Lsn::ZERO);
+        // Two records in flight, none acked.
+        for r in &recs {
+            assert!(shipper
+                .ship(SeId(1), r, SimTime(0), Some(SimDuration::from_millis(5)))
+                .is_some());
+        }
+        assert_eq!(shipper.unregister_slave(SeId(1)), 2);
     }
 
     #[test]

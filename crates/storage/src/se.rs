@@ -35,6 +35,9 @@ pub struct Replica {
     pub engine: Engine,
     /// Current role of this copy.
     pub role: ReplicaRole,
+    /// Frozen for the final window of a live migration hand-off: reads
+    /// keep serving, writes are refused (retryable) until cutover.
+    pub frozen: bool,
 }
 
 /// A storage element: engines for its replicas plus durability state.
@@ -111,6 +114,7 @@ impl StorageElement {
             Replica {
                 engine: Engine::new(self.id),
                 role,
+                frozen: false,
             },
         );
     }
@@ -124,7 +128,14 @@ impl StorageElement {
     ) {
         let mut engine = Engine::from_snapshot(self.id, snapshot);
         engine.set_se(self.id);
-        self.replicas.insert(partition, Replica { engine, role });
+        self.replicas.insert(
+            partition,
+            Replica {
+                engine,
+                role,
+                frozen: false,
+            },
+        );
     }
 
     /// The partitions this SE currently hosts.
@@ -180,7 +191,42 @@ impl StorageElement {
         if r.role != ReplicaRole::Master {
             return Err(UdrError::NotMaster { partition, se: id });
         }
+        if r.frozen {
+            return Err(UdrError::PartitionFrozen(partition));
+        }
         Ok(&mut r.engine)
+    }
+
+    // ---- migration hand-off (freeze → ship → release) --------------------
+
+    /// Freeze this SE's copy of `partition` for the final hand-off window
+    /// of a live migration: reads keep serving, writes fail with
+    /// [`UdrError::PartitionFrozen`] until [`Self::unfreeze_partition`].
+    pub fn freeze_partition(&mut self, partition: PartitionId) -> UdrResult<()> {
+        self.replica_mut(partition).map(|r| r.frozen = true)
+    }
+
+    /// Lift a migration freeze (cutover done or migration aborted).
+    pub fn unfreeze_partition(&mut self, partition: PartitionId) {
+        if let Ok(r) = self.replica_mut(partition) {
+            r.frozen = false;
+        }
+    }
+
+    /// Whether this SE's copy of `partition` is frozen for hand-off.
+    pub fn is_frozen(&self, partition: PartitionId) -> bool {
+        self.replicas.get(&partition).is_some_and(|r| r.frozen)
+    }
+
+    /// Release this SE's copy of `partition` after a migration hand-off:
+    /// the RAM engine is dropped and the on-disk snapshot is removed so a
+    /// later crash/restore cannot resurrect a retired copy. Returns the
+    /// number of live records released, or `None` when the partition was
+    /// not hosted here.
+    pub fn release_partition(&mut self, partition: PartitionId) -> Option<usize> {
+        let replica = self.replicas.remove(&partition)?;
+        self.disk.remove(partition);
+        Some(replica.engine.live_records())
     }
 
     // ---- transaction API -------------------------------------------------
@@ -613,6 +659,45 @@ mod tests {
             se.begin(PartitionId(9), IsolationLevel::ReadCommitted),
             Err(UdrError::Config(_))
         ));
+    }
+
+    #[test]
+    fn frozen_partition_refuses_writes_serves_reads() {
+        let mut se = se_with_master(DurabilityMode::None);
+        write_one(&mut se, 1, "x", SimTime(0));
+        se.freeze_partition(PartitionId(0)).unwrap();
+        assert!(se.is_frozen(PartitionId(0)));
+        // Reads keep serving during the hand-off window.
+        assert!(se
+            .read_committed(PartitionId(0), SubscriberUid(1))
+            .unwrap()
+            .is_some());
+        // Writes are refused with the retryable freeze error.
+        let t = se
+            .begin(PartitionId(0), IsolationLevel::ReadCommitted)
+            .unwrap();
+        assert_eq!(
+            se.put(PartitionId(0), t, SubscriberUid(2), entry("y")),
+            Err(UdrError::PartitionFrozen(PartitionId(0)))
+        );
+        se.abort(PartitionId(0), t);
+        se.unfreeze_partition(PartitionId(0));
+        write_one(&mut se, 2, "y", SimTime(1));
+        assert_eq!(se.live_records(), 2);
+    }
+
+    #[test]
+    fn release_drops_ram_and_disk_copies() {
+        let mut se = se_with_master(DurabilityMode::SyncCommit);
+        write_one(&mut se, 1, "x", SimTime(0));
+        assert_eq!(se.release_partition(PartitionId(0)), Some(1));
+        assert_eq!(se.live_records(), 0);
+        // Releasing again: nothing hosted.
+        assert_eq!(se.release_partition(PartitionId(0)), None);
+        // Crash + restore must not resurrect the released copy from disk.
+        se.crash();
+        let recovered = se.restore(SimTime(10));
+        assert!(recovered.is_empty());
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Thread-safe façade over [`Engine`](crate::Engine).
+//! Thread-safe façade over [`Engine`].
 //!
 //! The discrete-event simulator is single-threaded, but the Criterion
 //! capacity benchmarks (experiment E6) drive one engine from several worker

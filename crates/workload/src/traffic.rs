@@ -118,6 +118,14 @@ pub struct TrafficModel {
     pub roaming_probability: f64,
     /// Total sites (roaming targets).
     pub sites: u32,
+    /// Hotspot: population indices that soak up extra traffic (empty =
+    /// uniform load). A mass event, a viral service or a batch job hitting
+    /// one subscriber range concentrates load on one partition — the
+    /// workload that motivates hotspot relocation.
+    pub hot_set: Vec<usize>,
+    /// Probability an event targets the hot set instead of the uniform
+    /// population (ignored while `hot_set` is empty).
+    pub hot_probability: f64,
 }
 
 impl TrafficModel {
@@ -129,6 +137,25 @@ impl TrafficModel {
             profile: LoadProfile::Flat,
             roaming_probability: 0.05,
             sites,
+            hot_set: Vec::new(),
+            hot_probability: 0.0,
+        }
+    }
+
+    /// A flat model that concentrates `hot_probability` of all events on
+    /// `hot_set` (population indices). With a hot set drawn from one
+    /// partition, that partition's master sees the concentrated load.
+    pub fn hotspot(
+        per_sub_rate: f64,
+        sites: u32,
+        hot_set: Vec<usize>,
+        hot_probability: f64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&hot_probability));
+        TrafficModel {
+            hot_set,
+            hot_probability,
+            ..TrafficModel::flat(per_sub_rate, sites)
         }
     }
 
@@ -160,7 +187,11 @@ impl TrafficModel {
             if !rng.chance(self.profile.multiplier(now)) {
                 continue;
             }
-            let subscriber = rng.below(n as u64) as usize;
+            let subscriber = if !self.hot_set.is_empty() && rng.chance(self.hot_probability) {
+                self.hot_set[rng.below(self.hot_set.len() as u64) as usize] % n
+            } else {
+                rng.below(n as u64) as usize
+            };
             let kind = self.mix.sample(rng);
             let home = population[subscriber].home_region;
             let fe_site = if self.sites > 1 && rng.chance(self.roaming_probability) {
@@ -282,6 +313,49 @@ mod tests {
             let (_, writes) = kind.ldap_ops();
             assert_eq!(writes, 0, "{kind}");
         }
+    }
+
+    #[test]
+    fn hotspot_concentrates_load() {
+        let pop = population(200);
+        let hot: Vec<usize> = (0..10).collect();
+        let model = TrafficModel::hotspot(0.1, 3, hot.clone(), 0.8);
+        let mut rng = SimRng::seed_from_u64(7);
+        let events = model.generate(
+            &pop,
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_secs(200),
+            &mut rng,
+        );
+        let on_hot = events
+            .iter()
+            .filter(|e| hot.contains(&e.subscriber))
+            .count();
+        let frac = on_hot as f64 / events.len() as f64;
+        // 5% of subscribers absorb ~80% of the traffic.
+        assert!((frac - 0.8).abs() < 0.05, "hot fraction {frac}");
+    }
+
+    #[test]
+    fn empty_hot_set_stays_uniform() {
+        let pop = population(100);
+        let mut model = TrafficModel::flat(0.1, 3);
+        model.hot_probability = 0.9; // ignored without a hot set
+        let mut rng = SimRng::seed_from_u64(8);
+        let events = model.generate(
+            &pop,
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_secs(100),
+            &mut rng,
+        );
+        assert!(!events.is_empty());
+        // No subscriber dominates.
+        let mut counts = vec![0usize; 100];
+        for e in &events {
+            counts[e.subscriber] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        assert!(max < events.len() / 10, "uniform load skewed: {max}");
     }
 
     #[test]
