@@ -7,7 +7,7 @@ use udr_model::identity::Identity;
 use udr_model::ids::SiteId;
 use udr_model::time::{SimDuration, SimTime};
 use udr_sim::SimRng;
-use udr_workload::{PopulationBuilder, Subscriber, TrafficEvent, TrafficModel};
+use udr_workload::{PopulationBuilder, SessionBook, Subscriber, TrafficEvent, TrafficModel};
 
 /// Virtual-time shorthand.
 pub fn t(secs: u64) -> SimTime {
@@ -95,6 +95,30 @@ pub fn run_events(
     (fe_count, ps_count)
 }
 
+/// Drive a pre-generated FE event stream with per-subscriber session
+/// state: every sessioned subscriber's procedures carry and update its
+/// [`SessionBook`] token (the client side of
+/// `ReadPolicy::SessionConsistent`). Returns the number of events run.
+pub fn run_events_sessioned(
+    scenario: &mut Scenario,
+    events: &[TrafficEvent],
+    sessions: &mut SessionBook,
+) -> u64 {
+    let mut count = 0u64;
+    for ev in events {
+        let sub = &scenario.population[ev.subscriber];
+        scenario.udr.run_procedure_with_session(
+            ev.kind,
+            &sub.ids,
+            ev.fe_site,
+            ev.at,
+            sessions.token_mut(ev.subscriber),
+        );
+        count += 1;
+    }
+    count
+}
+
 /// Generate a standard traffic stream for a scenario.
 pub fn standard_traffic(
     scenario: &Scenario,
@@ -120,6 +144,21 @@ mod tests {
         assert_eq!(s.udr.total_subscribers(), 30);
         assert_eq!(s.udr.metrics.fe_ops.attempts(), 0);
         assert_eq!(s.udr.metrics.ps_ops.attempts(), 0);
+    }
+
+    #[test]
+    fn run_events_sessioned_updates_tokens() {
+        let mut cfg = UdrConfig::figure2();
+        cfg.frash.fe_read_policy = udr_model::config::ReadPolicy::SessionConsistent;
+        let mut s = provisioned_system(cfg, 20, 4);
+        let events = standard_traffic(&s, 0.05, 0.3, t(10), t(60), 5);
+        let mut sessions = SessionBook::all(s.population.len());
+        let ran = run_events_sessioned(&mut s, &events, &mut sessions);
+        assert_eq!(ran as usize, events.len());
+        assert!(s.udr.metrics.guarantees.session_reads > 0);
+        assert_eq!(s.udr.metrics.guarantees.session_violations, 0);
+        // At least one token observed something.
+        assert!((0..sessions.len()).any(|i| sessions.token(i).is_some_and(|t| !t.is_empty())));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Aggregated run metrics for one UDR deployment.
 
-use udr_metrics::{Histogram, OpCounter, StalenessTracker};
+use udr_metrics::{GuaranteeTracker, Histogram, OpCounter, StalenessTracker};
 use udr_model::config::TxnClass;
 use udr_model::time::SimDuration;
 
@@ -17,6 +17,9 @@ pub struct UdrMetrics {
     pub ps_latency: Histogram,
     /// Staleness of reads (slave-read consistency, §3.3.2).
     pub staleness: StalenessTracker,
+    /// Kept/broken guarantees and master redirects of the intermediate
+    /// read policies (bounded staleness, session guarantees).
+    pub guarantees: GuaranteeTracker,
     /// Operations whose serving SE was reached across the backbone.
     pub backbone_ops: u64,
     /// Operations served within the client's site.

@@ -10,6 +10,7 @@ use udr_model::attrs::Entry;
 use udr_model::config::TxnClass;
 use udr_model::error::{UdrError, UdrResult};
 use udr_model::ids::{SeId, SiteId};
+use udr_model::session::SessionToken;
 use udr_model::time::SimDuration;
 use udr_model::time::SimTime;
 
@@ -68,10 +69,25 @@ impl Udr {
         client_site: SiteId,
         now: SimTime,
     ) -> OpOutcome {
+        self.execute_op_with_session(op, class, client_site, now, None)
+    }
+
+    /// [`Udr::execute_op`] for a client that maintains a
+    /// [`SessionToken`]: the token gates session-consistent replica
+    /// selection and is updated with what the operation wrote/observed.
+    /// Pass `None` for tokenless (per-operation) clients.
+    pub fn execute_op_with_session(
+        &mut self,
+        op: &LdapOp,
+        class: TxnClass,
+        client_site: SiteId,
+        now: SimTime,
+        session: Option<&mut SessionToken>,
+    ) -> OpOutcome {
         self.advance_to(now);
         let timeout = self.cfg.frash.op_timeout;
 
-        let mut ctx = PipelineCtx::new(op, class, client_site, now);
+        let mut ctx = PipelineCtx::new(op, class, client_site, now).with_session(session);
         let mut outcome = pipeline::run(self, &mut ctx);
         if outcome.is_ok() && outcome.latency > timeout {
             let breakdown = outcome.breakdown;

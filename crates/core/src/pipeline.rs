@@ -32,6 +32,7 @@ use udr_model::config::{ReadPolicy, ReplicationMode, TxnClass};
 use udr_model::error::{UdrError, UdrResult};
 use udr_model::identity::Identity;
 use udr_model::ids::{PartitionId, ReplicaRole, SeId, SiteId, SubscriberUid};
+use udr_model::session::{RawLsn, SessionToken};
 use udr_model::time::{SimDuration, SimTime};
 use udr_replication::quorum::quorum_write;
 use udr_storage::{CommitRecord, StorageBackend};
@@ -75,6 +76,10 @@ pub struct PipelineCtx<'a> {
     pub client_site: SiteId,
     /// Arrival instant at the PoA.
     pub now: SimTime,
+    /// The issuing client session's consistency token, when the client
+    /// maintains one. Consulted by session-consistent replica selection
+    /// and updated with what the operation wrote/observed.
+    pub session: Option<&'a mut SessionToken>,
     /// Accumulated latency attribution.
     pub breakdown: LatencyBreakdown,
     /// Serving cluster (set by the access stage).
@@ -91,6 +96,10 @@ pub struct PipelineCtx<'a> {
     quorum_served: bool,
     /// Commit record of a committed write, for post-commit replication.
     record: Option<CommitRecord>,
+    /// Reference LSN bounded-staleness routing measured lag against,
+    /// reused by the post-read audit (deployment state cannot change
+    /// between the two within one operation).
+    bounded_reference: Option<RawLsn>,
     /// Whether reaching the SE crossed the inter-site backbone.
     crossed_backbone: bool,
 }
@@ -103,6 +112,7 @@ impl<'a> PipelineCtx<'a> {
             class,
             client_site,
             now,
+            session: None,
             breakdown: LatencyBreakdown::default(),
             cluster_idx: 0,
             server_site: client_site,
@@ -110,8 +120,15 @@ impl<'a> PipelineCtx<'a> {
             target: None,
             quorum_served: false,
             record: None,
+            bounded_reference: None,
             crossed_backbone: false,
         }
+    }
+
+    /// Attach the issuing session's consistency token.
+    pub fn with_session(mut self, session: Option<&'a mut SessionToken>) -> Self {
+        self.session = session;
+        self
     }
 
     /// Fail with the latency accumulated so far.
@@ -348,7 +365,7 @@ impl ReplicationStage {
         let target = if ctx.op.is_write() {
             Self::write_target(udr, location.partition, ctx.server_site, ctx.now)
         } else {
-            Self::read_target(udr, location.partition, ctx.server_site, read_policy)
+            Self::read_target(udr, ctx, location.partition, read_policy)
         };
         match target {
             Some(se) => {
@@ -368,40 +385,170 @@ impl ReplicationStage {
 
     /// Pick the SE serving a read under a policy.
     fn read_target(
-        udr: &Udr,
+        udr: &mut Udr,
+        ctx: &mut PipelineCtx,
         partition: PartitionId,
-        from_site: SiteId,
         policy: ReadPolicy,
     ) -> Option<SeId> {
-        let group = &udr.groups[partition.index()];
-        let master = group.master();
-        let usable = |se: SeId| {
-            udr.ses[se.index()].is_up() && udr.net.reachable(from_site, udr.ses[se.index()].site())
-        };
+        let from_site = ctx.server_site;
         match policy {
-            ReadPolicy::MasterOnly => usable(master).then_some(master),
-            ReadPolicy::NearestCopy => {
-                // Same-site copy first (§3.3.2: "all IP packet exchanges
-                // take place over a fast local network"), then the master,
-                // then any reachable copy.
-                let same_site = group
-                    .members()
-                    .iter()
-                    .copied()
-                    .filter(|se| udr.ses[se.index()].site() == from_site && usable(*se))
-                    .min();
-                same_site
-                    .or_else(|| usable(master).then_some(master))
-                    .or_else(|| {
-                        group
-                            .members()
-                            .iter()
-                            .copied()
-                            .filter(|se| usable(*se))
-                            .min()
-                    })
+            ReadPolicy::MasterOnly => {
+                let master = udr.groups[partition.index()].master();
+                Self::copy_usable(udr, from_site, master).then_some(master)
+            }
+            // Nearest-copy is the guarded selection with a zero floor:
+            // every copy qualifies, so the preference chain (same-site →
+            // master → any reachable copy) decides alone and no redirect
+            // ever fires.
+            ReadPolicy::NearestCopy => Self::guarded_target(udr, ctx, partition, 0),
+            // The middle of the consistency spectrum: both intermediate
+            // policies reduce to "nearest copy whose applied LSN has
+            // reached a freshness floor".
+            ReadPolicy::BoundedStaleness { max_lag } => {
+                let reference = Self::reference_lsn(udr, partition, from_site);
+                ctx.bounded_reference = Some(reference);
+                Self::guarded_target(udr, ctx, partition, reference.saturating_sub(max_lag))
+            }
+            ReadPolicy::SessionConsistent => {
+                let required = ctx
+                    .session
+                    .as_ref()
+                    .map(|token| token.required_lsn(partition))
+                    .unwrap_or(0);
+                Self::guarded_target(udr, ctx, partition, required)
             }
         }
+    }
+
+    /// Whether `se` can serve a request issued from `from_site` at all.
+    fn copy_usable(udr: &Udr, from_site: SiteId, se: SeId) -> bool {
+        udr.ses[se.index()].is_up() && udr.net.reachable(from_site, udr.ses[se.index()].site())
+    }
+
+    /// The applied LSN of `se`'s copy of `partition` as the router may
+    /// assume it: the engine's own position for the master, the shipping
+    /// ledger's *confirmed* position for slaves — never ahead of the
+    /// slave's true state, so a routing decision based on it is safe.
+    fn routed_applied_lsn(udr: &Udr, partition: PartitionId, se: SeId) -> RawLsn {
+        let p = partition.index();
+        let engine_lsn = || {
+            udr.ses[se.index()]
+                .last_lsn(partition)
+                .map(|l| l.raw())
+                .unwrap_or(0)
+        };
+        if udr.groups[p].master() == se {
+            return engine_lsn();
+        }
+        match udr.shippers[p].applied(se) {
+            Some(lsn) => lsn.raw(),
+            // No shipping channel (e.g. mid-rebuild): the engine is the
+            // only source of truth left.
+            None => engine_lsn(),
+        }
+    }
+
+    /// The log position staleness is measured against: the master's
+    /// position while it is up, else the freshest position any reachable
+    /// copy advertises (best-known state during a master outage).
+    fn reference_lsn(udr: &Udr, partition: PartitionId, from_site: SiteId) -> RawLsn {
+        let group = &udr.groups[partition.index()];
+        let master = group.master();
+        if udr.ses[master.index()].is_up() {
+            return Self::routed_applied_lsn(udr, partition, master);
+        }
+        group
+            .members()
+            .iter()
+            .copied()
+            .filter(|se| Self::copy_usable(udr, from_site, *se))
+            .map(|se| Self::routed_applied_lsn(udr, partition, se))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Lag-aware replica selection shared by every slave-read policy:
+    /// the nearest usable copy whose applied LSN has reached `required`,
+    /// preferring same-site, then the master, then any reachable copy.
+    /// `required = 0` is plain nearest-copy routing (every copy
+    /// qualifies, no lag lookups). When the copy nearest-copy routing
+    /// would have used fails the floor, the read bounces off it and is
+    /// redirected: the wasted hop is charged to
+    /// [`LatencyBreakdown::replication`] and counted in
+    /// [`udr_metrics::GuaranteeTracker::master_redirects`]. Returns
+    /// `None` when no reachable copy qualifies (the consistency side of
+    /// the trade: the read fails rather than violate its floor).
+    fn guarded_target(
+        udr: &mut Udr,
+        ctx: &mut PipelineCtx,
+        partition: PartitionId,
+        required: RawLsn,
+    ) -> Option<SeId> {
+        let from_site = ctx.server_site;
+        // Selection is pure inspection; mutation (RTT sampling, metrics)
+        // happens after the borrows end.
+        let (nearest, pick) = {
+            let group = &udr.groups[partition.index()];
+            let master = group.master();
+            let members = group.members();
+            let qualifies = |se: SeId| {
+                required == 0 || Self::routed_applied_lsn(udr, partition, se) >= required
+            };
+
+            // The copy plain nearest-copy routing would have used (full
+            // preference chain, no freshness filter), so redirects are
+            // charged whenever the floor changes the routing decision.
+            let nearest = members
+                .iter()
+                .copied()
+                .filter(|se| {
+                    udr.ses[se.index()].site() == from_site
+                        && Self::copy_usable(udr, from_site, *se)
+                })
+                .min()
+                .or_else(|| Self::copy_usable(udr, from_site, master).then_some(master))
+                .or_else(|| {
+                    members
+                        .iter()
+                        .copied()
+                        .filter(|se| Self::copy_usable(udr, from_site, *se))
+                        .min()
+                });
+            let pick = members
+                .iter()
+                .copied()
+                .filter(|se| {
+                    udr.ses[se.index()].site() == from_site
+                        && Self::copy_usable(udr, from_site, *se)
+                        && qualifies(*se)
+                })
+                .min()
+                .or_else(|| {
+                    (Self::copy_usable(udr, from_site, master) && qualifies(master))
+                        .then_some(master)
+                })
+                .or_else(|| {
+                    members
+                        .iter()
+                        .copied()
+                        .filter(|se| Self::copy_usable(udr, from_site, *se) && qualifies(*se))
+                        .min()
+                });
+            (nearest, pick)
+        };
+        let pick = pick?;
+        if let Some(near) = nearest {
+            if near != pick {
+                // The nearest copy answered "too stale, redirect": one
+                // wasted round trip before the fresher copy serves.
+                let near_site = udr.ses[near.index()].site();
+                if let Some(rtt) = sample_rtt(udr, from_site, near_site) {
+                    ctx.breakdown.replication += rtt;
+                }
+                udr.metrics.guarantees.record_master_redirect();
+            }
+        }
+        Some(pick)
     }
 
     /// Pick the SE taking a write; under multi-master an acting master is
@@ -498,9 +645,17 @@ impl ReplicationStage {
 
         if let Some(record) = ctx.record.take() {
             let commit_done = ctx.now + ctx.breakdown.total();
+            let write_lsn = record.lsn.raw();
             match Self::replicate_after_commit(udr, location.partition, se_id, &record, commit_done)
             {
-                Ok(extra) => ctx.breakdown.replication += extra,
+                Ok(extra) => {
+                    ctx.breakdown.replication += extra;
+                    // Raise the session's read-your-writes floor to the
+                    // committed position.
+                    if let Some(token) = ctx.session.as_deref_mut() {
+                        token.observe_write(location.partition, write_lsn);
+                    }
+                }
                 Err(e) => {
                     udr.metrics.partial_commits += 1;
                     return ctx.fail(e);
@@ -510,6 +665,7 @@ impl ReplicationStage {
 
         if !ctx.op.is_write() {
             Self::record_read_staleness(udr, location.partition, location.uid, se_id);
+            Self::account_guarantees(udr, ctx, location.partition, se_id);
             // Attribute projection. (Filter matching and Bind/Compare
             // shaping already happened in the storage stage, on both the
             // transactional and the quorum-served path.)
@@ -608,6 +764,54 @@ impl ReplicationStage {
                     })
                 }
             }
+        }
+    }
+
+    /// Audit a served read against its policy's promise and update the
+    /// session token: record kept/broken guarantees for the intermediate
+    /// policies, then raise the session's monotonic-reads floor to the
+    /// applied position the serving engine exposed.
+    fn account_guarantees(udr: &mut Udr, ctx: &mut PipelineCtx, partition: PartitionId, se: SeId) {
+        if ctx.quorum_served {
+            // Quorum consults pick their own copy outside the read-policy
+            // routing; auditing them against a policy that never ran would
+            // report phantom violations. (`FrashConfig::validate` rejects
+            // guarded policies under quorum replication anyway.)
+            return;
+        }
+        let policy = match ctx.class {
+            TxnClass::FrontEnd => udr.cfg.frash.fe_read_policy,
+            TxnClass::Provisioning => udr.cfg.frash.ps_read_policy,
+        };
+        // What the read actually saw: the serving engine's applied LSN
+        // (at least the ledger-confirmed position routing relied on).
+        let served_lsn = udr.ses[se.index()]
+            .last_lsn(partition)
+            .map(|l| l.raw())
+            .unwrap_or(0);
+        match policy {
+            ReadPolicy::BoundedStaleness { max_lag } => {
+                let reference = ctx
+                    .bounded_reference
+                    .unwrap_or_else(|| Self::reference_lsn(udr, partition, ctx.server_site));
+                udr.metrics
+                    .guarantees
+                    .record_bounded_read(reference.saturating_sub(served_lsn), max_lag);
+            }
+            ReadPolicy::SessionConsistent => {
+                let required = ctx
+                    .session
+                    .as_ref()
+                    .map(|token| token.required_lsn(partition))
+                    .unwrap_or(0);
+                udr.metrics
+                    .guarantees
+                    .record_session_read(served_lsn, required);
+            }
+            ReadPolicy::NearestCopy | ReadPolicy::MasterOnly => {}
+        }
+        if let Some(token) = ctx.session.as_deref_mut() {
+            token.observe_read(partition, served_lsn);
         }
     }
 

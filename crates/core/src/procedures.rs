@@ -12,6 +12,7 @@ use udr_model::error::UdrError;
 use udr_model::identity::{Identity, IdentitySet};
 use udr_model::ids::SiteId;
 use udr_model::procedures::ProcedureKind;
+use udr_model::session::SessionToken;
 use udr_model::time::{SimDuration, SimTime};
 
 use crate::udr::Udr;
@@ -140,11 +141,32 @@ impl Udr {
         fe_site: SiteId,
         now: SimTime,
     ) -> ProcedureOutcome {
+        self.run_procedure_with_session(kind, ids, fe_site, now, None)
+    }
+
+    /// [`Udr::run_procedure`] for a subscriber whose front-end signalling
+    /// maintains a [`SessionToken`]: every operation of the procedure
+    /// carries the token (session-consistent reads honour it, writes and
+    /// reads raise its floors). Pass `None` for tokenless subscribers.
+    pub fn run_procedure_with_session(
+        &mut self,
+        kind: ProcedureKind,
+        ids: &IdentitySet,
+        fe_site: SiteId,
+        now: SimTime,
+        mut session: Option<&mut SessionToken>,
+    ) -> ProcedureOutcome {
         let ops = procedure_ops(kind, ids, fe_site);
         let mut latency = SimDuration::ZERO;
         let mut ops_ok = 0u32;
         for op in &ops {
-            let outcome = self.execute_op(op, TxnClass::FrontEnd, fe_site, now + latency);
+            let outcome = self.execute_op_with_session(
+                op,
+                TxnClass::FrontEnd,
+                fe_site,
+                now + latency,
+                session.as_deref_mut(),
+            );
             latency += outcome.latency;
             match outcome.result {
                 Ok(_) => ops_ok += 1,

@@ -7,18 +7,22 @@
 //! * [`availability`] — subscriber-seconds availability ledgers with the
 //!   footnote-4 averaging semantics, plus per-class operation counters;
 //! * [`staleness`] — stale-read accounting for slave reads (§3.3.2);
+//! * [`guarantees`] — kept/broken-guarantee accounting for the
+//!   intermediate read policies (bounded staleness, session guarantees);
 //! * [`series`] — gauge time series (PS back-log depth, §3.3);
 //! * [`report`] — fixed-width tables for paper-style output.
 
 #![warn(missing_docs)]
 
 pub mod availability;
+pub mod guarantees;
 pub mod hist;
 pub mod report;
 pub mod series;
 pub mod staleness;
 
 pub use availability::{AvailabilityLedger, OpCounter};
+pub use guarantees::GuaranteeTracker;
 pub use hist::Histogram;
 pub use report::{pct, thousands, Table};
 pub use series::TimeSeries;

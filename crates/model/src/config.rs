@@ -3,9 +3,11 @@
 //! Figures 5–6 and measure the consequences.
 
 use std::fmt;
+use std::str::FromStr;
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::UdrError;
 use crate::time::SimDuration;
 
 /// Durability of a storage element (§3.1 and its footnote 6).
@@ -45,6 +47,22 @@ impl fmt::Display for DurabilityMode {
                 write!(f, "snapshot/{interval}")
             }
             DurabilityMode::SyncCommit => f.write_str("sync-commit"),
+        }
+    }
+}
+
+impl FromStr for DurabilityMode {
+    type Err = UdrError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "none" => Ok(DurabilityMode::None),
+            "sync-commit" => Ok(DurabilityMode::SyncCommit),
+            _ => s
+                .strip_prefix("snapshot/")
+                .and_then(|d| d.parse::<SimDuration>().ok())
+                .map(|interval| DurabilityMode::PeriodicSnapshot { interval })
+                .ok_or_else(|| UdrError::Config(format!("unknown durability mode `{s}`"))),
         }
     }
 }
@@ -103,6 +121,38 @@ impl fmt::Display for ReplicationMode {
     }
 }
 
+impl FromStr for ReplicationMode {
+    type Err = UdrError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "async-master-slave" => Ok(ReplicationMode::AsyncMasterSlave),
+            "dual-in-sequence" => Ok(ReplicationMode::DualInSequence),
+            "multi-master" => Ok(ReplicationMode::MultiMaster),
+            _ => {
+                let parsed = s
+                    .strip_prefix("quorum(n=")
+                    .and_then(|rest| rest.strip_suffix(')'))
+                    .and_then(|rest| {
+                        let mut parts = rest.split(",w=");
+                        let n = parts.next()?.parse::<u8>().ok()?;
+                        let mut tail = parts.next()?.split(",r=");
+                        if parts.next().is_some() {
+                            return None; // more than one ",w=" segment
+                        }
+                        let w = tail.next()?.parse::<u8>().ok()?;
+                        let r = tail.next()?.parse::<u8>().ok()?;
+                        if tail.next().is_some() {
+                            return None; // trailing ",r=…" garbage
+                        }
+                        Some(ReplicationMode::Quorum { n, w, r })
+                    });
+                parsed.ok_or_else(|| UdrError::Config(format!("unknown replication mode `{s}`")))
+            }
+        }
+    }
+}
+
 /// SQL-92 isolation levels the engine supports (§3.2 decision 2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum IsolationLevel {
@@ -123,21 +173,97 @@ impl fmt::Display for IsolationLevel {
     }
 }
 
-/// Whether a client class may read slave copies (§3.3.2 vs §3.3.3).
+impl FromStr for IsolationLevel {
+    type Err = UdrError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "READ_UNCOMMITTED" => Ok(IsolationLevel::ReadUncommitted),
+            "READ_COMMITTED" => Ok(IsolationLevel::ReadCommitted),
+            _ => Err(UdrError::Config(format!("unknown isolation level `{s}`"))),
+        }
+    }
+}
+
+/// Read-routing policy of a client class: where on the consistency–latency
+/// spectrum its reads sit (§3.3.2 vs §3.3.3, and the middle ground the
+/// paper's PACELC discussion implies but the first realization omits).
+///
+/// Ordered from weakest/fastest to strongest/slowest guarantee:
+/// [`NearestCopy`](ReadPolicy::NearestCopy) →
+/// [`BoundedStaleness`](ReadPolicy::BoundedStaleness) →
+/// [`SessionConsistent`](ReadPolicy::SessionConsistent) →
+/// [`MasterOnly`](ReadPolicy::MasterOnly).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ReadPolicy {
     /// Application front-ends: read the nearest copy, stale data tolerated.
     NearestCopy,
+    /// Bounded staleness: read the nearest copy whose applied LSN lags the
+    /// partition master by at most `max_lag` records; redirect to a
+    /// fresher copy (ultimately the master) otherwise. `max_lag = 0` means
+    /// "any fully caught-up copy".
+    BoundedStaleness {
+        /// Maximum tolerated replica lag, in log records (LSNs).
+        max_lag: u64,
+    },
+    /// Terry-style session guarantees: every read must observe the
+    /// session's own committed writes (read-your-writes) and never an
+    /// older state than a previous read of the same session (monotonic
+    /// reads). Requires ops to carry a
+    /// [`SessionToken`](crate::session::SessionToken); tokenless reads
+    /// degrade to nearest-copy.
+    SessionConsistent,
     /// Provisioning system: "read operations on slave copies are disallowed".
     MasterOnly,
 }
 
+impl ReadPolicy {
+    /// Whether reads under this policy may ever be served by slave copies.
+    pub fn may_read_slaves(self) -> bool {
+        !matches!(self, ReadPolicy::MasterOnly)
+    }
+
+    /// Whether the policy tolerates *unbounded* staleness — reads never
+    /// have to wait out a replication stall, so they keep being served on
+    /// the minority side of a partition (PA in PACELC). Bounded and
+    /// session reads stall once no reachable copy satisfies their floor.
+    pub fn tolerates_unbounded_staleness(self) -> bool {
+        matches!(self, ReadPolicy::NearestCopy)
+    }
+}
+
 impl fmt::Display for ReadPolicy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            ReadPolicy::NearestCopy => "nearest-copy",
-            ReadPolicy::MasterOnly => "master-only",
-        })
+        match self {
+            ReadPolicy::NearestCopy => f.write_str("nearest-copy"),
+            ReadPolicy::BoundedStaleness { max_lag } => {
+                write!(f, "bounded-staleness(max_lag={max_lag})")
+            }
+            ReadPolicy::SessionConsistent => f.write_str("session-consistent"),
+            ReadPolicy::MasterOnly => f.write_str("master-only"),
+        }
+    }
+}
+
+impl FromStr for ReadPolicy {
+    type Err = UdrError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "nearest-copy" => Ok(ReadPolicy::NearestCopy),
+            "master-only" => Ok(ReadPolicy::MasterOnly),
+            "session-consistent" => Ok(ReadPolicy::SessionConsistent),
+            _ => {
+                let lag = s
+                    .strip_prefix("bounded-staleness(max_lag=")
+                    .and_then(|rest| rest.strip_suffix(')'))
+                    .and_then(|n| n.parse::<u64>().ok());
+                match lag {
+                    Some(max_lag) => Ok(ReadPolicy::BoundedStaleness { max_lag }),
+                    None => Err(UdrError::Config(format!("unknown read policy `{s}`"))),
+                }
+            }
+        }
     }
 }
 
@@ -157,6 +283,18 @@ impl fmt::Display for PlacementPolicy {
             PlacementPolicy::Random => "random",
             PlacementPolicy::HomeRegion => "home-region",
         })
+    }
+}
+
+impl FromStr for PlacementPolicy {
+    type Err = UdrError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "random" => Ok(PlacementPolicy::Random),
+            "home-region" => Ok(PlacementPolicy::HomeRegion),
+            _ => Err(UdrError::Config(format!("unknown placement policy `{s}`"))),
+        }
     }
 }
 
@@ -184,6 +322,19 @@ impl fmt::Display for LocatorKind {
     }
 }
 
+impl FromStr for LocatorKind {
+    type Err = UdrError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "provisioned-maps" => Ok(LocatorKind::ProvisionedMaps),
+            "cached-maps" => Ok(LocatorKind::CachedMaps),
+            "consistent-hashing" => Ok(LocatorKind::ConsistentHashing),
+            _ => Err(UdrError::Config(format!("unknown locator kind `{s}`"))),
+        }
+    }
+}
+
 /// The two transaction classes the paper distinguishes throughout.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum TxnClass {
@@ -201,6 +352,18 @@ impl fmt::Display for TxnClass {
             TxnClass::FrontEnd => "front-end",
             TxnClass::Provisioning => "provisioning",
         })
+    }
+}
+
+impl FromStr for TxnClass {
+    type Err = UdrError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "front-end" => Ok(TxnClass::FrontEnd),
+            "provisioning" => Ok(TxnClass::Provisioning),
+            _ => Err(UdrError::Config(format!("unknown transaction class `{s}`"))),
+        }
     }
 }
 
@@ -322,6 +485,34 @@ impl FrashConfig {
         if self.op_timeout.is_zero() {
             return Err(UdrError::Config("op_timeout must be non-zero".into()));
         }
+        // The intermediate read policies qualify copies by comparing raw
+        // per-partition LSN floors, which is only sound on a single master
+        // lineage: quorum reads consult ensembles instead of one routed
+        // copy (the policy would silently not be enforced), and diverged
+        // multi-master branches reuse LSN numbers (a copy could satisfy a
+        // floor numerically while missing the session's write).
+        for (class, policy) in [("fe", self.fe_read_policy), ("ps", self.ps_read_policy)] {
+            let guarded = matches!(
+                policy,
+                ReadPolicy::BoundedStaleness { .. } | ReadPolicy::SessionConsistent
+            );
+            if !guarded {
+                continue;
+            }
+            if matches!(self.replication, ReplicationMode::Quorum { .. }) {
+                return Err(UdrError::Config(format!(
+                    "{class}_read_policy `{policy}` is not enforced under quorum \
+                     replication (reads consult the ensemble, not a routed copy)"
+                )));
+            }
+            if self.replication == ReplicationMode::MultiMaster {
+                return Err(UdrError::Config(format!(
+                    "{class}_read_policy `{policy}` is unsound under multi-master \
+                     replication (diverged branches reuse LSNs, so freshness floors \
+                     do not identify the session's writes)"
+                )));
+            }
+        }
         Ok(())
     }
 
@@ -330,27 +521,31 @@ impl FrashConfig {
     pub fn pacelc_for(&self, class: TxnClass) -> Pacelc {
         let partition_availability = match class {
             // FE traffic is mostly reads; with nearest-copy reads it keeps
-            // being served during partitions => PA. With master-only reads it
-            // fails alongside writes => PC.
+            // being served during partitions => PA. Bounded and session
+            // reads stall once the minority side can no longer satisfy
+            // their freshness floor, so like master-only they fail
+            // alongside writes => PC.
             TxnClass::FrontEnd => {
-                self.fe_read_policy == ReadPolicy::NearestCopy
+                self.fe_read_policy.tolerates_unbounded_staleness()
                     || self.replication.writes_survive_partition()
             }
             // PS traffic is write-heavy: only multi-master keeps it alive.
             TxnClass::Provisioning => self.replication.writes_survive_partition(),
         };
         let else_latency = match class {
-            // Async replication + slave reads = latency over consistency.
+            // Async replication + any slave-read policy = latency over
+            // consistency: the intermediate policies still serve the vast
+            // majority of reads from the nearest (qualifying) copy.
             TxnClass::FrontEnd => {
                 matches!(
                     self.replication,
                     ReplicationMode::AsyncMasterSlave | ReplicationMode::MultiMaster
-                ) && self.fe_read_policy == ReadPolicy::NearestCopy
+                ) && self.fe_read_policy.may_read_slaves()
             }
             // Master-only reads + atomic intent = consistency over latency,
             // unless replication itself is fire-and-forget *and* reads are
-            // allowed to drift.
-            TxnClass::Provisioning => self.ps_read_policy == ReadPolicy::NearestCopy,
+            // allowed to drift without any bound.
+            TxnClass::Provisioning => self.ps_read_policy.tolerates_unbounded_staleness(),
         };
         Pacelc {
             partition_availability,
@@ -449,5 +644,147 @@ mod tests {
         );
         assert_eq!(IsolationLevel::ReadCommitted.to_string(), "READ_COMMITTED");
         assert_eq!(LocatorKind::CachedMaps.to_string(), "cached-maps");
+        assert_eq!(
+            ReadPolicy::BoundedStaleness { max_lag: 8 }.to_string(),
+            "bounded-staleness(max_lag=8)"
+        );
+        assert_eq!(
+            ReadPolicy::SessionConsistent.to_string(),
+            "session-consistent"
+        );
+    }
+
+    fn round_trips<T>(values: &[T])
+    where
+        T: fmt::Display + FromStr + PartialEq + fmt::Debug,
+        <T as FromStr>::Err: fmt::Debug,
+    {
+        for v in values {
+            let shown = v.to_string();
+            let parsed: T = shown.parse().expect("display output must parse back");
+            assert_eq!(&parsed, v, "`{shown}` did not round-trip");
+        }
+    }
+
+    #[test]
+    fn every_policy_enum_round_trips_through_display() {
+        round_trips(&[
+            ReadPolicy::NearestCopy,
+            ReadPolicy::MasterOnly,
+            ReadPolicy::SessionConsistent,
+            ReadPolicy::BoundedStaleness { max_lag: 0 },
+            ReadPolicy::BoundedStaleness { max_lag: 1000 },
+        ]);
+        round_trips(&[
+            ReplicationMode::AsyncMasterSlave,
+            ReplicationMode::DualInSequence,
+            ReplicationMode::MultiMaster,
+            ReplicationMode::Quorum { n: 5, w: 3, r: 2 },
+        ]);
+        round_trips(&[
+            DurabilityMode::None,
+            DurabilityMode::SyncCommit,
+            DurabilityMode::periodic_default(),
+            DurabilityMode::PeriodicSnapshot {
+                interval: SimDuration::from_millis(250),
+            },
+        ]);
+        round_trips(&[
+            IsolationLevel::ReadUncommitted,
+            IsolationLevel::ReadCommitted,
+        ]);
+        round_trips(&[PlacementPolicy::Random, PlacementPolicy::HomeRegion]);
+        round_trips(&[
+            LocatorKind::ProvisionedMaps,
+            LocatorKind::CachedMaps,
+            LocatorKind::ConsistentHashing,
+        ]);
+        round_trips(&[TxnClass::FrontEnd, TxnClass::Provisioning]);
+    }
+
+    #[test]
+    fn malformed_policy_strings_are_rejected() {
+        assert!("nearest".parse::<ReadPolicy>().is_err());
+        assert!("bounded-staleness(max_lag=)".parse::<ReadPolicy>().is_err());
+        assert!("bounded-staleness(max_lag=-1)"
+            .parse::<ReadPolicy>()
+            .is_err());
+        assert!("quorum(n=3,w=2)".parse::<ReplicationMode>().is_err());
+        assert!("quorum(n=3,w=2,r=2,r=9)"
+            .parse::<ReplicationMode>()
+            .is_err());
+        assert!("quorum(n=3,w=2,w=4,r=2)"
+            .parse::<ReplicationMode>()
+            .is_err());
+        assert!("snapshot/oops".parse::<DurabilityMode>().is_err());
+        assert!("read_committed".parse::<IsolationLevel>().is_err());
+        assert!("".parse::<LocatorKind>().is_err());
+        assert!("ps".parse::<TxnClass>().is_err());
+    }
+
+    #[test]
+    fn spectrum_predicates() {
+        assert!(ReadPolicy::NearestCopy.may_read_slaves());
+        assert!(ReadPolicy::BoundedStaleness { max_lag: 4 }.may_read_slaves());
+        assert!(ReadPolicy::SessionConsistent.may_read_slaves());
+        assert!(!ReadPolicy::MasterOnly.may_read_slaves());
+        assert!(ReadPolicy::NearestCopy.tolerates_unbounded_staleness());
+        assert!(!ReadPolicy::BoundedStaleness { max_lag: 4 }.tolerates_unbounded_staleness());
+        assert!(!ReadPolicy::SessionConsistent.tolerates_unbounded_staleness());
+        assert!(!ReadPolicy::MasterOnly.tolerates_unbounded_staleness());
+    }
+
+    #[test]
+    fn guarded_policies_require_a_single_master_lineage() {
+        // Quorum reads bypass routed-copy selection; multi-master branches
+        // reuse LSNs. Both combinations must be rejected, for either class.
+        let quorum = FrashConfig {
+            replication: ReplicationMode::Quorum { n: 3, w: 2, r: 2 },
+            replication_factor: 3,
+            fe_read_policy: ReadPolicy::SessionConsistent,
+            ..Default::default()
+        };
+        assert!(quorum.validate().is_err());
+        let multimaster = FrashConfig {
+            replication: ReplicationMode::MultiMaster,
+            ps_read_policy: ReadPolicy::BoundedStaleness { max_lag: 4 },
+            ..Default::default()
+        };
+        assert!(multimaster.validate().is_err());
+        // The async default accepts both intermediates.
+        let ok = FrashConfig {
+            fe_read_policy: ReadPolicy::BoundedStaleness { max_lag: 4 },
+            ps_read_policy: ReadPolicy::SessionConsistent,
+            ..Default::default()
+        };
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn intermediate_policies_sit_between_the_extremes_in_pacelc() {
+        // The spectrum of §3.6, now populated: nearest-copy = PA/EL,
+        // bounded staleness and session guarantees = PC/EL (consistency
+        // enforced on partition, latency favoured otherwise), master-only
+        // = PC/EC.
+        let mk = |policy| FrashConfig {
+            fe_read_policy: policy,
+            ..Default::default()
+        };
+        assert_eq!(
+            mk(ReadPolicy::NearestCopy).pacelc_for(TxnClass::FrontEnd),
+            Pacelc::PA_EL
+        );
+        assert_eq!(
+            mk(ReadPolicy::BoundedStaleness { max_lag: 16 }).pacelc_for(TxnClass::FrontEnd),
+            Pacelc::PC_EL
+        );
+        assert_eq!(
+            mk(ReadPolicy::SessionConsistent).pacelc_for(TxnClass::FrontEnd),
+            Pacelc::PC_EL
+        );
+        assert_eq!(
+            mk(ReadPolicy::MasterOnly).pacelc_for(TxnClass::FrontEnd),
+            Pacelc::PC_EC
+        );
     }
 }

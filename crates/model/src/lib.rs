@@ -18,6 +18,7 @@ pub mod identity;
 pub mod ids;
 pub mod procedures;
 pub mod profile;
+pub mod session;
 pub mod time;
 
 pub use attrs::{AttrId, AttrMod, AttrValue, Entry};
@@ -33,4 +34,5 @@ pub use ids::{
 };
 pub use procedures::{ProcedureKind, ProvisioningKind};
 pub use profile::{SubscriberProfile, SubscriberStatus};
+pub use session::{RawLsn, SessionToken};
 pub use time::{SimDuration, SimTime};

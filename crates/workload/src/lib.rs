@@ -18,4 +18,4 @@ pub mod traffic;
 
 pub use faultgen::{periodic_partitions, OutageProcess};
 pub use population::{PopulationBuilder, Subscriber};
-pub use traffic::{LoadProfile, ProcedureMix, TrafficEvent, TrafficModel};
+pub use traffic::{LoadProfile, ProcedureMix, SessionBook, TrafficEvent, TrafficModel};

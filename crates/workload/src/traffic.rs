@@ -5,6 +5,7 @@
 
 use udr_model::ids::SiteId;
 use udr_model::procedures::ProcedureKind;
+use udr_model::session::SessionToken;
 use udr_model::time::{SimDuration, SimTime};
 use udr_sim::SimRng;
 
@@ -89,6 +90,83 @@ impl LoadProfile {
                 1.0 - depth / 2.0 + depth / 2.0 * phase.cos()
             }
         }
+    }
+}
+
+/// Client-side session state for a population: which subscribers maintain
+/// a [`SessionToken`] across their front-end interactions, and the tokens
+/// themselves.
+///
+/// A sessioned subscriber's procedures carry and update its token (via
+/// `Udr::run_procedure_with_session`), which is what makes
+/// `ReadPolicy::SessionConsistent` enforce read-your-writes and monotonic
+/// reads for that subscriber; tokenless subscribers degrade to
+/// nearest-copy behaviour under the same policy.
+#[derive(Debug, Clone, Default)]
+pub struct SessionBook {
+    tokens: Vec<Option<SessionToken>>,
+}
+
+impl SessionBook {
+    /// A book for `population` subscribers where roughly `fraction`
+    /// (evenly spread over the index range) maintain session tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `fraction` is outside `[0, 1]`.
+    pub fn new(population: usize, fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "session fraction {fraction} outside [0, 1]"
+        );
+        let tokens = (0..population)
+            .map(|i| {
+                // Evenly-spread selection: subscriber i is sessioned when
+                // the cumulative quota crosses an integer at index i.
+                let before = (i as f64 * fraction).floor();
+                let after = ((i + 1) as f64 * fraction).floor();
+                (after > before).then(SessionToken::new)
+            })
+            .collect();
+        SessionBook { tokens }
+    }
+
+    /// A book where every subscriber maintains a session.
+    pub fn all(population: usize) -> Self {
+        SessionBook::new(population, 1.0)
+    }
+
+    /// Number of subscribers covered.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the book covers no subscribers.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Whether `subscriber` maintains a session token.
+    pub fn is_sessioned(&self, subscriber: usize) -> bool {
+        self.tokens
+            .get(subscriber)
+            .is_some_and(|token| token.is_some())
+    }
+
+    /// Subscribers that maintain a session token.
+    pub fn sessioned_count(&self) -> usize {
+        self.tokens.iter().filter(|t| t.is_some()).count()
+    }
+
+    /// The token of `subscriber`, when it maintains one.
+    pub fn token(&self, subscriber: usize) -> Option<&SessionToken> {
+        self.tokens.get(subscriber).and_then(|t| t.as_ref())
+    }
+
+    /// Mutable token of `subscriber`, when it maintains one — the handle
+    /// to pass into `Udr::run_procedure_with_session`.
+    pub fn token_mut(&mut self, subscriber: usize) -> Option<&mut SessionToken> {
+        self.tokens.get_mut(subscriber).and_then(|t| t.as_mut())
     }
 }
 
@@ -356,6 +434,38 @@ mod tests {
         }
         let max = *counts.iter().max().unwrap();
         assert!(max < events.len() / 10, "uniform load skewed: {max}");
+    }
+
+    #[test]
+    fn session_book_spreads_the_fraction() {
+        let book = SessionBook::new(100, 0.25);
+        assert_eq!(book.len(), 100);
+        assert_eq!(book.sessioned_count(), 25);
+        // Evenly spread, not front-loaded: both halves carry sessions.
+        assert!((0..50).any(|i| book.is_sessioned(i)));
+        assert!((50..100).any(|i| book.is_sessioned(i)));
+    }
+
+    #[test]
+    fn session_book_extremes() {
+        let none = SessionBook::new(10, 0.0);
+        assert_eq!(none.sessioned_count(), 0);
+        assert!(none.token(3).is_none());
+
+        let mut all = SessionBook::all(10);
+        assert_eq!(all.sessioned_count(), 10);
+        assert!(all.token_mut(9).is_some());
+        assert!(all.token(10).is_none()); // out of range
+        assert!(!all.is_sessioned(10));
+    }
+
+    #[test]
+    fn session_book_tokens_are_independent() {
+        use udr_model::ids::PartitionId;
+        let mut book = SessionBook::all(3);
+        book.token_mut(1).unwrap().observe_write(PartitionId(0), 7);
+        assert_eq!(book.token(1).unwrap().required_lsn(PartitionId(0)), 7);
+        assert_eq!(book.token(0).unwrap().required_lsn(PartitionId(0)), 0);
     }
 
     #[test]
