@@ -6,8 +6,11 @@
 //! Injects a random SE outage process (MTBF/MTTR) and integrates
 //! subscriber-weighted structural availability over a simulated week, for
 //! replication factors 1–3; then verifies the one-SE-left claim directly.
+//! Emits `BENCH_e03.json` (one row per replication factor) for cross-PR
+//! tracking.
 
 use udr_bench::harness::{provisioned_system, t};
+use udr_bench::json::{BenchReport, JsonValue};
 use udr_core::UdrConfig;
 use udr_metrics::{pct, AvailabilityLedger, Table};
 use udr_model::ids::{SeId, SiteId};
@@ -65,6 +68,14 @@ fn main() {
         "five nines?",
     ])
     .with_title("subscriber-weighted structural availability over one week");
+    let mut report = BenchReport::new("e03", 100);
+    report
+        .config("subscribers", 90u64)
+        .config("sites", 3u64)
+        .config("mtbf_hours", 24u64)
+        .config("mttr_mins", 30u64)
+        .config("seeds_averaged", 5u64)
+        .config("single_se_availability", process.single_se_availability());
     for rf in [1u8, 2, 3] {
         // Average over five seeds to smooth the outage process.
         let runs: Vec<f64> = (0..5)
@@ -86,6 +97,13 @@ fn main() {
                 "no".to_owned()
             },
         ]);
+        report.row(vec![
+            ("scenario", "weekly-outage-process".into()),
+            ("replication_factor", u64::from(rf).into()),
+            ("availability", avail.into()),
+            ("nines", nines.into()),
+            ("five_nines", i64::from(avail >= 0.99999).into()),
+        ]);
     }
     println!("{table}");
 
@@ -104,6 +122,17 @@ fn main() {
          (paper: 100%)",
         pct(frac, 1)
     );
+    report.row(vec![
+        ("scenario", "one-se-left".into()),
+        ("replication_factor", 3u64.into()),
+        ("availability", frac.into()),
+        ("nines", JsonValue::Null),
+        ("five_nines", JsonValue::Null),
+    ]);
+    match report.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_e03.json: {e}"),
+    }
     println!(
         "\nShape check (paper): RF 1 tracks the raw SE availability (<< 5 nines); RF 2\n\
          improves by orders of magnitude; RF 3 reaches the 99.999% target because data\n\

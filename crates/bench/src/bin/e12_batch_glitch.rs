@@ -5,9 +5,11 @@
 //! very best… the provider needs to send someone to check what parts of
 //! the batch failed and apply those parts manually." Sweeps glitch length
 //! and retry policy; reports manual-intervention fractions and the §3.3
-//! back-log growth.
+//! back-log growth. Emits `BENCH_e12.json` (one row per swept cell) for
+//! cross-PR tracking.
 
 use udr_bench::harness::t;
+use udr_bench::json::BenchReport;
 use udr_core::{BatchItem, RetryPolicy, Udr, UdrConfig};
 use udr_metrics::{pct, Table};
 use udr_model::config::ReplicationMode;
@@ -77,6 +79,12 @@ fn main() {
         "batch done at",
     ])
     .with_title("the §4.1 batch failure mode, swept");
+    let mut report = BenchReport::new("e12", 12);
+    report
+        .config("items", 1800u64)
+        .config("items_per_sec", 10.0)
+        .config("glitch_at_s", 60u64)
+        .config("retry_backoff_s", 15u64);
     for (mode, label) in [
         (ReplicationMode::AsyncMasterSlave, "master/slave"),
         (ReplicationMode::MultiMaster, "multi-master"),
@@ -102,10 +110,24 @@ fn main() {
                     format!("{:.0}", row.peak_backlog),
                     format!("{:.0} s", row.finish_s),
                 ]);
+                report.row(vec![
+                    ("mode", mode.to_string().into()),
+                    ("glitch_s", glitch_s.into()),
+                    ("max_attempts", u64::from(attempts).into()),
+                    ("items_failed", row.failed.into()),
+                    ("manual_intervention_fraction", row.manual.into()),
+                    ("retries", row.retries.into()),
+                    ("peak_backlog", row.peak_backlog.into()),
+                    ("finished_at_s", row.finish_s.into()),
+                ]);
             }
         }
     }
     println!("{table}");
+    match report.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_e12.json: {e}"),
+    }
     println!(
         "Shape check (paper): a 30 s glitch with no retries fails ~⅔ of the items that\n\
          arrived during it (those homed across the shattered backbone) — each one a manual\n\

@@ -1,12 +1,19 @@
-//! Shared experiment scaffolding: provisioned systems, traffic driving,
-//! and the interleaved PS write stream most experiments use.
+//! Shared experiment scaffolding: provisioned systems, traffic driving
+//! (with or without client retries), and the interleaved PS write stream
+//! most experiments use.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use udr_core::{Udr, UdrConfig};
 use udr_model::attrs::{AttrId, AttrMod, AttrValue};
+use udr_model::error::UdrError;
 use udr_model::identity::Identity;
 use udr_model::ids::SiteId;
+use udr_model::procedures::ProcedureKind;
 use udr_model::time::{SimDuration, SimTime};
 use udr_sim::SimRng;
+use udr_workload::retry::RetryPolicy;
 use udr_workload::{PopulationBuilder, SessionBook, Subscriber, TrafficEvent, TrafficModel};
 
 /// Virtual-time shorthand.
@@ -119,6 +126,89 @@ pub fn run_events_sessioned(
     count
 }
 
+/// Final fate of one offered procedure driven through
+/// [`run_events_with_retries`].
+#[derive(Debug, Clone)]
+pub struct RetriedProcedure {
+    /// The procedure kind offered.
+    pub kind: ProcedureKind,
+    /// When the *first* attempt started (the offered-load instant).
+    pub offered_at: SimTime,
+    /// Attempts consumed (1 = succeeded or gave up first try).
+    pub attempts: u32,
+    /// Whether any attempt eventually succeeded.
+    pub success: bool,
+    /// When the final attempt finished.
+    pub finished_at: SimTime,
+    /// The last attempt's failure, when all attempts failed.
+    pub failure: Option<UdrError>,
+}
+
+/// Drive an FE event stream where failed procedures are *retried by the
+/// client* under `policy` — and every retry re-enters the offered load
+/// at its backoff instant, interleaved in virtual-time order with the
+/// not-yet-run originals. This is the loop that reproduces metastable
+/// retry storms: under overload, retry traffic competes with (and
+/// displaces) first attempts.
+///
+/// Non-retryable failures (data errors) stop a procedure immediately;
+/// retryable ones ([`UdrError::is_retryable`]) consume attempts until
+/// the policy's budget runs out. Returns one record per original event,
+/// in the input order.
+pub fn run_events_with_retries(
+    scenario: &mut Scenario,
+    events: &[TrafficEvent],
+    policy: &RetryPolicy,
+    seed: u64,
+) -> Vec<RetriedProcedure> {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut records: Vec<RetriedProcedure> = events
+        .iter()
+        .map(|ev| RetriedProcedure {
+            kind: ev.kind,
+            offered_at: ev.at,
+            attempts: 0,
+            success: false,
+            finished_at: ev.at,
+            failure: None,
+        })
+        .collect();
+    // Min-heap over (instant, tiebreak sequence): originals and pending
+    // retries drain in one deterministic virtual-time order.
+    let mut heap: BinaryHeap<Reverse<(SimTime, u64, usize)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    for (idx, ev) in events.iter().enumerate() {
+        heap.push(Reverse((ev.at, seq, idx)));
+        seq += 1;
+    }
+    while let Some(Reverse((at, _, idx))) = heap.pop() {
+        let ev = &events[idx];
+        let sub = &scenario.population[ev.subscriber];
+        let attempt = records[idx].attempts;
+        let out = scenario
+            .udr
+            .run_procedure(ev.kind, &sub.ids, ev.fe_site, at);
+        records[idx].attempts = attempt + 1;
+        records[idx].finished_at = at + out.latency;
+        if out.success {
+            records[idx].success = true;
+            // A recovered procedure carries no failure: the field means
+            // "why it ultimately failed", not "did it ever stumble".
+            records[idx].failure = None;
+            continue;
+        }
+        let failure = out.failure.expect("failed procedure carries its error");
+        let retryable = failure.is_retryable();
+        records[idx].failure = Some(failure);
+        if retryable && policy.should_retry(attempt) {
+            let backoff = policy.backoff(attempt, &mut rng);
+            heap.push(Reverse((at + out.latency + backoff, seq, idx)));
+            seq += 1;
+        }
+    }
+    records
+}
+
 /// Generate a standard traffic stream for a scenario.
 pub fn standard_traffic(
     scenario: &Scenario,
@@ -159,6 +249,39 @@ mod tests {
         assert_eq!(s.udr.metrics.guarantees.session_violations, 0);
         // At least one token observed something.
         assert!((0..sessions.len()).any(|i| sessions.token(i).is_some_and(|t| !t.is_empty())));
+    }
+
+    #[test]
+    fn retries_recover_transient_failures_deterministically() {
+        let run = || {
+            let mut cfg = UdrConfig::figure2();
+            cfg.ldap_servers_per_cluster = 1;
+            cfg.ldap_ops_per_sec = 400.0; // overloadable
+            let mut s = provisioned_system(cfg, 20, 6);
+            let events = standard_traffic(&s, 1.2, 0.0, t(10), t(30), 7);
+            let policy = RetryPolicy::exponential(4, SimDuration::from_millis(40));
+            run_events_with_retries(&mut s, &events, &policy, 13)
+        };
+        let records = run();
+        assert!(!records.is_empty());
+        assert!(records.iter().all(|r| r.attempts >= 1));
+        assert!(records.iter().all(|r| r.attempts <= 4));
+        // Retries happen and recover at least some failures.
+        let retried = records.iter().filter(|r| r.attempts > 1).count();
+        let recovered = records
+            .iter()
+            .filter(|r| r.attempts > 1 && r.success)
+            .count();
+        assert!(retried > 0, "the overloaded station must force retries");
+        assert!(recovered > 0, "some retries must land after the backlog");
+        // The whole retry loop is deterministic per seed.
+        let again = run();
+        assert_eq!(records.len(), again.len());
+        for (a, b) in records.iter().zip(&again) {
+            assert_eq!(a.attempts, b.attempts);
+            assert_eq!(a.success, b.success);
+            assert_eq!(a.finished_at, b.finished_at);
+        }
     }
 
     #[test]

@@ -3,12 +3,17 @@
 
 use udr_model::config::FrashConfig;
 use udr_model::error::{UdrError, UdrResult};
+use udr_qos::QosConfig;
 
 /// Full configuration of one simulated UDR deployment.
 #[derive(Debug, Clone)]
 pub struct UdrConfig {
     /// Behavioural knobs (§3 design decisions).
     pub frash: FrashConfig,
+    /// QoS admission control and overload protection (disabled by
+    /// default — the front door admits everything, as the paper's first
+    /// realization does).
+    pub qos: QosConfig,
     /// Geographic sites (regions); FE populations and home regions map 1:1
     /// onto sites.
     pub sites: u32,
@@ -36,6 +41,7 @@ impl Default for UdrConfig {
     fn default() -> Self {
         UdrConfig {
             frash: FrashConfig::default(),
+            qos: QosConfig::disabled(),
             sites: 3,
             clusters_per_site: 1,
             ses_per_cluster: 1,
@@ -67,6 +73,7 @@ impl UdrConfig {
     /// Validate the deployment shape.
     pub fn validate(&self) -> UdrResult<()> {
         self.frash.validate()?;
+        self.qos.validate()?;
         if self.sites == 0 {
             return Err(UdrError::Config("at least one site required".into()));
         }
@@ -144,6 +151,15 @@ mod tests {
 
         let mut c = UdrConfig::default();
         c.ldap_ops_per_sec = 0.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn qos_knobs_are_validated_when_enabled() {
+        let mut c = UdrConfig::default();
+        c.qos = udr_qos::QosConfig::protective();
+        assert!(c.validate().is_ok());
+        c.qos.shed_interval = udr_model::time::SimDuration::ZERO;
         assert!(c.validate().is_err());
     }
 

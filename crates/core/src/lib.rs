@@ -11,7 +11,11 @@
 //! StorageStage`), with data location behind the
 //! [`Locator`](udr_dls::Locator) trait and storage behind the
 //! [`StorageBackend`](udr_storage::StorageBackend) trait. [`Udr`] itself
-//! is the deployment container and event pump.
+//! is the deployment container and event pump. The access stage fronts
+//! everything with per-cluster QoS admission control
+//! ([`udr_qos::AdmissionController`], disabled by default): priority-
+//! class-aware load shedding before an operation costs server CPU, and
+//! adaptive consistency degradation under sustained overload.
 //!
 //! Entry points:
 //! * [`Udr::build`] a deployment from [`UdrConfig`];

@@ -1,6 +1,6 @@
 //! Aggregated run metrics for one UDR deployment.
 
-use udr_metrics::{GuaranteeTracker, Histogram, OpCounter, StalenessTracker};
+use udr_metrics::{GuaranteeTracker, Histogram, OpCounter, QosTracker, StalenessTracker};
 use udr_model::config::TxnClass;
 use udr_model::time::SimDuration;
 
@@ -20,6 +20,9 @@ pub struct UdrMetrics {
     /// Kept/broken guarantees and master redirects of the intermediate
     /// read policies (bounded staleness, session guarantees).
     pub guarantees: GuaranteeTracker,
+    /// Per-priority-class QoS accounting: offered/admitted/shed/goodput
+    /// and latency by class, plus the priority-inversion audit counter.
+    pub qos: QosTracker,
     /// Operations whose serving SE was reached across the backbone.
     pub backbone_ops: u64,
     /// Operations served within the client's site.

@@ -10,6 +10,7 @@ use udr_model::attrs::Entry;
 use udr_model::config::TxnClass;
 use udr_model::error::{UdrError, UdrResult};
 use udr_model::ids::{SeId, SiteId};
+use udr_model::qos::PriorityClass;
 use udr_model::session::SessionToken;
 use udr_model::time::SimDuration;
 use udr_model::time::SimTime;
@@ -84,10 +85,30 @@ impl Udr {
         now: SimTime,
         session: Option<&mut SessionToken>,
     ) -> OpOutcome {
+        let priority = PriorityClass::default_for_txn(class);
+        self.execute_op_prioritized(op, class, priority, client_site, now, session)
+    }
+
+    /// [`Udr::execute_op_with_session`] with an explicit QoS priority
+    /// class (network procedures derive it from their
+    /// [`ProcedureKind`](udr_model::procedures::ProcedureKind) through
+    /// the deployment's `QosConfig`; bare ops default to the
+    /// transaction-class fallback).
+    pub fn execute_op_prioritized(
+        &mut self,
+        op: &LdapOp,
+        class: TxnClass,
+        priority: PriorityClass,
+        client_site: SiteId,
+        now: SimTime,
+        session: Option<&mut SessionToken>,
+    ) -> OpOutcome {
         self.advance_to(now);
         let timeout = self.cfg.frash.op_timeout;
 
-        let mut ctx = PipelineCtx::new(op, class, client_site, now).with_session(session);
+        let mut ctx = PipelineCtx::new(op, class, client_site, now)
+            .with_session(session)
+            .with_priority(priority);
         let mut outcome = pipeline::run(self, &mut ctx);
         if outcome.is_ok() && outcome.latency > timeout {
             let breakdown = outcome.breakdown;
@@ -95,10 +116,12 @@ impl Udr {
             outcome.breakdown = breakdown;
         }
         // Metrics.
+        self.metrics.qos.record_offered(priority);
         match &outcome.result {
             Ok(_) => {
                 self.metrics.ops_mut(class).success();
                 self.metrics.latency_mut(class).record(outcome.latency);
+                self.metrics.qos.record_completed(priority, outcome.latency);
                 if outcome.served_by.is_some() {
                     if outcome.crossed_backbone {
                         self.metrics.backbone_ops += 1;
@@ -111,9 +134,17 @@ impl Udr {
                 if matches!(e, UdrError::PartitionFrozen(_)) {
                     self.metrics.migration_blocked_ops += 1;
                 }
+                if let UdrError::Shed { class, reason } = e {
+                    self.metrics.qos.record_shed(*class, *reason);
+                } else {
+                    self.metrics.qos.record_failed(priority);
+                }
                 self.metrics.ops_mut(class).availability_failure();
             }
-            Err(_) => self.metrics.ops_mut(class).other_failure(),
+            Err(_) => {
+                self.metrics.qos.record_failed(priority);
+                self.metrics.ops_mut(class).other_failure();
+            }
         }
         outcome
     }

@@ -32,6 +32,7 @@ use udr_model::config::{ReadPolicy, ReplicationMode, TxnClass};
 use udr_model::error::{UdrError, UdrResult};
 use udr_model::identity::Identity;
 use udr_model::ids::{PartitionId, ReplicaRole, SeId, SiteId, SubscriberUid};
+use udr_model::qos::PriorityClass;
 use udr_model::session::{RawLsn, SessionToken};
 use udr_model::time::{SimDuration, SimTime};
 use udr_replication::quorum::quorum_write;
@@ -72,6 +73,10 @@ pub struct PipelineCtx<'a> {
     pub op: &'a LdapOp,
     /// Issuing transaction class (FE or PS).
     pub class: TxnClass,
+    /// QoS priority class of the operation (derived from the issuing
+    /// procedure kind, or the transaction-class default for bare ops);
+    /// the access stage's admission controller sheds on it.
+    pub priority: PriorityClass,
     /// Site the client is attached to.
     pub client_site: SiteId,
     /// Arrival instant at the PoA.
@@ -100,6 +105,10 @@ pub struct PipelineCtx<'a> {
     /// reused by the post-read audit (deployment state cannot change
     /// between the two within one operation).
     bounded_reference: Option<RawLsn>,
+    /// Whether a guarded read policy was downgraded to nearest-copy by
+    /// the overload-degradation policy (skips the freshness audit — the
+    /// downgrade itself is what gets recorded).
+    policy_downgraded: bool,
     /// Whether reaching the SE crossed the inter-site backbone.
     crossed_backbone: bool,
 }
@@ -110,6 +119,7 @@ impl<'a> PipelineCtx<'a> {
         PipelineCtx {
             op,
             class,
+            priority: PriorityClass::default_for_txn(class),
             client_site,
             now,
             session: None,
@@ -121,6 +131,7 @@ impl<'a> PipelineCtx<'a> {
             quorum_served: false,
             record: None,
             bounded_reference: None,
+            policy_downgraded: false,
             crossed_backbone: false,
         }
     }
@@ -128,6 +139,13 @@ impl<'a> PipelineCtx<'a> {
     /// Attach the issuing session's consistency token.
     pub fn with_session(mut self, session: Option<&'a mut SessionToken>) -> Self {
         self.session = session;
+        self
+    }
+
+    /// Set the operation's QoS priority class (procedures derive it from
+    /// their kind; the default is the transaction-class fallback).
+    pub fn with_priority(mut self, priority: PriorityClass) -> Self {
+        self.priority = priority;
         self
     }
 
@@ -177,12 +195,14 @@ fn sample_rtt(udr: &mut Udr, a: SiteId, b: SiteId) -> Option<SimDuration> {
 }
 
 /// Stage 1 — §3.4.1 access: the client reaches a PoA over the local
-/// network, the PoA balances over the cluster's LDAP servers, and the
-/// chosen server pays protocol queueing + processing.
+/// network, the PoA balances over the cluster's LDAP servers, the QoS
+/// admission controller decides admit-or-shed on the measured queueing
+/// delay, and the chosen server pays protocol queueing + processing.
 pub struct AccessStage;
 
 impl AccessStage {
-    /// Run the stage: PoA round trip, balancer pick, server admission.
+    /// Run the stage: PoA round trip, balancer pick, QoS admission,
+    /// server admission.
     pub fn run(udr: &mut Udr, ctx: &mut PipelineCtx) -> Result<(), OpOutcome> {
         // Client ↔ PoA: the FE is always close to a PoA (§3.3.2), so this
         // is a LAN round trip.
@@ -201,6 +221,35 @@ impl AccessStage {
             return Err(ctx.fail(UdrError::Overload));
         };
         ctx.server_site = udr.clusters[ctx.cluster_idx].site;
+
+        // QoS admission: the controller sees the queueing delay the
+        // picked server would impose and sheds the lowest classes first
+        // when it stays above target. Shedding here — before the op
+        // consumes server CPU — is the whole point: rejected work must
+        // cost nothing, or the rejection itself melts down. (The whole
+        // block is skipped — including the delay measurement — when
+        // admission control is disabled, the default.)
+        if udr.cfg.qos.enabled {
+            let queue_delay = udr.servers[server_id.index()].queue_delay(ctx.now);
+            if let Err(reason) = udr.qos[ctx.cluster_idx].admit(ctx.priority, queue_delay, ctx.now)
+            {
+                // Audit for priority inversion: no class this one
+                // outranks may be admittable at the same instant.
+                // Structurally impossible by controller design; counted
+                // to prove it live.
+                let controller = &udr.qos[ctx.cluster_idx];
+                let inverted = PriorityClass::ALL[ctx.priority.rank() + 1..]
+                    .iter()
+                    .any(|lower| controller.would_admit(*lower, queue_delay, ctx.now));
+                if inverted {
+                    udr.metrics.qos.record_inversion();
+                }
+                return Err(ctx.fail(UdrError::Shed {
+                    class: ctx.priority,
+                    reason,
+                }));
+            }
+        }
 
         // Protocol processing (queueing + service) at the server.
         let Some(done) = udr.servers[server_id.index()].admit(ctx.op, ctx.now) else {
@@ -403,13 +452,23 @@ impl ReplicationStage {
             ReadPolicy::NearestCopy => Self::guarded_target(udr, ctx, partition, 0),
             // The middle of the consistency spectrum: both intermediate
             // policies reduce to "nearest copy whose applied LSN has
-            // reached a freshness floor".
+            // reached a freshness floor". Under sustained overload the
+            // QoS controller may downgrade them to nearest-copy — lag
+            // lookups and master redirects are latency the deployment can
+            // no longer afford; the trade is recorded as an explicit
+            // policy downgrade, never taken silently.
             ReadPolicy::BoundedStaleness { max_lag } => {
+                if Self::degrade_guarded_read(udr, ctx) {
+                    return Self::guarded_target(udr, ctx, partition, 0);
+                }
                 let reference = Self::reference_lsn(udr, partition, from_site);
                 ctx.bounded_reference = Some(reference);
                 Self::guarded_target(udr, ctx, partition, reference.saturating_sub(max_lag))
             }
             ReadPolicy::SessionConsistent => {
+                if Self::degrade_guarded_read(udr, ctx) {
+                    return Self::guarded_target(udr, ctx, partition, 0);
+                }
                 let required = ctx
                     .session
                     .as_ref()
@@ -418,6 +477,18 @@ impl ReplicationStage {
                 Self::guarded_target(udr, ctx, partition, required)
             }
         }
+    }
+
+    /// Whether the serving cluster's sustained-overload state downgrades
+    /// this guarded read to nearest-copy. Records the downgrade (the
+    /// explicit consistency-for-latency trade) when it does.
+    fn degrade_guarded_read(udr: &mut Udr, ctx: &mut PipelineCtx) -> bool {
+        if !udr.qos[ctx.cluster_idx].degraded(ctx.now) {
+            return false;
+        }
+        udr.metrics.guarantees.record_policy_downgrade();
+        ctx.policy_downgraded = true;
+        true
     }
 
     /// Whether `se` can serve a request issued from `from_site` at all.
@@ -777,6 +848,20 @@ impl ReplicationStage {
             // routing; auditing them against a policy that never ran would
             // report phantom violations. (`FrashConfig::validate` rejects
             // guarded policies under quorum replication anyway.)
+            return;
+        }
+        if ctx.policy_downgraded {
+            // The read was explicitly downgraded to nearest-copy under
+            // overload: no freshness promise was made, so there is
+            // nothing to audit — the downgrade was recorded when routing
+            // took the trade. The session token still advances below.
+            if let Some(token) = ctx.session.as_deref_mut() {
+                let served_lsn = udr.ses[se.index()]
+                    .last_lsn(partition)
+                    .map(|l| l.raw())
+                    .unwrap_or(0);
+                token.observe_read(partition, served_lsn);
+            }
             return;
         }
         let policy = match ctx.class {

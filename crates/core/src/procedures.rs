@@ -157,12 +157,18 @@ impl Udr {
         mut session: Option<&mut SessionToken>,
     ) -> ProcedureOutcome {
         let ops = procedure_ops(kind, ids, fe_site);
+        // Every operation of the procedure carries the procedure's QoS
+        // priority class (deployment overrides first, then the built-in
+        // telecom mapping) so admission control sheds whole procedures
+        // coherently.
+        let priority = self.cfg.qos.class_for(kind);
         let mut latency = SimDuration::ZERO;
         let mut ops_ok = 0u32;
         for op in &ops {
-            let outcome = self.execute_op_with_session(
+            let outcome = self.execute_op_prioritized(
                 op,
                 TxnClass::FrontEnd,
+                priority,
                 fe_site,
                 now + latency,
                 session.as_deref_mut(),

@@ -18,6 +18,7 @@ use udr_model::config::{DurabilityMode, LocatorKind, Pacelc, ReplicationMode, Tx
 use udr_model::error::UdrResult;
 use udr_model::ids::{ClusterId, LdapServerId, PartitionId, PoaId, ReplicaRole, SeId, SiteId};
 use udr_model::time::{SimDuration, SimTime};
+use udr_qos::AdmissionController;
 use udr_replication::multimaster::{merge_branches, restoration_duration};
 use udr_replication::{AsyncShipper, MigrationChannel, MigrationState, ReplicationGroup};
 use udr_sim::faults::{Fault, FaultSchedule};
@@ -150,6 +151,8 @@ pub struct Udr {
     pub(crate) events: EventQueue<UdrEvent>,
     pub(crate) ses: Vec<StorageElement>,
     pub(crate) clusters: Vec<Cluster>,
+    /// Per-cluster QoS admission controllers (parallel to `clusters`).
+    pub(crate) qos: Vec<AdmissionController>,
     pub(crate) servers: Vec<LdapServer>,
     pub(crate) groups: Vec<ReplicationGroup>,
     pub(crate) shippers: Vec<AsyncShipper>,
@@ -311,6 +314,7 @@ impl Udr {
         let shard_map = ShardMap::new(groups.iter().map(|g| (g.partition(), g.members().to_vec())));
 
         let sites = cfg.sites as usize;
+        let qos = clusters.iter().map(|_| cfg.qos.controller()).collect();
         Ok(Udr {
             subs_per_partition: vec![0; cfg.partitions as usize],
             ops_per_partition: vec![0; cfg.partitions as usize],
@@ -320,6 +324,7 @@ impl Udr {
             events,
             ses,
             clusters,
+            qos,
             servers,
             groups,
             shippers,
@@ -901,6 +906,12 @@ impl Udr {
         &self.clusters[idx]
     }
 
+    /// Borrow a cluster's QoS admission controller (experiments inspect
+    /// shedding/degradation state through this).
+    pub fn qos_controller(&self, idx: usize) -> &AdmissionController {
+        &self.qos[idx]
+    }
+
     /// Number of clusters.
     pub fn cluster_count(&self) -> usize {
         self.clusters.len()
@@ -970,6 +981,7 @@ impl Udr {
             servers: server_ids,
             stage,
         });
+        self.qos.push(self.cfg.qos.controller());
         self.clusters_at_site[site.index()].push(cluster_idx);
         cluster_idx
     }

@@ -77,6 +77,13 @@ impl LdapServer {
         }
     }
 
+    /// The queueing delay an operation arriving at `now` would suffer
+    /// before protocol processing starts — the overload signal the QoS
+    /// admission controller sheds on.
+    pub fn queue_delay(&self, now: SimTime) -> SimDuration {
+        self.station.backlog_delay(now)
+    }
+
     /// Admit one operation at `now`; returns when protocol processing
     /// completes, or `None` on overload (`Busy`).
     pub fn admit(&mut self, op: &LdapOp, now: SimTime) -> Option<SimTime> {

@@ -28,6 +28,12 @@ pub struct GuaranteeTracker {
     /// Session reads served by a copy behind the session's required floor
     /// — a broken guarantee. Must stay 0.
     pub session_violations: u64,
+    /// Guarded reads the QoS subsystem *explicitly downgraded* to
+    /// nearest-copy under sustained overload. A downgraded read keeps no
+    /// freshness promise, so it is audited here instead of as a kept or
+    /// broken guarantee — the consistency-for-latency trade is always
+    /// visible, never a silent violation.
+    pub policy_downgrades: u64,
     /// Sum of observed partition lag (LSNs) over bounded reads.
     bounded_lag_sum: u128,
     /// Maximum partition lag observed on any bounded read.
@@ -64,6 +70,12 @@ impl GuaranteeTracker {
     /// was redirected to a fresher one.
     pub fn record_master_redirect(&mut self) {
         self.master_redirects += 1;
+    }
+
+    /// Record that a guarded read was explicitly downgraded to
+    /// nearest-copy by the overload-degradation policy.
+    pub fn record_policy_downgrade(&mut self) {
+        self.policy_downgrades += 1;
     }
 
     /// Total reads that carried a guarantee.
@@ -107,6 +119,7 @@ impl GuaranteeTracker {
         self.master_redirects += other.master_redirects;
         self.bounded_violations += other.bounded_violations;
         self.session_violations += other.session_violations;
+        self.policy_downgrades += other.policy_downgrades;
         self.bounded_lag_sum += other.bounded_lag_sum;
         self.max_bounded_lag = self.max_bounded_lag.max(other.max_bounded_lag);
     }
@@ -166,10 +179,12 @@ mod tests {
         b.record_bounded_read(8, 4);
         b.record_session_read(3, 7);
         b.record_master_redirect();
+        b.record_policy_downgrade();
         a.merge(&b);
         assert_eq!(a.bounded_reads, 2);
         assert_eq!(a.session_reads, 1);
         assert_eq!(a.master_redirects, 1);
+        assert_eq!(a.policy_downgrades, 1);
         assert_eq!(a.bounded_violations, 1);
         assert_eq!(a.session_violations, 1);
         assert_eq!(a.max_bounded_lag(), 8);

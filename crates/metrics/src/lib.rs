@@ -9,6 +9,8 @@
 //! * [`staleness`] — stale-read accounting for slave reads (§3.3.2);
 //! * [`guarantees`] — kept/broken-guarantee accounting for the
 //!   intermediate read policies (bounded staleness, session guarantees);
+//! * [`qos`] — per-priority-class offered/admitted/shed/goodput
+//!   accounting for the admission-control subsystem;
 //! * [`series`] — gauge time series (PS back-log depth, §3.3);
 //! * [`report`] — fixed-width tables for paper-style output.
 
@@ -17,6 +19,7 @@
 pub mod availability;
 pub mod guarantees;
 pub mod hist;
+pub mod qos;
 pub mod report;
 pub mod series;
 pub mod staleness;
@@ -24,6 +27,7 @@ pub mod staleness;
 pub use availability::{AvailabilityLedger, OpCounter};
 pub use guarantees::GuaranteeTracker;
 pub use hist::Histogram;
+pub use qos::{ClassCounters, QosTracker};
 pub use report::{pct, thousands, Table};
 pub use series::TimeSeries;
 pub use staleness::StalenessTracker;

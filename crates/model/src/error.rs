@@ -5,6 +5,7 @@ use std::fmt;
 
 use crate::identity::IdentityKind;
 use crate::ids::{PartitionId, SeId, SubscriberUid};
+use crate::qos::{PriorityClass, ShedReason};
 
 /// Unified error type for UDR operations.
 ///
@@ -74,6 +75,16 @@ pub enum UdrError {
     Timeout,
     /// Request rejected due to overload (queue bound exceeded).
     Overload,
+    /// Request shed by the QoS admission controller: the deployment is
+    /// overloaded and this operation's priority class is below the cut.
+    /// Unlike the blanket [`UdrError::Overload`], the decision is
+    /// policy-driven — a typed reason plus the class it applied to.
+    Shed {
+        /// Priority class of the shed operation.
+        class: PriorityClass,
+        /// Why the controller refused it.
+        reason: ShedReason,
+    },
     /// Catch-all for configuration mistakes.
     Config(String),
 }
@@ -113,6 +124,9 @@ impl fmt::Display for UdrError {
             UdrError::Codec(msg) => write!(f, "codec error: {msg}"),
             UdrError::Timeout => write!(f, "operation timed out"),
             UdrError::Overload => write!(f, "rejected: overload"),
+            UdrError::Shed { class, reason } => {
+                write!(f, "shed {class} traffic: {reason}")
+            }
             UdrError::Config(msg) => write!(f, "configuration error: {msg}"),
         }
     }
@@ -136,6 +150,7 @@ impl UdrError {
                 | UdrError::PartitionFrozen(_)
                 | UdrError::ReplicationFailed { .. }
                 | UdrError::Overload
+                | UdrError::Shed { .. }
         )
     }
 
@@ -176,6 +191,17 @@ mod tests {
         assert!(UdrError::WriteConflict(SubscriberUid(1)).is_retryable());
         assert!(UdrError::Overload.is_retryable());
         assert!(!UdrError::AlreadyExists(SubscriberUid(1)).is_retryable());
+    }
+
+    #[test]
+    fn shed_is_a_retryable_availability_failure() {
+        let e = UdrError::Shed {
+            class: PriorityClass::Registration,
+            reason: ShedReason::QueueDelay,
+        };
+        assert!(e.is_availability_failure());
+        assert!(e.is_retryable());
+        assert_eq!(e.to_string(), "shed registration traffic: queue-delay");
     }
 
     #[test]

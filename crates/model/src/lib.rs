@@ -18,6 +18,7 @@ pub mod identity;
 pub mod ids;
 pub mod procedures;
 pub mod profile;
+pub mod qos;
 pub mod session;
 pub mod time;
 
@@ -34,5 +35,6 @@ pub use ids::{
 };
 pub use procedures::{ProcedureKind, ProvisioningKind};
 pub use profile::{SubscriberProfile, SubscriberStatus};
+pub use qos::{PriorityClass, ShedReason};
 pub use session::{RawLsn, SessionToken};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,321 @@
+//! The per-cluster admission controller: rate ceilings + CoDel-style
+//! queue-delay shedding + the sustained-overload degradation signal.
+
+use udr_model::qos::{PriorityClass, ShedReason};
+use udr_model::time::SimTime;
+
+use crate::bucket::ClassBuckets;
+use crate::config::QosConfig;
+
+/// One cluster's admission controller.
+///
+/// Every operation entering the access stage presents its priority class
+/// and the queueing delay the serving LDAP station would impose. The
+/// controller decides admit/shed in two steps:
+///
+/// 1. **Delay shedding** — CoDel-flavoured: while the measured delay
+///    stays at or below the lowest class's target the queue is healthy
+///    and all state clears. Once it exceeds a class's own target *and*
+///    has been above the base target for longer than the grace interval,
+///    that class is shed ([`ShedReason::QueueDelay`]). Targets grow
+///    strictly up the priority order, so the lowest classes are always
+///    cut first and a class is never shed at a delay a lower class
+///    would survive. A delay-shed op consumes **no** rate budget.
+/// 2. **Rate ceilings** — the class takes a token from its
+///    [`ClassBuckets`] stack (borrowing downward when starved); an
+///    exhausted stack is [`ShedReason::RateLimit`].
+///
+/// Sustained shedding (longer than `degrade_after`) raises the
+/// [`AdmissionController::degraded`] signal, which the replication stage
+/// uses to downgrade guarded read policies to nearest-copy — trading
+/// consistency for latency *under load*, the PACELC "else" leg applied
+/// dynamically.
+#[derive(Debug, Clone)]
+pub struct AdmissionController {
+    cfg: QosConfig,
+    buckets: ClassBuckets,
+    /// Since when the measured delay has been exceeding the base
+    /// (lowest-class) target; `None` = queue healthy.
+    above_since: Option<SimTime>,
+    /// Since when the measured delay has been at/below the base target —
+    /// the exit hysteresis: one low sample (an op that raced ahead of
+    /// the backlog, a momentary dip) must not clear an overload episode;
+    /// the queue has to stay drained for a full grace interval.
+    below_since: Option<SimTime>,
+    /// Since when the controller has actually been shedding.
+    shedding_since: Option<SimTime>,
+}
+
+impl AdmissionController {
+    /// A controller for one cluster under `cfg`.
+    pub fn new(cfg: QosConfig) -> Self {
+        let buckets = cfg.buckets();
+        AdmissionController {
+            cfg,
+            buckets,
+            above_since: None,
+            below_since: None,
+            shedding_since: None,
+        }
+    }
+
+    /// The configuration the controller runs under.
+    pub fn config(&self) -> &QosConfig {
+        &self.cfg
+    }
+
+    /// Decide admission for one `class` operation arriving at `now` that
+    /// would wait `queue_delay` at the serving station.
+    pub fn admit(
+        &mut self,
+        class: PriorityClass,
+        queue_delay: udr_model::time::SimDuration,
+        now: SimTime,
+    ) -> Result<(), ShedReason> {
+        if !self.cfg.enabled {
+            return Ok(());
+        }
+        // Delay shedding first: an op the queue is about to refuse must
+        // not consume rate budget (its own, or budget borrowed from a
+        // lower class's bucket).
+        if queue_delay <= self.cfg.shed_target {
+            // Low sample: the overload episode only ends once the queue
+            // stays drained for a full grace interval (exit hysteresis —
+            // a lone op that raced ahead of the backlog must not reset
+            // the episode).
+            let below = *self.below_since.get_or_insert(now);
+            if now.duration_since(below) >= self.cfg.shed_interval {
+                self.above_since = None;
+                self.shedding_since = None;
+            }
+        } else {
+            self.below_since = None;
+            let since = *self.above_since.get_or_insert(now);
+            let in_grace = now.duration_since(since) < self.cfg.shed_interval;
+            if queue_delay > self.cfg.class_target(class) && !in_grace {
+                self.shedding_since.get_or_insert(now);
+                return Err(ShedReason::QueueDelay);
+            }
+        }
+        if !self.buckets.admit(class, now) {
+            return Err(ShedReason::RateLimit);
+        }
+        Ok(())
+    }
+
+    /// Whether `class` would currently be admitted, without consuming a
+    /// token or advancing any state — the priority-inversion audit: after
+    /// shedding class `c`, no class `c` outranks may answer `true` here.
+    pub fn would_admit(
+        &self,
+        class: PriorityClass,
+        queue_delay: udr_model::time::SimDuration,
+        now: SimTime,
+    ) -> bool {
+        if !self.cfg.enabled {
+            return true;
+        }
+        if !self.buckets.would_admit(class, now) {
+            return false;
+        }
+        if queue_delay <= self.cfg.shed_target || queue_delay <= self.cfg.class_target(class) {
+            return true;
+        }
+        match self.above_since {
+            None => true,
+            Some(since) => now.duration_since(since) < self.cfg.shed_interval,
+        }
+    }
+
+    /// Whether the controller is currently shedding at all.
+    pub fn is_shedding(&self) -> bool {
+        self.shedding_since.is_some()
+    }
+
+    /// Whether sustained overload has reached the point where guarded
+    /// read policies downgrade to nearest-copy.
+    pub fn degraded(&self, now: SimTime) -> bool {
+        self.cfg.enabled
+            && self.cfg.adaptive_degradation
+            && self
+                .shedding_since
+                .is_some_and(|since| now.duration_since(since) >= self.cfg.degrade_after)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udr_model::time::SimDuration;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    /// Protective config with a 1 ms base target and 10 ms grace.
+    fn controller() -> AdmissionController {
+        let mut cfg = QosConfig::protective();
+        cfg.shed_target = ms(1);
+        cfg.shed_interval = ms(10);
+        cfg.degrade_after = ms(50);
+        cfg.controller()
+    }
+
+    #[test]
+    fn disabled_controller_admits_everything() {
+        let mut c = QosConfig::disabled().controller();
+        for class in PriorityClass::ALL {
+            assert!(c.admit(class, ms(10_000), at(0)).is_ok());
+        }
+        assert!(!c.degraded(at(1_000_000)));
+    }
+
+    #[test]
+    fn healthy_queue_admits_all_classes() {
+        let mut c = controller();
+        for class in PriorityClass::ALL {
+            assert!(c.admit(class, ms(1), at(0)).is_ok());
+        }
+        assert!(!c.is_shedding());
+    }
+
+    #[test]
+    fn sustained_delay_sheds_lowest_classes_first() {
+        let mut c = controller();
+        // 3 ms delay: above provisioning (1 ms) and query (2 ms) targets,
+        // below registration (4 ms). Grace absorbs the first 10 ms.
+        assert!(c.admit(PriorityClass::Provisioning, ms(3), at(0)).is_ok());
+        assert!(c.admit(PriorityClass::Provisioning, ms(3), at(5)).is_ok());
+        // Past the grace interval: provisioning and query shed,
+        // registration and above still admitted.
+        assert_eq!(
+            c.admit(PriorityClass::Provisioning, ms(3), at(12)),
+            Err(ShedReason::QueueDelay)
+        );
+        assert_eq!(
+            c.admit(PriorityClass::Query, ms(3), at(12)),
+            Err(ShedReason::QueueDelay)
+        );
+        assert!(c.admit(PriorityClass::Registration, ms(3), at(12)).is_ok());
+        assert!(c.admit(PriorityClass::CallSetup, ms(3), at(12)).is_ok());
+        assert!(c.admit(PriorityClass::Emergency, ms(3), at(12)).is_ok());
+        assert!(c.is_shedding());
+        // One low sample is admitted but does NOT end the episode (exit
+        // hysteresis): the queue must stay drained for a grace interval.
+        assert!(c.admit(PriorityClass::Provisioning, ms(1), at(20)).is_ok());
+        assert!(c.is_shedding());
+        assert!(c.admit(PriorityClass::Provisioning, ms(1), at(31)).is_ok());
+        assert!(
+            !c.is_shedding(),
+            "11 ms of drained queue clears the episode"
+        );
+    }
+
+    #[test]
+    fn lone_low_sample_does_not_reset_the_episode() {
+        let mut c = controller();
+        let _ = c.admit(PriorityClass::Provisioning, ms(8), at(0));
+        assert_eq!(
+            c.admit(PriorityClass::Provisioning, ms(8), at(12)),
+            Err(ShedReason::QueueDelay)
+        );
+        // An op that raced ahead of the backlog sees a momentary 0 —
+        // overload continues around it.
+        assert!(c.admit(PriorityClass::Provisioning, ms(0), at(13)).is_ok());
+        assert_eq!(
+            c.admit(PriorityClass::Provisioning, ms(8), at(14)),
+            Err(ShedReason::QueueDelay),
+            "the episode must survive a lone low sample"
+        );
+        assert!(c.is_shedding());
+    }
+
+    #[test]
+    fn no_priority_inversion_across_the_delay_sweep() {
+        let mut c = controller();
+        // Drive the controller into shedding.
+        let _ = c.admit(PriorityClass::Provisioning, ms(20), at(0));
+        for delay_ms in [1u64, 2, 3, 5, 9, 17, 33] {
+            let now = at(50 + delay_ms);
+            for (hi_idx, hi) in PriorityClass::ALL.iter().enumerate() {
+                if !c.would_admit(*hi, ms(delay_ms), now) {
+                    for lo in &PriorityClass::ALL[hi_idx + 1..] {
+                        assert!(
+                            !c.would_admit(*lo, ms(delay_ms), now),
+                            "{lo} admitted at {delay_ms} ms while {hi} shed"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degradation_needs_sustained_shedding() {
+        let mut c = controller();
+        let _ = c.admit(PriorityClass::Provisioning, ms(20), at(0));
+        // Shedding starts once the grace interval elapses.
+        assert_eq!(
+            c.admit(PriorityClass::Provisioning, ms(20), at(15)),
+            Err(ShedReason::QueueDelay)
+        );
+        assert!(!c.degraded(at(16)), "degradation has its own fuse");
+        assert!(c.degraded(at(70)), "sustained shedding degrades");
+        // A sustained drain (two low samples spanning the grace
+        // interval) clears the degradation too.
+        assert!(c.admit(PriorityClass::Provisioning, ms(0), at(80)).is_ok());
+        assert!(c.degraded(at(81)), "one low sample is not a drain");
+        assert!(c.admit(PriorityClass::Provisioning, ms(0), at(95)).is_ok());
+        assert!(!c.degraded(at(96)));
+    }
+
+    #[test]
+    fn delay_shed_consumes_no_rate_budget() {
+        let mut cfg = QosConfig::protective()
+            .with_rate_limit(PriorityClass::Registration, 10.0, 1.0)
+            .with_rate_limit(PriorityClass::Query, 10.0, 1.0)
+            .with_rate_limit(PriorityClass::Provisioning, 10.0, 1.0);
+        cfg.shed_target = ms(1);
+        cfg.shed_interval = ms(10);
+        let mut c = cfg.controller();
+        // Drive registration into delay shedding; none of these may take
+        // a token from any bucket.
+        let _ = c.admit(PriorityClass::Registration, ms(30), at(0));
+        for i in 0..20 {
+            assert_eq!(
+                c.admit(PriorityClass::Registration, ms(30), at(12 + i)),
+                Err(ShedReason::QueueDelay)
+            );
+        }
+        // The budgets are intact up to the one grace-period admit at
+        // t=0: borrowed query and provisioning tokens still admit at a
+        // healthy delay, then the stack is genuinely dry.
+        assert!(c.admit(PriorityClass::Registration, ms(0), at(33)).is_ok());
+        assert!(c.admit(PriorityClass::Registration, ms(0), at(33)).is_ok());
+        assert_eq!(
+            c.admit(PriorityClass::Registration, ms(0), at(33)),
+            Err(ShedReason::RateLimit)
+        );
+    }
+
+    #[test]
+    fn rate_limits_report_their_own_reason() {
+        let cfg = QosConfig::protective()
+            .with_rate_limit(PriorityClass::Provisioning, 10.0, 1.0)
+            .with_rate_limit(PriorityClass::Query, 10.0, 1.0);
+        let mut c = cfg.controller();
+        assert!(c.admit(PriorityClass::Provisioning, ms(0), at(0)).is_ok());
+        assert_eq!(
+            c.admit(PriorityClass::Provisioning, ms(0), at(0)),
+            Err(ShedReason::RateLimit)
+        );
+        // Query borrows nothing from above but still has its own token.
+        assert!(c.admit(PriorityClass::Query, ms(0), at(0)).is_ok());
+        // CallSetup (unbucketed) is never rate-shed.
+        assert!(c.admit(PriorityClass::CallSetup, ms(0), at(0)).is_ok());
+    }
+}

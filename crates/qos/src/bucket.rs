@@ -1,0 +1,217 @@
+//! Token buckets: per-class rate ceilings with strict-priority borrowing.
+
+use udr_model::qos::PriorityClass;
+use udr_model::time::SimTime;
+
+/// A classic token bucket over virtual time: `burst` tokens capacity,
+/// refilled continuously at `rate` tokens per second. Admitted work over
+/// any window `[t, t+w)` can never exceed `rate × w + burst` operations —
+/// a property test enforces it.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate: f64,
+    burst: f64,
+    tokens: f64,
+    refilled_at: SimTime,
+}
+
+impl TokenBucket {
+    /// A bucket admitting `rate` ops/s sustained with `burst` ops of
+    /// headroom, starting full.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rate` is not positive or `burst < 1` (a bucket that
+    /// can never hold one whole token admits nothing).
+    pub fn new(rate: f64, burst: f64) -> Self {
+        assert!(rate > 0.0, "token rate must be positive");
+        assert!(burst >= 1.0, "burst must hold at least one token");
+        TokenBucket {
+            rate,
+            burst,
+            tokens: burst,
+            refilled_at: SimTime::ZERO,
+        }
+    }
+
+    /// Sustained rate (tokens per second).
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Burst capacity (tokens).
+    pub fn burst(&self) -> f64 {
+        self.burst
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        if now > self.refilled_at {
+            let dt = now.duration_since(self.refilled_at).as_secs_f64();
+            self.tokens = (self.tokens + dt * self.rate).min(self.burst);
+            self.refilled_at = now;
+        }
+    }
+
+    /// Take one token at `now`; `false` means the budget is exhausted.
+    pub fn try_take(&mut self, now: SimTime) -> bool {
+        self.refill(now);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether a token would be available at `now`, without taking it.
+    pub fn peek(&self, now: SimTime) -> bool {
+        // `duration_since` saturates, so a peek into the past sees the
+        // current token count.
+        let dt = now.duration_since(self.refilled_at).as_secs_f64();
+        (self.tokens + dt * self.rate).min(self.burst) >= 1.0
+    }
+}
+
+/// The per-class bucket stack with strict-priority borrowing.
+///
+/// A class with no bucket of its own is not rate-limited. A class whose
+/// bucket is empty walks *down* the priority order and takes the first
+/// available token from a lower class's bucket (sacrificing bulk budget
+/// to urgent traffic); it is only rate-shed when every class at or below
+/// it is both bucketed and exhausted. That walk is what makes priority
+/// inversion impossible by construction: if a high class is rate-shed,
+/// every lower class's walk covers a subset of the same exhausted
+/// buckets, so the lower class is shed too.
+#[derive(Debug, Clone, Default)]
+pub struct ClassBuckets {
+    by_rank: [Option<TokenBucket>; PriorityClass::ALL.len()],
+}
+
+impl ClassBuckets {
+    /// A stack with no buckets: nothing is rate-limited.
+    pub fn unlimited() -> Self {
+        ClassBuckets::default()
+    }
+
+    /// Install a bucket for `class`.
+    pub fn set(&mut self, class: PriorityClass, bucket: TokenBucket) {
+        self.by_rank[class.rank()] = Some(bucket);
+    }
+
+    /// The bucket of `class`, when one is installed.
+    pub fn get(&self, class: PriorityClass) -> Option<&TokenBucket> {
+        self.by_rank[class.rank()].as_ref()
+    }
+
+    /// Admit one `class` operation at `now`: take a token from the
+    /// class's own bucket, else borrow from the first lower-priority
+    /// class that has one; an unbucketed class on the walk admits
+    /// unconditionally. `false` = rate-shed.
+    pub fn admit(&mut self, class: PriorityClass, now: SimTime) -> bool {
+        for slot in self.by_rank[class.rank()..].iter_mut() {
+            match slot {
+                None => return true,
+                Some(bucket) => {
+                    if bucket.try_take(now) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Whether `class` would be admitted at `now`, without consuming
+    /// anything (the priority-inversion audit uses this).
+    pub fn would_admit(&self, class: PriorityClass, now: SimTime) -> bool {
+        self.by_rank[class.rank()..]
+            .iter()
+            .any(|slot| slot.as_ref().is_none_or(|bucket| bucket.peek(now)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udr_model::time::SimDuration;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn bucket_admits_burst_then_refills_at_rate() {
+        // 10 ops/s, burst 3.
+        let mut b = TokenBucket::new(10.0, 3.0);
+        assert!(b.try_take(at(0)));
+        assert!(b.try_take(at(0)));
+        assert!(b.try_take(at(0)));
+        assert!(!b.try_take(at(0)), "burst exhausted");
+        assert!(!b.try_take(at(50)), "half a token refilled");
+        assert!(b.try_take(at(100)), "one token refilled after 100 ms");
+        assert!(!b.try_take(at(100)));
+    }
+
+    #[test]
+    fn bucket_never_exceeds_burst() {
+        let mut b = TokenBucket::new(1000.0, 2.0);
+        // A long idle period must not bank more than `burst` tokens.
+        assert!(b.try_take(at(10_000)));
+        assert!(b.try_take(at(10_000)));
+        assert!(!b.try_take(at(10_000)));
+    }
+
+    #[test]
+    fn peek_matches_take() {
+        let mut b = TokenBucket::new(10.0, 1.0);
+        assert!(b.peek(at(0)));
+        assert!(b.try_take(at(0)));
+        assert!(!b.peek(at(0)));
+        assert!(b.peek(at(100)));
+    }
+
+    #[test]
+    fn unbucketed_class_is_unlimited() {
+        let mut stack = ClassBuckets::unlimited();
+        for _ in 0..10_000 {
+            assert!(stack.admit(PriorityClass::Provisioning, at(0)));
+        }
+    }
+
+    #[test]
+    fn starved_high_class_borrows_downward() {
+        let mut stack = ClassBuckets::unlimited();
+        stack.set(PriorityClass::CallSetup, TokenBucket::new(10.0, 1.0));
+        stack.set(PriorityClass::Registration, TokenBucket::new(10.0, 1.0));
+        stack.set(PriorityClass::Query, TokenBucket::new(10.0, 1.0));
+        stack.set(PriorityClass::Provisioning, TokenBucket::new(10.0, 1.0));
+        // Four call setups at t=0: own token, then borrowed from each
+        // lower class in priority order; the fifth is rate-shed.
+        for _ in 0..4 {
+            assert!(stack.admit(PriorityClass::CallSetup, at(0)));
+        }
+        assert!(!stack.admit(PriorityClass::CallSetup, at(0)));
+        // Every lower class is exhausted too — no inversion.
+        for class in [
+            PriorityClass::Registration,
+            PriorityClass::Query,
+            PriorityClass::Provisioning,
+        ] {
+            assert!(!stack.would_admit(class, at(0)));
+            assert!(!stack.admit(class, at(0)));
+        }
+        // Emergency has no bucket: still admitted.
+        assert!(stack.admit(PriorityClass::Emergency, at(0)));
+    }
+
+    #[test]
+    fn lower_classes_cannot_borrow_upward() {
+        let mut stack = ClassBuckets::unlimited();
+        stack.set(PriorityClass::Provisioning, TokenBucket::new(10.0, 1.0));
+        assert!(stack.admit(PriorityClass::Provisioning, at(0)));
+        // Provisioning is exhausted; CallSetup (unbucketed) is not
+        // affected, and Provisioning cannot reach upward for tokens.
+        assert!(!stack.admit(PriorityClass::Provisioning, at(0)));
+        assert!(stack.admit(PriorityClass::CallSetup, at(0)));
+    }
+}

@@ -96,6 +96,20 @@ impl Station {
         Ok(done)
     }
 
+    /// The queueing delay an operation arriving at `now` would suffer
+    /// before service starts (zero when a server is free). This is the
+    /// sojourn signal CoDel-style admission control measures — read it
+    /// *before* deciding to admit, since [`Station::admit`] mutates.
+    pub fn backlog_delay(&self, now: SimTime) -> SimDuration {
+        let free_at = self
+            .busy_until
+            .iter()
+            .min()
+            .copied()
+            .expect("at least one server");
+        free_at.max(now).duration_since(now)
+    }
+
     /// Fraction of capacity consumed up to `horizon`.
     pub fn utilization(&self, horizon: SimTime) -> f64 {
         if horizon == SimTime::ZERO {
@@ -169,6 +183,17 @@ mod tests {
         assert_eq!(err.would_wait, ms(20));
         assert_eq!(s.admitted, 2);
         assert_eq!(s.rejected, 1);
+    }
+
+    #[test]
+    fn backlog_delay_tracks_the_queue() {
+        let mut s = Station::new(1, ms(10), ms(1000));
+        assert_eq!(s.backlog_delay(SimTime::ZERO), ms(0));
+        s.admit(SimTime::ZERO).unwrap(); // busy till 10
+        s.admit(SimTime::ZERO).unwrap(); // busy till 20
+        assert_eq!(s.backlog_delay(SimTime::ZERO), ms(20));
+        assert_eq!(s.backlog_delay(SimTime::ZERO + ms(5)), ms(15));
+        assert_eq!(s.backlog_delay(SimTime::ZERO + ms(25)), ms(0));
     }
 
     #[test]

@@ -8,14 +8,20 @@
 //! The paper's claims are about *rates and mixes* — 1–3 LDAP ops per
 //! typical procedure, read-mostly FE traffic vs write-heavy provisioning —
 //! which these generators reproduce synthetically (no production traces
-//! exist; see DESIGN.md substitutions).
+//! exist; see DESIGN.md substitutions). The [`retry`] module models the
+//! client side of failure: retries re-enter the offered load, which is
+//! what turns a transient overload into a metastable storm.
 
 #![warn(missing_docs)]
 
 pub mod faultgen;
 pub mod population;
+pub mod retry;
 pub mod traffic;
 
 pub use faultgen::{periodic_partitions, OutageProcess};
 pub use population::{PopulationBuilder, Subscriber};
-pub use traffic::{LoadProfile, ProcedureMix, SessionBook, TrafficEvent, TrafficModel};
+pub use retry::RetryPolicy;
+pub use traffic::{
+    LoadProfile, ProcedureMix, SessionBook, StormKind, StormSpec, TrafficEvent, TrafficModel,
+};

@@ -1,8 +1,13 @@
 //! Front-end traffic generation: Poisson procedure arrivals with a
-//! configurable procedure mix, busy-hour modulation and a roaming model
+//! configurable procedure mix, busy-hour modulation, a roaming model
 //! (§3.5: "users stay within the home region of the subscription most of
-//! the time").
+//! the time"), and the overload storms that kill real HLR/HSS
+//! deployments (post-outage mass re-registration, flash crowds).
 
+use std::fmt;
+use std::str::FromStr;
+
+use udr_model::error::UdrError;
 use udr_model::ids::SiteId;
 use udr_model::procedures::ProcedureKind;
 use udr_model::session::SessionToken;
@@ -89,6 +94,118 @@ impl LoadProfile {
                 let phase = (hours - f64::from(*busy_hour)) / 24.0 * std::f64::consts::TAU;
                 1.0 - depth / 2.0 + depth / 2.0 * phase.cos()
             }
+        }
+    }
+}
+
+impl fmt::Display for LoadProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadProfile::Flat => f.write_str("flat"),
+            LoadProfile::Diurnal { busy_hour, depth } => {
+                write!(f, "diurnal(busy_hour={busy_hour},depth={depth})")
+            }
+        }
+    }
+}
+
+impl FromStr for LoadProfile {
+    type Err = UdrError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s == "flat" {
+            return Ok(LoadProfile::Flat);
+        }
+        s.strip_prefix("diurnal(busy_hour=")
+            .and_then(|rest| rest.strip_suffix(')'))
+            .and_then(|rest| {
+                let (hour, depth) = rest.split_once(",depth=")?;
+                let busy_hour = hour.parse::<u32>().ok().filter(|h| *h < 24)?;
+                let depth = depth
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|d| (0.0..=1.0).contains(d))?;
+                Some(LoadProfile::Diurnal { busy_hour, depth })
+            })
+            .ok_or_else(|| UdrError::Config(format!("unknown load profile `{s}`")))
+    }
+}
+
+/// The flavour of an overlaid traffic storm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StormKind {
+    /// Post-outage mass re-registration: the whole population re-attaches
+    /// (attach / location-update / IMS-registration heavy mix) at their
+    /// home sites — the HLR-killer of arXiv:1304.2867's location-update
+    /// analysis.
+    Reregistration,
+    /// Flash crowd: a mass event concentrates call/session-setup traffic
+    /// on one site's front ends.
+    FlashCrowd {
+        /// The site soaking up the crowd.
+        site: u32,
+    },
+}
+
+impl fmt::Display for StormKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StormKind::Reregistration => f.write_str("reregistration"),
+            StormKind::FlashCrowd { site } => write!(f, "flash-crowd(site={site})"),
+        }
+    }
+}
+
+impl FromStr for StormKind {
+    type Err = UdrError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s == "reregistration" {
+            return Ok(StormKind::Reregistration);
+        }
+        s.strip_prefix("flash-crowd(site=")
+            .and_then(|rest| rest.strip_suffix(')'))
+            .and_then(|site| site.parse::<u32>().ok())
+            .map(|site| StormKind::FlashCrowd { site })
+            .ok_or_else(|| UdrError::Config(format!("unknown storm kind `{s}`")))
+    }
+}
+
+/// A traffic storm overlaid on the base stream: for `duration` starting
+/// at `start`, an *additional* Poisson arrival process runs at
+/// `multiplier ×` the model's base aggregate rate with the storm kind's
+/// own procedure mix and site targeting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StormSpec {
+    /// When the storm begins.
+    pub start: SimTime,
+    /// How long it lasts.
+    pub duration: SimDuration,
+    /// Extra offered load during the window, as a multiple of the base
+    /// aggregate rate (e.g. `6.0` = six extra base-loads on top).
+    pub multiplier: f64,
+    /// What the storm is made of.
+    pub kind: StormKind,
+}
+
+impl StormSpec {
+    /// The procedure mix of the storm's extra events.
+    fn mix(&self) -> ProcedureMix {
+        match self.kind {
+            // What comes back after an outage: attaches and location
+            // updates dominate, IMS re-registrations ride along.
+            StormKind::Reregistration => ProcedureMix::new(vec![
+                (ProcedureKind::Attach, 45.0),
+                (ProcedureKind::LocationUpdate, 35.0),
+                (ProcedureKind::ImsRegistration, 20.0),
+            ]),
+            // A mass event is calls and sessions.
+            StormKind::FlashCrowd { .. } => ProcedureMix::new(vec![
+                (ProcedureKind::CallSetupMo, 40.0),
+                (ProcedureKind::CallSetupMt, 30.0),
+                (ProcedureKind::ImsSession, 20.0),
+                (ProcedureKind::SmsDelivery, 10.0),
+            ]),
         }
     }
 }
@@ -204,6 +321,8 @@ pub struct TrafficModel {
     /// Probability an event targets the hot set instead of the uniform
     /// population (ignored while `hot_set` is empty).
     pub hot_probability: f64,
+    /// An overlaid storm (`None` = steady traffic only).
+    pub storm: Option<StormSpec>,
 }
 
 impl TrafficModel {
@@ -217,6 +336,31 @@ impl TrafficModel {
             sites,
             hot_set: Vec::new(),
             hot_probability: 0.0,
+            storm: None,
+        }
+    }
+
+    /// A flat model with an overlaid storm of `kind`: during
+    /// `[start, start + duration)` an additional arrival process offers
+    /// `multiplier ×` the base aggregate load with the storm's own mix
+    /// and site targeting.
+    pub fn with_storm(
+        per_sub_rate: f64,
+        sites: u32,
+        kind: StormKind,
+        start: SimTime,
+        duration: SimDuration,
+        multiplier: f64,
+    ) -> Self {
+        assert!(multiplier > 0.0, "storm multiplier must be positive");
+        TrafficModel {
+            storm: Some(StormSpec {
+                start,
+                duration,
+                multiplier,
+                kind,
+            }),
+            ..TrafficModel::flat(per_sub_rate, sites)
         }
     }
 
@@ -238,7 +382,9 @@ impl TrafficModel {
     }
 
     /// Generate the event stream over `[start, end)` for a population.
-    /// Events come out time-sorted.
+    /// Events come out time-sorted. Same seed ⇒ identical stream (a
+    /// regression test guards this — the retry/storm machinery must not
+    /// introduce nondeterminism into the offered load).
     pub fn generate(
         &self,
         population: &[Subscriber],
@@ -281,6 +427,55 @@ impl TrafficModel {
                 SiteId(s)
             } else {
                 SiteId(home)
+            };
+            events.push(TrafficEvent {
+                at: now,
+                subscriber,
+                kind,
+                fe_site,
+            });
+        }
+        if let Some(storm) = self.storm {
+            let extra = self.generate_storm(&storm, population, start, end, rng);
+            events.extend(extra);
+            events.sort_by(|a, b| a.at.cmp(&b.at).then(a.subscriber.cmp(&b.subscriber)));
+        }
+        events
+    }
+
+    /// The storm's additional arrival process over the overlap of the
+    /// storm window with `[start, end)`.
+    fn generate_storm(
+        &self,
+        storm: &StormSpec,
+        population: &[Subscriber],
+        start: SimTime,
+        end: SimTime,
+        rng: &mut SimRng,
+    ) -> Vec<TrafficEvent> {
+        let n = population.len();
+        let from = storm.start.max(start);
+        let until = (storm.start + storm.duration).min(end);
+        if from >= until {
+            return Vec::new();
+        }
+        let rate = self.per_sub_rate * n as f64 * storm.multiplier;
+        let mix = storm.mix();
+        let mut events = Vec::new();
+        let mut now = from;
+        loop {
+            let step = rng.exponential(1.0 / rate);
+            now += SimDuration::from_secs_f64(step);
+            if now >= until {
+                break;
+            }
+            let subscriber = rng.below(n as u64) as usize;
+            let kind = mix.sample(rng);
+            let fe_site = match storm.kind {
+                // Re-registrations land where the subscriber lives.
+                StormKind::Reregistration => SiteId(population[subscriber].home_region),
+                // The crowd is all at one place.
+                StormKind::FlashCrowd { site } => SiteId(site.min(self.sites.saturating_sub(1))),
             };
             events.push(TrafficEvent {
                 at: now,
@@ -466,6 +661,180 @@ mod tests {
         book.token_mut(1).unwrap().observe_write(PartitionId(0), 7);
         assert_eq!(book.token(1).unwrap().required_lsn(PartitionId(0)), 7);
         assert_eq!(book.token(0).unwrap().required_lsn(PartitionId(0)), 0);
+    }
+
+    #[test]
+    fn load_profiles_round_trip_through_display() {
+        for profile in [
+            LoadProfile::Flat,
+            LoadProfile::Diurnal {
+                busy_hour: 12,
+                depth: 0.8,
+            },
+            LoadProfile::Diurnal {
+                busy_hour: 0,
+                depth: 0.0,
+            },
+        ] {
+            let shown = profile.to_string();
+            let parsed: LoadProfile = shown.parse().expect("display output must parse back");
+            assert_eq!(parsed, profile, "`{shown}` did not round-trip");
+        }
+        assert!("diurnal(busy_hour=24,depth=0.5)"
+            .parse::<LoadProfile>()
+            .is_err());
+        assert!("diurnal(busy_hour=3,depth=1.5)"
+            .parse::<LoadProfile>()
+            .is_err());
+        assert!("sinusoidal".parse::<LoadProfile>().is_err());
+    }
+
+    #[test]
+    fn storm_kinds_round_trip_through_display() {
+        for kind in [StormKind::Reregistration, StormKind::FlashCrowd { site: 2 }] {
+            let shown = kind.to_string();
+            let parsed: StormKind = shown.parse().expect("display output must parse back");
+            assert_eq!(parsed, kind, "`{shown}` did not round-trip");
+        }
+        assert!("flash-crowd(site=)".parse::<StormKind>().is_err());
+        assert!("tsunami".parse::<StormKind>().is_err());
+    }
+
+    #[test]
+    fn reregistration_storm_adds_registration_load_in_window() {
+        let pop = population(100);
+        let start = SimTime::ZERO;
+        let end = SimTime::ZERO + SimDuration::from_secs(100);
+        let storm_at = SimTime::ZERO + SimDuration::from_secs(40);
+        let model = TrafficModel::with_storm(
+            0.1,
+            3,
+            StormKind::Reregistration,
+            storm_at,
+            SimDuration::from_secs(20),
+            5.0,
+        );
+        let mut rng = SimRng::seed_from_u64(11);
+        let events = model.generate(&pop, start, end, &mut rng);
+        assert!(events.windows(2).all(|w| w[0].at <= w[1].at), "sorted");
+
+        let in_window =
+            |e: &&TrafficEvent| e.at >= storm_at && e.at < storm_at + SimDuration::from_secs(20);
+        let storm_count = events.iter().filter(in_window).count();
+        // ~10/s base + ~50/s storm over 20 s ≈ 1200 events; well above
+        // the ~200 the base alone would produce.
+        assert!(storm_count > 800, "storm window holds {storm_count} events");
+        // The storm is registration traffic at home sites.
+        let registrations = events
+            .iter()
+            .filter(in_window)
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    ProcedureKind::Attach
+                        | ProcedureKind::LocationUpdate
+                        | ProcedureKind::ImsRegistration
+                )
+            })
+            .count();
+        assert!(
+            registrations as f64 > storm_count as f64 * 0.7,
+            "storm should be registration-heavy: {registrations}/{storm_count}"
+        );
+    }
+
+    #[test]
+    fn flash_crowd_concentrates_on_one_site() {
+        let pop = population(100);
+        let storm_at = SimTime::ZERO + SimDuration::from_secs(10);
+        let model = TrafficModel::with_storm(
+            0.05,
+            3,
+            StormKind::FlashCrowd { site: 1 },
+            storm_at,
+            SimDuration::from_secs(20),
+            8.0,
+        );
+        let mut rng = SimRng::seed_from_u64(12);
+        let events = model.generate(
+            &pop,
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_secs(40),
+            &mut rng,
+        );
+        let in_window: Vec<&TrafficEvent> = events
+            .iter()
+            .filter(|e| e.at >= storm_at && e.at < storm_at + SimDuration::from_secs(20))
+            .collect();
+        let at_site1 = in_window.iter().filter(|e| e.fe_site == SiteId(1)).count();
+        assert!(
+            at_site1 as f64 > in_window.len() as f64 * 0.8,
+            "crowd concentrated: {at_site1}/{}",
+            in_window.len()
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        // Guards the bench against nondeterminism sneaking in through
+        // the storm/retry machinery: same seed ⇒ identical stream.
+        let pop = population(80);
+        for model in [
+            TrafficModel::flat(0.1, 3),
+            TrafficModel::hotspot(0.1, 3, (0..8).collect(), 0.6),
+            TrafficModel::with_storm(
+                0.1,
+                3,
+                StormKind::Reregistration,
+                SimTime::ZERO + SimDuration::from_secs(20),
+                SimDuration::from_secs(30),
+                6.0,
+            ),
+            TrafficModel::with_storm(
+                0.1,
+                3,
+                StormKind::FlashCrowd { site: 2 },
+                SimTime::ZERO + SimDuration::from_secs(20),
+                SimDuration::from_secs(30),
+                6.0,
+            ),
+        ] {
+            let run = |seed: u64| {
+                let mut rng = SimRng::seed_from_u64(seed);
+                model.generate(
+                    &pop,
+                    SimTime::ZERO,
+                    SimTime::ZERO + SimDuration::from_secs(80),
+                    &mut rng,
+                )
+            };
+            let a = run(77);
+            let b = run(77);
+            assert_eq!(a, b, "same seed must reproduce the stream exactly");
+            assert!(!a.is_empty());
+            let c = run(78);
+            assert_ne!(a, c, "different seeds should differ");
+        }
+    }
+
+    #[test]
+    fn storm_outside_horizon_is_inert() {
+        let pop = population(50);
+        let model = TrafficModel::with_storm(
+            0.1,
+            3,
+            StormKind::Reregistration,
+            SimTime::ZERO + SimDuration::from_secs(1000),
+            SimDuration::from_secs(10),
+            5.0,
+        );
+        let flat = TrafficModel::flat(0.1, 3);
+        let horizon = SimTime::ZERO + SimDuration::from_secs(50);
+        let mut rng1 = SimRng::seed_from_u64(5);
+        let mut rng2 = SimRng::seed_from_u64(5);
+        let stormy = model.generate(&pop, SimTime::ZERO, horizon, &mut rng1);
+        let base = flat.generate(&pop, SimTime::ZERO, horizon, &mut rng2);
+        assert_eq!(stormy, base, "a storm after the horizon adds nothing");
     }
 
     #[test]

@@ -6,6 +6,7 @@ pub use udr_ldap as ldap;
 pub use udr_metrics as metrics;
 pub use udr_model as model;
 pub use udr_preudc as preudc;
+pub use udr_qos as qos;
 pub use udr_replication as replication;
 pub use udr_sim as sim;
 pub use udr_storage as storage;
