@@ -1,0 +1,318 @@
+//! E22 — the CAP verdict matrix: deterministic partition-fault campaigns
+//! across the full (replication mode × read policy × fault scenario)
+//! grid (§3.2, §3.6, §4.1, §5).
+//!
+//! Every cell drives the same seeded traffic (read-only roaming
+//! procedures + a monotone write oracle) through one fault scenario —
+//! clean partition, asymmetric one-way loss, link flapping, WAN
+//! degradation, SE crash+recover — and records a [`CapVerdict`]:
+//! availability inside and outside the fault window, typed-vs-generic
+//! failure classes, stale reads, divergence, heal time, and the
+//! post-heal oracle scan.
+//!
+//! Shape asserted (and emitted as `BENCH_e22.json`) — the paper's CAP
+//! placement, now CI-enforced:
+//! * **nobody loses an acknowledged write after heal**, in any cell, and
+//!   nobody duplicates a record or breaks a guarded-read guarantee;
+//! * **AP-leaning cells stay available through the cut**: nearest-copy
+//!   reads ride out every scenario at ≥ 99 % availability (accruing
+//!   bounded staleness instead), and multi-master keeps ≥ 99 % write
+//!   availability through a clean cut at the price of divergence merges;
+//! * **CP-leaning cells show measurable unavailability windows but zero
+//!   stale reads**: master-only cells never serve stale data, fail
+//!   *typed* (never a generic timeout) while cut off, and the
+//!   synchronous modes refuse writes whose replication requirement spans
+//!   the cut;
+//! * **the whole grid is deterministic**: replaying a cell yields a
+//!   field-identical verdict and byte-identical report rows.
+
+use udr_bench::campaign::{run_cell, CampaignConfig};
+use udr_bench::json::{BenchReport, JsonValue};
+use udr_metrics::{pct, CapVerdict, Table, VerdictMatrix};
+use udr_model::config::{ReadPolicy, ReplicationMode};
+use udr_workload::PartitionScenario;
+
+const SEED: u64 = 22;
+/// Bounded-staleness budget swept in the policy axis.
+const MAX_LAG: u64 = 4;
+/// Cells replayed for the byte-identical determinism regression.
+const DETERMINISM_CELLS: usize = 3;
+
+fn modes() -> [ReplicationMode; 4] {
+    [
+        ReplicationMode::AsyncMasterSlave,
+        // The paper's §5 "apply in sequence to two replicas" mode — the
+        // semisync/2PC-style point of the spectrum.
+        ReplicationMode::DualInSequence,
+        ReplicationMode::Quorum { n: 3, w: 2, r: 2 },
+        ReplicationMode::MultiMaster,
+    ]
+}
+
+fn policies() -> [ReadPolicy; 4] {
+    [
+        ReadPolicy::NearestCopy,
+        ReadPolicy::BoundedStaleness { max_lag: MAX_LAG },
+        ReadPolicy::SessionConsistent,
+        ReadPolicy::MasterOnly,
+    ]
+}
+
+fn row_cells(v: &CapVerdict) -> Vec<(&'static str, JsonValue)> {
+    vec![
+        ("mode", v.mode.clone().into()),
+        ("policy", v.policy.clone().into()),
+        ("scenario", v.scenario.clone().into()),
+        ("expected_pacelc", v.expected_pacelc.clone().into()),
+        ("reads_in_fault", v.reads_in_fault.into()),
+        ("reads_ok_in_fault", v.reads_ok_in_fault.into()),
+        ("writes_in_fault", v.writes_in_fault.into()),
+        ("writes_ok_in_fault", v.writes_ok_in_fault.into()),
+        ("reads_outside", v.reads_outside.into()),
+        ("writes_outside", v.writes_outside.into()),
+        ("read_avail_in_fault", v.read_availability_in_fault().into()),
+        (
+            "write_avail_in_fault",
+            v.write_availability_in_fault().into(),
+        ),
+        ("avail_outside", v.availability_outside().into()),
+        ("unavailable_by_design", v.unavailable_by_design.into()),
+        ("unexpected_failures", v.unexpected_failures.into()),
+        ("generic_timeouts", v.generic_timeouts.into()),
+        ("stale_reads", v.stale_reads.into()),
+        ("guarantee_violations", v.guarantee_violations.into()),
+        ("lost_acked_writes", v.lost_acked_writes.into()),
+        ("duplicated_records", v.duplicated_records.into()),
+        ("divergence_merges", v.divergence_merges.into()),
+        ("merge_conflicts", v.merge_conflicts.into()),
+        ("heal_ms", v.heal_time.as_millis_f64().into()),
+        ("observed_stance", v.observed_stance().into()),
+    ]
+}
+
+/// Serialise one verdict the way the report does — the byte string two
+/// replays of the same cell must agree on.
+fn row_bytes(v: &CapVerdict) -> String {
+    let mut r = BenchReport::new("e22-determinism", SEED);
+    r.row(row_cells(v));
+    r.to_json()
+}
+
+fn main() {
+    println!(
+        "E22 — deterministic partition-fault campaigns and the CAP verdict matrix\n\
+         every (replication mode × read policy × scenario) cell drives seeded roaming\n\
+         reads + a monotone write oracle through a fault script, then audits what the\n\
+         configuration actually gave up\n"
+    );
+
+    let mut matrix = VerdictMatrix::new();
+    let mut table = Table::new([
+        "mode",
+        "policy",
+        "scenario",
+        "PACELC",
+        "read avail (fault)",
+        "write avail (fault)",
+        "stale",
+        "merges",
+        "heal",
+        "stance",
+    ])
+    .with_title("the CAP verdict matrix, cell by cell");
+    let mut report = BenchReport::new("e22", SEED);
+    let probe = CampaignConfig::new(
+        ReplicationMode::AsyncMasterSlave,
+        ReadPolicy::NearestCopy,
+        PartitionScenario::CleanPartition,
+    );
+    report
+        .config("subscribers", probe.subscribers)
+        .config("read_rate_per_sub", probe.read_rate)
+        .config("write_period_ms", probe.write_period.as_millis_f64())
+        .config("roaming", probe.roaming)
+        .config("fault_window_s", probe.fault_duration.as_millis_f64() / 1e3)
+        .config("max_lag", MAX_LAG);
+
+    let mut skipped = 0u64;
+    for mode in modes() {
+        for policy in policies() {
+            for scenario in PartitionScenario::ALL {
+                let cc = CampaignConfig::new(mode, policy, scenario);
+                if !cc.is_valid() {
+                    // Guarded read policies are rejected under quorum and
+                    // multi-master replication by config validation; the
+                    // grid records the hole rather than faking a cell.
+                    skipped += 1;
+                    continue;
+                }
+                let v = run_cell(&cc);
+                table.row([
+                    v.mode.clone(),
+                    v.policy.clone(),
+                    v.scenario.clone(),
+                    v.expected_pacelc.clone(),
+                    pct(v.read_availability_in_fault(), 1),
+                    pct(v.write_availability_in_fault(), 1),
+                    v.stale_reads.to_string(),
+                    v.divergence_merges.to_string(),
+                    format!("{:.0} ms", v.heal_time.as_millis_f64()),
+                    v.observed_stance().to_string(),
+                ]);
+                report.row(row_cells(&v));
+                matrix.push(v);
+            }
+        }
+    }
+    report.config("cells_measured", matrix.len());
+    report.config("cells_skipped_invalid", skipped);
+    println!("{table}");
+    println!(
+        "{} cells measured, {skipped} (mode × policy) combinations rejected by config \
+         validation (guarded reads under quorum/multi-master)\n",
+        matrix.len()
+    );
+
+    // ---- the non-negotiables, every cell ------------------------------
+    for v in matrix.cells() {
+        let cell = format!("[{} × {} × {}]", v.mode, v.policy, v.scenario);
+        assert_eq!(
+            v.lost_acked_writes, 0,
+            "{cell}: lost an acknowledged write after heal"
+        );
+        assert_eq!(
+            v.duplicated_records, 0,
+            "{cell}: duplicated a partition copy"
+        );
+        assert_eq!(
+            v.guarantee_violations, 0,
+            "{cell}: a guarded read lied instead of failing"
+        );
+        assert_eq!(
+            v.unexpected_failures, 0,
+            "{cell}: a fault produced a data-level error (bug, not unavailability)"
+        );
+        assert!(v.sound());
+    }
+
+    // ---- AP-leaning cells stay available through the fault -------------
+    // Quorum replication is excluded: its reads consult an r-ensemble
+    // regardless of the policy label, so no read policy makes it PA
+    // (`pacelc_for` says so, and the matrix confirms it).
+    let quorum = ReplicationMode::Quorum { n: 3, w: 2, r: 2 }.to_string();
+    for v in matrix.select(|v| v.policy == ReadPolicy::NearestCopy.to_string() && v.mode != quorum)
+    {
+        assert!(
+            v.read_availability_in_fault() >= 0.99,
+            "[{} × {} × {}]: nearest-copy reads must ride out the fault, got {}",
+            v.mode,
+            v.policy,
+            v.scenario,
+            pct(v.read_availability_in_fault(), 2)
+        );
+    }
+    let mm = ReplicationMode::MultiMaster.to_string();
+    let clean = PartitionScenario::CleanPartition.to_string();
+    for v in matrix.select(|v| v.mode == mm && v.scenario == clean) {
+        assert!(
+            v.write_availability_in_fault() >= 0.99,
+            "[multi-master × {} × clean-partition]: writes must survive the cut, got {}",
+            v.policy,
+            pct(v.write_availability_in_fault(), 2)
+        );
+        assert!(
+            v.divergence_merges >= 1,
+            "[multi-master × {} × clean-partition]: cross-cut writes must diverge and merge",
+            v.policy
+        );
+    }
+
+    // ---- CP-leaning cells: unavailability windows, never stale ---------
+    // Quorum mode is excluded here too: its reads consult the ensemble
+    // rather than routing to the master, and the staleness tracker
+    // measures against the master's committed tail — which under quorum
+    // includes *partially-committed* (never-acknowledged) writes whose
+    // replication the fault refused. Serving behind unacked data is not
+    // a broken promise; the count is reported, not asserted.
+    let master_only = ReadPolicy::MasterOnly.to_string();
+    for v in matrix.select(|v| v.policy == master_only && v.mode != quorum) {
+        assert_eq!(
+            v.stale_reads, 0,
+            "[{} × master-only × {}]: a CP read served stale data",
+            v.mode, v.scenario
+        );
+    }
+    for scenario in PartitionScenario::ALL
+        .iter()
+        .filter(|s| s.severs_connectivity())
+    {
+        for v in matrix.select(|v| v.policy == master_only && v.scenario == scenario.to_string()) {
+            assert!(
+                v.reads_ok_in_fault < v.reads_in_fault,
+                "[{} × master-only × {}]: a severed cut must cost CP reads availability",
+                v.mode,
+                v.scenario
+            );
+            assert_eq!(
+                v.generic_timeouts, 0,
+                "[{} × master-only × {}]: clean cuts must fail typed, not time out",
+                v.mode, v.scenario
+            );
+        }
+    }
+    for mode in [
+        ReplicationMode::DualInSequence,
+        ReplicationMode::Quorum { n: 3, w: 2, r: 2 },
+    ] {
+        for v in matrix.select(|v| v.mode == mode.to_string() && v.scenario == clean) {
+            assert!(
+                v.writes_ok_in_fault < v.writes_in_fault,
+                "[{} × {} × clean-partition]: a synchronous mode must refuse writes \
+                 whose replication spans the cut",
+                v.mode,
+                v.policy
+            );
+        }
+    }
+
+    // ---- determinism: replaying a cell is byte-identical ---------------
+    let mut replayed = 0usize;
+    'outer: for mode in modes() {
+        for policy in policies() {
+            let cc = CampaignConfig::new(mode, policy, PartitionScenario::CleanPartition);
+            if !cc.is_valid() {
+                continue;
+            }
+            let first = matrix
+                .get(&mode.to_string(), &policy.to_string(), "clean-partition")
+                .expect("measured cell present");
+            let again = run_cell(&cc);
+            assert_eq!(first, &again, "cell verdict not reproducible");
+            assert_eq!(
+                row_bytes(first),
+                row_bytes(&again),
+                "report rows not byte-identical across replays"
+            );
+            replayed += 1;
+            if replayed == DETERMINISM_CELLS {
+                break 'outer;
+            }
+        }
+    }
+    assert_eq!(replayed, DETERMINISM_CELLS);
+    println!("determinism: {replayed} cells replayed byte-identically\n");
+
+    match report.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_e22.json: {e}"),
+    }
+    println!(
+        "\nShape check (paper §3.6/§4.1/§5): the CAP trade is real per cell. AP-leaning\n\
+         configurations (nearest-copy reads; multi-master writes) ride out every fault\n\
+         at ≥ 99 % availability and pay in staleness and divergence merges; CP-leaning\n\
+         configurations (master-only reads; in-sequence and quorum writes) never serve\n\
+         a stale byte but show measurable unavailability windows while cut off — and\n\
+         every such refusal is a *typed* partition error, distinguishable from a bug.\n\
+         Nobody, anywhere in the grid, loses an acknowledged write after heal."
+    );
+}

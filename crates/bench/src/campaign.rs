@@ -1,0 +1,435 @@
+//! Deterministic fault-campaign cells: drive one (replication mode ×
+//! read policy × fault scenario) configuration through a seeded
+//! [`FaultScript`] and measure what it actually gives up, as a
+//! [`CapVerdict`].
+//!
+//! One cell runs four deterministic streams against a loss-free
+//! figure-2 deployment:
+//!
+//! 1. a read-only front-end procedure stream (Poisson, roaming) from
+//!    every site;
+//! 2. a per-subscriber write stream carrying a **monotone sequence
+//!    oracle** — every write sets `OdbMask` to a globally increasing
+//!    sequence number, and every *acknowledged* value is remembered;
+//! 3. the compiled fault timeline of the scenario's [`FaultScript`];
+//! 4. a post-traffic settle phase that polls until replication fully
+//!    re-converges (the heal-time measurement).
+//!
+//! After settling, the oracle scan reads every written subscriber back
+//! through the authoritative master: a final value *below* the highest
+//! acknowledged sequence is a lost acknowledged write (asserted zero in
+//! every cell — writes per subscriber are issued sequentially in virtual
+//! time, so last-writer-wins merges preserve monotonicity), and any
+//! partition copy hosted outside its replica set is a duplicate.
+//!
+//! Writes are quiesced for one second before each scheduled SE crash:
+//! the campaign measures the *replication* loss channel, not the §4.2
+//! volatile-media durability gap (e09/e11 measure that one on purpose).
+//!
+//! Everything — population, traffic, faults, network jitter — derives
+//! from the cell seed, so replaying a cell reproduces the identical
+//! [`CapVerdict`], field for field. CI regresses on exactly that.
+
+use udr_core::UdrConfig;
+use udr_ldap::{Dn, LdapOp};
+use udr_metrics::CapVerdict;
+use udr_model::attrs::{AttrId, AttrMod, AttrValue};
+use udr_model::config::{ReadPolicy, ReplicationMode, TxnClass};
+use udr_model::identity::Identity;
+use udr_model::ids::{SeId, SiteId};
+use udr_model::time::{SimDuration, SimTime};
+use udr_sim::FaultScript;
+use udr_workload::{PartitionScenario, ProcedureMix, SessionBook, TrafficModel};
+
+use crate::harness::provisioned_system;
+
+/// How long writes are quiesced ahead of a scheduled SE crash.
+const CRASH_QUIESCE: SimDuration = SimDuration::from_secs(1);
+/// Settle-poll step while waiting for replication to re-converge.
+const SETTLE_STEP: SimDuration = SimDuration::from_millis(50);
+/// Give-up horizon for the settle poll.
+const SETTLE_LIMIT: SimDuration = SimDuration::from_secs(60);
+/// Every N-th write of a subscriber is issued from a roamed site.
+const ROAM_EVERY: u64 = 5;
+
+/// One cell of the fault-campaign grid.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Replication mode under test.
+    pub mode: ReplicationMode,
+    /// Front-end read policy under test.
+    pub fe_policy: ReadPolicy,
+    /// Fault scenario under test.
+    pub scenario: PartitionScenario,
+    /// Cell seed: population, traffic, faults and network jitter all
+    /// derive from it.
+    pub seed: u64,
+    /// Provisioned subscribers (spread over the 3 home regions).
+    pub subscribers: u64,
+    /// Read procedures per subscriber per second.
+    pub read_rate: f64,
+    /// Gap between one subscriber's oracle writes.
+    pub write_period: SimDuration,
+    /// Probability a read roams outside the home region.
+    pub roaming: f64,
+    /// When traffic starts.
+    pub traffic_start: SimTime,
+    /// When traffic stops.
+    pub traffic_end: SimTime,
+    /// When the fault window opens.
+    pub fault_at: SimTime,
+    /// How long the fault window lasts.
+    pub fault_duration: SimDuration,
+}
+
+impl CampaignConfig {
+    /// The standard e22 cell: 18 subscribers, 50 s of traffic, a 20 s
+    /// fault window opening at t=20 s.
+    pub fn new(mode: ReplicationMode, fe_policy: ReadPolicy, scenario: PartitionScenario) -> Self {
+        let t = |secs| SimTime::ZERO + SimDuration::from_secs(secs);
+        CampaignConfig {
+            mode,
+            fe_policy,
+            scenario,
+            seed: 22,
+            subscribers: 18,
+            read_rate: 0.3,
+            write_period: SimDuration::from_millis(2500),
+            roaming: 0.35,
+            traffic_start: t(10),
+            traffic_end: t(60),
+            fault_at: t(20),
+            fault_duration: SimDuration::from_secs(20),
+        }
+    }
+
+    /// The deployment this cell builds: figure-2 with the cell's
+    /// replication mode and front-end read policy.
+    pub fn udr_config(&self) -> UdrConfig {
+        let mut cfg = UdrConfig::figure2();
+        cfg.frash.replication = self.mode;
+        cfg.frash.fe_read_policy = self.fe_policy;
+        cfg.seed = self.seed ^ 0xE22;
+        cfg
+    }
+
+    /// Whether the (mode × policy) pair is a valid configuration.
+    /// Guarded read policies are rejected under quorum and multi-master
+    /// replication (`FrashConfig::validate`); the grid skips those cells.
+    pub fn is_valid(&self) -> bool {
+        self.udr_config().validate().is_ok()
+    }
+
+    /// The scenario's fault script for this cell.
+    pub fn script(&self) -> FaultScript {
+        self.scenario.script(
+            self.seed,
+            self.udr_config().sites,
+            self.fault_at,
+            self.fault_duration,
+        )
+    }
+}
+
+/// Run one campaign cell under its scenario's own fault script.
+pub fn run_cell(cc: &CampaignConfig) -> CapVerdict {
+    run_cell_with_script(cc, &cc.script())
+}
+
+/// One merged traffic item: a read procedure or an oracle write.
+enum CampaignOp {
+    Read {
+        at: SimTime,
+        subscriber: usize,
+        kind: udr_model::procedures::ProcedureKind,
+        fe_site: SiteId,
+    },
+    Write {
+        at: SimTime,
+        subscriber: usize,
+        site: SiteId,
+    },
+}
+
+impl CampaignOp {
+    fn at(&self) -> SimTime {
+        match self {
+            CampaignOp::Read { at, .. } | CampaignOp::Write { at, .. } => *at,
+        }
+    }
+}
+
+/// Run one campaign cell under an explicit fault script (the determinism
+/// regression replays random scripts through this entry point).
+pub fn run_cell_with_script(cc: &CampaignConfig, script: &FaultScript) -> CapVerdict {
+    let cfg = cc.udr_config();
+    cfg.validate().expect("campaign cell configuration invalid");
+    let sites = cfg.sites;
+    let expected = cfg.frash.pacelc_for(TxnClass::FrontEnd).to_string();
+    let mut s = provisioned_system(cfg, cc.subscribers, cc.seed ^ 0x5EED);
+
+    // Loss-free links: every failure in the run is then attributable to
+    // the injected faults, never to background WAN loss.
+    for a in 0..sites {
+        for b in 0..sites {
+            if a < b {
+                let mut link = s.udr.net.topology().link(SiteId(a), SiteId(b)).clone();
+                link.loss = 0.0;
+                s.udr
+                    .net
+                    .topology_mut()
+                    .set_link(SiteId(a), SiteId(b), link);
+            }
+        }
+    }
+
+    s.udr.schedule_script(script);
+
+    // ---- the two traffic streams, merged into one virtual-time order --
+    let mut model = TrafficModel::flat(cc.read_rate, sites);
+    model.mix = ProcedureMix::read_only();
+    model.roaming_probability = cc.roaming;
+    let mut rng = udr_sim::SimRng::seed_from_u64(cc.seed ^ 0xA11CE);
+    let reads = model.generate(&s.population, cc.traffic_start, cc.traffic_end, &mut rng);
+
+    let crash_instants = script.crash_instants();
+    let quiesced = |at: SimTime| {
+        crash_instants
+            .iter()
+            .any(|c| at + CRASH_QUIESCE >= *c && at < *c)
+    };
+    let mut ops: Vec<CampaignOp> = reads
+        .iter()
+        .map(|ev| CampaignOp::Read {
+            at: ev.at,
+            subscriber: ev.subscriber,
+            kind: ev.kind,
+            fe_site: ev.fe_site,
+        })
+        .collect();
+    for (i, sub) in s.population.iter().enumerate() {
+        // Spread subscribers' write phases evenly across one period.
+        let offset =
+            SimDuration::from_nanos(cc.write_period.as_nanos() * i as u64 / cc.subscribers.max(1));
+        let mut at = cc.traffic_start + offset;
+        let mut k = 0u64;
+        while at < cc.traffic_end {
+            if !quiesced(at) {
+                // Mostly home-site writes (home-region placement puts the
+                // master there); every ROAM_EVERY-th write roams, which is
+                // what exercises cross-cut writes and multi-master
+                // divergence.
+                let site = if k % ROAM_EVERY == ROAM_EVERY - 1 {
+                    SiteId((sub.home_region + 1 + (k as u32 % (sites - 1))) % sites)
+                } else {
+                    SiteId(sub.home_region)
+                };
+                ops.push(CampaignOp::Write {
+                    at,
+                    subscriber: i,
+                    site,
+                });
+            }
+            at += cc.write_period;
+            k += 1;
+        }
+    }
+    ops.sort_by_key(CampaignOp::at);
+
+    // ---- drive ---------------------------------------------------------
+    let mut verdict = CapVerdict::new(
+        cc.mode.to_string(),
+        cc.fe_policy.to_string(),
+        cc.scenario.to_string(),
+        expected,
+    );
+    let mut sessions = SessionBook::all(s.population.len());
+    let mut seq = 0u64;
+    let mut acked: Vec<u64> = vec![0; s.population.len()];
+    let heal_at = script.end();
+    let mut settled_at: Option<SimTime> = None;
+    for op in &ops {
+        let in_fault = script.active_at(op.at());
+        match op {
+            CampaignOp::Read {
+                at,
+                subscriber,
+                kind,
+                fe_site,
+            } => {
+                let sub = &s.population[*subscriber];
+                let out = s.udr.run_procedure_with_session(
+                    *kind,
+                    &sub.ids,
+                    *fe_site,
+                    *at,
+                    sessions.token_mut(*subscriber),
+                );
+                verdict.record(false, in_fault, out.failure.as_ref());
+            }
+            CampaignOp::Write {
+                at,
+                subscriber,
+                site,
+            } => {
+                seq += 1;
+                let sub = &s.population[*subscriber];
+                let op = LdapOp::Modify {
+                    dn: Dn::for_identity(Identity::Imsi(sub.ids.imsi.clone())),
+                    mods: vec![AttrMod::Set(AttrId::OdbMask, AttrValue::U64(seq))],
+                };
+                let out = s.udr.execute_op_with_session(
+                    &op,
+                    TxnClass::FrontEnd,
+                    *site,
+                    *at,
+                    sessions.token_mut(*subscriber),
+                );
+                match &out.result {
+                    Ok(_) => {
+                        acked[*subscriber] = seq;
+                        verdict.record(true, in_fault, None);
+                    }
+                    Err(e) => verdict.record(true, in_fault, Some(e)),
+                }
+            }
+        }
+        // Heal-time probe: the first instant at or after the last fault
+        // window closing at which replication is observed fully
+        // re-converged (probed at op granularity while traffic still
+        // flows, then at SETTLE_STEP granularity after it stops).
+        if settled_at.is_none() && op.at() >= heal_at && s.udr.replication_settled() {
+            settled_at = Some(op.at());
+        }
+    }
+
+    // ---- settle: wait out catch-up, finish the heal-time measurement ---
+    let baseline = heal_at.max(cc.traffic_end);
+    let limit = baseline + SETTLE_LIMIT;
+    let mut now = baseline;
+    s.udr.advance_to(now);
+    while !s.udr.replication_settled() && now < limit {
+        now += SETTLE_STEP;
+        s.udr.advance_to(now);
+    }
+    assert!(
+        s.udr.replication_settled(),
+        "replication never re-converged after {SETTLE_LIMIT}: lag={} partitioned={} degraded={}",
+        s.udr.max_replica_lag(),
+        s.udr.net.partitioned(),
+        s.udr.net.degraded(),
+    );
+    verdict.heal_time = settled_at.unwrap_or(now).duration_since(heal_at);
+
+    // ---- post-heal oracle scan ----------------------------------------
+    for (i, sub) in s.population.iter().enumerate() {
+        if acked[i] == 0 {
+            continue;
+        }
+        let identity: Identity = sub.ids.imsi.clone().into();
+        let final_value = s
+            .udr
+            .lookup_authority(&identity)
+            .and_then(|loc| {
+                let master = s.udr.shard_map().master_of(loc.partition)?;
+                s.udr
+                    .se(master)
+                    .read_committed(loc.partition, loc.uid)
+                    .ok()
+                    .flatten()
+            })
+            .and_then(|entry| match entry.get(AttrId::OdbMask) {
+                Some(AttrValue::U64(v)) => Some(*v),
+                _ => None,
+            });
+        // An acknowledged write may be *overwritten* by a later sequence
+        // (including a timed-out-but-committed one); it may never vanish.
+        if final_value.is_none_or(|v| v < acked[i]) {
+            verdict.lost_acked_writes += 1;
+        }
+    }
+    for partition in s.udr.shard_map().partitions() {
+        let members = s.udr.shard_map().members_of(partition).unwrap_or(&[]);
+        for i in 0..s.udr.se_count() {
+            let se = s.udr.se(SeId(i as u32));
+            if se.partitions().any(|p| p == partition) && !members.contains(&se.id()) {
+                verdict.duplicated_records += 1;
+            }
+        }
+    }
+
+    // ---- consistency debt from the run metrics ------------------------
+    let m = &s.udr.metrics;
+    verdict.stale_reads = m.staleness.stale_reads;
+    verdict.guarantee_violations = m.guarantees.violations();
+    verdict.divergence_merges = m.merges;
+    verdict.merge_conflicts = m.merge_conflicts;
+    verdict
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(
+        mode: ReplicationMode,
+        policy: ReadPolicy,
+        scenario: PartitionScenario,
+    ) -> CampaignConfig {
+        let mut cc = CampaignConfig::new(mode, policy, scenario);
+        cc.subscribers = 6;
+        cc.read_rate = 0.15;
+        cc.traffic_end = SimTime::ZERO + SimDuration::from_secs(40);
+        cc.fault_duration = SimDuration::from_secs(12);
+        cc
+    }
+
+    #[test]
+    fn invalid_grid_cells_are_detectable() {
+        let bad = CampaignConfig::new(
+            ReplicationMode::MultiMaster,
+            ReadPolicy::SessionConsistent,
+            PartitionScenario::CleanPartition,
+        );
+        assert!(!bad.is_valid());
+        let good = CampaignConfig::new(
+            ReplicationMode::MultiMaster,
+            ReadPolicy::NearestCopy,
+            PartitionScenario::CleanPartition,
+        );
+        assert!(good.is_valid());
+    }
+
+    #[test]
+    fn clean_partition_cell_measures_the_ap_shape() {
+        let cc = small(
+            ReplicationMode::AsyncMasterSlave,
+            ReadPolicy::NearestCopy,
+            PartitionScenario::CleanPartition,
+        );
+        let v = run_cell(&cc);
+        assert!(v.total_ops() > 100, "too little traffic: {}", v.total_ops());
+        assert!(v.reads_in_fault > 0 && v.reads_outside > 0);
+        assert!(v.sound(), "cell broke a non-negotiable: {v:?}");
+        assert!(
+            v.read_availability_in_fault() >= 0.99,
+            "nearest-copy reads must ride out the cut: {}",
+            v.read_availability_in_fault()
+        );
+        assert_eq!(v.lost_acked_writes, 0);
+        assert_eq!(v.generic_timeouts, 0, "clean cuts must fail typed");
+    }
+
+    #[test]
+    fn cells_replay_identically() {
+        let cc = small(
+            ReplicationMode::DualInSequence,
+            ReadPolicy::BoundedStaleness { max_lag: 4 },
+            PartitionScenario::Flapping,
+        );
+        let a = run_cell(&cc);
+        let b = run_cell(&cc);
+        assert_eq!(a, b, "same cell, different verdicts");
+        assert!(a.sound());
+    }
+}

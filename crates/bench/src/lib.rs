@@ -11,8 +11,10 @@
 
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod harness;
 pub mod json;
 
+pub use campaign::{run_cell, run_cell_with_script, CampaignConfig};
 pub use harness::{provisioned_system, run_events, Scenario};
 pub use json::{BenchReport, JsonValue};

@@ -983,7 +983,19 @@ impl StorageStage {
                 ..LatencyBreakdown::default()
             };
             ctx.crossed_backbone = false;
-            return Err(ctx.fail(UdrError::Timeout));
+            // A cut on the path is a *partition* failure and must say so
+            // — fault campaigns distinguish "unavailable by design" from
+            // bugs by the error type. Only genuine message loss (the pair
+            // is connected, the datagram vanished) reads as a timeout.
+            let err = if udr.net.reachable(ctx.server_site, se_site) {
+                UdrError::Timeout
+            } else {
+                UdrError::Unreachable {
+                    se: se_id,
+                    reason: "partition",
+                }
+            };
+            return Err(ctx.fail(err));
         };
         ctx.breakdown.storage += se_rtt;
 

@@ -21,8 +21,8 @@ use udr_model::time::{SimDuration, SimTime};
 use udr_qos::AdmissionController;
 use udr_replication::multimaster::{merge_branches, restoration_duration};
 use udr_replication::{AsyncShipper, MigrationChannel, MigrationState, ReplicationGroup};
-use udr_sim::faults::{Fault, FaultSchedule};
-use udr_sim::net::{Cut, CutHandle, Network, Topology};
+use udr_sim::faults::{Fault, FaultSchedule, FaultScript};
+use udr_sim::net::{Cut, CutHandle, Degrade, DegradeHandle, Network, Topology};
 use udr_sim::{EventQueue, SimRng};
 use udr_storage::{CommitRecord, Lsn, StorageElement};
 
@@ -89,6 +89,18 @@ pub enum UdrEvent {
     PartitionHeal {
         /// Handles returned when the cuts were applied.
         handles: Vec<CutHandle>,
+    },
+    /// A link degradation (one-way loss, WAN brown-out) starts.
+    DegradeStart {
+        /// The degradation to apply.
+        degrade: Degrade,
+        /// How long until it clears.
+        duration: SimDuration,
+    },
+    /// A link degradation clears.
+    DegradeHeal {
+        /// Handle returned when the degradation was applied.
+        handle: DegradeHandle,
     },
     /// A storage element crashes.
     SeCrash {
@@ -423,10 +435,36 @@ impl Udr {
                         duration,
                     },
                 ),
+                Fault::OneWayLoss { from, duration } => self.events.schedule_at(
+                    at,
+                    UdrEvent::DegradeStart {
+                        degrade: Degrade::one_way_loss(from),
+                        duration,
+                    },
+                ),
+                Fault::WanDegrade {
+                    latency_factor,
+                    loss,
+                    duration,
+                } => self.events.schedule_at(
+                    at,
+                    UdrEvent::DegradeStart {
+                        degrade: Degrade::backbone(latency_factor, loss),
+                        duration,
+                    },
+                ),
                 Fault::SeCrash { se } => self.events.schedule_at(at, UdrEvent::SeCrash { se }),
                 Fault::SeRestore { se } => self.events.schedule_at(at, UdrEvent::SeRestore { se }),
             }
         }
+    }
+
+    /// Compile and inject a [`FaultScript`] campaign. The compiled
+    /// timeline is a pure function of the script, so replaying the same
+    /// script against the same deployment seed reproduces the identical
+    /// fault sequence.
+    pub fn schedule_script(&mut self, script: &FaultScript) {
+        self.schedule_faults(script.compile());
     }
 
     /// Drain internal events up to `now`. Every client entry point calls
@@ -479,6 +517,12 @@ impl Udr {
                     self.run_restorations(t);
                 }
             }
+            UdrEvent::DegradeStart { degrade, duration } => {
+                let handle = self.net.start_degrade(degrade);
+                self.events
+                    .schedule_at(t + duration, UdrEvent::DegradeHeal { handle });
+            }
+            UdrEvent::DegradeHeal { handle } => self.net.heal_degrade(handle),
             UdrEvent::SeCrash { se } => self.crash_se(t, se),
             UdrEvent::SeRestore { se } => self.restore_se(t, se),
             UdrEvent::FailoverCheck { partition } => self.failover_check(t, partition),
@@ -515,6 +559,14 @@ impl Udr {
     }
 
     fn run_catchup(&mut self, t: SimTime) {
+        if !self.net.partitioned() {
+            // Divergence can arise without any cut: under multi-master a
+            // *crashed* master makes each client site elect its own
+            // acting master. No heal event will ever fire for that, so
+            // the periodic tick merges outstanding branches as soon as
+            // connectivity is whole (a no-op otherwise).
+            self.run_restorations(t);
+        }
         for p in 0..self.groups.len() {
             let pid = PartitionId(p as u32);
             let master = self.groups[p].master();
@@ -892,6 +944,42 @@ impl Udr {
             .map(|g| self.subs_per_partition[g.partition().index()])
             .sum();
         ok as f64 / total as f64
+    }
+
+    /// The largest replication lag (log records) any up slave currently
+    /// shows against its partition master. Crashed endpoints are skipped
+    /// — they cannot catch up until they restore.
+    pub fn max_replica_lag(&self) -> u64 {
+        let mut max = 0u64;
+        for (p, group) in self.groups.iter().enumerate() {
+            let master = group.master();
+            if !self.ses[master.index()].is_up() {
+                continue;
+            }
+            let Ok(engine) = self.ses[master.index()].engine(group.partition()) else {
+                continue;
+            };
+            for slave in group.slaves() {
+                if !self.ses[slave.index()].is_up() {
+                    continue;
+                }
+                if let Some(lag) = self.shippers[p].lag(slave, engine) {
+                    max = max.max(lag);
+                }
+            }
+        }
+        max
+    }
+
+    /// Whether replication has fully re-converged: zero lag on every
+    /// live channel, no diverged multi-master branches awaiting merge,
+    /// and no partition or degradation still active. The condition the
+    /// heal-time measurement of a fault campaign waits for.
+    pub fn replication_settled(&self) -> bool {
+        !self.net.partitioned()
+            && !self.net.degraded()
+            && self.diverged.is_empty()
+            && self.max_replica_lag() == 0
     }
 
     /// Allocate the next subscriber uid.

@@ -1,0 +1,281 @@
+//! Fault-campaign wiring through the event pump: clean partitions yield
+//! *typed* partition errors (never generic timeouts), grey failures
+//! (one-way loss, WAN brown-outs) degrade without partitioning, and the
+//! deployment measurably re-converges after heal.
+
+use udr_core::{Udr, UdrConfig};
+use udr_ldap::{Dn, LdapOp};
+use udr_model::attrs::{AttrId, AttrMod, AttrValue};
+use udr_model::config::{ReadPolicy, ReplicationMode, TxnClass};
+use udr_model::error::UdrError;
+use udr_model::identity::{Identity, IdentitySet, Imsi, Msisdn};
+use udr_model::ids::{SeId, SiteId};
+use udr_model::time::{SimDuration, SimTime};
+use udr_sim::net::{LatencyModel, LinkProfile};
+use udr_sim::FaultScript;
+
+fn ids(n: u64) -> IdentitySet {
+    IdentitySet {
+        imsi: Imsi::new(format!("21401{n:010}")).unwrap(),
+        msisdn: Msisdn::new(format!("346{n:08}")).unwrap(),
+        impus: vec![],
+        impi: None,
+    }
+}
+
+fn t(secs: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_secs(secs)
+}
+
+/// A loss-free figure-2 deployment with one subscriber per home region
+/// (subscriber `r` is mastered at site `r` under home-region placement).
+fn build(mode: ReplicationMode, policy: ReadPolicy, seed: u64) -> (Udr, Vec<IdentitySet>) {
+    let mut cfg = UdrConfig::figure2();
+    cfg.frash.replication = mode;
+    cfg.frash.fe_read_policy = policy;
+    cfg.seed = seed;
+    let mut udr = Udr::build(cfg).expect("valid config");
+    let wan = LinkProfile {
+        latency: LatencyModel::wan(SimDuration::from_millis(15)),
+        loss: 0.0,
+    };
+    for a in 0..3u32 {
+        for b in 0..3u32 {
+            if a != b {
+                udr.net
+                    .topology_mut()
+                    .set_link(SiteId(a), SiteId(b), wan.clone());
+            }
+        }
+    }
+    let mut subs = Vec::new();
+    for r in 0..3u64 {
+        let subscriber = ids(r + 1);
+        let out = udr.provision_subscriber(
+            &subscriber,
+            r as u32,
+            SiteId(0),
+            SimTime::ZERO + SimDuration::from_millis(1 + r),
+        );
+        assert!(out.is_ok(), "provisioning failed: {:?}", out.op.result);
+        subs.push(subscriber);
+    }
+    (udr, subs)
+}
+
+fn write_op(subscriber: &IdentitySet, value: u64) -> LdapOp {
+    LdapOp::Modify {
+        dn: Dn::for_identity(Identity::Imsi(subscriber.imsi.clone())),
+        mods: vec![AttrMod::Set(AttrId::OdbMask, AttrValue::U64(value))],
+    }
+}
+
+fn read_op(subscriber: &IdentitySet) -> LdapOp {
+    LdapOp::Search {
+        base: Dn::for_identity(Identity::Imsi(subscriber.imsi.clone())),
+        attrs: vec![AttrId::OdbMask],
+    }
+}
+
+fn cut_site2(udr: &mut Udr) {
+    udr.schedule_script(&FaultScript::new(1).clean_partition(
+        t(10),
+        SimDuration::from_secs(20),
+        [SiteId(2)],
+    ));
+}
+
+#[test]
+fn async_cross_cut_write_fails_typed() {
+    let (mut udr, subs) = build(
+        ReplicationMode::AsyncMasterSlave,
+        ReadPolicy::NearestCopy,
+        11,
+    );
+    cut_site2(&mut udr);
+    // Sub homed at site 2 written from site 0: the master sits on the far
+    // side of the cut.
+    let out = udr.execute_op(&write_op(&subs[2], 7), TxnClass::FrontEnd, SiteId(0), t(15));
+    let err = out.result.unwrap_err();
+    assert!(
+        err.is_partition_induced(),
+        "expected a typed partition error, got {err:?}"
+    );
+    assert!(!matches!(err, UdrError::Timeout));
+}
+
+#[test]
+fn sync_modes_fail_replication_typed_during_cut() {
+    for mode in [
+        ReplicationMode::DualInSequence,
+        ReplicationMode::Quorum { n: 3, w: 2, r: 2 },
+    ] {
+        let (mut udr, subs) = build(mode, ReadPolicy::NearestCopy, 13);
+        cut_site2(&mut udr);
+        // Written at its home site: the master commits locally but the
+        // replication requirement reaches across the cut.
+        let out = udr.execute_op(&write_op(&subs[2], 9), TxnClass::FrontEnd, SiteId(2), t(15));
+        let err = out.result.unwrap_err();
+        assert!(
+            matches!(err, UdrError::ReplicationFailed { .. }),
+            "{mode}: expected ReplicationFailed, got {err:?}"
+        );
+        assert!(err.is_partition_induced());
+        assert_eq!(udr.metrics.partial_commits, 1, "{mode}");
+    }
+}
+
+#[test]
+fn master_only_cross_cut_read_fails_typed() {
+    let (mut udr, subs) = build(ReplicationMode::MultiMaster, ReadPolicy::MasterOnly, 17);
+    cut_site2(&mut udr);
+    let out = udr.execute_op(&read_op(&subs[2]), TxnClass::FrontEnd, SiteId(0), t(15));
+    let err = out.result.unwrap_err();
+    assert!(
+        err.is_partition_induced(),
+        "expected a typed partition error, got {err:?}"
+    );
+    // Nearest-copy reads of the same record keep being served locally —
+    // the AP half of the same deployment.
+    let (mut udr, subs) = build(ReplicationMode::MultiMaster, ReadPolicy::NearestCopy, 17);
+    cut_site2(&mut udr);
+    let out = udr.execute_op(&read_op(&subs[2]), TxnClass::FrontEnd, SiteId(0), t(15));
+    assert!(out.is_ok(), "nearest-copy read failed: {:?}", out.result);
+}
+
+#[test]
+fn one_way_loss_is_grey_not_partitioned() {
+    let (mut udr, subs) = build(
+        ReplicationMode::AsyncMasterSlave,
+        ReadPolicy::NearestCopy,
+        19,
+    );
+    udr.schedule_script(&FaultScript::new(2).asymmetric_loss(
+        t(10),
+        SimDuration::from_secs(20),
+        [SiteId(2)],
+    ));
+    udr.advance_to(t(12));
+    assert!(udr.net.degraded());
+    assert!(!udr.net.partitioned());
+    assert!(udr.net.reachable(SiteId(2), SiteId(0)));
+    // Crossing the bad direction times out — a grey failure, not a typed
+    // partition (failure detectors cannot see it either).
+    let out = udr.execute_op(&write_op(&subs[0], 3), TxnClass::FrontEnd, SiteId(2), t(15));
+    let err = out.result.unwrap_err();
+    assert!(matches!(err, UdrError::Timeout), "got {err:?}");
+    assert!(!err.is_partition_induced());
+    // Local reads on the lossy island still serve.
+    let out = udr.execute_op(&read_op(&subs[2]), TxnClass::FrontEnd, SiteId(2), t(16));
+    assert!(out.is_ok());
+    // The window clears on schedule.
+    udr.advance_to(t(31));
+    assert!(!udr.net.degraded());
+    let out = udr.execute_op(&write_op(&subs[0], 4), TxnClass::FrontEnd, SiteId(2), t(32));
+    assert!(out.is_ok(), "post-heal write failed: {:?}", out.result);
+}
+
+#[test]
+fn wan_degrade_stretches_remote_reads() {
+    let (mut udr, subs) = build(
+        ReplicationMode::AsyncMasterSlave,
+        ReadPolicy::MasterOnly,
+        23,
+    );
+    udr.schedule_script(&FaultScript::new(3).wan_degradation(
+        t(10),
+        SimDuration::from_secs(20),
+        8.0,
+        0.0,
+    ));
+    // Remote master-only read during the brown-out vs after it.
+    let slow = udr.execute_op(&read_op(&subs[2]), TxnClass::FrontEnd, SiteId(0), t(15));
+    assert!(slow.is_ok(), "degraded read failed: {:?}", slow.result);
+    let fast = udr.execute_op(&read_op(&subs[2]), TxnClass::FrontEnd, SiteId(0), t(35));
+    assert!(fast.is_ok());
+    assert!(
+        slow.latency > fast.latency * 3,
+        "8× brown-out barely visible: {} vs {}",
+        slow.latency,
+        fast.latency
+    );
+}
+
+#[test]
+fn replication_relag_and_settle_after_heal() {
+    let (mut udr, subs) = build(
+        ReplicationMode::AsyncMasterSlave,
+        ReadPolicy::NearestCopy,
+        29,
+    );
+    cut_site2(&mut udr);
+    // Writes at site 0 during the cut: the site-2 slave cannot apply them.
+    for i in 0..4u64 {
+        let out = udr.execute_op(
+            &write_op(&subs[0], 100 + i),
+            TxnClass::FrontEnd,
+            SiteId(0),
+            t(15 + i),
+        );
+        assert!(out.is_ok(), "home write failed: {:?}", out.result);
+    }
+    udr.advance_to(t(25));
+    assert!(udr.max_replica_lag() >= 4, "lag {}", udr.max_replica_lag());
+    assert!(!udr.replication_settled());
+    // After heal, periodic catch-up drains the backlog.
+    udr.advance_to(t(32));
+    assert_eq!(udr.max_replica_lag(), 0);
+    assert!(udr.replication_settled());
+}
+
+#[test]
+fn flapping_cycles_cut_and_heal() {
+    let (mut udr, _) = build(
+        ReplicationMode::AsyncMasterSlave,
+        ReadPolicy::NearestCopy,
+        31,
+    );
+    // Two 3 s-down / 2 s-up cycles starting at t=10.
+    udr.schedule_script(&FaultScript::new(4).flapping(
+        t(10),
+        [SiteId(2)],
+        2,
+        SimDuration::from_secs(3),
+        SimDuration::from_secs(2),
+    ));
+    udr.advance_to(t(11)); // 1 s into cycle 1's down window (≥ 2.4 s long)
+    assert!(udr.net.partitioned());
+    udr.advance_to(t(14)); // past the longest possible down window
+    assert!(!udr.net.partitioned());
+    udr.advance_to(t(16)); // 1 s into cycle 2's down window
+    assert!(udr.net.partitioned());
+    udr.advance_to(t(21));
+    assert!(!udr.net.partitioned());
+    assert!(udr.replication_settled());
+}
+
+#[test]
+fn se_outage_script_crashes_and_restores() {
+    let (mut udr, subs) = build(
+        ReplicationMode::AsyncMasterSlave,
+        ReadPolicy::NearestCopy,
+        37,
+    );
+    udr.schedule_script(&FaultScript::new(5).se_outage(t(10), SimDuration::from_secs(15), SeId(0)));
+    udr.advance_to(t(11));
+    assert!(!udr.se(SeId(0)).is_up());
+    // Failover (5 s detection) moves sub 0's master off the crashed SE;
+    // writes work again before the SE even restores.
+    let out = udr.execute_op(
+        &write_op(&subs[0], 55),
+        TxnClass::FrontEnd,
+        SiteId(0),
+        t(18),
+    );
+    assert!(out.is_ok(), "post-failover write failed: {:?}", out.result);
+    assert_eq!(udr.metrics.failovers, 1);
+    udr.advance_to(t(26));
+    assert!(udr.se(SeId(0)).is_up());
+    udr.advance_to(t(30));
+    assert!(udr.replication_settled());
+}

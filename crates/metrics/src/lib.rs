@@ -11,6 +11,9 @@
 //!   intermediate read policies (bounded staleness, session guarantees);
 //! * [`qos`] — per-priority-class offered/admitted/shed/goodput
 //!   accounting for the admission-control subsystem;
+//! * [`verdict`] — the CAP verdict matrix: per (replication mode × read
+//!   policy × fault scenario) cell accounting of availability windows,
+//!   consistency debt and post-heal durability for fault campaigns;
 //! * [`series`] — gauge time series (PS back-log depth, §3.3);
 //! * [`report`] — fixed-width tables for paper-style output.
 
@@ -23,6 +26,7 @@ pub mod qos;
 pub mod report;
 pub mod series;
 pub mod staleness;
+pub mod verdict;
 
 pub use availability::{AvailabilityLedger, OpCounter};
 pub use guarantees::GuaranteeTracker;
@@ -31,3 +35,4 @@ pub use qos::{ClassCounters, QosTracker};
 pub use report::{pct, thousands, Table};
 pub use series::TimeSeries;
 pub use staleness::StalenessTracker;
+pub use verdict::{CapVerdict, VerdictMatrix};

@@ -1,9 +1,11 @@
-//! Property tests for the measurement substrate: histogram accuracy bounds
-//! and availability-ledger arithmetic.
+//! Property tests for the measurement substrate: histogram accuracy bounds,
+//! availability-ledger arithmetic and CAP-verdict accounting.
 
 use proptest::prelude::*;
 
-use udr_metrics::{AvailabilityLedger, Histogram, OpCounter};
+use udr_metrics::{AvailabilityLedger, CapVerdict, Histogram, OpCounter};
+use udr_model::error::UdrError;
+use udr_model::ids::SeId;
 use udr_model::time::{SimDuration, SimTime};
 
 proptest! {
@@ -99,5 +101,51 @@ proptest! {
         d.merge(&c);
         d.merge(&c);
         prop_assert_eq!(d.attempts(), 2 * c.attempts());
+    }
+
+    /// CapVerdict accounting conserves operations: attempts split exactly
+    /// into served + by-design + unexpected, availabilities stay in
+    /// [0, 1], and the windowed counters sum to the total.
+    #[test]
+    fn cap_verdict_conserves_operations(
+        ops in prop::collection::vec((any::<bool>(), any::<bool>(), 0u8..4), 0..300),
+    ) {
+        let mut v = CapVerdict::new("m", "p", "s", "PA/EL");
+        let mut served = 0u64;
+        let mut failed = 0u64;
+        for (is_write, in_fault, outcome) in &ops {
+            let failure = match outcome {
+                0 => None,
+                1 => Some(UdrError::Unreachable { se: SeId(0), reason: "partition" }),
+                2 => Some(UdrError::Timeout),
+                _ => Some(UdrError::TxnInvalid),
+            };
+            match &failure {
+                None => served += 1,
+                Some(_) => failed += 1,
+            }
+            v.record(*is_write, *in_fault, failure.as_ref());
+        }
+        prop_assert_eq!(v.total_ops(), ops.len() as u64);
+        prop_assert_eq!(
+            v.total_ops(),
+            v.reads_in_fault + v.writes_in_fault + v.reads_outside + v.writes_outside
+        );
+        let ok = v.reads_ok_in_fault + v.writes_ok_in_fault
+            + v.reads_ok_outside + v.writes_ok_outside;
+        prop_assert_eq!(ok, served);
+        prop_assert_eq!(v.unavailable_by_design + v.unexpected_failures, failed);
+        prop_assert!(v.generic_timeouts <= v.unavailable_by_design);
+        for a in [
+            v.read_availability_in_fault(),
+            v.write_availability_in_fault(),
+            v.availability_in_fault(),
+            v.availability_outside(),
+        ] {
+            prop_assert!((0.0..=1.0).contains(&a), "availability {a} out of range");
+        }
+        // Soundness is exactly "no bug-class failure was recorded" here
+        // (the oracle fields stay zero in this synthetic run).
+        prop_assert_eq!(v.sound(), v.unexpected_failures == 0);
     }
 }

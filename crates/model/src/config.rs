@@ -524,9 +524,13 @@ impl FrashConfig {
             // being served during partitions => PA. Bounded and session
             // reads stall once the minority side can no longer satisfy
             // their freshness floor, so like master-only they fail
-            // alongside writes => PC.
+            // alongside writes => PC. Quorum replication overrides the
+            // policy axis entirely: every read consults an r-ensemble
+            // that spans sites in a geo-dispersed deployment, so a cut
+            // side that cannot assemble r copies stops reading => PC.
             TxnClass::FrontEnd => {
-                self.fe_read_policy.tolerates_unbounded_staleness()
+                let quorum_reads = matches!(self.replication, ReplicationMode::Quorum { .. });
+                (!quorum_reads && self.fe_read_policy.tolerates_unbounded_staleness())
                     || self.replication.writes_survive_partition()
             }
             // PS traffic is write-heavy: only multi-master keeps it alive.
@@ -575,6 +579,19 @@ mod tests {
         let c = FrashConfig::default();
         assert_eq!(c.pacelc_for(TxnClass::FrontEnd), Pacelc::PA_EL);
         assert_eq!(c.pacelc_for(TxnClass::Provisioning), Pacelc::PC_EC);
+    }
+
+    #[test]
+    fn quorum_reads_are_never_partition_available() {
+        // §5's ensemble point: reads consult r copies, so no read policy
+        // label can make front-end traffic PA under quorum replication.
+        let c = FrashConfig {
+            replication: ReplicationMode::Quorum { n: 3, w: 2, r: 2 },
+            replication_factor: 3,
+            fe_read_policy: ReadPolicy::NearestCopy,
+            ..Default::default()
+        };
+        assert_eq!(c.pacelc_for(TxnClass::FrontEnd), Pacelc::PC_EC);
     }
 
     #[test]

@@ -158,6 +158,22 @@ impl UdrError {
     pub fn is_retryable(&self) -> bool {
         self.is_availability_failure() || matches!(self, UdrError::WriteConflict(_))
     }
+
+    /// True for failures a network partition *caused and typed as such*:
+    /// an unreachable copy on the far side of a cut, or a replication
+    /// requirement the cut made unmeetable. Fault campaigns use this to
+    /// separate "unavailable by design" from generic timeouts (message
+    /// loss) and from outright bugs — during a clean partition every
+    /// failure must satisfy this predicate.
+    pub fn is_partition_induced(&self) -> bool {
+        matches!(
+            self,
+            UdrError::Unreachable {
+                reason: "partition",
+                ..
+            } | UdrError::ReplicationFailed { .. }
+        )
+    }
 }
 
 #[cfg(test)]
@@ -191,6 +207,28 @@ mod tests {
         assert!(UdrError::WriteConflict(SubscriberUid(1)).is_retryable());
         assert!(UdrError::Overload.is_retryable());
         assert!(!UdrError::AlreadyExists(SubscriberUid(1)).is_retryable());
+    }
+
+    #[test]
+    fn partition_induced_classification() {
+        assert!(UdrError::Unreachable {
+            se: SeId(0),
+            reason: "partition"
+        }
+        .is_partition_induced());
+        assert!(UdrError::ReplicationFailed {
+            acked: 1,
+            required: 2
+        }
+        .is_partition_induced());
+        // A crash or a lost message is not a *partition* failure.
+        assert!(!UdrError::Unreachable {
+            se: SeId(0),
+            reason: "crashed"
+        }
+        .is_partition_induced());
+        assert!(!UdrError::Timeout.is_partition_induced());
+        assert!(!UdrError::SeUnavailable(SeId(1)).is_partition_induced());
     }
 
     #[test]

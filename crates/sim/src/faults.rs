@@ -1,6 +1,7 @@
 //! Fault schedules: the unplanned events of §3.1 ("on unplanned events
 //! contents of volatile media may vanish") and the partition incidents of
-//! §4.1 ("a network glitch as short as 30 seconds").
+//! §4.1 ("a network glitch as short as 30 seconds") — plus the seeded,
+//! composable [`FaultScript`] campaigns the CAP verdict matrix replays.
 
 use std::collections::BTreeSet;
 
@@ -8,6 +9,7 @@ use udr_model::ids::{SeId, SiteId};
 use udr_model::time::{SimDuration, SimTime};
 
 use crate::net::Cut;
+use crate::rng::SimRng;
 
 /// One fault to inject at a point in virtual time.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,6 +25,27 @@ pub enum Fault {
     /// `duration` (intra-site traffic unaffected).
     BackboneGlitch {
         /// Glitch length (§4.1's example is 30 s).
+        duration: SimDuration,
+    },
+    /// Asymmetric one-way loss: every message *leaving* the `from` set is
+    /// silently dropped for `duration`; reverse-direction and intra-set
+    /// traffic flows normally. Reachability (and hence failure detection)
+    /// is unaffected — the grey-failure counterpart of a clean partition.
+    OneWayLoss {
+        /// Sites whose outbound inter-site traffic is black-holed.
+        from: BTreeSet<SiteId>,
+        /// How long the loss window lasts.
+        duration: SimDuration,
+    },
+    /// Backbone brown-out: every inter-site message pays
+    /// `latency_factor ×` delay and an extra `loss` drop probability for
+    /// `duration`.
+    WanDegrade {
+        /// Multiplier on sampled one-way backbone delays.
+        latency_factor: f64,
+        /// Extra drop probability per message.
+        loss: f64,
+        /// How long the brown-out lasts.
         duration: SimDuration,
     },
     /// Crash a storage element; its RAM contents vanish (§3.1).
@@ -86,6 +109,42 @@ impl FaultSchedule {
         self
     }
 
+    /// Black-hole all traffic leaving `from` starting at `at`.
+    pub fn one_way_loss<I: IntoIterator<Item = SiteId>>(
+        mut self,
+        at: SimTime,
+        duration: SimDuration,
+        from: I,
+    ) -> Self {
+        self.entries.push((
+            at,
+            Fault::OneWayLoss {
+                from: from.into_iter().collect(),
+                duration,
+            },
+        ));
+        self
+    }
+
+    /// Degrade the whole backbone starting at `at`.
+    pub fn wan_degrade(
+        mut self,
+        at: SimTime,
+        duration: SimDuration,
+        latency_factor: f64,
+        loss: f64,
+    ) -> Self {
+        self.entries.push((
+            at,
+            Fault::WanDegrade {
+                latency_factor,
+                loss,
+                duration,
+            },
+        ));
+        self
+    }
+
     /// Consume into time-sorted `(time, fault)` pairs, stable for equal
     /// timestamps.
     pub fn into_sorted(mut self) -> Vec<(SimTime, Fault)> {
@@ -131,6 +190,311 @@ impl Fault {
         (0..total_sites.saturating_sub(1) as u32)
             .map(|s| Cut::isolating([SiteId(s)]))
             .collect()
+    }
+}
+
+/// One timed phase of a [`FaultScript`] campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultPhase {
+    /// A clean site partition: `island` cut off for `duration`.
+    CleanPartition {
+        /// When the cut starts.
+        at: SimTime,
+        /// How long it lasts before healing.
+        duration: SimDuration,
+        /// Sites on the isolated side.
+        island: BTreeSet<SiteId>,
+    },
+    /// Asymmetric one-way link loss: traffic leaving `from` black-holed.
+    AsymmetricLoss {
+        /// When the loss window starts.
+        at: SimTime,
+        /// How long it lasts.
+        duration: SimDuration,
+        /// Sites whose outbound inter-site traffic is dropped.
+        from: BTreeSet<SiteId>,
+    },
+    /// Link flapping: `cycles` short partitions of `island`, each holding
+    /// roughly `down` (jittered deterministically from the script seed),
+    /// spaced `down + up` apart.
+    LinkFlapping {
+        /// When the first flap starts.
+        at: SimTime,
+        /// Sites on the flapping side.
+        island: BTreeSet<SiteId>,
+        /// Number of down/up cycles.
+        cycles: u32,
+        /// Nominal down window per cycle (jittered to 80–100 %).
+        down: SimDuration,
+        /// Up window between cuts.
+        up: SimDuration,
+    },
+    /// WAN degradation: the backbone browns out for `duration`.
+    WanDegradation {
+        /// When the brown-out starts.
+        at: SimTime,
+        /// How long it lasts.
+        duration: SimDuration,
+        /// Multiplier on backbone delays.
+        latency_factor: f64,
+        /// Extra per-message drop probability.
+        loss: f64,
+    },
+    /// A storage element crashes and restores after `outage`.
+    SeOutage {
+        /// When the crash happens.
+        at: SimTime,
+        /// Crash-to-restore gap.
+        outage: SimDuration,
+        /// The element that fails.
+        se: SeId,
+    },
+    /// A storage element crashes permanently (no restore in this script).
+    SeCrash {
+        /// When the crash happens.
+        at: SimTime,
+        /// The element that fails.
+        se: SeId,
+    },
+}
+
+impl FaultPhase {
+    /// The virtual-time span `[start, end)` during which this phase's
+    /// fault is active. A permanent [`FaultPhase::SeCrash`] reports an
+    /// empty span at its crash instant (it never heals).
+    pub fn span(&self) -> (SimTime, SimTime) {
+        match self {
+            FaultPhase::CleanPartition { at, duration, .. }
+            | FaultPhase::AsymmetricLoss { at, duration, .. }
+            | FaultPhase::WanDegradation { at, duration, .. } => (*at, *at + *duration),
+            FaultPhase::LinkFlapping {
+                at,
+                cycles,
+                down,
+                up,
+                ..
+            } => (*at, *at + (*down + *up) * u64::from(*cycles)),
+            FaultPhase::SeOutage { at, outage, .. } => (*at, *at + *outage),
+            FaultPhase::SeCrash { at, .. } => (*at, *at),
+        }
+    }
+}
+
+/// A composable, seeded fault campaign: timed phases that compile into a
+/// deterministic [`FaultSchedule`] timeline.
+///
+/// The determinism contract every experiment and the CI regression lean
+/// on: **the compiled timeline is a pure function of the script** (its
+/// phases and its seed). Replaying the same script against the same
+/// deployment seed therefore reproduces the identical fault sequence —
+/// and, because the whole simulator is seeded, identical metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultScript {
+    seed: u64,
+    phases: Vec<FaultPhase>,
+}
+
+impl FaultScript {
+    /// An empty script compiled under `seed` (only jittered phases —
+    /// flapping — consume randomness; all of it derives from this seed).
+    pub fn new(seed: u64) -> Self {
+        FaultScript {
+            seed,
+            phases: Vec::new(),
+        }
+    }
+
+    /// The script's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Append an already-built phase.
+    pub fn phase(mut self, phase: FaultPhase) -> Self {
+        self.phases.push(phase);
+        self
+    }
+
+    /// The phases in insertion order.
+    pub fn phases(&self) -> &[FaultPhase] {
+        &self.phases
+    }
+
+    /// Add a clean partition of `island`.
+    pub fn clean_partition<I: IntoIterator<Item = SiteId>>(
+        self,
+        at: SimTime,
+        duration: SimDuration,
+        island: I,
+    ) -> Self {
+        self.phase(FaultPhase::CleanPartition {
+            at,
+            duration,
+            island: island.into_iter().collect(),
+        })
+    }
+
+    /// Add an asymmetric one-way loss window.
+    pub fn asymmetric_loss<I: IntoIterator<Item = SiteId>>(
+        self,
+        at: SimTime,
+        duration: SimDuration,
+        from: I,
+    ) -> Self {
+        self.phase(FaultPhase::AsymmetricLoss {
+            at,
+            duration,
+            from: from.into_iter().collect(),
+        })
+    }
+
+    /// Add a link-flapping phase.
+    pub fn flapping<I: IntoIterator<Item = SiteId>>(
+        self,
+        at: SimTime,
+        island: I,
+        cycles: u32,
+        down: SimDuration,
+        up: SimDuration,
+    ) -> Self {
+        self.phase(FaultPhase::LinkFlapping {
+            at,
+            island: island.into_iter().collect(),
+            cycles,
+            down,
+            up,
+        })
+    }
+
+    /// Add a WAN degradation window.
+    pub fn wan_degradation(
+        self,
+        at: SimTime,
+        duration: SimDuration,
+        latency_factor: f64,
+        loss: f64,
+    ) -> Self {
+        self.phase(FaultPhase::WanDegradation {
+            at,
+            duration,
+            latency_factor,
+            loss,
+        })
+    }
+
+    /// Add an SE crash + restore pair.
+    pub fn se_outage(self, at: SimTime, outage: SimDuration, se: SeId) -> Self {
+        self.phase(FaultPhase::SeOutage { at, outage, se })
+    }
+
+    /// Add a permanent SE crash.
+    pub fn se_crash(self, at: SimTime, se: SeId) -> Self {
+        self.phase(FaultPhase::SeCrash { at, se })
+    }
+
+    /// Number of phases.
+    pub fn len(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Whether the script has no phases.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// Active spans of every phase, in insertion order.
+    pub fn spans(&self) -> Vec<(SimTime, SimTime)> {
+        self.phases.iter().map(FaultPhase::span).collect()
+    }
+
+    /// Whether any phase's fault is active at `t` (half-open spans).
+    pub fn active_at(&self, t: SimTime) -> bool {
+        self.phases.iter().any(|p| {
+            let (start, end) = p.span();
+            start <= t && t < end
+        })
+    }
+
+    /// When the last phase's fault window closes (`SimTime::ZERO` for an
+    /// empty script).
+    pub fn end(&self) -> SimTime {
+        self.phases
+            .iter()
+            .map(|p| p.span().1)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// The instants at which SEs crash (for drivers that quiesce writes
+    /// around volatile-media loss).
+    pub fn crash_instants(&self) -> Vec<SimTime> {
+        self.phases
+            .iter()
+            .filter_map(|p| match p {
+                FaultPhase::SeOutage { at, .. } | FaultPhase::SeCrash { at, .. } => Some(*at),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Compile the script into a concrete fault schedule. Deterministic:
+    /// the only randomness (flap-window jitter) comes from a per-phase
+    /// fork of the script seed, so identical scripts always yield
+    /// identical timelines.
+    pub fn compile(&self) -> FaultSchedule {
+        let mut schedule = FaultSchedule::new();
+        for (i, phase) in self.phases.iter().enumerate() {
+            match phase {
+                FaultPhase::CleanPartition {
+                    at,
+                    duration,
+                    island,
+                } => {
+                    schedule = schedule.partition(*at, *duration, island.iter().copied());
+                }
+                FaultPhase::AsymmetricLoss { at, duration, from } => {
+                    schedule = schedule.one_way_loss(*at, *duration, from.iter().copied());
+                }
+                FaultPhase::LinkFlapping {
+                    at,
+                    island,
+                    cycles,
+                    down,
+                    up,
+                } => {
+                    let mut rng = SimRng::seed_from_u64(
+                        self.seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    for c in 0..*cycles {
+                        let jitter = 0.8 + 0.2 * rng.uniform();
+                        let start = *at + (*down + *up) * u64::from(c);
+                        schedule =
+                            schedule.partition(start, down.mul_f64(jitter), island.iter().copied());
+                    }
+                }
+                FaultPhase::WanDegradation {
+                    at,
+                    duration,
+                    latency_factor,
+                    loss,
+                } => {
+                    schedule = schedule.wan_degrade(*at, *duration, *latency_factor, *loss);
+                }
+                FaultPhase::SeOutage { at, outage, se } => {
+                    schedule = schedule.se_outage(*at, *outage, *se);
+                }
+                FaultPhase::SeCrash { at, se } => {
+                    schedule = schedule.se_crash(*at, *se);
+                }
+            }
+        }
+        schedule
+    }
+
+    /// The compiled timeline as time-sorted `(time, fault)` pairs —
+    /// what two replays of the same script must agree on byte-for-byte.
+    pub fn timeline(&self) -> Vec<(SimTime, Fault)> {
+        self.compile().into_sorted()
     }
 }
 
@@ -187,5 +551,93 @@ mod tests {
         let s = FaultSchedule::new();
         assert!(s.is_empty());
         assert_eq!(s.len(), 0);
+    }
+
+    fn secs(v: u64) -> SimDuration {
+        SimDuration::from_secs(v)
+    }
+
+    fn at(v: u64) -> SimTime {
+        SimTime::ZERO + secs(v)
+    }
+
+    #[test]
+    fn script_compiles_every_phase_kind() {
+        let script = FaultScript::new(42)
+            .clean_partition(at(10), secs(20), [SiteId(2)])
+            .asymmetric_loss(at(40), secs(10), [SiteId(1)])
+            .flapping(at(60), [SiteId(2)], 3, secs(3), secs(2))
+            .wan_degradation(at(80), secs(10), 8.0, 0.02)
+            .se_outage(at(100), secs(15), SeId(0))
+            .se_crash(at(130), SeId(1));
+        assert_eq!(script.len(), 6);
+        let timeline = script.timeline();
+        // partition + loss + 3 flaps + degrade + (crash, restore) + crash
+        assert_eq!(timeline.len(), 9);
+        assert!(timeline.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert!(timeline
+            .iter()
+            .any(|(_, f)| matches!(f, Fault::OneWayLoss { .. })));
+        assert!(timeline
+            .iter()
+            .any(|(_, f)| matches!(f, Fault::WanDegrade { .. })));
+        assert_eq!(
+            timeline
+                .iter()
+                .filter(|(_, f)| matches!(f, Fault::Partition { .. }))
+                .count(),
+            4
+        );
+    }
+
+    #[test]
+    fn script_compile_is_deterministic_per_seed() {
+        let build = |seed| {
+            FaultScript::new(seed)
+                .flapping(at(10), [SiteId(2)], 5, secs(4), secs(3))
+                .flapping(at(60), [SiteId(1)], 4, secs(2), secs(2))
+        };
+        assert_eq!(build(7).timeline(), build(7).timeline());
+        // A different seed jitters the flap windows differently.
+        assert_ne!(build(7).timeline(), build(8).timeline());
+    }
+
+    #[test]
+    fn flap_jitter_stays_inside_the_cycle() {
+        let script = FaultScript::new(3).flapping(at(0), [SiteId(0)], 8, secs(5), secs(5));
+        for (start, fault) in script.timeline() {
+            let Fault::Partition { duration, .. } = fault else {
+                panic!("flapping compiles to partitions");
+            };
+            assert!(duration <= secs(5), "down window exceeds nominal");
+            assert!(duration >= secs(4), "jitter must stay within 80–100 %");
+            // Each cut heals before the next cycle begins.
+            assert!(start + duration <= start + secs(10));
+        }
+    }
+
+    #[test]
+    fn script_spans_and_activity() {
+        let script = FaultScript::new(1)
+            .clean_partition(at(10), secs(20), [SiteId(2)])
+            .flapping(at(50), [SiteId(1)], 2, secs(3), secs(2));
+        assert_eq!(script.spans(), vec![(at(10), at(30)), (at(50), at(60))]);
+        assert!(!script.active_at(at(5)));
+        assert!(script.active_at(at(10)));
+        assert!(script.active_at(at(29)));
+        assert!(!script.active_at(at(30)));
+        assert!(script.active_at(at(55)));
+        assert_eq!(script.end(), at(60));
+        assert!(FaultScript::new(0).timeline().is_empty());
+        assert_eq!(FaultScript::new(0).end(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn crash_instants_cover_outages_and_permanent_crashes() {
+        let script = FaultScript::new(2)
+            .se_outage(at(20), secs(10), SeId(1))
+            .clean_partition(at(40), secs(5), [SiteId(0)])
+            .se_crash(at(70), SeId(2));
+        assert_eq!(script.crash_instants(), vec![at(20), at(70)]);
     }
 }

@@ -20,9 +20,10 @@ pub mod rng;
 pub mod service;
 
 pub use event::EventQueue;
-pub use faults::{Fault, FaultSchedule};
+pub use faults::{Fault, FaultPhase, FaultSchedule, FaultScript};
 pub use net::{
-    Cut, CutHandle, LatencyModel, LinkOutcome, LinkProfile, NetStats, Network, Topology,
+    Cut, CutHandle, Degrade, DegradeHandle, LatencyModel, LinkOutcome, LinkProfile, NetStats,
+    Network, Topology,
 };
 pub use rng::SimRng;
 pub use service::{Overload, Station};

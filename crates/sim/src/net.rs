@@ -149,6 +149,70 @@ impl Topology {
     }
 }
 
+/// A non-binary link fault: extra loss probability and/or a latency
+/// multiplier applied to matching inter-site messages while active.
+///
+/// Unlike a [`Cut`], a degrade never changes *reachability* — the pair
+/// still counts as connected, failure detectors do not fire, and the
+/// damage shows up as lost messages (client-visible timeouts) and
+/// stretched delays. This is the grey-failure half of the fault
+/// vocabulary: asymmetric one-way loss and WAN brown-outs, which real
+/// backbones produce far more often than clean partitions.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Degrade {
+    /// Sending sites the degrade applies to (empty = any site).
+    pub from: BTreeSet<SiteId>,
+    /// Receiving sites the degrade applies to (empty = any site outside
+    /// `from`, i.e. messages *leaving* the `from` set).
+    pub to: BTreeSet<SiteId>,
+    /// Extra probability that a matching message is silently lost.
+    pub loss: f64,
+    /// Multiplier on the sampled one-way delay of matching messages.
+    pub latency_factor: f64,
+}
+
+impl Degrade {
+    /// Asymmetric one-way black-hole: every message *leaving* the `from`
+    /// set is lost; traffic into and inside the set flows normally.
+    pub fn one_way_loss<I: IntoIterator<Item = SiteId>>(from: I) -> Self {
+        Degrade {
+            from: from.into_iter().collect(),
+            to: BTreeSet::new(),
+            loss: 1.0,
+            latency_factor: 1.0,
+        }
+    }
+
+    /// Backbone-wide brown-out: every inter-site message pays
+    /// `latency_factor ×` delay and an extra `loss` drop probability.
+    pub fn backbone(latency_factor: f64, loss: f64) -> Self {
+        Degrade {
+            from: BTreeSet::new(),
+            to: BTreeSet::new(),
+            loss,
+            latency_factor,
+        }
+    }
+
+    /// Whether this degrade applies to a message from `a` to `b`.
+    /// Intra-site traffic is never degraded.
+    pub fn applies(&self, a: SiteId, b: SiteId) -> bool {
+        if a == b {
+            return false;
+        }
+        if !self.from.is_empty() && !self.from.contains(&a) {
+            return false;
+        }
+        if self.to.is_empty() {
+            // Default receiver scope: anything outside the sender set
+            // (or, with an empty sender set too, any other site).
+            !self.from.contains(&b)
+        } else {
+            self.to.contains(&b)
+        }
+    }
+}
+
 /// An active network partition: the `island` cannot exchange messages with
 /// any site outside it. Multiple cuts may be active; reachability requires
 /// passing every cut.
@@ -199,6 +263,8 @@ pub struct Network {
     topo: Topology,
     cuts: Vec<(u64, Cut)>,
     next_cut_id: u64,
+    degrades: Vec<(u64, Degrade)>,
+    next_degrade_id: u64,
     /// Messages attempted/lost/blocked, for reporting.
     pub stats: NetStats,
 }
@@ -216,11 +282,17 @@ pub struct NetStats {
     pub blocked: u64,
     /// Messages that crossed the inter-site backbone.
     pub backbone_crossings: u64,
+    /// Messages delivered with a degrade latency factor applied.
+    pub degraded: u64,
 }
 
 /// Handle for healing a previously started partition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CutHandle(u64);
+
+/// Handle for healing a previously started link degradation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradeHandle(u64);
 
 impl Network {
     /// Wrap a topology with no active partitions.
@@ -229,6 +301,8 @@ impl Network {
             topo,
             cuts: Vec::new(),
             next_cut_id: 0,
+            degrades: Vec::new(),
+            next_degrade_id: 0,
             stats: NetStats::default(),
         }
     }
@@ -266,12 +340,47 @@ impl Network {
         !self.cuts.is_empty()
     }
 
+    /// Start a link degradation; returns the handle needed to heal it.
+    pub fn start_degrade(&mut self, degrade: Degrade) -> DegradeHandle {
+        let id = self.next_degrade_id;
+        self.next_degrade_id += 1;
+        self.degrades.push((id, degrade));
+        DegradeHandle(id)
+    }
+
+    /// Heal a link degradation. Healing twice is a no-op.
+    pub fn heal_degrade(&mut self, handle: DegradeHandle) {
+        self.degrades.retain(|(id, _)| *id != handle.0);
+    }
+
+    /// Whether any link degradation is currently active.
+    pub fn degraded(&self) -> bool {
+        !self.degrades.is_empty()
+    }
+
     /// Attempt to send a message from `a` to `b`, sampling delay and loss.
     pub fn send(&mut self, a: SiteId, b: SiteId, rng: &mut SimRng) -> LinkOutcome {
         self.stats.attempts += 1;
         if !self.reachable(a, b) {
             self.stats.blocked += 1;
             return LinkOutcome::Unreachable;
+        }
+        // Active degrades: each matching one may drop the message or
+        // stretch its delay (factors compose multiplicatively).
+        let mut factor = 1.0;
+        let mut dropped = false;
+        for (_, d) in &self.degrades {
+            if d.applies(a, b) {
+                if d.loss > 0.0 && rng.chance(d.loss) {
+                    dropped = true;
+                    break;
+                }
+                factor *= d.latency_factor;
+            }
+        }
+        if dropped {
+            self.stats.lost += 1;
+            return LinkOutcome::Lost;
         }
         let link = self.topo.link(a, b);
         if link.loss > 0.0 && rng.chance(link.loss) {
@@ -282,7 +391,12 @@ impl Network {
             self.stats.backbone_crossings += 1;
         }
         self.stats.delivered += 1;
-        LinkOutcome::Delivered(link.latency.sample(rng))
+        let mut delay = link.latency.sample(rng);
+        if factor != 1.0 {
+            delay = delay.mul_f64(factor);
+            self.stats.degraded += 1;
+        }
+        LinkOutcome::Delivered(delay)
     }
 
     /// Sample a round-trip (two one-way messages); `None` when unreachable
@@ -419,6 +533,93 @@ mod tests {
         for _ in 0..5000 {
             assert!(m.sample(&mut rng) >= SimDuration::from_millis(6));
         }
+    }
+
+    #[test]
+    fn one_way_loss_is_asymmetric() {
+        let lan = LinkProfile::lossless(LatencyModel::Fixed(SimDuration::from_micros(100)));
+        let wan = LinkProfile::lossless(LatencyModel::Fixed(SimDuration::from_millis(10)));
+        let mut n = Network::new(Topology::full_mesh(3, lan, wan));
+        let mut rng = SimRng::seed_from_u64(7);
+        let h = n.start_degrade(Degrade::one_way_loss([SiteId(2)]));
+        // Reachability is unaffected — a degrade is not a partition.
+        assert!(n.reachable(SiteId(2), SiteId(0)));
+        assert!(!n.partitioned());
+        assert!(n.degraded());
+        // Messages leaving the island are black-holed...
+        assert_eq!(n.send(SiteId(2), SiteId(0), &mut rng), LinkOutcome::Lost);
+        // ...messages into the island and inside it still flow.
+        assert!(matches!(
+            n.send(SiteId(0), SiteId(2), &mut rng),
+            LinkOutcome::Delivered(_)
+        ));
+        assert!(matches!(
+            n.send(SiteId(2), SiteId(2), &mut rng),
+            LinkOutcome::Delivered(_)
+        ));
+        // Round trips crossing the bad direction fail either way around.
+        assert!(n.round_trip(SiteId(0), SiteId(2), &mut rng).is_none());
+        assert!(n.round_trip(SiteId(2), SiteId(1), &mut rng).is_none());
+        n.heal_degrade(h);
+        n.heal_degrade(h); // double heal is a no-op
+        assert!(!n.degraded());
+        assert!(matches!(
+            n.send(SiteId(2), SiteId(0), &mut rng),
+            LinkOutcome::Delivered(_)
+        ));
+    }
+
+    #[test]
+    fn backbone_degrade_stretches_latency_and_drops() {
+        let lan = LinkProfile::lossless(LatencyModel::Fixed(SimDuration::from_micros(100)));
+        let wan = LinkProfile::lossless(LatencyModel::Fixed(SimDuration::from_millis(10)));
+        let mut n = Network::new(Topology::full_mesh(2, lan, wan));
+        let mut rng = SimRng::seed_from_u64(9);
+        let h = n.start_degrade(Degrade::backbone(8.0, 0.25));
+        let mut delivered = 0u64;
+        let mut lost = 0u64;
+        for _ in 0..2000 {
+            match n.send(SiteId(0), SiteId(1), &mut rng) {
+                LinkOutcome::Delivered(d) => {
+                    assert_eq!(d, SimDuration::from_millis(80));
+                    delivered += 1;
+                }
+                LinkOutcome::Lost => lost += 1,
+                LinkOutcome::Unreachable => panic!("degrade must not partition"),
+            }
+        }
+        let frac = lost as f64 / 2000.0;
+        assert!((frac - 0.25).abs() < 0.05, "loss fraction {frac}");
+        assert_eq!(n.stats.degraded, delivered);
+        // Intra-site traffic is untouched.
+        let rtt = n.round_trip(SiteId(0), SiteId(0), &mut rng).unwrap();
+        assert_eq!(rtt, SimDuration::from_micros(200));
+        n.heal_degrade(h);
+        assert_eq!(
+            n.send(SiteId(0), SiteId(1), &mut rng),
+            LinkOutcome::Delivered(SimDuration::from_millis(10))
+        );
+    }
+
+    #[test]
+    fn degrade_scope_rules() {
+        let any = Degrade::backbone(2.0, 0.0);
+        assert!(any.applies(SiteId(0), SiteId(1)));
+        assert!(!any.applies(SiteId(1), SiteId(1)));
+        let leaving = Degrade::one_way_loss([SiteId(0), SiteId(1)]);
+        assert!(leaving.applies(SiteId(0), SiteId(2)));
+        assert!(!leaving.applies(SiteId(2), SiteId(0)));
+        // Traffic inside the sender set is not "leaving" it.
+        assert!(!leaving.applies(SiteId(0), SiteId(1)));
+        let directed = Degrade {
+            from: [SiteId(0)].into_iter().collect(),
+            to: [SiteId(1)].into_iter().collect(),
+            loss: 0.5,
+            latency_factor: 1.0,
+        };
+        assert!(directed.applies(SiteId(0), SiteId(1)));
+        assert!(!directed.applies(SiteId(0), SiteId(2)));
+        assert!(!directed.applies(SiteId(1), SiteId(0)));
     }
 
     #[test]

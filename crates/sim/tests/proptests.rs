@@ -1,14 +1,61 @@
 //! Property tests for the simulator: event ordering, network partition
-//! algebra and station conservation laws.
+//! algebra, station conservation laws and fault-script determinism.
 
 use proptest::prelude::*;
 
-use udr_model::ids::SiteId;
+use udr_model::ids::{SeId, SiteId};
 use udr_model::time::{SimDuration, SimTime};
 use udr_sim::event::EventQueue;
 use udr_sim::net::{Cut, Network, Topology};
 use udr_sim::service::Station;
-use udr_sim::SimRng;
+use udr_sim::{FaultPhase, FaultScript, SimRng};
+
+/// A random fault phase with small, valid-for-3-sites parameters.
+fn arb_phase() -> impl Strategy<Value = FaultPhase> {
+    let at = (0u64..120).prop_map(|s| SimTime::ZERO + SimDuration::from_secs(s));
+    let dur = (1u64..30).prop_map(SimDuration::from_secs);
+    let island = prop::collection::btree_set((0u32..3).prop_map(SiteId), 1..3);
+    prop_oneof![
+        (at.clone(), dur.clone(), island.clone()).prop_map(|(at, duration, island)| {
+            FaultPhase::CleanPartition {
+                at,
+                duration,
+                island,
+            }
+        }),
+        (at.clone(), dur.clone(), island.clone())
+            .prop_map(|(at, duration, from)| { FaultPhase::AsymmetricLoss { at, duration, from } }),
+        (at.clone(), island, 1u32..5, 1u64..6, 1u64..6).prop_map(
+            |(at, island, cycles, down, up)| FaultPhase::LinkFlapping {
+                at,
+                island,
+                cycles,
+                down: SimDuration::from_secs(down),
+                up: SimDuration::from_secs(up),
+            }
+        ),
+        (at.clone(), dur.clone(), 1.0f64..16.0, 0.0f64..0.3).prop_map(
+            |(at, duration, latency_factor, loss)| FaultPhase::WanDegradation {
+                at,
+                duration,
+                latency_factor,
+                loss,
+            }
+        ),
+        (at.clone(), dur, (0u32..3).prop_map(SeId))
+            .prop_map(|(at, outage, se)| FaultPhase::SeOutage { at, outage, se }),
+        (at, (0u32..3).prop_map(SeId)).prop_map(|(at, se)| FaultPhase::SeCrash { at, se }),
+    ]
+}
+
+/// A random fault script: a seed plus 1–5 random phases.
+fn arb_script() -> impl Strategy<Value = FaultScript> {
+    (any::<u64>(), prop::collection::vec(arb_phase(), 1..6)).prop_map(|(seed, phases)| {
+        phases
+            .into_iter()
+            .fold(FaultScript::new(seed), FaultScript::phase)
+    })
+}
 
 proptest! {
     /// Pops come out sorted by time with FIFO tie-break, regardless of the
@@ -99,6 +146,43 @@ proptest! {
         prop_assert_eq!(admitted, station.admitted);
         let horizon = last_done + SimDuration::from_micros(1);
         prop_assert!(station.utilization(horizon) <= 1.0 + 1e-9);
+    }
+
+    /// The same script always compiles to the identical fault timeline —
+    /// the determinism guarantee the CAP verdict matrix leans on.
+    #[test]
+    fn fault_script_compiles_deterministically(script in arb_script()) {
+        let a = script.timeline();
+        let b = script.clone().timeline();
+        prop_assert_eq!(&a, &b, "same script, different timelines");
+        // Timelines are time-sorted and every fault falls inside its
+        // phase's declared span.
+        for pair in a.windows(2) {
+            prop_assert!(pair[0].0 <= pair[1].0, "timeline out of order");
+        }
+        let end = script.end();
+        for (t, _) in &a {
+            prop_assert!(
+                *t <= end,
+                "fault at {:?} injected after the script end {:?}", t, end
+            );
+        }
+    }
+
+    /// Every phase's span brackets its compiled faults: the script is
+    /// active whenever one of its cuts/degrades/outages begins.
+    #[test]
+    fn fault_script_spans_cover_injection_instants(script in arb_script()) {
+        for (t, fault) in script.timeline() {
+            // Restores are heal events, not fault starts.
+            if matches!(fault, udr_sim::Fault::SeRestore { .. }) {
+                continue;
+            }
+            prop_assert!(
+                script.active_at(t) || script.spans().iter().any(|(s, e)| *s == *e && *s == t),
+                "fault injected at {:?} outside every active span", t
+            );
+        }
     }
 
     /// Sampled link delays are never below the model floor and never zero

@@ -1,9 +1,15 @@
-//! Fault-schedule generators: random SE outage processes (MTBF/MTTR) and
-//! the partition scenarios the paper's availability discussion needs.
+//! Fault-schedule generators: random SE outage processes (MTBF/MTTR),
+//! the partition scenarios the paper's availability discussion needs,
+//! and the named [`PartitionScenario`] catalogue the e22 fault-campaign
+//! grid sweeps.
 
+use std::fmt;
+use std::str::FromStr;
+
+use udr_model::error::UdrError;
 use udr_model::ids::{SeId, SiteId};
 use udr_model::time::{SimDuration, SimTime};
-use udr_sim::{FaultSchedule, SimRng};
+use udr_sim::{FaultSchedule, FaultScript, SimRng};
 
 /// Random SE outages: exponential time-between-failures and repair times.
 #[derive(Debug, Clone, Copy)]
@@ -64,6 +70,112 @@ pub fn periodic_partitions(
     schedule
 }
 
+/// The named fault archetypes of the e22 CAP verdict matrix — the ways a
+/// multi-national backbone actually fails, from the clean CAP textbook
+/// cut to the grey failures that dominate real incident logs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionScenario {
+    /// A clean site partition: the last site cut off for the whole fault
+    /// window, then healed — the §4.1 textbook CAP event.
+    CleanPartition,
+    /// Asymmetric one-way loss: traffic *leaving* the last site is
+    /// black-holed while reverse traffic flows; failure detectors see a
+    /// healthy link.
+    AsymmetricLoss,
+    /// Link flapping: the last site's backbone cuts and heals in short
+    /// jittered cycles — repeated partial heals, repeated re-divergence.
+    Flapping,
+    /// WAN degradation: no partition at all, but every backbone message
+    /// pays 8× latency and 2 % loss — the brown-out that stresses the
+    /// EL/EC half of PACELC.
+    WanDegradation,
+    /// A storage element crashes and restores mid-window: volatile media
+    /// loss, failover, rejoin and catch-up.
+    SeOutage,
+}
+
+impl PartitionScenario {
+    /// Every scenario, in campaign sweep order.
+    pub const ALL: [PartitionScenario; 5] = [
+        PartitionScenario::CleanPartition,
+        PartitionScenario::AsymmetricLoss,
+        PartitionScenario::Flapping,
+        PartitionScenario::WanDegradation,
+        PartitionScenario::SeOutage,
+    ];
+
+    /// Build the scenario's [`FaultScript`] for a `sites`-site deployment:
+    /// the fault targets the last site (or `SeId(0)` for the SE outage),
+    /// runs in `[at, at + duration)`, and compiles deterministically from
+    /// `seed`.
+    pub fn script(self, seed: u64, sites: u32, at: SimTime, duration: SimDuration) -> FaultScript {
+        assert!(sites >= 2, "fault scenarios need at least two sites");
+        let island = [SiteId(sites - 1)];
+        match self {
+            PartitionScenario::CleanPartition => {
+                FaultScript::new(seed).clean_partition(at, duration, island)
+            }
+            PartitionScenario::AsymmetricLoss => {
+                FaultScript::new(seed).asymmetric_loss(at, duration, island)
+            }
+            PartitionScenario::Flapping => {
+                // Fill the window with 3 s-down / 2 s-up cycles (down
+                // windows jittered to 80–100 % by the script seed).
+                let down = SimDuration::from_secs(3);
+                let up = SimDuration::from_secs(2);
+                let cycle = (down + up).as_nanos();
+                let cycles = (duration.as_nanos() / cycle).max(1) as u32;
+                FaultScript::new(seed).flapping(at, island, cycles, down, up)
+            }
+            PartitionScenario::WanDegradation => {
+                FaultScript::new(seed).wan_degradation(at, duration, 8.0, 0.02)
+            }
+            PartitionScenario::SeOutage => {
+                // Crash at the window start, restore at 3/4 of it: the
+                // tail covers failover, rejoin and catch-up.
+                FaultScript::new(seed).se_outage(at, duration.mul_f64(0.75), SeId(0))
+            }
+        }
+    }
+
+    /// Whether the scenario actually severs connectivity (a cut), as
+    /// opposed to degrading or crashing — the scenarios for which a
+    /// CP-leaning configuration must show an unavailability window.
+    pub fn severs_connectivity(self) -> bool {
+        matches!(
+            self,
+            PartitionScenario::CleanPartition | PartitionScenario::Flapping
+        )
+    }
+}
+
+impl fmt::Display for PartitionScenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PartitionScenario::CleanPartition => "clean-partition",
+            PartitionScenario::AsymmetricLoss => "asymmetric-loss",
+            PartitionScenario::Flapping => "link-flapping",
+            PartitionScenario::WanDegradation => "wan-degradation",
+            PartitionScenario::SeOutage => "se-outage",
+        })
+    }
+}
+
+impl FromStr for PartitionScenario {
+    type Err = UdrError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "clean-partition" => Ok(PartitionScenario::CleanPartition),
+            "asymmetric-loss" => Ok(PartitionScenario::AsymmetricLoss),
+            "link-flapping" => Ok(PartitionScenario::Flapping),
+            "wan-degradation" => Ok(PartitionScenario::WanDegradation),
+            "se-outage" => Ok(PartitionScenario::SeOutage),
+            _ => Err(UdrError::Config(format!("unknown fault scenario `{s}`"))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,6 +223,45 @@ mod tests {
             mttr: SimDuration::from_secs(1),
         };
         assert!((p.single_se_availability() - 0.99999).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scenario_scripts_cover_their_window() {
+        let at = SimTime::ZERO + SimDuration::from_secs(30);
+        let duration = SimDuration::from_secs(20);
+        for scenario in PartitionScenario::ALL {
+            let script = scenario.script(5, 3, at, duration);
+            assert!(!script.is_empty(), "{scenario}: empty script");
+            assert!(script.active_at(at), "{scenario}: inactive at window start");
+            assert!(
+                script.end() <= at + duration,
+                "{scenario}: runs past its window"
+            );
+            // Deterministic per seed, sensitive to it only when jittered.
+            assert_eq!(
+                script.timeline(),
+                scenario.script(5, 3, at, duration).timeline()
+            );
+        }
+    }
+
+    #[test]
+    fn scenario_severing_classification() {
+        assert!(PartitionScenario::CleanPartition.severs_connectivity());
+        assert!(PartitionScenario::Flapping.severs_connectivity());
+        assert!(!PartitionScenario::AsymmetricLoss.severs_connectivity());
+        assert!(!PartitionScenario::WanDegradation.severs_connectivity());
+        assert!(!PartitionScenario::SeOutage.severs_connectivity());
+    }
+
+    #[test]
+    fn scenario_labels_round_trip() {
+        for scenario in PartitionScenario::ALL {
+            let shown = scenario.to_string();
+            let parsed: PartitionScenario = shown.parse().expect("label parses back");
+            assert_eq!(parsed, scenario, "`{shown}` did not round-trip");
+        }
+        assert!("partition".parse::<PartitionScenario>().is_err());
     }
 
     #[test]

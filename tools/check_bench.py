@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Schema check for BENCH_*.json experiment reports.
+
+Every experiment binary that emits a machine-readable report writes it
+through ``udr_bench::json::BenchReport``, whose contract is::
+
+    {
+      "name":   non-empty string,
+      "seed":   integer,
+      "config": object of scalars,
+      "rows":   non-empty list of flat objects (scalar cells only)
+    }
+
+CI runs this over every emitted report so a malformed or silently empty
+report fails the experiment cell that produced it, not a downstream
+consumer three PRs later.
+
+Usage:
+    tools/check_bench.py BENCH_e22.json [BENCH_e19.json ...]
+    tools/check_bench.py --glob        # every BENCH_*.json in the CWD
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import sys
+
+SCALARS = (str, int, float, bool, type(None))
+
+
+def check(path: str) -> list[str]:
+    """Validate one report; returns a list of human-readable problems."""
+    problems: list[str] = []
+    try:
+        with open(path, encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"unreadable or malformed JSON: {exc}"]
+
+    if not isinstance(report, dict):
+        return ["top level is not an object"]
+
+    name = report.get("name")
+    if not isinstance(name, str) or not name:
+        problems.append("`name` must be a non-empty string")
+    if not isinstance(report.get("seed"), int):
+        problems.append("`seed` must be an integer")
+
+    config = report.get("config")
+    if not isinstance(config, dict):
+        problems.append("`config` must be an object")
+    else:
+        for key, value in config.items():
+            if not isinstance(value, SCALARS):
+                problems.append(f"config[{key!r}] is not a scalar")
+
+    rows = report.get("rows")
+    if not isinstance(rows, list) or not rows:
+        problems.append("`rows` must be a non-empty list")
+    else:
+        for i, row in enumerate(rows):
+            if not isinstance(row, dict) or not row:
+                problems.append(f"rows[{i}] is not a non-empty object")
+                continue
+            for key, value in row.items():
+                if not isinstance(value, SCALARS):
+                    problems.append(f"rows[{i}][{key!r}] is not a scalar")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if not argv or argv == ["--help"] or argv == ["-h"]:
+        print(__doc__)
+        return 2
+    if argv == ["--glob"]:
+        argv = sorted(glob.glob("BENCH_*.json"))
+        if not argv:
+            print("no BENCH_*.json files found", file=sys.stderr)
+            return 1
+    failed = 0
+    for path in argv:
+        problems = check(path)
+        if problems:
+            failed += 1
+            print(f"FAIL {path}")
+            for problem in problems:
+                print(f"  - {problem}")
+        else:
+            with open(path, encoding="utf-8") as handle:
+                rows = len(json.load(handle)["rows"])
+            print(f"ok   {path} ({rows} rows)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
