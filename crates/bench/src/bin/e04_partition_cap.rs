@@ -78,7 +78,7 @@ fn run(duration_s: u64) -> (WindowCounts, WindowCounts) {
             majority.fe_fail += 1;
         }
         // PS writes from each side.
-        let id = Identity::Imsi(sub.ids.imsi.clone());
+        let id = Identity::Imsi(sub.ids.imsi);
         let mods = vec![AttrMod::Set(AttrId::OdbMask, AttrValue::U64(i as u64))];
         let w = s.udr.modify_services(
             &id,

@@ -53,7 +53,7 @@ fn run(write_gap: SimDuration, wan_median_ms: u64) -> (f64, f64) {
     let rounds = 600;
     for _ in 0..rounds {
         let sub = &s.population[home0[(i % home0.len() as u64) as usize]];
-        let id = Identity::Imsi(sub.ids.imsi.clone());
+        let id = Identity::Imsi(sub.ids.imsi);
         let w = s.udr.modify_services(
             &id,
             vec![AttrMod::Set(AttrId::AuthSqn, AttrValue::U64(i))],

@@ -46,7 +46,7 @@ fn run(mode: DurabilityMode) -> Row {
         .udr
         .group(
             s.udr
-                .lookup_authority(&Identity::Imsi(home0[0].ids.imsi.clone()))
+                .lookup_authority(&Identity::Imsi(home0[0].ids.imsi))
                 .unwrap()
                 .partition,
         )
@@ -60,7 +60,7 @@ fn run(mode: DurabilityMode) -> Row {
     while at < t(75) {
         let sub = &home0[(i % home0.len() as u64) as usize];
         let out = s.udr.modify_services(
-            &Identity::Imsi(sub.ids.imsi.clone()),
+            &Identity::Imsi(sub.ids.imsi),
             vec![AttrMod::Set(AttrId::AuthSqn, AttrValue::U64(i))],
             SiteId(0),
             at,

@@ -45,7 +45,7 @@ fn run(mode: ReplicationMode, partition_s: u64, write_gap_ms: u64) -> Row {
     let mut i = 0u64;
     while at < end {
         let sub = &s.population[(i % s.population.len() as u64) as usize];
-        let id = Identity::Imsi(sub.ids.imsi.clone());
+        let id = Identity::Imsi(sub.ids.imsi);
         s.udr.modify_services(
             &id,
             vec![AttrMod::Set(AttrId::OdbMask, AttrValue::U64(i))],

@@ -45,7 +45,7 @@ fn run(mode: ReplicationMode) -> Row {
         .udr
         .group(
             s.udr
-                .lookup_authority(&Identity::Imsi(home0[0].ids.imsi.clone()))
+                .lookup_authority(&Identity::Imsi(home0[0].ids.imsi))
                 .unwrap()
                 .partition,
         )
@@ -66,7 +66,7 @@ fn run(mode: ReplicationMode) -> Row {
     while at < t(120) {
         let sub = &home0[(i % home0.len() as u64) as usize];
         let out = s.udr.modify_services(
-            &Identity::Imsi(sub.ids.imsi.clone()),
+            &Identity::Imsi(sub.ids.imsi),
             vec![AttrMod::Set(AttrId::AuthSqn, AttrValue::U64(i))],
             SiteId(0),
             at,

@@ -56,7 +56,7 @@ fn run_preudc() -> (udr_preudc::PreUdcStats, usize, usize, usize) {
     // window (items 200..300 at 5/s: t=40..60): the ones left partial.
     for sub in population.iter().skip(200).take(100) {
         for s in 0..3u32 {
-            let id = udr_model::identity::Identity::Imsi(sub.ids.imsi.clone());
+            let id = udr_model::identity::Identity::Imsi(sub.ids.imsi);
             let _ = net.fe_lookup(&id, SiteId(s), at);
         }
     }
@@ -99,7 +99,7 @@ fn run_udc() -> (u64, u64, u64) {
     // every failed subscriber resolves nowhere and every ok one everywhere.
     let mut inconsistencies = 0u64;
     for sub in &population {
-        let id = udr_model::identity::Identity::Imsi(sub.ids.imsi.clone());
+        let id = udr_model::identity::Identity::Imsi(sub.ids.imsi);
         let bound = udr.lookup_authority(&id).is_some();
         let readable = {
             let out = udr.run_procedure(

@@ -55,7 +55,7 @@ fn run_udr(mode: ReplicationMode, partition_s: u64, gap_ms: u64) -> Row {
     let mut i = 0u64;
     while at < end {
         let sub = &s.population[(i % s.population.len() as u64) as usize];
-        let id = Identity::Imsi(sub.ids.imsi.clone());
+        let id = Identity::Imsi(sub.ids.imsi);
         let w = s.udr.modify_services(
             &id,
             vec![AttrMod::Set(AttrId::OdbMask, AttrValue::U64(i))],

@@ -33,7 +33,7 @@ fn write_oracle(s: &mut Scenario, base: SimTime) -> Vec<(Identity, u64)> {
     let mut oracle = Vec::with_capacity(population.len());
     let mut at = base;
     for (i, sub) in population.iter().enumerate() {
-        let identity: Identity = sub.ids.imsi.clone().into();
+        let identity: Identity = sub.ids.imsi.into();
         let value = 0xE19_0000 + i as u64;
         // Rare WAN loss can fail an attempt; the PS retries (§2.4).
         let mut done = false;
@@ -244,7 +244,7 @@ fn run_locator(locator: LocatorKind) -> Vec<PhaseRow> {
         .enumerate()
         .filter(|(_, sub)| {
             s.udr
-                .lookup_authority(&sub.ids.imsi.clone().into())
+                .lookup_authority(&sub.ids.imsi.into())
                 .map(|l| l.partition)
                 == Some(hot_partition)
         })

@@ -275,7 +275,7 @@ pub fn run_cell_with_script(cc: &CampaignConfig, script: &FaultScript) -> CapVer
                 seq += 1;
                 let sub = &s.population[*subscriber];
                 let op = LdapOp::Modify {
-                    dn: Dn::for_identity(Identity::Imsi(sub.ids.imsi.clone())),
+                    dn: Dn::for_identity(Identity::Imsi(sub.ids.imsi)),
                     mods: vec![AttrMod::Set(AttrId::OdbMask, AttrValue::U64(seq))],
                 };
                 let out = s.udr.execute_op_with_session(
@@ -326,7 +326,7 @@ pub fn run_cell_with_script(cc: &CampaignConfig, script: &FaultScript) -> CapVer
         if acked[i] == 0 {
             continue;
         }
-        let identity: Identity = sub.ids.imsi.clone().into();
+        let identity: Identity = sub.ids.imsi.into();
         let final_value = s
             .udr
             .lookup_authority(&identity)

@@ -83,7 +83,7 @@ pub fn run_events(
             while next_ps <= ev.at {
                 let sub = &scenario.population[ps_idx % scenario.population.len()];
                 scenario.udr.modify_services(
-                    &Identity::Imsi(sub.ids.imsi.clone()),
+                    &Identity::Imsi(sub.ids.imsi),
                     vec![AttrMod::Set(AttrId::OdbMask, AttrValue::U64(ps_idx as u64))],
                     ps_site,
                     next_ps,

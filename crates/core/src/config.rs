@@ -4,6 +4,7 @@
 use udr_model::config::FrashConfig;
 use udr_model::error::{UdrError, UdrResult};
 use udr_qos::QosConfig;
+use udr_replication::ShipBatchConfig;
 
 /// Full configuration of one simulated UDR deployment.
 #[derive(Debug, Clone)]
@@ -33,6 +34,10 @@ pub struct UdrConfig {
     pub ldap_ops_per_sec: f64,
     /// Capacity of cached-locator stages (entries), when used.
     pub dls_cache_capacity: usize,
+    /// Replication log-shipping coalescing. Defaults to per-record (one
+    /// delivery per commit, the paper's baseline); the scale campaign
+    /// enables batching to amortise the per-message cost.
+    pub ship_batch: ShipBatchConfig,
     /// RNG seed: same seed ⇒ identical run.
     pub seed: u64,
 }
@@ -49,6 +54,7 @@ impl Default for UdrConfig {
             partitions: 3,
             ldap_ops_per_sec: 1_000_000.0,
             dls_cache_capacity: 65_536,
+            ship_batch: ShipBatchConfig::per_record(),
             seed: 0xC0FFEE,
         }
     }

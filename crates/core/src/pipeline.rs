@@ -36,6 +36,7 @@ use udr_model::qos::PriorityClass;
 use udr_model::session::{RawLsn, SessionToken};
 use udr_model::time::{SimDuration, SimTime};
 use udr_replication::quorum::quorum_write;
+use udr_replication::Enqueue;
 use udr_storage::{CommitRecord, StorageBackend};
 
 use crate::ops::OpOutcome;
@@ -277,7 +278,7 @@ impl LocationStage {
     /// [`Locator`], probing SEs on a miss and retrying a stale-epoch
     /// route at most once.
     pub fn run(udr: &mut Udr, ctx: &mut PipelineCtx) -> Result<(), OpOutcome> {
-        let identity = ctx.op.dn().identity().clone();
+        let identity = *ctx.op.dn().identity();
         let current = udr.shard_map.epoch();
         let mut retried = false;
         loop {
@@ -783,6 +784,7 @@ impl ReplicationStage {
 
         // Asynchronous shipping happens in every mode (it is the stream
         // the slaves replay); the mode decides what the commit *waits* for.
+        let batching = !udr.cfg.ship_batch.is_per_record();
         let mut slave_rtts: Vec<(SeId, Option<SimDuration>)> = Vec::with_capacity(slaves.len());
         for slave in &slaves {
             let slave_site = udr.ses[slave.index()].site();
@@ -792,7 +794,34 @@ impl ReplicationStage {
             } else {
                 None
             };
-            if let Some(d) = udr.shippers[p].ship(*slave, record, now, delay) {
+            if batching {
+                // Coalesce: the record joins the channel's open batch; the
+                // batch ships as one message at its cap or linger deadline.
+                let cfg = udr.cfg.ship_batch;
+                match udr.shippers[p].enqueue(*slave, record, &cfg) {
+                    Enqueue::Opened { seq } => udr.events.schedule_at(
+                        now + cfg.linger,
+                        UdrEvent::ShipFlush {
+                            partition,
+                            slave: *slave,
+                            seq,
+                        },
+                    ),
+                    Enqueue::Full => {
+                        if let Some(b) = udr.shippers[p].flush_open(*slave, now, delay) {
+                            udr.events.schedule_at(
+                                b.arrives,
+                                UdrEvent::ReplDeliverBatch {
+                                    partition,
+                                    slave: b.slave,
+                                    records: b.records,
+                                },
+                            );
+                        }
+                    }
+                    Enqueue::Joined | Enqueue::Refused => {}
+                }
+            } else if let Some(d) = udr.shippers[p].ship(*slave, record, now, delay) {
                 udr.events.schedule_at(
                     d.arrives,
                     UdrEvent::ReplDeliver {
@@ -916,24 +945,25 @@ impl ReplicationStage {
                 .record_slave_read(0, SimDuration::ZERO);
             return;
         }
+        // Metadata-only comparison: borrow views, never clone payloads.
         let master_ver = udr.ses[master.index()]
             .engine(partition)
             .ok()
-            .and_then(|e| e.committed_version(uid).cloned());
+            .and_then(|e| e.committed_view(uid).map(|v| (v.lsn, v.committed_at)));
         let slave_ver = udr.ses[se.index()]
             .engine(partition)
             .ok()
-            .and_then(|e| e.committed_version(uid).cloned());
+            .and_then(|e| e.committed_view(uid).map(|v| (v.lsn, v.committed_at)));
         match (master_ver, slave_ver) {
-            (Some(m), Some(s)) if m.lsn > s.lsn => {
-                let lag = m.lsn.raw() - s.lsn.raw();
-                let age = m.committed_at.duration_since(s.committed_at);
+            (Some((m_lsn, m_at)), Some((s_lsn, s_at))) if m_lsn > s_lsn => {
+                let lag = m_lsn.raw() - s_lsn.raw();
+                let age = m_at.duration_since(s_at);
                 udr.metrics.staleness.record_slave_read(lag, age);
             }
-            (Some(m), None) => {
+            (Some((m_lsn, _)), None) => {
                 udr.metrics
                     .staleness
-                    .record_slave_read(m.lsn.raw().max(1), SimDuration::ZERO);
+                    .record_slave_read(m_lsn.raw().max(1), SimDuration::ZERO);
             }
             _ => udr
                 .metrics

@@ -53,25 +53,18 @@ fn modify(identity: Identity, mods: Vec<AttrMod>) -> LdapOp {
 /// The `(reads, writes)` counts match [`ProcedureKind::ldap_ops`] exactly;
 /// a unit test enforces it.
 pub fn procedure_ops(kind: ProcedureKind, ids: &IdentitySet, fe_site: SiteId) -> Vec<LdapOp> {
-    let imsi: Identity = ids.imsi.clone().into();
-    let msisdn: Identity = ids.msisdn.clone().into();
-    let ims_id: Identity = ids
-        .impus
-        .first()
-        .map(|i| i.clone().into())
-        .unwrap_or_else(|| imsi.clone());
+    let imsi: Identity = ids.imsi.into();
+    let msisdn: Identity = ids.msisdn.into();
+    let ims_id: Identity = ids.impus.first().map(|i| (*i).into()).unwrap_or(imsi);
     let vlr = format!("vlr-{fe_site}");
     let mme = format!("mme-{fe_site}");
     let scscf = format!("scscf-{fe_site}");
 
     match kind {
         ProcedureKind::Attach => vec![
+            search(imsi, vec![AttrId::AuthKi, AttrId::AuthAmf, AttrId::AuthSqn]),
             search(
-                imsi.clone(),
-                vec![AttrId::AuthKi, AttrId::AuthAmf, AttrId::AuthSqn],
-            ),
-            search(
-                imsi.clone(),
+                imsi,
                 vec![
                     AttrId::SubscriberStatus,
                     AttrId::OdbMask,
@@ -87,7 +80,7 @@ pub fn procedure_ops(kind: ProcedureKind, ids: &IdentitySet, fe_site: SiteId) ->
             ),
         ],
         ProcedureKind::LocationUpdate => vec![
-            search(imsi.clone(), vec![AttrId::SubscriberStatus]),
+            search(imsi, vec![AttrId::SubscriberStatus]),
             modify(
                 imsi,
                 vec![AttrMod::Set(AttrId::VlrAddress, AttrValue::Str(vlr))],
@@ -102,12 +95,12 @@ pub fn procedure_ops(kind: ProcedureKind, ids: &IdentitySet, fe_site: SiteId) ->
         }
         ProcedureKind::SmsDelivery => vec![search(msisdn, vec![AttrId::VlrAddress])],
         ProcedureKind::ImsRegistration => vec![
-            search(ims_id.clone(), vec![AttrId::ImpuList, AttrId::Impi]),
-            search(imsi.clone(), vec![AttrId::AuthKi, AttrId::AuthSqn]),
-            search(imsi.clone(), vec![AttrId::SubscriberStatus]),
-            search(ims_id.clone(), vec![AttrId::ScscfName]),
+            search(ims_id, vec![AttrId::ImpuList, AttrId::Impi]),
+            search(imsi, vec![AttrId::AuthKi, AttrId::AuthSqn]),
+            search(imsi, vec![AttrId::SubscriberStatus]),
+            search(ims_id, vec![AttrId::ScscfName]),
             modify(
-                ims_id.clone(),
+                ims_id,
                 vec![AttrMod::Set(
                     AttrId::ImsRegState,
                     AttrValue::Str("registered".into()),
@@ -119,9 +112,9 @@ pub fn procedure_ops(kind: ProcedureKind, ids: &IdentitySet, fe_site: SiteId) ->
             ),
         ],
         ProcedureKind::ImsSession => vec![
-            search(ims_id.clone(), vec![AttrId::ImsRegState]),
-            search(ims_id.clone(), vec![AttrId::ScscfName]),
-            search(imsi.clone(), vec![AttrId::CallBarring, AttrId::OdbMask]),
+            search(ims_id, vec![AttrId::ImsRegState]),
+            search(ims_id, vec![AttrId::ScscfName]),
+            search(imsi, vec![AttrId::CallBarring, AttrId::OdbMask]),
             search(imsi, vec![AttrId::ChargingProfile]),
             search(ims_id, vec![AttrId::ImpuList]),
         ],

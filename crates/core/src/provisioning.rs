@@ -84,7 +84,7 @@ impl Udr {
 
         let profile = SubscriberProfile::provision(ids, home_region, self.ki_for(uid));
         let op = LdapOp::Add {
-            dn: Dn::for_identity(ids.imsi.clone().into()),
+            dn: Dn::for_identity(ids.imsi.into()),
             entry: profile.into_entry(),
         };
         let outcome = self.execute_op(&op, TxnClass::Provisioning, ps_site, now);
@@ -125,7 +125,7 @@ impl Udr {
         now: SimTime,
     ) -> OpOutcome {
         let op = LdapOp::Modify {
-            dn: Dn::for_identity(identity.clone()),
+            dn: Dn::for_identity(*identity),
             mods,
         };
         self.execute_op(&op, TxnClass::Provisioning, ps_site, now)
@@ -144,7 +144,7 @@ impl Udr {
         now: SimTime,
     ) -> OpOutcome {
         let op = LdapOp::SearchFilter {
-            base: Dn::for_identity(identity.clone()),
+            base: Dn::for_identity(*identity),
             filter,
             attrs,
         };
@@ -158,7 +158,7 @@ impl Udr {
         ps_site: SiteId,
         now: SimTime,
     ) -> OpOutcome {
-        let identity: Identity = ids.imsi.clone().into();
+        let identity: Identity = ids.imsi.into();
         let partition = self.authority.peek(&identity).map(|l| l.partition);
         let op = LdapOp::Delete {
             dn: Dn::for_identity(identity),

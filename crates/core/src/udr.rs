@@ -71,6 +71,26 @@ pub enum UdrEvent {
         /// The record.
         record: CommitRecord,
     },
+    /// A coalesced batch of commit records arrives at a slave as one
+    /// message (batched shipping).
+    ReplDeliverBatch {
+        /// Partition replicated.
+        partition: PartitionId,
+        /// Destination slave.
+        slave: SeId,
+        /// The records, in LSN order.
+        records: Vec<CommitRecord>,
+    },
+    /// A shipping batch's linger timer fires: flush the channel's open
+    /// batch if it is still the same generation.
+    ShipFlush {
+        /// Partition whose channel lingered.
+        partition: PartitionId,
+        /// Destination slave.
+        slave: SeId,
+        /// Open-batch generation the timer was armed for.
+        seq: u64,
+    },
     /// Periodic durability snapshot on one SE.
     SnapshotTick {
         /// The SE to snapshot.
@@ -484,6 +504,20 @@ impl Udr {
             } => {
                 self.deliver_replication(t, partition, slave, record);
             }
+            UdrEvent::ReplDeliverBatch {
+                partition,
+                slave,
+                records,
+            } => {
+                for record in records {
+                    self.deliver_replication(t, partition, slave, record);
+                }
+            }
+            UdrEvent::ShipFlush {
+                partition,
+                slave,
+                seq,
+            } => self.ship_flush(t, partition, slave, seq),
             UdrEvent::SnapshotTick { se } => {
                 let interval = match self.cfg.frash.durability {
                     DurabilityMode::PeriodicSnapshot { interval } => interval,
@@ -555,6 +589,36 @@ impl Udr {
         {
             self.shippers[partition.index()].on_applied(slave, lsn);
             let _ = t;
+        }
+    }
+
+    /// Linger timer for a shipping batch: sample the path once and flush
+    /// the channel's open batch as a single message, if it is still the
+    /// generation the timer was armed for.
+    fn ship_flush(&mut self, t: SimTime, partition: PartitionId, slave: SeId, seq: u64) {
+        let p = partition.index();
+        let master = self.groups[p].master();
+        if !self.ses[master.index()].is_up() {
+            return;
+        }
+        let master_site = self.ses[master.index()].site();
+        let slave_site = self.ses[slave.index()].site();
+        let delay = if self.ses[slave.index()].is_up() {
+            self.net
+                .send(master_site, slave_site, &mut self.rng)
+                .delay()
+        } else {
+            None
+        };
+        if let Some(batch) = self.shippers[p].flush_if_open(slave, seq, t, delay) {
+            self.events.schedule_at(
+                batch.arrives,
+                UdrEvent::ReplDeliverBatch {
+                    partition,
+                    slave: batch.slave,
+                    records: batch.records,
+                },
+            );
         }
     }
 
@@ -980,6 +1044,17 @@ impl Udr {
             && !self.net.degraded()
             && self.diverged.is_empty()
             && self.max_replica_lag() == 0
+    }
+
+    /// Coalesced shipping batches delivered across all partitions'
+    /// channels (zero under per-record shipping).
+    pub fn shipping_batches(&self) -> u64 {
+        self.shippers.iter().map(|s| s.batches).sum()
+    }
+
+    /// Records shipped (including catch-up re-ships) across all channels.
+    pub fn shipped_records(&self) -> u64 {
+        self.shippers.iter().map(|s| s.shipped).sum()
     }
 
     /// Allocate the next subscriber uid.

@@ -65,14 +65,14 @@ fn build(mode: ReplicationMode, policy: ReadPolicy, seed: u64) -> (Udr, Vec<Iden
 
 fn write_op(subscriber: &IdentitySet, value: u64) -> LdapOp {
     LdapOp::Modify {
-        dn: Dn::for_identity(Identity::Imsi(subscriber.imsi.clone())),
+        dn: Dn::for_identity(Identity::Imsi(subscriber.imsi)),
         mods: vec![AttrMod::Set(AttrId::OdbMask, AttrValue::U64(value))],
     }
 }
 
 fn read_op(subscriber: &IdentitySet) -> LdapOp {
     LdapOp::Search {
-        base: Dn::for_identity(Identity::Imsi(subscriber.imsi.clone())),
+        base: Dn::for_identity(Identity::Imsi(subscriber.imsi)),
         attrs: vec![AttrId::OdbMask],
     }
 }

@@ -57,7 +57,7 @@ fn provision_n(udr: &mut Udr, n: u64) -> Vec<IdentitySet> {
 fn write_oracle(udr: &mut Udr, subs: &[IdentitySet], base: SimTime) -> Vec<(Identity, u64)> {
     let mut oracle = Vec::new();
     for (i, set) in subs.iter().enumerate() {
-        let identity: Identity = set.imsi.clone().into();
+        let identity: Identity = set.imsi.into();
         let value = 0xBEEF_0000 + i as u64;
         let out = udr.modify_services(
             &identity,
@@ -240,11 +240,7 @@ fn partition_cut_between_reseed_and_cutover_aborts_cleanly() {
     // clients are unaffected by the site-1 island).
     let moved_sub = subs
         .iter()
-        .find(|s| {
-            udr.lookup_authority(&s.imsi.clone().into())
-                .map(|l| l.partition)
-                == Some(partition)
-        })
+        .find(|s| udr.lookup_authority(&s.imsi.into()).map(|l| l.partition) == Some(partition))
         .expect("some subscriber lives on the partition");
     let out = udr.run_procedure(ProcedureKind::SmsDelivery, moved_sub, SiteId(0), t(16));
     assert!(out.success, "read after abort failed: {:?}", out.failure);
@@ -287,11 +283,7 @@ fn stale_epoch_lookup_is_retried_at_most_once() {
     // owner once: the retry surfaces in the location breakdown.
     let moved_sub = subs
         .iter()
-        .find(|s| {
-            udr.lookup_authority(&s.imsi.clone().into())
-                .map(|l| l.partition)
-                == Some(partition)
-        })
+        .find(|s| udr.lookup_authority(&s.imsi.into()).map(|l| l.partition) == Some(partition))
         .expect("subscriber on moved partition");
     assert_eq!(udr.metrics.stale_route_retries, 0);
     let out = udr.run_procedure(ProcedureKind::SmsDelivery, moved_sub, SiteId(1), t(20));

@@ -127,7 +127,7 @@ proptest! {
         let mut sorted = writes.clone();
         sorted.sort_by_key(|(_, _, at, _)| *at);
         for (sub, val, at_s, site) in &sorted {
-            let id = Identity::Imsi(ids(*sub).imsi.clone());
+            let id = Identity::Imsi(ids(*sub).imsi);
             let _ = udr.modify_services(
                 &id,
                 vec![AttrMod::Set(AttrId::OdbMask, AttrValue::U64(*val))],
@@ -158,11 +158,10 @@ proptest! {
                 let Ok(engine) = engine else { continue };
                 let mut state: Vec<(u64, Option<u64>)> = engine
                     .iter_committed()
-                    .map(|(uid, ver)| {
+                    .map(|view| {
                         (
-                            uid.raw(),
-                            ver.entry
-                                .as_ref()
+                            view.uid.raw(),
+                            view.entry
                                 .and_then(|e| e.get(AttrId::OdbMask))
                                 .and_then(AttrValue::as_u64),
                         )
@@ -196,7 +195,7 @@ proptest! {
         let mut sorted = writes.clone();
         sorted.sort_by_key(|(_, _, at, _)| *at);
         for (sub, val, at_s, site) in &sorted {
-            let id = Identity::Imsi(ids(*sub).imsi.clone());
+            let id = Identity::Imsi(ids(*sub).imsi);
             let out = udr.modify_services(
                 &id,
                 vec![AttrMod::Set(AttrId::OdbMask, AttrValue::U64(*val))],
@@ -210,7 +209,7 @@ proptest! {
         udr.advance_to(t(300));
 
         for (sub, val) in last_acked {
-            let id = Identity::Imsi(ids(sub).imsi.clone());
+            let id = Identity::Imsi(ids(sub).imsi);
             let loc = udr.lookup_authority(&id).unwrap();
             let master = udr.group(loc.partition).master();
             let got = udr

@@ -188,7 +188,7 @@ fn rate_ceiling_sheds_with_rate_limit_reason() {
     use udr_ldap::{Dn, LdapOp};
     use udr_model::config::TxnClass;
     let op = LdapOp::Search {
-        base: Dn::for_identity(subs[0].imsi.clone().into()),
+        base: Dn::for_identity(subs[0].imsi.into()),
         attrs: vec![],
     };
     let mut shed_rate = 0u64;

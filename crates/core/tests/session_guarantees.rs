@@ -59,14 +59,14 @@ fn build(wan_ms: u64, seed: u64) -> (Udr, IdentitySet, PartitionId) {
 
 fn write_op(subscriber: &IdentitySet, value: u64) -> LdapOp {
     LdapOp::Modify {
-        dn: Dn::for_identity(Identity::Imsi(subscriber.imsi.clone())),
+        dn: Dn::for_identity(Identity::Imsi(subscriber.imsi)),
         mods: vec![AttrMod::Set(AttrId::AuthSqn, AttrValue::U64(value))],
     }
 }
 
 fn read_op(subscriber: &IdentitySet) -> LdapOp {
     LdapOp::Search {
-        base: Dn::for_identity(Identity::Imsi(subscriber.imsi.clone())),
+        base: Dn::for_identity(Identity::Imsi(subscriber.imsi)),
         attrs: vec![AttrId::AuthSqn],
     }
 }

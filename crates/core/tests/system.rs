@@ -121,7 +121,7 @@ fn partition_fails_provisioning_but_not_fe_reads() {
         // is unreachable, so these must fail.
         if i % 3 == 2 {
             let modify = udr.modify_services(
-                &Identity::Imsi(set.imsi.clone()),
+                &Identity::Imsi(set.imsi),
                 vec![AttrMod::Set(AttrId::OdbMask, AttrValue::U64(1))],
                 SiteId(0),
                 at,
@@ -144,7 +144,7 @@ fn partition_fails_provisioning_but_not_fe_reads() {
 
     // After heal, provisioning works again.
     let modify = udr.modify_services(
-        &Identity::Imsi(subs[2].imsi.clone()),
+        &Identity::Imsi(subs[2].imsi),
         vec![AttrMod::Set(AttrId::OdbMask, AttrValue::U64(2))],
         SiteId(0),
         t(200),
@@ -161,7 +161,7 @@ fn slave_reads_can_be_stale_then_converge() {
     let mut udr = Udr::build(UdrConfig::figure2()).unwrap();
     let subs = provision_n(&mut udr, 9, 3);
     let victim = &subs[0]; // homed at site 0
-    let imsi = Identity::Imsi(victim.imsi.clone());
+    let imsi = Identity::Imsi(victim.imsi);
 
     // Let replication settle, then write at the master...
     udr.advance_to(t(50));
@@ -199,7 +199,7 @@ fn master_crash_fails_writes_until_failover_promotes() {
     let mut udr = Udr::build(cfg).unwrap();
     let subs = provision_n(&mut udr, 9, 3);
     let victim = &subs[0]; // homed at site 0: master is SE 0
-    let imsi = Identity::Imsi(victim.imsi.clone());
+    let imsi = Identity::Imsi(victim.imsi);
     let master = udr
         .group(udr.lookup_authority(&imsi).unwrap().partition)
         .master();
@@ -253,7 +253,7 @@ fn multimaster_keeps_provisioning_alive_and_merges_after_heal() {
     let mut udr = Udr::build(cfg).unwrap();
     let subs = provision_n(&mut udr, 9, 3);
     let victim = &subs[2]; // homed at site 2
-    let imsi = Identity::Imsi(victim.imsi.clone());
+    let imsi = Identity::Imsi(victim.imsi);
     udr.advance_to(t(50));
 
     udr.schedule_faults(FaultSchedule::new().partition(
@@ -326,7 +326,7 @@ fn periodic_snapshot_bounds_crash_loss_and_reseed_restores_fleet() {
     let mut udr = Udr::build(cfg).unwrap();
     let subs = provision_n(&mut udr, 9, 3);
     let victim = &subs[0];
-    let imsi = Identity::Imsi(victim.imsi.clone());
+    let imsi = Identity::Imsi(victim.imsi);
     let loc = udr.lookup_authority(&imsi).unwrap();
     let master = udr.group(loc.partition).master();
 
@@ -364,7 +364,7 @@ fn sync_commit_masters_lose_nothing_even_without_slaves() {
     let mut udr = Udr::build(cfg).unwrap();
     let subs = provision_n(&mut udr, 6, 3);
     let victim = &subs[0];
-    let imsi = Identity::Imsi(victim.imsi.clone());
+    let imsi = Identity::Imsi(victim.imsi);
     let loc = udr.lookup_authority(&imsi).unwrap();
     let master = udr.group(loc.partition).master();
 
@@ -397,7 +397,7 @@ fn dual_in_sequence_waits_for_second_replica_and_fails_on_partition() {
     let mut udr = Udr::build(cfg).unwrap();
     let subs = provision_n(&mut udr, 9, 3);
     let victim = &subs[0];
-    let imsi = Identity::Imsi(victim.imsi.clone());
+    let imsi = Identity::Imsi(victim.imsi);
 
     // Healthy: the write waits one WAN round trip more than async would.
     let w = udr.modify_services(
@@ -442,7 +442,7 @@ fn quorum_write_latency_and_partition_behaviour() {
     let mut udr = Udr::build(cfg).unwrap();
     let subs = provision_n(&mut udr, 9, 3);
     let victim = &subs[0];
-    let imsi = Identity::Imsi(victim.imsi.clone());
+    let imsi = Identity::Imsi(victim.imsi);
 
     // Healthy quorum write: waits for the 2nd ack (one WAN RTT).
     let w = udr.modify_services(
@@ -682,12 +682,12 @@ fn bind_and_compare_route_like_reads() {
     let mut udr = Udr::build(UdrConfig::figure2()).unwrap();
     let subs = provision_n(&mut udr, 9, 3);
     let sub = &subs[0];
-    let identity = Identity::Imsi(sub.imsi.clone());
+    let identity = Identity::Imsi(sub.imsi);
 
     // Bind against the subscriber's entry succeeds and is a read
     // (served from the nearest copy, never the master exclusively).
     let bind = LdapOp::Bind {
-        dn: Dn::for_identity(identity.clone()),
+        dn: Dn::for_identity(identity),
         password: b"fe-secret".to_vec(),
     };
     let out = udr.execute_op(&bind, TxnClass::FrontEnd, SiteId(0), t(50));
@@ -695,7 +695,7 @@ fn bind_and_compare_route_like_reads() {
 
     // Compare on a fresh profile: call barring is false.
     let cmp_false = LdapOp::Compare {
-        dn: Dn::for_identity(identity.clone()),
+        dn: Dn::for_identity(identity),
         attr: AttrId::CallBarring,
         value: AttrValue::Bool(true),
     };

@@ -16,12 +16,18 @@ use crate::shardmap::Epoch;
 /// A bounded cache of identity → location bindings with FIFO-clock
 /// eviction. Misses are reported so callers can account for the SE
 /// broadcast they trigger.
+///
+/// Keyed by interned identity symbols: a cache slot costs one `u32` key
+/// instead of an owned string, and lookups hash one word. The identity
+/// kind is deliberately not part of the key — a front-end cache maps
+/// whatever textual identity arrived to a location, and distinct kinds
+/// with equal text resolve to the same subscription anyway.
 #[derive(Debug, Clone)]
 pub struct CachedLocator {
     capacity: usize,
-    map: HashMap<String, (Location, bool)>,
+    map: HashMap<u32, (Location, bool)>,
     /// Insertion ring for clock eviction.
-    ring: Vec<String>,
+    ring: Vec<u32>,
     hand: usize,
     /// Cache hits served.
     pub hits: u64,
@@ -68,7 +74,7 @@ impl CachedLocator {
 
     /// Look an identity up.
     pub fn lookup(&mut self, identity: &Identity) -> CacheOutcome {
-        if let Some((loc, referenced)) = self.map.get_mut(identity.as_str()) {
+        if let Some((loc, referenced)) = self.map.get_mut(&identity.symbol()) {
             *referenced = true;
             self.hits += 1;
             return CacheOutcome::Hit(*loc);
@@ -81,7 +87,7 @@ impl CachedLocator {
 
     /// Install a binding discovered by a probe (or invalidate-and-refresh).
     pub fn fill(&mut self, identity: &Identity, location: Location) {
-        let key = identity.as_str().to_owned();
+        let key = identity.symbol();
         if let Some(slot) = self.map.get_mut(&key) {
             *slot = (location, true);
             return;
@@ -89,13 +95,13 @@ impl CachedLocator {
         if self.map.len() >= self.capacity {
             self.evict_one();
         }
-        self.map.insert(key.clone(), (location, false));
+        self.map.insert(key, (location, false));
         self.ring.push(key);
     }
 
     /// Drop a binding (after deprovisioning or a move).
     pub fn invalidate(&mut self, identity: &Identity) {
-        self.map.remove(identity.as_str());
+        self.map.remove(&identity.symbol());
     }
 
     fn evict_one(&mut self) {
@@ -107,7 +113,7 @@ impl CachedLocator {
                 return;
             }
             self.hand %= self.ring.len();
-            let key = self.ring[self.hand].clone();
+            let key = self.ring[self.hand];
             match self.map.get_mut(&key) {
                 None => {
                     // Stale ring slot (invalidated entry): reclaim it.

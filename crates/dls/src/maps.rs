@@ -10,6 +10,7 @@ use std::collections::BTreeMap;
 
 use udr_model::identity::{Identity, IdentityKind};
 use udr_model::ids::{PartitionId, SubscriberUid};
+use udr_model::intern::IdentityInterner;
 
 use crate::shardmap::Epoch;
 
@@ -24,12 +25,18 @@ pub struct Location {
 }
 
 /// One ordered index per identity kind: the provisioned maps of §3.5.
+///
+/// Indexes are keyed by interned identity symbols (`u32`), not strings:
+/// at national-operator scale the maps dominate stage memory (§3.3.1), and
+/// one word per key plus the process-wide interner beats one heap string
+/// per key per index. Lookups compare a single integer instead of up to
+/// 15 bytes of digits.
 #[derive(Debug, Clone, Default)]
 pub struct IdentityLocationMap {
-    imsi: BTreeMap<String, Location>,
-    msisdn: BTreeMap<String, Location>,
-    impu: BTreeMap<String, Location>,
-    impi: BTreeMap<String, Location>,
+    imsi: BTreeMap<u32, Location>,
+    msisdn: BTreeMap<u32, Location>,
+    impu: BTreeMap<u32, Location>,
+    impi: BTreeMap<u32, Location>,
     /// Lookups served (diagnostics).
     pub lookups: u64,
     /// Shard-map epoch this instance last observed (route-cache version).
@@ -42,7 +49,7 @@ impl IdentityLocationMap {
         Self::default()
     }
 
-    fn index(&self, kind: IdentityKind) -> &BTreeMap<String, Location> {
+    fn index(&self, kind: IdentityKind) -> &BTreeMap<u32, Location> {
         match kind {
             IdentityKind::Imsi => &self.imsi,
             IdentityKind::Msisdn => &self.msisdn,
@@ -51,7 +58,7 @@ impl IdentityLocationMap {
         }
     }
 
-    fn index_mut(&mut self, kind: IdentityKind) -> &mut BTreeMap<String, Location> {
+    fn index_mut(&mut self, kind: IdentityKind) -> &mut BTreeMap<u32, Location> {
         match kind {
             IdentityKind::Imsi => &mut self.imsi,
             IdentityKind::Msisdn => &mut self.msisdn,
@@ -63,23 +70,23 @@ impl IdentityLocationMap {
     /// Provision one identity → location binding.
     pub fn insert(&mut self, identity: &Identity, location: Location) {
         self.index_mut(identity.kind())
-            .insert(identity.as_str().to_owned(), location);
+            .insert(identity.symbol(), location);
     }
 
     /// Remove a binding (deprovisioning); returns the removed location.
     pub fn remove(&mut self, identity: &Identity) -> Option<Location> {
-        self.index_mut(identity.kind()).remove(identity.as_str())
+        self.index_mut(identity.kind()).remove(&identity.symbol())
     }
 
     /// O(log N) lookup.
     pub fn lookup(&mut self, identity: &Identity) -> Option<Location> {
         self.lookups += 1;
-        self.index(identity.kind()).get(identity.as_str()).copied()
+        self.index(identity.kind()).get(&identity.symbol()).copied()
     }
 
     /// Lookup without mutating stats (for read-only callers).
     pub fn peek(&self, identity: &Identity) -> Option<Location> {
-        self.index(identity.kind()).get(identity.as_str()).copied()
+        self.index(identity.kind()).get(&identity.symbol()).copied()
     }
 
     /// Total entries across all indexes.
@@ -99,13 +106,12 @@ impl IdentityLocationMap {
 
     /// Approximate RAM footprint in bytes — §3.3.1: "storage of the
     /// identity-location maps deprives storage elements from memory they
-    /// could use to store more data".
+    /// could use to store more data". Keys are one interned symbol each;
+    /// the shared string storage lives in the process-wide interner and is
+    /// accounted there, not per index.
     pub fn approx_bytes(&self) -> usize {
-        let entry_cost = |m: &BTreeMap<String, Location>| {
-            m.keys()
-                .map(|k| 48 + k.len() + std::mem::size_of::<Location>())
-                .sum::<usize>()
-        };
+        let entry_cost =
+            |m: &BTreeMap<u32, Location>| m.len() * (24 + std::mem::size_of::<Location>());
         entry_cost(&self.imsi)
             + entry_cost(&self.msisdn)
             + entry_cost(&self.impu)
@@ -113,12 +119,15 @@ impl IdentityLocationMap {
     }
 
     /// Dump every binding (used by the scale-out sync protocol to seed a
-    /// peer stage instance).
+    /// peer stage instance). The textual form is exported — the sync
+    /// protocol models a wire transfer, and symbols are only meaningful
+    /// inside one process.
     pub fn export(&self) -> Vec<(IdentityKind, String, Location)> {
+        let interner = IdentityInterner::global();
         let mut out = Vec::with_capacity(self.len());
         for kind in IdentityKind::ALL {
             for (key, loc) in self.index(kind) {
-                out.push((kind, key.clone(), *loc));
+                out.push((kind, interner.resolve(*key).to_owned(), *loc));
             }
         }
         out
@@ -126,8 +135,9 @@ impl IdentityLocationMap {
 
     /// Bulk-load bindings exported from a peer.
     pub fn import(&mut self, entries: Vec<(IdentityKind, String, Location)>) {
+        let interner = IdentityInterner::global();
         for (kind, key, loc) in entries {
-            self.index_mut(kind).insert(key, loc);
+            self.index_mut(kind).insert(interner.intern(&key), loc);
         }
     }
 }
@@ -213,5 +223,7 @@ mod tests {
             m.insert(&imsi(&format!("2140100000{i:05}")), loc(i, 0));
         }
         assert!(m.approx_bytes() > b0 + 1000 * 15);
+        // Symbol keys are one word each, far below owned-string cost.
+        assert!(m.approx_bytes() < 1000 * 64);
     }
 }

@@ -93,7 +93,7 @@ mod tests {
             Identity::Impi(Impi::new("alice@ims.example.com").unwrap()),
         ];
         for id in cases {
-            let dn = Dn::for_identity(id.clone());
+            let dn = Dn::for_identity(id);
             let parsed = Dn::parse(&dn.to_string()).unwrap();
             assert_eq!(parsed.identity(), &id);
         }

@@ -16,6 +16,7 @@ pub mod config;
 pub mod error;
 pub mod identity;
 pub mod ids;
+pub mod intern;
 pub mod procedures;
 pub mod profile;
 pub mod qos;
@@ -33,6 +34,7 @@ pub use ids::{
     ClusterId, FrontEndId, LdapServerId, PartitionId, PoaId, ProvisioningSystemId, ReplicaId,
     ReplicaRole, SeId, SiteId, SubPartitionId, SubscriberUid,
 };
+pub use intern::IdentityInterner;
 pub use procedures::{ProcedureKind, ProvisioningKind};
 pub use profile::{SubscriberProfile, SubscriberStatus};
 pub use qos::{PriorityClass, ShedReason};

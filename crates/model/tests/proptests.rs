@@ -1,0 +1,92 @@
+//! Property tests for the interned identity layer: every valid identity
+//! string must survive the intern → symbol → resolve round trip exactly,
+//! interning must be idempotent (same string ⇒ same symbol), and the
+//! digit-packed fast path must never collide with the spilled path.
+
+use proptest::prelude::*;
+
+use udr_model::identity::{Identity, IdentityKind, Impi, Impu, Imsi, Msisdn};
+use udr_model::intern::IdentityInterner;
+
+fn digits(range: std::ops::Range<usize>) -> impl Strategy<Value = String> {
+    let pat: &'static str = match (range.start, range.end) {
+        (5, 16) => "[0-9]{5,15}",
+        (6, 16) => "[0-9]{6,15}",
+        _ => panic!("unsupported digit range"),
+    };
+    pat.prop_map(|s| s)
+}
+
+proptest! {
+    /// IMSI: construct → symbol → as_str reproduces the exact digit
+    /// string, and re-interning yields the same symbol (dedup).
+    #[test]
+    fn imsi_round_trips(s in digits(6..16)) {
+        let a = Imsi::new(&s).expect("valid imsi");
+        prop_assert_eq!(a.as_str(), s.as_str());
+        let b = Imsi::new(&s).expect("valid imsi");
+        prop_assert_eq!(a.symbol(), b.symbol());
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(a.mcc(), &s[..3]);
+    }
+
+    /// MSISDN round-trips identically.
+    #[test]
+    fn msisdn_round_trips(s in digits(5..16)) {
+        let a = Msisdn::new(&s).expect("valid msisdn");
+        prop_assert_eq!(a.as_str(), s.as_str());
+        prop_assert_eq!(a, Msisdn::new(&s).expect("valid msisdn"));
+    }
+
+    /// IMPU (sip: URIs, non-digit payloads — the spilled interner path)
+    /// round-trips identically.
+    #[test]
+    fn impu_round_trips(user in "[a-z0-9]{1,16}", host in "[a-z]{1,10}") {
+        let uri = format!("sip:{user}@{host}.example");
+        let a = Impu::new(&uri).expect("valid impu");
+        prop_assert_eq!(a.as_str(), uri.as_str());
+        prop_assert_eq!(a, Impu::new(&uri).expect("valid impu"));
+    }
+
+    /// IMPI (`user@realm`) round-trips identically.
+    #[test]
+    fn impi_round_trips(user in "[a-z0-9]{1,12}", realm in "[a-z]{1,12}") {
+        let s = format!("{user}@{realm}");
+        let a = Impi::new(&s).expect("valid impi");
+        prop_assert_eq!(a.as_str(), s.as_str());
+        prop_assert_eq!(a, Impi::new(&s).expect("valid impi"));
+    }
+
+    /// `Identity::parse_as` round-trips through its display string for
+    /// every kind, and the symbol survives the trip too.
+    #[test]
+    fn identity_parse_round_trips(n in "[0-9]{6,15}") {
+        for kind in [IdentityKind::Imsi, IdentityKind::Msisdn] {
+            let id = Identity::parse_as(kind, &n).expect("digits parse");
+            prop_assert_eq!(id.kind(), kind);
+            prop_assert_eq!(id.as_str(), n.as_str());
+            let again = Identity::parse_as(kind, id.as_str()).expect("reparse");
+            prop_assert_eq!(id.symbol(), again.symbol());
+        }
+    }
+
+    /// The raw interner: packed (pure-digit) and spilled (arbitrary)
+    /// strings resolve back exactly and dedup to stable symbols, even
+    /// when the same instance interleaves both shapes.
+    #[test]
+    fn interner_round_trips_mixed_shapes(
+        packed in "[0-9]{1,19}",
+        spilled in "[ -~]{1,24}",
+    ) {
+        let interner = IdentityInterner::new();
+        let a = interner.intern(&packed);
+        let b = interner.intern(&spilled);
+        prop_assert_eq!(interner.resolve(a), packed.as_str());
+        prop_assert_eq!(interner.resolve(b), spilled.as_str());
+        prop_assert_eq!(interner.intern(&packed), a, "packed dedup");
+        prop_assert_eq!(interner.intern(&spilled), b, "spilled dedup");
+        if packed != spilled {
+            prop_assert_ne!(a, b);
+        }
+    }
+}

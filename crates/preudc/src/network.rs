@@ -413,7 +413,7 @@ mod tests {
 
         // The new subscriber works at sites 0/1 but does not exist at 2 —
         // the §4.1 "new user walks out of the shop and the phone is dead".
-        let id: Identity = set.imsi.clone().into();
+        let id: Identity = set.imsi.into();
         assert!(net.fe_lookup(&id, SiteId(0), SimTime(1)).0.is_ok());
         assert!(net.fe_lookup(&id, SiteId(2), SimTime(1)).0.is_err());
         assert_eq!(net.stats.routing_misses, 1);

@@ -42,8 +42,16 @@ pub struct AdmissionController {
     /// the backlog, a momentary dip) must not clear an overload episode;
     /// the queue has to stay drained for a full grace interval.
     below_since: Option<SimTime>,
-    /// Since when the controller has actually been shedding.
+    /// Since when the controller has actually been delay-shedding.
     shedding_since: Option<SimTime>,
+    /// Since when rate ceilings have been refusing tokens; cleared the
+    /// moment a bucket admit succeeds again.
+    rate_shed_since: Option<SimTime>,
+    /// Instant of the last observed sample (admitted or shed). Seeds
+    /// `below_since` so that an idle gap — no traffic at all — counts as
+    /// drained time: the first low sample after a long gap clears the
+    /// episode instead of restarting the hysteresis clock from scratch.
+    last_sample: Option<SimTime>,
 }
 
 impl AdmissionController {
@@ -56,6 +64,8 @@ impl AdmissionController {
             above_since: None,
             below_since: None,
             shedding_since: None,
+            rate_shed_since: None,
+            last_sample: None,
         }
     }
 
@@ -75,6 +85,7 @@ impl AdmissionController {
         if !self.cfg.enabled {
             return Ok(());
         }
+        let prev_sample = self.last_sample.replace(now);
         // Delay shedding first: an op the queue is about to refuse must
         // not consume rate budget (its own, or budget borrowed from a
         // lower class's bucket).
@@ -82,8 +93,11 @@ impl AdmissionController {
             // Low sample: the overload episode only ends once the queue
             // stays drained for a full grace interval (exit hysteresis —
             // a lone op that raced ahead of the backlog must not reset
-            // the episode).
-            let below = *self.below_since.get_or_insert(now);
+            // the episode). The drain clock seeds from the *previous*
+            // sample instant: nothing was queued across an idle gap, so
+            // the gap itself counts as drained time and the first low
+            // sample after it can clear the episode outright.
+            let below = *self.below_since.get_or_insert(prev_sample.unwrap_or(now));
             if now.duration_since(below) >= self.cfg.shed_interval {
                 self.above_since = None;
                 self.shedding_since = None;
@@ -98,8 +112,10 @@ impl AdmissionController {
             }
         }
         if !self.buckets.admit(class, now) {
+            self.rate_shed_since.get_or_insert(now);
             return Err(ShedReason::RateLimit);
         }
+        self.rate_shed_since = None;
         Ok(())
     }
 
@@ -127,18 +143,30 @@ impl AdmissionController {
         }
     }
 
-    /// Whether the controller is currently shedding at all.
+    /// Whether the controller is currently shedding at all — by queue
+    /// delay *or* by rate ceiling. A pure rate-limit storm (healthy
+    /// queue, exhausted buckets) is overload too.
     pub fn is_shedding(&self) -> bool {
-        self.shedding_since.is_some()
+        self.shedding_since.is_some() || self.rate_shed_since.is_some()
+    }
+
+    /// Since when the controller has been shedding for any reason.
+    fn shedding_start(&self) -> Option<SimTime> {
+        match (self.shedding_since, self.rate_shed_since) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// Whether sustained overload has reached the point where guarded
-    /// read policies downgrade to nearest-copy.
+    /// read policies downgrade to nearest-copy. Rate-limit shedding
+    /// counts: a retry storm held off purely by token buckets is still
+    /// sustained overload.
     pub fn degraded(&self, now: SimTime) -> bool {
         self.cfg.enabled
             && self.cfg.adaptive_degradation
             && self
-                .shedding_since
+                .shedding_start()
                 .is_some_and(|since| now.duration_since(since) >= self.cfg.degrade_after)
     }
 }
@@ -265,12 +293,62 @@ mod tests {
         );
         assert!(!c.degraded(at(16)), "degradation has its own fuse");
         assert!(c.degraded(at(70)), "sustained shedding degrades");
-        // A sustained drain (two low samples spanning the grace
-        // interval) clears the degradation too.
+        // Keep traffic continuous so the drain clock starts at the last
+        // overloaded sample: a sustained drain (low samples spanning the
+        // grace interval) then clears the degradation too.
+        let _ = c.admit(PriorityClass::Provisioning, ms(20), at(75));
         assert!(c.admit(PriorityClass::Provisioning, ms(0), at(80)).is_ok());
         assert!(c.degraded(at(81)), "one low sample is not a drain");
         assert!(c.admit(PriorityClass::Provisioning, ms(0), at(95)).is_ok());
         assert!(!c.degraded(at(96)));
+    }
+
+    #[test]
+    fn idle_gap_counts_as_drained_time() {
+        let mut c = controller();
+        // Drive the controller into shedding, then go completely idle.
+        let _ = c.admit(PriorityClass::Provisioning, ms(20), at(0));
+        assert_eq!(
+            c.admit(PriorityClass::Provisioning, ms(20), at(12)),
+            Err(ShedReason::QueueDelay)
+        );
+        assert!(c.is_shedding());
+        // Nothing was queued for 500 ms — the first low sample after the
+        // gap proves the queue drained long ago and ends the episode
+        // immediately, instead of demanding another full grace interval
+        // of post-gap traffic.
+        assert!(c.admit(PriorityClass::Provisioning, ms(0), at(512)).is_ok());
+        assert!(!c.is_shedding(), "idle gap must clear the episode");
+        assert!(!c.degraded(at(512)));
+    }
+
+    #[test]
+    fn rate_limit_storms_count_as_shedding_and_degrade() {
+        let mut cfg =
+            QosConfig::protective().with_rate_limit(PriorityClass::Provisioning, 1.0, 1.0);
+        cfg.degrade_after = ms(50);
+        let mut c = cfg.controller();
+        assert!(c.admit(PriorityClass::Provisioning, ms(0), at(0)).is_ok());
+        assert!(!c.is_shedding());
+        // The bucket is dry: every refusal from here on is overload even
+        // though the queue itself is healthy.
+        assert_eq!(
+            c.admit(PriorityClass::Provisioning, ms(0), at(1)),
+            Err(ShedReason::RateLimit)
+        );
+        assert!(c.is_shedding(), "rate-limit shedding is shedding");
+        assert!(!c.degraded(at(2)), "degradation still has its fuse");
+        assert_eq!(
+            c.admit(PriorityClass::Provisioning, ms(0), at(40)),
+            Err(ShedReason::RateLimit)
+        );
+        assert!(c.degraded(at(60)), "a sustained token drought degrades");
+        // One refill later the bucket admits again and the episode ends.
+        assert!(c
+            .admit(PriorityClass::Provisioning, ms(0), at(2_000))
+            .is_ok());
+        assert!(!c.is_shedding());
+        assert!(!c.degraded(at(2_000)));
     }
 
     #[test]

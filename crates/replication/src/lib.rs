@@ -36,5 +36,5 @@ pub use quorum::{
     quorum_consistent, quorum_read, quorum_write, QuorumReadOutcome, QuorumWriteOutcome,
 };
 pub use semisync::{dual_in_sequence, DualOutcome, TxnShape};
-pub use shipping::{AsyncShipper, Delivery};
+pub use shipping::{AsyncShipper, BatchDelivery, Delivery, Enqueue, ShipBatchConfig};
 pub use twophase::{two_phase_commit, TwoPcOutcome};

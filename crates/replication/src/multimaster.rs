@@ -16,7 +16,7 @@ use std::collections::BTreeMap;
 
 use udr_model::ids::SubscriberUid;
 use udr_model::time::SimTime;
-use udr_storage::{Engine, EngineSnapshot, Lsn, RecordVersion};
+use udr_storage::{Engine, EngineSnapshot, Lsn, RecordView};
 
 /// Statistics of one consistency-restoration run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -42,7 +42,7 @@ pub struct MergeOutcome {
 /// Per-record winner selection: latest commit instant wins; ties break on
 /// the higher writer SE id, then higher LSN (total order ⇒ deterministic,
 /// branch-order-independent merges).
-fn beats(a: &RecordVersion, b: &RecordVersion) -> bool {
+fn beats(a: RecordView<'_>, b: RecordView<'_>) -> bool {
     (a.committed_at, a.written_by, a.lsn) > (b.committed_at, b.written_by, b.lsn)
 }
 
@@ -51,11 +51,12 @@ fn beats(a: &RecordVersion, b: &RecordVersion) -> bool {
 /// `diverged_at` is the instant the partition started: versions committed
 /// strictly after it count as branch writes for conflict accounting.
 pub fn merge_branches(diverged_at: SimTime, branches: &[&Engine]) -> MergeOutcome {
-    // Collect, per uid, every branch's version.
-    let mut by_uid: BTreeMap<SubscriberUid, Vec<&RecordVersion>> = BTreeMap::new();
+    // Collect, per uid, every branch's version (borrowed views — the merge
+    // only clones the payloads that win).
+    let mut by_uid: BTreeMap<SubscriberUid, Vec<RecordView<'_>>> = BTreeMap::new();
     for engine in branches {
-        for (uid, version) in engine.iter_committed() {
-            by_uid.entry(*uid).or_default().push(version);
+        for view in engine.iter_committed() {
+            by_uid.entry(view.uid).or_default().push(view);
         }
     }
 
@@ -78,7 +79,7 @@ pub fn merge_branches(diverged_at: SimTime, branches: &[&Engine]) -> MergeOutcom
 
         // Conflict accounting over post-divergence writes with distinct
         // outcomes.
-        let mut post: Vec<&&RecordVersion> = versions
+        let mut post: Vec<&RecordView<'_>> = versions
             .iter()
             .filter(|v| v.committed_at > diverged_at)
             .collect();
@@ -98,7 +99,7 @@ pub fn merge_branches(diverged_at: SimTime, branches: &[&Engine]) -> MergeOutcom
             stats.one_sided_updates += 1;
         }
 
-        records.push((uid, winner.clone()));
+        records.push((uid, winner.to_version()));
     }
 
     MergeOutcome {
@@ -246,7 +247,7 @@ mod tests {
         let state = |e: &Engine| {
             let mut v: Vec<_> = e
                 .iter_committed()
-                .map(|(u, ver)| (*u, ver.entry.clone()))
+                .map(|view| (view.uid, view.entry.cloned()))
                 .collect();
             v.sort_by_key(|(u, _)| *u);
             v

@@ -13,6 +13,46 @@ use udr_model::ids::SeId;
 use udr_model::time::{SimDuration, SimTime};
 use udr_storage::{CommitRecord, Engine, Lsn};
 
+/// Knobs for coalescing shipped records into batches (one network message
+/// per batch instead of one per commit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShipBatchConfig {
+    /// Flush a channel's open batch once it holds this many records.
+    pub max_records: usize,
+    /// Flush an open batch this long after its first record was enqueued,
+    /// even if not full.
+    pub linger: SimDuration,
+}
+
+impl ShipBatchConfig {
+    /// Legacy behaviour: every commit ships as its own delivery.
+    pub const fn per_record() -> Self {
+        ShipBatchConfig {
+            max_records: 1,
+            linger: SimDuration::ZERO,
+        }
+    }
+
+    /// Coalesce up to `max_records` commits or `linger`, whichever first.
+    pub const fn coalesce(max_records: usize, linger: SimDuration) -> Self {
+        ShipBatchConfig {
+            max_records,
+            linger,
+        }
+    }
+
+    /// Whether this configuration coalesces at all.
+    pub fn is_per_record(&self) -> bool {
+        self.max_records <= 1
+    }
+}
+
+impl Default for ShipBatchConfig {
+    fn default() -> Self {
+        ShipBatchConfig::per_record()
+    }
+}
+
 /// Per-slave FIFO shipping state.
 #[derive(Debug, Clone, Default)]
 struct Channel {
@@ -22,6 +62,12 @@ struct Channel {
     inflight: Lsn,
     /// Arrival instant of the last in-flight record (FIFO clamp).
     last_arrival: SimTime,
+    /// Records coalescing in the currently open batch (batched mode).
+    pending: Vec<CommitRecord>,
+    /// Highest LSN accepted into `pending` (== `inflight` when empty).
+    enqueued: Lsn,
+    /// Open-batch generation; guards stale linger timers.
+    batch_seq: u64,
 }
 
 /// The shipping ledger for one replication group.
@@ -37,6 +83,8 @@ pub struct AsyncShipper {
     pub shipped: u64,
     /// Catch-up passes performed.
     pub catchups: u64,
+    /// Coalesced batches delivered (batched mode only).
+    pub batches: u64,
 }
 
 /// A planned delivery: apply `record` on `slave` at `arrives`.
@@ -48,6 +96,37 @@ pub struct Delivery {
     pub record: CommitRecord,
     /// Virtual arrival instant.
     pub arrives: SimTime,
+}
+
+/// A planned batched delivery: apply `records` (contiguous LSNs, in order)
+/// on `slave` when the single batch message arrives at `arrives`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchDelivery {
+    /// Destination slave SE.
+    pub slave: SeId,
+    /// The coalesced records, in LSN order.
+    pub records: Vec<CommitRecord>,
+    /// Virtual arrival instant of the whole batch.
+    pub arrives: SimTime,
+}
+
+/// Outcome of enqueueing a record into a channel's open batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Enqueue {
+    /// The record opened a new batch; schedule a linger flush carrying
+    /// this sequence number.
+    Opened {
+        /// Generation of the batch just opened.
+        seq: u64,
+    },
+    /// The record joined the already-open batch.
+    Joined,
+    /// The record filled the batch to its cap; flush now via
+    /// [`AsyncShipper::flush_open`].
+    Full,
+    /// Refused: unknown channel or out-of-sequence record (catch-up will
+    /// re-ship from the log).
+    Refused,
 }
 
 impl AsyncShipper {
@@ -67,6 +146,9 @@ impl AsyncShipper {
                 applied,
                 inflight: applied,
                 last_arrival: SimTime::ZERO,
+                pending: Vec::new(),
+                enqueued: applied,
+                batch_seq: 0,
             },
         );
     }
@@ -80,7 +162,9 @@ impl AsyncShipper {
     pub fn unregister_slave(&mut self, slave: SeId) -> u64 {
         self.drained.insert(slave);
         match self.channels.remove(&slave) {
-            Some(ch) => ch.inflight.raw().saturating_sub(ch.applied.raw()),
+            Some(ch) => {
+                ch.inflight.raw().saturating_sub(ch.applied.raw()) + ch.pending.len() as u64
+            }
             None => 0,
         }
     }
@@ -107,12 +191,13 @@ impl AsyncShipper {
     ) -> Option<Delivery> {
         let ch = self.channels.get_mut(&slave)?;
         // Only ship the exact next record; anything else waits for catch-up.
-        if record.lsn != ch.inflight.next() {
+        if !ch.pending.is_empty() || record.lsn != ch.inflight.next() {
             return None;
         }
         let delay = delay?;
         let arrives = (now + delay).max(ch.last_arrival);
         ch.inflight = record.lsn;
+        ch.enqueued = record.lsn;
         ch.last_arrival = arrives;
         self.shipped += 1;
         Some(Delivery {
@@ -127,7 +212,91 @@ impl AsyncShipper {
         if let Some(ch) = self.channels.get_mut(&slave) {
             ch.applied = ch.applied.max(lsn);
             ch.inflight = ch.inflight.max(lsn);
+            ch.enqueued = ch.enqueued.max(lsn);
         }
+    }
+
+    /// Enqueue a just-committed record into `slave`'s open batch (batched
+    /// shipping). The record must be the exact next LSN the channel
+    /// expects; anything else is refused and left to catch-up. Reachability
+    /// is evaluated when the batch flushes, not here.
+    pub fn enqueue(
+        &mut self,
+        slave: SeId,
+        record: &CommitRecord,
+        cfg: &ShipBatchConfig,
+    ) -> Enqueue {
+        let Some(ch) = self.channels.get_mut(&slave) else {
+            return Enqueue::Refused;
+        };
+        if record.lsn != ch.enqueued.next() {
+            return Enqueue::Refused;
+        }
+        let opened = ch.pending.is_empty();
+        ch.pending.push(record.clone());
+        ch.enqueued = record.lsn;
+        if opened {
+            ch.batch_seq += 1;
+        }
+        if ch.pending.len() >= cfg.max_records.max(1) {
+            Enqueue::Full
+        } else if opened {
+            Enqueue::Opened { seq: ch.batch_seq }
+        } else {
+            Enqueue::Joined
+        }
+    }
+
+    /// Flush `slave`'s open batch unconditionally (cap reached). `delay` is
+    /// the sampled network delay for the single batch message; `None`
+    /// (unreachable) drops the batch and stalls the channel — catch-up
+    /// re-ships the suffix from the master's log.
+    pub fn flush_open(
+        &mut self,
+        slave: SeId,
+        now: SimTime,
+        delay: Option<SimDuration>,
+    ) -> Option<BatchDelivery> {
+        let ch = self.channels.get_mut(&slave)?;
+        if ch.pending.is_empty() {
+            return None;
+        }
+        let Some(delay) = delay else {
+            // Stall: the records stay in the master's log only.
+            ch.pending.clear();
+            ch.enqueued = ch.inflight;
+            return None;
+        };
+        let arrives = (now + delay).max(ch.last_arrival);
+        let records = std::mem::take(&mut ch.pending);
+        let last = records.last().expect("non-empty batch").lsn;
+        ch.inflight = last;
+        ch.enqueued = last;
+        ch.last_arrival = arrives;
+        self.shipped += records.len() as u64;
+        self.batches += 1;
+        Some(BatchDelivery {
+            slave,
+            records,
+            arrives,
+        })
+    }
+
+    /// Flush `slave`'s open batch only if it is still generation `seq`
+    /// (linger timer fired). A batch that already flushed at its cap — or a
+    /// channel rebuilt since — ignores the stale timer.
+    pub fn flush_if_open(
+        &mut self,
+        slave: SeId,
+        seq: u64,
+        now: SimTime,
+        delay: Option<SimDuration>,
+    ) -> Option<BatchDelivery> {
+        let ch = self.channels.get(&slave)?;
+        if ch.pending.is_empty() || ch.batch_seq != seq {
+            return None;
+        }
+        self.flush_open(slave, now, delay)
     }
 
     /// Plan a catch-up pass for `slave`: re-ship every record the master
@@ -152,6 +321,10 @@ impl AsyncShipper {
         if ch.applied >= master.last_lsn() {
             return Vec::new();
         }
+        // Anything coalescing in an open batch is superseded: the catch-up
+        // suffix re-ships those records straight from the log.
+        ch.pending.clear();
+        ch.enqueued = ch.inflight;
         let Some(delay) = delay else {
             return Vec::new();
         };
@@ -170,6 +343,7 @@ impl AsyncShipper {
                 arrives,
             });
             ch.inflight = record.lsn;
+            ch.enqueued = record.lsn;
             ch.last_arrival = arrives;
             // Records in the same batch arrive 1 µs apart (stream order).
             arrives += SimDuration::from_micros(1);
@@ -404,6 +578,139 @@ mod tests {
                 .is_some());
         }
         assert_eq!(shipper.unregister_slave(SeId(1)), 2);
+    }
+
+    #[test]
+    fn batch_flushes_at_cap() {
+        let mut master = Engine::new(SeId(0));
+        let recs = commit_n(&mut master, 5);
+        let mut shipper = AsyncShipper::new();
+        shipper.register_slave(SeId(1), Lsn::ZERO);
+        let cfg = ShipBatchConfig::coalesce(3, SimDuration::from_millis(5));
+
+        assert_eq!(
+            shipper.enqueue(SeId(1), &recs[0], &cfg),
+            Enqueue::Opened { seq: 1 }
+        );
+        assert_eq!(shipper.enqueue(SeId(1), &recs[1], &cfg), Enqueue::Joined);
+        assert_eq!(shipper.enqueue(SeId(1), &recs[2], &cfg), Enqueue::Full);
+        let batch = shipper
+            .flush_open(SeId(1), SimTime(10), Some(SimDuration::from_millis(2)))
+            .unwrap();
+        assert_eq!(batch.records.len(), 3);
+        assert_eq!(
+            batch.records.iter().map(|r| r.lsn).collect::<Vec<_>>(),
+            vec![Lsn(1), Lsn(2), Lsn(3)]
+        );
+        assert_eq!(shipper.shipped, 3);
+        assert_eq!(shipper.batches, 1);
+
+        // The stale linger timer for the flushed batch is a no-op.
+        assert!(shipper
+            .flush_if_open(SeId(1), 1, SimTime(20), Some(SimDuration::ZERO))
+            .is_none());
+
+        // Apply the batch on a slave and confirm the tail LSN.
+        let mut slave = Engine::new(SeId(1));
+        for r in &batch.records {
+            slave.apply_replicated(r).unwrap();
+        }
+        shipper.on_applied(SeId(1), batch.records.last().unwrap().lsn);
+        assert_eq!(shipper.applied(SeId(1)), Some(Lsn(3)));
+        assert_eq!(shipper.lag(SeId(1), &master), Some(2));
+    }
+
+    #[test]
+    fn linger_timer_flushes_partial_batch() {
+        let mut master = Engine::new(SeId(0));
+        let recs = commit_n(&mut master, 2);
+        let mut shipper = AsyncShipper::new();
+        shipper.register_slave(SeId(1), Lsn::ZERO);
+        let cfg = ShipBatchConfig::coalesce(10, SimDuration::from_millis(5));
+
+        let Enqueue::Opened { seq } = shipper.enqueue(SeId(1), &recs[0], &cfg) else {
+            panic!("expected Opened");
+        };
+        assert_eq!(shipper.enqueue(SeId(1), &recs[1], &cfg), Enqueue::Joined);
+        let batch = shipper
+            .flush_if_open(
+                SeId(1),
+                seq,
+                SimTime(5_000_000),
+                Some(SimDuration::from_millis(1)),
+            )
+            .unwrap();
+        assert_eq!(batch.records.len(), 2);
+        // Nothing left pending: a second timer with the same seq no-ops.
+        assert!(shipper
+            .flush_if_open(SeId(1), seq, SimTime(6_000_000), Some(SimDuration::ZERO))
+            .is_none());
+    }
+
+    #[test]
+    fn unreachable_flush_stalls_then_catch_up_reships() {
+        let mut master = Engine::new(SeId(0));
+        let recs = commit_n(&mut master, 3);
+        let mut shipper = AsyncShipper::new();
+        shipper.register_slave(SeId(1), Lsn::ZERO);
+        let cfg = ShipBatchConfig::coalesce(3, SimDuration::from_millis(5));
+
+        for r in &recs[..2] {
+            shipper.enqueue(SeId(1), r, &cfg);
+        }
+        // Partitioned at flush time: the batch is dropped, channel stalls.
+        assert!(shipper.flush_open(SeId(1), SimTime(10), None).is_none());
+        assert_eq!(shipper.shipped, 0);
+        // The next commit is no longer the expected next enqueue? It is:
+        // the stall reset the channel to the inflight position (0), so LSN 1
+        // re-opens a batch.
+        assert_eq!(
+            shipper.enqueue(SeId(1), &recs[0], &cfg),
+            Enqueue::Opened { seq: 2 }
+        );
+        // Heal: catch-up re-ships everything from the log, superseding the
+        // open batch.
+        let deliveries = shipper.catch_up(
+            SeId(1),
+            &master,
+            SimTime(100),
+            Some(SimDuration::from_millis(1)),
+        );
+        assert_eq!(deliveries.len(), 3);
+        // The superseded batch's timer is now a stale no-op.
+        assert!(shipper
+            .flush_if_open(SeId(1), 2, SimTime(200), Some(SimDuration::ZERO))
+            .is_none());
+    }
+
+    #[test]
+    fn out_of_sequence_enqueue_refused() {
+        let mut master = Engine::new(SeId(0));
+        let recs = commit_n(&mut master, 2);
+        let mut shipper = AsyncShipper::new();
+        shipper.register_slave(SeId(1), Lsn::ZERO);
+        let cfg = ShipBatchConfig::coalesce(4, SimDuration::from_millis(5));
+        assert_eq!(shipper.enqueue(SeId(1), &recs[1], &cfg), Enqueue::Refused);
+        assert_eq!(shipper.enqueue(SeId(9), &recs[0], &cfg), Enqueue::Refused);
+    }
+
+    #[test]
+    fn per_record_config_flushes_every_enqueue() {
+        let mut master = Engine::new(SeId(0));
+        let recs = commit_n(&mut master, 2);
+        let mut shipper = AsyncShipper::new();
+        shipper.register_slave(SeId(1), Lsn::ZERO);
+        let cfg = ShipBatchConfig::per_record();
+        assert!(cfg.is_per_record());
+        for r in &recs {
+            assert_eq!(shipper.enqueue(SeId(1), r, &cfg), Enqueue::Full);
+            let b = shipper
+                .flush_open(SeId(1), SimTime(0), Some(SimDuration::ZERO))
+                .unwrap();
+            assert_eq!(b.records.len(), 1);
+        }
+        assert_eq!(shipper.batches, 2);
+        assert_eq!(shipper.shipped, 2);
     }
 
     #[test]

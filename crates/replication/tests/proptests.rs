@@ -127,7 +127,7 @@ proptest! {
         let ra = Engine::from_snapshot(SeId(0), merged.snapshot.clone());
         let rb = Engine::from_snapshot(SeId(1), merged.snapshot.clone());
         let state = |e: &Engine| {
-            let mut v: Vec<_> = e.iter_committed().map(|(u, ver)| (*u, ver.entry.clone())).collect();
+            let mut v: Vec<_> = e.iter_committed().map(|view| (view.uid, view.entry.cloned())).collect();
             v.sort_by_key(|(u, _)| *u);
             v
         };

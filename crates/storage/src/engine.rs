@@ -19,6 +19,7 @@ use udr_model::ids::{SeId, SubscriberUid};
 use udr_model::time::SimTime;
 
 use crate::log::CommitLog;
+use crate::store::{RecordStore, RecordView};
 use crate::version::{Change, CommitRecord, Lsn, RecordVersion};
 
 /// Identifier of an in-flight transaction on one engine.
@@ -66,7 +67,8 @@ impl EngineSnapshot {
 pub struct Engine {
     /// Identity of the hosting SE (stamped into commit records).
     se: SeId,
-    committed: HashMap<SubscriberUid, RecordVersion>,
+    /// Committed state, stored column-wise (see [`RecordStore`]).
+    committed: RecordStore,
     /// Row write locks: uid → holding transaction.
     locks: HashMap<SubscriberUid, TxnId>,
     /// Uncommitted staged values, readable at READ_UNCOMMITTED.
@@ -85,7 +87,7 @@ impl Engine {
     pub fn new(se: SeId) -> Self {
         Engine {
             se,
-            committed: HashMap::new(),
+            committed: RecordStore::new(),
             locks: HashMap::new(),
             dirty: HashMap::new(),
             active: HashMap::new(),
@@ -102,7 +104,7 @@ impl Engine {
     pub fn from_snapshot(se: SeId, snapshot: EngineSnapshot) -> Self {
         Engine {
             se,
-            committed: snapshot.records.into_iter().collect(),
+            committed: RecordStore::from_records(snapshot.records),
             locks: HashMap::new(),
             dirty: HashMap::new(),
             active: HashMap::new(),
@@ -166,13 +168,26 @@ impl Engine {
     /// Read the latest committed version outside any transaction (what a
     /// slave replica serves to front-ends).
     pub fn read_committed(&self, uid: SubscriberUid) -> Option<Entry> {
-        self.committed.get(&uid).and_then(|v| v.entry.clone())
+        self.committed.entry(uid).cloned()
+    }
+
+    /// Borrow the latest committed payload without cloning — the zero-copy
+    /// read path front-ends should prefer for lookups.
+    pub fn committed_entry(&self, uid: SubscriberUid) -> Option<&Entry> {
+        self.committed.entry(uid)
     }
 
     /// The full committed version (with LSN and commit time), for staleness
-    /// measurement and merges.
-    pub fn committed_version(&self, uid: SubscriberUid) -> Option<&RecordVersion> {
-        self.committed.get(&uid)
+    /// measurement and merges. Clones the payload; metadata-only callers
+    /// should use [`Engine::committed_view`].
+    pub fn committed_version(&self, uid: SubscriberUid) -> Option<RecordVersion> {
+        self.committed.version(uid)
+    }
+
+    /// Borrowed view of the committed record (metadata by value, payload by
+    /// reference).
+    pub fn committed_view(&self, uid: SubscriberUid) -> Option<RecordView<'_>> {
+        self.committed.get(uid)
     }
 
     fn lock(&mut self, id: TxnId, uid: SubscriberUid) -> UdrResult<()> {
@@ -249,15 +264,7 @@ impl Engine {
         for (uid, entry) in txn.writes {
             self.locks.remove(&uid);
             self.dirty.remove(&uid);
-            self.committed.insert(
-                uid,
-                RecordVersion {
-                    entry: entry.clone(),
-                    lsn,
-                    committed_at: now,
-                    written_by: self.se,
-                },
-            );
+            self.committed.upsert(uid, entry.clone(), lsn, now, self.se);
             changes.push(Change { uid, entry });
         }
         let record = CommitRecord {
@@ -291,14 +298,12 @@ impl Engine {
             });
         }
         for change in &record.changes {
-            self.committed.insert(
+            self.committed.upsert(
                 change.uid,
-                RecordVersion {
-                    entry: change.entry.clone(),
-                    lsn: record.lsn,
-                    committed_at: record.committed_at,
-                    written_by: record.written_by,
-                },
+                change.entry.clone(),
+                record.lsn,
+                record.committed_at,
+                record.written_by,
             );
         }
         self.log.append(record.clone());
@@ -326,7 +331,7 @@ impl Engine {
         let mut records: Vec<_> = self
             .committed
             .iter()
-            .map(|(k, v)| (*k, v.clone()))
+            .map(|view| (view.uid, view.to_version()))
             .collect();
         records.sort_by_key(|(k, _)| *k);
         EngineSnapshot {
@@ -337,18 +342,12 @@ impl Engine {
 
     /// Number of live (non-tombstone) records.
     pub fn live_records(&self) -> usize {
-        self.committed
-            .values()
-            .filter(|v| v.entry.is_some())
-            .count()
+        self.committed.live_records()
     }
 
     /// Approximate RAM footprint of committed data, in bytes.
     pub fn approx_bytes(&self) -> usize {
-        self.committed
-            .values()
-            .map(|v| 64 + v.entry.as_ref().map_or(0, Entry::approx_size))
-            .sum()
+        self.committed.approx_bytes()
     }
 
     /// Number of in-flight transactions (diagnostics).
@@ -356,9 +355,14 @@ impl Engine {
         self.active.len()
     }
 
-    /// Iterate committed `(uid, version)` pairs in arbitrary order.
-    pub fn iter_committed(&self) -> impl Iterator<Item = (&SubscriberUid, &RecordVersion)> {
+    /// Iterate committed records as borrowed views, in stable slot order.
+    pub fn iter_committed(&self) -> impl Iterator<Item = RecordView<'_>> {
         self.committed.iter()
+    }
+
+    /// Direct access to the columnar committed-record store.
+    pub fn store(&self) -> &RecordStore {
+        &self.committed
     }
 }
 

@@ -25,6 +25,7 @@ pub mod engine;
 pub mod log;
 pub mod se;
 pub mod shared;
+pub mod store;
 pub mod version;
 
 pub use backend::StorageBackend;
@@ -33,4 +34,5 @@ pub use engine::{Engine, EngineSnapshot, TxnId};
 pub use log::CommitLog;
 pub use se::{Replica, SeState, StorageElement};
 pub use shared::SharedEngine;
+pub use store::{RecordStore, RecordView, StoreImage};
 pub use version::{Change, CommitRecord, Lsn, RecordVersion};

@@ -70,6 +70,37 @@ pub fn periodic_partitions(
     schedule
 }
 
+/// Where a [`PartitionScenario`]'s fault lands: which sites form the
+/// cut-off island and which storage element crashes. The default
+/// placement (last site, `SeId(0)`) reproduces the historical e22 grid;
+/// campaigns that sweep placement build their own.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlacement {
+    /// Sites cut off / black-holed / flapped by the connectivity faults.
+    pub island: Vec<SiteId>,
+    /// The element crashed by [`PartitionScenario::SeOutage`].
+    pub crash_se: SeId,
+}
+
+impl FaultPlacement {
+    /// The historical default for a `sites`-site deployment: isolate the
+    /// last site, crash `SeId(0)`.
+    pub fn last_site(sites: u32) -> Self {
+        assert!(sites >= 2, "fault scenarios need at least two sites");
+        FaultPlacement {
+            island: vec![SiteId(sites - 1)],
+            crash_se: SeId(0),
+        }
+    }
+
+    /// A placement isolating exactly `island`, crashing `crash_se`.
+    pub fn at(island: impl IntoIterator<Item = SiteId>, crash_se: SeId) -> Self {
+        let island: Vec<SiteId> = island.into_iter().collect();
+        assert!(!island.is_empty(), "a fault placement needs an island");
+        FaultPlacement { island, crash_se }
+    }
+}
+
 /// The named fault archetypes of the e22 CAP verdict matrix — the ways a
 /// multi-national backbone actually fails, from the clean CAP textbook
 /// cut to the grey failures that dominate real incident logs.
@@ -104,13 +135,26 @@ impl PartitionScenario {
         PartitionScenario::SeOutage,
     ];
 
-    /// Build the scenario's [`FaultScript`] for a `sites`-site deployment:
-    /// the fault targets the last site (or `SeId(0)` for the SE outage),
-    /// runs in `[at, at + duration)`, and compiles deterministically from
-    /// `seed`.
+    /// Build the scenario's [`FaultScript`] for a `sites`-site deployment
+    /// under the default [`FaultPlacement`] (last site cut off, `SeId(0)`
+    /// crashed): the fault runs in `[at, at + duration)` and compiles
+    /// deterministically from `seed`.
     pub fn script(self, seed: u64, sites: u32, at: SimTime, duration: SimDuration) -> FaultScript {
-        assert!(sites >= 2, "fault scenarios need at least two sites");
-        let island = [SiteId(sites - 1)];
+        self.script_at(seed, &FaultPlacement::last_site(sites), at, duration)
+    }
+
+    /// Build the scenario's [`FaultScript`] with an explicit fault
+    /// placement — which island the connectivity faults isolate and
+    /// which element the SE outage crashes. `WanDegradation` degrades the
+    /// whole backbone and ignores the placement.
+    pub fn script_at(
+        self,
+        seed: u64,
+        placement: &FaultPlacement,
+        at: SimTime,
+        duration: SimDuration,
+    ) -> FaultScript {
+        let island = placement.island.iter().copied();
         match self {
             PartitionScenario::CleanPartition => {
                 FaultScript::new(seed).clean_partition(at, duration, island)
@@ -133,7 +177,7 @@ impl PartitionScenario {
             PartitionScenario::SeOutage => {
                 // Crash at the window start, restore at 3/4 of it: the
                 // tail covers failover, rejoin and catch-up.
-                FaultScript::new(seed).se_outage(at, duration.mul_f64(0.75), SeId(0))
+                FaultScript::new(seed).se_outage(at, duration.mul_f64(0.75), placement.crash_se)
             }
         }
     }
@@ -243,6 +287,50 @@ mod tests {
                 scenario.script(5, 3, at, duration).timeline()
             );
         }
+    }
+
+    #[test]
+    fn default_placement_reproduces_the_legacy_scripts() {
+        let at = SimTime::ZERO + SimDuration::from_secs(30);
+        let duration = SimDuration::from_secs(20);
+        let placement = FaultPlacement::last_site(4);
+        assert_eq!(placement.island, vec![SiteId(3)]);
+        assert_eq!(placement.crash_se, SeId(0));
+        for scenario in PartitionScenario::ALL {
+            assert_eq!(
+                scenario.script(9, 4, at, duration).timeline(),
+                scenario.script_at(9, &placement, at, duration).timeline(),
+                "{scenario}: script() must stay the default-placement alias"
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_placement_moves_the_fault() {
+        let at = SimTime::ZERO + SimDuration::from_secs(30);
+        let duration = SimDuration::from_secs(20);
+        let moved = FaultPlacement::at([SiteId(0), SiteId(1)], SeId(5));
+        for scenario in PartitionScenario::ALL {
+            let legacy = scenario.script(9, 4, at, duration).timeline();
+            let placed = scenario.script_at(9, &moved, at, duration).timeline();
+            if scenario == PartitionScenario::WanDegradation {
+                // Degradation is backbone-wide; placement is irrelevant.
+                assert_eq!(legacy, placed, "{scenario}: degradation has no island");
+            } else {
+                assert_ne!(legacy, placed, "{scenario}: placement must move the fault");
+            }
+            // Placement changes *where*, never *when*: both scripts stay
+            // inside the window and fire at its start.
+            let script = scenario.script_at(9, &moved, at, duration);
+            assert!(script.active_at(at), "{scenario}: inactive at window start");
+            assert!(script.end() <= at + duration, "{scenario}: past its window");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs an island")]
+    fn empty_island_placement_is_rejected() {
+        let _ = FaultPlacement::at([], SeId(0));
     }
 
     #[test]

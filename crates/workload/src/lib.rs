@@ -19,7 +19,7 @@ pub mod population;
 pub mod retry;
 pub mod traffic;
 
-pub use faultgen::{periodic_partitions, OutageProcess, PartitionScenario};
+pub use faultgen::{periodic_partitions, FaultPlacement, OutageProcess, PartitionScenario};
 pub use population::{PopulationBuilder, Subscriber};
 pub use retry::RetryPolicy;
 pub use traffic::{

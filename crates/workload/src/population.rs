@@ -88,8 +88,28 @@ impl PopulationBuilder {
     }
 
     /// Generate the first `n` subscribers.
+    ///
+    /// Materialises the whole population; at million-subscriber scale use
+    /// [`PopulationBuilder::stream`] instead and consume one subscriber at
+    /// a time.
     pub fn build(&self, n: u64, rng: &mut SimRng) -> Vec<Subscriber> {
         (0..n).map(|i| self.subscriber(i, rng)).collect()
+    }
+
+    /// Stream subscribers `0..n` lazily — O(1) memory regardless of `n`,
+    /// producing exactly the same sequence as [`PopulationBuilder::build`]
+    /// with the same RNG state.
+    pub fn stream<'a>(
+        &'a self,
+        n: u64,
+        rng: &'a mut SimRng,
+    ) -> impl Iterator<Item = Subscriber> + 'a {
+        PopulationStream {
+            builder: self,
+            rng,
+            next: 0,
+            end: n,
+        }
     }
 
     /// Number of regions.
@@ -97,6 +117,34 @@ impl PopulationBuilder {
         self.regions
     }
 }
+
+/// Lazy subscriber generator (see [`PopulationBuilder::stream`]).
+struct PopulationStream<'a> {
+    builder: &'a PopulationBuilder,
+    rng: &'a mut SimRng,
+    next: u64,
+    end: u64,
+}
+
+impl Iterator for PopulationStream<'_> {
+    type Item = Subscriber;
+
+    fn next(&mut self) -> Option<Subscriber> {
+        if self.next >= self.end {
+            return None;
+        }
+        let s = self.builder.subscriber(self.next, self.rng);
+        self.next += 1;
+        Some(s)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.end - self.next) as usize;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for PopulationStream<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -130,6 +178,20 @@ mod tests {
         for (a, b) in p1.iter().zip(&p2) {
             assert_eq!(a.ids, b.ids);
             assert_eq!(a.home_region, b.home_region);
+        }
+    }
+
+    #[test]
+    fn stream_matches_build() {
+        let b = PopulationBuilder::new(3);
+        let mut r1 = SimRng::seed_from_u64(9);
+        let mut r2 = SimRng::seed_from_u64(9);
+        let built = b.build(200, &mut r1);
+        let streamed: Vec<_> = b.stream(200, &mut r2).collect();
+        assert_eq!(streamed.len(), 200);
+        for (a, s) in built.iter().zip(&streamed) {
+            assert_eq!(a.ids, s.ids);
+            assert_eq!(a.home_region, s.home_region);
         }
     }
 

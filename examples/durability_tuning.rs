@@ -60,7 +60,7 @@ fn run(durability: DurabilityMode, replication: ReplicationMode, auto_failover: 
     let home0: Vec<_> = population.iter().filter(|s| s.home_region == 0).collect();
     let master = udr
         .group(
-            udr.lookup_authority(&Identity::Imsi(home0[0].ids.imsi.clone()))
+            udr.lookup_authority(&Identity::Imsi(home0[0].ids.imsi))
                 .unwrap()
                 .partition,
         )
@@ -80,7 +80,7 @@ fn run(durability: DurabilityMode, replication: ReplicationMode, auto_failover: 
     while at < t(130) {
         let sub = &home0[i % home0.len()];
         let out = udr.modify_services(
-            &Identity::Imsi(sub.ids.imsi.clone()),
+            &Identity::Imsi(sub.ids.imsi),
             vec![AttrMod::Set(AttrId::AuthSqn, AttrValue::U64(writes))],
             SiteId(0),
             at,

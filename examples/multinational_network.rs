@@ -71,7 +71,7 @@ fn main() {
         while next_prov <= ev.at {
             let target = prov_iter.next().unwrap();
             let out = udr.modify_services(
-                &Identity::Imsi(target.ids.imsi.clone()),
+                &Identity::Imsi(target.ids.imsi),
                 vec![AttrMod::Set(
                     AttrId::OdbMask,
                     AttrValue::U64(next_prov.as_nanos()),

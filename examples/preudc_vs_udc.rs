@@ -45,7 +45,7 @@ fn main() {
         println!("network audit: {dangling} dangling routes, {divergent} divergent identities");
 
         // Alice powers her phone on while visiting site 2: dead.
-        let id = Identity::Imsi(alice.ids.imsi.clone());
+        let id = Identity::Imsi(alice.ids.imsi);
         let (lookup, _) = net.fe_lookup(&id, SiteId(2), t(1));
         println!("phone registers at site 2: {lookup:?}");
 

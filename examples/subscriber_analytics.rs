@@ -76,7 +76,7 @@ fn main() {
                 AttrValue::Str(format!("vlr{}.region{}.example", i % 4, sub.home_region)),
             ));
         }
-        let id = Identity::Imsi(sub.ids.imsi.clone());
+        let id = Identity::Imsi(sub.ids.imsi);
         let mut done = false;
         for _ in 0..4 {
             let out = udr.modify_services(&id, mods.clone(), SiteId(0), at);
@@ -118,8 +118,8 @@ fn main() {
                     continue;
                 }
                 let engine = se.engine(partition).expect("replica exists");
-                for (_, version) in engine.iter_committed() {
-                    let Some(entry) = &version.entry else {
+                for view in engine.iter_committed() {
+                    let Some(entry) = view.entry else {
                         continue;
                     };
                     scanned += 1;

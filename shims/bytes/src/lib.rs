@@ -1,60 +1,108 @@
-//! Offline stand-in for `bytes`, backed by plain `Vec<u8>`.
+//! Offline stand-in for `bytes`, now with real zero-copy semantics.
 //!
-//! Implements the surface the LDAP codec uses: `BytesMut` with the
-//! big-endian `BufMut` putters, `freeze()` into an immutable `Bytes`, and
-//! slice access on both. No refcount-sharing tricks — `Bytes` clones copy —
-//! which is irrelevant for the codec benchmarks' purposes.
+//! Implements the surface the LDAP codec and the columnar record store use:
+//! `BytesMut` with the big-endian `BufMut` putters, `freeze()` into an
+//! immutable `Bytes`, and slice access on both. `Bytes` is a reference-counted
+//! view (`Arc<[u8]>` + range), so `clone()` and `slice()` share the underlying
+//! buffer instead of copying — the property the storage layer's snapshot
+//! images rely on.
 
-use std::ops::Deref;
+use std::ops::{Deref, Range};
+use std::sync::Arc;
 
-/// Immutable byte buffer.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
-pub struct Bytes(Vec<u8>);
+/// Immutable, reference-counted byte buffer view.
+#[derive(Debug, Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
 
 impl Bytes {
     /// An empty buffer.
     pub fn new() -> Self {
-        Bytes(Vec::new())
+        Bytes::default()
     }
 
-    /// Number of bytes.
+    /// Number of bytes in this view.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.end - self.start
     }
 
-    /// Whether the buffer is empty.
+    /// Whether the view is empty.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.start == self.end
     }
 
     /// Copy a slice into an owned buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes(data.to_vec())
+        Bytes::from(data.to_vec())
+    }
+
+    /// A sub-view sharing the same underlying storage (no copy). The range
+    /// is relative to this view.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: Range<usize>) -> Bytes {
+        assert!(range.start <= range.end, "slice start past end");
+        assert!(self.start + range.end <= self.end, "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// Whether two views share the same underlying allocation (diagnostic
+    /// for zero-copy tests).
+    pub fn shares_storage_with(&self, other: &Bytes) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.0
+        &self.data[self.start..self.end]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.0
+        self
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self[..].hash(state)
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes(v)
+        let data: Arc<[u8]> = v.into();
+        let end = data.len();
+        Bytes {
+            data,
+            start: 0,
+            end,
+        }
     }
 }
 
 impl From<&[u8]> for Bytes {
     fn from(v: &[u8]) -> Self {
-        Bytes(v.to_vec())
+        Bytes::from(v.to_vec())
     }
 }
 
@@ -88,9 +136,10 @@ impl BytesMut {
         self.0.extend_from_slice(data);
     }
 
-    /// Convert into an immutable [`Bytes`].
+    /// Convert into an immutable [`Bytes`] (one allocation hand-off, no
+    /// copy of the payload beyond the `Arc` conversion).
     pub fn freeze(self) -> Bytes {
-        Bytes(self.0)
+        Bytes::from(self.0)
     }
 }
 
@@ -171,5 +220,35 @@ mod tests {
         a.extend_from_slice(b"abc");
         b.put_slice(b"abc");
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn slice_is_zero_copy() {
+        let b = Bytes::from(b"hello world".to_vec());
+        let hello = b.slice(0..5);
+        let world = b.slice(6..11);
+        assert_eq!(&hello[..], b"hello");
+        assert_eq!(&world[..], b"world");
+        assert!(hello.shares_storage_with(&b));
+        assert!(world.shares_storage_with(&hello));
+        // Sub-slicing a slice composes ranges.
+        let ell = hello.slice(1..4);
+        assert_eq!(&ell[..], b"ell");
+        assert!(ell.shares_storage_with(&b));
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let a = Bytes::from(b"abc".to_vec());
+        let b = a.clone();
+        assert!(a.shares_storage_with(&b));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_bounds_checked() {
+        let b = Bytes::from(b"abc".to_vec());
+        let _ = b.slice(0..4);
     }
 }

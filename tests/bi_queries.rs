@@ -37,7 +37,7 @@ fn provisioned() -> (Udr, Vec<udr::workload::Subscriber>) {
 fn filtered_search_returns_entry_only_on_match() {
     let (mut udr, population) = provisioned();
     let sub = &population[0];
-    let id = Identity::Imsi(sub.ids.imsi.clone());
+    let id = Identity::Imsi(sub.ids.imsi);
 
     // Bar the line, then ask two questions about it.
     let out = udr.modify_services(
@@ -66,7 +66,7 @@ fn filtered_search_returns_entry_only_on_match() {
 fn filtered_search_projects_requested_attributes() {
     let (mut udr, population) = provisioned();
     let sub = &population[1];
-    let id = Identity::Imsi(sub.ids.imsi.clone());
+    let id = Identity::Imsi(sub.ids.imsi);
 
     let any: Filter = "(imsi=*)".parse().unwrap();
     let out = udr.search_filtered(
@@ -90,7 +90,7 @@ fn filtered_search_projects_requested_attributes() {
 fn bi_queries_count_as_front_end_reads() {
     let (mut udr, population) = provisioned();
     let sub = &population[2];
-    let id = Identity::Imsi(sub.ids.imsi.clone());
+    let id = Identity::Imsi(sub.ids.imsi);
     udr.metrics.fe_ops = Default::default();
 
     let filter: Filter = "(&(imsi=*)(!(callBarring=TRUE)))".parse().unwrap();
@@ -114,7 +114,7 @@ fn complex_filters_survive_the_wire() {
         .parse()
         .unwrap();
     let (_, population) = provisioned();
-    let dn = udr::ldap::Dn::for_identity(Identity::Imsi(population[0].ids.imsi.clone()));
+    let dn = udr::ldap::Dn::for_identity(Identity::Imsi(population[0].ids.imsi));
     let req = LdapRequest {
         message_id: 77,
         op: LdapOp::SearchFilter {

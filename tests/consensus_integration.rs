@@ -49,7 +49,7 @@ fn consensus_beats_master_slave_on_majority_side_availability() {
     let mut w = t(110);
     for (i, sub) in population.iter().enumerate() {
         let out = udr.modify_services(
-            &Identity::Imsi(sub.ids.imsi.clone()),
+            &Identity::Imsi(sub.ids.imsi),
             vec![AttrMod::Set(AttrId::OdbMask, AttrValue::U64(i as u64))],
             SiteId(0), // majority-side PS
             w,
@@ -131,7 +131,7 @@ fn chosen_log_applies_identically_on_every_replica() {
         }
         let mut state: Vec<_> = engine
             .iter_committed()
-            .map(|(uid, v)| (*uid, v.entry.clone()))
+            .map(|view| (view.uid, view.entry.cloned()))
             .collect();
         state.sort_by_key(|(uid, _)| *uid);
         states.push(state);

@@ -114,7 +114,7 @@ fn multimaster_traffic_through_partition_converges_everywhere() {
     // Writes from both sides during the partition, to the same subscribers.
     let mut at = t(60);
     for (i, sub) in population.iter().enumerate().take(30) {
-        let id = Identity::Imsi(sub.ids.imsi.clone());
+        let id = Identity::Imsi(sub.ids.imsi);
         let w0 = udr.modify_services(
             &id,
             vec![AttrMod::Set(
@@ -148,7 +148,7 @@ fn multimaster_traffic_through_partition_converges_everywhere() {
 
     // Convergence: every replica of every touched partition agrees.
     for sub in population.iter().take(30) {
-        let id = Identity::Imsi(sub.ids.imsi.clone());
+        let id = Identity::Imsi(sub.ids.imsi);
         let loc = udr.lookup_authority(&id).unwrap();
         let values: Vec<_> = udr
             .group(loc.partition)
@@ -193,7 +193,7 @@ fn procedure_mix_is_read_mostly_and_partitions_split_by_class() {
         while prov_at <= ev.at {
             let sub = &population[prov_idx % population.len()];
             udr.modify_services(
-                &Identity::Imsi(sub.ids.imsi.clone()),
+                &Identity::Imsi(sub.ids.imsi),
                 vec![AttrMod::Set(
                     AttrId::CallForwarding,
                     AttrValue::Str("34600".into()),
