@@ -1,0 +1,250 @@
+//! Criterion: the sharded event pump's hot paths. Three groups:
+//!
+//! * `pump/schedule_pop` — raw merge overhead (schedule a seeded event
+//!   stream, pop it back in deterministic merged order) at 1/2/4/8
+//!   lanes. This is the pure pump cost with zero handler work, the
+//!   floor under every `Udr::run` call.
+//! * `pump/drain` — `drain_parallel` (sequential mode, the clean
+//!   single-core accounting path) at 4 lanes while the cross-lane
+//!   barrier ratio sweeps 0 % → 25 %: cross events serialize on the
+//!   coordinator, so this measures how fast the lookahead rounds decay.
+//! * `ldap/admit` — per-op admission vs framed continuation on one
+//!   LDAP server: the batched access path must not add overhead on top
+//!   of the frame share it removes.
+//!
+//! Baselines are recorded in docs/PROFILING.md.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use udr_ldap::{Dn, FramedBatch, LdapOp, LdapRequest, LdapServer};
+use udr_model::identity::{Identity, Imsi};
+use udr_model::ids::{ClusterId, LdapServerId, SiteId};
+use udr_model::time::{SimDuration, SimTime};
+use udr_sim::{LaneClass, PumpConfig, ShardedPump, SimRng};
+
+const EVENTS: u64 = 4096;
+const SHARDS: u64 = 8;
+
+/// A seeded (class, instant, payload) stream on a µs grid with
+/// deliberate same-instant collisions, the e24 campaign shape.
+fn stream(cross_ratio: f64) -> Vec<(LaneClass, SimTime, u64)> {
+    let mut rng = SimRng::seed_from_u64(42);
+    (0..EVENTS)
+        .map(|i| {
+            let at = SimTime(rng.below(EVENTS) * 1_000);
+            if rng.chance(cross_ratio) {
+                (LaneClass::Cross, at + SimDuration::from_nanos(500), i)
+            } else {
+                let shard = rng.below(SHARDS) as usize;
+                (LaneClass::Local(shard), at, i)
+            }
+        })
+        .collect()
+}
+
+fn bench_schedule_pop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pump/schedule_pop");
+    group.throughput(Throughput::Elements(EVENTS));
+    let events = stream(0.02);
+    for lanes in [1usize, 2, 4, 8] {
+        group.bench_function(format!("lanes{lanes}_x{EVENTS}"), |b| {
+            b.iter_batched_ref(
+                || {
+                    let mut pump: ShardedPump<u64> = ShardedPump::new(PumpConfig::sharded(lanes));
+                    for (class, at, ev) in &events {
+                        pump.schedule_at(*class, *at, *ev);
+                    }
+                    pump
+                },
+                |pump| {
+                    let mut acc = 0u64;
+                    while let Some((_, ev)) = pump.pop() {
+                        acc = acc.wrapping_add(ev);
+                    }
+                    black_box(acc)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_drain_cross_ratio(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pump/drain");
+    group.throughput(Throughput::Elements(EVENTS));
+    let lookahead = SimDuration::from_micros(100);
+    let horizon = SimTime(EVENTS * 1_000 * 1_000);
+    for pct in [0u32, 2, 10, 25] {
+        let events = stream(f64::from(pct) / 100.0);
+        group.bench_function(format!("lanes4_cross{pct}pct_x{EVENTS}"), |b| {
+            b.iter_batched_ref(
+                || {
+                    let mut pump: ShardedPump<u64> = ShardedPump::new(PumpConfig::sharded(4));
+                    for (class, at, ev) in &events {
+                        pump.schedule_at(*class, *at, *ev);
+                    }
+                    (pump, vec![0u64; 4])
+                },
+                |(pump, lanes)| {
+                    let stats = pump.drain_parallel(
+                        horizon,
+                        lookahead,
+                        lanes,
+                        |lane: &mut u64, _t, ev, _ctx| *lane = lane.wrapping_add(ev),
+                        |lanes: &mut [u64], _t, ev, _ctx| {
+                            lanes[0] = lanes[0].wrapping_add(ev);
+                        },
+                    );
+                    black_box(stats.events + stats.cross_events)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_framed_admit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ldap/admit");
+    const OPS: u64 = 1024;
+    group.throughput(Throughput::Elements(OPS));
+    let op = LdapOp::Search {
+        base: Dn::for_identity(Identity::Imsi(
+            Imsi::new("214010000000001").expect("valid IMSI"),
+        )),
+        attrs: vec![],
+    };
+
+    // The quantity the simulation cares about: a burst's simulated
+    // makespan. 64 simultaneous arrivals against a paper-rate server —
+    // framed continuations each shave one frame share off the service
+    // time, so the batch drains measurably sooner in simulated time.
+    {
+        let burst = 64u32;
+        let mut per_op = LdapServer::new(LdapServerId(0), SiteId(0), ClusterId(0));
+        let mut framed = LdapServer::new(LdapServerId(0), SiteId(0), ClusterId(0));
+        let mut done_per_op = SimTime::ZERO;
+        let mut done_framed = SimTime::ZERO;
+        for i in 0..burst {
+            if let Some(d) = per_op.admit(&op, SimTime::ZERO) {
+                done_per_op = done_per_op.max(d);
+            }
+            if let Some(d) = framed.admit_framed(&op, SimTime::ZERO, i > 0) {
+                done_framed = done_framed.max(d);
+            }
+        }
+        println!(
+            "ldap/admit: simulated makespan of a {burst}-op burst — per-op {:.2} µs, \
+             framed {:.2} µs ({:.2} µs saved)",
+            done_per_op.duration_since(SimTime::ZERO).as_micros_f64(),
+            done_framed.duration_since(SimTime::ZERO).as_micros_f64(),
+            (done_per_op - done_framed).as_micros_f64(),
+        );
+    }
+
+    // Per-op admission: every op pays the full framing price. Arrivals
+    // are spaced past the service time so the queue bound never rejects
+    // — this measures admission cost, not overload behaviour.
+    group.bench_function(format!("per_op_x{OPS}"), |b| {
+        b.iter_batched_ref(
+            || LdapServer::new(LdapServerId(0), SiteId(0), ClusterId(0)),
+            |server| {
+                let mut done = SimTime::ZERO;
+                for i in 0..OPS {
+                    let now = SimTime(i * 2_000);
+                    done = server.admit(&op, now).expect("spaced arrivals admit");
+                }
+                black_box(done)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Framed continuations: the first op opens the frame, the rest ride
+    // it — same admission rule, one frame share cheaper per op.
+    group.bench_function(format!("framed_x{OPS}"), |b| {
+        b.iter_batched_ref(
+            || LdapServer::new(LdapServerId(0), SiteId(0), ClusterId(0)),
+            |server| {
+                let mut done = SimTime::ZERO;
+                for i in 0..OPS {
+                    let now = SimTime(i * 2_000);
+                    done = server
+                        .admit_framed(&op, now, i > 0)
+                        .expect("spaced arrivals admit");
+                }
+                black_box(done)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_frame_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ldap/frame_codec");
+    const K: u64 = 16;
+    group.throughput(Throughput::Elements(K));
+    let requests: Vec<LdapRequest> = (0..K)
+        .map(|i| LdapRequest {
+            message_id: i as u32,
+            op: LdapOp::Search {
+                base: Dn::for_identity(Identity::Imsi(
+                    Imsi::new(format!("21401{i:010}")).expect("valid IMSI"),
+                )),
+                attrs: vec![],
+            },
+        })
+        .collect();
+
+    // K independent wire messages, each paying its own transport
+    // envelope: what the per-op access path ships.
+    group.bench_function(format!("singles_x{K}"), |b| {
+        b.iter(|| {
+            let bytes: usize = requests
+                .iter()
+                .map(|req| {
+                    FramedBatch::new(vec![black_box(req).clone()])
+                        .encode()
+                        .len()
+                })
+                .sum();
+            black_box(bytes)
+        })
+    });
+
+    // One framed message carrying all K ops: the batched access path.
+    let batch = FramedBatch::new(requests.clone());
+    let single_bytes: usize = requests
+        .iter()
+        .map(|r| FramedBatch::new(vec![r.clone()]).encode().len())
+        .sum();
+    println!(
+        "ldap/frame_codec: wire bytes for {K} search ops — {single_bytes} as framed \
+         singles, {} as one frame",
+        batch.encode().len()
+    );
+    group.bench_function(format!("framed_x{K}"), |b| {
+        b.iter(|| black_box(black_box(&batch).encode().len()))
+    });
+
+    let wire = batch.encode();
+    group.bench_function(format!("framed_decode_x{K}"), |b| {
+        b.iter(|| {
+            let decoded = FramedBatch::decode(black_box(&wire)).expect("valid frame");
+            black_box(decoded.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_schedule_pop,
+    bench_drain_cross_ratio,
+    bench_framed_admit,
+    bench_frame_codec
+);
+criterion_main!(benches);

@@ -10,7 +10,7 @@
 
 use udr_bench::harness::t;
 use udr_bench::json::BenchReport;
-use udr_core::{BatchItem, RetryPolicy, Udr, UdrConfig};
+use udr_core::{BatchItem, BatchOptions, RetryPolicy, Udr, UdrConfig};
 use udr_metrics::{pct, Table};
 use udr_model::config::ReplicationMode;
 use udr_model::ids::SiteId;
@@ -26,7 +26,7 @@ struct Row {
     finish_s: f64,
 }
 
-fn run(mode: ReplicationMode, glitch_s: u64, attempts: u32) -> Row {
+fn run(mode: ReplicationMode, glitch_s: u64, attempts: u32, options: BatchOptions) -> Row {
     let mut cfg = UdrConfig::figure2();
     cfg.frash.replication = mode;
     cfg.seed = 12;
@@ -44,7 +44,7 @@ fn run(mode: ReplicationMode, glitch_s: u64, attempts: u32) -> Row {
         udr.schedule_faults(FaultSchedule::new().glitch(t(60), SimDuration::from_secs(glitch_s)));
     }
     // 10 items/s ⇒ nominally a 180 s batch.
-    let report = udr.run_provisioning_batch(
+    let report = udr.run_provisioning_batch_with(
         items,
         10.0,
         t(0),
@@ -53,6 +53,7 @@ fn run(mode: ReplicationMode, glitch_s: u64, attempts: u32) -> Row {
             max_attempts: attempts,
             backoff: SimDuration::from_secs(15),
         },
+        options,
     );
     Row {
         failed: report.failed,
@@ -91,7 +92,22 @@ fn main() {
     ] {
         for glitch_s in [0u64, 30, 120] {
             for attempts in [1u32, 6] {
-                let row = run(mode, glitch_s, attempts);
+                let row = run(mode, glitch_s, attempts, BatchOptions::per_op());
+                // Framed-access guard: coalescing the access path into
+                // 8-op frames amortises wire cost but must not move a
+                // single verdict — same failures, same retries, same
+                // back-log, same finish instant.
+                let framed = run(mode, glitch_s, attempts, BatchOptions::framed(8));
+                assert_eq!(
+                    (row.failed, row.retries, framed.manual == row.manual),
+                    (framed.failed, framed.retries, true),
+                    "framed access changed {label} glitch={glitch_s}s verdicts"
+                );
+                assert_eq!(
+                    (row.peak_backlog, row.finish_s),
+                    (framed.peak_backlog, framed.finish_s),
+                    "framed access changed {label} glitch={glitch_s}s timeline"
+                );
                 table.row([
                     label.to_owned(),
                     if glitch_s == 0 {
@@ -134,5 +150,10 @@ fn main() {
          intervention. Retries trade failures for back-log growth and a longer batch; a\n\
          longer glitch scales both. Multi-master keeps accepting everything (PA on the\n\
          partition), which is precisely what §4.1 reports service providers demanding."
+    );
+    println!(
+        "\nFramed-access guard: every cell re-ran with 8-op framed access \
+         (BatchOptions::framed(8)); verdicts, back-log and finish instants \
+         were identical to the per-op wire shape."
     );
 }

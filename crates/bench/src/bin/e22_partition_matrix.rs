@@ -20,9 +20,11 @@
 //!   availability through a clean cut at the price of divergence merges;
 //! * **CP-leaning cells show measurable unavailability windows but zero
 //!   stale reads**: master-only cells never serve stale data, fail
-//!   *typed* (never a generic timeout) while cut off, and the
-//!   synchronous modes refuse writes whose replication requirement spans
-//!   the cut;
+//!   *typed* (never a generic timeout) while cut off, the synchronous
+//!   modes refuse writes whose replication requirement spans the cut,
+//!   and quorum r+w>n consults are fresh outright in every scenario —
+//!   the w-ack applies the record on every responder synchronously, so
+//!   the overlap replica is fresh at consult time, not eventually;
 //! * **the whole grid is deterministic**: replaying a cell yields a
 //!   field-identical verdict and byte-identical report rows.
 
@@ -228,18 +230,25 @@ fn main() {
     }
 
     // ---- CP-leaning cells: unavailability windows, never stale ---------
-    // Quorum mode is excluded here too: its reads consult the ensemble
-    // rather than routing to the master, and the staleness tracker
-    // measures against the master's committed tail — which under quorum
-    // includes *partially-committed* (never-acknowledged) writes whose
-    // replication the fault refused. Serving behind unacked data is not
-    // a broken promise; the count is reported, not asserted.
     let master_only = ReadPolicy::MasterOnly.to_string();
     for v in matrix.select(|v| v.policy == master_only && v.mode != quorum) {
         assert_eq!(
             v.stale_reads, 0,
             "[{} × master-only × {}]: a CP read served stale data",
             v.mode, v.scenario
+        );
+    }
+    // Quorum r+w>n freshness holds outright, in every scenario and under
+    // every policy label: the w-ack carries the record onto every
+    // responder synchronously, so the overlap member a consult is
+    // guaranteed to reach is fresh *at consult time* — and the audit
+    // measures against the acknowledged tail, the only data anyone was
+    // promised. This used to be reported-not-asserted; now it is a gate.
+    for v in matrix.select(|v| v.mode == quorum) {
+        assert_eq!(
+            v.stale_reads, 0,
+            "[quorum × {} × {}]: an r+w>n consult served stale data",
+            v.policy, v.scenario
         );
     }
     for scenario in PartitionScenario::ALL

@@ -14,9 +14,11 @@
 pub mod campaign;
 pub mod harness;
 pub mod json;
+pub mod pump_campaign;
 pub mod scale;
 
 pub use campaign::{run_cell, run_cell_with_script, CampaignConfig};
 pub use harness::{provisioned_system, run_events, Scenario};
 pub use json::{BenchReport, JsonValue};
+pub use pump_campaign::{run as run_pump, LaneRow, PumpCampaignConfig, PumpOutcome};
 pub use scale::{run as run_scale, ScaleConfig, ScaleOutcome, StageStats};

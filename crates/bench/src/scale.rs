@@ -26,7 +26,7 @@ use udr_model::profile::SubscriberProfile;
 use udr_model::time::{SimDuration, SimTime};
 use udr_model::IdentityInterner;
 use udr_replication::{AsyncShipper, Enqueue, ShipBatchConfig};
-use udr_sim::SimRng;
+use udr_sim::{PumpConfig, SimRng};
 use udr_storage::{Engine, Lsn};
 use udr_workload::PopulationBuilder;
 
@@ -43,6 +43,12 @@ pub struct ScaleConfig {
     pub pipeline_ops: u64,
     /// Shipping coalescing used by the ship stage and the pipeline stage.
     pub ship_batch: ShipBatchConfig,
+    /// Event-pump sharding for the pipeline stage. Any lane count replays
+    /// the identical merged timeline (the pump's deterministic-merge
+    /// contract), so the campaign digest is pump-invariant — which this
+    /// campaign, run under different lane counts, is one standing proof
+    /// of.
+    pub pump: PumpConfig,
     /// RNG seed: same seed ⇒ identical digest.
     pub seed: u64,
 }
@@ -56,6 +62,7 @@ impl ScaleConfig {
             reads: 1_000_000,
             pipeline_ops: 20_000,
             ship_batch: ShipBatchConfig::coalesce(64, SimDuration::from_millis(5)),
+            pump: PumpConfig::sharded(4),
             seed: 23,
         }
     }
@@ -355,6 +362,7 @@ pub fn run(cfg: &ScaleConfig) -> ScaleOutcome {
     pipe_cfg.frash.replication = ReplicationMode::AsyncMasterSlave;
     pipe_cfg.frash.fe_read_policy = ReadPolicy::NearestCopy;
     pipe_cfg.ship_batch = cfg.ship_batch;
+    pipe_cfg.pump = cfg.pump;
     pipe_cfg.seed = cfg.seed;
     let mut udr = Udr::build(pipe_cfg).expect("valid config");
     let mut pipe_rng = SimRng::seed_from_u64(cfg.seed ^ 0x717e);
@@ -394,7 +402,11 @@ pub fn run(cfg: &ScaleConfig) -> ScaleOutcome {
         }
         at += SimDuration::from_micros(500);
     }
-    udr.advance_to(at + SimDuration::from_secs(5));
+    let pump_events = udr.run(at + SimDuration::from_secs(5));
+    assert!(
+        pump_events > 0,
+        "the drain must process pending pump events"
+    );
     assert!(
         ok_ops as f64 >= cfg.pipeline_ops as f64 * 0.99,
         "pipeline success ratio too low: {ok_ops}/{}",

@@ -1,0 +1,52 @@
+//! The parallel-pump determinism regression: two e24 campaigns with the
+//! same configuration must agree on every simulation-visible outcome —
+//! the merged-timeline digest, the event counts, and the per-row digests
+//! at every lane count. Wall-clock and critical-path timings are the
+//! only things allowed to differ between runs.
+
+use udr_bench::pump_campaign::{run, PumpCampaignConfig};
+
+#[test]
+fn same_seed_pump_campaigns_are_identical() {
+    let cfg = PumpCampaignConfig::small(2_000);
+    let a = run(&cfg);
+    let b = run(&cfg);
+
+    assert_eq!(a.digest, b.digest, "merged timeline must be seed-stable");
+    assert_eq!(a.baseline.events, b.baseline.events);
+    assert_eq!(a.rows.len(), b.rows.len());
+    for (ra, rb) in a.rows.iter().zip(&b.rows) {
+        assert_eq!(ra.lanes, rb.lanes);
+        assert_eq!(ra.events, rb.events, "{} lanes", ra.lanes);
+        assert_eq!(ra.digest, rb.digest, "{} lanes", ra.lanes);
+    }
+}
+
+#[test]
+fn different_seed_changes_the_merged_timeline() {
+    let mut cfg = PumpCampaignConfig::small(1_000);
+    let a = run(&cfg);
+    cfg.seed ^= 0x2400_beef;
+    let b = run(&cfg);
+    assert_ne!(
+        a.digest, b.digest,
+        "the digest must actually depend on the seeded schedule"
+    );
+}
+
+#[test]
+fn cross_ratio_changes_the_merged_timeline() {
+    let mut cfg = PumpCampaignConfig::small(1_000);
+    let a = run(&cfg);
+    cfg.cross_ratio = 0.2;
+    let b = run(&cfg);
+    assert_ne!(
+        a.digest, b.digest,
+        "barriers are part of the digested timeline"
+    );
+    assert!(
+        b.baseline.events < a.baseline.events,
+        "a higher cross ratio converts commits (which spawn follow-ups) \
+         into barriers (which do not)"
+    );
+}

@@ -5,6 +5,7 @@ use udr_model::config::FrashConfig;
 use udr_model::error::{UdrError, UdrResult};
 use udr_qos::QosConfig;
 use udr_replication::ShipBatchConfig;
+use udr_sim::PumpConfig;
 
 /// Full configuration of one simulated UDR deployment.
 #[derive(Debug, Clone)]
@@ -38,6 +39,12 @@ pub struct UdrConfig {
     /// delivery per commit, the paper's baseline); the scale campaign
     /// enables batching to amortise the per-message cost.
     pub ship_batch: ShipBatchConfig,
+    /// Event-pump sharding: lane-local queues per partition group plus a
+    /// cross-lane queue. Defaults to the legacy single-lane shape; any
+    /// lane count replays the identical merged timeline (the pump's
+    /// deterministic-merge contract), so this is a throughput knob, not
+    /// a semantics knob.
+    pub pump: PumpConfig,
     /// RNG seed: same seed ⇒ identical run.
     pub seed: u64,
 }
@@ -55,6 +62,7 @@ impl Default for UdrConfig {
             ldap_ops_per_sec: 1_000_000.0,
             dls_cache_capacity: 65_536,
             ship_batch: ShipBatchConfig::per_record(),
+            pump: PumpConfig::single(),
             seed: 0xC0FFEE,
         }
     }
@@ -110,6 +118,9 @@ impl UdrConfig {
         }
         if self.ldap_ops_per_sec <= 0.0 {
             return Err(UdrError::Config("ldap_ops_per_sec must be positive".into()));
+        }
+        if self.pump.lanes == 0 {
+            return Err(UdrError::Config("the pump needs at least one lane".into()));
         }
         Ok(())
     }

@@ -45,6 +45,6 @@ pub use pipeline::{
     AccessStage, LatencyBreakdown, LocationStage, PipelineCtx, ReplicationStage, StorageStage,
 };
 pub use procedures::{procedure_ops, ProcedureOutcome};
-pub use provisioning::{BatchItem, BatchReport, ProvisionOutcome, RetryPolicy};
+pub use provisioning::{BatchItem, BatchOptions, BatchReport, ProvisionOutcome, RetryPolicy};
 pub use rebalance::{MigrationPlan, MoveReason, Rebalancer};
 pub use udr::{Cluster, Udr, UdrEvent};

@@ -15,7 +15,7 @@ use udr_model::session::SessionToken;
 use udr_model::time::SimDuration;
 use udr_model::time::SimTime;
 
-use udr_ldap::LdapOp;
+use udr_ldap::{FrameCursor, LdapOp};
 
 use crate::pipeline::{self, LatencyBreakdown, PipelineCtx};
 use crate::udr::Udr;
@@ -103,19 +103,89 @@ impl Udr {
         now: SimTime,
         session: Option<&mut SessionToken>,
     ) -> OpOutcome {
+        self.execute_op_internal(op, class, priority, client_site, now, session, None)
+    }
+
+    /// [`Udr::execute_op_prioritized`] for an operation that is part of a
+    /// framed batch (§3.3.3 bulk provisioning): `frame` tracks which
+    /// stations the batch already has an open frame on, and an op landing
+    /// on one of them skips the per-message framing share of its service
+    /// time. Admission, routing and results are per-op and identical to
+    /// the unframed path — the frame changes cost, never semantics.
+    #[allow(clippy::too_many_arguments)] // mirrors execute_op_prioritized + the frame
+    pub fn execute_op_framed(
+        &mut self,
+        op: &LdapOp,
+        class: TxnClass,
+        priority: PriorityClass,
+        client_site: SiteId,
+        now: SimTime,
+        session: Option<&mut SessionToken>,
+        frame: &mut FrameCursor,
+    ) -> OpOutcome {
+        self.execute_op_internal(op, class, priority, client_site, now, session, Some(frame))
+    }
+
+    /// Execute `ops` as one framed batch arriving together at `now`: the
+    /// batch travels as a single wire message
+    /// ([`udr_ldap::FramedBatch`]) and comes back as per-op results, in
+    /// order. Each op is admitted, routed and accounted individually;
+    /// ops after the first on a station amortise the framing share.
+    pub fn execute_op_batch(
+        &mut self,
+        ops: &[LdapOp],
+        class: TxnClass,
+        client_site: SiteId,
+        now: SimTime,
+    ) -> Vec<OpOutcome> {
+        let priority = PriorityClass::default_for_txn(class);
+        let mut frame = FrameCursor::new();
+        ops.iter()
+            .map(|op| {
+                self.execute_op_internal(
+                    op,
+                    class,
+                    priority,
+                    client_site,
+                    now,
+                    None,
+                    Some(&mut frame),
+                )
+            })
+            .collect()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn execute_op_internal(
+        &mut self,
+        op: &LdapOp,
+        class: TxnClass,
+        priority: PriorityClass,
+        client_site: SiteId,
+        now: SimTime,
+        session: Option<&mut SessionToken>,
+        frame: Option<&mut FrameCursor>,
+    ) -> OpOutcome {
         self.advance_to(now);
         let timeout = self.cfg.frash.op_timeout;
 
         let mut ctx = PipelineCtx::new(op, class, client_site, now)
             .with_session(session)
-            .with_priority(priority);
+            .with_priority(priority)
+            .with_frame(frame);
         let mut outcome = pipeline::run(self, &mut ctx);
         if outcome.is_ok() && outcome.latency > timeout {
             let breakdown = outcome.breakdown;
             outcome = OpOutcome::fail(UdrError::Timeout, timeout);
             outcome.breakdown = breakdown;
         }
-        // Metrics.
+        self.record_op_metrics(class, priority, &outcome);
+        outcome
+    }
+
+    /// Record run metrics for one finished operation — shared by the
+    /// per-op and framed entry points so both paths account identically.
+    fn record_op_metrics(&mut self, class: TxnClass, priority: PriorityClass, outcome: &OpOutcome) {
         self.metrics.qos.record_offered(priority);
         match &outcome.result {
             Ok(_) => {
@@ -146,6 +216,5 @@ impl Udr {
                 self.metrics.ops_mut(class).other_failure();
             }
         }
-        outcome
     }
 }

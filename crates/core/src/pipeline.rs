@@ -26,7 +26,7 @@
 //! point that builds a context and runs this chain.
 
 use udr_dls::{Location, Locator, Resolution};
-use udr_ldap::LdapOp;
+use udr_ldap::{FrameCursor, LdapOp};
 use udr_model::attrs::Entry;
 use udr_model::config::{ReadPolicy, ReplicationMode, TxnClass};
 use udr_model::error::{UdrError, UdrResult};
@@ -88,6 +88,11 @@ pub struct PipelineCtx<'a> {
     pub session: Option<&'a mut SessionToken>,
     /// Accumulated latency attribution.
     pub breakdown: LatencyBreakdown,
+    /// Open framed-batch cursor, when the op is part of a batch: ops
+    /// landing on a station the frame already covers skip the
+    /// per-message framing share of their service time (§3.3.3 bulk
+    /// provisioning). `None` (the default) is the per-op wire path.
+    frame: Option<&'a mut FrameCursor>,
     /// Serving cluster (set by the access stage).
     cluster_idx: usize,
     /// Site of the serving LDAP server (set by the access stage).
@@ -125,6 +130,7 @@ impl<'a> PipelineCtx<'a> {
             now,
             session: None,
             breakdown: LatencyBreakdown::default(),
+            frame: None,
             cluster_idx: 0,
             server_site: client_site,
             location: None,
@@ -147,6 +153,13 @@ impl<'a> PipelineCtx<'a> {
     /// their kind; the default is the transaction-class fallback).
     pub fn with_priority(mut self, priority: PriorityClass) -> Self {
         self.priority = priority;
+        self
+    }
+
+    /// Attach an open framed-batch cursor (see
+    /// [`Udr::execute_op_framed`](crate::Udr::execute_op_framed)).
+    pub fn with_frame(mut self, frame: Option<&'a mut FrameCursor>) -> Self {
+        self.frame = frame;
         self
     }
 
@@ -252,10 +265,22 @@ impl AccessStage {
             }
         }
 
-        // Protocol processing (queueing + service) at the server.
-        let Some(done) = udr.servers[server_id.index()].admit(ctx.op, ctx.now) else {
+        // Protocol processing (queueing + service) at the server. An op
+        // whose batch frame already covers this station continues the
+        // frame and skips the per-message framing share; admission (the
+        // queue bound) and the arrival instant are identical either way,
+        // so batching never changes whether an op is served.
+        let continues = ctx
+            .frame
+            .as_ref()
+            .is_some_and(|frame| frame.contains(server_id));
+        let Some(done) = udr.servers[server_id.index()].admit_framed(ctx.op, ctx.now, continues)
+        else {
             return Err(ctx.fail(UdrError::Overload));
         };
+        if let Some(frame) = ctx.frame.as_deref_mut() {
+            frame.record(server_id);
+        }
         ctx.breakdown.access += done.duration_since(ctx.now);
         Ok(())
     }
@@ -736,7 +761,13 @@ impl ReplicationStage {
         }
 
         if !ctx.op.is_write() {
-            Self::record_read_staleness(udr, location.partition, location.uid, se_id);
+            Self::record_read_staleness(
+                udr,
+                location.partition,
+                location.uid,
+                se_id,
+                ctx.quorum_served,
+            );
             Self::account_guarantees(udr, ctx, location.partition, se_id);
             // Attribute projection. (Filter matching and Bind/Compare
             // shaping already happened in the storage stage, on both the
@@ -799,7 +830,7 @@ impl ReplicationStage {
                 // batch ships as one message at its cap or linger deadline.
                 let cfg = udr.cfg.ship_batch;
                 match udr.shippers[p].enqueue(*slave, record, &cfg) {
-                    Enqueue::Opened { seq } => udr.events.schedule_at(
+                    Enqueue::Opened { seq } => udr.schedule_event(
                         now + cfg.linger,
                         UdrEvent::ShipFlush {
                             partition,
@@ -809,7 +840,7 @@ impl ReplicationStage {
                     ),
                     Enqueue::Full => {
                         if let Some(b) = udr.shippers[p].flush_open(*slave, now, delay) {
-                            udr.events.schedule_at(
+                            udr.schedule_event(
                                 b.arrives,
                                 UdrEvent::ReplDeliverBatch {
                                     partition,
@@ -822,7 +853,7 @@ impl ReplicationStage {
                     Enqueue::Joined | Enqueue::Refused => {}
                 }
             } else if let Some(d) = udr.shippers[p].ship(*slave, record, now, delay) {
-                udr.events.schedule_at(
+                udr.schedule_event(
                     d.arrives,
                     UdrEvent::ReplDeliver {
                         partition,
@@ -855,7 +886,20 @@ impl ReplicationStage {
                 let mut responses = vec![(master, Some(SimDuration::ZERO))];
                 responses.extend(slave_rtts);
                 let out = quorum_write(&responses, w as usize);
+                // §5 ack carry-over: a replica whose ack the commit wait
+                // counted has applied the record by the time the client
+                // sees the commit — the ack IS the apply confirmation.
+                // Carrying the responders forward synchronously (failed
+                // rounds included: a replica that received the write keeps
+                // it even when the coordinator never reaches `w`) is what
+                // lets a r+w>n read quorum guarantee freshness at consult
+                // time rather than eventually.
+                Self::carry_over_quorum_acks(udr, partition, master, &out.applied);
                 if out.committed {
+                    // Advance the acknowledged tail: freshness promises
+                    // (and the staleness audit) reach exactly this far.
+                    let acked = &mut udr.quorum_acked[p];
+                    *acked = (*acked).max(record.lsn);
                     Ok(out.latency)
                 } else {
                     Err(UdrError::ReplicationFailed {
@@ -863,6 +907,42 @@ impl ReplicationStage {
                         required: w as usize,
                     })
                 }
+            }
+        }
+    }
+
+    /// Apply the master-log suffix each quorum responder is missing, at
+    /// ack time. W-sets vary per write, so an acked slave may be missing
+    /// earlier records too — prefix completeness requires replaying the
+    /// whole gap, not just the current record. The asynchronous
+    /// deliveries already in flight for the same LSNs arrive later as
+    /// duplicates and are dropped by the engine's gap check.
+    fn carry_over_quorum_acks(udr: &mut Udr, partition: PartitionId, master: SeId, acked: &[SeId]) {
+        let p = partition.index();
+        for &slave in acked {
+            if slave == master {
+                continue;
+            }
+            let Ok(applied) = udr.ses[slave.index()].last_lsn(partition) else {
+                continue;
+            };
+            let suffix: Vec<CommitRecord> = match udr.ses[master.index()].engine(partition) {
+                Ok(engine) => engine.log().since(applied).to_vec(),
+                Err(_) => continue,
+            };
+            // A truncated log cannot serve the gap; the periodic catch-up
+            // pass reseeds the slave from a snapshot instead.
+            if suffix.first().map(|r| r.lsn) != Some(applied.next()) {
+                continue;
+            }
+            for record in &suffix {
+                if udr.ses[slave.index()]
+                    .apply_replicated(partition, record)
+                    .is_err()
+                {
+                    break;
+                }
+                udr.shippers[p].on_applied(slave, record.lsn);
             }
         }
     }
@@ -931,7 +1011,22 @@ impl ReplicationStage {
 
     /// Record whether a read served by `se` returned stale data relative
     /// to the partition master.
-    fn record_read_staleness(udr: &mut Udr, partition: PartitionId, uid: SubscriberUid, se: SeId) {
+    ///
+    /// Quorum-served reads are audited against the *acknowledged* tail
+    /// instead of the master's raw engine state: under quorum replication
+    /// the master's log also holds partially-committed records whose
+    /// write round never reached `w` — nobody was promised those, so
+    /// serving behind them is not staleness. Up to the acked watermark
+    /// the §5 ack carry-over plus the r+w>n overlap guarantee the
+    /// consulted set contains a fresh copy, which is what makes the
+    /// audit assertable outright.
+    fn record_read_staleness(
+        udr: &mut Udr,
+        partition: PartitionId,
+        uid: SubscriberUid,
+        se: SeId,
+        quorum_served: bool,
+    ) {
         let master = udr.groups[partition.index()].master();
         if se == master {
             udr.metrics.staleness.record_master_read();
@@ -950,6 +1045,18 @@ impl ReplicationStage {
             .engine(partition)
             .ok()
             .and_then(|e| e.committed_view(uid).map(|v| (v.lsn, v.committed_at)));
+        if quorum_served {
+            if let Some((m_lsn, _)) = master_ver {
+                if m_lsn > udr.quorum_acked[partition.index()] {
+                    // The master's version was never acknowledged: the
+                    // read is as fresh as any promise made.
+                    udr.metrics
+                        .staleness
+                        .record_slave_read(0, SimDuration::ZERO);
+                    return;
+                }
+            }
+        }
         let slave_ver = udr.ses[se.index()]
             .engine(partition)
             .ok()

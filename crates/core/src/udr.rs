@@ -23,7 +23,7 @@ use udr_replication::multimaster::{merge_branches, restoration_duration};
 use udr_replication::{AsyncShipper, MigrationChannel, MigrationState, ReplicationGroup};
 use udr_sim::faults::{Fault, FaultSchedule, FaultScript};
 use udr_sim::net::{Cut, CutHandle, Degrade, DegradeHandle, Network, Topology};
-use udr_sim::{EventQueue, SimRng};
+use udr_sim::{LaneClass, ShardedPump, SimRng};
 use udr_storage::{CommitRecord, Lsn, StorageElement};
 
 use crate::config::UdrConfig;
@@ -164,6 +164,38 @@ pub enum UdrEvent {
     },
 }
 
+impl UdrEvent {
+    /// Schedule-time lane classification for the sharded pump
+    /// ([`udr_sim::ShardedPump`]): partition-scoped events (replication
+    /// deliveries, batch flushes, failover checks) are local to lane
+    /// `partition % lanes`; everything that touches shared deployment
+    /// state — the network fabric, whole SEs, the periodic sweeps,
+    /// migrations spanning two partitions — serializes through the
+    /// cross-lane queue. The merged `(time, seq)` order is identical
+    /// either way; classification shrinks per-heap sizes and marks
+    /// which events a lane-isolated drain may run concurrently.
+    pub fn lane_class(&self) -> LaneClass {
+        match self {
+            UdrEvent::ReplDeliver { partition, .. }
+            | UdrEvent::ReplDeliverBatch { partition, .. }
+            | UdrEvent::ShipFlush { partition, .. }
+            | UdrEvent::FailoverCheck { partition } => LaneClass::Local(partition.index()),
+            UdrEvent::SnapshotTick { .. }
+            | UdrEvent::CatchupTick
+            | UdrEvent::PartitionStart { .. }
+            | UdrEvent::PartitionHeal { .. }
+            | UdrEvent::DegradeStart { .. }
+            | UdrEvent::DegradeHeal { .. }
+            | UdrEvent::SeCrash { .. }
+            | UdrEvent::SeRestore { .. }
+            | UdrEvent::MigrationStart { .. }
+            | UdrEvent::MigrationCutover { .. }
+            | UdrEvent::MigrationAbort { .. }
+            | UdrEvent::MigrationDeliver { .. } => LaneClass::Cross,
+        }
+    }
+}
+
 /// One tracked live migration (see [`MigrationPlan`] for the intent and
 /// [`MigrationState`] for the lifecycle).
 pub(crate) struct MigrationTask {
@@ -180,7 +212,7 @@ pub struct Udr {
     /// The simulated IP network (public so experiments can inspect stats).
     pub net: Network,
     pub(crate) rng: SimRng,
-    pub(crate) events: EventQueue<UdrEvent>,
+    pub(crate) events: ShardedPump<UdrEvent>,
     pub(crate) ses: Vec<StorageElement>,
     pub(crate) clusters: Vec<Cluster>,
     /// Per-cluster QoS admission controllers (parallel to `clusters`).
@@ -212,6 +244,10 @@ pub struct Udr {
     pub(crate) active_cuts: Vec<(CutHandle, SimTime)>,
     /// Master LSN captured at crash time, for lost-commit accounting.
     pub(crate) master_lsn_at_crash: HashMap<PartitionId, Lsn>,
+    /// Highest LSN per partition whose quorum write round reached `w`
+    /// acks — the acknowledged tail quorum-served reads are audited
+    /// against. Records above it were never promised to anybody.
+    pub(crate) quorum_acked: Vec<Lsn>,
     pub(crate) next_uid: u64,
     /// Run metrics.
     pub metrics: UdrMetrics,
@@ -332,14 +368,13 @@ impl Udr {
         let placement = PlacementContext::new(by_region);
 
         // ---- initial events -----------------------------------------------
-        let mut events = EventQueue::new();
-        events.schedule_at(SimTime::ZERO + CATCHUP_INTERVAL, UdrEvent::CatchupTick);
+        let mut events = ShardedPump::new(cfg.pump);
+        let tick = UdrEvent::CatchupTick;
+        events.schedule_at(tick.lane_class(), SimTime::ZERO + CATCHUP_INTERVAL, tick);
         if let DurabilityMode::PeriodicSnapshot { interval } = cfg.frash.durability {
             for se in &ses {
-                events.schedule_at(
-                    SimTime::ZERO + interval,
-                    UdrEvent::SnapshotTick { se: se.id() },
-                );
+                let snap = UdrEvent::SnapshotTick { se: se.id() };
+                events.schedule_at(snap.lane_class(), SimTime::ZERO + interval, snap);
             }
         }
 
@@ -350,6 +385,7 @@ impl Udr {
         Ok(Udr {
             subs_per_partition: vec![0; cfg.partitions as usize],
             ops_per_partition: vec![0; cfg.partitions as usize],
+            quorum_acked: vec![Lsn::ZERO; cfg.partitions as usize],
             cfg,
             net,
             rng: rng.fork(1),
@@ -441,21 +477,21 @@ impl Udr {
         let sites = self.cfg.sites as usize;
         for (at, fault) in schedule.into_sorted() {
             match fault {
-                Fault::Partition { island, duration } => self.events.schedule_at(
+                Fault::Partition { island, duration } => self.schedule_event(
                     at,
                     UdrEvent::PartitionStart {
                         cuts: vec![Cut { island }],
                         duration,
                     },
                 ),
-                Fault::BackboneGlitch { duration } => self.events.schedule_at(
+                Fault::BackboneGlitch { duration } => self.schedule_event(
                     at,
                     UdrEvent::PartitionStart {
                         cuts: Fault::glitch_cuts(sites),
                         duration,
                     },
                 ),
-                Fault::OneWayLoss { from, duration } => self.events.schedule_at(
+                Fault::OneWayLoss { from, duration } => self.schedule_event(
                     at,
                     UdrEvent::DegradeStart {
                         degrade: Degrade::one_way_loss(from),
@@ -466,15 +502,15 @@ impl Udr {
                     latency_factor,
                     loss,
                     duration,
-                } => self.events.schedule_at(
+                } => self.schedule_event(
                     at,
                     UdrEvent::DegradeStart {
                         degrade: Degrade::backbone(latency_factor, loss),
                         duration,
                     },
                 ),
-                Fault::SeCrash { se } => self.events.schedule_at(at, UdrEvent::SeCrash { se }),
-                Fault::SeRestore { se } => self.events.schedule_at(at, UdrEvent::SeRestore { se }),
+                Fault::SeCrash { se } => self.schedule_event(at, UdrEvent::SeCrash { se }),
+                Fault::SeRestore { se } => self.schedule_event(at, UdrEvent::SeRestore { se }),
             }
         }
     }
@@ -487,12 +523,44 @@ impl Udr {
         self.schedule_faults(script.compile());
     }
 
+    /// Schedule an internal event on its classified pump lane.
+    pub(crate) fn schedule_event(&mut self, at: SimTime, event: UdrEvent) {
+        let class = event.lane_class();
+        self.events.schedule_at(class, at, event);
+    }
+
     /// Drain internal events up to `now`. Every client entry point calls
     /// this first; experiments may also call it to let the system settle.
     pub fn advance_to(&mut self, now: SimTime) {
         while let Some((t, event)) = self.events.pop_until(now) {
             self.handle_event(t, event);
         }
+    }
+
+    /// Run the deployment's event pump to `until` and return how many
+    /// events it processed.
+    ///
+    /// This is [`Udr::advance_to`] under the [`PumpConfig`] the
+    /// deployment was built with (`cfg.pump`): events pop in merged
+    /// `(time, seq)` order across all lanes, so any lane count replays
+    /// the byte-identical timeline — handlers mutate shared deployment
+    /// state (the network, the shard map, cross-partition metrics), so
+    /// the full UDR always consumes the merge sequentially. Workloads
+    /// whose state decomposes per lane (the e24 campaign's per-shard
+    /// engines) use [`udr_sim::ShardedPump::drain_parallel`] directly to
+    /// overlap lanes on worker threads.
+    ///
+    /// [`PumpConfig`]: udr_sim::PumpConfig
+    pub fn run(&mut self, until: SimTime) -> u64 {
+        let before = self.events.processed();
+        self.advance_to(until);
+        self.events.processed() - before
+    }
+
+    /// Pump-lane occupancy: pending events per lane plus the cross
+    /// queue, for harnesses reporting lane balance.
+    pub fn pump_depths(&self) -> (Vec<usize>, usize) {
+        self.events.depths()
     }
 
     fn handle_event(&mut self, t: SimTime, event: UdrEvent) {
@@ -524,13 +592,11 @@ impl Udr {
                     _ => return,
                 };
                 self.ses[se.index()].maybe_snapshot(t);
-                self.events
-                    .schedule_at(t + interval, UdrEvent::SnapshotTick { se });
+                self.schedule_event(t + interval, UdrEvent::SnapshotTick { se });
             }
             UdrEvent::CatchupTick => {
                 self.run_catchup(t);
-                self.events
-                    .schedule_at(t + CATCHUP_INTERVAL, UdrEvent::CatchupTick);
+                self.schedule_event(t + CATCHUP_INTERVAL, UdrEvent::CatchupTick);
             }
             UdrEvent::PartitionStart { cuts, duration } => {
                 let mut handles = Vec::with_capacity(cuts.len());
@@ -539,8 +605,7 @@ impl Udr {
                     handles.push(h);
                     self.active_cuts.push((h, t));
                 }
-                self.events
-                    .schedule_at(t + duration, UdrEvent::PartitionHeal { handles });
+                self.schedule_event(t + duration, UdrEvent::PartitionHeal { handles });
             }
             UdrEvent::PartitionHeal { handles } => {
                 for h in handles {
@@ -553,8 +618,7 @@ impl Udr {
             }
             UdrEvent::DegradeStart { degrade, duration } => {
                 let handle = self.net.start_degrade(degrade);
-                self.events
-                    .schedule_at(t + duration, UdrEvent::DegradeHeal { handle });
+                self.schedule_event(t + duration, UdrEvent::DegradeHeal { handle });
             }
             UdrEvent::DegradeHeal { handle } => self.net.heal_degrade(handle),
             UdrEvent::SeCrash { se } => self.crash_se(t, se),
@@ -611,7 +675,7 @@ impl Udr {
             None
         };
         if let Some(batch) = self.shippers[p].flush_if_open(slave, seq, t, delay) {
-            self.events.schedule_at(
+            self.schedule_event(
                 batch.arrives,
                 UdrEvent::ReplDeliverBatch {
                     partition,
@@ -678,7 +742,7 @@ impl Udr {
                     self.shippers[p].catch_up(slave, master_engine, t, delay)
                 };
                 for d in deliveries {
-                    self.events.schedule_at(
+                    self.schedule_event(
                         d.arrives,
                         UdrEvent::ReplDeliver {
                             partition: pid,
@@ -725,7 +789,7 @@ impl Udr {
         for (pid, lsn) in mastered {
             self.master_lsn_at_crash.insert(pid, lsn);
             if self.cfg.frash.auto_failover {
-                self.events.schedule_at(
+                self.schedule_event(
                     t + self.cfg.frash.failover_detection,
                     UdrEvent::FailoverCheck { partition: pid },
                 );
@@ -1178,7 +1242,7 @@ impl Udr {
         self.ses
             .push(StorageElement::new(id, site, self.cfg.frash.durability));
         if let DurabilityMode::PeriodicSnapshot { interval } = self.cfg.frash.durability {
-            self.events.schedule_at(
+            self.schedule_event(
                 self.events.now().max(now) + interval,
                 UdrEvent::SnapshotTick { se: id },
             );
@@ -1202,7 +1266,7 @@ impl Udr {
         // Every accepted request counts as started, including ones that
         // abort at validation: started == completed + aborted always.
         self.metrics.migrations_started += 1;
-        self.events.schedule_at(at, UdrEvent::MigrationStart { id });
+        self.schedule_event(at, UdrEvent::MigrationStart { id });
         id
     }
 
@@ -1341,15 +1405,13 @@ impl Udr {
                         .net
                         .round_trip(master_site, to_site, &mut self.rng)
                         .unwrap_or(SimDuration::from_millis(1));
-                    self.events
-                        .schedule_at(t + coord, UdrEvent::MigrationCutover { id: id as u64 });
+                    self.schedule_event(t + coord, UdrEvent::MigrationCutover { id: id as u64 });
                     continue;
                 }
             } else if lag <= MIGRATION_SLAVE_CUTOVER_LAG {
                 // Slave move: the ordinary replica channel closes the
                 // remainder after the swap; no freeze needed.
-                self.events
-                    .schedule_at(t, UdrEvent::MigrationCutover { id: id as u64 });
+                self.schedule_event(t, UdrEvent::MigrationCutover { id: id as u64 });
                 continue;
             }
             if lag == 0 {
@@ -1369,7 +1431,7 @@ impl Udr {
             };
             self.metrics.migration_records_shipped += deliveries.len() as u64;
             for d in deliveries {
-                self.events.schedule_at(
+                self.schedule_event(
                     d.arrives,
                     UdrEvent::MigrationDeliver {
                         id: id as u64,

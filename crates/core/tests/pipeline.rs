@@ -154,6 +154,42 @@ fn quorum_mode_charges_the_replication_stage() {
     );
 }
 
+/// §5 ack carry-over: the replicas whose acks a committed quorum write
+/// waited for have applied the record by the time the client sees the
+/// commit — no event-pump progress required. With every replica
+/// reachable the responder set is the whole ensemble, so replication is
+/// settled the instant the write returns, and an immediate r=2 consult
+/// anywhere sees the new value.
+#[test]
+fn quorum_acks_carry_the_write_synchronously() {
+    let mut cfg = UdrConfig::figure2();
+    cfg.frash.replication = ReplicationMode::Quorum { n: 3, w: 2, r: 2 };
+    let mut udr = provisioned_udr(cfg);
+
+    let write = udr.execute_op(&modify(1), TxnClass::Provisioning, SiteId(0), t(10));
+    assert!(write.is_ok(), "quorum write failed: {:?}", write.result);
+    assert_eq!(
+        udr.max_replica_lag(),
+        0,
+        "every responder must be applied at commit time, not at delivery"
+    );
+
+    // The freshest consulted copy — wherever the consult lands — already
+    // holds the write.
+    let read = udr.execute_op(&search(1), TxnClass::FrontEnd, SiteId(2), t(10));
+    assert!(read.is_ok(), "quorum read failed: {:?}", read.result);
+    let entry = read.result.unwrap().expect("entry present");
+    let vlr = entry
+        .iter()
+        .find(|(id, _)| **id == AttrId::VlrAddress)
+        .map(|(_, v)| v.clone());
+    assert_eq!(
+        vlr,
+        Some(AttrValue::Str("vlr-test".into())),
+        "an immediate overlap read must see the acknowledged write"
+    );
+}
+
 /// Quorum-served reads must keep per-operation semantics: a failed
 /// Compare assertion is compareFalse (`None`), not the full entry.
 #[test]

@@ -11,6 +11,9 @@
 //!   queries that motivate consolidation (§1, §2.2);
 //! * [`codec`] — a BER-style TLV wire codec (encode/decode is part of the
 //!   per-operation CPU cost in the capacity experiments);
+//! * [`batch`] — framed request batches that coalesce same-station
+//!   operations into one message with per-op results, amortising the
+//!   per-message framing share of the service time;
 //! * [`server`] — stateless, processor-hungry server processes with the
 //!   paper's 10⁶ ops/s nominal rate and admission control;
 //! * [`poa`] — the L4-balancer Point of Access with automatic backend
@@ -18,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod codec;
 pub mod dn;
 pub mod filter;
@@ -25,6 +29,7 @@ pub mod poa;
 pub mod proto;
 pub mod server;
 
+pub use batch::{frame_share, FrameCursor, FramedBatch, FramedResults, FRAME_SHARE_DIVISOR};
 pub use codec::{decode_request, decode_response, encode_request, encode_response};
 pub use dn::{Dn, SUBSCRIBER_BASE};
 pub use filter::{attr_by_name, attr_name, Filter, FilterParseError};

@@ -87,7 +87,26 @@ impl LdapServer {
     /// Admit one operation at `now`; returns when protocol processing
     /// completes, or `None` on overload (`Busy`).
     pub fn admit(&mut self, op: &LdapOp, now: SimTime) -> Option<SimTime> {
-        let service = self.service_time(op);
+        self.admit_framed(op, now, false)
+    }
+
+    /// The per-message framing share this server amortises when an op
+    /// continues an open [`crate::batch::FramedBatch`] on its station.
+    pub fn frame_share(&self) -> SimDuration {
+        crate::batch::frame_share(self.station.service_time())
+    }
+
+    /// Admit one operation at `now` as part of a framed batch. When
+    /// `continues` is true the op rides an already-open frame on this
+    /// station and skips the per-message framing share of its service
+    /// time; the admission rule (queue bound) and arrival instant are
+    /// identical to [`LdapServer::admit`], so batching can never change
+    /// *whether* an op is served — only how fast.
+    pub fn admit_framed(&mut self, op: &LdapOp, now: SimTime, continues: bool) -> Option<SimTime> {
+        let mut service = self.service_time(op);
+        if continues {
+            service -= self.frame_share().min(service);
+        }
         match self.station.admit_with(now, service) {
             Ok(done) => {
                 if op.is_write() {
@@ -164,6 +183,41 @@ mod tests {
         s.admit(&search(), SimTime::ZERO).unwrap();
         s.admit(&add(), SimTime::ZERO).unwrap();
         assert_eq!((s.reads, s.writes), (1, 1));
+    }
+
+    #[test]
+    fn framed_continuation_saves_exactly_the_frame_share() {
+        let mut per_op = LdapServer::new(LdapServerId(0), SiteId(0), ClusterId(0));
+        let mut framed = LdapServer::new(LdapServerId(0), SiteId(0), ClusterId(0));
+        // First op of a frame pays full cost — identical to per-op mode.
+        let a = per_op.admit(&search(), SimTime::ZERO).unwrap();
+        let b = framed
+            .admit_framed(&search(), SimTime::ZERO, false)
+            .unwrap();
+        assert_eq!(a, b);
+        // A continuation finishes exactly frame_share earlier.
+        let a2 = per_op.admit(&search(), SimTime::ZERO).unwrap();
+        let b2 = framed.admit_framed(&search(), SimTime::ZERO, true).unwrap();
+        assert_eq!(a2 - b2, framed.frame_share());
+        assert_eq!(framed.frame_share(), SimDuration::from_nanos(250));
+        assert_eq!((framed.reads, framed.writes), (2, 0));
+    }
+
+    #[test]
+    fn framed_admission_keeps_the_queue_bound() {
+        // Continuations still queue and still reject past the 5 ms bound;
+        // only the service time changes, never the admission rule.
+        let mut s = LdapServer::with_rate(LdapServerId(0), SiteId(0), ClusterId(0), 1000.0);
+        let mut accepted = 0;
+        for i in 0..20 {
+            if s.admit_framed(&search(), SimTime::ZERO, i > 0).is_some() {
+                accepted += 1;
+            }
+        }
+        // 1 full op (1 ms) + continuations at 0.75 ms under a 5 ms wait
+        // bound: one more fits than the 6 of the per-op path.
+        assert_eq!(accepted, 7);
+        assert!(s.rejected() > 0);
     }
 
     #[test]

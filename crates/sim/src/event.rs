@@ -10,10 +10,10 @@ use std::collections::BinaryHeap;
 
 use udr_model::time::{SimDuration, SimTime};
 
-struct Scheduled<E> {
-    at: SimTime,
-    seq: u64,
-    event: E,
+pub(crate) struct Scheduled<E> {
+    pub(crate) at: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) event: E,
 }
 
 impl<E> PartialEq for Scheduled<E> {

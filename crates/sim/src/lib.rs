@@ -16,6 +16,7 @@
 pub mod event;
 pub mod faults;
 pub mod net;
+pub mod pump;
 pub mod rng;
 pub mod service;
 
@@ -25,5 +26,6 @@ pub use net::{
     Cut, CutHandle, Degrade, DegradeHandle, LatencyModel, LinkOutcome, LinkProfile, NetStats,
     Network, Topology,
 };
+pub use pump::{DrainStats, LaneClass, LaneCtx, PumpConfig, ShardedPump};
 pub use rng::SimRng;
 pub use service::{Overload, Station};
