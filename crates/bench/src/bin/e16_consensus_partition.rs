@@ -17,15 +17,15 @@
 //! own; pre-UDC networks needed someone to "check what parts of the batch
 //! failed and apply those parts manually").
 
+use udr_bench::consensus_harness::{committed_fraction, settled_cluster, submit_paced};
 use udr_bench::harness::{provisioned_system, t};
-use udr_consensus::runtime::{ClusterConfig, ConsensusCluster};
 use udr_core::UdrConfig;
 use udr_metrics::{pct, Table};
 use udr_model::attrs::{AttrId, AttrMod, AttrValue};
 use udr_model::config::ReplicationMode;
 use udr_model::identity::Identity;
-use udr_model::ids::{SiteId, SubscriberUid};
-use udr_model::time::{SimDuration, SimTime};
+use udr_model::ids::SiteId;
+use udr_model::time::SimDuration;
 use udr_sim::net::Topology;
 use udr_sim::FaultSchedule;
 
@@ -93,51 +93,46 @@ fn run_udr(mode: ReplicationMode, partition_s: u64, gap_ms: u64) -> Row {
 
 /// Paxos over the same 3-site backbone and island.
 fn run_paxos(partition_s: u64, gap_ms: u64) -> Row {
-    let mut cluster =
-        ConsensusCluster::new(Topology::multinational(3), ClusterConfig::default(), 77);
-    // Let leadership settle before the outage.
-    let start = SimTime::ZERO + SimDuration::from_secs(100);
+    // Leadership settles during warm-up, long before the outage.
+    let mut s = settled_cluster(Topology::multinational(3), 77);
+    let start = t(100);
     let window = SimDuration::from_secs(partition_s);
-    cluster.run_until(SimTime::ZERO + SimDuration::from_secs(5));
-    cluster.schedule_partition(start, window, [2u32]);
-
-    let mut at = start + SimDuration::from_millis(37);
     let end = start.saturating_add(window);
-    let (mut island_ids, mut majority_ids) = (Vec::new(), Vec::new());
-    let mut i = 0u64;
-    while at < end {
-        majority_ids.push(cluster.submit_write_at(at, 0, SubscriberUid(i), None));
-        island_ids.push(cluster.submit_write_at(
-            at + SimDuration::from_millis(gap_ms / 2),
-            2,
-            SubscriberUid(1_000_000 + i),
-            None,
-        ));
-        i += 1;
-        at += SimDuration::from_millis(gap_ms);
-    }
+    s.cluster.schedule_partition(start, window, [2u32]);
+
+    // Same interleaved dual-PS cadence `run_udr` drives: site 0 writes on
+    // the cadence, site 2 half a gap later.
+    let gap = SimDuration::from_millis(gap_ms);
+    let count = (partition_s * 1000).saturating_sub(37).div_ceil(gap_ms);
+    let majority_ids = submit_paced(
+        &mut s.cluster,
+        start + SimDuration::from_millis(37),
+        count,
+        gap,
+        0,
+        0,
+    );
+    let island_ids = submit_paced(
+        &mut s.cluster,
+        start + SimDuration::from_millis(37 + gap_ms / 2),
+        count,
+        gap,
+        2,
+        1_000_000,
+    );
     // Long tail: heal, catch up, drain forwarded commands.
-    let report = cluster.run_until(end + SimDuration::from_secs(120));
+    let report = s.cluster.run_until(end + SimDuration::from_secs(120));
     assert!(
         report.violations.is_empty(),
         "consensus safety broke: {:?}",
         report.violations
     );
 
-    let during = |ids: &[udr_consensus::CmdId]| {
-        ids.iter()
-            .filter(|id| report.fates[id].chosen_at.is_some_and(|c| c <= end))
-            .count() as f64
-            / ids.len().max(1) as f64
-    };
-    let eventual = (island_ids.iter().chain(&majority_ids))
-        .filter(|id| report.fates[id].chosen_at.is_some())
-        .count() as f64
-        / (island_ids.len() + majority_ids.len()).max(1) as f64;
+    let all: Vec<_> = island_ids.iter().chain(&majority_ids).copied().collect();
     Row {
-        island_avail: during(&island_ids),
-        majority_avail: during(&majority_ids),
-        eventual,
+        island_avail: committed_fraction(&report, &island_ids, Some(end)),
+        majority_avail: committed_fraction(&report, &majority_ids, Some(end)),
+        eventual: committed_fraction(&report, &all, None),
         conflicts: 0, // single decided log: divergence is impossible
     }
 }

@@ -14,12 +14,12 @@
 //! at the leader; forward + learn legs when the client's PoA is not the
 //! leader's site).
 
+use udr_bench::consensus_harness::{fate_latencies, settled_cluster, submit_paced, LatencyKind};
 use udr_bench::harness::t;
-use udr_consensus::runtime::{ClusterConfig, ConsensusCluster};
 use udr_consensus::NodeId;
 use udr_metrics::Histogram;
 use udr_metrics::Table;
-use udr_model::ids::{SeId, SubscriberUid};
+use udr_model::ids::SeId;
 use udr_model::time::SimDuration;
 use udr_replication::{dual_in_sequence, quorum_write};
 use udr_sim::net::{LatencyModel, LinkProfile, Network, Topology};
@@ -80,35 +80,27 @@ fn analytic(wan_ms: u64) -> (Histogram, Histogram, Histogram, Histogram) {
 /// Measured multi-Paxos: steady-state commits at the leader's PoA and at a
 /// follower PoA (forward + learn legs included).
 fn paxos(wan_ms: u64) -> (Histogram, Histogram) {
-    let mut cluster = ConsensusCluster::new(topo(wan_ms), ClusterConfig::default(), wan_ms ^ 3);
-    cluster.run_until(t(5));
-    let leader = cluster.current_leader().expect("stable leader by t=5s");
+    let mut s = settled_cluster(topo(wan_ms), wan_ms ^ 3);
+    let leader = s.leader;
     let follower = (0..3u32).find(|i| NodeId(*i) != leader).unwrap();
 
-    let mut at = t(10);
-    let (mut at_leader, mut at_follower) = (Vec::new(), Vec::new());
-    for i in 0..400u64 {
-        at_leader.push(cluster.submit_write_at(at, leader.0, SubscriberUid(i), None));
-        at_follower.push(cluster.submit_write_at(
-            at + SimDuration::from_millis(25),
-            follower,
-            SubscriberUid(10_000 + i),
-            None,
-        ));
-        at += SimDuration::from_millis(50);
-    }
-    let report = cluster.run_until(at + SimDuration::from_secs(30));
+    let gap = SimDuration::from_millis(50);
+    let at_leader = submit_paced(&mut s.cluster, t(10), 400, gap, leader.0, 0);
+    let at_follower = submit_paced(
+        &mut s.cluster,
+        t(10) + SimDuration::from_millis(25),
+        400,
+        gap,
+        follower,
+        10_000,
+    );
+    // 400 submissions every 50 ms starting at t=10 s end at t=30 s.
+    let report = s.cluster.run_until(t(30) + SimDuration::from_secs(30));
     assert!(report.violations.is_empty());
-    let collect = |ids: &[udr_consensus::CmdId]| {
-        let mut h = Histogram::new();
-        for id in ids {
-            if let Some(lat) = report.fates[id].client_latency() {
-                h.record(lat);
-            }
-        }
-        h
-    };
-    (collect(&at_leader), collect(&at_follower))
+    (
+        fate_latencies(&report, &at_leader, LatencyKind::Client),
+        fate_latencies(&report, &at_follower, LatencyKind::Client),
+    )
 }
 
 fn cell(h: &Histogram) -> String {

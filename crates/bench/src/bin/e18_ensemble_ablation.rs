@@ -9,10 +9,11 @@
 //! sweeps the ensemble size and measures what each additional site buys
 //! and costs on identical geography.
 
+use udr_bench::consensus_harness::{
+    committed_fraction, fate_latencies, settled_cluster, submit_paced, LatencyKind,
+};
 use udr_bench::harness::t;
-use udr_consensus::runtime::{ClusterConfig, ConsensusCluster};
 use udr_metrics::{pct, Histogram, Table};
-use udr_model::ids::SubscriberUid;
 use udr_model::time::SimDuration;
 use udr_sim::net::Topology;
 
@@ -29,67 +30,53 @@ struct Row {
 
 fn run(n: usize) -> Row {
     // Phase 1: steady-state latency + message cost.
-    let mut cluster = ConsensusCluster::new(
-        Topology::multinational(n),
-        ClusterConfig::default(),
-        n as u64,
+    let mut s = settled_cluster(Topology::multinational(n), n as u64);
+    let ids = submit_paced(
+        &mut s.cluster,
+        t(10),
+        300,
+        SimDuration::from_millis(50),
+        s.leader.0,
+        0,
     );
-    cluster.run_until(t(5));
-    let leader = cluster.current_leader().expect("stable leader");
-    let mut ids = Vec::new();
-    let mut at = t(10);
-    for i in 0..300u64 {
-        ids.push(cluster.submit_write_at(at, leader.0, SubscriberUid(i), None));
-        at += SimDuration::from_millis(50);
-    }
-    let before = cluster.report().messages.total;
-    let report = cluster.run_until(at + SimDuration::from_secs(20));
+    let before = s.cluster.report().messages.total;
+    // 300 submissions every 50 ms starting at t=10 s end at t=25 s.
+    let report = s.cluster.run_until(t(25) + SimDuration::from_secs(20));
     assert!(report.violations.is_empty());
-    let mut latency = Histogram::new();
-    for id in &ids {
-        if let Some(l) = report.fates[id].commit_latency() {
-            latency.record(l);
-        }
-    }
+    let latency = fate_latencies(&report, &ids, LatencyKind::Commit);
     let msgs_per_commit = (report.messages.total - before) as f64 / ids.len().max(1) as f64;
 
     // Phase 2: crash exactly f sites → still available; one more → frozen.
     let f = (n - 1) / 2;
     let avail = |crashes: usize, seed: u64| -> f64 {
-        let mut cluster =
-            ConsensusCluster::new(Topology::multinational(n), ClusterConfig::default(), seed);
-        cluster.run_until(t(5));
-        let leader = cluster.current_leader().expect("leader");
+        let mut s = settled_cluster(Topology::multinational(n), seed);
         // Crash sites other than the leader first; the leader dies last if
         // needed, which also exercises failover.
         let mut victims: Vec<u32> = (0..n as u32)
-            .filter(|i| *i != leader.0)
+            .filter(|i| *i != s.leader.0)
             .take(crashes)
             .collect();
         if victims.len() < crashes {
-            victims.push(leader.0);
+            victims.push(s.leader.0);
         }
         for (k, v) in victims.iter().enumerate() {
-            cluster.schedule_crash(t(6) + SimDuration::from_millis(100 * k as u64), *v);
+            s.cluster
+                .schedule_crash(t(6) + SimDuration::from_millis(100 * k as u64), *v);
         }
         let origin = (0..n as u32)
             .find(|i| !victims.contains(i))
             .expect("a survivor");
-        let mut ids = Vec::new();
-        for i in 0..40u64 {
-            ids.push(cluster.submit_write_at(
-                t(10) + SimDuration::from_millis(250 * i),
-                origin,
-                SubscriberUid(i),
-                None,
-            ));
-        }
-        let report = cluster.run_until(t(60));
+        let ids = submit_paced(
+            &mut s.cluster,
+            t(10),
+            40,
+            SimDuration::from_millis(250),
+            origin,
+            0,
+        );
+        let report = s.cluster.run_until(t(60));
         assert!(report.violations.is_empty());
-        ids.iter()
-            .filter(|id| report.fates[id].chosen_at.is_some())
-            .count() as f64
-            / ids.len() as f64
+        committed_fraction(&report, &ids, None)
     };
 
     Row {

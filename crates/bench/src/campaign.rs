@@ -42,6 +42,7 @@ use udr_sim::FaultScript;
 use udr_workload::{PartitionScenario, ProcedureMix, SessionBook, TrafficModel};
 
 use crate::harness::provisioned_system;
+use crate::linear::{HistOp, History, OpKind};
 
 /// How long writes are quiesced ahead of a scheduled SE crash.
 const CRASH_QUIESCE: SimDuration = SimDuration::from_secs(1);
@@ -80,6 +81,10 @@ pub struct CampaignConfig {
     pub fault_at: SimTime,
     /// How long the fault window lasts.
     pub fault_duration: SimDuration,
+    /// Event-pump sharding for the cell's deployment. Any lane count
+    /// must replay the identical cell (the pump's deterministic-merge
+    /// contract); the determinism regression exercises exactly that.
+    pub pump: udr_sim::PumpConfig,
 }
 
 impl CampaignConfig {
@@ -100,6 +105,7 @@ impl CampaignConfig {
             traffic_end: t(60),
             fault_at: t(20),
             fault_duration: SimDuration::from_secs(20),
+            pump: udr_sim::PumpConfig::single(),
         }
     }
 
@@ -110,6 +116,7 @@ impl CampaignConfig {
         cfg.frash.replication = self.mode;
         cfg.frash.fe_read_policy = self.fe_policy;
         cfg.seed = self.seed ^ 0xE22;
+        cfg.pump = self.pump;
         cfg
     }
 
@@ -365,6 +372,329 @@ pub fn run_cell_with_script(cc: &CampaignConfig, script: &FaultScript) -> CapVer
     verdict.divergence_merges = m.merges;
     verdict.merge_conflicts = m.merge_conflicts;
     verdict
+}
+
+/// Oracle-write values in consensus cells live above this base so they
+/// can never collide with whatever `OdbMask` the population generator
+/// provisioned (reads must name exactly one write).
+const CONSENSUS_SEQ_BASE: u64 = 1 << 32;
+
+/// What one consensus campaign cell (e25) yields: the CAP verdict, the
+/// recorded interval history for the linearizability checker, and the
+/// protocol-level evidence the cell's assertions consume.
+#[derive(Debug)]
+pub struct ConsensusCellOutcome {
+    /// The CAP verdict, with the lost/duplicated oracle fields computed
+    /// against the **chosen log** (see below), not the monotone scan.
+    pub verdict: CapVerdict,
+    /// Per-subscriber interval history of every read and write the cell
+    /// issued (timed-out writes recorded as pending — they may commit
+    /// later), plus one final committed read per written subscriber.
+    pub history: History,
+    /// Elections started across all ensembles (failover evidence).
+    pub elections: u64,
+    /// Serving-leader hand-offs observed (failover evidence).
+    pub leader_changes: u64,
+    /// Paxos safety violations observed — asserted empty in every cell.
+    pub violations: Vec<String>,
+    /// Client commands committed through the consensus logs.
+    pub commits: u64,
+}
+
+/// Run one consensus campaign cell (the e25 grid) under an explicit
+/// fault script.
+///
+/// Shares the e22 cell's deterministic streams (loss-free figure-2
+/// deployment, read procedures, per-subscriber oracle writes, quiesce
+/// windows, settle phase), with three differences:
+///
+/// 1. reads go through [`LdapOp::Search`] so the *observed value* can be
+///    recorded into an interval [`History`] for the Wing & Gong checker;
+/// 2. the lost-acked-write oracle is **log-aware**: an acknowledged
+///    value is durable iff its post-image appears in the final chosen
+///    log (the e22 monotone scan would misjudge a legal "zombie" — a
+///    timed-out lower-sequence write that commits after a later
+///    acknowledged one — as a lost write);
+/// 3. duplicated records additionally count any post-image value chosen
+///    more than once (exactly-once application through the log).
+pub fn run_consensus_cell(cc: &CampaignConfig, script: &FaultScript) -> ConsensusCellOutcome {
+    let cfg = cc.udr_config();
+    cfg.validate().expect("campaign cell configuration invalid");
+    assert!(
+        matches!(cfg.frash.replication, ReplicationMode::Consensus { .. }),
+        "run_consensus_cell drives Consensus cells only"
+    );
+    let sites = cfg.sites;
+    let expected = cfg.frash.pacelc_for(TxnClass::FrontEnd).to_string();
+    let mut s = provisioned_system(cfg, cc.subscribers, cc.seed ^ 0x5EED);
+
+    for a in 0..sites {
+        for b in 0..sites {
+            if a < b {
+                let mut link = s.udr.net.topology().link(SiteId(a), SiteId(b)).clone();
+                link.loss = 0.0;
+                s.udr
+                    .net
+                    .topology_mut()
+                    .set_link(SiteId(a), SiteId(b), link);
+            }
+        }
+    }
+
+    s.udr.schedule_script(script);
+
+    // Seed the checker with each subscriber's provisioned register value.
+    let mut history = History::new();
+    let committed_value = |udr: &udr_core::Udr, identity: &Identity| -> Option<u64> {
+        udr.lookup_authority(identity)
+            .and_then(|loc| {
+                let master = udr.shard_map().master_of(loc.partition)?;
+                udr.se(master)
+                    .read_committed(loc.partition, loc.uid)
+                    .ok()
+                    .flatten()
+            })
+            .and_then(|entry| match entry.get(AttrId::OdbMask) {
+                Some(AttrValue::U64(v)) => Some(*v),
+                _ => None,
+            })
+    };
+    for (i, sub) in s.population.iter().enumerate() {
+        let identity: Identity = sub.ids.imsi.into();
+        history.set_initial(i, committed_value(&s.udr, &identity).unwrap_or(0));
+    }
+
+    // ---- the two traffic streams, merged into one virtual-time order --
+    let mut model = TrafficModel::flat(cc.read_rate, sites);
+    model.mix = ProcedureMix::read_only();
+    model.roaming_probability = cc.roaming;
+    let mut rng = udr_sim::SimRng::seed_from_u64(cc.seed ^ 0xA11CE);
+    let reads = model.generate(&s.population, cc.traffic_start, cc.traffic_end, &mut rng);
+
+    let crash_instants = script.crash_instants();
+    let quiesced = |at: SimTime| {
+        crash_instants
+            .iter()
+            .any(|c| at + CRASH_QUIESCE >= *c && at < *c)
+    };
+    let mut ops: Vec<CampaignOp> = reads
+        .iter()
+        .map(|ev| CampaignOp::Read {
+            at: ev.at,
+            subscriber: ev.subscriber,
+            kind: ev.kind,
+            fe_site: ev.fe_site,
+        })
+        .collect();
+    for (i, sub) in s.population.iter().enumerate() {
+        let offset =
+            SimDuration::from_nanos(cc.write_period.as_nanos() * i as u64 / cc.subscribers.max(1));
+        let mut at = cc.traffic_start + offset;
+        let mut k = 0u64;
+        while at < cc.traffic_end {
+            if !quiesced(at) {
+                let site = if k % ROAM_EVERY == ROAM_EVERY - 1 {
+                    SiteId((sub.home_region + 1 + (k as u32 % (sites - 1))) % sites)
+                } else {
+                    SiteId(sub.home_region)
+                };
+                ops.push(CampaignOp::Write {
+                    at,
+                    subscriber: i,
+                    site,
+                });
+            }
+            at += cc.write_period;
+            k += 1;
+        }
+    }
+    ops.sort_by_key(CampaignOp::at);
+
+    // ---- drive ---------------------------------------------------------
+    let mut verdict = CapVerdict::new(
+        cc.mode.to_string(),
+        cc.fe_policy.to_string(),
+        cc.scenario.to_string(),
+        expected,
+    );
+    let mut sessions = SessionBook::all(s.population.len());
+    let mut seq = CONSENSUS_SEQ_BASE;
+    let mut acked: Vec<u64> = vec![0; s.population.len()];
+    let heal_at = script.end();
+    let mut settled_at: Option<SimTime> = None;
+    for op in &ops {
+        let in_fault = script.active_at(op.at());
+        match op {
+            CampaignOp::Read {
+                at,
+                subscriber,
+                fe_site,
+                ..
+            } => {
+                let sub = &s.population[*subscriber];
+                let op = LdapOp::Search {
+                    base: Dn::for_identity(Identity::Imsi(sub.ids.imsi)),
+                    attrs: vec![AttrId::OdbMask],
+                };
+                let out = s.udr.execute_op_with_session(
+                    &op,
+                    TxnClass::FrontEnd,
+                    *fe_site,
+                    *at,
+                    sessions.token_mut(*subscriber),
+                );
+                match &out.result {
+                    Ok(entry) => {
+                        let observed = entry
+                            .as_ref()
+                            .and_then(|e| match e.get(AttrId::OdbMask) {
+                                Some(AttrValue::U64(v)) => Some(*v),
+                                _ => None,
+                            })
+                            .unwrap_or(0);
+                        history.record(
+                            *subscriber,
+                            HistOp {
+                                inv: *at,
+                                resp: Some(*at + out.latency),
+                                kind: OpKind::Read(observed),
+                            },
+                        );
+                        verdict.record(false, in_fault, None);
+                    }
+                    Err(e) => verdict.record(false, in_fault, Some(e)),
+                }
+            }
+            CampaignOp::Write {
+                at,
+                subscriber,
+                site,
+            } => {
+                seq += 1;
+                let sub = &s.population[*subscriber];
+                let op = LdapOp::Modify {
+                    dn: Dn::for_identity(Identity::Imsi(sub.ids.imsi)),
+                    mods: vec![AttrMod::Set(AttrId::OdbMask, AttrValue::U64(seq))],
+                };
+                let out = s.udr.execute_op_with_session(
+                    &op,
+                    TxnClass::FrontEnd,
+                    *site,
+                    *at,
+                    sessions.token_mut(*subscriber),
+                );
+                match &out.result {
+                    Ok(_) => {
+                        acked[*subscriber] = seq;
+                        history.record(
+                            *subscriber,
+                            HistOp {
+                                inv: *at,
+                                resp: Some(*at + out.latency),
+                                kind: OpKind::Write(seq),
+                            },
+                        );
+                        verdict.record(true, in_fault, None);
+                    }
+                    Err(e) => {
+                        // A refused or timed-out consensus write may still
+                        // commit after the fault heals ("zombie write"):
+                        // record it pending, never acknowledged.
+                        history.record(
+                            *subscriber,
+                            HistOp {
+                                inv: *at,
+                                resp: None,
+                                kind: OpKind::Write(seq),
+                            },
+                        );
+                        verdict.record(true, in_fault, Some(e));
+                    }
+                }
+            }
+        }
+        if settled_at.is_none() && op.at() >= heal_at && s.udr.replication_settled() {
+            settled_at = Some(op.at());
+        }
+    }
+
+    // ---- settle: wait out re-election and catch-up ---------------------
+    let baseline = heal_at.max(cc.traffic_end);
+    let limit = baseline + SETTLE_LIMIT;
+    let mut now = baseline;
+    s.udr.advance_to(now);
+    while !s.udr.replication_settled() && now < limit {
+        now += SETTLE_STEP;
+        s.udr.advance_to(now);
+    }
+    assert!(
+        s.udr.replication_settled(),
+        "consensus never re-converged after {SETTLE_LIMIT}: lag={} partitioned={} degraded={}",
+        s.udr.max_replica_lag(),
+        s.udr.net.partitioned(),
+        s.udr.net.degraded(),
+    );
+    verdict.heal_time = settled_at.unwrap_or(now).duration_since(heal_at);
+
+    // ---- post-heal oracles --------------------------------------------
+    // Log-aware durability oracle: every acknowledged value must appear
+    // as a chosen post-image, and no value may be chosen twice.
+    let mut chosen: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    for partition in s.udr.shard_map().partitions() {
+        for (_, entry) in s.udr.consensus_write_history(partition) {
+            if let Some(AttrValue::U64(v)) = entry.as_ref().and_then(|e| e.get(AttrId::OdbMask)) {
+                if *v >= CONSENSUS_SEQ_BASE {
+                    *chosen.entry(*v).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    for &ack in acked.iter().filter(|&&a| a != 0) {
+        if !chosen.contains_key(&ack) {
+            verdict.lost_acked_writes += 1;
+        }
+    }
+    verdict.duplicated_records += chosen.values().map(|&n| n.saturating_sub(1)).sum::<u64>();
+    for partition in s.udr.shard_map().partitions() {
+        let members = s.udr.shard_map().members_of(partition).unwrap_or(&[]);
+        for i in 0..s.udr.se_count() {
+            let se = s.udr.se(SeId(i as u32));
+            if se.partitions().any(|p| p == partition) && !members.contains(&se.id()) {
+                verdict.duplicated_records += 1;
+            }
+        }
+    }
+    // Close every key's history with a committed read of the final state:
+    // whatever the store converged to must itself be linearizable against
+    // the recorded operations.
+    for (i, sub) in s.population.iter().enumerate() {
+        let identity: Identity = sub.ids.imsi.into();
+        if let Some(v) = committed_value(&s.udr, &identity) {
+            history.record(
+                i,
+                HistOp {
+                    inv: now,
+                    resp: Some(now),
+                    kind: OpKind::Read(v),
+                },
+            );
+        }
+    }
+
+    // ---- consistency debt from the run metrics ------------------------
+    let m = &s.udr.metrics;
+    verdict.stale_reads = m.staleness.stale_reads;
+    verdict.guarantee_violations = m.guarantees.violations();
+    verdict.divergence_merges = m.merges;
+    verdict.merge_conflicts = m.merge_conflicts;
+    ConsensusCellOutcome {
+        verdict,
+        history,
+        elections: s.udr.consensus_elections(),
+        leader_changes: s.udr.consensus_leader_changes(),
+        violations: s.udr.consensus_violations().to_vec(),
+        commits: s.udr.metrics.consensus_commits,
+    }
 }
 
 #[cfg(test)]

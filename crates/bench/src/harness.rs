@@ -37,6 +37,16 @@ pub fn provisioned_system(cfg: UdrConfig, n: u64, seed: u64) -> Scenario {
     let mut rng = SimRng::seed_from_u64(seed);
     let population = PopulationBuilder::new(udr.config().sites).build(n, &mut rng);
     let mut at = SimTime::ZERO + SimDuration::from_millis(1);
+    if matches!(
+        udr.config().frash.replication,
+        udr_model::config::ReplicationMode::Consensus { .. }
+    ) {
+        // Let the ensembles elect their first leaders before provisioning
+        // traffic arrives; writes during the initial election gap would
+        // only burn retry budget. Non-consensus runs are untouched.
+        udr.run(t(5));
+        at = t(5) + SimDuration::from_millis(1);
+    }
     for sub in &population {
         // Rare WAN message loss can time an attempt out; the PS retries
         // (its normal §2.4 behaviour).
@@ -293,5 +303,35 @@ mod tests {
         assert!(ps > 0);
         assert!(s.udr.metrics.fe_ops.ok > 0);
         assert!(s.udr.metrics.ps_ops.ok > 0);
+    }
+}
+
+#[cfg(test)]
+mod consensus_smoke {
+    use super::*;
+    use udr_model::config::{ReadPolicy, ReplicationMode};
+
+    #[test]
+    fn consensus_mode_provisions_and_serves() {
+        let mut cfg = UdrConfig::figure2();
+        cfg.frash.replication = ReplicationMode::Consensus { n: 3 };
+        cfg.frash.replication_factor = 3;
+        cfg.frash.fe_read_policy = ReadPolicy::MasterOnly;
+        cfg.frash.ps_read_policy = ReadPolicy::MasterOnly;
+        let mut s = provisioned_system(cfg, 10, 1);
+        assert_eq!(s.udr.total_subscribers(), 10);
+        let events = standard_traffic(&s, 0.1, 0.3, t(10), t(30), 5);
+        let (fe, _) = run_events(&mut s, &events, Some(SimDuration::from_secs(5)), SiteId(0));
+        assert!(fe > 0);
+        assert!(s.udr.metrics.fe_ops.ok > 0, "{:?}", s.udr.metrics.fe_ops);
+        assert_eq!(
+            s.udr.metrics.fe_ops.unavailable + s.udr.metrics.fe_ops.failed_other,
+            0
+        );
+        assert!(s.udr.metrics.ps_ops.ok > 0);
+        assert!(s.udr.metrics.consensus_commits > 0);
+        assert!(s.udr.metrics.consensus_messages > 0);
+        assert!(s.udr.consensus_violations().is_empty());
+        assert_eq!(s.udr.metrics.staleness.stale_fraction(), 0.0);
     }
 }

@@ -12,13 +12,21 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod consensus_harness;
 pub mod harness;
 pub mod json;
+pub mod linear;
 pub mod pump_campaign;
 pub mod scale;
 
-pub use campaign::{run_cell, run_cell_with_script, CampaignConfig};
+pub use campaign::{
+    run_cell, run_cell_with_script, run_consensus_cell, CampaignConfig, ConsensusCellOutcome,
+};
+pub use consensus_harness::{
+    committed_fraction, fate_latencies, settled_cluster, submit_paced, LatencyKind, SettledCluster,
+};
 pub use harness::{provisioned_system, run_events, Scenario};
 pub use json::{BenchReport, JsonValue};
+pub use linear::{HistOp, History, OpKind};
 pub use pump_campaign::{run as run_pump, LaneRow, PumpCampaignConfig, PumpOutcome};
 pub use scale::{run as run_scale, ScaleConfig, ScaleOutcome, StageStats};

@@ -6,11 +6,11 @@
 
 use proptest::prelude::*;
 
-use udr_bench::campaign::{run_cell_with_script, CampaignConfig};
+use udr_bench::campaign::{run_cell_with_script, run_consensus_cell, CampaignConfig};
 use udr_model::config::{ReadPolicy, ReplicationMode};
 use udr_model::ids::{SeId, SiteId};
 use udr_model::time::{SimDuration, SimTime};
-use udr_sim::{FaultPhase, FaultScript};
+use udr_sim::{FaultPhase, FaultScript, PumpConfig};
 use udr_workload::PartitionScenario;
 
 fn secs(v: u64) -> SimDuration {
@@ -99,6 +99,51 @@ fn small_cell(mode: ReplicationMode, policy: ReadPolicy, seed: u64) -> CampaignC
     cc.read_rate = 0.12;
     cc.traffic_end = at(42);
     cc
+}
+
+/// The consensus (e25) cells replay identically too — verdict, protocol
+/// evidence and history — and a sharded pump replays the *same* cell as
+/// the single-lane pump: consensus ticks and deliveries ride partition
+/// lanes, so the deterministic-merge contract must cover them.
+#[test]
+fn consensus_cells_replay_identically_across_pump_shapes() {
+    let cells = [
+        (ReadPolicy::MasterOnly, PartitionScenario::CleanPartition),
+        (ReadPolicy::MasterOnly, PartitionScenario::SeOutage),
+        (ReadPolicy::NearestCopy, PartitionScenario::Flapping),
+    ];
+    for (policy, scenario) in cells {
+        let mut cc = small_cell(ReplicationMode::Consensus { n: 3 }, policy, 25);
+        cc.scenario = scenario;
+        let script = cc.script();
+        let a = run_consensus_cell(&cc, &script);
+        let b = run_consensus_cell(&cc, &script);
+        assert_eq!(a.verdict, b.verdict, "{scenario}: replay diverged");
+        assert_eq!(
+            (a.elections, a.leader_changes, a.commits),
+            (b.elections, b.leader_changes, b.commits),
+            "{scenario}: protocol evidence diverged"
+        );
+        assert_eq!(a.history.len(), b.history.len());
+        assert!(a.violations.is_empty(), "{scenario}: {:?}", a.violations);
+        assert!(a.verdict.sound(), "{scenario}: unsound {:?}", a.verdict);
+        a.history
+            .check()
+            .unwrap_or_else(|e| panic!("{scenario}: history not linearizable: {e}"));
+
+        cc.pump = PumpConfig::sharded(4);
+        let c = run_consensus_cell(&cc, &script);
+        assert_eq!(
+            a.verdict, c.verdict,
+            "{scenario}: sharded(4) pump changed the verdict"
+        );
+        assert_eq!(
+            (a.elections, a.leader_changes, a.commits),
+            (c.elections, c.leader_changes, c.commits),
+            "{scenario}: sharded(4) pump changed the protocol run"
+        );
+        assert_eq!(a.history.len(), c.history.len());
+    }
 }
 
 proptest! {

@@ -46,6 +46,16 @@ pub enum Payload {
         /// New value; `None` deletes.
         entry: Option<Entry>,
     },
+    /// A configuration change riding the log: the migration cutover
+    /// command for a live partition move. Replicating it through the
+    /// same totally ordered log that carries writes makes the cutover
+    /// exactly-once and totally ordered against the data stream — the
+    /// replica group switches membership at one agreed log position
+    /// instead of behind a write-freeze window.
+    Reconfig {
+        /// Id of the migration task the cutover belongs to.
+        migration: u64,
+    },
 }
 
 /// A client command as replicated through the log.
@@ -71,6 +81,14 @@ impl Command {
         Command {
             id,
             payload: Payload::Write { uid, entry },
+        }
+    }
+
+    /// A migration-cutover configuration change (see [`Payload::Reconfig`]).
+    pub fn reconfig(id: CmdId, migration: u64) -> Self {
+        Command {
+            id,
+            payload: Payload::Reconfig { migration },
         }
     }
 
@@ -212,7 +230,17 @@ mod tests {
                 assert_eq!(uid, SubscriberUid(42));
                 assert!(entry.is_none());
             }
-            Payload::Noop => panic!("expected a write"),
+            _ => panic!("expected a write"),
+        }
+    }
+
+    #[test]
+    fn reconfig_command_is_effective_but_not_a_write() {
+        let c = Command::reconfig(CmdId(9), 3);
+        assert!(!c.is_noop(), "reconfig must survive iter_effective");
+        match c.payload {
+            Payload::Reconfig { migration } => assert_eq!(migration, 3),
+            _ => panic!("expected a reconfig"),
         }
     }
 

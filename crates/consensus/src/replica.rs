@@ -237,6 +237,16 @@ impl Replica {
         self.pending.len()
     }
 
+    /// Read-index gate: true when this node leads and has no proposal in
+    /// flight, i.e. its committed prefix reflects every command it has
+    /// acknowledged taking. A linearizable read served off the leader's
+    /// committed state needs this to hold (plus a majority round-trip to
+    /// confirm the leadership is not stale) — a deposed or mid-proposal
+    /// leader must not serve.
+    pub fn read_index_ready(&self) -> bool {
+        self.role == Role::Leader && self.inflight.is_empty()
+    }
+
     // ------------------------------------------------------------------
     // Inputs
     // ------------------------------------------------------------------

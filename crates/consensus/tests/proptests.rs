@@ -179,7 +179,7 @@ fn committed_commands_are_durable_and_exactly_once() {
                 assert!(report.fates.contains_key(&cmd.id), "phantom {:?}", cmd.id);
                 assert!(seen.insert(cmd.id), "duplicate effective {:?}", cmd.id);
                 match cmd.payload {
-                    Payload::Write { .. } => {}
+                    Payload::Write { .. } | Payload::Reconfig { .. } => {}
                     Payload::Noop => panic!("noop must not be effective"),
                 }
             }

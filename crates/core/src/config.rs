@@ -181,6 +181,16 @@ mod tests {
     }
 
     #[test]
+    fn consensus_must_match_rf() {
+        let mut c = UdrConfig::default();
+        c.frash.replication = ReplicationMode::Consensus { n: 3 };
+        c.frash.replication_factor = 3;
+        assert!(c.validate().is_ok());
+        c.frash.replication_factor = 2;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
     fn quorum_must_match_rf() {
         let mut c = UdrConfig::default();
         c.frash.replication = ReplicationMode::Quorum { n: 3, w: 2, r: 2 };

@@ -1,0 +1,654 @@
+//! Consensus replication mode: per-partition Multi-Paxos replica groups
+//! embedded in the deployment's event pump.
+//!
+//! Under [`ReplicationMode::Consensus`] the ordinary master/slave
+//! machinery — asynchronous shippers, failover checks, snapshot reseeds —
+//! is switched off. Each partition instead runs an `n`-node
+//! [`udr_consensus::Replica`] ensemble over the same Storage Elements the
+//! replication group names: node `i` of partition `p`'s ensemble lives on
+//! `groups[p].members()[i]`. Protocol timers ([`UdrEvent::ConsensusTick`])
+//! and message deliveries ([`UdrEvent::ConsensusDeliver`]) flow through
+//! the sharded pump on the partition's lane, so consensus traffic
+//! interleaves deterministically with faults and client operations.
+//!
+//! The log replicates *state*, not operations: the serving leader computes
+//! the post-image of a write against its committed store and the chosen
+//! [`Payload::Write`] carries it, so every replica applies the identical
+//! record (`Udr::consensus_apply`). A replica's engine therefore always
+//! equals its applied committed prefix — the structural property that
+//! makes stale reads impossible when reads are routed to the serving
+//! leader (see `ReplicationStage::consensus_read` in the pipeline).
+//!
+//! Crashes model a process stop with acceptor state preserved across
+//! restart (the persistence Paxos requires): a down node simply stops
+//! ticking and receiving; on restore its engine is rolled forward from
+//! the recovered disk position by replaying the chosen log.
+//!
+//! Migration cutovers ride the log as [`Payload::Reconfig`] commands —
+//! exactly-once (command-id dedup plus first-apply-wins) and totally
+//! ordered against the write stream, replacing the legacy write-freeze
+//! window (see `Udr::run_consensus_migrations`).
+//!
+//! [`ReplicationMode::Consensus`]: udr_model::config::ReplicationMode::Consensus
+//! [`Payload::Write`]: udr_consensus::Payload::Write
+//! [`Payload::Reconfig`]: udr_consensus::Payload::Reconfig
+
+use udr_consensus::{
+    ChosenLog, CmdId, Command, Message, NodeId, Payload, Replica, ReplicaConfig, Role,
+};
+use udr_model::attrs::Entry;
+use udr_model::config::ReplicationMode;
+use udr_model::ids::{PartitionId, ReplicaRole, SeId, SiteId, SubscriberUid};
+use udr_model::time::{SimDuration, SimTime};
+use udr_replication::MigrationState;
+use udr_storage::{Change, CommitRecord, Lsn};
+
+use crate::udr::{Udr, UdrEvent};
+
+/// How often each partition's ensemble runs its protocol timers
+/// (election timeouts, heartbeats, forward retries, catch-up probes).
+pub(crate) const CONSENSUS_TICK_INTERVAL: SimDuration = SimDuration::from_millis(50);
+
+/// One partition's Multi-Paxos ensemble and its apply bookkeeping.
+pub(crate) struct ConsensusGroup {
+    /// Hosting SEs; index `i` is protocol node `NodeId(i)`. Kept in sync
+    /// with the partition's [`udr_replication::ReplicationGroup`] — a
+    /// migration cutover swaps the member here and there atomically.
+    pub(crate) members: Vec<SeId>,
+    /// The protocol state machines (RAM *and* the durable acceptor state —
+    /// preserved across SE crashes, as Paxos requires).
+    pub(crate) replicas: Vec<Replica>,
+    /// Effective-entry apply cursor per node: how many entries of
+    /// `iter_effective()` this node has applied to its storage.
+    pub(crate) applied: Vec<usize>,
+    /// Last observed serving leader (bookkeeping for failover counting).
+    pub(crate) last_leader: Option<usize>,
+    /// Serving-leader hand-offs observed (failovers under consensus).
+    pub(crate) leader_changes: u64,
+}
+
+impl ConsensusGroup {
+    /// A fresh ensemble of `n` followers over `members`.
+    pub(crate) fn new(members: Vec<SeId>, n: usize, seed: u64, partition: u32) -> Self {
+        debug_assert_eq!(members.len(), n, "ensemble size must match membership");
+        let replicas = (0..members.len())
+            .map(|i| {
+                Replica::new(
+                    NodeId(i as u32),
+                    n,
+                    ReplicaConfig::default(),
+                    seed ^ 0x9A05 ^ ((partition as u64) << 8),
+                )
+            })
+            .collect();
+        ConsensusGroup {
+            applied: vec![0; members.len()],
+            replicas,
+            members,
+            last_leader: None,
+            leader_changes: 0,
+        }
+    }
+
+    /// Majority threshold of this ensemble.
+    pub(crate) fn majority(&self) -> usize {
+        self.members.len() / 2 + 1
+    }
+}
+
+/// The apply cursor equivalent to `writes` committed records: positioned
+/// right after the `writes`-th effective `Write` entry, so a recovering
+/// engine at LSN `writes` resumes exactly where its disk state left off.
+/// Reconfig entries at or after the cursor are re-applied; the
+/// first-apply-wins guard in [`Udr::consensus_reconfig_applied`] makes
+/// that a no-op.
+fn cursor_for_writes(log: &ChosenLog, writes: u64) -> usize {
+    if writes == 0 {
+        return 0;
+    }
+    let mut seen = 0u64;
+    for (idx, (_, cmd)) in log.iter_effective().enumerate() {
+        if matches!(cmd.payload, Payload::Write { .. }) {
+            seen += 1;
+            if seen == writes {
+                return idx + 1;
+            }
+        }
+    }
+    log.iter_effective().count()
+}
+
+impl Udr {
+    /// Whether the deployment replicates through consensus.
+    pub(crate) fn consensus_mode(&self) -> bool {
+        matches!(
+            self.cfg.frash.replication,
+            ReplicationMode::Consensus { .. }
+        )
+    }
+
+    /// Whether ensemble node `i` of partition `p` is up (its hosting SE).
+    pub(crate) fn consensus_node_up(&self, p: usize, i: usize) -> bool {
+        let se = self.consensus[p].members[i];
+        self.ses[se.index()].is_up()
+    }
+
+    fn consensus_node_site(&self, p: usize, i: usize) -> SiteId {
+        let se = self.consensus[p].members[i];
+        self.ses[se.index()].site()
+    }
+
+    /// Allocate the next client command id (0 is the reserved no-op).
+    pub(crate) fn consensus_alloc_cmd_id(&mut self) -> CmdId {
+        let id = self.next_cmd_id;
+        self.next_cmd_id += 1;
+        CmdId(id)
+    }
+
+    /// Whether any replica of partition `p` has chosen command `id`.
+    pub(crate) fn consensus_chosen(&self, p: usize, id: CmdId) -> bool {
+        self.consensus[p]
+            .replicas
+            .iter()
+            .any(|r| r.log().contains_id(id))
+    }
+
+    /// The live leader of partition `p`'s ensemble: among up nodes in the
+    /// `Leader` role, the one holding the highest ballot (a deposed
+    /// leader that has not yet heard of its successor loses the tie).
+    fn consensus_live_leader(&self, p: usize) -> Option<usize> {
+        (0..self.consensus[p].members.len())
+            .filter(|i| {
+                self.consensus_node_up(p, *i)
+                    && self.consensus[p].replicas[*i].role() == Role::Leader
+            })
+            .max_by_key(|i| self.consensus[p].replicas[*i].current_ballot())
+    }
+
+    /// The *serving* leader of partition `p`: the live leader, provided it
+    /// structurally reaches a majority of the ensemble (itself included).
+    /// A leader stranded on the minority side of a cut cannot confirm its
+    /// lease and is not allowed to serve — the read-index check that makes
+    /// minority-side refusals typed instead of stale.
+    pub(crate) fn consensus_serving_leader(&self, p: usize) -> Option<usize> {
+        let leader = self.consensus_live_leader(p)?;
+        let leader_site = self.consensus_node_site(p, leader);
+        let n = self.consensus[p].members.len();
+        let reach = (0..n)
+            .filter(|j| {
+                self.consensus_node_up(p, *j)
+                    && self
+                        .net
+                        .reachable(leader_site, self.consensus_node_site(p, *j))
+            })
+            .count();
+        (reach >= self.consensus[p].majority()).then_some(leader)
+    }
+
+    /// Up ensemble members of partition `p` reachable from `from`
+    /// (the "acks available" figure a typed refusal reports).
+    pub(crate) fn consensus_reachable_from(&self, p: usize, from: SiteId) -> usize {
+        (0..self.consensus[p].members.len())
+            .filter(|j| {
+                self.consensus_node_up(p, *j)
+                    && self.net.reachable(from, self.consensus_node_site(p, *j))
+            })
+            .count()
+    }
+
+    /// Submit a command at node `node` of `partition`'s ensemble and route
+    /// whatever the protocol wants sent.
+    pub(crate) fn consensus_submit_via(
+        &mut self,
+        t: SimTime,
+        partition: PartitionId,
+        node: usize,
+        cmd: Command,
+    ) {
+        let outs = self.consensus[partition.index()].replicas[node].submit(t, cmd);
+        self.route_consensus(t, partition, node, outs);
+    }
+
+    /// `ConsensusTick`: run every up replica's protocol timers, apply what
+    /// got chosen, and re-arm the partition's timer.
+    pub(crate) fn consensus_tick(&mut self, t: SimTime, partition: PartitionId) {
+        let p = partition.index();
+        for i in 0..self.consensus[p].members.len() {
+            if !self.consensus_node_up(p, i) {
+                continue;
+            }
+            let outs = self.consensus[p].replicas[i].tick(t);
+            self.route_consensus(t, partition, i, outs);
+        }
+        self.consensus_apply(t, partition);
+        self.note_consensus_leadership(p);
+        self.schedule_event(
+            t + CONSENSUS_TICK_INTERVAL,
+            UdrEvent::ConsensusTick { partition },
+        );
+    }
+
+    /// `ConsensusDeliver`: hand a protocol message to its destination
+    /// replica. The message may arrive after a cut started or the node
+    /// crashed; then it is simply lost (retries and catch-up re-cover it).
+    pub(crate) fn consensus_deliver(
+        &mut self,
+        t: SimTime,
+        partition: PartitionId,
+        to: usize,
+        from: usize,
+        msg: Message,
+    ) {
+        let p = partition.index();
+        if !self.consensus_node_up(p, to) {
+            return;
+        }
+        let from_site = self.consensus_node_site(p, from);
+        let to_site = self.consensus_node_site(p, to);
+        if !self.net.reachable(from_site, to_site) {
+            return;
+        }
+        let outs = self.consensus[p].replicas[to].handle(t, NodeId(from as u32), msg);
+        self.route_consensus(t, partition, to, outs);
+        self.consensus_apply(t, partition);
+        self.note_consensus_leadership(p);
+    }
+
+    /// Route a replica's outbound messages over the simulated network.
+    fn route_consensus(
+        &mut self,
+        t: SimTime,
+        partition: PartitionId,
+        from: usize,
+        outs: Vec<udr_consensus::replica::Outbound>,
+    ) {
+        use udr_consensus::replica::Outbound;
+        for out in outs {
+            match out {
+                Outbound::To(dest, msg) => {
+                    self.consensus_send(t, partition, from, dest.0 as usize, msg);
+                }
+                Outbound::Broadcast(msg) => {
+                    for j in 0..self.consensus[partition.index()].members.len() {
+                        if j != from {
+                            self.consensus_send(t, partition, from, j, msg.clone());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sample the path and schedule one protocol message delivery (or
+    /// drop it: a cut or link loss loses the datagram, as for replication
+    /// deliveries).
+    fn consensus_send(
+        &mut self,
+        t: SimTime,
+        partition: PartitionId,
+        from: usize,
+        to: usize,
+        msg: Message,
+    ) {
+        let p = partition.index();
+        if !self.consensus_node_up(p, to) {
+            return;
+        }
+        let from_site = self.consensus_node_site(p, from);
+        let to_site = self.consensus_node_site(p, to);
+        if let Some(delay) = self.net.send(from_site, to_site, &mut self.rng).delay() {
+            self.metrics.consensus_messages += 1;
+            self.schedule_event(
+                t + delay,
+                UdrEvent::ConsensusDeliver {
+                    partition,
+                    to,
+                    from,
+                    msg: Box::new(msg),
+                },
+            );
+        }
+    }
+
+    /// Apply newly chosen commands on every up replica: roll each node's
+    /// engine forward to its log's effective committed prefix. `Write`
+    /// entries become ordinary commit records (the LSN is the node's own
+    /// next position — every node applies the identical `Write`
+    /// subsequence, so the engines stay byte-identical); `Reconfig`
+    /// entries execute the migration cutover exactly once.
+    pub(crate) fn consensus_apply(&mut self, t: SimTime, partition: PartitionId) {
+        let p = partition.index();
+        for i in 0..self.consensus[p].members.len() {
+            if !self.consensus_node_up(p, i) {
+                continue;
+            }
+            loop {
+                let next = {
+                    let g = &self.consensus[p];
+                    g.replicas[i]
+                        .log()
+                        .iter_effective()
+                        .nth(g.applied[i])
+                        .map(|(_, cmd)| cmd.clone())
+                };
+                let Some(cmd) = next else { break };
+                // Advance the cursor *before* applying: a reconfig apply
+                // re-seeds membership state and must not be clobbered by
+                // a post-increment.
+                self.consensus[p].applied[i] += 1;
+                match cmd.payload {
+                    Payload::Noop => {}
+                    Payload::Write { uid, entry } => {
+                        let se = self.consensus[p].members[i];
+                        let lsn = self.ses[se.index()]
+                            .last_lsn(partition)
+                            .unwrap_or(Lsn::ZERO)
+                            .next();
+                        let written_by = self.consensus[p].members[0];
+                        let record = CommitRecord {
+                            lsn,
+                            committed_at: t,
+                            written_by,
+                            changes: vec![Change { uid, entry }],
+                        };
+                        let _ = self.ses[se.index()].apply_replicated(partition, &record);
+                    }
+                    Payload::Reconfig { migration } => {
+                        self.consensus_reconfig_applied(t, migration);
+                    }
+                }
+            }
+            let viols = self.consensus[p].replicas[i].take_violations();
+            self.consensus_violations
+                .extend(viols.into_iter().map(|v| format!("partition {p}: {v}")));
+        }
+    }
+
+    /// Track serving-leader hand-offs (the consensus notion of failover).
+    fn note_consensus_leadership(&mut self, p: usize) {
+        let leader = self.consensus_serving_leader(p);
+        if let Some(l) = leader {
+            let g = &mut self.consensus[p];
+            if g.last_leader != Some(l) {
+                if g.last_leader.is_some() {
+                    g.leader_changes += 1;
+                }
+                g.last_leader = Some(l);
+            }
+        }
+    }
+
+    /// Elections started across all ensembles (proof a campaign actually
+    /// exercised leader failover).
+    pub fn consensus_elections(&self) -> u64 {
+        self.consensus
+            .iter()
+            .flat_map(|g| g.replicas.iter())
+            .map(|r| r.elections_started)
+            .sum()
+    }
+
+    /// Serving-leader hand-offs observed across all partitions.
+    pub fn consensus_leader_changes(&self) -> u64 {
+        self.consensus.iter().map(|g| g.leader_changes).sum()
+    }
+
+    /// Paxos safety violations observed (always empty in a correct run —
+    /// fault campaigns assert this outright).
+    pub fn consensus_violations(&self) -> &[String] {
+        &self.consensus_violations
+    }
+
+    /// Total protocol messages each ensemble exchanged, by partition
+    /// (write-amplification visibility for experiments).
+    pub fn consensus_committed_slots(&self) -> Vec<u64> {
+        self.consensus
+            .iter()
+            .map(|g| {
+                g.replicas
+                    .iter()
+                    .map(|r| r.log().committed().0)
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// The effective `Write` post-images in one partition's final chosen
+    /// log, in commit order, read from the replica with the deepest
+    /// committed watermark. Campaign oracles check acknowledged writes by
+    /// value against this: an acked write is durable iff its post-image
+    /// appears here, and appears exactly once.
+    pub fn consensus_write_history(
+        &self,
+        partition: PartitionId,
+    ) -> Vec<(SubscriberUid, Option<Entry>)> {
+        let g = &self.consensus[partition.index()];
+        let best = g
+            .replicas
+            .iter()
+            .max_by_key(|r| r.log().committed())
+            .expect("ensembles are never empty");
+        best.log()
+            .iter_effective()
+            .filter_map(|(_, cmd)| match &cmd.payload {
+                Payload::Write { uid, entry } => Some((*uid, entry.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Whether every ensemble has fully re-converged: a serving leader
+    /// exists, all up nodes agree on the committed watermark, every up
+    /// node has applied its full effective prefix, and the leader has
+    /// nothing in flight. The consensus-mode arm of
+    /// [`Udr::replication_settled`].
+    pub(crate) fn consensus_settled(&self) -> bool {
+        self.consensus.iter().enumerate().all(|(p, g)| {
+            let Some(l) = self.consensus_serving_leader(p) else {
+                return false;
+            };
+            let leader = &g.replicas[l];
+            if leader.pending_len() != 0 || !leader.read_index_ready() {
+                return false;
+            }
+            let watermark = leader.log().committed();
+            (0..g.members.len())
+                .filter(|i| self.consensus_node_up(p, *i))
+                .all(|i| {
+                    g.replicas[i].log().committed() == watermark
+                        && g.applied[i] == g.replicas[i].log().iter_effective().count()
+                })
+        })
+    }
+
+    /// Consensus-mode replica lag: the widest committed-watermark spread
+    /// between up members of any ensemble.
+    pub(crate) fn consensus_replica_lag(&self) -> u64 {
+        let mut max = 0u64;
+        for (p, g) in self.consensus.iter().enumerate() {
+            let marks: Vec<u64> = (0..g.members.len())
+                .filter(|i| self.consensus_node_up(p, *i))
+                .map(|i| g.replicas[i].log().committed().0)
+                .collect();
+            if let (Some(lo), Some(hi)) = (marks.iter().min(), marks.iter().max()) {
+                max = max.max(hi - lo);
+            }
+        }
+        max
+    }
+
+    /// Restore bookkeeping for a recovered SE under consensus: the chosen
+    /// log survived the crash (durable acceptor state), the engine came
+    /// back at its recovered disk position — reset the apply cursor there
+    /// and replay the rest of the committed prefix.
+    pub(crate) fn consensus_restore(
+        &mut self,
+        t: SimTime,
+        se: SeId,
+        recovered: &[(PartitionId, Lsn)],
+    ) {
+        let recovered: std::collections::HashMap<PartitionId, Lsn> =
+            recovered.iter().copied().collect();
+        for p in 0..self.consensus.len() {
+            let Some(i) = self.consensus[p].members.iter().position(|m| *m == se) else {
+                continue;
+            };
+            let pid = PartitionId(p as u32);
+            let lsn = recovered.get(&pid).copied();
+            if lsn.is_none() {
+                // Nothing on disk (in-RAM durability): rejoin empty; the
+                // log replay below rebuilds the full committed prefix.
+                let role = if self.groups[p].master() == se {
+                    ReplicaRole::Master
+                } else {
+                    ReplicaRole::Slave
+                };
+                self.ses[se.index()].add_replica(pid, role);
+            }
+            let writes = lsn.unwrap_or(Lsn::ZERO).raw();
+            self.consensus[p].applied[i] =
+                cursor_for_writes(self.consensus[p].replicas[i].log(), writes);
+            self.consensus_apply(t, pid);
+        }
+    }
+
+    /// Drive active migrations under consensus (runs on each
+    /// `CatchupTick` instead of the legacy channel catch-up): once the
+    /// seed transfer is done, the cutover is a [`Payload::Reconfig`]
+    /// command submitted through the serving leader — exactly-once and
+    /// totally ordered against the write stream, no write-freeze window.
+    pub(crate) fn run_consensus_migrations(&mut self, t: SimTime) {
+        for id in 0..self.migrations.len() {
+            let (plan, state, started) = {
+                let m = &self.migrations[id];
+                (m.plan, m.state, m.channel.is_some())
+            };
+            if !state.is_active() || !started {
+                continue;
+            }
+            let p = plan.partition.index();
+            let valid = p < self.consensus.len()
+                && self.consensus[p].members.contains(&plan.from)
+                && !self.consensus[p].members.contains(&plan.to)
+                && plan.to.index() < self.ses.len()
+                && self.ses[plan.from.index()].is_up()
+                && self.ses[plan.to.index()].is_up();
+            if !valid {
+                self.migration_abort(t, id as u64);
+                continue;
+            }
+            match state {
+                MigrationState::Seeding { ready_at } if t < ready_at => {}
+                MigrationState::Seeding { .. } => {
+                    // Seed transfer done: replicate the cutover decision.
+                    // No serving leader right now (election in progress)
+                    // simply retries on the next tick.
+                    if let Some(l) = self.consensus_serving_leader(p) {
+                        let cmd_id = self.consensus_alloc_cmd_id();
+                        self.consensus_submit_via(
+                            t,
+                            plan.partition,
+                            l,
+                            Command::reconfig(cmd_id, id as u64),
+                        );
+                        self.migrations[id].state = MigrationState::CatchingUp;
+                    }
+                }
+                // CatchingUp: the reconfig is in flight through the log;
+                // `consensus_reconfig_applied` completes (or aborts) it.
+                _ => {}
+            }
+        }
+    }
+
+    /// A chosen [`Payload::Reconfig`] executes here, once per migration:
+    /// the first replica to apply it performs the cutover (swap the
+    /// member in the ensemble and the replication group, carry the
+    /// retiring copy's exact storage state to the target, bump the
+    /// shard-map epoch); every later apply finds the migration already in
+    /// a terminal state and no-ops — the exactly-once guarantee.
+    pub(crate) fn consensus_reconfig_applied(&mut self, t: SimTime, migration: u64) {
+        let Some(m) = self.migrations.get(migration as usize) else {
+            return;
+        };
+        let (plan, state) = (m.plan, m.state);
+        if !state.is_active() {
+            return; // already cut over (or aborted): exactly-once no-op
+        }
+        let p = plan.partition.index();
+        let Some(i) = self.consensus[p]
+            .members
+            .iter()
+            .position(|s| *s == plan.from)
+        else {
+            self.migration_abort(t, migration);
+            return;
+        };
+        let feasible = !self.consensus[p].members.contains(&plan.to)
+            && plan.to.index() < self.ses.len()
+            && self.ses[plan.to.index()].is_up()
+            && self.ses[plan.from.index()].is_up();
+        if !feasible {
+            self.migration_abort(t, migration);
+            return;
+        }
+        let was_master_move = self.groups[p].master() == plan.from;
+        // The replica process migrates with its replicated state: the
+        // target takes the retiring copy's engine verbatim (exactly the
+        // node's applied prefix — LSN continuity, no cursor rewind).
+        let Ok(engine) = self.ses[plan.from.index()].engine(plan.partition) else {
+            self.migration_abort(t, migration);
+            return;
+        };
+        let snapshot = engine.snapshot();
+        let role = if was_master_move {
+            ReplicaRole::Master
+        } else {
+            ReplicaRole::Slave
+        };
+        self.ses[plan.to.index()].seed_replica(plan.partition, role, snapshot);
+        self.groups[p]
+            .replace_member(plan.from, plan.to)
+            .expect("cutover swap validated");
+        self.consensus[p].members[i] = plan.to;
+        let _ = self.ses[plan.from.index()].release_partition(plan.partition);
+        self.sync_shard_map(plan.partition);
+        self.rebuild_placement();
+        if plan.reason == crate::rebalance::MoveReason::HotspotSplit {
+            self.ops_per_partition[p] = 0;
+        }
+        let task = &mut self.migrations[migration as usize];
+        task.state = MigrationState::Done;
+        task.channel = None;
+        self.metrics.migrations_completed += 1;
+        self.metrics.consensus_commits += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write(id: u64) -> Command {
+        Command::write(CmdId(id), udr_model::ids::SubscriberUid(id), None)
+    }
+
+    #[test]
+    fn cursor_for_writes_lands_after_the_nth_write() {
+        let mut log = ChosenLog::default();
+        // slot1: noop, slot2: write, slot3: reconfig, slot4: write
+        log.record(udr_consensus::Slot(1), Command::noop()).unwrap();
+        log.record(udr_consensus::Slot(2), write(1)).unwrap();
+        log.record(udr_consensus::Slot(3), Command::reconfig(CmdId(9), 0))
+            .unwrap();
+        log.record(udr_consensus::Slot(4), write(2)).unwrap();
+        // Effective entries: [write1, reconfig, write2].
+        assert_eq!(cursor_for_writes(&log, 0), 0);
+        assert_eq!(cursor_for_writes(&log, 1), 1); // reconfig re-applies (no-op)
+        assert_eq!(cursor_for_writes(&log, 2), 3);
+        // More writes on disk than the log exposes cannot happen (the log
+        // is durable); the cursor saturates at the effective length.
+        assert_eq!(cursor_for_writes(&log, 7), 3);
+    }
+}

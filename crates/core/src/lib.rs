@@ -29,6 +29,7 @@
 
 pub mod capacity;
 pub mod config;
+pub mod consensus_mode;
 pub mod metrics_agg;
 pub mod ops;
 pub mod pipeline;

@@ -105,6 +105,11 @@ pub struct PipelineCtx<'a> {
     /// Whether the replication stage consulted a read quorum (the storage
     /// stage then serves a committed read instead of a transaction).
     quorum_served: bool,
+    /// Whether the replication stage routed this read through a consensus
+    /// serving leader (committed-prefix read; same storage path as
+    /// quorum-served, but audited as a master read — staleness is
+    /// structurally impossible).
+    consensus_served: bool,
     /// Commit record of a committed write, for post-commit replication.
     record: Option<CommitRecord>,
     /// Reference LSN bounded-staleness routing measured lag against,
@@ -136,6 +141,7 @@ impl<'a> PipelineCtx<'a> {
             location: None,
             target: None,
             quorum_served: false,
+            consensus_served: false,
             record: None,
             bounded_reference: None,
             policy_downgraded: false,
@@ -426,6 +432,17 @@ impl ReplicationStage {
             *slot += 1;
         }
 
+        // Consensus mode bypasses copy routing entirely: writes commit
+        // through the partition's replica group, reads are served from
+        // the serving leader's committed prefix.
+        if udr.consensus_mode() {
+            return if ctx.op.is_write() {
+                Self::consensus_write(udr, ctx, location.partition)
+            } else {
+                Self::consensus_read(udr, ctx, location.partition)
+            };
+        }
+
         // Quorum mode handles reads through the ensemble, not one copy.
         if let ReplicationMode::Quorum { r, .. } = udr.cfg.frash.replication {
             if !ctx.op.is_write() {
@@ -686,6 +703,213 @@ impl ReplicationStage {
         Some(candidate)
     }
 
+    /// Consensus write: replicate the post-image through the partition's
+    /// Multi-Paxos group and acknowledge only once the command is chosen.
+    ///
+    /// The leader computes the post-image against its committed store (the
+    /// ensemble's serialization point), submits it as a log command, and
+    /// the pipeline waits — in virtual time, driving the event pump — for
+    /// the choice. No serving leader, an unreachable leader or an election
+    /// gap all yield *typed* refusals ([`UdrError::is_partition_induced`]),
+    /// never a silent downgrade: the CP contract of the mode.
+    ///
+    /// Returns `Err` in both directions: a refusal carries the error, a
+    /// chosen command carries the completed [`OpOutcome`] directly (the
+    /// storage work already happened inside the replica group, so the
+    /// storage stage must not run again).
+    fn consensus_write(
+        udr: &mut Udr,
+        ctx: &mut PipelineCtx,
+        partition: PartitionId,
+    ) -> Result<(), OpOutcome> {
+        let p = partition.index();
+        let majority = udr.consensus[p].majority();
+        let Some(leader) = udr.consensus_serving_leader(p) else {
+            // Election gap or minority-side leader: typed refusal.
+            ctx.breakdown.replication += udr.cfg.frash.op_timeout;
+            return Err(ctx.fail(UdrError::ReplicationFailed {
+                acked: udr.consensus_reachable_from(p, ctx.server_site),
+                required: majority,
+            }));
+        };
+        let leader_se = udr.consensus[p].members[leader];
+        let leader_site = udr.ses[leader_se.index()].site();
+        if !udr.net.reachable(ctx.server_site, leader_site) {
+            ctx.breakdown.replication += udr.cfg.frash.op_timeout;
+            return Err(ctx.fail(UdrError::Unreachable {
+                se: leader_se,
+                reason: "partition",
+            }));
+        }
+        let Some(rtt) = sample_rtt(udr, ctx.server_site, leader_site) else {
+            ctx.breakdown.replication += udr.cfg.frash.op_timeout;
+            return Err(ctx.fail(UdrError::Timeout));
+        };
+        ctx.breakdown.replication += rtt;
+        ctx.crossed_backbone = leader_site != ctx.server_site;
+
+        // The leader serializes the write against its committed state and
+        // replicates the *post-image*, so every replica applies the
+        // identical record regardless of local history.
+        let uid = ctx.loc().uid;
+        let current = match udr.ses[leader_se.index()].read_committed(partition, uid) {
+            Ok(cur) => cur,
+            Err(e) => return Err(ctx.fail(e)),
+        };
+        let costs = udr.ses[leader_se.index()].cost_model().clone();
+        let entry = match ctx.op {
+            LdapOp::Add { entry, .. } => {
+                if current.is_some() {
+                    return Err(ctx.fail(UdrError::AlreadyExists(uid)));
+                }
+                ctx.breakdown.storage += costs.write;
+                Some(entry.clone())
+            }
+            LdapOp::Modify { mods, .. } => {
+                let Some(mut entry) = current else {
+                    return Err(ctx.fail(UdrError::NotFound(uid)));
+                };
+                ctx.breakdown.storage += costs.read + costs.write;
+                entry.apply(mods);
+                Some(entry)
+            }
+            LdapOp::Delete { .. } => {
+                if current.is_none() {
+                    return Err(ctx.fail(UdrError::NotFound(uid)));
+                }
+                ctx.breakdown.storage += costs.write;
+                None
+            }
+            _ => unreachable!("consensus_write only runs for write ops"),
+        };
+
+        let cmd_id = udr.consensus_alloc_cmd_id();
+        let t0 = udr.now().max(ctx.now);
+        udr.consensus_submit_via(
+            t0,
+            partition,
+            leader,
+            udr_consensus::Command::write(cmd_id, uid, entry),
+        );
+
+        // Drive the pump until the command is chosen or the operation
+        // budget runs out (margin below the timeout so a success is not
+        // re-classified by the ok-over-deadline clamp).
+        let allowed_wait = udr
+            .cfg
+            .frash
+            .op_timeout
+            .saturating_sub(ctx.breakdown.total() + SimDuration::from_millis(2));
+        let deadline = t0 + allowed_wait;
+        let mut t = t0;
+        let chosen_at = loop {
+            if udr.consensus_chosen(p, cmd_id) {
+                break Some(t);
+            }
+            if t >= deadline {
+                break None;
+            }
+            t = (t + SimDuration::from_millis(1)).min(deadline);
+            udr.advance_to(t);
+        };
+        match chosen_at {
+            Some(at) => {
+                ctx.breakdown.replication += at.duration_since(t0);
+                udr.metrics.consensus_commits += 1;
+                let written_lsn = udr.ses[leader_se.index()]
+                    .last_lsn(partition)
+                    .map(|l| l.raw())
+                    .unwrap_or(0);
+                if let Some(token) = ctx.session.as_deref_mut() {
+                    token.observe_write(partition, written_lsn);
+                }
+                Err(OpOutcome {
+                    result: Ok(None),
+                    latency: ctx.breakdown.total(),
+                    served_by: Some(leader_se),
+                    crossed_backbone: ctx.crossed_backbone,
+                    breakdown: ctx.breakdown,
+                })
+            }
+            None => {
+                // Not chosen in time. The submission may still commit
+                // later (a requeued proposal surviving a leader change) —
+                // campaign oracles treat unacknowledged writes as
+                // possibly-effective, exactly like a real client.
+                ctx.breakdown.replication += allowed_wait;
+                Err(ctx.fail(UdrError::ReplicationFailed {
+                    acked: udr.consensus_reachable_from(p, leader_site),
+                    required: majority,
+                }))
+            }
+        }
+    }
+
+    /// Consensus read: serve from the serving leader's committed prefix
+    /// after a read-index confirmation round.
+    ///
+    /// The leader's lease is confirmed by a majority round trip (itself
+    /// included), which rules out a deposed leader serving a stale prefix
+    /// — the structural no-stale-reads property the e25 campaign asserts.
+    /// The storage stage then reads the leader's committed store via the
+    /// same path quorum-served reads use.
+    fn consensus_read(
+        udr: &mut Udr,
+        ctx: &mut PipelineCtx,
+        partition: PartitionId,
+    ) -> Result<(), OpOutcome> {
+        let p = partition.index();
+        let majority = udr.consensus[p].majority();
+        let Some(leader) = udr.consensus_serving_leader(p) else {
+            ctx.breakdown.replication += udr.cfg.frash.op_timeout;
+            return Err(ctx.fail(UdrError::ReplicationFailed {
+                acked: udr.consensus_reachable_from(p, ctx.server_site),
+                required: majority,
+            }));
+        };
+        let leader_se = udr.consensus[p].members[leader];
+        let leader_site = udr.ses[leader_se.index()].site();
+        if !udr.net.reachable(ctx.server_site, leader_site) {
+            ctx.breakdown.replication += udr.cfg.frash.op_timeout;
+            return Err(ctx.fail(UdrError::Unreachable {
+                se: leader_se,
+                reason: "partition",
+            }));
+        }
+        let Some(rtt) = sample_rtt(udr, ctx.server_site, leader_site) else {
+            ctx.breakdown.replication += udr.cfg.frash.op_timeout;
+            return Err(ctx.fail(UdrError::Timeout));
+        };
+        ctx.breakdown.replication += rtt;
+
+        // Read-index confirmation: a majority echo (leader included)
+        // proves the leader has not been silently deposed.
+        let mut confirms: Vec<SimDuration> = Vec::new();
+        for j in 0..udr.consensus[p].members.len() {
+            if j == leader || !udr.consensus_node_up(p, j) {
+                continue;
+            }
+            let peer_se = udr.consensus[p].members[j];
+            let peer_site = udr.ses[peer_se.index()].site();
+            if let Some(echo) = udr.net.round_trip(leader_site, peer_site, &mut udr.rng) {
+                confirms.push(echo);
+            }
+        }
+        confirms.sort_unstable();
+        if confirms.len() + 1 < majority {
+            ctx.breakdown.replication += udr.cfg.frash.op_timeout;
+            return Err(ctx.fail(UdrError::ReplicationFailed {
+                acked: confirms.len() + 1,
+                required: majority,
+            }));
+        }
+        // The (majority-1)-th fastest echo completes the confirmation.
+        ctx.breakdown.replication += confirms[majority - 2];
+        ctx.target = Some(leader_se);
+        ctx.consensus_served = true;
+        Ok(())
+    }
+
     /// Quorum read consult (§5 Cassandra comparison): wait for the `r`
     /// nearest reachable replicas, then serve from the freshest of them.
     fn quorum_consult(
@@ -761,13 +985,18 @@ impl ReplicationStage {
         }
 
         if !ctx.op.is_write() {
-            Self::record_read_staleness(
-                udr,
-                location.partition,
-                location.uid,
-                se_id,
-                ctx.quorum_served,
-            );
+            if ctx.consensus_served {
+                // Leader committed-prefix read: fresh by construction.
+                udr.metrics.staleness.record_master_read();
+            } else {
+                Self::record_read_staleness(
+                    udr,
+                    location.partition,
+                    location.uid,
+                    se_id,
+                    ctx.quorum_served,
+                );
+            }
             Self::account_guarantees(udr, ctx, location.partition, se_id);
             // Attribute projection. (Filter matching and Bind/Compare
             // shaping already happened in the storage stage, on both the
@@ -867,6 +1096,11 @@ impl ReplicationStage {
         }
 
         match udr.cfg.frash.replication {
+            ReplicationMode::Consensus { .. } => {
+                unreachable!(
+                    "consensus writes commit through the replica group, not the storage pipeline"
+                )
+            }
             ReplicationMode::AsyncMasterSlave | ReplicationMode::MultiMaster => {
                 Ok(SimDuration::ZERO)
             }
@@ -952,7 +1186,7 @@ impl ReplicationStage {
     /// policies, then raise the session's monotonic-reads floor to the
     /// applied position the serving engine exposed.
     fn account_guarantees(udr: &mut Udr, ctx: &mut PipelineCtx, partition: PartitionId, se: SeId) {
-        if ctx.quorum_served {
+        if ctx.quorum_served || ctx.consensus_served {
             // Quorum consults pick their own copy outside the read-policy
             // routing; auditing them against a policy that never ran would
             // report phantom violations. (`FrashConfig::validate` rejects
@@ -1092,7 +1326,7 @@ impl StorageStage {
         let se_id = ctx.target.expect("replication stage routed");
         let location = ctx.loc();
 
-        if ctx.quorum_served {
+        if ctx.quorum_served || ctx.consensus_served {
             // The consult already paid the ensemble wait; serve a
             // committed read off the freshest consulted copy, with the
             // same per-operation semantics as the transactional path.

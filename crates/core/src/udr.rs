@@ -27,6 +27,7 @@ use udr_sim::{LaneClass, ShardedPump, SimRng};
 use udr_storage::{CommitRecord, Lsn, StorageElement};
 
 use crate::config::UdrConfig;
+use crate::consensus_mode::{ConsensusGroup, CONSENSUS_TICK_INTERVAL};
 use crate::metrics_agg::UdrMetrics;
 use crate::rebalance::MigrationPlan;
 
@@ -162,6 +163,23 @@ pub enum UdrEvent {
         /// The record.
         record: CommitRecord,
     },
+    /// Consensus mode: one partition ensemble's protocol timer fires
+    /// (election timeouts, heartbeats, retries).
+    ConsensusTick {
+        /// The partition whose ensemble ticks.
+        partition: PartitionId,
+    },
+    /// Consensus mode: a protocol message arrives at an ensemble member.
+    ConsensusDeliver {
+        /// The partition whose ensemble the message belongs to.
+        partition: PartitionId,
+        /// Destination node index within the ensemble.
+        to: usize,
+        /// Sending node index within the ensemble.
+        from: usize,
+        /// The protocol message (boxed: large relative to other events).
+        msg: Box<udr_consensus::Message>,
+    },
 }
 
 impl UdrEvent {
@@ -179,7 +197,9 @@ impl UdrEvent {
             UdrEvent::ReplDeliver { partition, .. }
             | UdrEvent::ReplDeliverBatch { partition, .. }
             | UdrEvent::ShipFlush { partition, .. }
-            | UdrEvent::FailoverCheck { partition } => LaneClass::Local(partition.index()),
+            | UdrEvent::FailoverCheck { partition }
+            | UdrEvent::ConsensusTick { partition }
+            | UdrEvent::ConsensusDeliver { partition, .. } => LaneClass::Local(partition.index()),
             UdrEvent::SnapshotTick { .. }
             | UdrEvent::CatchupTick
             | UdrEvent::PartitionStart { .. }
@@ -248,6 +268,13 @@ pub struct Udr {
     /// acks — the acknowledged tail quorum-served reads are audited
     /// against. Records above it were never promised to anybody.
     pub(crate) quorum_acked: Vec<Lsn>,
+    /// Per-partition Multi-Paxos ensembles; empty unless the deployment
+    /// runs [`ReplicationMode::Consensus`].
+    pub(crate) consensus: Vec<ConsensusGroup>,
+    /// Next consensus command id (0 is the protocol's reserved no-op).
+    pub(crate) next_cmd_id: u64,
+    /// Paxos safety violations observed (always empty in a correct run).
+    pub(crate) consensus_violations: Vec<String>,
     pub(crate) next_uid: u64,
     /// Run metrics.
     pub metrics: UdrMetrics,
@@ -378,6 +405,31 @@ impl Udr {
             }
         }
 
+        // Consensus mode: one ensemble per partition over the group's
+        // members, with staggered protocol timers so lanes do not beat in
+        // lockstep.
+        let mut consensus = Vec::new();
+        if let ReplicationMode::Consensus { n } = cfg.frash.replication {
+            for (p, g) in groups.iter().enumerate() {
+                consensus.push(ConsensusGroup::new(
+                    g.members().to_vec(),
+                    n as usize,
+                    cfg.seed,
+                    p as u32,
+                ));
+                let tick = UdrEvent::ConsensusTick {
+                    partition: PartitionId(p as u32),
+                };
+                events.schedule_at(
+                    tick.lane_class(),
+                    SimTime::ZERO
+                        + CONSENSUS_TICK_INTERVAL
+                        + SimDuration::from_micros(137 * p as u64),
+                    tick,
+                );
+            }
+        }
+
         let shard_map = ShardMap::new(groups.iter().map(|g| (g.partition(), g.members().to_vec())));
 
         let sites = cfg.sites as usize;
@@ -405,6 +457,9 @@ impl Udr {
             diverged: BTreeMap::new(),
             active_cuts: Vec::new(),
             master_lsn_at_crash: HashMap::new(),
+            consensus,
+            next_cmd_id: 1,
+            consensus_violations: Vec::new(),
             next_uid: 1,
             metrics: UdrMetrics::default(),
         })
@@ -628,6 +683,13 @@ impl Udr {
             UdrEvent::MigrationCutover { id } => self.migration_cutover(t, id),
             UdrEvent::MigrationAbort { id } => self.migration_abort(t, id),
             UdrEvent::MigrationDeliver { id, record } => self.migration_deliver(t, id, record),
+            UdrEvent::ConsensusTick { partition } => self.consensus_tick(t, partition),
+            UdrEvent::ConsensusDeliver {
+                partition,
+                to,
+                from,
+                msg,
+            } => self.consensus_deliver(t, partition, to, from, *msg),
         }
     }
 
@@ -694,6 +756,13 @@ impl Udr {
             // the periodic tick merges outstanding branches as soon as
             // connectivity is whole (a no-op otherwise).
             self.run_restorations(t);
+        }
+        if self.consensus_mode() {
+            // No shipping channels under consensus: the ensembles'
+            // catch-up protocol keeps lagging replicas current. Only the
+            // migration state machines ride this tick.
+            self.run_migration_catchup(t);
+            return;
         }
         for p in 0..self.groups.len() {
             let pid = PartitionId(p as u32);
@@ -771,6 +840,13 @@ impl Udr {
 
     fn crash_se(&mut self, t: SimTime, se: SeId) {
         if !self.ses[se.index()].is_up() {
+            return;
+        }
+        if self.consensus_mode() {
+            // No failover machinery: the ensemble's elections handle
+            // mastership, and the chosen log is the durable acceptor
+            // state the protocol requires — it survives the crash.
+            self.ses[se.index()].crash();
             return;
         }
         // Capture mastered partitions and their LSNs before RAM vanishes.
@@ -852,6 +928,14 @@ impl Udr {
 
     fn restore_se(&mut self, _t: SimTime, se: SeId) {
         let recovered = self.ses[se.index()].restore(self.events.now());
+        if self.consensus_mode() {
+            // Reset the apply cursor to the recovered disk position and
+            // replay the chosen log's committed prefix; no lost-commit
+            // accounting — consensus never acknowledged anything the log
+            // does not hold.
+            self.consensus_restore(self.events.now(), se, &recovered);
+            return;
+        }
         let recovered_map: HashMap<PartitionId, Lsn> = recovered.into_iter().collect();
         // Rejoin every group this SE belongs to.
         let member_of: Vec<PartitionId> = self
@@ -1078,6 +1162,9 @@ impl Udr {
     /// shows against its partition master. Crashed endpoints are skipped
     /// — they cannot catch up until they restore.
     pub fn max_replica_lag(&self) -> u64 {
+        if self.consensus_mode() {
+            return self.consensus_replica_lag();
+        }
         let mut max = 0u64;
         for (p, group) in self.groups.iter().enumerate() {
             let master = group.master();
@@ -1104,6 +1191,9 @@ impl Udr {
     /// and no partition or degradation still active. The condition the
     /// heal-time measurement of a fault campaign waits for.
     pub fn replication_settled(&self) -> bool {
+        if self.consensus_mode() {
+            return !self.net.partitioned() && !self.net.degraded() && self.consensus_settled();
+        }
         !self.net.partitioned()
             && !self.net.degraded()
             && self.diverged.is_empty()
@@ -1319,6 +1409,10 @@ impl Udr {
     /// Drive every active migration one catch-up step (runs on each
     /// `CatchupTick`, after the replica channels).
     fn run_migration_catchup(&mut self, t: SimTime) {
+        if self.consensus_mode() {
+            self.run_consensus_migrations(t);
+            return;
+        }
         for id in 0..self.migrations.len() {
             let (plan, state, started) = {
                 let m = &self.migrations[id];
@@ -1547,7 +1641,7 @@ impl Udr {
 
     /// `MigrationAbort`: abandon the move without touching the epoch; the
     /// old owner keeps serving unchanged.
-    fn migration_abort(&mut self, t: SimTime, id: u64) {
+    pub(crate) fn migration_abort(&mut self, t: SimTime, id: u64) {
         let Some(m) = self.migrations.get(id as usize) else {
             return;
         };
@@ -1580,7 +1674,7 @@ impl Udr {
     /// make — `ReplicationGroup::members()` keeps insertion order, which
     /// stops being master-first after a promotion, so the master is
     /// re-ordered to the front here ([`ShardMap::reassign`]'s contract).
-    fn sync_shard_map(&mut self, partition: PartitionId) {
+    pub(crate) fn sync_shard_map(&mut self, partition: PartitionId) {
         let g = &self.groups[partition.index()];
         let master = g.master();
         let mut members = Vec::with_capacity(g.members().len());
@@ -1591,7 +1685,7 @@ impl Udr {
 
     /// Recompute the placement context from current partition masters
     /// (masters move sites on cutover/failover).
-    fn rebuild_placement(&mut self) {
+    pub(crate) fn rebuild_placement(&mut self) {
         let mut by_region: Vec<Vec<PartitionId>> = vec![Vec::new(); self.cfg.sites as usize];
         for g in &self.groups {
             let site = self.ses[g.master().index()].site();

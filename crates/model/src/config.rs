@@ -90,6 +90,15 @@ pub enum ReplicationMode {
     /// §5 evolution: every reachable copy accepts writes during partitions;
     /// divergence is merged by a consistency-restoration process after heal.
     MultiMaster,
+    /// §6's alternative: every write is a command decided by a multi-Paxos
+    /// replica group spanning the partition's `n` copies; commits wait for
+    /// a majority, reads are served from the committed prefix only. The
+    /// only mode that *earns* CP: stale reads and divergence are
+    /// structurally impossible, and the minority side refuses typed.
+    Consensus {
+        /// Replica-group members (must equal the replication factor).
+        n: u8,
+    },
 }
 
 impl ReplicationMode {
@@ -106,6 +115,8 @@ impl ReplicationMode {
             ReplicationMode::AsyncMasterSlave | ReplicationMode::MultiMaster => 1,
             ReplicationMode::DualInSequence => 2,
             ReplicationMode::Quorum { w, .. } => w as usize,
+            // A chosen command has been accepted by a majority of the group.
+            ReplicationMode::Consensus { n } => n as usize / 2 + 1,
         }
     }
 }
@@ -117,6 +128,7 @@ impl fmt::Display for ReplicationMode {
             ReplicationMode::DualInSequence => f.write_str("dual-in-sequence"),
             ReplicationMode::Quorum { n, w, r } => write!(f, "quorum(n={n},w={w},r={r})"),
             ReplicationMode::MultiMaster => f.write_str("multi-master"),
+            ReplicationMode::Consensus { n } => write!(f, "consensus(n={n})"),
         }
     }
 }
@@ -130,6 +142,13 @@ impl FromStr for ReplicationMode {
             "dual-in-sequence" => Ok(ReplicationMode::DualInSequence),
             "multi-master" => Ok(ReplicationMode::MultiMaster),
             _ => {
+                if let Some(n) = s
+                    .strip_prefix("consensus(n=")
+                    .and_then(|rest| rest.strip_suffix(')'))
+                    .and_then(|n| n.parse::<u8>().ok())
+                {
+                    return Ok(ReplicationMode::Consensus { n });
+                }
                 let parsed = s
                     .strip_prefix("quorum(n=")
                     .and_then(|rest| rest.strip_suffix(')'))
@@ -482,6 +501,20 @@ impl FrashConfig {
                 )));
             }
         }
+        if let ReplicationMode::Consensus { n } = self.replication {
+            if n < 3 {
+                return Err(UdrError::Config(format!(
+                    "consensus group n={n} cannot form a fault-tolerant majority \
+                     (need n >= 3)"
+                )));
+            }
+            if n != self.replication_factor {
+                return Err(UdrError::Config(format!(
+                    "consensus group n={n} must equal replication_factor={}",
+                    self.replication_factor
+                )));
+            }
+        }
         if self.op_timeout.is_zero() {
             return Err(UdrError::Config("op_timeout must be non-zero".into()));
         }
@@ -512,6 +545,13 @@ impl FrashConfig {
                      do not identify the session's writes)"
                 )));
             }
+            if matches!(self.replication, ReplicationMode::Consensus { .. }) {
+                return Err(UdrError::Config(format!(
+                    "{class}_read_policy `{policy}` is redundant under consensus \
+                     replication (every read is served from the leader's committed \
+                     prefix, not a routed copy, so lag floors never apply)"
+                )));
+            }
         }
         Ok(())
     }
@@ -519,6 +559,13 @@ impl FrashConfig {
     /// The PACELC class this configuration yields for a transaction class,
     /// following the paper's own argument in §3.6.
     pub fn pacelc_for(&self, class: TxnClass) -> Pacelc {
+        // Consensus replication overrides both axes for both classes:
+        // every write is a majority round trip (EC) and every read comes
+        // off the leader's committed prefix, so the minority side of any
+        // cut serves nothing (PC) — the §6 configuration that earns CP.
+        if matches!(self.replication, ReplicationMode::Consensus { .. }) {
+            return Pacelc::PC_EC;
+        }
         let partition_availability = match class {
             // FE traffic is mostly reads; with nearest-copy reads it keeps
             // being served during partitions => PA. Bounded and session
@@ -628,6 +675,50 @@ mod tests {
     }
 
     #[test]
+    fn consensus_validation() {
+        // Too small to tolerate any fault: n in {0, 1, 2} is rejected.
+        for n in 0..3u8 {
+            let bad = FrashConfig {
+                replication: ReplicationMode::Consensus { n },
+                replication_factor: n.max(1),
+                ..Default::default()
+            };
+            assert!(bad.validate().is_err(), "consensus n={n} must be rejected");
+        }
+        let mismatch = FrashConfig {
+            replication: ReplicationMode::Consensus { n: 5 },
+            replication_factor: 3,
+            ..Default::default()
+        };
+        assert!(mismatch.validate().is_err());
+
+        let good = FrashConfig {
+            replication: ReplicationMode::Consensus { n: 3 },
+            replication_factor: 3,
+            ..Default::default()
+        };
+        assert!(good.validate().is_ok());
+    }
+
+    #[test]
+    fn consensus_is_pc_ec_for_both_classes() {
+        // The §6 CP row: no read-policy label and no class makes a
+        // consensus deployment partition-available or latency-favouring.
+        for policy in [ReadPolicy::NearestCopy, ReadPolicy::MasterOnly] {
+            let c = FrashConfig {
+                replication: ReplicationMode::Consensus { n: 3 },
+                replication_factor: 3,
+                fe_read_policy: policy,
+                ps_read_policy: policy,
+                ..Default::default()
+            };
+            assert!(c.validate().is_ok());
+            assert_eq!(c.pacelc_for(TxnClass::FrontEnd), Pacelc::PC_EC);
+            assert_eq!(c.pacelc_for(TxnClass::Provisioning), Pacelc::PC_EC);
+        }
+    }
+
+    #[test]
     fn zero_rf_rejected() {
         let c = FrashConfig {
             replication_factor: 0,
@@ -644,6 +735,8 @@ mod tests {
             ReplicationMode::Quorum { n: 3, w: 2, r: 1 }.commit_acks(),
             2
         );
+        assert_eq!(ReplicationMode::Consensus { n: 3 }.commit_acks(), 2);
+        assert_eq!(ReplicationMode::Consensus { n: 5 }.commit_acks(), 3);
     }
 
     #[test]
@@ -668,6 +761,10 @@ mod tests {
         assert_eq!(
             ReadPolicy::SessionConsistent.to_string(),
             "session-consistent"
+        );
+        assert_eq!(
+            ReplicationMode::Consensus { n: 3 }.to_string(),
+            "consensus(n=3)"
         );
     }
 
@@ -697,6 +794,8 @@ mod tests {
             ReplicationMode::DualInSequence,
             ReplicationMode::MultiMaster,
             ReplicationMode::Quorum { n: 5, w: 3, r: 2 },
+            ReplicationMode::Consensus { n: 3 },
+            ReplicationMode::Consensus { n: 5 },
         ]);
         round_trips(&[
             DurabilityMode::None,
@@ -733,6 +832,9 @@ mod tests {
         assert!("quorum(n=3,w=2,w=4,r=2)"
             .parse::<ReplicationMode>()
             .is_err());
+        assert!("consensus(n=)".parse::<ReplicationMode>().is_err());
+        assert!("consensus(n=3,w=2)".parse::<ReplicationMode>().is_err());
+        assert!("consensus(3)".parse::<ReplicationMode>().is_err());
         assert!("snapshot/oops".parse::<DurabilityMode>().is_err());
         assert!("read_committed".parse::<IsolationLevel>().is_err());
         assert!("".parse::<LocatorKind>().is_err());
@@ -768,6 +870,13 @@ mod tests {
             ..Default::default()
         };
         assert!(multimaster.validate().is_err());
+        let consensus = FrashConfig {
+            replication: ReplicationMode::Consensus { n: 3 },
+            replication_factor: 3,
+            fe_read_policy: ReadPolicy::SessionConsistent,
+            ..Default::default()
+        };
+        assert!(consensus.validate().is_err());
         // The async default accepts both intermediates.
         let ok = FrashConfig {
             fe_read_policy: ReadPolicy::BoundedStaleness { max_lag: 4 },
