@@ -28,10 +28,12 @@
 //! * **the whole grid is deterministic**: replaying a cell yields a
 //!   field-identical verdict and byte-identical report rows.
 
-use udr_bench::campaign::{run_cell, CampaignConfig};
+use udr_bench::campaign::{run_cell, run_cell_traced, CampaignConfig};
 use udr_bench::json::{BenchReport, JsonValue};
+use udr_bench::traceio::{trace_headline, write_trace_files};
 use udr_metrics::{pct, CapVerdict, Table, VerdictMatrix};
 use udr_model::config::{ReadPolicy, ReplicationMode};
+use udr_trace::TraceConfig;
 use udr_workload::PartitionScenario;
 
 const SEED: u64 = 22;
@@ -100,7 +102,54 @@ fn row_bytes(v: &CapVerdict) -> String {
     r.to_json()
 }
 
+/// `--trace` mode: replay one async-master-slave cell with full tracing
+/// and export the flight recorder instead of running the grid.
+fn trace_main() {
+    let mut cc = CampaignConfig::new(
+        ReplicationMode::AsyncMasterSlave,
+        ReadPolicy::NearestCopy,
+        PartitionScenario::CleanPartition,
+    );
+    cc.trace = TraceConfig::full();
+    println!(
+        "E22 --trace — one [async-master-slave × nearest-copy × clean-partition] cell\n\
+         under TraceConfig::full(); QoS, replication-routing and shipper decisions land\n\
+         as instants on each operation's span tree\n"
+    );
+    let (verdict, trace) = run_cell_traced(&cc, &cc.script());
+    assert!(verdict.sound(), "traced cell verdict unsound");
+    let export = trace.expect("tracing was enabled");
+    let has = |name: &str| {
+        export
+            .records
+            .iter()
+            .chain(export.exemplars.iter().flat_map(|e| e.records.iter()))
+            .any(|r| r.name == name)
+    };
+    for needed in ["stage.access", "stage.storage", "fault.partition"] {
+        assert!(has(needed), "trace export lacks any {needed} record");
+    }
+    println!("trace: {}", trace_headline(&export));
+    match write_trace_files("e22", &export) {
+        Ok((jsonl, chrome)) => println!(
+            "wrote {} and {}\n(open the .chrome.json in https://ui.perfetto.dev; \
+             summarize with tools/trace_summarize.py {})",
+            jsonl.display(),
+            chrome.display(),
+            jsonl.display()
+        ),
+        Err(e) => {
+            eprintln!("could not write trace files: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--trace") {
+        trace_main();
+        return;
+    }
     println!(
         "E22 — deterministic partition-fault campaigns and the CAP verdict matrix\n\
          every (replication mode × read policy × scenario) cell drives seeded roaming\n\

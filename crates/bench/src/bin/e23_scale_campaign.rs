@@ -20,10 +20,13 @@
 
 use udr_bench::json::{BenchReport, JsonValue};
 use udr_bench::scale::{run, ScaleConfig};
+use udr_bench::traceio::{trace_headline, write_trace_files};
 use udr_metrics::Table;
+use udr_trace::TraceConfig;
 
 fn configured_subscribers() -> u64 {
-    if let Some(arg) = std::env::args().nth(1) {
+    // First numeric argument wins; flags like `--trace` pass through.
+    for arg in std::env::args().skip(1) {
         if let Ok(n) = arg.parse() {
             return n;
         }
@@ -38,7 +41,8 @@ fn configured_subscribers() -> u64 {
 
 fn main() {
     let n = configured_subscribers();
-    let cfg = if n >= 1_000_000 {
+    let traced = std::env::args().any(|a| a == "--trace");
+    let mut cfg = if n >= 1_000_000 {
         let mut c = ScaleConfig::full();
         c.subscribers = n;
         c.reads = n;
@@ -46,6 +50,9 @@ fn main() {
     } else {
         ScaleConfig::small(n)
     };
+    if traced {
+        cfg.trace = TraceConfig::full();
+    }
     println!(
         "E23 — scale campaign: {} subscribers over {} shards (§2.1, §3.3.1)\n",
         cfg.subscribers, cfg.shards
@@ -125,4 +132,14 @@ fn main() {
     ]);
     let path = report.write().expect("write BENCH_e23.json");
     println!("\nwrote {}", path.display());
+
+    if let Some(export) = &out.trace {
+        println!("trace: {}", trace_headline(export));
+        let (jsonl, chrome) = write_trace_files("e23", export).expect("write trace files");
+        println!(
+            "wrote {} and {} (pipeline stage of the campaign)",
+            jsonl.display(),
+            chrome.display()
+        );
+    }
 }

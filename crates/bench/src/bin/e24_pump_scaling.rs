@@ -19,11 +19,14 @@
 //! row must sustain ≥ 2× the 1-lane row. Emits `BENCH_e24.json`.
 
 use udr_bench::json::{BenchReport, JsonValue};
-use udr_bench::pump_campaign::{run, PumpCampaignConfig};
+use udr_bench::pump_campaign::{run, run_traced, PumpCampaignConfig};
+use udr_bench::traceio::{trace_headline, write_trace_files};
 use udr_metrics::Table;
+use udr_trace::{TraceConfig, Tracer};
 
 fn configured_events() -> u64 {
-    if let Some(arg) = std::env::args().nth(1) {
+    // First numeric argument wins; flags like `--trace` pass through.
+    for arg in std::env::args().skip(1) {
         if let Ok(n) = arg.parse() {
             return n;
         }
@@ -38,6 +41,7 @@ fn configured_events() -> u64 {
 
 fn main() {
     let n = configured_events();
+    let traced = std::env::args().any(|a| a == "--trace");
     let cfg = if n >= PumpCampaignConfig::full().events {
         let mut c = PumpCampaignConfig::full();
         c.events = n;
@@ -52,7 +56,16 @@ fn main() {
         cfg.cross_ratio * 100.0
     );
 
-    let out = run(&cfg);
+    let mut tracer = Tracer::new(if traced {
+        TraceConfig::full()
+    } else {
+        TraceConfig::disabled()
+    });
+    let out = if traced {
+        run_traced(&cfg, &mut tracer)
+    } else {
+        run(&cfg)
+    };
 
     let mut table = Table::new([
         "lanes",
@@ -138,4 +151,15 @@ fn main() {
 
     let path = report.write().expect("write BENCH_e24.json");
     println!("\nwrote {}", path.display());
+
+    if traced {
+        let export = tracer.export();
+        println!("trace: {}", trace_headline(&export));
+        let (jsonl, chrome) = write_trace_files("e24", &export).expect("write trace files");
+        println!(
+            "wrote {} and {} (per-lane busy/idle slices of every sharded row)",
+            jsonl.display(),
+            chrome.display()
+        );
+    }
 }

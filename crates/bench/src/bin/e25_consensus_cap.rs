@@ -25,10 +25,12 @@
 //!   field-identical verdict and byte-identical report rows.
 
 use udr_bench::campaign::{run_consensus_cell, CampaignConfig, ConsensusCellOutcome};
-use udr_bench::json::{BenchReport, JsonValue};
+use udr_bench::json::{stage_latency_value, BenchReport, JsonValue};
+use udr_bench::traceio::{trace_headline, write_trace_files};
 use udr_metrics::{pct, Table};
 use udr_model::config::{ReadPolicy, ReplicationMode};
 use udr_model::time::SimDuration;
+use udr_trace::TraceConfig;
 use udr_workload::PartitionScenario;
 
 const SEED: u64 = 25;
@@ -102,7 +104,89 @@ fn row_bytes(out: &ConsensusCellOutcome) -> String {
     r.to_json()
 }
 
+/// `--trace` mode: replay one cell with full tracing and export the
+/// flight recorder instead of running the grid. One traced consensus
+/// write must read as one causal span tree — op span, the four pipeline
+/// stage spans, the propose→chosen→commit round and the apply instants —
+/// in the emitted Perfetto file.
+fn trace_main() {
+    let mut cc = cell_config(ReadPolicy::MasterOnly, PartitionScenario::CleanPartition);
+    cc.trace = TraceConfig::full();
+    println!(
+        "E25 --trace — one [consensus × master-only × clean-partition] cell under\n\
+         TraceConfig::full(): every operation's causal span tree goes to the flight\n\
+         recorder, slow ops (≥ {}) are kept as exemplars\n",
+        cc.trace.slow_op_threshold
+    );
+    let out = run_consensus_cell(&cc, &cc.script());
+    assert!(out.verdict.sound(), "traced cell verdict unsound");
+    assert!(
+        out.violations.is_empty(),
+        "traced cell violated Paxos safety: {:?}",
+        out.violations
+    );
+    let export = out.trace.expect("tracing was enabled");
+
+    // The tentpole acceptance shape: at least one write's trace carries
+    // both its pipeline stage spans and its consensus round.
+    let all_records = || {
+        export
+            .records
+            .iter()
+            .chain(export.exemplars.iter().flat_map(|e| e.records.iter()))
+    };
+    let names_of = |trace: u64| -> Vec<&str> {
+        all_records()
+            .filter(|r| r.trace == trace)
+            .map(|r| r.name)
+            .collect()
+    };
+    let committed_write = all_records()
+        .filter(|r| r.name == "consensus.commit" && r.trace != 0)
+        // Prefer an oracle write from the traffic phase; any committed
+        // write (e.g. a provisioning op.add) still proves the tree.
+        .max_by_key(|r| (names_of(r.trace).contains(&"op.modify"), r.trace))
+        .expect("a traced consensus write committed");
+    let names = names_of(committed_write.trace);
+    assert!(
+        names.iter().any(|n| n.starts_with("op.")),
+        "trace {} lacks its operation span (has {names:?})",
+        committed_write.trace
+    );
+    for needed in ["stage.access", "stage.replication", "consensus.chosen"] {
+        assert!(
+            names.contains(&needed),
+            "trace {} lacks {needed} (has {names:?})",
+            committed_write.trace
+        );
+    }
+    println!(
+        "causal tree check: trace {} carries {} records including its consensus round",
+        committed_write.trace,
+        names.len()
+    );
+
+    println!("trace: {}", trace_headline(&export));
+    match write_trace_files("e25", &export) {
+        Ok((jsonl, chrome)) => println!(
+            "wrote {} and {}\n(open the .chrome.json in https://ui.perfetto.dev; \
+             summarize with tools/trace_summarize.py {})",
+            jsonl.display(),
+            chrome.display(),
+            jsonl.display()
+        ),
+        Err(e) => {
+            eprintln!("could not write trace files: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--trace") {
+        trace_main();
+        return;
+    }
     println!(
         "E25 — consensus replication under the partition-fault campaign\n\
          each cell runs consensus(n=3) Multi-Paxos ensembles through a fault scenario\n\
@@ -162,6 +246,17 @@ fn main() {
         }
     }
     report.config("cells_measured", cells.len() as u64);
+    // Full per-stage latency histograms of the probe cell, embedded as
+    // the nested `"metrics"` section (rows stay flat for diff tooling).
+    let first = &cells[0];
+    report.metrics(
+        "stage_latency_cell",
+        format!(
+            "{} × {} × {}",
+            first.verdict.mode, first.verdict.policy, first.verdict.scenario
+        ),
+    );
+    report.metrics("stage_latency", stage_latency_value(&first.stage_latency));
     println!("{table}");
 
     // ---- CP, asserted outright in every cell ---------------------------

@@ -30,7 +30,7 @@
 //! from the cell seed, so replaying a cell reproduces the identical
 //! [`CapVerdict`], field for field. CI regresses on exactly that.
 
-use udr_core::UdrConfig;
+use udr_core::{StageLatencyMetrics, UdrConfig};
 use udr_ldap::{Dn, LdapOp};
 use udr_metrics::CapVerdict;
 use udr_model::attrs::{AttrId, AttrMod, AttrValue};
@@ -39,6 +39,7 @@ use udr_model::identity::Identity;
 use udr_model::ids::{SeId, SiteId};
 use udr_model::time::{SimDuration, SimTime};
 use udr_sim::FaultScript;
+use udr_trace::{TraceConfig, TraceExport};
 use udr_workload::{PartitionScenario, ProcedureMix, SessionBook, TrafficModel};
 
 use crate::harness::provisioned_system;
@@ -85,6 +86,11 @@ pub struct CampaignConfig {
     /// must replay the identical cell (the pump's deterministic-merge
     /// contract); the determinism regression exercises exactly that.
     pub pump: udr_sim::PumpConfig,
+    /// Tracing for the cell's deployment. Disabled by default; when
+    /// enabled the traced entry points return the cell's
+    /// [`TraceExport`] alongside the verdict. The trace never feeds the
+    /// verdict, so enabling it must not change any measured field.
+    pub trace: TraceConfig,
 }
 
 impl CampaignConfig {
@@ -106,6 +112,7 @@ impl CampaignConfig {
             fault_at: t(20),
             fault_duration: SimDuration::from_secs(20),
             pump: udr_sim::PumpConfig::single(),
+            trace: TraceConfig::disabled(),
         }
     }
 
@@ -117,6 +124,7 @@ impl CampaignConfig {
         cfg.frash.fe_read_policy = self.fe_policy;
         cfg.seed = self.seed ^ 0xE22;
         cfg.pump = self.pump;
+        cfg.trace = self.trace;
         cfg
     }
 
@@ -169,6 +177,17 @@ impl CampaignOp {
 /// Run one campaign cell under an explicit fault script (the determinism
 /// regression replays random scripts through this entry point).
 pub fn run_cell_with_script(cc: &CampaignConfig, script: &FaultScript) -> CapVerdict {
+    run_cell_traced(cc, script).0
+}
+
+/// Run one campaign cell and also return its trace export (`None` when
+/// the cell's [`CampaignConfig::trace`] is disabled). The verdict is
+/// identical to [`run_cell_with_script`] — tracing observes, never
+/// steers.
+pub fn run_cell_traced(
+    cc: &CampaignConfig,
+    script: &FaultScript,
+) -> (CapVerdict, Option<TraceExport>) {
     let cfg = cc.udr_config();
     cfg.validate().expect("campaign cell configuration invalid");
     let sites = cfg.sites;
@@ -371,7 +390,8 @@ pub fn run_cell_with_script(cc: &CampaignConfig, script: &FaultScript) -> CapVer
     verdict.guarantee_violations = m.guarantees.violations();
     verdict.divergence_merges = m.merges;
     verdict.merge_conflicts = m.merge_conflicts;
-    verdict
+    let trace = s.udr.tracer.enabled().then(|| s.udr.trace_export());
+    (verdict, trace)
 }
 
 /// Oracle-write values in consensus cells live above this base so they
@@ -399,6 +419,13 @@ pub struct ConsensusCellOutcome {
     pub violations: Vec<String>,
     /// Client commands committed through the consensus logs.
     pub commits: u64,
+    /// Per-stage latency histograms of every successful operation the
+    /// cell drove (the serialisable `UdrMetrics` slice e25 embeds in its
+    /// report's `"metrics"` object).
+    pub stage_latency: StageLatencyMetrics,
+    /// The cell's trace export when [`CampaignConfig::trace`] is
+    /// enabled; `None` otherwise. Never feeds the verdict.
+    pub trace: Option<TraceExport>,
 }
 
 /// Run one consensus campaign cell (the e25 grid) under an explicit
@@ -694,6 +721,8 @@ pub fn run_consensus_cell(cc: &CampaignConfig, script: &FaultScript) -> Consensu
         leader_changes: s.udr.consensus_leader_changes(),
         violations: s.udr.consensus_violations().to_vec(),
         commits: s.udr.metrics.consensus_commits,
+        stage_latency: std::mem::take(&mut s.udr.metrics.stage_latency),
+        trace: s.udr.tracer.enabled().then(|| s.udr.trace_export()),
     }
 }
 

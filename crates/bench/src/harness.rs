@@ -70,6 +70,7 @@ pub fn provisioned_system(cfg: UdrConfig, n: u64, seed: u64) -> Scenario {
     udr.metrics.ps_latency = Default::default();
     udr.metrics.fe_ops = Default::default();
     udr.metrics.fe_latency = Default::default();
+    udr.metrics.stage_latency = Default::default();
     udr.metrics.backbone_ops = 0;
     udr.metrics.local_ops = 0;
     Scenario { udr, population }

@@ -1,13 +1,17 @@
 //! Machine-readable experiment output: a `BENCH_<name>.json` file next to
 //! the human-readable table, so the perf trajectory of an experiment can
 //! be tracked across PRs (`{"name", "seed", "config": {...}, "rows":
-//! [{...}, ...]}`). Hand-rolled serialisation — the emitter needs exactly
-//! objects of scalars, nothing more.
+//! [{...}, ...]}`). Hand-rolled serialisation — config and rows hold
+//! scalars only (the flat shape `tools/bench_compare.py` diffs); the
+//! optional top-level `"metrics"` object may nest (full histogram
+//! snapshots live there, see [`BenchReport::metrics`]).
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
-/// One scalar cell in a report.
+use udr_metrics::HistogramSnapshot;
+
+/// One cell in a report.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JsonValue {
     /// An integer.
@@ -18,6 +22,11 @@ pub enum JsonValue {
     Str(String),
     /// Explicit null (e.g. "no sync window").
     Null,
+    /// A nested array. Only valid under the report's `"metrics"` key —
+    /// `config` and `rows` stay flat so row-diffing tools keep working.
+    Array(Vec<JsonValue>),
+    /// A nested object (same restriction as [`JsonValue::Array`]).
+    Object(Vec<(String, JsonValue)>),
 }
 
 impl From<u64> for JsonValue {
@@ -84,6 +93,17 @@ fn value_into(out: &mut String, v: &JsonValue) {
         }
         JsonValue::Float(_) | JsonValue::Null => out.push_str("null"),
         JsonValue::Str(s) => escape_into(out, s),
+        JsonValue::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                value_into(out, item);
+            }
+            out.push(']');
+        }
+        JsonValue::Object(pairs) => object_into(out, pairs),
     }
 }
 
@@ -107,6 +127,7 @@ pub struct BenchReport {
     name: String,
     seed: u64,
     config: Vec<(String, JsonValue)>,
+    metrics: Vec<(String, JsonValue)>,
     rows: Vec<Vec<(String, JsonValue)>>,
 }
 
@@ -123,6 +144,16 @@ impl BenchReport {
     /// Record one configuration knob.
     pub fn config(&mut self, key: impl Into<String>, value: impl Into<JsonValue>) -> &mut Self {
         self.config.push((key.into(), value.into()));
+        self
+    }
+
+    /// Record one entry of the top-level `"metrics"` object — the one
+    /// place nested values ([`JsonValue::Array`]/[`JsonValue::Object`],
+    /// e.g. full histogram snapshots) are allowed. The section is only
+    /// emitted when non-empty, so reports that never call this
+    /// serialise byte-identically to before it existed.
+    pub fn metrics(&mut self, key: impl Into<String>, value: impl Into<JsonValue>) -> &mut Self {
+        self.metrics.push((key.into(), value.into()));
         self
     }
 
@@ -150,6 +181,10 @@ impl BenchReport {
         escape_into(&mut out, &self.name);
         let _ = write!(out, ",\n  \"seed\": {},\n  \"config\": ", self.seed);
         object_into(&mut out, &self.config);
+        if !self.metrics.is_empty() {
+            out.push_str(",\n  \"metrics\": ");
+            object_into(&mut out, &self.metrics);
+        }
         out.push_str(",\n  \"rows\": [\n");
         for (i, row) in self.rows.iter().enumerate() {
             out.push_str("    ");
@@ -167,6 +202,44 @@ impl BenchReport {
         std::fs::write(&path, self.to_json())?;
         Ok(path)
     }
+}
+
+/// Serialise one latency [`HistogramSnapshot`] as a nested object:
+/// headline stats plus the full `(bucket_floor_ns, count)` table. Only
+/// valid under a report's `"metrics"` key.
+pub fn histogram_value(s: &HistogramSnapshot) -> JsonValue {
+    JsonValue::Object(vec![
+        ("count".into(), s.count.into()),
+        ("mean_ns".into(), s.mean_ns.into()),
+        ("min_ns".into(), s.min_ns.into()),
+        ("max_ns".into(), s.max_ns.into()),
+        ("p50_ns".into(), s.p50_ns.into()),
+        ("p99_ns".into(), s.p99_ns.into()),
+        (
+            "buckets".into(),
+            JsonValue::Array(
+                s.buckets
+                    .iter()
+                    .map(|&(floor, count)| JsonValue::Array(vec![floor.into(), count.into()]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Serialise a run's per-stage latency histograms as one object keyed
+/// by pipeline stage — the [`udr_core::UdrMetrics`] snapshot experiments
+/// embed under their report's `"metrics"` key.
+pub fn stage_latency_value(m: &udr_core::StageLatencyMetrics) -> JsonValue {
+    JsonValue::Object(vec![
+        ("access".into(), histogram_value(&m.access.snapshot())),
+        ("location".into(), histogram_value(&m.location.snapshot())),
+        (
+            "replication".into(),
+            histogram_value(&m.replication.snapshot()),
+        ),
+        ("storage".into(), histogram_value(&m.storage.snapshot())),
+    ])
 }
 
 #[cfg(test)]
@@ -206,5 +279,22 @@ mod tests {
         let none: Option<u64> = None;
         assert_eq!(JsonValue::from(none), JsonValue::Null);
         assert_eq!(JsonValue::from(Some(3u64)), JsonValue::Int(3));
+    }
+
+    #[test]
+    fn metrics_section_nests_and_is_omitted_when_empty() {
+        let mut r = BenchReport::new("e98", 7);
+        r.row(vec![("k", 1u64.into())]);
+        assert!(!r.to_json().contains("\"metrics\""));
+
+        let mut hist = udr_metrics::Histogram::default();
+        hist.record(udr_model::time::SimDuration::from_micros(250));
+        r.metrics("stage_latency", histogram_value(&hist.snapshot()));
+        let json = r.to_json();
+        assert!(json.contains("\"metrics\": {\"stage_latency\": {\"count\": 1"));
+        assert!(json.contains("\"buckets\": [["));
+        // The nested section parses as JSON (round-trip through the
+        // schema checker's expectations is covered in CI).
+        assert!(json.contains("\"rows\": [\n"));
     }
 }

@@ -18,9 +18,11 @@ pub mod json;
 pub mod linear;
 pub mod pump_campaign;
 pub mod scale;
+pub mod traceio;
 
 pub use campaign::{
-    run_cell, run_cell_with_script, run_consensus_cell, CampaignConfig, ConsensusCellOutcome,
+    run_cell, run_cell_traced, run_cell_with_script, run_consensus_cell, CampaignConfig,
+    ConsensusCellOutcome,
 };
 pub use consensus_harness::{
     committed_fraction, fate_latencies, settled_cluster, submit_paced, LatencyKind, SettledCluster,
@@ -30,3 +32,4 @@ pub use json::{BenchReport, JsonValue};
 pub use linear::{HistOp, History, OpKind};
 pub use pump_campaign::{run as run_pump, LaneRow, PumpCampaignConfig, PumpOutcome};
 pub use scale::{run as run_scale, ScaleConfig, ScaleOutcome, StageStats};
+pub use traceio::{trace_headline, write_trace_files};

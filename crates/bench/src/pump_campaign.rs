@@ -81,6 +81,12 @@ pub struct LaneRow {
     pub efficiency: f64,
     /// Per-shard-subsequence digest; must match every other row.
     pub digest: u64,
+    /// Wall-clock busy nanoseconds per lane (empty for the legacy row).
+    /// Host timing — excluded from determinism digests.
+    pub lane_busy_ns: Vec<u64>,
+    /// Lane-local events processed per lane (empty for the legacy row).
+    /// A pure function of the schedule, unlike `lane_busy_ns`.
+    pub lane_events: Vec<u64>,
 }
 
 /// The campaign outcome.
@@ -297,6 +303,8 @@ fn run_legacy(cfg: &PumpCampaignConfig) -> LaneRow {
         },
         efficiency: 1.0,
         digest: digest_states(&state, &barriers),
+        lane_busy_ns: Vec::new(),
+        lane_events: Vec::new(),
     }
 }
 
@@ -369,7 +377,34 @@ fn run_sharded(cfg: &PumpCampaignConfig, lanes: usize, threaded: bool) -> LaneRo
         },
         efficiency: 0.0, // filled against the 1-lane row by `run`
         digest: digest_states(&states, &barriers),
+        lane_busy_ns: stats
+            .lane_busy
+            .iter()
+            .map(|d| d.as_nanos() as u64)
+            .collect(),
+        lane_events: stats.lane_events.clone(),
     }
+}
+
+/// [`run`], recording one [`udr_trace::Tracer::lane_slice`] per lane of each swept
+/// row into `tracer` (busy wall-clock + deterministic event count, at
+/// the drain horizon). The slices are `digest: false` records: they make
+/// lane balance visible in an exported trace without making the trace
+/// digest depend on host timing.
+pub fn run_traced(cfg: &PumpCampaignConfig, tracer: &mut udr_trace::Tracer) -> PumpOutcome {
+    let out = run(cfg);
+    let at = horizon(cfg);
+    for row in &out.rows {
+        for (lane, busy_ns) in row.lane_busy_ns.iter().enumerate() {
+            tracer.lane_slice(
+                lane,
+                std::time::Duration::from_nanos(*busy_ns),
+                row.lane_events.get(lane).copied().unwrap_or(0),
+                at,
+            );
+        }
+    }
+    out
 }
 
 /// Run the campaign. Panics if any lane count diverges from the legacy

@@ -28,6 +28,7 @@ use udr_model::IdentityInterner;
 use udr_replication::{AsyncShipper, Enqueue, ShipBatchConfig};
 use udr_sim::{PumpConfig, SimRng};
 use udr_storage::{Engine, Lsn};
+use udr_trace::{TraceConfig, TraceExport};
 use udr_workload::PopulationBuilder;
 
 /// Campaign knobs.
@@ -51,6 +52,10 @@ pub struct ScaleConfig {
     pub pump: PumpConfig,
     /// RNG seed: same seed ⇒ identical digest.
     pub seed: u64,
+    /// Tracing for the pipeline stage's deployment (the other stages
+    /// run outside a `Udr`). Disabled by default; the campaign digest
+    /// excludes the trace either way.
+    pub trace: TraceConfig,
 }
 
 impl ScaleConfig {
@@ -64,6 +69,7 @@ impl ScaleConfig {
             ship_batch: ShipBatchConfig::coalesce(64, SimDuration::from_millis(5)),
             pump: PumpConfig::sharded(4),
             seed: 23,
+            trace: TraceConfig::disabled(),
         }
     }
 
@@ -118,8 +124,11 @@ pub struct ScaleOutcome {
     /// unavailable).
     pub peak_rss_kb: u64,
     /// Seed-stable digest over the final store contents and shipping
-    /// counters (excludes every wall-clock measurement).
+    /// counters (excludes every wall-clock measurement and the trace).
     pub digest: u64,
+    /// Trace export of the pipeline stage when [`ScaleConfig::trace`]
+    /// is enabled; `None` otherwise.
+    pub trace: Option<TraceExport>,
 }
 
 /// Peak resident set size in kB (`VmHWM` from `/proc/self/status`), or 0
@@ -364,6 +373,7 @@ pub fn run(cfg: &ScaleConfig) -> ScaleOutcome {
     pipe_cfg.ship_batch = cfg.ship_batch;
     pipe_cfg.pump = cfg.pump;
     pipe_cfg.seed = cfg.seed;
+    pipe_cfg.trace = cfg.trace;
     let mut udr = Udr::build(pipe_cfg).expect("valid config");
     let mut pipe_rng = SimRng::seed_from_u64(cfg.seed ^ 0x717e);
     let pipe_pop = (cfg.pipeline_ops / 10).clamp(30, 2_000);
@@ -443,6 +453,7 @@ pub fn run(cfg: &ScaleConfig) -> ScaleOutcome {
         image_bytes,
         peak_rss_kb: peak_rss_kb(),
         digest,
+        trace: udr.tracer.enabled().then(|| udr.trace_export()),
     }
 }
 

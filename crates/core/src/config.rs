@@ -6,6 +6,7 @@ use udr_model::error::{UdrError, UdrResult};
 use udr_qos::QosConfig;
 use udr_replication::ShipBatchConfig;
 use udr_sim::PumpConfig;
+use udr_trace::TraceConfig;
 
 /// Full configuration of one simulated UDR deployment.
 #[derive(Debug, Clone)]
@@ -45,6 +46,10 @@ pub struct UdrConfig {
     /// deterministic-merge contract), so this is a throughput knob, not
     /// a semantics knob.
     pub pump: PumpConfig,
+    /// Structured tracing (flight recorder + slow-op exemplars). Disabled
+    /// by default; enabling it must never change simulated behaviour,
+    /// only record it.
+    pub trace: TraceConfig,
     /// RNG seed: same seed ⇒ identical run.
     pub seed: u64,
 }
@@ -63,6 +68,7 @@ impl Default for UdrConfig {
             dls_cache_capacity: 65_536,
             ship_batch: ShipBatchConfig::per_record(),
             pump: PumpConfig::single(),
+            trace: TraceConfig::disabled(),
             seed: 0xC0FFEE,
         }
     }

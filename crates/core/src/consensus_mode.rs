@@ -197,16 +197,28 @@ impl Udr {
     }
 
     /// Submit a command at node `node` of `partition`'s ensemble and route
-    /// whatever the protocol wants sent.
+    /// whatever the protocol wants sent. `trace` (0 = untraced) rides every
+    /// protocol message the submission fans out, so a traced client write
+    /// can be followed propose → chosen → apply across the ensemble.
     pub(crate) fn consensus_submit_via(
         &mut self,
         t: SimTime,
         partition: PartitionId,
         node: usize,
         cmd: Command,
+        trace: u64,
     ) {
+        if trace != 0 && self.tracer.enabled() {
+            self.tracer.instant(
+                trace,
+                0,
+                "consensus.propose",
+                t,
+                Some(format!("p{} via n{node} cmd={}", partition.0, cmd.id.0)),
+            );
+        }
         let outs = self.consensus[partition.index()].replicas[node].submit(t, cmd);
-        self.route_consensus(t, partition, node, outs);
+        self.route_consensus(t, partition, node, outs, trace);
     }
 
     /// `ConsensusTick`: run every up replica's protocol timers, apply what
@@ -218,7 +230,7 @@ impl Udr {
                 continue;
             }
             let outs = self.consensus[p].replicas[i].tick(t);
-            self.route_consensus(t, partition, i, outs);
+            self.route_consensus(t, partition, i, outs, 0);
         }
         self.consensus_apply(t, partition);
         self.note_consensus_leadership(p);
@@ -231,6 +243,9 @@ impl Udr {
     /// `ConsensusDeliver`: hand a protocol message to its destination
     /// replica. The message may arrive after a cut started or the node
     /// crashed; then it is simply lost (retries and catch-up re-cover it).
+    /// `trace` is the context the sender stamped (0 = untraced); responses
+    /// the handler generates inherit it, so the causal chain survives
+    /// multi-hop rounds.
     pub(crate) fn consensus_deliver(
         &mut self,
         t: SimTime,
@@ -238,6 +253,7 @@ impl Udr {
         to: usize,
         from: usize,
         msg: Message,
+        trace: u64,
     ) {
         let p = partition.index();
         if !self.consensus_node_up(p, to) {
@@ -248,30 +264,58 @@ impl Udr {
         if !self.net.reachable(from_site, to_site) {
             return;
         }
+        if trace != 0 && self.tracer.enabled() {
+            self.tracer.instant(
+                trace,
+                0,
+                "consensus.msg",
+                t,
+                Some(format!("p{} n{from}→n{to}", partition.0)),
+            );
+        }
+        let applied_before = self.consensus[p].applied.iter().sum::<usize>();
         let outs = self.consensus[p].replicas[to].handle(t, NodeId(from as u32), msg);
-        self.route_consensus(t, partition, to, outs);
+        self.route_consensus(t, partition, to, outs, trace);
         self.consensus_apply(t, partition);
+        if trace != 0 && self.tracer.enabled() {
+            let applied_after = self.consensus[p].applied.iter().sum::<usize>();
+            if applied_after > applied_before {
+                self.tracer.instant(
+                    trace,
+                    0,
+                    "consensus.apply",
+                    t,
+                    Some(format!(
+                        "p{} n={}",
+                        partition.0,
+                        applied_after - applied_before
+                    )),
+                );
+            }
+        }
         self.note_consensus_leadership(p);
     }
 
-    /// Route a replica's outbound messages over the simulated network.
+    /// Route a replica's outbound messages over the simulated network,
+    /// stamping each with the originating `trace` context.
     fn route_consensus(
         &mut self,
         t: SimTime,
         partition: PartitionId,
         from: usize,
         outs: Vec<udr_consensus::replica::Outbound>,
+        trace: u64,
     ) {
         use udr_consensus::replica::Outbound;
         for out in outs {
             match out {
                 Outbound::To(dest, msg) => {
-                    self.consensus_send(t, partition, from, dest.0 as usize, msg);
+                    self.consensus_send(t, partition, from, dest.0 as usize, msg, trace);
                 }
                 Outbound::Broadcast(msg) => {
                     for j in 0..self.consensus[partition.index()].members.len() {
                         if j != from {
-                            self.consensus_send(t, partition, from, j, msg.clone());
+                            self.consensus_send(t, partition, from, j, msg.clone(), trace);
                         }
                     }
                 }
@@ -289,6 +333,7 @@ impl Udr {
         from: usize,
         to: usize,
         msg: Message,
+        trace: u64,
     ) {
         let p = partition.index();
         if !self.consensus_node_up(p, to) {
@@ -305,6 +350,7 @@ impl Udr {
                     to,
                     from,
                     msg: Box::new(msg),
+                    trace,
                 },
             );
         }
@@ -551,6 +597,7 @@ impl Udr {
                             plan.partition,
                             l,
                             Command::reconfig(cmd_id, id as u64),
+                            0,
                         );
                         self.migrations[id].state = MigrationState::CatchingUp;
                     }

@@ -40,7 +40,7 @@ pub mod udr;
 
 pub use capacity::CapacityModel;
 pub use config::UdrConfig;
-pub use metrics_agg::UdrMetrics;
+pub use metrics_agg::{StageLatencyMetrics, UdrMetrics};
 pub use ops::OpOutcome;
 pub use pipeline::{
     AccessStage, LatencyBreakdown, LocationStage, PipelineCtx, ReplicationStage, StorageStage,

@@ -4,6 +4,36 @@ use udr_metrics::{GuaranteeTracker, Histogram, OpCounter, QosTracker, StalenessT
 use udr_model::config::TxnClass;
 use udr_model::time::SimDuration;
 
+use crate::pipeline::LatencyBreakdown;
+
+/// Per-stage latency histograms of successful operations: one histogram
+/// per [`LatencyBreakdown`] component, recorded at op completion. Where
+/// the breakdown attributes one operation's latency, these attribute the
+/// whole run's — bench reports embed their
+/// [snapshots](Histogram::snapshot) so offline tooling can reconstruct
+/// the per-stage distributions from the JSON alone.
+#[derive(Debug, Default)]
+pub struct StageLatencyMetrics {
+    /// Access-stage component (PoA + LDAP server).
+    pub access: Histogram,
+    /// Location-stage component (DLS resolution).
+    pub location: Histogram,
+    /// Replication-stage component (routing, commit waits, consults).
+    pub replication: Histogram,
+    /// Storage-stage component (SE round trip + engine).
+    pub storage: Histogram,
+}
+
+impl StageLatencyMetrics {
+    /// Record one finished operation's breakdown.
+    pub fn record(&mut self, b: &LatencyBreakdown) {
+        self.access.record(b.access);
+        self.location.record(b.location);
+        self.replication.record(b.replication);
+        self.storage.record(b.storage);
+    }
+}
+
 /// Everything an experiment reads back after driving a [`crate::Udr`].
 #[derive(Debug, Default)]
 pub struct UdrMetrics {
@@ -15,6 +45,8 @@ pub struct UdrMetrics {
     pub fe_latency: Histogram,
     /// Latency of successful provisioning operations.
     pub ps_latency: Histogram,
+    /// Per-stage latency attribution across all successful operations.
+    pub stage_latency: StageLatencyMetrics,
     /// Staleness of reads (slave-read consistency, §3.3.2).
     pub staleness: StalenessTracker,
     /// Kept/broken guarantees and master redirects of the intermediate

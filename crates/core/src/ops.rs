@@ -169,10 +169,12 @@ impl Udr {
         self.advance_to(now);
         let timeout = self.cfg.frash.op_timeout;
 
+        let span = self.tracer.begin_op(op_trace_name(op), now);
         let mut ctx = PipelineCtx::new(op, class, client_site, now)
             .with_session(session)
             .with_priority(priority)
-            .with_frame(frame);
+            .with_frame(frame)
+            .with_trace(span);
         let mut outcome = pipeline::run(self, &mut ctx);
         if outcome.is_ok() && outcome.latency > timeout {
             let breakdown = outcome.breakdown;
@@ -180,6 +182,10 @@ impl Udr {
             outcome.breakdown = breakdown;
         }
         self.record_op_metrics(class, priority, &outcome);
+        if span.is_active() {
+            self.tracer
+                .end_op(outcome.latency, outcome_trace_status(&outcome));
+        }
         outcome
     }
 
@@ -216,5 +222,49 @@ impl Udr {
                 self.metrics.ops_mut(class).other_failure();
             }
         }
+        if outcome.is_ok() {
+            self.metrics.stage_latency.record(&outcome.breakdown);
+        }
+    }
+}
+
+/// Root-span name of an operation's trace.
+fn op_trace_name(op: &LdapOp) -> &'static str {
+    match op {
+        LdapOp::Bind { .. } => "op.bind",
+        LdapOp::Search { .. } => "op.search",
+        LdapOp::SearchFilter { .. } => "op.search_filter",
+        LdapOp::Compare { .. } => "op.compare",
+        LdapOp::Add { .. } => "op.add",
+        LdapOp::Modify { .. } => "op.modify",
+        LdapOp::Delete { .. } => "op.delete",
+    }
+}
+
+/// Compact status label recorded on an operation's root span (and in its
+/// slow-op exemplar, when retained).
+fn outcome_trace_status(outcome: &OpOutcome) -> &'static str {
+    match &outcome.result {
+        Ok(_) => "ok",
+        Err(e) => match e {
+            UdrError::InvalidIdentity { .. } => "invalid-identity",
+            UdrError::UnknownIdentity(_) => "unknown-identity",
+            UdrError::NotFound(_) => "not-found",
+            UdrError::AlreadyExists(_) => "already-exists",
+            UdrError::Unreachable { .. } => "unreachable",
+            UdrError::NotMaster { .. } => "not-master",
+            UdrError::WriteConflict(_) => "write-conflict",
+            UdrError::TxnAborted { .. } => "txn-aborted",
+            UdrError::TxnInvalid => "txn-invalid",
+            UdrError::SeUnavailable(_) => "se-unavailable",
+            UdrError::LocationStageSyncing => "dls-syncing",
+            UdrError::PartitionFrozen(_) => "partition-frozen",
+            UdrError::ReplicationFailed { .. } => "replication-failed",
+            UdrError::Codec(_) => "codec",
+            UdrError::Timeout => "timeout",
+            UdrError::Overload => "overload",
+            UdrError::Shed { .. } => "shed",
+            UdrError::Config(_) => "config",
+        },
     }
 }

@@ -38,6 +38,7 @@ use udr_model::time::{SimDuration, SimTime};
 use udr_replication::quorum::quorum_write;
 use udr_replication::Enqueue;
 use udr_storage::{CommitRecord, StorageBackend};
+use udr_trace::SpanCtx;
 
 use crate::ops::OpOutcome;
 use crate::udr::{Udr, UdrEvent};
@@ -88,6 +89,11 @@ pub struct PipelineCtx<'a> {
     pub session: Option<&'a mut SessionToken>,
     /// Accumulated latency attribution.
     pub breakdown: LatencyBreakdown,
+    /// Trace context of the operation ([`SpanCtx::NONE`] when tracing is
+    /// off): `trace` identifies the op's causal tree, `span` the enclosing
+    /// span new records should parent to. Stage wrappers rewrite `span`
+    /// around each stage so nested instants attach to the stage's span.
+    pub span: SpanCtx,
     /// Open framed-batch cursor, when the op is part of a batch: ops
     /// landing on a station the frame already covers skip the
     /// per-message framing share of their service time (§3.3.3 bulk
@@ -135,6 +141,7 @@ impl<'a> PipelineCtx<'a> {
             now,
             session: None,
             breakdown: LatencyBreakdown::default(),
+            span: SpanCtx::NONE,
             frame: None,
             cluster_idx: 0,
             server_site: client_site,
@@ -169,6 +176,14 @@ impl<'a> PipelineCtx<'a> {
         self
     }
 
+    /// Attach the operation's trace context (from
+    /// [`udr_trace::Tracer::begin_op`]; [`SpanCtx::NONE`] disables span
+    /// emission for this op).
+    pub fn with_trace(mut self, span: SpanCtx) -> Self {
+        self.span = span;
+        self
+    }
+
     /// Fail with the latency accumulated so far.
     fn fail(&self, err: UdrError) -> OpOutcome {
         OpOutcome {
@@ -194,20 +209,95 @@ impl<'a> PipelineCtx<'a> {
 /// stages against a partially-built context in tests or future
 /// partition-parallel executors.
 pub fn run(udr: &mut Udr, ctx: &mut PipelineCtx) -> OpOutcome {
-    if let Err(out) = AccessStage::run(udr, ctx) {
+    if let Err(out) = traced_stage(udr, ctx, "stage.access", AccessStage::run) {
         return out;
     }
-    if let Err(out) = LocationStage::run(udr, ctx) {
+    if let Err(out) = traced_stage(udr, ctx, "stage.location", LocationStage::run) {
         return out;
     }
-    if let Err(out) = ReplicationStage::route(udr, ctx) {
+    if let Err(out) = traced_stage(udr, ctx, "stage.replication", ReplicationStage::route) {
         return out;
     }
-    let value = match StorageStage::run(udr, ctx) {
+    let value = match traced_stage(udr, ctx, "stage.storage", StorageStage::run) {
         Ok(value) => value,
         Err(out) => return out,
     };
-    ReplicationStage::finish(udr, ctx, value)
+    traced_stage(udr, ctx, "stage.replication", |udr, ctx| {
+        ReplicationStage::finish(udr, ctx, value)
+    })
+}
+
+/// Run one pipeline stage, attributing what it added to the
+/// [`LatencyBreakdown`] as trace spans.
+///
+/// When the op is traced, the stage runs under a freshly allocated span id
+/// (so instants it emits parent to the stage), and afterwards one span per
+/// breakdown field the stage advanced is recorded — named after the
+/// *field*, not the stage, so the per-name sums in a trace reproduce the
+/// breakdown exactly even when a stage charges several components (a
+/// consensus write accrues both `replication` and `storage` inside
+/// routing). A stage that added no simulated time leaves one zero-duration
+/// span named `hint` so the causal tree still shows it ran.
+fn traced_stage<'b, T>(
+    udr: &mut Udr,
+    ctx: &mut PipelineCtx<'b>,
+    hint: &'static str,
+    stage: impl FnOnce(&mut Udr, &mut PipelineCtx<'b>) -> T,
+) -> T {
+    if !ctx.span.is_active() || !udr.tracer.enabled() {
+        return stage(udr, ctx);
+    }
+    let before = ctx.breakdown;
+    let start = ctx.now + before.total();
+    let parent = ctx.span.span;
+    let stage_span = udr.tracer.alloc_span();
+    ctx.span.span = stage_span;
+    let out = stage(udr, ctx);
+    ctx.span.span = parent;
+    let after = ctx.breakdown;
+    let deltas = [
+        ("stage.access", after.access.saturating_sub(before.access)),
+        (
+            "stage.location",
+            after.location.saturating_sub(before.location),
+        ),
+        (
+            "stage.replication",
+            after.replication.saturating_sub(before.replication),
+        ),
+        (
+            "stage.storage",
+            after.storage.saturating_sub(before.storage),
+        ),
+    ];
+    let mut cursor = start;
+    let mut primary_used = false;
+    for (name, delta) in deltas {
+        if delta.is_zero() {
+            continue;
+        }
+        let id = if primary_used {
+            udr.tracer.alloc_span()
+        } else {
+            primary_used = true;
+            stage_span
+        };
+        udr.tracer
+            .span(ctx.span.trace, id, parent, name, cursor, delta, None);
+        cursor += delta;
+    }
+    if !primary_used {
+        udr.tracer.span(
+            ctx.span.trace,
+            stage_span,
+            parent,
+            hint,
+            start,
+            SimDuration::ZERO,
+            None,
+        );
+    }
+    out
 }
 
 fn sample_rtt(udr: &mut Udr, a: SiteId, b: SiteId) -> Option<SimDuration> {
@@ -263,6 +353,19 @@ impl AccessStage {
                     .any(|lower| controller.would_admit(*lower, queue_delay, ctx.now));
                 if inverted {
                     udr.metrics.qos.record_inversion();
+                }
+                if ctx.span.is_active() && udr.tracer.enabled() {
+                    let state = udr.qos[ctx.cluster_idx].pressure_label(ctx.now);
+                    udr.tracer.instant(
+                        ctx.span.trace,
+                        ctx.span.span,
+                        "qos.shed",
+                        ctx.now + ctx.breakdown.total(),
+                        Some(format!(
+                            "class={} reason={reason} state={state}",
+                            ctx.priority
+                        )),
+                    );
                 }
                 return Err(ctx.fail(UdrError::Shed {
                     class: ctx.priority,
@@ -336,6 +439,15 @@ impl LocationStage {
                             }
                         }
                         udr.metrics.stale_route_retries += 1;
+                        if ctx.span.is_active() && udr.tracer.enabled() {
+                            udr.tracer.instant(
+                                ctx.span.trace,
+                                ctx.span.span,
+                                "loc.stale_retry",
+                                ctx.now + ctx.breakdown.total(),
+                                Some(format!("p{} epoch {observed}→{current}", loc.partition.0)),
+                            );
+                        }
                         let locator: &mut dyn Locator = &mut udr.clusters[ctx.cluster_idx].stage;
                         locator.install_map_epoch(current);
                         retried = true;
@@ -531,6 +643,16 @@ impl ReplicationStage {
         }
         udr.metrics.guarantees.record_policy_downgrade();
         ctx.policy_downgraded = true;
+        if ctx.span.is_active() && udr.tracer.enabled() {
+            let state = udr.qos[ctx.cluster_idx].pressure_label(ctx.now);
+            udr.tracer.instant(
+                ctx.span.trace,
+                ctx.span.span,
+                "qos.degrade",
+                ctx.now + ctx.breakdown.total(),
+                Some(format!("guarded read → nearest-copy ({state})")),
+            );
+        }
         true
     }
 
@@ -660,6 +782,18 @@ impl ReplicationStage {
                     ctx.breakdown.replication += rtt;
                 }
                 udr.metrics.guarantees.record_master_redirect();
+                if ctx.span.is_active() && udr.tracer.enabled() {
+                    udr.tracer.instant(
+                        ctx.span.trace,
+                        ctx.span.span,
+                        "repl.redirect",
+                        ctx.now + ctx.breakdown.total(),
+                        Some(format!(
+                            "se{} too stale, redirected to se{}",
+                            near.0, pick.0
+                        )),
+                    );
+                }
             }
         }
         Some(pick)
@@ -790,6 +924,7 @@ impl ReplicationStage {
             partition,
             leader,
             udr_consensus::Command::write(cmd_id, uid, entry),
+            ctx.span.trace,
         );
 
         // Drive the pump until the command is chosen or the operation
@@ -814,6 +949,25 @@ impl ReplicationStage {
         };
         match chosen_at {
             Some(at) => {
+                if ctx.span.is_active() && udr.tracer.enabled() {
+                    let commit_span = udr.tracer.alloc_span();
+                    udr.tracer.span(
+                        ctx.span.trace,
+                        commit_span,
+                        ctx.span.span,
+                        "consensus.commit",
+                        t0,
+                        at.duration_since(t0),
+                        Some(format!("p{} cmd={}", partition.0, cmd_id.0)),
+                    );
+                    udr.tracer.instant(
+                        ctx.span.trace,
+                        commit_span,
+                        "consensus.chosen",
+                        at,
+                        Some(format!("p{} cmd={}", partition.0, cmd_id.0)),
+                    );
+                }
                 ctx.breakdown.replication += at.duration_since(t0);
                 udr.metrics.consensus_commits += 1;
                 let written_lsn = udr.ses[leader_se.index()]
@@ -836,6 +990,15 @@ impl ReplicationStage {
                 // later (a requeued proposal surviving a leader change) —
                 // campaign oracles treat unacknowledged writes as
                 // possibly-effective, exactly like a real client.
+                if ctx.span.is_active() && udr.tracer.enabled() {
+                    udr.tracer.instant(
+                        ctx.span.trace,
+                        ctx.span.span,
+                        "consensus.timeout",
+                        deadline,
+                        Some(format!("p{} cmd={} not chosen", partition.0, cmd_id.0)),
+                    );
+                }
                 ctx.breakdown.replication += allowed_wait;
                 Err(ctx.fail(UdrError::ReplicationFailed {
                     acked: udr.consensus_reachable_from(p, leader_site),
@@ -954,6 +1117,15 @@ impl ReplicationStage {
             .expect("r >= 1 consulted");
         ctx.target = Some(serving);
         ctx.quorum_served = true;
+        if ctx.span.is_active() && udr.tracer.enabled() {
+            udr.tracer.instant(
+                ctx.span.trace,
+                ctx.span.span,
+                "repl.quorum_consult",
+                ctx.now + ctx.breakdown.total(),
+                Some(format!("r={r} serving=se{}", serving.0)),
+            );
+        }
         Ok(())
     }
 
@@ -1059,22 +1231,46 @@ impl ReplicationStage {
                 // batch ships as one message at its cap or linger deadline.
                 let cfg = udr.cfg.ship_batch;
                 match udr.shippers[p].enqueue(*slave, record, &cfg) {
-                    Enqueue::Opened { seq } => udr.schedule_event(
-                        now + cfg.linger,
-                        UdrEvent::ShipFlush {
-                            partition,
-                            slave: *slave,
-                            seq,
-                        },
-                    ),
+                    Enqueue::Opened { seq } => {
+                        // The opener's trace rides the batch: stamp it so
+                        // the eventual flush and delivery attribute to the
+                        // op that started the linger window.
+                        let trace = udr.tracer.active_trace();
+                        if trace != 0 {
+                            udr.shippers[p].stamp_open_trace(*slave, trace);
+                        }
+                        udr.schedule_event(
+                            now + cfg.linger,
+                            UdrEvent::ShipFlush {
+                                partition,
+                                slave: *slave,
+                                seq,
+                            },
+                        );
+                    }
                     Enqueue::Full => {
                         if let Some(b) = udr.shippers[p].flush_open(*slave, now, delay) {
+                            if udr.tracer.enabled() && b.trace != 0 {
+                                udr.tracer.instant(
+                                    b.trace,
+                                    0,
+                                    "ship.flush",
+                                    now,
+                                    Some(format!(
+                                        "p{} se{} n={} cap",
+                                        partition.0,
+                                        b.slave.0,
+                                        b.records.len()
+                                    )),
+                                );
+                            }
                             udr.schedule_event(
                                 b.arrives,
                                 UdrEvent::ReplDeliverBatch {
                                     partition,
                                     slave: b.slave,
                                     records: b.records,
+                                    trace: b.trace,
                                 },
                             );
                         }

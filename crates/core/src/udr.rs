@@ -25,6 +25,7 @@ use udr_sim::faults::{Fault, FaultSchedule, FaultScript};
 use udr_sim::net::{Cut, CutHandle, Degrade, DegradeHandle, Network, Topology};
 use udr_sim::{LaneClass, ShardedPump, SimRng};
 use udr_storage::{CommitRecord, Lsn, StorageElement};
+use udr_trace::{TraceExport, Tracer};
 
 use crate::config::UdrConfig;
 use crate::consensus_mode::{ConsensusGroup, CONSENSUS_TICK_INTERVAL};
@@ -81,6 +82,9 @@ pub enum UdrEvent {
         slave: SeId,
         /// The records, in LSN order.
         records: Vec<CommitRecord>,
+        /// Trace of the operation that opened the batch (0 = untraced),
+        /// so a shipped batch's arrival shows up on the opener's track.
+        trace: u64,
     },
     /// A shipping batch's linger timer fires: flush the channel's open
     /// batch if it is still the same generation.
@@ -179,6 +183,10 @@ pub enum UdrEvent {
         from: usize,
         /// The protocol message (boxed: large relative to other events).
         msg: Box<udr_consensus::Message>,
+        /// Trace of the operation this message works for (0 = protocol
+        /// background), propagated from the submit through every response
+        /// so a commit round reads as one causal chain.
+        trace: u64,
     },
 }
 
@@ -278,6 +286,9 @@ pub struct Udr {
     pub(crate) next_uid: u64,
     /// Run metrics.
     pub metrics: UdrMetrics,
+    /// The structured-tracing flight recorder (inert unless
+    /// [`UdrConfig::trace`] enables it).
+    pub tracer: Tracer,
 }
 
 impl Udr {
@@ -434,6 +445,7 @@ impl Udr {
 
         let sites = cfg.sites as usize;
         let qos = clusters.iter().map(|_| cfg.qos.controller()).collect();
+        let tracer = Tracer::new(cfg.trace);
         Ok(Udr {
             subs_per_partition: vec![0; cfg.partitions as usize],
             ops_per_partition: vec![0; cfg.partitions as usize],
@@ -462,7 +474,14 @@ impl Udr {
             consensus_violations: Vec::new(),
             next_uid: 1,
             metrics: UdrMetrics::default(),
+            tracer,
         })
+    }
+
+    /// Snapshot everything the flight recorder retained (records,
+    /// exemplars, deterministic digest). Empty when tracing is disabled.
+    pub fn trace_export(&self) -> TraceExport {
+        self.tracer.export()
     }
 
     /// The deployment configuration.
@@ -619,6 +638,9 @@ impl Udr {
     }
 
     fn handle_event(&mut self, t: SimTime, event: UdrEvent) {
+        if self.tracer.enabled() {
+            self.trace_event(t, &event);
+        }
         match event {
             UdrEvent::ReplDeliver {
                 partition,
@@ -631,6 +653,7 @@ impl Udr {
                 partition,
                 slave,
                 records,
+                trace: _,
             } => {
                 for record in records {
                     self.deliver_replication(t, partition, slave, record);
@@ -689,7 +712,83 @@ impl Udr {
                 to,
                 from,
                 msg,
-            } => self.consensus_deliver(t, partition, to, from, *msg),
+                trace,
+            } => self.consensus_deliver(t, partition, to, from, *msg, trace),
+        }
+    }
+
+    /// Flight-recorder instants for background events worth seeing on a
+    /// timeline (faults, migration phases, traced batch arrivals). Bare
+    /// periodic ticks and per-record deliveries are deliberately skipped:
+    /// they would drown the ring without adding causality.
+    fn trace_event(&mut self, t: SimTime, event: &UdrEvent) {
+        match event {
+            UdrEvent::ReplDeliverBatch {
+                partition,
+                slave,
+                records,
+                trace,
+            } => self.tracer.instant(
+                *trace,
+                0,
+                "repl.deliver_batch",
+                t,
+                Some(format!(
+                    "p{} se{} n={}",
+                    partition.index(),
+                    slave.index(),
+                    records.len()
+                )),
+            ),
+            UdrEvent::PartitionStart { cuts, duration } => self.tracer.instant(
+                0,
+                0,
+                "fault.partition",
+                t,
+                Some(format!("cuts={} dur={duration}", cuts.len())),
+            ),
+            UdrEvent::PartitionHeal { .. } => self.tracer.instant(0, 0, "fault.heal", t, None),
+            UdrEvent::DegradeStart { duration, .. } => {
+                self.tracer
+                    .instant(0, 0, "fault.degrade", t, Some(format!("dur={duration}")))
+            }
+            UdrEvent::DegradeHeal { .. } => {
+                self.tracer.instant(0, 0, "fault.degrade_heal", t, None)
+            }
+            UdrEvent::SeCrash { se } => {
+                self.tracer
+                    .instant(0, 0, "fault.crash", t, Some(format!("se{}", se.index())))
+            }
+            UdrEvent::SeRestore { se } => {
+                self.tracer
+                    .instant(0, 0, "fault.restore", t, Some(format!("se{}", se.index())))
+            }
+            UdrEvent::FailoverCheck { partition } => self.tracer.instant(
+                0,
+                0,
+                "fault.failover_check",
+                t,
+                Some(format!("p{}", partition.index())),
+            ),
+            UdrEvent::MigrationStart { id } => {
+                self.tracer
+                    .instant(0, 0, "migr.start", t, Some(format!("id={id}")))
+            }
+            UdrEvent::MigrationCutover { id } => {
+                self.tracer
+                    .instant(0, 0, "migr.cutover", t, Some(format!("id={id}")))
+            }
+            UdrEvent::MigrationAbort { id } => {
+                self.tracer
+                    .instant(0, 0, "migr.abort", t, Some(format!("id={id}")))
+            }
+            UdrEvent::ReplDeliver { .. }
+            | UdrEvent::ShipFlush { .. }
+            | UdrEvent::SnapshotTick { .. }
+            | UdrEvent::CatchupTick
+            | UdrEvent::MigrationDeliver { .. }
+            | UdrEvent::ConsensusTick { .. }
+            | UdrEvent::ConsensusDeliver { .. } => {}
         }
     }
 
@@ -737,12 +836,27 @@ impl Udr {
             None
         };
         if let Some(batch) = self.shippers[p].flush_if_open(slave, seq, t, delay) {
+            if self.tracer.enabled() {
+                self.tracer.instant(
+                    batch.trace,
+                    0,
+                    "ship.flush",
+                    t,
+                    Some(format!(
+                        "p{} se{} n={} linger",
+                        p,
+                        slave.index(),
+                        batch.records.len()
+                    )),
+                );
+            }
             self.schedule_event(
                 batch.arrives,
                 UdrEvent::ReplDeliverBatch {
                     partition,
                     slave: batch.slave,
                     records: batch.records,
+                    trace: batch.trace,
                 },
             );
         }

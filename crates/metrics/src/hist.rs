@@ -141,6 +141,28 @@ impl Histogram {
         self.max_ns = self.max_ns.max(other.max_ns);
     }
 
+    /// Serializable summary of the full distribution: headline stats plus
+    /// every non-zero `(bucket floor ns, count)` pair, in ascending floor
+    /// order — enough to re-plot the histogram offline without the raw
+    /// samples.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            mean_ns: self.mean().as_nanos(),
+            min_ns: if self.count == 0 { 0 } else { self.min_ns },
+            max_ns: self.max_ns,
+            p50_ns: self.p50().as_nanos(),
+            p99_ns: self.p99().as_nanos(),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| **c != 0)
+                .map(|(idx, c)| (Self::bucket_floor(idx), *c))
+                .collect(),
+        }
+    }
+
     /// One-line summary for reports.
     pub fn summary(&self) -> String {
         if self.count == 0 {
@@ -157,12 +179,54 @@ impl Histogram {
     }
 }
 
+/// A point-in-time, serialization-friendly view of a [`Histogram`]:
+/// headline statistics plus the compacted bucket list. Produced by
+/// [`Histogram::snapshot`]; bench reports embed it so offline tooling can
+/// reconstruct per-stage latency distributions from the JSON alone.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of samples recorded.
+    pub count: u64,
+    /// Arithmetic mean, in nanoseconds (exact).
+    pub mean_ns: u64,
+    /// Exact minimum sample, in nanoseconds (0 when empty).
+    pub min_ns: u64,
+    /// Exact maximum sample, in nanoseconds.
+    pub max_ns: u64,
+    /// Median, in nanoseconds (bucket-floor approximate).
+    pub p50_ns: u64,
+    /// 99th percentile, in nanoseconds (bucket-floor approximate).
+    pub p99_ns: u64,
+    /// Non-zero `(bucket floor ns, count)` pairs in ascending floor order.
+    pub buckets: Vec<(u64, u64)>,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn ms(v: u64) -> SimDuration {
         SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn snapshot_round_trips_headline_stats() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 4, 8] {
+            h.record(ms(v));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.mean_ns, h.mean().as_nanos());
+        assert_eq!(s.min_ns, ms(1).as_nanos());
+        assert_eq!(s.max_ns, ms(8).as_nanos());
+        assert_eq!(s.buckets.iter().map(|(_, c)| c).sum::<u64>(), 4);
+        // Floors ascend and every floor is within the recorded range.
+        assert!(s.buckets.windows(2).all(|w| w[0].0 < w[1].0));
+        let empty = Histogram::new().snapshot();
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.min_ns, 0);
+        assert!(empty.buckets.is_empty());
     }
 
     #[test]

@@ -169,6 +169,20 @@ impl AdmissionController {
                 .shedding_start()
                 .is_some_and(|since| now.duration_since(since) >= self.cfg.degrade_after)
     }
+
+    /// Compact label of the controller's overload state at `now` —
+    /// `"healthy"`, `"shedding"` or `"degraded"`. Pure inspection (a
+    /// deterministic function of the admit history), used to annotate
+    /// trace records without exposing the internal clocks.
+    pub fn pressure_label(&self, now: SimTime) -> &'static str {
+        if self.degraded(now) {
+            "degraded"
+        } else if self.is_shedding() {
+            "shedding"
+        } else {
+            "healthy"
+        }
+    }
 }
 
 #[cfg(test)]

@@ -68,6 +68,10 @@ struct Channel {
     enqueued: Lsn,
     /// Open-batch generation; guards stale linger timers.
     batch_seq: u64,
+    /// Trace ID of the operation that opened the current batch (0 =
+    /// untraced); rides the flushed [`BatchDelivery`] so the delivery can
+    /// be attributed to the commit that started the coalescing window.
+    open_trace: u64,
 }
 
 /// The shipping ledger for one replication group.
@@ -108,6 +112,8 @@ pub struct BatchDelivery {
     pub records: Vec<CommitRecord>,
     /// Virtual arrival instant of the whole batch.
     pub arrives: SimTime,
+    /// Trace ID of the operation that opened the batch (0 = untraced).
+    pub trace: u64,
 }
 
 /// Outcome of enqueueing a record into a channel's open batch.
@@ -149,6 +155,7 @@ impl AsyncShipper {
                 pending: Vec::new(),
                 enqueued: applied,
                 batch_seq: 0,
+                open_trace: 0,
             },
         );
     }
@@ -237,6 +244,7 @@ impl AsyncShipper {
         ch.enqueued = record.lsn;
         if opened {
             ch.batch_seq += 1;
+            ch.open_trace = 0;
         }
         if ch.pending.len() >= cfg.max_records.max(1) {
             Enqueue::Full
@@ -244,6 +252,17 @@ impl AsyncShipper {
             Enqueue::Opened { seq: ch.batch_seq }
         } else {
             Enqueue::Joined
+        }
+    }
+
+    /// Attribute the currently open batch on `slave`'s channel to a trace
+    /// (the operation whose commit opened it). A no-op for unknown
+    /// channels or when nothing is coalescing.
+    pub fn stamp_open_trace(&mut self, slave: SeId, trace: u64) {
+        if let Some(ch) = self.channels.get_mut(&slave) {
+            if !ch.pending.is_empty() {
+                ch.open_trace = trace;
+            }
         }
     }
 
@@ -265,10 +284,12 @@ impl AsyncShipper {
             // Stall: the records stay in the master's log only.
             ch.pending.clear();
             ch.enqueued = ch.inflight;
+            ch.open_trace = 0;
             return None;
         };
         let arrives = (now + delay).max(ch.last_arrival);
         let records = std::mem::take(&mut ch.pending);
+        let trace = std::mem::take(&mut ch.open_trace);
         let last = records.last().expect("non-empty batch").lsn;
         ch.inflight = last;
         ch.enqueued = last;
@@ -279,6 +300,7 @@ impl AsyncShipper {
             slave,
             records,
             arrives,
+            trace,
         })
     }
 
@@ -325,6 +347,7 @@ impl AsyncShipper {
         // suffix re-ships those records straight from the log.
         ch.pending.clear();
         ch.enqueued = ch.inflight;
+        ch.open_trace = 0;
         let Some(delay) = delay else {
             return Vec::new();
         };

@@ -300,6 +300,10 @@ pub struct DrainStats {
     /// Cumulative busy time per lane (time spent inside that lane's
     /// handler loop, summed over rounds).
     pub lane_busy: Vec<Duration>,
+    /// Lane-local events processed per lane. Unlike `lane_busy` (wall
+    /// clock), this is a pure function of the schedule — same seed ⇒
+    /// identical counts, so traces may digest it.
+    pub lane_events: Vec<u64>,
     /// Σ over rounds of the slowest lane's busy time — the drain's
     /// critical path under one core per lane. Includes the coordinator's
     /// serialized cross-event time.
@@ -367,6 +371,7 @@ impl<E: Send> ShardedPump<E> {
         let lane_count = self.lanes.len();
         let mut stats = DrainStats {
             lane_busy: vec![Duration::ZERO; lane_count],
+            lane_events: vec![0; lane_count],
             ..DrainStats::default()
         };
 
@@ -498,6 +503,7 @@ impl<E: Send> ShardedPump<E> {
             for (lane, out) in outputs.into_iter().enumerate() {
                 self.lanes[lane] = out.heap;
                 stats.lane_busy[lane] += out.busy;
+                stats.lane_events[lane] += out.events;
                 round_critical = round_critical.max(out.busy);
                 stats.events += out.events;
                 self.processed += out.events;
@@ -705,6 +711,8 @@ mod tests {
         assert_eq!(states[0] + states[1], 100);
         assert_eq!(stats.events, 100);
         assert_eq!(stats.lane_busy.len(), 2);
+        assert_eq!(stats.lane_events.iter().sum::<u64>(), 100);
+        assert_eq!(stats.lane_events, vec![50, 50]);
         assert!(stats.critical_path <= stats.total_busy() + Duration::from_millis(1));
     }
 }

@@ -5,11 +5,17 @@ Every experiment binary that emits a machine-readable report writes it
 through ``udr_bench::json::BenchReport``, whose contract is::
 
     {
-      "name":   non-empty string,
-      "seed":   integer,
-      "config": object of scalars,
-      "rows":   non-empty list of flat objects (scalar cells only)
+      "name":    non-empty string,
+      "seed":    integer,
+      "config":  object of scalars,
+      "metrics": optional object (values may nest: histogram snapshots),
+      "rows":    non-empty list of flat objects (scalar cells only)
     }
+
+``config`` and ``rows`` must stay flat — ``tools/bench_compare.py``
+diffs them cell-by-cell. The optional ``metrics`` object is the one
+place nested values (arrays/objects, e.g. full per-stage latency
+histograms) are allowed.
 
 CI runs this over every emitted report so a malformed or silently empty
 report fails the experiment cell that produced it, not a downstream
@@ -54,6 +60,10 @@ def check(path: str) -> list[str]:
         for key, value in config.items():
             if not isinstance(value, SCALARS):
                 problems.append(f"config[{key!r}] is not a scalar")
+
+    metrics = report.get("metrics")
+    if metrics is not None and not isinstance(metrics, dict):
+        problems.append("`metrics`, when present, must be an object")
 
     rows = report.get("rows")
     if not isinstance(rows, list) or not rows:
