@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::hint::black_box;
 
-use udr_core::{Udr, UdrConfig};
+use udr_core::{OpRequest, Udr, UdrConfig};
 use udr_ldap::{Dn, LdapOp};
 use udr_model::attrs::{AttrId, AttrMod, AttrValue, Entry};
 use udr_model::config::{IsolationLevel, TxnClass};
@@ -123,7 +123,14 @@ fn bench_pipeline_op(c: &mut Criterion) {
                 attrs: vec![AttrId::OdbMask],
             };
             i += 1;
-            let out = udr.execute_op(&op, TxnClass::FrontEnd, SiteId(i as u32 % 3), now);
+            let out = udr
+                .execute(
+                    OpRequest::new(&op)
+                        .class(TxnClass::FrontEnd)
+                        .site(SiteId(i as u32 % 3))
+                        .at(now),
+                )
+                .into_op();
             udr.advance_to(now);
             black_box(out.latency)
         })
@@ -140,7 +147,14 @@ fn bench_pipeline_op(c: &mut Criterion) {
                 mods: vec![AttrMod::Set(AttrId::OdbMask, AttrValue::U64(i))],
             };
             i += 1;
-            let out = udr.execute_op(&op, TxnClass::FrontEnd, SiteId(0), now);
+            let out = udr
+                .execute(
+                    OpRequest::new(&op)
+                        .class(TxnClass::FrontEnd)
+                        .site(SiteId(0))
+                        .at(now),
+                )
+                .into_op();
             udr.advance_to(now);
             black_box(out.latency)
         })

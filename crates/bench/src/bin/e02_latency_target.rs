@@ -6,7 +6,7 @@
 //! across the backbone), plus the effect of home-region pinning.
 
 use udr_bench::harness::{provisioned_system, standard_traffic, t};
-use udr_core::UdrConfig;
+use udr_core::{OpRequest, UdrConfig};
 use udr_metrics::{pct, Histogram, Table};
 use udr_model::config::PlacementPolicy;
 use udr_model::time::SimDuration;
@@ -19,7 +19,11 @@ fn run(placement: PlacementPolicy, roaming: f64) -> (Histogram, f64) {
     let events = standard_traffic(&s, 0.05, roaming, t(10), t(130), 3);
     for ev in &events {
         let sub = &s.population[ev.subscriber];
-        s.udr.run_procedure(ev.kind, &sub.ids, ev.fe_site, ev.at);
+        s.udr.execute(
+            OpRequest::procedure(ev.kind, &sub.ids)
+                .site(ev.fe_site)
+                .at(ev.at),
+        );
     }
     (
         s.udr.metrics.fe_latency.clone(),

@@ -9,7 +9,7 @@
 //! window, for both the island side and the majority side.
 
 use udr_bench::harness::{provisioned_system, t};
-use udr_core::UdrConfig;
+use udr_core::{OpRequest, UdrConfig};
 use udr_metrics::{pct, Table};
 use udr_model::attrs::{AttrId, AttrMod, AttrValue};
 use udr_model::identity::Identity;
@@ -59,19 +59,24 @@ fn run(duration_s: u64) -> (WindowCounts, WindowCounts) {
         let sub = &s.population[i % s.population.len()];
         let kind = kinds[i % kinds.len()];
         // FE on the island side.
-        let out = s.udr.run_procedure(kind, &sub.ids, SiteId(2), at);
+        let out = s
+            .udr
+            .execute(OpRequest::procedure(kind, &sub.ids).site(SiteId(2)).at(at))
+            .into_procedure();
         if out.success {
             island.fe_ok += 1;
         } else {
             island.fe_fail += 1;
         }
         // FE on the majority side.
-        let out = s.udr.run_procedure(
-            kind,
-            &sub.ids,
-            SiteId(0),
-            at + SimDuration::from_millis(100),
-        );
+        let out = s
+            .udr
+            .execute(
+                OpRequest::procedure(kind, &sub.ids)
+                    .site(SiteId(0))
+                    .at(at + SimDuration::from_millis(100)),
+            )
+            .into_procedure();
         if out.success {
             majority.fe_ok += 1;
         } else {

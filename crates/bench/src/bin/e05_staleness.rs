@@ -7,7 +7,7 @@
 //! both.
 
 use udr_bench::harness::{provisioned_system, t};
-use udr_core::UdrConfig;
+use udr_core::{OpRequest, UdrConfig};
 use udr_metrics::{pct, Table};
 use udr_model::attrs::{AttrId, AttrMod, AttrValue};
 use udr_model::identity::Identity;
@@ -66,7 +66,12 @@ fn run(write_gap: SimDuration, wan_median_ms: u64) -> (f64, f64) {
         let offset = write_gap.mul_f64(0.25 * ((i % 3 + 1) as f64));
         let r = s
             .udr
-            .run_procedure(ProcedureKind::CallSetupMo, &sub.ids, SiteId(1), at + offset);
+            .execute(
+                OpRequest::procedure(ProcedureKind::CallSetupMo, &sub.ids)
+                    .site(SiteId(1))
+                    .at(at + offset),
+            )
+            .into_procedure();
         assert!(r.success);
         at += write_gap;
         i += 1;

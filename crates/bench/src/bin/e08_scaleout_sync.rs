@@ -10,7 +10,7 @@
 
 use udr_bench::harness::{provisioned_system, t};
 use udr_bench::json::BenchReport;
-use udr_core::UdrConfig;
+use udr_core::{OpRequest, UdrConfig};
 use udr_metrics::Table;
 use udr_model::config::LocatorKind;
 use udr_model::error::UdrError;
@@ -50,7 +50,12 @@ fn run(locator: LocatorKind, n: u64) -> Row {
         let sub = &s.population[(i % n) as usize];
         let out = s
             .udr
-            .run_procedure(ProcedureKind::SmsDelivery, &sub.ids, SiteId(1), at);
+            .execute(
+                OpRequest::procedure(ProcedureKind::SmsDelivery, &sub.ids)
+                    .site(SiteId(1))
+                    .at(at),
+            )
+            .into_procedure();
         if matches!(out.failure, Some(UdrError::LocationStageSyncing)) {
             blocked += 1;
         }

@@ -12,7 +12,7 @@
 //! no transactions) and (b) the UDR. We count what each leaves behind.
 
 use udr_bench::harness::t;
-use udr_core::{Udr, UdrConfig};
+use udr_core::{OpRequest, Udr, UdrConfig};
 use udr_metrics::{pct, Table};
 use udr_model::ids::SiteId;
 use udr_model::time::SimDuration;
@@ -102,12 +102,16 @@ fn run_udc() -> (u64, u64, u64) {
         let id = udr_model::identity::Identity::Imsi(sub.ids.imsi);
         let bound = udr.lookup_authority(&id).is_some();
         let readable = {
-            let out = udr.run_procedure(
-                udr_model::procedures::ProcedureKind::CallSetupMo,
-                &sub.ids,
-                SiteId(sub.home_region),
-                at,
-            );
+            let out = udr
+                .execute(
+                    OpRequest::procedure(
+                        udr_model::procedures::ProcedureKind::CallSetupMo,
+                        &sub.ids,
+                    )
+                    .site(SiteId(sub.home_region))
+                    .at(at),
+                )
+                .into_procedure();
             out.success
         };
         if bound != readable {

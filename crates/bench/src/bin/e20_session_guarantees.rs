@@ -22,7 +22,7 @@
 
 use udr_bench::harness::{provisioned_system, t};
 use udr_bench::json::BenchReport;
-use udr_core::UdrConfig;
+use udr_core::{OpRequest, UdrConfig};
 use udr_metrics::{pct, Histogram, Table};
 use udr_model::config::ReadPolicy;
 use udr_model::ids::SiteId;
@@ -104,24 +104,28 @@ fn run(policy: ReadPolicy, wan_ms: u64, gap: SimDuration) -> Cell {
     for i in 0..ROUNDS {
         let slot = (i % home0.len() as u64) as usize;
         let sub = &s.population[home0[slot]];
-        let w = s.udr.run_procedure_with_session(
-            ProcedureKind::LocationUpdate,
-            &sub.ids,
-            SiteId(0),
-            at,
-            Some(&mut tokens[slot]),
-        );
+        let w = s
+            .udr
+            .execute(
+                OpRequest::procedure(ProcedureKind::LocationUpdate, &sub.ids)
+                    .site(SiteId(0))
+                    .at(at)
+                    .session(&mut tokens[slot]),
+            )
+            .into_procedure();
         assert!(w.success, "home-site write failed: {:?}", w.failure);
         // Deterministic offsets inside the gap (1/4, 2/4, 3/4 across
         // rounds), same pattern as E5.
         let offset = gap.mul_f64(0.25 * ((i % 3 + 1) as f64));
-        let r = s.udr.run_procedure_with_session(
-            ProcedureKind::CallSetupMo,
-            &sub.ids,
-            SiteId(1),
-            at + offset,
-            Some(&mut tokens[slot]),
-        );
+        let r = s
+            .udr
+            .execute(
+                OpRequest::procedure(ProcedureKind::CallSetupMo, &sub.ids)
+                    .site(SiteId(1))
+                    .at(at + offset)
+                    .session(&mut tokens[slot]),
+            )
+            .into_procedure();
         assert!(r.success, "remote read failed: {:?}", r.failure);
         reads.record(r.latency);
         at += gap;

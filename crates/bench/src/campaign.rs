@@ -30,7 +30,7 @@
 //! from the cell seed, so replaying a cell reproduces the identical
 //! [`CapVerdict`], field for field. CI regresses on exactly that.
 
-use udr_core::{StageLatencyMetrics, UdrConfig};
+use udr_core::{OpRequest, StageLatencyMetrics, UdrConfig};
 use udr_ldap::{Dn, LdapOp};
 use udr_metrics::CapVerdict;
 use udr_model::attrs::{AttrId, AttrMod, AttrValue};
@@ -284,13 +284,11 @@ pub fn run_cell_traced(
                 fe_site,
             } => {
                 let sub = &s.population[*subscriber];
-                let out = s.udr.run_procedure_with_session(
-                    *kind,
-                    &sub.ids,
-                    *fe_site,
-                    *at,
-                    sessions.token_mut(*subscriber),
-                );
+                let mut req = OpRequest::procedure(*kind, &sub.ids).site(*fe_site).at(*at);
+                if let Some(token) = sessions.token_mut(*subscriber) {
+                    req = req.session(token);
+                }
+                let out = s.udr.execute(req).into_procedure();
                 verdict.record(false, in_fault, out.failure.as_ref());
             }
             CampaignOp::Write {
@@ -304,13 +302,14 @@ pub fn run_cell_traced(
                     dn: Dn::for_identity(Identity::Imsi(sub.ids.imsi)),
                     mods: vec![AttrMod::Set(AttrId::OdbMask, AttrValue::U64(seq))],
                 };
-                let out = s.udr.execute_op_with_session(
-                    &op,
-                    TxnClass::FrontEnd,
-                    *site,
-                    *at,
-                    sessions.token_mut(*subscriber),
-                );
+                let mut req = OpRequest::new(&op)
+                    .class(TxnClass::FrontEnd)
+                    .site(*site)
+                    .at(*at);
+                if let Some(token) = sessions.token_mut(*subscriber) {
+                    req = req.session(token);
+                }
+                let out = s.udr.execute(req).into_op();
                 match &out.result {
                     Ok(_) => {
                         acked[*subscriber] = seq;
@@ -563,13 +562,14 @@ pub fn run_consensus_cell(cc: &CampaignConfig, script: &FaultScript) -> Consensu
                     base: Dn::for_identity(Identity::Imsi(sub.ids.imsi)),
                     attrs: vec![AttrId::OdbMask],
                 };
-                let out = s.udr.execute_op_with_session(
-                    &op,
-                    TxnClass::FrontEnd,
-                    *fe_site,
-                    *at,
-                    sessions.token_mut(*subscriber),
-                );
+                let mut req = OpRequest::new(&op)
+                    .class(TxnClass::FrontEnd)
+                    .site(*fe_site)
+                    .at(*at);
+                if let Some(token) = sessions.token_mut(*subscriber) {
+                    req = req.session(token);
+                }
+                let out = s.udr.execute(req).into_op();
                 match &out.result {
                     Ok(entry) => {
                         let observed = entry
@@ -603,13 +603,14 @@ pub fn run_consensus_cell(cc: &CampaignConfig, script: &FaultScript) -> Consensu
                     dn: Dn::for_identity(Identity::Imsi(sub.ids.imsi)),
                     mods: vec![AttrMod::Set(AttrId::OdbMask, AttrValue::U64(seq))],
                 };
-                let out = s.udr.execute_op_with_session(
-                    &op,
-                    TxnClass::FrontEnd,
-                    *site,
-                    *at,
-                    sessions.token_mut(*subscriber),
-                );
+                let mut req = OpRequest::new(&op)
+                    .class(TxnClass::FrontEnd)
+                    .site(*site)
+                    .at(*at);
+                if let Some(token) = sessions.token_mut(*subscriber) {
+                    req = req.session(token);
+                }
+                let out = s.udr.execute(req).into_op();
                 match &out.result {
                     Ok(_) => {
                         acked[*subscriber] = seq;

@@ -5,12 +5,13 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use udr_core::{Udr, UdrConfig};
+use udr_core::{OpRequest, Udr, UdrConfig};
 use udr_model::attrs::{AttrId, AttrMod, AttrValue};
 use udr_model::error::UdrError;
 use udr_model::identity::Identity;
 use udr_model::ids::SiteId;
 use udr_model::procedures::ProcedureKind;
+use udr_model::tenant::TenantId;
 use udr_model::time::{SimDuration, SimTime};
 use udr_sim::SimRng;
 use udr_workload::retry::RetryPolicy;
@@ -105,9 +106,12 @@ pub fn run_events(
             }
         }
         let sub = &scenario.population[ev.subscriber];
-        scenario
-            .udr
-            .run_procedure(ev.kind, &sub.ids, ev.fe_site, ev.at);
+        scenario.udr.execute(
+            OpRequest::procedure(ev.kind, &sub.ids)
+                .site(ev.fe_site)
+                .at(ev.at)
+                .tenant(ev.tenant),
+        );
         fe_count += 1;
     }
     (fe_count, ps_count)
@@ -125,13 +129,14 @@ pub fn run_events_sessioned(
     let mut count = 0u64;
     for ev in events {
         let sub = &scenario.population[ev.subscriber];
-        scenario.udr.run_procedure_with_session(
-            ev.kind,
-            &sub.ids,
-            ev.fe_site,
-            ev.at,
-            sessions.token_mut(ev.subscriber),
-        );
+        let mut req = OpRequest::procedure(ev.kind, &sub.ids)
+            .site(ev.fe_site)
+            .at(ev.at)
+            .tenant(ev.tenant);
+        if let Some(token) = sessions.token_mut(ev.subscriber) {
+            req = req.session(token);
+        }
+        scenario.udr.execute(req);
         count += 1;
     }
     count
@@ -143,6 +148,8 @@ pub fn run_events_sessioned(
 pub struct RetriedProcedure {
     /// The procedure kind offered.
     pub kind: ProcedureKind,
+    /// The tenant that offered it.
+    pub tenant: TenantId,
     /// When the *first* attempt started (the offered-load instant).
     pub offered_at: SimTime,
     /// Attempts consumed (1 = succeeded or gave up first try).
@@ -177,6 +184,7 @@ pub fn run_events_with_retries(
         .iter()
         .map(|ev| RetriedProcedure {
             kind: ev.kind,
+            tenant: ev.tenant,
             offered_at: ev.at,
             attempts: 0,
             success: false,
@@ -198,7 +206,13 @@ pub fn run_events_with_retries(
         let attempt = records[idx].attempts;
         let out = scenario
             .udr
-            .run_procedure(ev.kind, &sub.ids, ev.fe_site, at);
+            .execute(
+                OpRequest::procedure(ev.kind, &sub.ids)
+                    .site(ev.fe_site)
+                    .at(at)
+                    .tenant(ev.tenant),
+            )
+            .into_procedure();
         records[idx].attempts = attempt + 1;
         records[idx].finished_at = at + out.latency;
         if out.success {

@@ -16,7 +16,7 @@
 
 use std::time::Instant;
 
-use udr_core::{Udr, UdrConfig};
+use udr_core::{OpRequest, Udr, UdrConfig};
 use udr_ldap::{Dn, LdapOp};
 use udr_model::attrs::{AttrId, AttrMod, AttrValue};
 use udr_model::config::{IsolationLevel, ReadPolicy, ReplicationMode, TxnClass};
@@ -406,7 +406,10 @@ pub fn run(cfg: &ScaleConfig) -> ScaleOutcome {
             }
         };
         let class = TxnClass::FrontEnd;
-        let out = pipe_timer.item(|| udr.execute_op(&op, class, site, at));
+        let out = pipe_timer.item(|| {
+            udr.execute(OpRequest::new(&op).class(class).site(site).at(at))
+                .into_op()
+        });
         if out.is_ok() {
             ok_ops += 1;
         }

@@ -17,7 +17,7 @@
 
 use proptest::prelude::*;
 use udr_bench::campaign::{run_cell_traced, run_consensus_cell, CampaignConfig};
-use udr_core::Udr;
+use udr_core::{OpRequest, Udr};
 use udr_ldap::{Dn, LdapOp};
 use udr_model::attrs::{AttrId, AttrMod, AttrValue};
 use udr_model::config::{ReadPolicy, ReplicationMode, TxnClass};
@@ -142,7 +142,14 @@ fn stage_spans_sum_to_the_latency_breakdown() {
         dn: Dn::for_identity(Identity::Imsi(ids.imsi)),
         mods: vec![AttrMod::Set(AttrId::OdbMask, AttrValue::U64(7))],
     };
-    let out = udr.execute_op(&op, TxnClass::FrontEnd, SiteId(1), at);
+    let out = udr
+        .execute(
+            OpRequest::new(&op)
+                .class(TxnClass::FrontEnd)
+                .site(SiteId(1))
+                .at(at),
+        )
+        .into_op();
     assert!(out.result.is_ok(), "{:?}", out.result);
 
     // The op under test is the newest trace in the recorder.

@@ -3,6 +3,7 @@
 
 use udr_model::config::FrashConfig;
 use udr_model::error::{UdrError, UdrResult};
+use udr_model::tenant::TenantDirectory;
 use udr_qos::QosConfig;
 use udr_replication::ShipBatchConfig;
 use udr_sim::PumpConfig;
@@ -50,6 +51,10 @@ pub struct UdrConfig {
     /// by default; enabling it must never change simulated behaviour,
     /// only record it.
     pub trace: TraceConfig,
+    /// Operators sharing this UDR: per-tenant capability masks and rate
+    /// budgets. Defaults to one tenant entitled to everything — the
+    /// single-operator deployment every earlier experiment models.
+    pub tenants: TenantDirectory,
     /// RNG seed: same seed ⇒ identical run.
     pub seed: u64,
 }
@@ -69,6 +74,7 @@ impl Default for UdrConfig {
             ship_batch: ShipBatchConfig::per_record(),
             pump: PumpConfig::single(),
             trace: TraceConfig::disabled(),
+            tenants: TenantDirectory::single_tenant(),
             seed: 0xC0FFEE,
         }
     }
@@ -94,6 +100,7 @@ impl UdrConfig {
     pub fn validate(&self) -> UdrResult<()> {
         self.frash.validate()?;
         self.qos.validate()?;
+        self.tenants.validate()?;
         if self.sites == 0 {
             return Err(UdrError::Config("at least one site required".into()));
         }
@@ -183,6 +190,13 @@ mod tests {
         c.qos = udr_qos::QosConfig::protective();
         assert!(c.validate().is_ok());
         c.qos.shed_interval = udr_model::time::SimDuration::ZERO;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn tenant_directory_is_validated() {
+        let mut c = UdrConfig::default();
+        c.tenants = udr_model::tenant::TenantDirectory::empty();
         assert!(c.validate().is_err());
     }
 

@@ -19,8 +19,9 @@
 //!
 //! Entry points:
 //! * [`Udr::build`] a deployment from [`UdrConfig`];
-//! * [`Udr::provision_subscriber`] / [`Udr::run_procedure`] — PS and FE
-//!   traffic;
+//! * [`Udr::execute`] with an [`OpRequest`] — FE operations and network
+//!   procedures (session, priority, tenant and framing as builder
+//!   options); [`Udr::provision_subscriber`] — PS lifecycle flows;
 //! * [`Udr::schedule_faults`] + [`Udr::advance_to`] — fault injection and
 //!   virtual time;
 //! * [`Udr::metrics`] — everything measured.
@@ -41,7 +42,7 @@ pub mod udr;
 pub use capacity::CapacityModel;
 pub use config::UdrConfig;
 pub use metrics_agg::{StageLatencyMetrics, UdrMetrics};
-pub use ops::OpOutcome;
+pub use ops::{ExecOutcome, OpOutcome, OpPayload, OpRequest};
 pub use pipeline::{
     AccessStage, LatencyBreakdown, LocationStage, PipelineCtx, ReplicationStage, StorageStage,
 };

@@ -1,23 +1,40 @@
-//! Client entry points for single LDAP operations.
+//! The client entry point for operations and procedures: one request
+//! builder, one `execute`.
 //!
 //! The actual end-to-end path — PoA access, data-location resolution,
 //! replica routing, storage transaction, post-commit replication — lives
-//! in [`pipeline`] as an explicit four-stage chain. This
-//! module only builds a [`PipelineCtx`], runs the chain, enforces the
-//! operation timeout and records metrics.
+//! in [`pipeline`] as an explicit four-stage chain. This module builds a
+//! [`PipelineCtx`] from an [`OpRequest`], runs the chain (once for a bare
+//! op, per-op with fail-fast for a procedure), enforces the operation
+//! timeout and records metrics.
+//!
+//! Historically every optional concern (session token, priority class,
+//! batch framing) grew its own `execute_op_*` variant; tenancy would have
+//! doubled that surface again. [`OpRequest`] replaces the whole family:
+//!
+//! ```text
+//! udr.execute(OpRequest::new(&op).session(&mut tok).tenant(id))
+//! udr.execute(OpRequest::procedure(kind, &ids).site(fe).at(now))
+//! ```
+//!
+//! The old entry points survive as `#[deprecated]` shims delegating here.
 
 use udr_model::attrs::Entry;
 use udr_model::config::TxnClass;
 use udr_model::error::{UdrError, UdrResult};
+use udr_model::identity::IdentitySet;
 use udr_model::ids::{SeId, SiteId};
+use udr_model::procedures::ProcedureKind;
 use udr_model::qos::PriorityClass;
 use udr_model::session::SessionToken;
+use udr_model::tenant::{Capability, TenantId};
 use udr_model::time::SimDuration;
 use udr_model::time::SimTime;
 
 use udr_ldap::{FrameCursor, LdapOp};
 
 use crate::pipeline::{self, LatencyBreakdown, PipelineCtx};
+use crate::procedures::{procedure_ops, ProcedureOutcome};
 use crate::udr::Udr;
 
 /// Result of one end-to-end operation.
@@ -55,14 +72,281 @@ impl OpOutcome {
     }
 }
 
+/// What an [`OpRequest`] executes: a single LDAP operation or a whole
+/// network procedure (its LDAP sequence, run fail-fast).
+#[derive(Debug)]
+pub enum OpPayload<'a> {
+    /// One LDAP operation.
+    Op(&'a LdapOp),
+    /// One 3GPP network procedure for a subscriber.
+    Procedure {
+        /// The procedure to run.
+        kind: ProcedureKind,
+        /// The subscriber's identities.
+        ids: &'a IdentitySet,
+    },
+}
+
+/// One request against the UDR, with every optional concern as a builder
+/// method instead of a positional parameter. Consumed by
+/// [`Udr::execute`] — the single non-deprecated entry point.
+///
+/// Defaults: [`TxnClass::FrontEnd`], site 0, `t = 0`, no session, no
+/// frame, [`TenantId::DEFAULT`], priority derived from the payload (the
+/// deployment's procedure→class mapping, or the transaction-class
+/// fallback for bare ops), capability derived from the payload (the
+/// procedure's own capability, or direct-read/direct-write for bare ops).
+#[derive(Debug)]
+pub struct OpRequest<'a> {
+    payload: OpPayload<'a>,
+    class: TxnClass,
+    priority: Option<PriorityClass>,
+    site: SiteId,
+    at: SimTime,
+    session: Option<&'a mut SessionToken>,
+    frame: Option<&'a mut FrameCursor>,
+    tenant: TenantId,
+    capability: Option<Capability>,
+}
+
+impl<'a> OpRequest<'a> {
+    /// A request executing one LDAP operation.
+    pub fn new(op: &'a LdapOp) -> Self {
+        OpRequest {
+            payload: OpPayload::Op(op),
+            class: TxnClass::FrontEnd,
+            priority: None,
+            site: SiteId(0),
+            at: SimTime::ZERO,
+            session: None,
+            frame: None,
+            tenant: TenantId::DEFAULT,
+            capability: None,
+        }
+    }
+
+    /// A request running one network procedure for a subscriber.
+    pub fn procedure(kind: ProcedureKind, ids: &'a IdentitySet) -> Self {
+        OpRequest {
+            payload: OpPayload::Procedure { kind, ids },
+            class: TxnClass::FrontEnd,
+            priority: None,
+            site: SiteId(0),
+            at: SimTime::ZERO,
+            session: None,
+            frame: None,
+            tenant: TenantId::DEFAULT,
+            capability: None,
+        }
+    }
+
+    /// Set the issuing transaction class (FE or PS).
+    #[must_use]
+    pub fn class(mut self, class: TxnClass) -> Self {
+        self.class = class;
+        self
+    }
+
+    /// Override the QoS priority class (the default derives it from the
+    /// payload).
+    #[must_use]
+    pub fn priority(mut self, priority: PriorityClass) -> Self {
+        self.priority = Some(priority);
+        self
+    }
+
+    /// Set the site the issuing client is attached to.
+    #[must_use]
+    pub fn site(mut self, site: SiteId) -> Self {
+        self.site = site;
+        self
+    }
+
+    /// Set the arrival instant at the PoA.
+    #[must_use]
+    pub fn at(mut self, at: SimTime) -> Self {
+        self.at = at;
+        self
+    }
+
+    /// Attach the client's session-consistency token (session-consistent
+    /// reads honour it; writes and reads raise its floors).
+    #[must_use]
+    pub fn session(mut self, session: &'a mut SessionToken) -> Self {
+        self.session = Some(session);
+        self
+    }
+
+    /// Attach an open framed-batch cursor (§3.3.3 bulk provisioning):
+    /// ops landing on a station the frame already covers skip the
+    /// per-message framing share of their service time. Admission,
+    /// routing and results stay per-op — the frame changes cost, never
+    /// semantics.
+    #[must_use]
+    pub fn framed(mut self, frame: &'a mut FrameCursor) -> Self {
+        self.frame = Some(frame);
+        self
+    }
+
+    /// Set the issuing tenant (default: [`TenantId::DEFAULT`], the
+    /// single-operator deployment).
+    #[must_use]
+    pub fn tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// Override the capability the request exercises (the default derives
+    /// it from the payload; provisioning flows pass their
+    /// [`Capability::Provisioning`] here).
+    #[must_use]
+    pub fn capability(mut self, capability: Capability) -> Self {
+        self.capability = Some(capability);
+        self
+    }
+}
+
+/// Result of [`Udr::execute`]: an [`OpOutcome`] for a bare-op request, a
+/// [`ProcedureOutcome`] for a procedure request.
+#[derive(Debug, Clone)]
+pub enum ExecOutcome {
+    /// The request executed one LDAP operation.
+    Op(OpOutcome),
+    /// The request ran one network procedure.
+    Procedure(ProcedureOutcome),
+}
+
+impl ExecOutcome {
+    /// The bare-op outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the request ran a procedure.
+    pub fn into_op(self) -> OpOutcome {
+        match self {
+            ExecOutcome::Op(out) => out,
+            ExecOutcome::Procedure(_) => panic!("request ran a procedure, not a bare op"),
+        }
+    }
+
+    /// The procedure outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the request executed a bare op.
+    pub fn into_procedure(self) -> ProcedureOutcome {
+        match self {
+            ExecOutcome::Procedure(out) => out,
+            ExecOutcome::Op(_) => panic!("request executed a bare op, not a procedure"),
+        }
+    }
+
+    /// Whether the request succeeded end-to-end.
+    pub fn is_ok(&self) -> bool {
+        match self {
+            ExecOutcome::Op(out) => out.is_ok(),
+            ExecOutcome::Procedure(out) => out.success,
+        }
+    }
+
+    /// End-to-end latency (sum of operation latencies for a procedure).
+    pub fn latency(&self) -> SimDuration {
+        match self {
+            ExecOutcome::Op(out) => out.latency,
+            ExecOutcome::Procedure(out) => out.latency,
+        }
+    }
+}
+
 impl Udr {
+    /// Execute one request — the single entry point for client work.
+    ///
+    /// A bare-op request traverses the
+    /// [`AccessStage → LocationStage → ReplicationStage → StorageStage`](crate::pipeline)
+    /// chain once; a procedure request runs its LDAP sequence through the
+    /// same chain sequentially, failing fast on the first failed
+    /// operation (the network procedure would be aborted). Either way the
+    /// wrapper drains internal events up to the arrival instant first,
+    /// applies the §2.3 operation timeout per op, and records run
+    /// metrics (including the per-tenant view).
+    pub fn execute(&mut self, req: OpRequest<'_>) -> ExecOutcome {
+        match req.payload {
+            OpPayload::Op(op) => {
+                let priority = req
+                    .priority
+                    .unwrap_or_else(|| PriorityClass::default_for_txn(req.class));
+                let capability = req.capability.unwrap_or(if op.is_write() {
+                    Capability::DirectWrite
+                } else {
+                    Capability::DirectRead
+                });
+                ExecOutcome::Op(self.execute_one(
+                    op,
+                    req.class,
+                    priority,
+                    req.site,
+                    req.at,
+                    req.tenant,
+                    capability,
+                    req.session,
+                    req.frame,
+                ))
+            }
+            OpPayload::Procedure { kind, ids } => {
+                // Every operation of the procedure carries the procedure's
+                // QoS priority class (deployment overrides first, then the
+                // built-in telecom mapping) so admission control sheds
+                // whole procedures coherently — and the procedure's
+                // capability, so authorization does too.
+                let priority = req.priority.unwrap_or_else(|| self.cfg.qos.class_for(kind));
+                let capability = req.capability.unwrap_or(Capability::Procedure(kind));
+                let ops = procedure_ops(kind, ids, req.site);
+                let mut session = req.session;
+                let mut frame = req.frame;
+                let mut latency = SimDuration::ZERO;
+                let mut ops_ok = 0u32;
+                for op in &ops {
+                    let outcome = self.execute_one(
+                        op,
+                        req.class,
+                        priority,
+                        req.site,
+                        req.at + latency,
+                        req.tenant,
+                        capability,
+                        session.as_deref_mut(),
+                        frame.as_deref_mut(),
+                    );
+                    latency += outcome.latency;
+                    match outcome.result {
+                        Ok(_) => ops_ok += 1,
+                        Err(e) => {
+                            return ExecOutcome::Procedure(ProcedureOutcome {
+                                kind,
+                                success: false,
+                                latency,
+                                ops_ok,
+                                ops_failed: 1,
+                                failure: Some(e),
+                            })
+                        }
+                    }
+                }
+                ExecOutcome::Procedure(ProcedureOutcome {
+                    kind,
+                    success: true,
+                    latency,
+                    ops_ok,
+                    ops_failed: 0,
+                    failure: None,
+                })
+            }
+        }
+    }
+
     /// Execute one LDAP operation issued by a client of `class` attached at
     /// `client_site`, arriving at the local PoA at `now`.
-    ///
-    /// The operation traverses the
-    /// [`AccessStage → LocationStage → ReplicationStage → StorageStage`](crate::pipeline)
-    /// chain; this wrapper drains internal events up to `now` first, then
-    /// applies the §2.3 operation timeout and records run metrics.
+    #[deprecated(note = "build an OpRequest and call Udr::execute")]
     pub fn execute_op(
         &mut self,
         op: &LdapOp,
@@ -70,13 +354,12 @@ impl Udr {
         client_site: SiteId,
         now: SimTime,
     ) -> OpOutcome {
-        self.execute_op_with_session(op, class, client_site, now, None)
+        self.execute(OpRequest::new(op).class(class).site(client_site).at(now))
+            .into_op()
     }
 
-    /// [`Udr::execute_op`] for a client that maintains a
-    /// [`SessionToken`]: the token gates session-consistent replica
-    /// selection and is updated with what the operation wrote/observed.
-    /// Pass `None` for tokenless (per-operation) clients.
+    /// `execute_op` for a client that maintains a [`SessionToken`].
+    #[deprecated(note = "build an OpRequest and call Udr::execute")]
     pub fn execute_op_with_session(
         &mut self,
         op: &LdapOp,
@@ -85,15 +368,15 @@ impl Udr {
         now: SimTime,
         session: Option<&mut SessionToken>,
     ) -> OpOutcome {
-        let priority = PriorityClass::default_for_txn(class);
-        self.execute_op_prioritized(op, class, priority, client_site, now, session)
+        let mut req = OpRequest::new(op).class(class).site(client_site).at(now);
+        if let Some(session) = session {
+            req = req.session(session);
+        }
+        self.execute(req).into_op()
     }
 
-    /// [`Udr::execute_op_with_session`] with an explicit QoS priority
-    /// class (network procedures derive it from their
-    /// [`ProcedureKind`](udr_model::procedures::ProcedureKind) through
-    /// the deployment's `QosConfig`; bare ops default to the
-    /// transaction-class fallback).
+    /// `execute_op_with_session` with an explicit QoS priority class.
+    #[deprecated(note = "build an OpRequest and call Udr::execute")]
     pub fn execute_op_prioritized(
         &mut self,
         op: &LdapOp,
@@ -103,16 +386,21 @@ impl Udr {
         now: SimTime,
         session: Option<&mut SessionToken>,
     ) -> OpOutcome {
-        self.execute_op_internal(op, class, priority, client_site, now, session, None)
+        let mut req = OpRequest::new(op)
+            .class(class)
+            .priority(priority)
+            .site(client_site)
+            .at(now);
+        if let Some(session) = session {
+            req = req.session(session);
+        }
+        self.execute(req).into_op()
     }
 
-    /// [`Udr::execute_op_prioritized`] for an operation that is part of a
-    /// framed batch (§3.3.3 bulk provisioning): `frame` tracks which
-    /// stations the batch already has an open frame on, and an op landing
-    /// on one of them skips the per-message framing share of its service
-    /// time. Admission, routing and results are per-op and identical to
-    /// the unframed path — the frame changes cost, never semantics.
-    #[allow(clippy::too_many_arguments)] // mirrors execute_op_prioritized + the frame
+    /// `execute_op_prioritized` for an operation that is part of a framed
+    /// batch.
+    #[deprecated(note = "build an OpRequest and call Udr::execute")]
+    #[allow(clippy::too_many_arguments)] // mirrors the legacy signature
     pub fn execute_op_framed(
         &mut self,
         op: &LdapOp,
@@ -123,7 +411,16 @@ impl Udr {
         session: Option<&mut SessionToken>,
         frame: &mut FrameCursor,
     ) -> OpOutcome {
-        self.execute_op_internal(op, class, priority, client_site, now, session, Some(frame))
+        let mut req = OpRequest::new(op)
+            .class(class)
+            .priority(priority)
+            .site(client_site)
+            .at(now)
+            .framed(frame);
+        if let Some(session) = session {
+            req = req.session(session);
+        }
+        self.execute(req).into_op()
     }
 
     /// Execute `ops` as one framed batch arriving together at `now`: the
@@ -131,6 +428,7 @@ impl Udr {
     /// ([`udr_ldap::FramedBatch`]) and comes back as per-op results, in
     /// order. Each op is admitted, routed and accounted individually;
     /// ops after the first on a station amortise the framing share.
+    #[deprecated(note = "share one FrameCursor across OpRequest::framed calls to Udr::execute")]
     pub fn execute_op_batch(
         &mut self,
         ops: &[LdapOp],
@@ -138,41 +436,44 @@ impl Udr {
         client_site: SiteId,
         now: SimTime,
     ) -> Vec<OpOutcome> {
-        let priority = PriorityClass::default_for_txn(class);
         let mut frame = FrameCursor::new();
         ops.iter()
             .map(|op| {
-                self.execute_op_internal(
-                    op,
-                    class,
-                    priority,
-                    client_site,
-                    now,
-                    None,
-                    Some(&mut frame),
+                self.execute(
+                    OpRequest::new(op)
+                        .class(class)
+                        .site(client_site)
+                        .at(now)
+                        .framed(&mut frame),
                 )
+                .into_op()
             })
             .collect()
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn execute_op_internal(
+    fn execute_one(
         &mut self,
         op: &LdapOp,
         class: TxnClass,
         priority: PriorityClass,
         client_site: SiteId,
         now: SimTime,
+        tenant: TenantId,
+        capability: Capability,
         session: Option<&mut SessionToken>,
         frame: Option<&mut FrameCursor>,
     ) -> OpOutcome {
         self.advance_to(now);
         let timeout = self.cfg.frash.op_timeout;
 
-        let span = self.tracer.begin_op(op_trace_name(op), now);
+        let span =
+            self.tracer
+                .begin_op_with(op_trace_name(op), now, Some(format!("tenant={tenant}")));
         let mut ctx = PipelineCtx::new(op, class, client_site, now)
             .with_session(session)
             .with_priority(priority)
+            .with_tenant(tenant, capability)
             .with_frame(frame)
             .with_trace(span);
         let mut outcome = pipeline::run(self, &mut ctx);
@@ -181,7 +482,7 @@ impl Udr {
             outcome = OpOutcome::fail(UdrError::Timeout, timeout);
             outcome.breakdown = breakdown;
         }
-        self.record_op_metrics(class, priority, &outcome);
+        self.record_op_metrics(class, priority, tenant, &outcome);
         if span.is_active() {
             self.tracer
                 .end_op(outcome.latency, outcome_trace_status(&outcome));
@@ -190,14 +491,33 @@ impl Udr {
     }
 
     /// Record run metrics for one finished operation — shared by the
-    /// per-op and framed entry points so both paths account identically.
-    fn record_op_metrics(&mut self, class: TxnClass, priority: PriorityClass, outcome: &OpOutcome) {
+    /// per-op and framed paths so both account identically. The tenant ×
+    /// class matrix mirrors the class counters, except that a
+    /// [`UdrError::Forbidden`] denial is counted *only* as forbidden:
+    /// it never entered the QoS domain, so it must not read as offered
+    /// load or shed traffic anywhere.
+    fn record_op_metrics(
+        &mut self,
+        class: TxnClass,
+        priority: PriorityClass,
+        tenant: TenantId,
+        outcome: &OpOutcome,
+    ) {
+        if let Err(UdrError::Forbidden { .. }) = &outcome.result {
+            self.metrics.qos.record_tenant_forbidden(tenant);
+            self.metrics.ops_mut(class).other_failure();
+            return;
+        }
         self.metrics.qos.record_offered(priority);
+        self.metrics.qos.record_tenant_offered(tenant, priority);
         match &outcome.result {
             Ok(_) => {
                 self.metrics.ops_mut(class).success();
                 self.metrics.latency_mut(class).record(outcome.latency);
                 self.metrics.qos.record_completed(priority, outcome.latency);
+                self.metrics
+                    .qos
+                    .record_tenant_completed(tenant, priority, outcome.latency);
                 if outcome.served_by.is_some() {
                     if outcome.crossed_backbone {
                         self.metrics.backbone_ops += 1;
@@ -212,13 +532,16 @@ impl Udr {
                 }
                 if let UdrError::Shed { class, reason } = e {
                     self.metrics.qos.record_shed(*class, *reason);
+                    self.metrics.qos.record_tenant_shed(tenant, *class, *reason);
                 } else {
                     self.metrics.qos.record_failed(priority);
+                    self.metrics.qos.record_tenant_failed(tenant, priority);
                 }
                 self.metrics.ops_mut(class).availability_failure();
             }
             Err(_) => {
                 self.metrics.qos.record_failed(priority);
+                self.metrics.qos.record_tenant_failed(tenant, priority);
                 self.metrics.ops_mut(class).other_failure();
             }
         }
@@ -264,6 +587,7 @@ fn outcome_trace_status(outcome: &OpOutcome) -> &'static str {
             UdrError::Timeout => "timeout",
             UdrError::Overload => "overload",
             UdrError::Shed { .. } => "shed",
+            UdrError::Forbidden { .. } => "forbidden",
             UdrError::Config(_) => "config",
         },
     }

@@ -32,8 +32,9 @@ use udr_model::config::{ReadPolicy, ReplicationMode, TxnClass};
 use udr_model::error::{UdrError, UdrResult};
 use udr_model::identity::Identity;
 use udr_model::ids::{PartitionId, ReplicaRole, SeId, SiteId, SubscriberUid};
-use udr_model::qos::PriorityClass;
+use udr_model::qos::{PriorityClass, ShedReason};
 use udr_model::session::{RawLsn, SessionToken};
+use udr_model::tenant::{Capability, TenantId};
 use udr_model::time::{SimDuration, SimTime};
 use udr_replication::quorum::quorum_write;
 use udr_replication::Enqueue;
@@ -47,7 +48,7 @@ use crate::udr::{Udr, UdrEvent};
 ///
 /// Components always sum to [`OpOutcome::latency`] except when the
 /// operation was failed by the timeout clamp in
-/// [`Udr::execute_op`](crate::Udr::execute_op), where the breakdown keeps
+/// [`Udr::execute`](crate::Udr::execute), where the breakdown keeps
 /// the attempt's decomposition while the reported latency is the timeout.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LatencyBreakdown {
@@ -83,6 +84,14 @@ pub struct PipelineCtx<'a> {
     pub client_site: SiteId,
     /// Arrival instant at the PoA.
     pub now: SimTime,
+    /// Operator the issuing front-end belongs to. Defaults to
+    /// [`TenantId::DEFAULT`] — the single-operator deployment.
+    pub tenant: TenantId,
+    /// The capability this operation exercises; what the access stage's
+    /// mask AND authorizes. Defaults to the bare direct-read/direct-write
+    /// capability of the op itself; procedure drivers override it with
+    /// the procedure's capability.
+    pub capability: Capability,
     /// The issuing client session's consistency token, when the client
     /// maintains one. Consulted by session-consistent replica selection
     /// and updated with what the operation wrote/observed.
@@ -139,6 +148,12 @@ impl<'a> PipelineCtx<'a> {
             priority: PriorityClass::default_for_txn(class),
             client_site,
             now,
+            tenant: TenantId::DEFAULT,
+            capability: if op.is_write() {
+                Capability::DirectWrite
+            } else {
+                Capability::DirectRead
+            },
             session: None,
             breakdown: LatencyBreakdown::default(),
             span: SpanCtx::NONE,
@@ -170,9 +185,18 @@ impl<'a> PipelineCtx<'a> {
     }
 
     /// Attach an open framed-batch cursor (see
-    /// [`Udr::execute_op_framed`](crate::Udr::execute_op_framed)).
+    /// [`OpRequest::framed`](crate::OpRequest::framed)).
     pub fn with_frame(mut self, frame: Option<&'a mut FrameCursor>) -> Self {
         self.frame = frame;
+        self
+    }
+
+    /// Set the issuing tenant and the capability the operation exercises
+    /// (procedure drivers pass the procedure's capability; the default is
+    /// the op's own direct-read/direct-write).
+    pub fn with_tenant(mut self, tenant: TenantId, capability: Capability) -> Self {
+        self.tenant = tenant;
+        self.capability = capability;
         self
     }
 
@@ -203,7 +227,7 @@ impl<'a> PipelineCtx<'a> {
 
 /// Run the full chain against a deployment.
 ///
-/// [`Udr::execute_op`](crate::Udr::execute_op) is the normal entry point
+/// [`Udr::execute`](crate::Udr::execute) is the normal entry point
 /// (it drains events, applies the operation timeout and records metrics);
 /// drive this directly when you need the raw stage outcome — e.g. to run
 /// stages against a partially-built context in tests or future
@@ -331,6 +355,55 @@ impl AccessStage {
             return Err(ctx.fail(UdrError::Overload));
         };
         ctx.server_site = udr.clusters[ctx.cluster_idx].site;
+
+        // Admission-time authorization: one dense-table index plus one
+        // branch-free mask AND against the tenant's capability bitmask,
+        // *before* any QoS accounting. A denial is a policy verdict, not
+        // a load condition: it is typed [`UdrError::Forbidden`], never
+        // counted as shed, and never retried.
+        if !udr.cfg.tenants.allows(ctx.tenant, ctx.capability) {
+            if ctx.span.is_active() && udr.tracer.enabled() {
+                udr.tracer.instant(
+                    ctx.span.trace,
+                    ctx.span.span,
+                    "auth.forbidden",
+                    ctx.now + ctx.breakdown.total(),
+                    Some(format!(
+                        "tenant={} capability={}",
+                        ctx.tenant, ctx.capability
+                    )),
+                );
+            }
+            return Err(ctx.fail(UdrError::Forbidden {
+                tenant: ctx.tenant,
+                capability: ctx.capability,
+            }));
+        }
+
+        // Per-tenant rate budget: the authorized tenant spends from its
+        // own per-class buckets, isolated — no downward borrowing and no
+        // lending across tenants — so one tenant's storm exhausts only
+        // its own budget. Cluster-level CoDel shedding below stays
+        // shared: it protects the deployment, this protects the
+        // neighbours.
+        udr.sync_tenant_buckets();
+        if let Some(buckets) = udr.tenant_bucket_mut(ctx.tenant) {
+            if !buckets.admit_isolated(ctx.priority, ctx.now) {
+                if ctx.span.is_active() && udr.tracer.enabled() {
+                    udr.tracer.instant(
+                        ctx.span.trace,
+                        ctx.span.span,
+                        "qos.tenant_shed",
+                        ctx.now + ctx.breakdown.total(),
+                        Some(format!("tenant={} class={}", ctx.tenant, ctx.priority)),
+                    );
+                }
+                return Err(ctx.fail(UdrError::Shed {
+                    class: ctx.priority,
+                    reason: ShedReason::RateLimit,
+                }));
+            }
+        }
 
         // QoS admission: the controller sees the queueing delay the
         // picked server would impose and sheds the lowest classes first

@@ -7,7 +7,6 @@
 
 use udr_ldap::{Dn, LdapOp};
 use udr_model::attrs::{AttrId, AttrMod, AttrValue};
-use udr_model::config::TxnClass;
 use udr_model::error::UdrError;
 use udr_model::identity::{Identity, IdentitySet};
 use udr_model::ids::SiteId;
@@ -15,6 +14,7 @@ use udr_model::procedures::ProcedureKind;
 use udr_model::session::SessionToken;
 use udr_model::time::{SimDuration, SimTime};
 
+use crate::ops::OpRequest;
 use crate::udr::Udr;
 
 /// Result of one network procedure run.
@@ -127,6 +127,7 @@ pub fn procedure_ops(kind: ProcedureKind, ids: &IdentitySet, fe_site: SiteId) ->
 impl Udr {
     /// Run one network procedure for a subscriber from an application
     /// front-end at `fe_site`, starting at `now`.
+    #[deprecated(note = "build an OpRequest::procedure and call Udr::execute")]
     pub fn run_procedure(
         &mut self,
         kind: ProcedureKind,
@@ -134,61 +135,26 @@ impl Udr {
         fe_site: SiteId,
         now: SimTime,
     ) -> ProcedureOutcome {
-        self.run_procedure_with_session(kind, ids, fe_site, now, None)
+        self.execute(OpRequest::procedure(kind, ids).site(fe_site).at(now))
+            .into_procedure()
     }
 
-    /// [`Udr::run_procedure`] for a subscriber whose front-end signalling
-    /// maintains a [`SessionToken`]: every operation of the procedure
-    /// carries the token (session-consistent reads honour it, writes and
-    /// reads raise its floors). Pass `None` for tokenless subscribers.
+    /// `run_procedure` for a subscriber whose front-end signalling
+    /// maintains a [`SessionToken`].
+    #[deprecated(note = "build an OpRequest::procedure and call Udr::execute")]
     pub fn run_procedure_with_session(
         &mut self,
         kind: ProcedureKind,
         ids: &IdentitySet,
         fe_site: SiteId,
         now: SimTime,
-        mut session: Option<&mut SessionToken>,
+        session: Option<&mut SessionToken>,
     ) -> ProcedureOutcome {
-        let ops = procedure_ops(kind, ids, fe_site);
-        // Every operation of the procedure carries the procedure's QoS
-        // priority class (deployment overrides first, then the built-in
-        // telecom mapping) so admission control sheds whole procedures
-        // coherently.
-        let priority = self.cfg.qos.class_for(kind);
-        let mut latency = SimDuration::ZERO;
-        let mut ops_ok = 0u32;
-        for op in &ops {
-            let outcome = self.execute_op_prioritized(
-                op,
-                TxnClass::FrontEnd,
-                priority,
-                fe_site,
-                now + latency,
-                session.as_deref_mut(),
-            );
-            latency += outcome.latency;
-            match outcome.result {
-                Ok(_) => ops_ok += 1,
-                Err(e) => {
-                    return ProcedureOutcome {
-                        kind,
-                        success: false,
-                        latency,
-                        ops_ok,
-                        ops_failed: 1,
-                        failure: Some(e),
-                    }
-                }
-            }
+        let mut req = OpRequest::procedure(kind, ids).site(fe_site).at(now);
+        if let Some(session) = session {
+            req = req.session(session);
         }
-        ProcedureOutcome {
-            kind,
-            success: true,
-            latency,
-            ops_ok,
-            ops_failed: 0,
-            failure: None,
-        }
+        self.execute(req).into_procedure()
     }
 }
 

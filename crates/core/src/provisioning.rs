@@ -16,10 +16,12 @@ use udr_model::config::TxnClass;
 use udr_model::error::UdrError;
 use udr_model::identity::{Identity, IdentitySet};
 use udr_model::ids::{PartitionId, SiteId, SubscriberUid};
+use udr_model::procedures::ProvisioningKind;
 use udr_model::profile::SubscriberProfile;
+use udr_model::tenant::Capability;
 use udr_model::time::{SimDuration, SimTime};
 
-use crate::ops::OpOutcome;
+use crate::ops::{OpOutcome, OpRequest};
 use crate::udr::Udr;
 
 /// Result of provisioning one subscription.
@@ -114,7 +116,13 @@ impl Udr {
             dn: Dn::for_identity(ids.imsi.into()),
             entry: profile.into_entry(),
         };
-        let outcome = self.execute_provisioning(&op, ps_site, now, frame);
+        let outcome = self.execute_provisioning(
+            &op,
+            ProvisioningKind::CreateSubscription,
+            ps_site,
+            now,
+            frame,
+        );
 
         if outcome.is_ok() {
             self.subs_per_partition[partition.index()] += 1;
@@ -155,7 +163,7 @@ impl Udr {
             dn: Dn::for_identity(*identity),
             mods,
         };
-        self.execute_provisioning(&op, ps_site, now, None)
+        self.execute_provisioning(&op, ProvisioningKind::ModifyServices, ps_site, now, None)
     }
 
     /// [`Udr::modify_services`] as part of a framed batch (see
@@ -172,29 +180,35 @@ impl Udr {
             dn: Dn::for_identity(*identity),
             mods,
         };
-        self.execute_provisioning(&op, ps_site, now, Some(frame))
+        self.execute_provisioning(
+            &op,
+            ProvisioningKind::ModifyServices,
+            ps_site,
+            now,
+            Some(frame),
+        )
     }
 
     /// Dispatch one provisioning op, framed when a batch frame is open.
+    /// The op exercises the flow's [`Capability::Provisioning`], so
+    /// tenant authorization treats the whole flow as one capability.
     fn execute_provisioning(
         &mut self,
         op: &LdapOp,
+        kind: ProvisioningKind,
         ps_site: SiteId,
         now: SimTime,
         frame: Option<&mut FrameCursor>,
     ) -> OpOutcome {
-        match frame {
-            Some(frame) => self.execute_op_framed(
-                op,
-                TxnClass::Provisioning,
-                udr_model::qos::PriorityClass::default_for_txn(TxnClass::Provisioning),
-                ps_site,
-                now,
-                None,
-                frame,
-            ),
-            None => self.execute_op(op, TxnClass::Provisioning, ps_site, now),
+        let mut req = OpRequest::new(op)
+            .class(TxnClass::Provisioning)
+            .site(ps_site)
+            .at(now)
+            .capability(Capability::Provisioning(kind));
+        if let Some(frame) = frame {
+            req = req.framed(frame);
         }
+        self.execute(req).into_op()
     }
 
     /// Run a filtered search (the §1/§2.2 business-intelligence query
@@ -214,7 +228,8 @@ impl Udr {
             filter,
             attrs,
         };
-        self.execute_op(&op, TxnClass::FrontEnd, from_site, now)
+        self.execute(OpRequest::new(&op).site(from_site).at(now))
+            .into_op()
     }
 
     /// Delete a subscription and all its identity bindings.
@@ -229,7 +244,13 @@ impl Udr {
         let op = LdapOp::Delete {
             dn: Dn::for_identity(identity),
         };
-        let outcome = self.execute_op(&op, TxnClass::Provisioning, ps_site, now);
+        let outcome = self.execute_provisioning(
+            &op,
+            ProvisioningKind::DeleteSubscription,
+            ps_site,
+            now,
+            None,
+        );
         if outcome.is_ok() {
             for identity in ids.iter() {
                 self.authority.remove(&identity);

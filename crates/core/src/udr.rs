@@ -17,8 +17,10 @@ use udr_ldap::{LdapServer, PointOfAccess};
 use udr_model::config::{DurabilityMode, LocatorKind, Pacelc, ReplicationMode, TxnClass};
 use udr_model::error::UdrResult;
 use udr_model::ids::{ClusterId, LdapServerId, PartitionId, PoaId, ReplicaRole, SeId, SiteId};
+use udr_model::qos::PriorityClass;
+use udr_model::tenant::{TenantDirectory, TenantGrant, TenantId};
 use udr_model::time::{SimDuration, SimTime};
-use udr_qos::AdmissionController;
+use udr_qos::{AdmissionController, ClassBuckets, TokenBucket};
 use udr_replication::multimaster::{merge_branches, restoration_duration};
 use udr_replication::{AsyncShipper, MigrationChannel, MigrationState, ReplicationGroup};
 use udr_sim::faults::{Fault, FaultSchedule, FaultScript};
@@ -245,6 +247,14 @@ pub struct Udr {
     pub(crate) clusters: Vec<Cluster>,
     /// Per-cluster QoS admission controllers (parallel to `clusters`).
     pub(crate) qos: Vec<AdmissionController>,
+    /// Per-tenant rate-budget buckets (parallel to the tenant directory;
+    /// deployment-wide, not per-cluster — the budget is the tenant's
+    /// contractual spend on the whole UDR). Rebuilt lazily whenever the
+    /// directory's epoch moves, so mid-run grant/revoke/budget changes
+    /// take effect on the next operation.
+    pub(crate) tenant_buckets: Vec<ClassBuckets>,
+    /// Directory epoch `tenant_buckets` was derived from.
+    pub(crate) tenant_buckets_epoch: u64,
     pub(crate) servers: Vec<LdapServer>,
     pub(crate) groups: Vec<ReplicationGroup>,
     pub(crate) shippers: Vec<AsyncShipper>,
@@ -445,6 +455,8 @@ impl Udr {
 
         let sites = cfg.sites as usize;
         let qos = clusters.iter().map(|_| cfg.qos.controller()).collect();
+        let tenant_buckets = Self::build_tenant_buckets(&cfg.tenants);
+        let tenant_buckets_epoch = cfg.tenants.epoch();
         let tracer = Tracer::new(cfg.trace);
         Ok(Udr {
             subs_per_partition: vec![0; cfg.partitions as usize],
@@ -457,6 +469,8 @@ impl Udr {
             ses,
             clusters,
             qos,
+            tenant_buckets,
+            tenant_buckets_epoch,
             servers,
             groups,
             shippers,
@@ -1341,6 +1355,63 @@ impl Udr {
     /// shedding/degradation state through this).
     pub fn qos_controller(&self, idx: usize) -> &AdmissionController {
         &self.qos[idx]
+    }
+
+    /// The tenant directory this deployment authorizes against.
+    pub fn tenant_directory(&self) -> &TenantDirectory {
+        &self.cfg.tenants
+    }
+
+    /// Mutate the tenant directory at runtime (grant/revoke/budget
+    /// changes). Every mutation bumps the directory epoch, which makes
+    /// the pipeline rebuild the derived rate-budget buckets before the
+    /// next operation — a revocation takes effect immediately.
+    pub fn tenant_directory_mut(&mut self) -> &mut TenantDirectory {
+        &mut self.cfg.tenants
+    }
+
+    /// Materialize per-tenant [`ClassBuckets`] from the directory's
+    /// budget entries (tenants without budgets get an unlimited stack).
+    fn build_tenant_buckets(dir: &TenantDirectory) -> Vec<ClassBuckets> {
+        dir.tenants()
+            .map(|tenant| {
+                let mut buckets = ClassBuckets::unlimited();
+                if let Some(grant) = dir.grant_of(tenant) {
+                    for class in PriorityClass::ALL {
+                        if let Some(budget) = grant.budget(class) {
+                            buckets.set(class, TokenBucket::new(budget.rate, budget.burst));
+                        }
+                    }
+                }
+                buckets
+            })
+            .collect()
+    }
+
+    /// Rebuild the derived per-tenant buckets when the directory's epoch
+    /// moved (no-op — one integer compare — on the hot path otherwise).
+    pub(crate) fn sync_tenant_buckets(&mut self) {
+        let epoch = self.cfg.tenants.epoch();
+        if epoch != self.tenant_buckets_epoch {
+            self.tenant_buckets = Self::build_tenant_buckets(&self.cfg.tenants);
+            self.tenant_buckets_epoch = epoch;
+        }
+    }
+
+    /// The rate-budget buckets of `tenant`; `None` when the tenant has no
+    /// budget on any class (the common uncapped case skips bucket work
+    /// entirely).
+    pub(crate) fn tenant_bucket_mut(&mut self, tenant: TenantId) -> Option<&mut ClassBuckets> {
+        let has_budgets = self
+            .cfg
+            .tenants
+            .grant_of(tenant)
+            .is_some_and(TenantGrant::has_budgets);
+        if has_budgets {
+            self.tenant_buckets.get_mut(tenant.index())
+        } else {
+            None
+        }
     }
 
     /// Number of clusters.

@@ -2,7 +2,7 @@
 //! must converge replicas exactly like per-record shipping, survive
 //! partitions via catch-up, and stay deterministic under a fixed seed.
 
-use udr_core::{Udr, UdrConfig};
+use udr_core::{OpRequest, Udr, UdrConfig};
 use udr_ldap::{Dn, LdapOp};
 use udr_model::attrs::{AttrId, AttrMod, AttrValue};
 use udr_model::config::{ReadPolicy, ReplicationMode, TxnClass};
@@ -66,19 +66,28 @@ fn read_op(subscriber: &IdentitySet) -> LdapOp {
 fn campaign(batch: ShipBatchConfig, seed: u64) -> (Option<u64>, u64, u64, u64) {
     let (mut udr, subs) = build(batch, seed);
     for i in 0..10u64 {
-        let out = udr.execute_op(
-            &write_op(&subs[0], 100 + i),
-            TxnClass::FrontEnd,
-            SiteId(0),
-            t(10) + SimDuration::from_millis(i * 3),
-        );
+        let out = udr
+            .execute(
+                OpRequest::new(&write_op(&subs[0], 100 + i))
+                    .class(TxnClass::FrontEnd)
+                    .site(SiteId(0))
+                    .at(t(10) + SimDuration::from_millis(i * 3)),
+            )
+            .into_op();
         assert!(out.is_ok(), "write {i} failed: {:?}", out.result);
     }
     udr.advance_to(t(20));
     assert!(udr.replication_settled(), "replication did not settle");
     // Read from a remote site: NearestCopy serves the local slave, which
     // must have applied the batched stream.
-    let out = udr.execute_op(&read_op(&subs[0]), TxnClass::FrontEnd, SiteId(2), t(21));
+    let out = udr
+        .execute(
+            OpRequest::new(&read_op(&subs[0]))
+                .class(TxnClass::FrontEnd)
+                .site(SiteId(2))
+                .at(t(21)),
+        )
+        .into_op();
     assert!(out.is_ok(), "remote read failed: {:?}", out.result);
     let value = out
         .result
@@ -146,12 +155,14 @@ fn batches_dropped_by_partition_are_reshipped() {
         [SiteId(2)],
     ));
     for i in 0..6u64 {
-        let out = udr.execute_op(
-            &write_op(&subs[0], 200 + i),
-            TxnClass::FrontEnd,
-            SiteId(0),
-            t(12) + SimDuration::from_millis(i * 5),
-        );
+        let out = udr
+            .execute(
+                OpRequest::new(&write_op(&subs[0], 200 + i))
+                    .class(TxnClass::FrontEnd)
+                    .site(SiteId(0))
+                    .at(t(12) + SimDuration::from_millis(i * 5)),
+            )
+            .into_op();
         assert!(out.is_ok(), "write under cut failed: {:?}", out.result);
     }
     udr.advance_to(t(15));
@@ -160,7 +171,14 @@ fn batches_dropped_by_partition_are_reshipped() {
     // the suffix from the log.
     udr.advance_to(t(25));
     assert!(udr.replication_settled(), "did not settle after heal");
-    let out = udr.execute_op(&read_op(&subs[0]), TxnClass::FrontEnd, SiteId(2), t(26));
+    let out = udr
+        .execute(
+            OpRequest::new(&read_op(&subs[0]))
+                .class(TxnClass::FrontEnd)
+                .site(SiteId(2))
+                .at(t(26)),
+        )
+        .into_op();
     let value = out
         .result
         .as_ref()

@@ -3,7 +3,7 @@
 //! (one-way loss, WAN brown-outs) degrade without partitioning, and the
 //! deployment measurably re-converges after heal.
 
-use udr_core::{Udr, UdrConfig};
+use udr_core::{OpRequest, Udr, UdrConfig};
 use udr_ldap::{Dn, LdapOp};
 use udr_model::attrs::{AttrId, AttrMod, AttrValue};
 use udr_model::config::{ReadPolicy, ReplicationMode, TxnClass};
@@ -95,7 +95,14 @@ fn async_cross_cut_write_fails_typed() {
     cut_site2(&mut udr);
     // Sub homed at site 2 written from site 0: the master sits on the far
     // side of the cut.
-    let out = udr.execute_op(&write_op(&subs[2], 7), TxnClass::FrontEnd, SiteId(0), t(15));
+    let out = udr
+        .execute(
+            OpRequest::new(&write_op(&subs[2], 7))
+                .class(TxnClass::FrontEnd)
+                .site(SiteId(0))
+                .at(t(15)),
+        )
+        .into_op();
     let err = out.result.unwrap_err();
     assert!(
         err.is_partition_induced(),
@@ -114,7 +121,14 @@ fn sync_modes_fail_replication_typed_during_cut() {
         cut_site2(&mut udr);
         // Written at its home site: the master commits locally but the
         // replication requirement reaches across the cut.
-        let out = udr.execute_op(&write_op(&subs[2], 9), TxnClass::FrontEnd, SiteId(2), t(15));
+        let out = udr
+            .execute(
+                OpRequest::new(&write_op(&subs[2], 9))
+                    .class(TxnClass::FrontEnd)
+                    .site(SiteId(2))
+                    .at(t(15)),
+            )
+            .into_op();
         let err = out.result.unwrap_err();
         assert!(
             matches!(err, UdrError::ReplicationFailed { .. }),
@@ -129,7 +143,14 @@ fn sync_modes_fail_replication_typed_during_cut() {
 fn master_only_cross_cut_read_fails_typed() {
     let (mut udr, subs) = build(ReplicationMode::MultiMaster, ReadPolicy::MasterOnly, 17);
     cut_site2(&mut udr);
-    let out = udr.execute_op(&read_op(&subs[2]), TxnClass::FrontEnd, SiteId(0), t(15));
+    let out = udr
+        .execute(
+            OpRequest::new(&read_op(&subs[2]))
+                .class(TxnClass::FrontEnd)
+                .site(SiteId(0))
+                .at(t(15)),
+        )
+        .into_op();
     let err = out.result.unwrap_err();
     assert!(
         err.is_partition_induced(),
@@ -139,7 +160,14 @@ fn master_only_cross_cut_read_fails_typed() {
     // the AP half of the same deployment.
     let (mut udr, subs) = build(ReplicationMode::MultiMaster, ReadPolicy::NearestCopy, 17);
     cut_site2(&mut udr);
-    let out = udr.execute_op(&read_op(&subs[2]), TxnClass::FrontEnd, SiteId(0), t(15));
+    let out = udr
+        .execute(
+            OpRequest::new(&read_op(&subs[2]))
+                .class(TxnClass::FrontEnd)
+                .site(SiteId(0))
+                .at(t(15)),
+        )
+        .into_op();
     assert!(out.is_ok(), "nearest-copy read failed: {:?}", out.result);
 }
 
@@ -161,17 +189,38 @@ fn one_way_loss_is_grey_not_partitioned() {
     assert!(udr.net.reachable(SiteId(2), SiteId(0)));
     // Crossing the bad direction times out — a grey failure, not a typed
     // partition (failure detectors cannot see it either).
-    let out = udr.execute_op(&write_op(&subs[0], 3), TxnClass::FrontEnd, SiteId(2), t(15));
+    let out = udr
+        .execute(
+            OpRequest::new(&write_op(&subs[0], 3))
+                .class(TxnClass::FrontEnd)
+                .site(SiteId(2))
+                .at(t(15)),
+        )
+        .into_op();
     let err = out.result.unwrap_err();
     assert!(matches!(err, UdrError::Timeout), "got {err:?}");
     assert!(!err.is_partition_induced());
     // Local reads on the lossy island still serve.
-    let out = udr.execute_op(&read_op(&subs[2]), TxnClass::FrontEnd, SiteId(2), t(16));
+    let out = udr
+        .execute(
+            OpRequest::new(&read_op(&subs[2]))
+                .class(TxnClass::FrontEnd)
+                .site(SiteId(2))
+                .at(t(16)),
+        )
+        .into_op();
     assert!(out.is_ok());
     // The window clears on schedule.
     udr.advance_to(t(31));
     assert!(!udr.net.degraded());
-    let out = udr.execute_op(&write_op(&subs[0], 4), TxnClass::FrontEnd, SiteId(2), t(32));
+    let out = udr
+        .execute(
+            OpRequest::new(&write_op(&subs[0], 4))
+                .class(TxnClass::FrontEnd)
+                .site(SiteId(2))
+                .at(t(32)),
+        )
+        .into_op();
     assert!(out.is_ok(), "post-heal write failed: {:?}", out.result);
 }
 
@@ -189,9 +238,23 @@ fn wan_degrade_stretches_remote_reads() {
         0.0,
     ));
     // Remote master-only read during the brown-out vs after it.
-    let slow = udr.execute_op(&read_op(&subs[2]), TxnClass::FrontEnd, SiteId(0), t(15));
+    let slow = udr
+        .execute(
+            OpRequest::new(&read_op(&subs[2]))
+                .class(TxnClass::FrontEnd)
+                .site(SiteId(0))
+                .at(t(15)),
+        )
+        .into_op();
     assert!(slow.is_ok(), "degraded read failed: {:?}", slow.result);
-    let fast = udr.execute_op(&read_op(&subs[2]), TxnClass::FrontEnd, SiteId(0), t(35));
+    let fast = udr
+        .execute(
+            OpRequest::new(&read_op(&subs[2]))
+                .class(TxnClass::FrontEnd)
+                .site(SiteId(0))
+                .at(t(35)),
+        )
+        .into_op();
     assert!(fast.is_ok());
     assert!(
         slow.latency > fast.latency * 3,
@@ -211,12 +274,14 @@ fn replication_relag_and_settle_after_heal() {
     cut_site2(&mut udr);
     // Writes at site 0 during the cut: the site-2 slave cannot apply them.
     for i in 0..4u64 {
-        let out = udr.execute_op(
-            &write_op(&subs[0], 100 + i),
-            TxnClass::FrontEnd,
-            SiteId(0),
-            t(15 + i),
-        );
+        let out = udr
+            .execute(
+                OpRequest::new(&write_op(&subs[0], 100 + i))
+                    .class(TxnClass::FrontEnd)
+                    .site(SiteId(0))
+                    .at(t(15 + i)),
+            )
+            .into_op();
         assert!(out.is_ok(), "home write failed: {:?}", out.result);
     }
     udr.advance_to(t(25));
@@ -266,12 +331,14 @@ fn se_outage_script_crashes_and_restores() {
     assert!(!udr.se(SeId(0)).is_up());
     // Failover (5 s detection) moves sub 0's master off the crashed SE;
     // writes work again before the SE even restores.
-    let out = udr.execute_op(
-        &write_op(&subs[0], 55),
-        TxnClass::FrontEnd,
-        SiteId(0),
-        t(18),
-    );
+    let out = udr
+        .execute(
+            OpRequest::new(&write_op(&subs[0], 55))
+                .class(TxnClass::FrontEnd)
+                .site(SiteId(0))
+                .at(t(18)),
+        )
+        .into_op();
     assert!(out.is_ok(), "post-failover write failed: {:?}", out.result);
     assert_eq!(udr.metrics.failovers, 1);
     udr.advance_to(t(26));

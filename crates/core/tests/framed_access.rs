@@ -3,7 +3,7 @@
 //! the amortised framing share — and change nothing else (admission,
 //! routing, results, metrics classes).
 
-use udr_core::{BatchItem, BatchOptions, RetryPolicy, Udr, UdrConfig};
+use udr_core::{BatchItem, BatchOptions, OpRequest, RetryPolicy, Udr, UdrConfig};
 use udr_ldap::{Dn, FrameCursor, LdapOp};
 use udr_model::attrs::{AttrId, AttrMod, AttrValue};
 use udr_model::config::TxnClass;
@@ -62,9 +62,34 @@ fn framed_batch_amortises_the_framing_share() {
 
     let per_op: Vec<_> = ops_a
         .iter()
-        .map(|op| udr_a.execute_op(op, TxnClass::FrontEnd, SiteId(0), t(5)))
+        .map(|op| {
+            udr_a
+                .execute(
+                    OpRequest::new(op)
+                        .class(TxnClass::FrontEnd)
+                        .site(SiteId(0))
+                        .at(t(5)),
+                )
+                .into_op()
+        })
         .collect();
-    let framed = udr_b.execute_op_batch(&ops_b, TxnClass::FrontEnd, SiteId(0), t(5));
+    // One FrameCursor shared across the batch is what coalesces
+    // same-station ops into framed requests.
+    let mut cursor = FrameCursor::new();
+    let framed: Vec<_> = ops_b
+        .iter()
+        .map(|op| {
+            udr_b
+                .execute(
+                    OpRequest::new(op)
+                        .class(TxnClass::FrontEnd)
+                        .site(SiteId(0))
+                        .at(t(5))
+                        .framed(&mut cursor),
+                )
+                .into_op()
+        })
+        .collect();
 
     assert_eq!(per_op.len(), framed.len());
     // figure2 servers run at 1M ops/s → 1 µs base, 250 ns frame share.
@@ -89,12 +114,27 @@ fn framed_batch_amortises_the_framing_share() {
 fn single_op_frame_is_the_per_op_path() {
     let (mut udr_a, subs_a) = build(11);
     let (mut udr_b, subs_b) = build(11);
-    let a = udr_a.execute_op(&read_op(&subs_a[1]), TxnClass::FrontEnd, SiteId(1), t(3));
-    let b = udr_b.execute_op_batch(&[read_op(&subs_b[1])], TxnClass::FrontEnd, SiteId(1), t(3));
-    assert_eq!(b.len(), 1);
-    assert!(a.is_ok() && b[0].is_ok());
-    assert_eq!(a.latency, b[0].latency);
-    assert_eq!(a.breakdown, b[0].breakdown);
+    let a = udr_a
+        .execute(
+            OpRequest::new(&read_op(&subs_a[1]))
+                .class(TxnClass::FrontEnd)
+                .site(SiteId(1))
+                .at(t(3)),
+        )
+        .into_op();
+    let mut cursor = FrameCursor::new();
+    let b = udr_b
+        .execute(
+            OpRequest::new(&read_op(&subs_b[1]))
+                .class(TxnClass::FrontEnd)
+                .site(SiteId(1))
+                .at(t(3))
+                .framed(&mut cursor),
+        )
+        .into_op();
+    assert!(a.is_ok() && b.is_ok());
+    assert_eq!(a.latency, b.latency);
+    assert_eq!(a.breakdown, b.breakdown);
 }
 
 /// A rejected op must not open a frame: the next op to the same station
@@ -107,15 +147,15 @@ fn rejected_ops_do_not_open_frames() {
     // so it DOES open a frame; a QoS-shed or overloaded op fails before
     // admission and must not. Exercise the cursor contract directly: the
     // access stage records only on successful admission.
-    let ok = udr.execute_op_framed(
-        &read_op(&subs[2]),
-        TxnClass::FrontEnd,
-        udr_model::qos::PriorityClass::default_for_txn(TxnClass::FrontEnd),
-        SiteId(2),
-        t(4),
-        None,
-        &mut frame,
-    );
+    let ok = udr
+        .execute(
+            OpRequest::new(&read_op(&subs[2]))
+                .class(TxnClass::FrontEnd)
+                .site(SiteId(2))
+                .at(t(4))
+                .framed(&mut frame),
+        )
+        .into_op();
     assert!(ok.is_ok());
     assert_eq!(frame.open_frames(), 1, "served op opened its frame");
 }

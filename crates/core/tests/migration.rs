@@ -4,7 +4,7 @@
 //! duplicated committed records, epochs that only advance at cutover, and
 //! stale-epoch lookups retried at most once.
 
-use udr_core::{MigrationPlan, MoveReason, Rebalancer, Udr, UdrConfig};
+use udr_core::{MigrationPlan, MoveReason, OpRequest, Rebalancer, Udr, UdrConfig};
 use udr_model::attrs::{AttrId, AttrMod, AttrValue};
 use udr_model::identity::{Identity, IdentitySet, Imsi, Msisdn};
 use udr_model::ids::{SeId, SiteId};
@@ -161,7 +161,13 @@ fn scale_out_migrates_partitions_with_zero_loss() {
     // Traffic still flows end to end after the reshuffle.
     let mut at = settled + SimDuration::from_secs(1);
     for set in subs.iter().take(12) {
-        let out = udr.run_procedure(ProcedureKind::SmsDelivery, set, SiteId(1), at);
+        let out = udr
+            .execute(
+                OpRequest::procedure(ProcedureKind::SmsDelivery, set)
+                    .site(SiteId(1))
+                    .at(at),
+            )
+            .into_procedure();
         assert!(out.success, "post-migration read failed: {:?}", out.failure);
         at += SimDuration::from_millis(20);
     }
@@ -242,7 +248,13 @@ fn partition_cut_between_reseed_and_cutover_aborts_cleanly() {
         .iter()
         .find(|s| udr.lookup_authority(&s.imsi.into()).map(|l| l.partition) == Some(partition))
         .expect("some subscriber lives on the partition");
-    let out = udr.run_procedure(ProcedureKind::SmsDelivery, moved_sub, SiteId(0), t(16));
+    let out = udr
+        .execute(
+            OpRequest::procedure(ProcedureKind::SmsDelivery, moved_sub)
+                .site(SiteId(0))
+                .at(t(16)),
+        )
+        .into_procedure();
     assert!(out.success, "read after abort failed: {:?}", out.failure);
     // After the cut heals, data is still intact everywhere.
     udr.advance_to(t(50));
@@ -286,7 +298,13 @@ fn stale_epoch_lookup_is_retried_at_most_once() {
         .find(|s| udr.lookup_authority(&s.imsi.into()).map(|l| l.partition) == Some(partition))
         .expect("subscriber on moved partition");
     assert_eq!(udr.metrics.stale_route_retries, 0);
-    let out = udr.run_procedure(ProcedureKind::SmsDelivery, moved_sub, SiteId(1), t(20));
+    let out = udr
+        .execute(
+            OpRequest::procedure(ProcedureKind::SmsDelivery, moved_sub)
+                .site(SiteId(1))
+                .at(t(20)),
+        )
+        .into_procedure();
     assert!(out.success, "stale-route read failed: {:?}", out.failure);
     assert_eq!(udr.metrics.stale_route_retries, 1);
     assert!(
@@ -295,7 +313,13 @@ fn stale_epoch_lookup_is_retried_at_most_once() {
     );
 
     // The same cluster is refreshed now: no second retry.
-    let out = udr.run_procedure(ProcedureKind::SmsDelivery, moved_sub, SiteId(1), t(21));
+    let out = udr
+        .execute(
+            OpRequest::procedure(ProcedureKind::SmsDelivery, moved_sub)
+                .site(SiteId(1))
+                .at(t(21)),
+        )
+        .into_procedure();
     assert!(out.success);
     assert_eq!(udr.metrics.stale_route_retries, 1, "retried more than once");
 }

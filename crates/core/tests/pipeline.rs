@@ -6,7 +6,7 @@
 //! `OpOutcome::latency`, deterministically across identically-seeded
 //! deployments.
 
-use udr_core::{LatencyBreakdown, Udr, UdrConfig};
+use udr_core::{LatencyBreakdown, OpRequest, Udr, UdrConfig};
 use udr_ldap::{Dn, LdapOp};
 use udr_model::attrs::{AttrId, AttrMod, AttrValue};
 use udr_model::config::{LocatorKind, ReplicationMode, TxnClass};
@@ -77,7 +77,14 @@ fn assert_decomposed(label: &str, breakdown: &LatencyBreakdown, latency: SimDura
 fn read_and_write_traverse_all_four_stages() {
     let mut udr = provisioned_udr(UdrConfig::figure2());
 
-    let read = udr.execute_op(&search(0), TxnClass::FrontEnd, SiteId(0), t(10));
+    let read = udr
+        .execute(
+            OpRequest::new(&search(0))
+                .class(TxnClass::FrontEnd)
+                .site(SiteId(0))
+                .at(t(10)),
+        )
+        .into_op();
     assert!(read.is_ok(), "read failed: {:?}", read.result);
     assert!(
         read.served_by.is_some(),
@@ -94,7 +101,14 @@ fn read_and_write_traverse_all_four_stages() {
     // read replicates nothing.
     assert_eq!(read.breakdown.replication, SimDuration::ZERO);
 
-    let write = udr.execute_op(&modify(0), TxnClass::Provisioning, SiteId(0), t(11));
+    let write = udr
+        .execute(
+            OpRequest::new(&modify(0))
+                .class(TxnClass::Provisioning)
+                .site(SiteId(0))
+                .at(t(11)),
+        )
+        .into_op();
     assert!(write.is_ok(), "write failed: {:?}", write.result);
     assert!(
         write.served_by.is_some(),
@@ -113,7 +127,14 @@ fn cached_locator_charges_the_location_stage() {
     // bindings, so resolving subscriber 2 misses → probe → fill.
     cfg.dls_cache_capacity = 1;
     let mut udr = provisioned_udr(cfg);
-    let read = udr.execute_op(&search(2), TxnClass::FrontEnd, SiteId(1), t(10));
+    let read = udr
+        .execute(
+            OpRequest::new(&search(2))
+                .class(TxnClass::FrontEnd)
+                .site(SiteId(1))
+                .at(t(10)),
+        )
+        .into_op();
     assert!(read.is_ok(), "read failed: {:?}", read.result);
     assert_decomposed("cached read", &read.breakdown, read.latency);
     assert!(
@@ -122,7 +143,14 @@ fn cached_locator_charges_the_location_stage() {
         read.breakdown
     );
     // The filled cache serves the next resolution locally.
-    let again = udr.execute_op(&search(2), TxnClass::FrontEnd, SiteId(1), t(11));
+    let again = udr
+        .execute(
+            OpRequest::new(&search(2))
+                .class(TxnClass::FrontEnd)
+                .site(SiteId(1))
+                .at(t(11)),
+        )
+        .into_op();
     assert!(again.is_ok());
     assert_eq!(again.breakdown.location, SimDuration::ZERO);
 }
@@ -135,7 +163,14 @@ fn quorum_mode_charges_the_replication_stage() {
     cfg.frash.replication = ReplicationMode::Quorum { n: 3, w: 2, r: 2 };
     let mut udr = provisioned_udr(cfg);
 
-    let write = udr.execute_op(&modify(1), TxnClass::Provisioning, SiteId(0), t(10));
+    let write = udr
+        .execute(
+            OpRequest::new(&modify(1))
+                .class(TxnClass::Provisioning)
+                .site(SiteId(0))
+                .at(t(10)),
+        )
+        .into_op();
     assert!(write.is_ok(), "quorum write failed: {:?}", write.result);
     assert_decomposed("quorum write", &write.breakdown, write.latency);
     assert!(
@@ -144,7 +179,14 @@ fn quorum_mode_charges_the_replication_stage() {
         write.breakdown
     );
 
-    let read = udr.execute_op(&search(1), TxnClass::FrontEnd, SiteId(0), t(11));
+    let read = udr
+        .execute(
+            OpRequest::new(&search(1))
+                .class(TxnClass::FrontEnd)
+                .site(SiteId(0))
+                .at(t(11)),
+        )
+        .into_op();
     assert!(read.is_ok(), "quorum read failed: {:?}", read.result);
     assert_decomposed("quorum read", &read.breakdown, read.latency);
     assert!(
@@ -166,7 +208,14 @@ fn quorum_acks_carry_the_write_synchronously() {
     cfg.frash.replication = ReplicationMode::Quorum { n: 3, w: 2, r: 2 };
     let mut udr = provisioned_udr(cfg);
 
-    let write = udr.execute_op(&modify(1), TxnClass::Provisioning, SiteId(0), t(10));
+    let write = udr
+        .execute(
+            OpRequest::new(&modify(1))
+                .class(TxnClass::Provisioning)
+                .site(SiteId(0))
+                .at(t(10)),
+        )
+        .into_op();
     assert!(write.is_ok(), "quorum write failed: {:?}", write.result);
     assert_eq!(
         udr.max_replica_lag(),
@@ -176,7 +225,14 @@ fn quorum_acks_carry_the_write_synchronously() {
 
     // The freshest consulted copy — wherever the consult lands — already
     // holds the write.
-    let read = udr.execute_op(&search(1), TxnClass::FrontEnd, SiteId(2), t(10));
+    let read = udr
+        .execute(
+            OpRequest::new(&search(1))
+                .class(TxnClass::FrontEnd)
+                .site(SiteId(2))
+                .at(t(10)),
+        )
+        .into_op();
     assert!(read.is_ok(), "quorum read failed: {:?}", read.result);
     let entry = read.result.unwrap().expect("entry present");
     let vlr = entry
@@ -203,7 +259,14 @@ fn quorum_reads_preserve_operation_semantics() {
         attr: AttrId::VlrAddress,
         value: AttrValue::Str("definitely-not-the-vlr".into()),
     };
-    let out = udr.execute_op(&compare, TxnClass::FrontEnd, SiteId(0), t(10));
+    let out = udr
+        .execute(
+            OpRequest::new(&compare)
+                .class(TxnClass::FrontEnd)
+                .site(SiteId(0))
+                .at(t(10)),
+        )
+        .into_op();
     assert!(out.is_ok(), "compare failed: {:?}", out.result);
     assert_eq!(
         out.result.unwrap(),
@@ -215,7 +278,14 @@ fn quorum_reads_preserve_operation_semantics() {
         dn: Dn::for_identity(Identity::from(ids(0).imsi)),
         password: b"secret".to_vec(),
     };
-    let out = udr.execute_op(&bind, TxnClass::FrontEnd, SiteId(0), t(11));
+    let out = udr
+        .execute(
+            OpRequest::new(&bind)
+                .class(TxnClass::FrontEnd)
+                .site(SiteId(0))
+                .at(t(11)),
+        )
+        .into_op();
     assert!(out.is_ok(), "bind failed: {:?}", out.result);
     assert_eq!(
         out.result.unwrap(),
@@ -233,8 +303,22 @@ fn decomposition_is_deterministic_across_identical_deployments() {
         let mut udr = provisioned_udr(UdrConfig::figure2());
         let mut trace = Vec::new();
         for (i, site) in [(0u64, 0u32), (1, 1), (2, 2), (3, 0)] {
-            let read = udr.execute_op(&search(i), TxnClass::FrontEnd, SiteId(site), t(10 + i));
-            let write = udr.execute_op(&modify(i), TxnClass::Provisioning, SiteId(0), t(20 + i));
+            let read = udr
+                .execute(
+                    OpRequest::new(&search(i))
+                        .class(TxnClass::FrontEnd)
+                        .site(SiteId(site))
+                        .at(t(10 + i)),
+                )
+                .into_op();
+            let write = udr
+                .execute(
+                    OpRequest::new(&modify(i))
+                        .class(TxnClass::Provisioning)
+                        .site(SiteId(0))
+                        .at(t(20 + i)),
+                )
+                .into_op();
             trace.push((read.latency, read.breakdown, write.latency, write.breakdown));
         }
         trace
@@ -257,7 +341,14 @@ fn procedure_latency_is_the_sum_of_stage_decompositions() {
     let mut total = SimDuration::ZERO;
     let mut at = t(30);
     for op in &ops {
-        let out = udr.execute_op(op, TxnClass::FrontEnd, SiteId(0), at);
+        let out = udr
+            .execute(
+                OpRequest::new(op)
+                    .class(TxnClass::FrontEnd)
+                    .site(SiteId(0))
+                    .at(at),
+            )
+            .into_op();
         assert!(out.is_ok(), "attach op failed: {:?}", out.result);
         by_stage += out.breakdown.total();
         total += out.latency;

@@ -3,7 +3,7 @@
 //! inversions, typed shed errors, rate ceilings, and the adaptive
 //! consistency degradation of sustained overload.
 
-use udr_core::{Udr, UdrConfig};
+use udr_core::{OpRequest, Udr, UdrConfig};
 use udr_model::config::ReadPolicy;
 use udr_model::error::UdrError;
 use udr_model::identity::{IdentitySet, Impi, Impu, Imsi, Msisdn};
@@ -64,7 +64,9 @@ fn hammer(
     let (mut ok, mut shed, mut other) = (0u64, 0u64, 0u64);
     for i in 0..count {
         let sub = &subs[i % subs.len()];
-        let out = udr.run_procedure(kind, sub, SiteId(0), at);
+        let out = udr
+            .execute(OpRequest::procedure(kind, sub).site(SiteId(0)).at(at))
+            .into_procedure();
         if out.success {
             ok += 1;
         } else if matches!(out.failure, Some(UdrError::Shed { .. })) {
@@ -110,7 +112,9 @@ fn overload_sheds_low_classes_and_spares_high_with_zero_inversions() {
         } else {
             ProcedureKind::CallSetupMo
         };
-        let out = udr.run_procedure(kind, sub, SiteId(0), at);
+        let out = udr
+            .execute(OpRequest::procedure(kind, sub).site(SiteId(0)).at(at))
+            .into_procedure();
         let shed = matches!(out.failure, Some(UdrError::Shed { .. }));
         match kind {
             ProcedureKind::LocationUpdate => {
@@ -152,12 +156,16 @@ fn shed_error_is_typed_and_retryable() {
     let subs = provision_n(&mut udr, 4);
     let mut seen_shed = None;
     for i in 0..200u64 {
-        let out = udr.run_procedure(
-            ProcedureKind::LocationUpdate,
-            &subs[(i as usize) % subs.len()],
-            SiteId(0),
-            t(10) + SimDuration::from_millis(i / 2),
-        );
+        let out = udr
+            .execute(
+                OpRequest::procedure(
+                    ProcedureKind::LocationUpdate,
+                    &subs[(i as usize) % subs.len()],
+                )
+                .site(SiteId(0))
+                .at(t(10) + SimDuration::from_millis(i / 2)),
+            )
+            .into_procedure();
         if let Some(UdrError::Shed { class, reason }) = out.failure {
             seen_shed = Some((class, reason));
             break;
@@ -193,7 +201,14 @@ fn rate_ceiling_sheds_with_rate_limit_reason() {
     };
     let mut shed_rate = 0u64;
     for _ in 0..40 {
-        let out = udr.execute_op(&op, TxnClass::FrontEnd, SiteId(0), t(10));
+        let out = udr
+            .execute(
+                OpRequest::new(&op)
+                    .class(TxnClass::FrontEnd)
+                    .site(SiteId(0))
+                    .at(t(10)),
+            )
+            .into_op();
         if let Err(UdrError::Shed { reason, .. }) = out.result {
             assert_eq!(reason, ShedReason::RateLimit);
             shed_rate += 1;
@@ -223,12 +238,13 @@ fn sustained_overload_downgrades_guarded_reads_and_accounts_them() {
     for step in 0..100u64 {
         let at = t(10) + SimDuration::from_millis(step);
         for i in 0..4 {
-            let out = udr.run_procedure(
-                ProcedureKind::CallSetupMo,
-                &subs[i % subs.len()],
-                SiteId(0),
-                at,
-            );
+            let out = udr
+                .execute(
+                    OpRequest::procedure(ProcedureKind::CallSetupMo, &subs[i % subs.len()])
+                        .site(SiteId(0))
+                        .at(at),
+                )
+                .into_procedure();
             if out.success {
                 downgraded_reads += 1;
             }
@@ -257,7 +273,13 @@ fn procedure_overrides_reroute_priority() {
     cfg.qos = qos;
     let mut udr = Udr::build(cfg).unwrap();
     let subs = provision_n(&mut udr, 3);
-    let out = udr.run_procedure(ProcedureKind::SmsDelivery, &subs[0], SiteId(0), t(10));
+    let out = udr
+        .execute(
+            OpRequest::procedure(ProcedureKind::SmsDelivery, &subs[0])
+                .site(SiteId(0))
+                .at(t(10)),
+        )
+        .into_procedure();
     assert!(out.success);
     // The op was accounted under the overridden class.
     assert!(udr.metrics.qos.class(PriorityClass::Provisioning).offered > 0);

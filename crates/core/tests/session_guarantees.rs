@@ -6,7 +6,7 @@
 
 use proptest::prelude::*;
 
-use udr_core::{Udr, UdrConfig};
+use udr_core::{OpRequest, Udr, UdrConfig};
 use udr_ldap::{Dn, LdapOp};
 use udr_model::attrs::{AttrId, AttrMod, AttrValue};
 use udr_model::config::{ReadPolicy, TxnClass};
@@ -98,24 +98,12 @@ proptest! {
         let mut at = SimTime::ZERO + SimDuration::from_secs(5);
         for (i, (gap_ms, read_site, offset_ms)) in rounds.iter().enumerate() {
             let value = i as u64 + 1;
-            let w = udr.execute_op_with_session(
-                &write_op(&subscriber, value),
-                TxnClass::FrontEnd,
-                SiteId(0),
-                at,
-                Some(&mut token),
-            );
+            let w = udr.execute(OpRequest::new(&write_op(&subscriber, value)).class(TxnClass::FrontEnd).site(SiteId(0)).at(at).session(&mut token)).into_op();
             prop_assert!(w.is_ok(), "write failed: {:?}", w.result);
             prop_assert!(token.write_floor(partition) > 0, "write floor not raised");
 
             let floor_before = token.required_lsn(partition);
-            let r = udr.execute_op_with_session(
-                &read_op(&subscriber),
-                TxnClass::FrontEnd,
-                SiteId(*read_site),
-                at + SimDuration::from_millis(*offset_ms),
-                Some(&mut token),
-            );
+            let r = udr.execute(OpRequest::new(&read_op(&subscriber)).class(TxnClass::FrontEnd).site(SiteId(*read_site)).at(at + SimDuration::from_millis(*offset_ms)).session(&mut token)).into_op();
             prop_assert!(r.is_ok(), "session read failed: {:?}", r.result);
             // The session's own committed write is visible, wherever the
             // read was served from.
@@ -153,21 +141,10 @@ proptest! {
         for (i, (gap_ms, read_site, offset_ms)) in rounds.iter().enumerate() {
             // The writer is a *different*, tokenless client: only
             // monotonic reads (not read-your-writes) protects the reader.
-            let w = udr.execute_op(
-                &write_op(&subscriber, i as u64 + 1),
-                TxnClass::FrontEnd,
-                SiteId(0),
-                at,
-            );
+            let w = udr.execute(OpRequest::new(&write_op(&subscriber, i as u64 + 1)).class(TxnClass::FrontEnd).site(SiteId(0)).at(at)).into_op();
             prop_assert!(w.is_ok(), "write failed: {:?}", w.result);
 
-            let r = udr.execute_op_with_session(
-                &read_op(&subscriber),
-                TxnClass::FrontEnd,
-                SiteId(*read_site),
-                at + SimDuration::from_millis(*offset_ms),
-                Some(&mut token),
-            );
+            let r = udr.execute(OpRequest::new(&read_op(&subscriber)).class(TxnClass::FrontEnd).site(SiteId(*read_site)).at(at + SimDuration::from_millis(*offset_ms)).session(&mut token)).into_op();
             prop_assert!(r.is_ok(), "session read failed: {:?}", r.result);
             let seen = auth_sqn(&r).expect("provisioned record has AuthSqn");
             prop_assert!(

@@ -1,7 +1,7 @@
 //! System-level tests of the assembled UDR: the paper's qualitative claims
 //! must hold on the Figure 2 deployment.
 
-use udr_core::{BatchItem, RetryPolicy, Udr, UdrConfig};
+use udr_core::{BatchItem, OpRequest, RetryPolicy, Udr, UdrConfig};
 use udr_model::attrs::{AttrId, AttrMod, AttrValue};
 use udr_model::config::{
     DurabilityMode, LocatorKind, Pacelc, PlacementPolicy, ReplicationMode, TxnClass,
@@ -55,7 +55,9 @@ fn provision_then_serve_procedures() {
     for (i, kind) in ProcedureKind::ALL.iter().enumerate() {
         let set = &subs[i % subs.len()];
         let home = SiteId((i % 3) as u32);
-        let out = udr.run_procedure(*kind, set, home, at);
+        let out = udr
+            .execute(OpRequest::procedure(*kind, set).site(home).at(at))
+            .into_procedure();
         assert!(out.success, "{kind} failed: {:?}", out.failure);
         assert_eq!(out.ops_ok, kind.total_ops());
         at += SimDuration::from_millis(50);
@@ -79,7 +81,13 @@ fn local_reads_meet_the_10ms_target() {
     let mut at = t(20);
     for (i, set) in subs.iter().enumerate() {
         let site = SiteId((i % 3) as u32);
-        let out = udr.run_procedure(ProcedureKind::CallSetupMo, set, site, at);
+        let out = udr
+            .execute(
+                OpRequest::procedure(ProcedureKind::CallSetupMo, set)
+                    .site(site)
+                    .at(at),
+            )
+            .into_procedure();
         assert!(out.success);
         at += SimDuration::from_millis(10);
     }
@@ -111,7 +119,13 @@ fn partition_fails_provisioning_but_not_fe_reads() {
     let mut at = t(110);
     for (i, set) in subs.iter().enumerate() {
         // FE at site 2 (inside the island) reading its local data.
-        let read = udr.run_procedure(ProcedureKind::SmsDelivery, set, SiteId(2), at);
+        let read = udr
+            .execute(
+                OpRequest::procedure(ProcedureKind::SmsDelivery, set)
+                    .site(SiteId(2))
+                    .at(at),
+            )
+            .into_procedure();
         if read.success {
             fe_ok += 1;
         } else {
@@ -175,7 +189,13 @@ fn slave_reads_can_be_stale_then_converge() {
     // ...and read instantly from site 1 (slave copy): must be stale because
     // the async replication delivery (~15 ms WAN) has not landed yet.
     let stale_before = udr.metrics.staleness.stale_reads;
-    let r = udr.run_procedure(ProcedureKind::CallSetupMo, victim, SiteId(1), t(60));
+    let r = udr
+        .execute(
+            OpRequest::procedure(ProcedureKind::CallSetupMo, victim)
+                .site(SiteId(1))
+                .at(t(60)),
+        )
+        .into_procedure();
     assert!(r.success);
     assert!(
         udr.metrics.staleness.stale_reads > stale_before,
@@ -184,7 +204,13 @@ fn slave_reads_can_be_stale_then_converge() {
 
     // After a second, replication has delivered; the same read is fresh.
     let stale_mid = udr.metrics.staleness.stale_reads;
-    let r2 = udr.run_procedure(ProcedureKind::CallSetupMo, victim, SiteId(1), t(61));
+    let r2 = udr
+        .execute(
+            OpRequest::procedure(ProcedureKind::CallSetupMo, victim)
+                .site(SiteId(1))
+                .at(t(61)),
+        )
+        .into_procedure();
     assert!(r2.success);
     assert_eq!(
         udr.metrics.staleness.stale_reads, stale_mid,
@@ -239,7 +265,13 @@ fn reads_survive_se_crash_via_other_replicas() {
     let mut at = t(101);
     for set in &subs {
         for site in 0..3u32 {
-            let out = udr.run_procedure(ProcedureKind::SmsDelivery, set, SiteId(site), at);
+            let out = udr
+                .execute(
+                    OpRequest::procedure(ProcedureKind::SmsDelivery, set)
+                        .site(SiteId(site))
+                        .at(at),
+                )
+                .into_procedure();
             assert!(out.success, "read failed after SE crash: {:?}", out.failure);
             at += SimDuration::from_millis(7);
         }
@@ -459,7 +491,13 @@ fn quorum_write_latency_and_partition_behaviour() {
     );
 
     // Reads go through the ensemble too.
-    let r = udr.run_procedure(ProcedureKind::CallSetupMo, victim, SiteId(0), t(51));
+    let r = udr
+        .execute(
+            OpRequest::procedure(ProcedureKind::CallSetupMo, victim)
+                .site(SiteId(0))
+                .at(t(51)),
+        )
+        .into_procedure();
     assert!(r.success);
     assert!(
         r.latency > SimDuration::from_millis(15),
@@ -518,7 +556,13 @@ fn scale_out_sync_window_blocks_new_poa_with_provisioned_maps() {
     let mut syncing_failures = 0;
     let mut at = t(100) + SimDuration::from_millis(5);
     for set in subs.iter().take(10) {
-        let out = udr.run_procedure(ProcedureKind::SmsDelivery, set, SiteId(1), at);
+        let out = udr
+            .execute(
+                OpRequest::procedure(ProcedureKind::SmsDelivery, set)
+                    .site(SiteId(1))
+                    .at(at),
+            )
+            .into_procedure();
         if let Some(UdrError::LocationStageSyncing) = out.failure {
             syncing_failures += 1;
         }
@@ -530,7 +574,13 @@ fn scale_out_sync_window_blocks_new_poa_with_provisioned_maps() {
     let mut all_ok = true;
     let mut at = t(1000);
     for set in subs.iter().take(10) {
-        let out = udr.run_procedure(ProcedureKind::SmsDelivery, set, SiteId(1), at);
+        let out = udr
+            .execute(
+                OpRequest::procedure(ProcedureKind::SmsDelivery, set)
+                    .site(SiteId(1))
+                    .at(at),
+            )
+            .into_procedure();
         all_ok &= out.success;
         at += SimDuration::from_millis(10);
     }
@@ -550,7 +600,13 @@ fn cached_locator_probes_on_miss_then_hits() {
     // Force traffic through the new (cold) PoA repeatedly.
     let mut at = t(51);
     for _ in 0..4 {
-        let out = udr.run_procedure(ProcedureKind::SmsDelivery, &subs[0], SiteId(0), at);
+        let out = udr
+            .execute(
+                OpRequest::procedure(ProcedureKind::SmsDelivery, &subs[0])
+                    .site(SiteId(0))
+                    .at(at),
+            )
+            .into_procedure();
         assert!(out.success, "{:?}", out.failure);
         at += SimDuration::from_millis(10);
     }
@@ -634,7 +690,13 @@ fn home_region_placement_avoids_backbone() {
             // local; the placement effect shows on the write leg
             // (LocationUpdate writes to the master).
             let site = SiteId((i % 3) as u32);
-            let out = udr.run_procedure(ProcedureKind::LocationUpdate, set, site, at);
+            let out = udr
+                .execute(
+                    OpRequest::procedure(ProcedureKind::LocationUpdate, set)
+                        .site(site)
+                        .at(at),
+                )
+                .into_procedure();
             assert!(out.success);
             at += SimDuration::from_millis(10);
         }
@@ -690,7 +752,14 @@ fn bind_and_compare_route_like_reads() {
         dn: Dn::for_identity(identity),
         password: b"fe-secret".to_vec(),
     };
-    let out = udr.execute_op(&bind, TxnClass::FrontEnd, SiteId(0), t(50));
+    let out = udr
+        .execute(
+            OpRequest::new(&bind)
+                .class(TxnClass::FrontEnd)
+                .site(SiteId(0))
+                .at(t(50)),
+        )
+        .into_op();
     assert!(out.is_ok(), "{:?}", out.result);
 
     // Compare on a fresh profile: call barring is false.
@@ -699,7 +768,14 @@ fn bind_and_compare_route_like_reads() {
         attr: AttrId::CallBarring,
         value: AttrValue::Bool(true),
     };
-    let out = udr.execute_op(&cmp_false, TxnClass::FrontEnd, SiteId(0), t(51));
+    let out = udr
+        .execute(
+            OpRequest::new(&cmp_false)
+                .class(TxnClass::FrontEnd)
+                .site(SiteId(0))
+                .at(t(51)),
+        )
+        .into_op();
     assert!(
         matches!(&out.result, Ok(None)),
         "compareFalse expected: {:?}",
@@ -714,7 +790,14 @@ fn bind_and_compare_route_like_reads() {
         t(52),
     );
     assert!(w.is_ok());
-    let out = udr.execute_op(&cmp_false, TxnClass::FrontEnd, SiteId(0), t(53));
+    let out = udr
+        .execute(
+            OpRequest::new(&cmp_false)
+                .class(TxnClass::FrontEnd)
+                .site(SiteId(0))
+                .at(t(53)),
+        )
+        .into_op();
     assert!(
         matches!(&out.result, Ok(Some(_))),
         "compareTrue expected: {:?}",

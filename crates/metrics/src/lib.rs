@@ -31,7 +31,7 @@ pub mod verdict;
 pub use availability::{AvailabilityLedger, OpCounter};
 pub use guarantees::GuaranteeTracker;
 pub use hist::{Histogram, HistogramSnapshot};
-pub use qos::{ClassCounters, QosTracker};
+pub use qos::{ClassCounters, QosTracker, TenantCounters};
 pub use report::{pct, thousands, Table};
 pub use series::TimeSeries;
 pub use staleness::StalenessTracker;

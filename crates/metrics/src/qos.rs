@@ -4,6 +4,7 @@
 //! counter that must stay zero.
 
 use udr_model::qos::{PriorityClass, ShedReason};
+use udr_model::tenant::TenantId;
 use udr_model::time::SimDuration;
 
 use crate::hist::Histogram;
@@ -51,10 +52,52 @@ impl ClassCounters {
     }
 }
 
+/// Per-tenant accounting: the full tenant × class matrix plus the
+/// authorization-denial counter. Denials are *not* part of any class's
+/// offered/shed counters — a forbidden operation never entered the QoS
+/// domain, so counting it as shed would misattribute policy to load.
+#[derive(Debug, Clone, Default)]
+pub struct TenantCounters {
+    by_rank: [ClassCounters; PriorityClass::ALL.len()],
+    /// Operations refused by the capability check (policy denials).
+    pub forbidden: u64,
+}
+
+impl TenantCounters {
+    /// The tenant's counters for one class.
+    pub fn class(&self, class: PriorityClass) -> &ClassCounters {
+        &self.by_rank[class.rank()]
+    }
+
+    /// Operations offered by this tenant across all classes (excludes
+    /// forbidden operations).
+    pub fn offered(&self) -> u64 {
+        self.by_rank.iter().map(|c| c.offered).sum()
+    }
+
+    /// Operations of this tenant shed across all classes.
+    pub fn shed(&self) -> u64 {
+        self.by_rank.iter().map(ClassCounters::shed).sum()
+    }
+
+    /// Operations of this tenant admitted across all classes.
+    pub fn admitted(&self) -> u64 {
+        self.offered().saturating_sub(self.shed())
+    }
+
+    /// Operations of this tenant completed across all classes.
+    pub fn completed(&self) -> u64 {
+        self.by_rank.iter().map(|c| c.completed).sum()
+    }
+}
+
 /// Per-class QoS accounting for one run.
 #[derive(Debug, Clone, Default)]
 pub struct QosTracker {
     by_rank: [ClassCounters; PriorityClass::ALL.len()],
+    /// Per-tenant view of the same operations, grown on first sight of a
+    /// tenant id (ids are dense; see `udr_model::tenant`).
+    tenants: Vec<TenantCounters>,
     /// Shed decisions where some strictly-lower-priority class would have
     /// been admitted at the same instant — must stay 0 (the controller
     /// design makes inversion impossible; this counter proves it live).
@@ -101,6 +144,65 @@ impl QosTracker {
     /// Record a priority inversion caught by the shed-time audit.
     pub fn record_inversion(&mut self) {
         self.priority_inversions += 1;
+    }
+
+    /// The per-tenant counters of `tenant` (default-empty for a tenant
+    /// never seen — reading never grows the table).
+    pub fn tenant(&self, tenant: TenantId) -> TenantCounters {
+        self.tenants
+            .get(tenant.index())
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    fn tenant_mut(&mut self, tenant: TenantId) -> &mut TenantCounters {
+        if self.tenants.len() <= tenant.index() {
+            self.tenants
+                .resize_with(tenant.index() + 1, TenantCounters::default);
+        }
+        &mut self.tenants[tenant.index()]
+    }
+
+    /// Record an operation of `tenant` arriving with `class`.
+    pub fn record_tenant_offered(&mut self, tenant: TenantId, class: PriorityClass) {
+        self.tenant_mut(tenant).by_rank[class.rank()].offered += 1;
+    }
+
+    /// Record a shed decision against `tenant` (its own budget or the
+    /// shared cluster controller — both spend the tenant's goodput).
+    pub fn record_tenant_shed(
+        &mut self,
+        tenant: TenantId,
+        class: PriorityClass,
+        reason: ShedReason,
+    ) {
+        let c = &mut self.tenant_mut(tenant).by_rank[class.rank()];
+        match reason {
+            ShedReason::RateLimit => c.shed_rate += 1,
+            ShedReason::QueueDelay => c.shed_delay += 1,
+        }
+    }
+
+    /// Record a successful completion for `tenant`.
+    pub fn record_tenant_completed(
+        &mut self,
+        tenant: TenantId,
+        class: PriorityClass,
+        latency: SimDuration,
+    ) {
+        let c = &mut self.tenant_mut(tenant).by_rank[class.rank()];
+        c.completed += 1;
+        c.latency.record(latency);
+    }
+
+    /// Record a post-admission failure for `tenant`.
+    pub fn record_tenant_failed(&mut self, tenant: TenantId, class: PriorityClass) {
+        self.tenant_mut(tenant).by_rank[class.rank()].failed += 1;
+    }
+
+    /// Record an authorization denial for `tenant`.
+    pub fn record_tenant_forbidden(&mut self, tenant: TenantId) {
+        self.tenant_mut(tenant).forbidden += 1;
     }
 
     /// Total operations shed across all classes.
@@ -156,5 +258,34 @@ mod tests {
         let mut t = QosTracker::new();
         t.record_inversion();
         assert_eq!(t.priority_inversions, 1);
+    }
+
+    #[test]
+    fn tenant_counters_are_independent() {
+        let mut t = QosTracker::new();
+        let a = TenantId(0);
+        let b = TenantId(1);
+        t.record_tenant_offered(a, PriorityClass::Registration);
+        t.record_tenant_offered(a, PriorityClass::Registration);
+        t.record_tenant_shed(a, PriorityClass::Registration, ShedReason::RateLimit);
+        t.record_tenant_offered(b, PriorityClass::CallSetup);
+        t.record_tenant_completed(b, PriorityClass::CallSetup, SimDuration::from_millis(3));
+        t.record_tenant_forbidden(b);
+
+        let ta = t.tenant(a);
+        assert_eq!(ta.offered(), 2);
+        assert_eq!(ta.shed(), 1);
+        assert_eq!(ta.admitted(), 1);
+        assert_eq!(ta.forbidden, 0);
+
+        let tb = t.tenant(b);
+        assert_eq!(tb.offered(), 1);
+        assert_eq!(tb.shed(), 0);
+        assert_eq!(tb.completed(), 1);
+        assert_eq!(tb.forbidden, 1);
+        assert!((tb.class(PriorityClass::CallSetup).goodput_fraction() - 1.0).abs() < 1e-9);
+
+        // A tenant never seen reads as empty and does not grow the table.
+        assert_eq!(t.tenant(TenantId(9)).offered(), 0);
     }
 }

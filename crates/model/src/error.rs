@@ -6,6 +6,7 @@ use std::fmt;
 use crate::identity::IdentityKind;
 use crate::ids::{PartitionId, SeId, SubscriberUid};
 use crate::qos::{PriorityClass, ShedReason};
+use crate::tenant::{Capability, TenantId};
 
 /// Unified error type for UDR operations.
 ///
@@ -85,6 +86,16 @@ pub enum UdrError {
         /// Why the controller refused it.
         reason: ShedReason,
     },
+    /// The tenant is not entitled to the capability the operation needs.
+    /// Unlike [`UdrError::Shed`] this is a *policy* denial, not a load
+    /// condition: it is permanent until the tenant directory changes,
+    /// never counted as shed traffic, and never retried.
+    Forbidden {
+        /// The tenant that issued the operation.
+        tenant: TenantId,
+        /// The capability the operation required.
+        capability: Capability,
+    },
     /// Catch-all for configuration mistakes.
     Config(String),
 }
@@ -126,6 +137,9 @@ impl fmt::Display for UdrError {
             UdrError::Overload => write!(f, "rejected: overload"),
             UdrError::Shed { class, reason } => {
                 write!(f, "shed {class} traffic: {reason}")
+            }
+            UdrError::Forbidden { tenant, capability } => {
+                write!(f, "{tenant} is not entitled to {capability}")
             }
             UdrError::Config(msg) => write!(f, "configuration error: {msg}"),
         }
@@ -240,6 +254,20 @@ mod tests {
         assert!(e.is_availability_failure());
         assert!(e.is_retryable());
         assert_eq!(e.to_string(), "shed registration traffic: queue-delay");
+    }
+
+    #[test]
+    fn forbidden_is_a_permanent_policy_denial() {
+        let e = UdrError::Forbidden {
+            tenant: TenantId(3),
+            capability: Capability::DirectWrite,
+        };
+        // A denial is neither an availability failure nor retryable:
+        // retrying cannot make an ungranted capability appear.
+        assert!(!e.is_availability_failure());
+        assert!(!e.is_retryable());
+        assert!(!e.is_partition_induced());
+        assert_eq!(e.to_string(), "tenant3 is not entitled to direct-write");
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub mod procedures;
 pub mod profile;
 pub mod qos;
 pub mod session;
+pub mod tenant;
 pub mod time;
 
 pub use attrs::{AttrId, AttrMod, AttrValue, Entry};
@@ -39,4 +40,5 @@ pub use procedures::{ProcedureKind, ProvisioningKind};
 pub use profile::{SubscriberProfile, SubscriberStatus};
 pub use qos::{PriorityClass, ShedReason};
 pub use session::{RawLsn, SessionToken};
+pub use tenant::{Capability, CapabilitySet, TenantBudget, TenantDirectory, TenantGrant, TenantId};
 pub use time::{SimDuration, SimTime};

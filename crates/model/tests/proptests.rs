@@ -7,6 +7,7 @@ use proptest::prelude::*;
 
 use udr_model::identity::{Identity, IdentityKind, Impi, Impu, Imsi, Msisdn};
 use udr_model::intern::IdentityInterner;
+use udr_model::tenant::{Capability, CapabilitySet, TenantId};
 
 fn digits(range: std::ops::Range<usize>) -> impl Strategy<Value = String> {
     let pat: &'static str = match (range.start, range.end) {
@@ -87,6 +88,44 @@ proptest! {
         prop_assert_eq!(interner.intern(&spilled), b, "spilled dedup");
         if packed != spilled {
             prop_assert_ne!(a, b);
+        }
+    }
+
+    /// `TenantId` survives its display → parse round trip for every
+    /// raw value (mirrors the policy-enum round-trip tests).
+    #[test]
+    fn tenant_id_round_trips(raw in any::<u32>()) {
+        let id = TenantId(raw);
+        let text = id.to_string();
+        prop_assert_eq!(text.parse::<TenantId>().expect("parses"), id);
+    }
+
+    /// Any subset of the capability universe survives display → parse
+    /// exactly, and `bits`/`from_bits` is the identity on valid masks.
+    #[test]
+    fn capability_set_round_trips(picks in prop::collection::vec(any::<bool>(), 14)) {
+        let mut set = CapabilitySet::EMPTY;
+        for (picked, cap) in picks.iter().zip(Capability::ALL) {
+            if *picked {
+                set = set.grant(cap);
+            }
+        }
+        let text = set.to_string();
+        prop_assert_eq!(text.parse::<CapabilitySet>().expect("parses"), set);
+        prop_assert_eq!(CapabilitySet::from_bits(set.bits()), set);
+        // Membership agrees with the picks that built the set.
+        for (picked, cap) in picks.iter().zip(Capability::ALL) {
+            prop_assert_eq!(set.allows(cap), *picked);
+        }
+    }
+
+    /// `from_bits` drops undefined bits and never invents capabilities.
+    #[test]
+    fn capability_set_from_bits_is_total(raw in any::<u64>()) {
+        let set = CapabilitySet::from_bits(raw);
+        prop_assert_eq!(set.bits() & !CapabilitySet::ALL.bits(), 0);
+        for cap in Capability::ALL {
+            prop_assert_eq!(set.allows(cap), raw & cap.bit() != 0);
         }
     }
 }

@@ -128,6 +128,27 @@ impl ClassBuckets {
             .iter()
             .any(|slot| slot.as_ref().is_none_or(|bucket| bucket.peek(now)))
     }
+
+    /// Admit one `class` operation at `now` consulting *only* the class's
+    /// own bucket — no downward borrowing, and an absent bucket means the
+    /// class is uncapped. Per-tenant budgets use this: a tenant's budget
+    /// is a contractual ceiling per class, not a priority ordering, so a
+    /// tenant whose registration budget is dry must not drain its own
+    /// (or anyone else's) lower-class buckets to keep storming.
+    pub fn admit_isolated(&mut self, class: PriorityClass, now: SimTime) -> bool {
+        match &mut self.by_rank[class.rank()] {
+            None => true,
+            Some(bucket) => bucket.try_take(now),
+        }
+    }
+
+    /// Whether [`ClassBuckets::admit_isolated`] would admit `class` at
+    /// `now`, without consuming anything.
+    pub fn would_admit_isolated(&self, class: PriorityClass, now: SimTime) -> bool {
+        self.by_rank[class.rank()]
+            .as_ref()
+            .is_none_or(|bucket| bucket.peek(now))
+    }
 }
 
 #[cfg(test)]
@@ -202,6 +223,22 @@ mod tests {
         }
         // Emergency has no bucket: still admitted.
         assert!(stack.admit(PriorityClass::Emergency, at(0)));
+    }
+
+    #[test]
+    fn isolated_admission_never_borrows() {
+        let mut stack = ClassBuckets::unlimited();
+        stack.set(PriorityClass::Registration, TokenBucket::new(10.0, 1.0));
+        stack.set(PriorityClass::Query, TokenBucket::new(10.0, 1.0));
+        assert!(stack.admit_isolated(PriorityClass::Registration, at(0)));
+        // Registration budget is dry; the borrowing walk would have
+        // taken Query's token, the isolated check must not.
+        assert!(!stack.would_admit_isolated(PriorityClass::Registration, at(0)));
+        assert!(!stack.admit_isolated(PriorityClass::Registration, at(0)));
+        assert!(stack.would_admit_isolated(PriorityClass::Query, at(0)));
+        assert!(stack.admit_isolated(PriorityClass::Query, at(0)));
+        // An unbucketed class stays uncapped.
+        assert!(stack.admit_isolated(PriorityClass::Emergency, at(0)));
     }
 
     #[test]

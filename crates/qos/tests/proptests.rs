@@ -134,4 +134,56 @@ proptest! {
             );
         }
     }
+
+    /// Per-tenant budget stacks never lend across tenants: tenant B's
+    /// isolated admissions are byte-identical whether or not tenant A
+    /// hammers its own stack in between. (The shared-cluster `admit`
+    /// borrows downward; `admit_isolated` must not, and one tenant's
+    /// stack must never see another's arrivals at all.)
+    #[test]
+    fn tenant_buckets_never_lend_across_tenants(
+        rates in prop::collection::vec(1.0f64..200.0, 5),
+        bursts in prop::collection::vec(1.0f64..10.0, 5),
+        // Arrival stream: (gap 100µs units, class, which tenant).
+        arrivals in prop::collection::vec(
+            (0u64..40, 0usize..5, any::<bool>()),
+            1..300,
+        ),
+    ) {
+        let build = || {
+            let mut stack = ClassBuckets::unlimited();
+            for (i, class) in PriorityClass::ALL.iter().enumerate() {
+                stack.set(*class, TokenBucket::new(rates[i], bursts[i]));
+            }
+            stack
+        };
+        // Interleaved run: two tenants, each with its own stack.
+        let mut stack_a = build();
+        let mut stack_b = build();
+        let mut b_interleaved = Vec::new();
+        let mut now = SimTime::ZERO;
+        for (gap, class_idx, is_b) in &arrivals {
+            now += SimDuration::from_micros(gap * 100);
+            let class = PriorityClass::ALL[*class_idx];
+            if *is_b {
+                let peek = stack_b.would_admit_isolated(class, now);
+                let decided = stack_b.admit_isolated(class, now);
+                prop_assert_eq!(peek, decided, "peek must agree with the decision");
+                b_interleaved.push(decided);
+            } else {
+                stack_a.admit_isolated(class, now);
+            }
+        }
+        // Solo run: tenant B alone sees the identical verdict sequence.
+        let mut solo_b = build();
+        let mut b_solo = Vec::new();
+        let mut now = SimTime::ZERO;
+        for (gap, class_idx, is_b) in &arrivals {
+            now += SimDuration::from_micros(gap * 100);
+            if *is_b {
+                b_solo.push(solo_b.admit_isolated(PriorityClass::ALL[*class_idx], now));
+            }
+        }
+        prop_assert_eq!(b_solo, b_interleaved, "tenant A's arrivals leaked into B's budget");
+    }
 }

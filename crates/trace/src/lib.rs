@@ -161,6 +161,9 @@ struct ActiveOp {
     root: u64,
     name: &'static str,
     start: SimTime,
+    /// Extra root-status argument (e.g. the issuing tenant), appended to
+    /// the status label when the op ends.
+    arg: Option<String>,
     records: Vec<TraceRecord>,
 }
 
@@ -226,6 +229,19 @@ impl Tracer {
     /// pipeline is synchronous); nested begin replaces silently-never —
     /// callers pair begin/end around `pipeline::run`.
     pub fn begin_op(&mut self, name: &'static str, at: SimTime) -> SpanCtx {
+        self.begin_op_with(name, at, None)
+    }
+
+    /// [`Tracer::begin_op`] with an extra argument string appended to the
+    /// root span's status on [`Tracer::end_op`] (e.g. `tenant=tenant1`),
+    /// so per-op dimensions travel in the trace without widening every
+    /// record.
+    pub fn begin_op_with(
+        &mut self,
+        name: &'static str,
+        at: SimTime,
+        arg: Option<String>,
+    ) -> SpanCtx {
         if !self.cfg.enabled {
             return SpanCtx::NONE;
         }
@@ -237,6 +253,7 @@ impl Tracer {
             root,
             name,
             start: at,
+            arg,
             records: Vec::new(),
         });
         SpanCtx { trace, span: root }
@@ -257,7 +274,10 @@ impl Tracer {
             name: active.name,
             start: active.start,
             dur: Some(latency),
-            arg: Some(status.to_string()),
+            arg: Some(match &active.arg {
+                Some(extra) => format!("{status} {extra}"),
+                None => status.to_string(),
+            }),
             digest: true,
         });
         if latency >= self.cfg.slow_op_threshold && self.cfg.exemplar_capacity > 0 {

@@ -23,5 +23,6 @@ pub use faultgen::{periodic_partitions, FaultPlacement, OutageProcess, Partition
 pub use population::{PopulationBuilder, Subscriber};
 pub use retry::RetryPolicy;
 pub use traffic::{
-    LoadProfile, ProcedureMix, SessionBook, StormKind, StormSpec, TrafficEvent, TrafficModel,
+    LoadProfile, ProcedureMix, SessionBook, StormKind, StormSpec, TenantSlice, TrafficEvent,
+    TrafficModel,
 };

@@ -11,6 +11,7 @@ use udr_model::error::UdrError;
 use udr_model::ids::SiteId;
 use udr_model::procedures::ProcedureKind;
 use udr_model::session::SessionToken;
+use udr_model::tenant::TenantId;
 use udr_model::time::{SimDuration, SimTime};
 use udr_sim::SimRng;
 
@@ -186,6 +187,10 @@ pub struct StormSpec {
     pub multiplier: f64,
     /// What the storm is made of.
     pub kind: StormKind,
+    /// When set, the storm draws its subscribers only from this tenant's
+    /// population slice (the aggressor-tenant scenario); `None` storms
+    /// the whole population.
+    pub tenant: Option<TenantId>,
 }
 
 impl StormSpec {
@@ -215,7 +220,7 @@ impl StormSpec {
 /// themselves.
 ///
 /// A sessioned subscriber's procedures carry and update its token (via
-/// `Udr::run_procedure_with_session`), which is what makes
+/// `OpRequest::session` on `Udr::execute`), which is what makes
 /// `ReadPolicy::SessionConsistent` enforce read-your-writes and monotonic
 /// reads for that subscriber; tokenless subscribers degrade to
 /// nearest-copy behaviour under the same policy.
@@ -281,7 +286,7 @@ impl SessionBook {
     }
 
     /// Mutable token of `subscriber`, when it maintains one — the handle
-    /// to pass into `Udr::run_procedure_with_session`.
+    /// to pass into `OpRequest::session`.
     pub fn token_mut(&mut self, subscriber: usize) -> Option<&mut SessionToken> {
         self.tokens.get_mut(subscriber).and_then(|t| t.as_mut())
     }
@@ -298,6 +303,23 @@ pub struct TrafficEvent {
     pub kind: ProcedureKind,
     /// The FE site serving the subscriber (home or roamed).
     pub fe_site: SiteId,
+    /// The operator the subscriber belongs to (from the model's tenancy
+    /// slices; [`TenantId::DEFAULT`] in single-tenant models).
+    pub tenant: TenantId,
+}
+
+/// One tenant's population slice: subscribers with indices in
+/// `[start, end)` belong to `tenant`. Multi-operator models partition the
+/// population into such slices; indices outside every slice fall back to
+/// [`TenantId::DEFAULT`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantSlice {
+    /// The operator owning the slice.
+    pub tenant: TenantId,
+    /// First population index of the slice (inclusive).
+    pub start: usize,
+    /// One past the last population index of the slice.
+    pub end: usize,
 }
 
 /// Configuration of a traffic stream.
@@ -323,6 +345,9 @@ pub struct TrafficModel {
     pub hot_probability: f64,
     /// An overlaid storm (`None` = steady traffic only).
     pub storm: Option<StormSpec>,
+    /// Tenant ownership of the population, as index slices. Empty =
+    /// single-tenant (every event tagged [`TenantId::DEFAULT`]).
+    pub tenancy: Vec<TenantSlice>,
 }
 
 impl TrafficModel {
@@ -337,6 +362,7 @@ impl TrafficModel {
             hot_set: Vec::new(),
             hot_probability: 0.0,
             storm: None,
+            tenancy: Vec::new(),
         }
     }
 
@@ -359,9 +385,49 @@ impl TrafficModel {
                 duration,
                 multiplier,
                 kind,
+                tenant: None,
             }),
             ..TrafficModel::flat(per_sub_rate, sites)
         }
+    }
+
+    /// Assign tenant ownership of the population (builder form).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty or inverted slice.
+    #[must_use]
+    pub fn with_tenancy(mut self, tenancy: Vec<TenantSlice>) -> Self {
+        assert!(
+            tenancy.iter().all(|s| s.start < s.end),
+            "tenant slices must be non-empty index ranges"
+        );
+        self.tenancy = tenancy;
+        self
+    }
+
+    /// Target the model's storm at one tenant's population slice (builder
+    /// form — the aggressor-tenant scenario).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the model has no storm.
+    #[must_use]
+    pub fn storm_from(mut self, tenant: TenantId) -> Self {
+        let storm = self
+            .storm
+            .as_mut()
+            .expect("storm_from needs a storm (build with with_storm)");
+        storm.tenant = Some(tenant);
+        self
+    }
+
+    /// The operator owning `subscriber` under the model's tenancy slices.
+    pub fn tenant_for(&self, subscriber: usize) -> TenantId {
+        self.tenancy
+            .iter()
+            .find(|s| (s.start..s.end).contains(&subscriber))
+            .map_or(TenantId::DEFAULT, |s| s.tenant)
     }
 
     /// A flat model that concentrates `hot_probability` of all events on
@@ -433,6 +499,7 @@ impl TrafficModel {
                 subscriber,
                 kind,
                 fe_site,
+                tenant: self.tenant_for(subscriber),
             });
         }
         if let Some(storm) = self.storm {
@@ -461,6 +528,17 @@ impl TrafficModel {
         }
         let rate = self.per_sub_rate * n as f64 * storm.multiplier;
         let mix = storm.mix();
+        // A tenant-targeted storm draws only from the tenant's slices
+        // (clipped to the population); an unowned storm hits everyone.
+        let pool: Vec<usize> = match storm.tenant {
+            Some(tenant) => self
+                .tenancy
+                .iter()
+                .filter(|s| s.tenant == tenant)
+                .flat_map(|s| s.start..s.end.min(n))
+                .collect(),
+            None => Vec::new(),
+        };
         let mut events = Vec::new();
         let mut now = from;
         loop {
@@ -469,7 +547,11 @@ impl TrafficModel {
             if now >= until {
                 break;
             }
-            let subscriber = rng.below(n as u64) as usize;
+            let subscriber = if pool.is_empty() {
+                rng.below(n as u64) as usize
+            } else {
+                pool[rng.below(pool.len() as u64) as usize]
+            };
             let kind = mix.sample(rng);
             let fe_site = match storm.kind {
                 // Re-registrations land where the subscriber lives.
@@ -482,6 +564,7 @@ impl TrafficModel {
                 subscriber,
                 kind,
                 fe_site,
+                tenant: self.tenant_for(subscriber),
             });
         }
         events
@@ -835,6 +918,67 @@ mod tests {
         let stormy = model.generate(&pop, SimTime::ZERO, horizon, &mut rng1);
         let base = flat.generate(&pop, SimTime::ZERO, horizon, &mut rng2);
         assert_eq!(stormy, base, "a storm after the horizon adds nothing");
+    }
+
+    #[test]
+    fn tenancy_slices_tag_events_and_target_storms() {
+        let pop = population(60);
+        let a = TenantId(0);
+        let b = TenantId(1);
+        let storm_at = SimTime::ZERO + SimDuration::from_secs(20);
+        let model = TrafficModel::with_storm(
+            0.1,
+            3,
+            StormKind::Reregistration,
+            storm_at,
+            SimDuration::from_secs(20),
+            6.0,
+        )
+        .with_tenancy(vec![
+            TenantSlice {
+                tenant: a,
+                start: 0,
+                end: 30,
+            },
+            TenantSlice {
+                tenant: b,
+                start: 30,
+                end: 60,
+            },
+        ])
+        .storm_from(a);
+        let mut rng = SimRng::seed_from_u64(13);
+        let events = model.generate(
+            &pop,
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_secs(60),
+            &mut rng,
+        );
+        // Every event carries the slice's tenant.
+        assert!(events
+            .iter()
+            .all(|e| e.tenant == if e.subscriber < 30 { a } else { b }));
+        // The storm surge lands entirely on tenant A's subscribers.
+        let in_window: Vec<&TrafficEvent> = events
+            .iter()
+            .filter(|e| e.at >= storm_at && e.at < storm_at + SimDuration::from_secs(20))
+            .collect();
+        let on_a = in_window.iter().filter(|e| e.tenant == a).count();
+        assert!(
+            on_a as f64 > in_window.len() as f64 * 0.8,
+            "storm should target tenant A: {on_a}/{}",
+            in_window.len()
+        );
+        // Without tenancy every event is the default tenant.
+        let flat = TrafficModel::flat(0.1, 3);
+        let mut rng = SimRng::seed_from_u64(14);
+        let base = flat.generate(
+            &pop,
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_secs(20),
+            &mut rng,
+        );
+        assert!(base.iter().all(|e| e.tenant == TenantId::DEFAULT));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! cargo run --release --example multinational_network
 //! ```
 
-use udr::core::{Udr, UdrConfig};
+use udr::core::{OpRequest, Udr, UdrConfig};
 use udr::metrics::{pct, Table};
 use udr::model::ids::SiteId;
 use udr::model::{AttrId, AttrMod, AttrValue, Identity, SimDuration, SimTime, TxnClass};
@@ -88,7 +88,12 @@ fn main() {
             next_prov += SimDuration::from_secs(2);
         }
         let sub = &population[ev.subscriber];
-        udr.run_procedure(ev.kind, &sub.ids, ev.fe_site, ev.at);
+        udr.execute(
+            OpRequest::procedure(ev.kind, &sub.ids)
+                .site(ev.fe_site)
+                .at(ev.at),
+        )
+        .into_procedure();
     }
     udr.advance_to(t(700));
 

@@ -11,7 +11,7 @@
 //! cargo run --release --example preudc_vs_udc
 //! ```
 
-use udr::core::{Udr, UdrConfig};
+use udr::core::{OpRequest, Udr, UdrConfig};
 use udr::model::ids::SiteId;
 use udr::model::{Identity, ProcedureKind, SimDuration, SimTime};
 use udr::preudc::PreUdcNetwork;
@@ -91,7 +91,13 @@ fn main() {
                 retry.op.latency
             );
         }
-        let reg = udr.run_procedure(ProcedureKind::Attach, &alice.ids, SiteId(2), t(41));
+        let reg = udr
+            .execute(
+                OpRequest::procedure(ProcedureKind::Attach, &alice.ids)
+                    .site(SiteId(2))
+                    .at(t(41)),
+            )
+            .into_procedure();
         println!(
             "phone registers at site 2: {}",
             if reg.success { "OK" } else { "failed" }

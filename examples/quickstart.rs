@@ -6,7 +6,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use udr::core::{Udr, UdrConfig};
+use udr::core::{OpRequest, Udr, UdrConfig};
 use udr::metrics::Table;
 use udr::model::ids::SiteId;
 use udr::model::{ProcedureKind, SimDuration, SimTime, TxnClass};
@@ -42,7 +42,13 @@ fn main() {
     let mut at = SimTime::ZERO + SimDuration::from_secs(10);
     for (i, sub) in population.iter().enumerate() {
         let kind = ProcedureKind::ALL[i % ProcedureKind::ALL.len()];
-        let out = udr.run_procedure(kind, &sub.ids, SiteId(sub.home_region), at);
+        let out = udr
+            .execute(
+                OpRequest::procedure(kind, &sub.ids)
+                    .site(SiteId(sub.home_region))
+                    .at(at),
+            )
+            .into_procedure();
         assert!(out.success, "{kind} failed: {:?}", out.failure);
         at += SimDuration::from_millis(25);
     }

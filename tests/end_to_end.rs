@@ -2,7 +2,7 @@
 //! generators driving the assembled UDR, checked against the paper's
 //! qualitative claims.
 
-use udr::core::{Udr, UdrConfig};
+use udr::core::{OpRequest, Udr, UdrConfig};
 use udr::model::ids::SiteId;
 use udr::model::{
     AttrId, AttrMod, AttrValue, Identity, ProcedureKind, ReplicationMode, SimDuration, SimTime,
@@ -40,7 +40,13 @@ fn generated_traffic_runs_clean_on_healthy_network() {
     assert!(events.len() > 50);
     for ev in &events {
         let sub = &population[ev.subscriber];
-        let out = udr.run_procedure(ev.kind, &sub.ids, ev.fe_site, ev.at);
+        let out = udr
+            .execute(
+                OpRequest::procedure(ev.kind, &sub.ids)
+                    .site(ev.fe_site)
+                    .at(ev.at),
+            )
+            .into_procedure();
         assert!(out.success, "{} failed: {:?}", ev.kind, out.failure);
     }
     // §2.3 requirement 4: sub-10 ms average for indexed queries.
@@ -49,12 +55,13 @@ fn generated_traffic_runs_clean_on_healthy_network() {
     udr.advance_to(t(200));
     let stale_before = udr.metrics.staleness.stale_reads;
     for sub in population.iter().take(20) {
-        let out = udr.run_procedure(
-            ProcedureKind::CallSetupMo,
-            &sub.ids,
-            SiteId((sub.home_region + 1) % 3),
-            t(201),
-        );
+        let out = udr
+            .execute(
+                OpRequest::procedure(ProcedureKind::CallSetupMo, &sub.ids)
+                    .site(SiteId((sub.home_region + 1) % 3))
+                    .at(t(201)),
+            )
+            .into_procedure();
         assert!(out.success);
     }
     assert_eq!(udr.metrics.staleness.stale_reads, stale_before);
@@ -205,7 +212,12 @@ fn procedure_mix_is_read_mostly_and_partitions_split_by_class() {
             prov_at += SimDuration::from_secs(2);
         }
         let sub = &population[ev.subscriber];
-        udr.run_procedure(ev.kind, &sub.ids, ev.fe_site, ev.at);
+        udr.execute(
+            OpRequest::procedure(ev.kind, &sub.ids)
+                .site(ev.fe_site)
+                .at(ev.at),
+        )
+        .into_procedure();
     }
     let fe = udr.metrics.ops(TxnClass::FrontEnd);
     let ps = udr.metrics.ops(TxnClass::Provisioning);
@@ -233,7 +245,12 @@ fn deterministic_runs_with_same_seed() {
         let events = model.generate(&population, t(5), t(25), &mut rng);
         for ev in &events {
             let sub = &population[ev.subscriber];
-            udr.run_procedure(ev.kind, &sub.ids, ev.fe_site, ev.at);
+            udr.execute(
+                OpRequest::procedure(ev.kind, &sub.ids)
+                    .site(ev.fe_site)
+                    .at(ev.at),
+            )
+            .into_procedure();
         }
         (
             udr.metrics.fe_ops.ok,
